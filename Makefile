@@ -1,0 +1,26 @@
+# Convenience targets; see CONTRIBUTING.md.
+
+.PHONY: install test bench bench-full eval examples apidoc all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+eval:
+	python -m repro eval
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+apidoc:
+	python -m repro.tools.apidoc docs/API.md
+
+all: test bench eval apidoc

@@ -1,0 +1,83 @@
+"""Ablations of the paper's design decisions.
+
+A: covariance caching vs per-sweep recomputation (the algorithmic
+   contribution) — modelled flop ratios plus a measured race between
+   the cached and recompute implementations.
+B: preprocessor reconfiguration (4 extra update kernels after sweep 1).
+C: cyclic vs row vs random pair ordering.
+D: floating point vs fixed-point/CORDIC arithmetic (Section V-B's
+   design argument), measured across input scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.hestenes import reference_svd
+from repro.core.modified import modified_svd
+from repro.baselines.cordic_jacobi import cordic_hestenes_svd
+from repro.eval.experiments import (
+    run_ablation_arithmetic,
+    run_ablation_caching,
+    run_ablation_ordering,
+    run_ablation_reconfiguration,
+)
+from repro.workloads import fast_mode, random_matrix
+
+CRIT = ConvergenceCriterion(max_sweeps=6, tol=None)
+M, N = (96, 24) if fast_mode() else (512, 96)
+
+
+def test_ablation_caching_reproduction(benchmark, report):
+    result = benchmark.pedantic(run_ablation_caching, rounds=1, iterations=1)
+    report(result)
+
+
+def test_ablation_reconfiguration_reproduction(benchmark, report):
+    result = benchmark.pedantic(run_ablation_reconfiguration, rounds=3, iterations=1)
+    report(result)
+
+
+def test_ablation_ordering_reproduction(benchmark, report):
+    result = benchmark.pedantic(run_ablation_ordering, rounds=1, iterations=1)
+    report(result)
+
+
+def test_ablation_arithmetic_reproduction(benchmark, report):
+    result = benchmark.pedantic(run_ablation_arithmetic, rounds=1, iterations=1)
+    report(result)
+
+
+def test_measured_cordic_fixed_point(benchmark):
+    """Wall-clock of the fixed-point datapath (scalar Python CORDIC —
+    intentionally the faithful, slow model, on a small matrix)."""
+    rng = np.random.default_rng(5)
+    a = rng.uniform(-1.0, 1.0, (12, 6))
+    res = benchmark.pedantic(
+        lambda: cordic_hestenes_svd(a, sweeps=4), rounds=2, iterations=1
+    )
+    assert res.saturations == 0
+
+
+def test_measured_cached_algorithm(benchmark):
+    """Algorithm 1 (covariance caching), sequential implementation."""
+    a = random_matrix(M, N, seed=0)
+    res = benchmark(lambda: modified_svd(a, compute_uv=False, criterion=CRIT))
+    assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+
+def test_measured_recompute_algorithm(benchmark):
+    """The [12]-style recompute-per-pair baseline, same rotations."""
+    a = random_matrix(M, N, seed=0)
+    res = benchmark(lambda: reference_svd(a, compute_uv=False, criterion=CRIT))
+    assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+
+@pytest.mark.parametrize("ordering", ["cyclic", "row", "random"])
+def test_measured_ordering(benchmark, ordering):
+    a = random_matrix(M, N, seed=1)
+    benchmark(
+        lambda: modified_svd(
+            a, compute_uv=False, ordering=ordering, seed=2, criterion=CRIT
+        )
+    )

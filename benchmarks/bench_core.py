@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the core kernels and simulator primitives.
+
+Not tied to a specific table/figure; these guard the hot paths that
+every experiment above exercises (rotation parameter batches, Gram
+round updates, sweep scheduling, bidiagonal QR)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.golub_kahan_qr import qr_iterate_bidiagonal
+from repro.baselines.householder import bidiagonalize
+from repro.core.blocked import apply_round_gram, batch_rotation_params
+from repro.core.modified import gram_matrix
+from repro.core.ordering import cyclic_sweep
+from repro.workloads import fast_mode, random_matrix
+
+N = 64 if fast_mode() else 256
+
+
+@pytest.mark.parametrize("impl", ["textbook", "dataflow"])
+def test_batch_rotation_params(benchmark, impl):
+    rng = np.random.default_rng(0)
+    ni = rng.random(N) + 0.1
+    nj = rng.random(N) + 0.1
+    cov = rng.uniform(-0.9, 0.9, N) * np.sqrt(ni * nj)
+    benchmark(lambda: batch_rotation_params(ni, nj, cov, rotation_impl=impl))
+
+
+def test_round_gram_update(benchmark):
+    a = random_matrix(2 * N, N, seed=1)
+    d0 = gram_matrix(a)
+    rnd = cyclic_sweep(N)[0]
+    idx_i = np.array([p[0] for p in rnd])
+    idx_j = np.array([p[1] for p in rnd])
+
+    def run():
+        d = d0.copy()
+        cov = d[idx_i, idx_j].copy()
+        c, s, t, _ = batch_rotation_params(d[idx_i, idx_i], d[idx_j, idx_j], cov)
+        apply_round_gram(d, idx_i, idx_j, c, s, t, cov)
+        return d
+
+    d = benchmark(run)
+    assert np.all(d[idx_i, idx_j] == 0.0)
+
+
+def test_cyclic_schedule_generation(benchmark):
+    rounds = benchmark(lambda: cyclic_sweep(N))
+    assert len(rounds) in (N - 1, N)
+
+
+def test_gram_matrix(benchmark):
+    a = random_matrix(4 * N, N, seed=2)
+    benchmark(lambda: gram_matrix(a))
+
+
+def test_bidiagonalize(benchmark):
+    a = random_matrix(2 * N, N, seed=3)
+    u, d, e, vt = benchmark(lambda: bidiagonalize(a, compute_uv=False))
+    assert d.shape == (N,)
+
+
+def test_bidiagonal_qr(benchmark):
+    rng = np.random.default_rng(4)
+    d = rng.standard_normal(N)
+    e = rng.standard_normal(N - 1)
+    benchmark(lambda: qr_iterate_bidiagonal(d, e))

@@ -1,0 +1,32 @@
+"""Fig. 11: convergence at fixed column size with varying row counts."""
+
+import pytest
+
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.eval.experiments import run_fig11
+from repro.workloads import fast_mode, random_matrix
+
+if fast_mode():
+    N = 32
+    ROWS = (32, 64, 128, 256)
+else:
+    N = 1024
+    ROWS = (256, 512, 1024, 2048)
+
+
+def test_fig11_reproduction(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig11(row_dims=ROWS, column_dim=N), rounds=1, iterations=1
+    )
+    report(result)
+
+
+@pytest.mark.parametrize("m", ROWS)
+def test_measured_convergence_run(benchmark, m):
+    """Full 6-sweep run at each row count (fixed columns)."""
+    a = random_matrix(m, N, distribution="uniform", seed=m)
+    crit = ConvergenceCriterion(max_sweeps=6, tol=None)
+    benchmark(
+        lambda: blocked_svd(a, compute_uv=False, track_columns="never", criterion=crit)
+    )

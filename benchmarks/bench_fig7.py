@@ -1,0 +1,51 @@
+"""Fig. 7: square-matrix comparison — ours vs MATLAB vs MKL vs GPU.
+
+The printed series uses the calibrated models at paper scale.  The
+measured portion races the *actual implementations* we built — the
+blocked Hestenes-Jacobi engine against the from-scratch Golub-Reinsch
+baseline and NumPy's LAPACK — on the same square matrices, giving a
+real (software) instance of the paper's algorithmic comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gkr_svd import golub_reinsch_svd
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.eval.experiments import run_fig7
+from repro.workloads import fast_mode, random_matrix
+
+SIZES = [32, 64] if fast_mode() else [128, 256, 512]
+CRIT = ConvergenceCriterion(max_sweeps=6, tol=None)
+
+
+def test_fig7_reproduction(benchmark, report):
+    result = benchmark.pedantic(run_fig7, rounds=3, iterations=1)
+    report(result)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_measured_hestenes_blocked(benchmark, n):
+    a = random_matrix(n, n, seed=n)
+    res = benchmark(
+        lambda: blocked_svd(a, compute_uv=False, track_columns="never", criterion=CRIT)
+    )
+    # Six sweeps is the hardware's fixed budget — "reasonable
+    # convergence", not machine precision; check relative to sigma_max.
+    sv = np.linalg.svd(a, compute_uv=False)
+    assert np.max(np.abs(res.s - sv)) < 1e-4 * sv[0]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_measured_golub_reinsch(benchmark, n):
+    a = random_matrix(n, n, seed=n)
+    res = benchmark(lambda: golub_reinsch_svd(a, compute_uv=False))
+    assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_measured_numpy_lapack(benchmark, n):
+    """The 'optimized software solution' reference point."""
+    a = random_matrix(n, n, seed=n)
+    benchmark(lambda: np.linalg.svd(a, compute_uv=False))

@@ -1,0 +1,93 @@
+"""Hardware-simulator benchmarks: co-simulation scaling, stream
+scheduling, netlist/trace generation, and the RTL kernel pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.hw.netlist import build_netlist
+from repro.hw.pipeline import schedule_stream
+from repro.hw.rtl_kernel import UpdateKernelRTL
+from repro.hw.scheduler import simulate_decomposition
+from repro.hw.trace import build_trace, render_gantt
+from repro.hw.timing_model import estimate_cycles
+from repro.workloads import fast_mode, random_matrix, rpca_trace, video_batch_trace
+
+SCALE = 1 if fast_mode() else 2
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_event_simulation_scaling(benchmark, n):
+    a = random_matrix(2 * n, n, seed=n)
+    out = benchmark.pedantic(
+        lambda: simulate_decomposition(a), rounds=3, iterations=1
+    )
+    assert out.cycles > 0
+
+
+def test_stream_scheduling_video(benchmark, report):
+    from repro.eval.report import ExperimentResult
+
+    trace = video_batch_trace(4096 * SCALE, 32, 16)
+    sched = benchmark(lambda: schedule_stream(trace, policy="pipelined"))
+    serial = schedule_stream(trace, policy="serial")
+    result = ExperimentResult(
+        "hw-stream",
+        "Stream scheduling: 16 video-batch decompositions",
+        ["policy", "cycles", "seconds", "saving"],
+    )
+    result.add_row("serial", serial.makespan, serial.seconds(), "-")
+    result.add_row("pipelined", sched.makespan, sched.seconds(),
+                   f"{sched.overlap_saving:.0%}")
+    result.check("pipelining saves cycles", sched.makespan < serial.makespan)
+    report(result)
+
+
+def test_rpca_anecdote_schedule(benchmark):
+    """The paper's [4] anecdote as a stream: 15 SVDs of 3000x3000.
+
+    Honest outcome: at 3000 columns the O(n^3) covariance updates put
+    the workload far outside the architecture's small-column sweet
+    spot — the modelled stream takes ~900 s vs the anecdote's 185 s on
+    a CPU.  The accelerator-friendly mapping is the *partial* SVD the
+    anecdote actually runs: a rank-r sketch turns each iteration into a
+    3000 x (r + p) problem, which the model prices 3 orders cheaper.
+    """
+    trace = rpca_trace(3000, 3000, 15)
+    sched = benchmark.pedantic(
+        lambda: schedule_stream(trace, policy="pipelined"), rounds=1, iterations=1
+    )
+    assert sched.seconds() > 185.2  # full-width SVDs: the CPU wins here
+    sketch_trace = [(3000, 60)] * 15  # rank-50 + oversampling sketches
+    sketch = schedule_stream(sketch_trace, policy="pipelined")
+    assert sketch.seconds() < 185.2 / 10  # the partial mapping wins big
+
+
+def test_coverification(benchmark, report):
+    """The fidelity sign-off: analytic vs event vs functional."""
+    from repro.hw.verification import run_coverification
+
+    result = benchmark.pedantic(run_coverification, rounds=1, iterations=1)
+    report(result)
+
+
+def test_netlist_generation(benchmark):
+    netlist = benchmark(build_netlist)
+    assert netlist.count("fp_core") == 49 + 34 + 2  # muls + adds + div/sqrt
+
+
+def test_trace_rendering(benchmark):
+    bd = estimate_cycles(1024, 256)
+    text = benchmark(lambda: render_gantt(build_trace(bd)))
+    assert "sweep-6" in text
+
+
+def test_rtl_kernel_throughput(benchmark):
+    """Clock the register-level kernel through a 512-element stream."""
+    pairs = [(float(i), float(-i)) for i in range(512)]
+
+    def run():
+        k = UpdateKernelRTL(cos=0.8, sin=0.6)
+        return k.run_stream(pairs)
+
+    results = benchmark(run)
+    assert len(results) == 512

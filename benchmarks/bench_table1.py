@@ -1,0 +1,41 @@
+"""Table I: FPGA execution-time grid.
+
+Reproduces the 4x4 (n, m) grid of execution seconds through the cycle
+model (paper scale) and measures the real decomposition engine — the
+blocked NumPy implementation the accelerator simulator runs — on
+scaled-down matrices.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_table1
+from repro.hw import HestenesJacobiAccelerator
+from repro.workloads import fast_mode, random_matrix
+
+ACC = HestenesJacobiAccelerator()
+
+
+def test_table1_reproduction(benchmark, report):
+    """The reproduced Table I grid with shape checks."""
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    report(result)
+
+
+@pytest.mark.parametrize("n", [16, 32, 64] if fast_mode() else [128, 256, 512])
+def test_measured_decomposition_square(benchmark, n):
+    """Wall-clock of the functional engine on square matrices.
+
+    extra_info carries the modelled FPGA seconds for the same shape so
+    the measured/modelled pair appears together in the benchmark table.
+    """
+    a = random_matrix(n, n, seed=n)
+    benchmark.extra_info["modelled_fpga_seconds"] = ACC.estimate_seconds(n, n)
+    benchmark(lambda: ACC.decompose(a))
+
+
+@pytest.mark.parametrize("m,n", [(128, 16), (256, 32)] if fast_mode() else [(1024, 128), (2048, 256)])
+def test_measured_decomposition_tall(benchmark, m, n):
+    """Wall-clock on tall rectangular matrices (the paper's sweet spot)."""
+    a = random_matrix(m, n, seed=m + n)
+    benchmark.extra_info["modelled_fpga_seconds"] = ACC.estimate_seconds(m, n)
+    benchmark(lambda: ACC.decompose(a))

@@ -1,0 +1,37 @@
+"""Table II: FPGA resource consumption.
+
+The resource model is analytic; the benchmark measures its evaluation
+cost (it runs in every design-space sweep) and reports the reproduced
+utilization table against the paper's 89% / 91% / 53%.
+"""
+
+from repro.eval.experiments import run_table2
+from repro.hw.resources import estimate_resources
+
+
+def test_table2_reproduction(benchmark, report):
+    result = benchmark.pedantic(run_table2, rounds=5, iterations=1)
+    report(result)
+
+
+def test_resource_model_evaluation(benchmark):
+    """Micro-benchmark: one full resource estimate."""
+    rep = benchmark(estimate_resources)
+    assert rep.luts > 0
+
+
+def test_design_space_sweep(benchmark):
+    """A 16-point kernel-count x column-capacity design sweep, the
+    workload an architect would run with this model."""
+    from repro.hw.params import PAPER_ARCH
+
+    def sweep():
+        out = []
+        for kernels in (2, 4, 6, 8):
+            for cols in (64, 128, 192, 256):
+                arch = PAPER_ARCH.with_(update_kernels=kernels)
+                out.append(estimate_resources(arch, max_cols=cols).as_table())
+        return out
+
+    tables = benchmark(sweep)
+    assert len(tables) == 16

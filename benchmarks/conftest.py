@@ -1,0 +1,52 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark file both *measures* real implementations with
+pytest-benchmark and *reproduces* a table/figure through the experiment
+runners.  Reproduced experiments are registered via the ``report``
+fixture; a terminal-summary hook prints them after the benchmark table,
+so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the same rows/series the paper reports.
+
+Environment:
+  REPRO_BENCH_FULL=1  run measured workloads at paper scale (slow).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import ExperimentResult, format_experiment
+
+_RESULTS: list[ExperimentResult] = []
+
+
+@pytest.fixture
+def report():
+    """Register an ExperimentResult for end-of-run printing.
+
+    Also asserts that every shape check of the experiment passed, so a
+    failed reproduction fails the benchmark run loudly.
+    """
+
+    def _report(result: ExperimentResult) -> ExperimentResult:
+        _RESULTS.append(result)
+        failed = [c for c in result.checks if not c.passed]
+        assert not failed, (
+            f"{result.ident}: {len(failed)} shape check(s) failed:\n"
+            + "\n".join(f"  {c}" for c in failed)
+            + "\n"
+            + format_experiment(result)
+        )
+        return result
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "reproduced tables and figures")
+    for result in _RESULTS:
+        tr.write_line(format_experiment(result))
+        tr.write_line("")

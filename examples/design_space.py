@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Design-space exploration: why the paper's configuration is what it is.
+
+Enumerates accelerator configurations (kernel counts, multiplier-array
+sizes, covariance-store capacities), filters by what fits the
+Virtex-5 XC5VLX330, scores each on the paper's workloads, and shows the
+Pareto front plus an execution trace of the chosen design.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.hw import estimate_cycles
+from repro.hw.sweep import explore_design_space, pareto_front
+from repro.hw.trace import build_trace, render_gantt
+
+
+def main() -> None:
+    points = explore_design_space()
+    feasible = [p for p in points if p.feasible]
+    front = pareto_front(points)
+
+    print(f"enumerated {len(points)} configurations; "
+          f"{len(feasible)} fit the device, {len(front)} on the Pareto front\n")
+
+    print("Pareto front (time over the paper's workloads vs LUTs):")
+    print(f"{'config':<16s} {'time [s]':>9s} {'LUTs':>9s} {'DSP':>4s} {'BRAM':>5s}")
+    for p in front:
+        print(f"{p.label:<16s} {p.total_seconds:>9.3f} {p.luts:>9,} "
+              f"{p.dsps:>4d} {p.brams:>5d}")
+
+    paper = next(p for p in points if p.label == "P16K8+4C256")
+    rank = sorted(q.total_seconds for q in feasible).index(paper.total_seconds) + 1
+    print(f"\nthe paper's design ({paper.label}): {paper.total_seconds:.3f} s, "
+          f"{paper.luts:,} LUTs — rank {rank}/{len(feasible)} by speed")
+    print("(the only faster feasible points squeeze a 10th kernel into "
+          "<0.1% LUT headroom, which real place-and-route would not close)")
+
+    # Infeasible neighbours: what stopped the design from growing.
+    blocked = [p for p in points if not p.feasible and p.arch.update_kernels >= 8]
+    print(f"\n{len(blocked)} larger configurations do not fit — e.g.:")
+    for p in blocked[:4]:
+        print(f"  {p.label}")
+
+    print("\nexecution trace of the chosen design on 128x128 "
+          "(the Table I headline cell):")
+    print(render_gantt(build_trace(estimate_cycles(128, 128)), width=60))
+
+    print("\nand on 1024x1024, where covariance updates dominate 6 sweeps:")
+    trace = build_trace(estimate_cycles(1024, 1024))
+    util = trace.utilization()
+    for name, frac in sorted(util.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<22s} {frac:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

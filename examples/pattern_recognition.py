@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Subspace pattern recognition — Section I's third motivating domain.
+
+Fits one low-rank basis per class with the Hestenes-Jacobi SVD
+(the eigenfaces method) and classifies unseen samples by nearest
+subspace, then shows what the accelerator model says about the
+training workload (many small per-class decompositions — a natural
+batch stream).
+
+Run:  python examples/pattern_recognition.py
+"""
+
+import numpy as np
+
+from repro.apps.pattern import SubspaceClassifier, make_class_dataset
+from repro.hw.pipeline import schedule_stream
+
+
+def main() -> None:
+    classes, per_class, features = 5, 60, 32
+    x, y = make_class_dataset(
+        classes, per_class, features, subspace_dim=4, noise=0.05, seed=13
+    )
+    # Split train/test deterministically.
+    train = np.arange(len(y)) % 3 != 0
+    test = ~train
+
+    clf = SubspaceClassifier(n_components=4).fit(x[train], y[train])
+    acc_train = clf.score(x[train], y[train])
+    acc_test = clf.score(x[test], y[test])
+    print(f"{classes} classes x {per_class} samples, {features} features, "
+          f"4-dimensional class subspaces")
+    print(f"train accuracy: {acc_train:.1%}   test accuracy: {acc_test:.1%}")
+
+    # Confusion matrix on the test split.
+    preds = clf.predict(x[test])
+    confusion = np.zeros((classes, classes), dtype=int)
+    for t, p in zip(y[test], preds):
+        confusion[t, p] += 1
+    print("\nconfusion matrix (rows = truth):")
+    header = "      " + " ".join(f"c{c}" for c in range(classes))
+    print(header)
+    for c in range(classes):
+        print(f"  c{c}: " + " ".join(f"{v:2d}" for v in confusion[c]))
+
+    # Residual margins: correct-class residual vs best wrong class.
+    res = clf.residuals(x[test])
+    correct = res[np.arange(len(preds)), y[test]]
+    res_masked = res.copy()
+    res_masked[np.arange(len(preds)), y[test]] = np.inf
+    margin = res_masked.min(axis=1) / np.maximum(correct, 1e-12)
+    print(f"\nmedian residual margin (wrong/right): {np.median(margin):.1f}x")
+
+    # Training = one small decomposition per class: a batch stream the
+    # accelerator pipelines.
+    rows_per_class = int(train.sum()) // classes
+    trace = [(rows_per_class, features)] * classes
+    piped = schedule_stream(trace, policy="pipelined")
+    serial = schedule_stream(trace, policy="serial")
+    print(f"\nmodelled accelerator training time ({classes} class bases):")
+    print(f"  serial    {serial.seconds() * 1e6:8.1f} us")
+    print(f"  pipelined {piped.seconds() * 1e6:8.1f} us "
+          f"({piped.overlap_saving:.0%} from Gram/sweep overlap)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""PCA by Hestenes-Jacobi SVD: the paper's target application.
+
+Section I positions SVD as the engine of Principal Component Analysis
+(and Section VII plans a PCA extension for latent semantic indexing).
+This example runs the full PCA pipeline on a synthetic dataset with a
+known low-dimensional structure and verifies that the recovered
+subspace matches ground truth.
+
+Run:  python examples/pca_pipeline.py
+"""
+
+import numpy as np
+
+from repro import hestenes_svd
+from repro.workloads import pca_dataset
+
+
+def principal_angles(basis_a: np.ndarray, basis_b: np.ndarray) -> np.ndarray:
+    """Principal angles (radians) between two row-space bases."""
+    qa, _ = np.linalg.qr(basis_a.T)
+    qb, _ = np.linalg.qr(basis_b.T)
+    sv = np.linalg.svd(qa.T @ qb, compute_uv=False)
+    return np.arccos(np.clip(sv, -1.0, 1.0))
+
+
+def main() -> None:
+    samples, features, k = 600, 40, 4
+    data, truth = pca_dataset(samples, features, intrinsic_dim=k, noise=0.02, seed=3)
+    print(f"dataset: {samples} samples x {features} features, "
+          f"intrinsic dimension {k}, noise 0.02")
+
+    # PCA = SVD of the (centered) data matrix; right singular vectors
+    # are the principal components, singular values the scaled stddevs.
+    result = hestenes_svd(data, max_sweeps=10)
+    variances = result.s**2 / (samples - 1)
+    explained = variances / variances.sum()
+
+    print("\ncomponent  stddev   explained  cumulative")
+    for i in range(8):
+        print(f"{i + 1:9d}  {np.sqrt(variances[i]):7.4f}  {explained[i]:9.2%}"
+              f"  {explained[: i + 1].sum():10.2%}")
+
+    gap = variances[k - 1] / variances[k]
+    print(f"\nspectral gap after component {k}: {gap:.1f}x "
+          "(the intrinsic dimension is visible)")
+
+    angles = principal_angles(result.vt[:k, :], truth)
+    print(f"max principal angle vs ground-truth subspace: "
+          f"{np.degrees(angles.max()):.3f} degrees")
+
+    # Project to k dimensions and measure reconstruction quality.
+    scores = data @ result.vt[:k, :].T
+    recon = scores @ result.vt[:k, :]
+    err = np.linalg.norm(data - recon) / np.linalg.norm(data)
+    print(f"relative error of the {k}-dimensional projection: {err:.3%}")
+
+    # Cross-check against NumPy's PCA.
+    _, s_np, vt_np = np.linalg.svd(data, full_matrices=False)
+    angles_np = principal_angles(result.vt[:k, :], vt_np[:k, :])
+    print(f"agreement with numpy PCA subspace: "
+          f"{np.degrees(angles_np.max()):.2e} degrees")
+
+
+if __name__ == "__main__":
+    main()

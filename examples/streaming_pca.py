@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Streaming PCA over arriving video batches + accelerator scheduling.
+
+Combines three pieces built for the paper's application scenarios:
+frames arrive in batches (the surveillance setting of Section I), an
+incremental SVD folds each batch into a running subspace model, and the
+stream scheduler shows what the accelerator's preprocessor/sweep
+pipelining buys for exactly this workload trace.
+
+Run:  python examples/streaming_pca.py
+"""
+
+import numpy as np
+
+from repro.apps import IncrementalSVD
+from repro.hw import PAPER_ARCH
+from repro.hw.pipeline import schedule_stream
+from repro.workloads import surveillance_video, video_batch_trace
+
+
+def main() -> None:
+    frames, h, w = 60, 12, 16
+    pixels = h * w
+    video, bg_true, _ = surveillance_video(frames, h, w, seed=5)
+    data = video.T  # one row per frame
+
+    batch = 12
+    model = IncrementalSVD(rank=3)
+    print(f"streaming {frames} frames of {h}x{w} pixels in batches of {batch}\n")
+    print("batch  rows_seen  sigma_1    sigma_2    sigma_3    subspace err")
+    u_ref_last = None
+    for b, start in enumerate(range(0, frames, batch)):
+        model.partial_fit(data[start : start + batch])
+        # Compare the running subspace against the batch-exact one.
+        seen = data[: start + batch]
+        _, _, vt_ref = np.linalg.svd(seen, full_matrices=False)
+        overlap = np.linalg.svd(model.vt_ @ vt_ref[: len(model.s_)].T,
+                                compute_uv=False)
+        err = 1.0 - float(overlap.min())
+        s = model.s_
+        print(f"{b:5d}  {model.rows_seen_:9d}  {s[0]:9.3f}  {s[1]:9.3f}  "
+              f"{s[2]:9.3f}  {err:12.2e}")
+
+    # The dominant right-singular vector of the frame-rows is the static
+    # background pattern.
+    bg_estimate = model.vt_[0] * np.sign(model.vt_[0].sum())
+    bg_pattern = bg_true[:, 0] / np.linalg.norm(bg_true[:, 0])
+    match = abs(float(bg_estimate @ bg_pattern))
+    print(f"\nbackground-pattern recovery (|cosine|): {match:.4f}")
+
+    # Accelerator view: the same trace as a decomposition stream.
+    trace = video_batch_trace(pixels, batch, frames // batch)
+    serial = schedule_stream(trace, policy="serial")
+    piped = schedule_stream(trace, policy="pipelined")
+    print(f"\naccelerator schedule for {len(trace)} batch decompositions "
+          f"({pixels}x{batch} each):")
+    print(f"  serial    : {serial.makespan:9,} cycles "
+          f"({serial.seconds(PAPER_ARCH) * 1e3:.3f} ms)")
+    print(f"  pipelined : {piped.makespan:9,} cycles "
+          f"({piped.seconds(PAPER_ARCH) * 1e3:.3f} ms, "
+          f"{piped.overlap_saving:.0%} saved by Gram/sweep overlap)")
+
+
+if __name__ == "__main__":
+    main()

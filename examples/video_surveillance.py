@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Video background subtraction with Robust PCA — the paper's motivator.
+
+Section I cites the video-surveillance workload of Candès et al. [4]
+("running partial SVD 15 times") as the kind of time-sensitive
+application that needs accelerated SVD.  This example runs that exact
+pipeline on synthetic footage: Robust PCA splits the frame matrix into
+a low-rank background and a sparse moving object, with every inner SVD
+running on the Hestenes-Jacobi engine.
+
+Run:  python examples/video_surveillance.py
+"""
+
+import numpy as np
+
+from repro.apps import robust_pca
+from repro.hw import HestenesJacobiAccelerator
+from repro.workloads import surveillance_video
+
+SHADES = " .:-=+*#%@"
+
+
+def frame_to_ascii(frame: np.ndarray, height: int, width: int) -> list[str]:
+    img = frame.reshape(height, width)
+    lo, hi = img.min(), img.max()
+    img = (img - lo) / (hi - lo) if hi > lo else img * 0
+    return [
+        "".join(SHADES[int(v * (len(SHADES) - 1))] for v in row) for row in img
+    ]
+
+
+def side_by_side(*blocks: list[str], gap: str = "   ") -> str:
+    return "\n".join(gap.join(parts) for parts in zip(*blocks))
+
+
+def main() -> None:
+    frames, h, w = 40, 16, 24
+    video, bg_true, fg_true = surveillance_video(
+        frames, h, w, object_size=4, seed=9
+    )
+    print(f"synthetic footage: {frames} frames of {h}x{w} pixels "
+          f"-> {h * w}x{frames} frame matrix")
+
+    result = robust_pca(video, tol=1e-6, max_iterations=80)
+    print(f"robust PCA: {result.iterations} iterations, "
+          f"{result.svd_calls} inner SVD calls "
+          f"(the paper's [4] anecdote ran 15), converged={result.converged}")
+
+    bg_err = np.linalg.norm(result.low_rank - bg_true) / np.linalg.norm(bg_true)
+    print(f"background recovery error: {bg_err:.2%}")
+
+    for f in (5, frames // 2, frames - 5):
+        print(f"\nframe {f}:   input          |   background      |   foreground")
+        print(
+            side_by_side(
+                frame_to_ascii(video[:, f], h, w),
+                frame_to_ascii(result.low_rank[:, f], h, w),
+                frame_to_ascii(np.abs(result.sparse[:, f]), h, w),
+            )
+        )
+
+    # What would the accelerator buy?  Each inner SVD of the frame
+    # matrix maps to one FPGA decomposition; compare modelled times.
+    acc = HestenesJacobiAccelerator()
+    per_svd = acc.estimate_seconds(h * w, frames)
+    print(f"\nmodelled FPGA time per inner SVD ({h * w}x{frames}): "
+          f"{per_svd * 1e3:.2f} ms -> full RPCA "
+          f"{result.svd_calls * per_svd * 1e3:.1f} ms of SVD time")
+
+
+if __name__ == "__main__":
+    main()

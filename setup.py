@@ -1,0 +1,6 @@
+"""Legacy shim: this offline environment lacks the ``wheel`` package, so
+PEP-517 editable installs fail with "invalid command 'bdist_wheel'".
+Keeping a setup.py allows ``pip install -e . --no-use-pep517``."""
+from setuptools import setup
+
+setup()

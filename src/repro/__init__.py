@@ -1,0 +1,51 @@
+"""repro — reproduction of the Hestenes-Jacobi FPGA SVD architecture.
+
+Wang & Zambreno, "An FPGA Implementation of the Hestenes-Jacobi
+Algorithm for Singular Value Decomposition", IPDPS Workshops 2014.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's algorithm: modified Hestenes-Jacobi SVD with covariance
+    caching, plus the plain reference method.
+``repro.hw``
+    Functional + cycle-level simulator of the paper's FPGA
+    architecture (preprocessor, Jacobi rotation unit, update kernels,
+    FIFOs, BRAM, off-chip memory, resource model).
+``repro.baselines``
+    From-scratch Golub-Reinsch (Householder + QR) SVD, two-sided Jacobi,
+    and calibrated timing models of the paper's MATLAB/MKL/GPU
+    comparators.
+``repro.workloads``
+    Reproducible matrix generators and the paper's dimension grids.
+``repro.eval``
+    Experiment harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import hestenes_svd
+>>> a = np.random.default_rng(0).standard_normal((64, 16))
+>>> res = hestenes_svd(a)
+>>> bool(np.allclose(res.s, np.linalg.svd(a, compute_uv=False)))
+True
+"""
+
+from repro.core import (
+    ConvergenceCriterion,
+    ConvergenceTrace,
+    HestenesJacobiSVD,
+    SVDResult,
+    hestenes_svd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceCriterion",
+    "ConvergenceTrace",
+    "HestenesJacobiSVD",
+    "SVDResult",
+    "__version__",
+    "hestenes_svd",
+]

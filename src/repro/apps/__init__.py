@@ -1,0 +1,49 @@
+"""Application layer: the workloads the paper motivates SVD with.
+
+* :mod:`repro.apps.pca` — principal component analysis with whitening
+  (Section I's framing and the Section VII extension).
+* :mod:`repro.apps.lsi` — latent semantic indexing with folding-in,
+  the paper's stated future work, built end to end.
+* :mod:`repro.apps.robust_pca` — robust PCA via inexact ALM (full or
+  partial-SVD inner steps), the video surveillance workload of the
+  Section I motivation ([4]).
+* :mod:`repro.apps.truncated` — exact and randomized truncated SVD.
+* :mod:`repro.apps.incremental` — streaming SVD over arriving rows.
+* :mod:`repro.apps.image` — low-rank image compression with PSNR and
+  storage accounting.
+* :mod:`repro.apps.pattern` — nearest-subspace (eigenfaces-style)
+  pattern recognition.
+"""
+
+from repro.apps.image import CompressedImage, compress_image, psnr, rank_for_energy
+from repro.apps.incremental import IncrementalSVD
+from repro.apps.lsi import LsiIndex, TermDocumentMatrix, tokenize
+from repro.apps.pattern import SubspaceClassifier, make_class_dataset
+from repro.apps.pca import PCA
+from repro.apps.robust_pca import (
+    RobustPcaResult,
+    robust_pca,
+    singular_value_threshold,
+    soft_threshold,
+)
+from repro.apps.truncated import randomized_svd, truncated_svd
+
+__all__ = [
+    "CompressedImage",
+    "IncrementalSVD",
+    "LsiIndex",
+    "PCA",
+    "RobustPcaResult",
+    "SubspaceClassifier",
+    "TermDocumentMatrix",
+    "compress_image",
+    "make_class_dataset",
+    "psnr",
+    "randomized_svd",
+    "rank_for_energy",
+    "robust_pca",
+    "singular_value_threshold",
+    "soft_threshold",
+    "tokenize",
+    "truncated_svd",
+]

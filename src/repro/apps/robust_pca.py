@@ -1,0 +1,246 @@
+"""Robust PCA by inexact ALM — the paper's motivating application.
+
+Section I motivates the need for fast SVD with the video-surveillance
+example of Candès et al. [4]: "it takes 185.2 seconds to recover the
+square matrix with the dimensions of 3000 through running partial SVD
+15 times".  That computation is Robust PCA: split an observation
+matrix ``M`` into a low-rank background ``L`` and a sparse foreground
+``S`` by solving
+
+    minimize ||L||_* + lambda ||S||_1   subject to  M = L + S.
+
+This module implements the standard inexact augmented Lagrange
+multiplier (IALM) algorithm, with the inner singular value thresholding
+running on this library's SVD engines — reproducing exactly the
+"iterative partial SVD" workload profile the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gkr_svd import golub_reinsch_svd
+from repro.core.svd import hestenes_svd
+from repro.util.validation import (
+    as_float_matrix,
+    check_in_choices,
+    check_positive_float,
+    check_positive_int,
+)
+
+__all__ = ["RobustPcaResult", "robust_pca", "soft_threshold", "singular_value_threshold"]
+
+_BACKENDS = ("blocked", "modified", "reference", "preconditioned", "golub_reinsch")
+
+
+def soft_threshold(x: np.ndarray, tau: float) -> np.ndarray:
+    """Elementwise shrinkage ``sign(x) * max(|x| - tau, 0)``."""
+    return np.sign(x) * np.maximum(np.abs(x) - tau, 0.0)
+
+
+def _svd(a: np.ndarray, backend: str, max_sweeps: int):
+    if backend == "golub_reinsch":
+        res = golub_reinsch_svd(a)
+    else:
+        res = hestenes_svd(a, method=backend, max_sweeps=max_sweeps)
+    return res.u, res.s, res.vt
+
+
+def singular_value_threshold(
+    a: np.ndarray, tau: float, *, backend: str = "blocked", max_sweeps: int = 10
+) -> tuple[np.ndarray, int]:
+    """Singular value thresholding: shrink the spectrum of *a* by *tau*.
+
+    Returns ``(D_tau(a), rank)`` where ``D_tau`` zeroes singular values
+    below tau and shrinks the rest — the proximal operator of the
+    nuclear norm, the inner step of every RPCA iteration.
+    """
+    u, s, vt = _svd(a, backend, max_sweeps)
+    shrunk = np.maximum(s - tau, 0.0)
+    rank = int(np.count_nonzero(shrunk))
+    if rank == 0:
+        return np.zeros_like(a), 0
+    return (u[:, :rank] * shrunk[:rank]) @ vt[:rank, :], rank
+
+
+@dataclass
+class RobustPcaResult:
+    """Outcome of a robust PCA decomposition.
+
+    Attributes
+    ----------
+    low_rank : ndarray
+        The recovered low-rank component L (background).
+    sparse : ndarray
+        The recovered sparse component S (foreground/outliers).
+    rank : int
+        Numerical rank of L at termination.
+    iterations : int
+        IALM iterations executed.
+    svd_calls : int
+        Inner SVD invocations (the paper's "running partial SVD 15
+        times" count for its example).
+    residuals : list[float]
+        ``||M - L - S||_F / ||M||_F`` per iteration.
+    converged : bool
+    """
+
+    low_rank: np.ndarray
+    sparse: np.ndarray
+    rank: int
+    iterations: int
+    svd_calls: int
+    residuals: list
+    converged: bool
+
+
+def _partial_svt(
+    a: np.ndarray,
+    tau: float,
+    rank_guess: int,
+    *,
+    seed,
+    max_sweeps: int,
+) -> tuple[np.ndarray, int, int]:
+    """Singular value thresholding via a randomized partial SVD.
+
+    The paper's motivating anecdote runs "partial SVD 15 times": each
+    IALM iteration only needs the singular triples above tau, so a
+    randomized sketch of ``rank_guess`` + margin dimensions suffices —
+    provided the smallest captured value fell below tau (otherwise the
+    sketch may have missed live directions and we escalate).  Returns
+    ``(D_tau(a), rank, new_rank_guess)``.
+    """
+    from repro.apps.truncated import randomized_svd
+
+    k_max = min(a.shape)
+    k = min(max(rank_guess, 1), k_max)
+    while True:
+        if k >= k_max:
+            u, s, vt = _svd(a, "blocked", max_sweeps)
+            break
+        sketch = randomized_svd(
+            a, k, oversample=10, power_iterations=1, seed=seed, max_sweeps=max_sweeps
+        )
+        u, s, vt = sketch.u, sketch.s, sketch.vt
+        if s[-1] <= tau:  # the sketch reached below the threshold
+            break
+        k = min(2 * k, k_max)  # escalate: live directions may be missing
+    shrunk = np.maximum(s - tau, 0.0)
+    rank = int(np.count_nonzero(shrunk))
+    if rank == 0:
+        return np.zeros_like(a), 0, 1
+    low = (u[:, :rank] * shrunk[:rank]) @ vt[:rank, :]
+    # Next iteration's guess: current rank plus headroom (IALM ranks
+    # grow slowly as mu increases).
+    return low, rank, rank + 5
+
+
+def robust_pca(
+    m,
+    *,
+    sparsity_weight: float | None = None,
+    tol: float = 1e-7,
+    max_iterations: int = 100,
+    backend: str = "blocked",
+    max_sweeps: int = 10,
+    partial_rank: int | None = None,
+    seed=0,
+) -> RobustPcaResult:
+    """Decompose ``M = L + S`` with L low-rank and S sparse (IALM).
+
+    Parameters
+    ----------
+    m : array_like
+        Observation matrix (e.g. one video frame per column).
+    sparsity_weight : float, optional
+        The lambda of the objective; defaults to the theoretically
+        optimal ``1 / sqrt(max(rows, cols))`` of Candès et al.
+    tol : float
+        Convergence threshold on the relative constraint residual.
+    max_iterations : int
+        IALM iteration cap.
+    backend : str
+        Inner SVD engine (any Hestenes method or "golub_reinsch").
+    max_sweeps : int
+        Sweep budget of the Jacobi backends.
+    partial_rank : int, optional
+        Initial rank guess enabling *partial* SVD inner steps (the
+        paper anecdote's regime): each thresholding uses a randomized
+        sketch around the expected rank instead of a full
+        decomposition, escalating automatically when the sketch proves
+        too small.  ``None`` (default) runs full SVDs.
+    seed
+        Randomness for the partial-SVD sketches (ignored otherwise).
+
+    Returns
+    -------
+    RobustPcaResult
+    """
+    m = as_float_matrix(m, name="m")
+    check_in_choices(backend, _BACKENDS, name="backend")
+    check_positive_int(max_iterations, name="max_iterations")
+    check_positive_float(tol, name="tol")
+    rows, cols = m.shape
+    lam = (
+        1.0 / np.sqrt(max(rows, cols))
+        if sparsity_weight is None
+        else check_positive_float(sparsity_weight, name="sparsity_weight")
+    )
+
+    norm_fro = float(np.linalg.norm(m))
+    if norm_fro == 0.0:
+        return RobustPcaResult(
+            low_rank=np.zeros_like(m), sparse=np.zeros_like(m), rank=0,
+            iterations=0, svd_calls=0, residuals=[], converged=True,
+        )
+    norm_two = float(np.linalg.norm(m, 2))
+    norm_inf = float(np.max(np.abs(m))) / lam
+    dual_norm = max(norm_two, norm_inf)
+
+    y = m / dual_norm  # dual variable
+    s = np.zeros_like(m)
+    mu = 1.25 / norm_two
+    rho = 1.5
+    mu_cap = mu * 1e7
+
+    residuals: list[float] = []
+    svd_calls = 0
+    rank = 0
+    rank_guess = partial_rank
+    converged = False
+    rng_seed = seed
+    for it in range(1, max_iterations + 1):
+        # L-step: singular value thresholding (full or partial).
+        if rank_guess is not None:
+            l, rank, rank_guess = _partial_svt(
+                m - s + y / mu, 1.0 / mu, rank_guess,
+                seed=(rng_seed, it), max_sweeps=max_sweeps,
+            )
+        else:
+            l, rank = singular_value_threshold(
+                m - s + y / mu, 1.0 / mu, backend=backend, max_sweeps=max_sweeps
+            )
+        svd_calls += 1
+        # S-step: elementwise shrinkage.
+        s = soft_threshold(m - l + y / mu, lam / mu)
+        # Dual update.
+        z = m - l - s
+        y = y + mu * z
+        mu = min(mu * rho, mu_cap)
+        residual = float(np.linalg.norm(z)) / norm_fro
+        residuals.append(residual)
+        if residual < tol:
+            converged = True
+            break
+    return RobustPcaResult(
+        low_rank=l,
+        sparse=s,
+        rank=rank,
+        iterations=len(residuals),
+        svd_calls=svd_calls,
+        residuals=residuals,
+        converged=converged,
+    )

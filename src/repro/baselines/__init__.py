@@ -1,0 +1,77 @@
+"""Baselines: every comparator in the paper's evaluation, from scratch.
+
+* :mod:`repro.baselines.householder` / :mod:`golub_kahan_qr` /
+  :mod:`gkr_svd` — the MATLAB/LAPACK-style Golub-Reinsch SVD
+  (Householder bidiagonalization + implicit-shift QR), runnable.
+* :mod:`repro.baselines.twosided_jacobi` — the classic two-sided Jacobi
+  SVD (square-only), runnable.
+* :mod:`repro.baselines.systolic_model` — Brent-Luk systolic-array
+  capacity/timing model (the related FPGA architecture family).
+* :mod:`repro.baselines.plain_hestenes` — the non-caching Hestenes
+  baseline ([12]-style) and its fixed-point FPGA timing anchor.
+* :mod:`repro.baselines.sw_model` / :mod:`gpu_model` — calibrated
+  timing models of the paper's MATLAB, MKL and GPU comparison curves.
+"""
+
+from repro.baselines.cordic_jacobi import CordicSvdResult, cordic_hestenes_svd
+from repro.baselines.divide_conquer import cuppen_tridiagonal_eigh, dc_svd, secular_roots
+from repro.baselines.gkr_svd import gkr_flops, golub_reinsch_svd
+from repro.baselines.lanczos import lanczos_bidiagonalization, lanczos_svd
+from repro.baselines.golub_kahan_qr import (
+    BidiagonalQRError,
+    givens,
+    qr_iterate_bidiagonal,
+)
+from repro.baselines.gpu_model import (
+    GPU_8800_MODEL,
+    GPU_HESTENES_POINTS,
+    GpuTimingModel,
+    gpu_hestenes_seconds,
+)
+from repro.baselines.householder import (
+    apply_reflector_left,
+    apply_reflector_right,
+    bidiagonalize,
+    householder_vector,
+)
+from repro.baselines.plain_hestenes import (
+    FIXED_POINT_LIMIT,
+    fixed_point_fpga_seconds,
+    plain_hestenes_svd,
+    recompute_ratio,
+)
+from repro.baselines.sw_model import MATLAB_MODEL, MKL_MODEL, SoftwareTimingModel
+from repro.baselines.systolic_model import SystolicArrayModel
+from repro.baselines.twosided_jacobi import two_sided_jacobi_svd
+
+__all__ = [
+    "BidiagonalQRError",
+    "CordicSvdResult",
+    "FIXED_POINT_LIMIT",
+    "cordic_hestenes_svd",
+    "cuppen_tridiagonal_eigh",
+    "dc_svd",
+    "lanczos_bidiagonalization",
+    "lanczos_svd",
+    "secular_roots",
+    "GPU_8800_MODEL",
+    "GPU_HESTENES_POINTS",
+    "GpuTimingModel",
+    "MATLAB_MODEL",
+    "MKL_MODEL",
+    "SoftwareTimingModel",
+    "SystolicArrayModel",
+    "apply_reflector_left",
+    "apply_reflector_right",
+    "bidiagonalize",
+    "fixed_point_fpga_seconds",
+    "gkr_flops",
+    "givens",
+    "golub_reinsch_svd",
+    "gpu_hestenes_seconds",
+    "householder_vector",
+    "plain_hestenes_svd",
+    "qr_iterate_bidiagonal",
+    "recompute_ratio",
+    "two_sided_jacobi_svd",
+]

@@ -1,0 +1,326 @@
+"""Divide-and-conquer SVD (Cuppen / Gu-Eisenstat) — related work [18].
+
+Section III cites divide-and-conquer iterations (Gu & Eisenstat) as the
+other production route from a bidiagonal matrix to singular values.
+This module implements the full pipeline from scratch:
+
+1. Golub-Kahan bidiagonalization (reused from
+   :mod:`repro.baselines.householder`),
+2. the tridiagonal ``T = BᵀB`` (explicitly formed — B is bidiagonal so
+   T is tridiagonal, no densification),
+3. Cuppen's recursion on T: split into two tridiagonals plus a rank-one
+   correction, solve children recursively, and merge by solving the
+   *secular equation* ``1 + rho sum(z_i^2 / (d_i - lam)) = 0``,
+4. deflation of negligible rank-one components and (near-)duplicate
+   poles, with Givens rotations concentrating duplicate weight,
+5. the Gu-Eisenstat device: after the roots are found, *recompute* the
+   rank-one vector from the root/pole configuration (Löwner identity),
+   which restores mutually orthogonal eigenvectors even when roots
+   cluster — the insight that made D&C numerically viable.
+
+Accuracy note: going through ``BᵀB`` squares the condition number, so
+tiny singular values resolve to ``sqrt(eps) * sigma_max`` — same class
+as the paper's covariance-cached algorithm, and contrasted against the
+direct engines in the accuracy study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.householder import bidiagonalize
+from repro.core.result import SVDResult
+from repro.core.symeig import jacobi_eigh
+from repro.util.numerics import sort_svd
+from repro.util.validation import as_float_matrix
+
+__all__ = ["secular_roots", "cuppen_tridiagonal_eigh", "dc_svd"]
+
+_BASE_SIZE = 16
+
+
+def _secular_f(lam: float, d: np.ndarray, z2: np.ndarray, rho: float) -> float:
+    return 1.0 + rho * float(np.sum(z2 / (d - lam)))
+
+
+def secular_roots(d: np.ndarray, z: np.ndarray, rho: float) -> np.ndarray:
+    """Eigenvalues of ``diag(d) + rho z zᵀ`` (d strictly ascending, rho > 0,
+    all z_i nonzero) by safeguarded bisection on the secular equation.
+
+    The i-th root lies strictly in (d_i, d_{i+1}); the last in
+    (d_n, d_n + rho ||z||^2).  Bisection on the monotone-per-interval
+    secular function is unconditionally convergent; 120 halvings reach
+    the double-precision resolution of each bracket.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    n = d.size
+    z2 = z * z
+    roots = np.empty(n)
+    znorm2 = float(np.sum(z2))
+    for i in range(n):
+        if i < n - 1:
+            lo, hi = float(d[i]), float(d[i + 1])
+        else:
+            lo, hi = float(d[n - 1]), float(d[n - 1] + rho * znorm2)
+        # Bracket strictly inside the pole interval: one ulp off each
+        # endpoint (a fixed relative nudge underflows for narrow
+        # intervals and can land exactly on a pole, where the divided
+        # term comes out +inf instead of the correct -inf).
+        a = np.nextafter(lo, hi)
+        b = np.nextafter(hi, lo)
+        if not a < b:
+            roots[i] = 0.5 * (lo + hi)
+            continue
+        # As lam -> d_i^+ the i-th term -> -inf, as lam -> d_{i+1}^- the
+        # (i+1)-th term -> +inf: f crosses zero from below inside the
+        # bracket (f is strictly increasing between consecutive poles).
+        fa = _secular_f(a, d, z2, rho)
+        fb = _secular_f(b, d, z2, rho)
+        if fa >= 0:
+            roots[i] = a
+            continue
+        if fb <= 0:
+            roots[i] = b
+            continue
+        for _ in range(120):
+            mid = 0.5 * (a + b)
+            if not (a < mid < b):
+                break
+            if _secular_f(mid, d, z2, rho) < 0.0:
+                a = mid
+            else:
+                b = mid
+        roots[i] = 0.5 * (a + b)
+    return roots
+
+
+def _gu_eisenstat_z(d: np.ndarray, roots: np.ndarray, rho: float) -> np.ndarray:
+    """Recompute |z| from the root/pole configuration (Löwner identity).
+
+    With d and the interlacing roots both ascending
+    (``d_i < roots_i < d_{i+1}``, ``roots_n > d_n``), the rank-one
+    weight satisfies (LAPACK dlaed4 / Gu-Eisenstat 1995)::
+
+        z_i^2 = (roots_n - d_i) / rho
+                * prod_{j < i}  (roots_j - d_i) / (d_j     - d_i)
+                * prod_{i <= j < n} (roots_j - d_i) / (d_{j+1} - d_i)
+
+    Every paired ratio is positive and O(1), so the product is
+    cancellation-free.  Using this ẑ in the eigenvector formula keeps
+    the vectors numerically orthogonal even for clustered roots — the
+    device that made divide-and-conquer viable.
+    """
+    n = d.size
+    z2 = np.empty(n)
+    for i in range(n):
+        val = (roots[n - 1] - d[i]) / rho
+        for j in range(i):
+            val *= (roots[j] - d[i]) / (d[j] - d[i])
+        for j in range(i, n - 1):
+            val *= (roots[j] - d[i]) / (d[j + 1] - d[i])
+        z2[i] = abs(val)
+    return np.sqrt(z2)
+
+
+def _rank_one_update(d: np.ndarray, z: np.ndarray, rho: float):
+    """Eigendecomposition of ``diag(d) + rho z zᵀ`` with deflation.
+
+    Returns ``(w, q)`` with columns of q the eigenvectors.  Handles
+    rho of either sign (negated problems are solved as ``-(diag(-d)
+    + |rho| z zᵀ)``), zero z components and duplicate d entries.
+    """
+    n = d.size
+    if rho < 0:
+        w, q = _rank_one_update(-d[::-1], z[::-1], -rho)
+        return -w[::-1], q[::-1, :][:, ::-1]
+    norm_scale = max(float(np.max(np.abs(d))), rho * float(z @ z), 1e-300)
+    tol = 1e-14 * norm_scale
+
+    # Sort poles ascending.
+    order = np.argsort(d)
+    d_s = d[order].copy()
+    z_s = z[order].copy()
+
+    # Deflation 1: duplicate poles — rotate weight onto one of the pair.
+    givens: list[tuple[int, int, float, float]] = []
+    for i in range(n - 1):
+        if d_s[i + 1] - d_s[i] <= tol and abs(z_s[i]) > 0:
+            r = np.hypot(z_s[i], z_s[i + 1])
+            if r == 0:
+                continue
+            c, s = z_s[i + 1] / r, z_s[i] / r
+            givens.append((i, i + 1, c, s))
+            z_s[i + 1] = r
+            z_s[i] = 0.0
+
+    # Deflation 2: negligible z components keep their pole unchanged.
+    active = np.abs(z_s) > tol
+    idx_active = np.where(active)[0]
+    idx_deflated = np.where(~active)[0]
+
+    w = np.empty(n)
+    q_s = np.zeros((n, n))
+    w[idx_deflated] = d_s[idx_deflated]
+    q_s[idx_deflated, idx_deflated] = 1.0
+
+    if idx_active.size:
+        da = d_s[idx_active]
+        za = z_s[idx_active]
+        roots = secular_roots(da, za, rho)
+        z_hat = _gu_eisenstat_z(da, roots, rho) * np.sign(za)
+        for col, lam in enumerate(roots):
+            gaps = da - lam
+            if np.any(gaps == 0.0):
+                # A root landed exactly on a pole (possible only when
+                # that pole's weight is at the deflation edge): the
+                # eigenvector is that coordinate axis.
+                vec = np.zeros_like(da)
+                vec[np.argmin(np.abs(gaps))] = 1.0
+                norm = 1.0
+            else:
+                vec = z_hat / gaps
+                norm = np.linalg.norm(vec)
+                if norm == 0 or not np.isfinite(norm):
+                    vec = np.zeros_like(vec)
+                    vec[col] = 1.0
+                    norm = 1.0
+            q_s[idx_active, idx_active[col]] = vec / norm
+        w[idx_active] = roots
+
+    # Undo the duplicate-pole rotations: with G [0, r]ᵀ = [z_i, z_j]ᵀ
+    # (G = [[c, s], [-s, c]]), the original eigenvectors are G applied
+    # to the rotated problem's rows.
+    for i, j, c, s in reversed(givens):
+        row_i = q_s[i, :].copy()
+        q_s[i, :] = c * row_i + s * q_s[j, :]
+        q_s[j, :] = -s * row_i + c * q_s[j, :]
+
+    # Undo the sort.
+    q = np.empty_like(q_s)
+    q[order, :] = q_s
+    # Sort eigenvalues ascending for the caller.
+    asc = np.argsort(w)
+    return w[asc], q[:, asc]
+
+
+def cuppen_tridiagonal_eigh(diag, off):
+    """Eigendecomposition of a symmetric tridiagonal matrix by D&C.
+
+    Parameters
+    ----------
+    diag, off : array_like
+        Diagonal (n) and off-diagonal (n-1) of T.
+
+    Returns
+    -------
+    (w, q) : eigenvalues ascending, orthogonal eigenvectors.
+    """
+    diag = np.asarray(diag, dtype=np.float64).copy()
+    off = np.asarray(off, dtype=np.float64).copy()
+    n = diag.size
+    if off.size != max(n - 1, 0):
+        raise ValueError("off must have length n-1")
+    if n <= _BASE_SIZE:
+        t = np.diag(diag) + np.diag(off, 1) + np.diag(off, -1)
+        return jacobi_eigh(t)
+
+    m = n // 2
+    beta = float(off[m - 1])
+    if beta == 0.0:
+        w1, q1 = cuppen_tridiagonal_eigh(diag[:m], off[: m - 1])
+        w2, q2 = cuppen_tridiagonal_eigh(diag[m:], off[m:])
+        w = np.concatenate([w1, w2])
+        q = np.zeros((n, n))
+        q[:m, :m] = q1
+        q[m:, m:] = q2
+        asc = np.argsort(w)
+        return w[asc], q[:, asc]
+
+    # T = blkdiag(T1', T2') + beta u uᵀ with u = e_m + e_{m+1} and the
+    # touched diagonal entries reduced by beta.
+    d1 = diag[:m].copy()
+    d1[-1] -= beta
+    d2 = diag[m:].copy()
+    d2[0] -= beta
+    w1, q1 = cuppen_tridiagonal_eigh(d1, off[: m - 1])
+    w2, q2 = cuppen_tridiagonal_eigh(d2, off[m:])
+
+    d = np.concatenate([w1, w2])
+    z = np.concatenate([q1[-1, :], q2[0, :]])
+    w, qz = _rank_one_update(d, z, beta)
+
+    q = np.zeros((n, n))
+    q[:m, : q1.shape[1]] = q1
+    q[m:, q1.shape[1] :] = q2
+    return w, q @ qz
+
+
+def dc_svd(a, *, compute_uv: bool = True) -> SVDResult:
+    """SVD by bidiagonalization + divide-and-conquer on ``T = BᵀB``.
+
+    The Gu-Eisenstat related-work baseline ([18]); singular values are
+    ``sqrt`` of T's eigenvalues, right vectors from the eigenvectors,
+    left vectors via ``A v / sigma`` (columns below the rank cutoff
+    completed to an orthonormal basis, as in the Hestenes engines).
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    if m < n:
+        res = dc_svd(a.T, compute_uv=compute_uv)
+        if compute_uv:
+            return SVDResult(s=res.s, u=res.vt.T, vt=res.u.T,
+                             method="divide_conquer", converged=True)
+        return SVDResult(s=res.s, method="divide_conquer", converged=True)
+
+    # Normalize to unit max magnitude: T = BᵀB squares the scale, so
+    # inputs beyond ~1e154 would overflow the tridiagonal.  Singular
+    # values scale linearly; factors are scale-invariant.
+    a_scale = float(np.max(np.abs(a)))
+    if a_scale > 0.0 and a_scale != 1.0:
+        a = a / a_scale
+    else:
+        a_scale = 1.0
+
+    u_b, d_b, e_b, vt_b = bidiagonalize(a, compute_uv=compute_uv)
+    # T = BᵀB: tridiagonal with diag d_i^2 + e_{i-1}^2 and off-diagonal
+    # (BᵀB)_{i, i+1} = d_i e_i (column i holds d_i and e_{i-1}).
+    t_diag = d_b**2
+    if n > 1:
+        t_diag[1:] += e_b**2
+        t_off = d_b[:-1] * e_b
+    else:
+        t_off = np.zeros(0)
+    w, q = cuppen_tridiagonal_eigh(t_diag, t_off)
+    w = np.where(w < 0, 0.0, w)
+    sigma = np.sqrt(w)[::-1]  # descending
+    q = q[:, ::-1]
+
+    if not compute_uv:
+        _, s, _ = sort_svd(None, sigma.copy(), None)
+        return SVDResult(
+            s=s[: min(m, n)] * a_scale, method="divide_conquer", converged=True
+        )
+
+    # Right vectors of B are q; lift through the bidiagonalization.
+    vt = q.T @ vt_b
+    # Left vectors: u_l = B q_l / sigma_l, computed through A's factors.
+    b_mat = np.diag(d_b) + (np.diag(e_b, 1) if n > 1 else 0.0)
+    bu = b_mat @ q
+    u_small = np.zeros((n, n))
+    cutoff = (sigma[0] if sigma.size else 0.0) * max(m, n) * np.finfo(np.float64).eps
+    nonzero = sigma > cutoff
+    u_small[:, nonzero] = bu[:, nonzero] / sigma[nonzero]
+    from repro.core.hestenes import _complete_orthonormal
+
+    zero_cols = np.linalg.norm(u_small, axis=0) < 0.5
+    if np.any(zero_cols):
+        u_small = _complete_orthonormal(u_small, zero_cols)
+    u = u_b @ u_small
+    u_sorted, s, vt_sorted = sort_svd(u, sigma.copy(), vt)
+    return SVDResult(
+        s=s[: min(m, n)] * a_scale,
+        u=u_sorted[:, : min(m, n)],
+        vt=vt_sorted[: min(m, n), :],
+        method="divide_conquer", converged=True,
+    )

@@ -1,0 +1,217 @@
+"""Implicit-shift QR iteration on a bidiagonal matrix (Golub-Kahan).
+
+The second half of the Golub-Reinsch SVD: given the bidiagonal
+``B = diag(d) + superdiag(e)`` from
+:func:`repro.baselines.householder.bidiagonalize`, repeated implicit
+Wilkinson-shift QR steps drive the superdiagonal to zero; the diagonal
+converges to the singular values.  Left/right Givens rotations are
+optionally accumulated into U and Vᵀ.
+
+Implementation follows Golub & Van Loan, Algorithm 8.6.1 (svd step) and
+8.6.2 (driver with decoupling and zero-diagonal deflation):
+
+* superdiagonal entries with ``|e[i]| <= tol * (|d[i]| + |d[i+1]|)``
+  are set to zero (decoupling);
+* a zero diagonal entry inside an unreduced block is eliminated by a
+  sweep of left Givens rotations that zeroes its row;
+* the trailing unreduced block gets one QR step per iteration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["givens", "qr_iterate_bidiagonal", "BidiagonalQRError"]
+
+
+class BidiagonalQRError(RuntimeError):
+    """QR iteration failed to converge within the iteration budget."""
+
+
+def givens(f: float, g: float) -> tuple[float, float, float]:
+    """Stable Givens rotation: returns (c, s, r) with
+    ``[[c, s], [-s, c]] @ [f, g]ᵀ = [r, 0]ᵀ``."""
+    if g == 0.0:
+        return 1.0, 0.0, f
+    if f == 0.0:
+        return 0.0, 1.0, g
+    r = math.hypot(f, g)
+    return f / r, g / r, r
+
+
+def _wilkinson_shift(d: np.ndarray, e: np.ndarray, lo: int, hi: int) -> float:
+    """Shift: eigenvalue of the trailing 2x2 of BᵀB closest to its
+    bottom-right entry (Wilkinson), computed without forming BᵀB."""
+    # Trailing 2x2 of T = BᵀB for the block [lo, hi]:
+    #   [ d[hi-1]^2 + e[hi-2]^2      d[hi-1] e[hi-1]        ]
+    #   [ d[hi-1] e[hi-1]            d[hi]^2 + e[hi-1]^2    ]
+    dm = d[hi - 1]
+    dn = d[hi]
+    em = e[hi - 1]
+    el = e[hi - 2] if hi - 2 >= lo else 0.0
+    t11 = dm * dm + el * el
+    t12 = dm * em
+    t22 = dn * dn + em * em
+    delta = (t11 - t22) / 2.0
+    if delta == 0.0 and t12 == 0.0:
+        return t22
+    denom = delta + math.copysign(math.hypot(delta, t12), delta if delta != 0 else 1.0)
+    if denom == 0.0:
+        return t22
+    return t22 - t12 * t12 / denom
+
+
+def _svd_step(
+    d: np.ndarray,
+    e: np.ndarray,
+    lo: int,
+    hi: int,
+    u: np.ndarray | None,
+    vt: np.ndarray | None,
+) -> None:
+    """One implicit-shift QR step on the unreduced block [lo, hi]."""
+    mu = _wilkinson_shift(d, e, lo, hi)
+    y = d[lo] * d[lo] - mu
+    z = d[lo] * e[lo]
+    for k in range(lo, hi):
+        # Right rotation on columns (k, k+1).
+        c, s, _ = givens(y, z)
+        if k > lo:
+            e[k - 1] = c * e[k - 1] + s * z_bulge
+        dk = d[k]
+        ek = e[k]
+        d[k] = c * dk + s * ek
+        e[k] = -s * dk + c * ek
+        z_bulge = s * d[k + 1]
+        d[k + 1] = c * d[k + 1]
+        if vt is not None:
+            rk = vt[k, :].copy()
+            vt[k, :] = c * rk + s * vt[k + 1, :]
+            vt[k + 1, :] = -s * rk + c * vt[k + 1, :]
+        # Left rotation on rows (k, k+1).
+        c, s, r = givens(d[k], z_bulge)
+        d[k] = r
+        ek = e[k]
+        e[k] = c * ek + s * d[k + 1]
+        d[k + 1] = -s * ek + c * d[k + 1]
+        if k < hi - 1:
+            z_bulge = s * e[k + 1]
+            e[k + 1] = c * e[k + 1]
+        if u is not None:
+            ck = u[:, k].copy()
+            u[:, k] = c * ck + s * u[:, k + 1]
+            u[:, k + 1] = -s * ck + c * u[:, k + 1]
+        y = e[k]
+        if k < hi - 1:
+            z = z_bulge
+
+
+def _zero_row_sweep(
+    d: np.ndarray,
+    e: np.ndarray,
+    i: int,
+    hi: int,
+    u: np.ndarray | None,
+) -> None:
+    """Eliminate the superdiagonal of a zero diagonal entry d[i] == 0.
+
+    Left Givens rotations against rows i+1..hi push e[i] off the end,
+    zeroing row i of the block (GVL 8.6.2's zero-diagonal case).
+    """
+    f = e[i]
+    e[i] = 0.0
+    for j in range(i + 1, hi + 1):
+        c, s, r = givens(d[j], f)
+        d[j] = r
+        if j < hi:
+            f = -s * e[j]
+            e[j] = c * e[j]
+        if u is not None:
+            cj = u[:, j].copy()
+            u[:, j] = c * cj + s * u[:, i]
+            u[:, i] = -s * cj + c * u[:, i]
+
+
+def qr_iterate_bidiagonal(
+    d,
+    e,
+    u: np.ndarray | None = None,
+    vt: np.ndarray | None = None,
+    *,
+    tol: float = 1e-15,
+    max_iterations: int | None = None,
+):
+    """Diagonalize an upper bidiagonal matrix in place.
+
+    Parameters
+    ----------
+    d, e : array_like
+        Diagonal (length n) and superdiagonal (length n-1); modified in
+        place (copies are made of the inputs).
+    u, vt : numpy.ndarray, optional
+        Factor matrices updated by the applied rotations (columns of u,
+        rows of vt).  Modified in place when given.
+    tol : float
+        Relative decoupling threshold.
+    max_iterations : int, optional
+        Iteration budget; default ``30 * n`` QR steps (the LAPACK
+        heuristic).  Exceeding it raises :class:`BidiagonalQRError`.
+
+    Returns
+    -------
+    (d, u, vt)
+        ``d`` holds the (unsorted, possibly signed) singular values.
+    """
+    d = np.asarray(d, dtype=np.float64).copy()
+    e = np.asarray(e, dtype=np.float64).copy()
+    n = d.size
+    if e.size != max(n - 1, 0):
+        raise ValueError(f"e must have length n-1 = {n - 1}, got {e.size}")
+    if n == 0:
+        return d, u, vt
+    # Normalize to unit max magnitude: the Wilkinson shift squares
+    # diagonal entries, which overflows past 1e154; Givens rotations
+    # and singular values are scale-equivariant, so iterate on the
+    # scaled problem and scale back at the end.
+    scale = float(max(np.max(np.abs(d)), np.max(np.abs(e)) if e.size else 0.0))
+    if scale > 0.0 and scale != 1.0:
+        d /= scale
+        e /= scale
+    budget = 30 * n if max_iterations is None else max_iterations
+
+    hi = n - 1
+    iterations = 0
+    while hi > 0:
+        # Decouple negligible superdiagonals.
+        for i in range(hi):
+            if abs(e[i]) <= tol * (abs(d[i]) + abs(d[i + 1])):
+                e[i] = 0.0
+        # Shrink the active block from the bottom.
+        while hi > 0 and e[hi - 1] == 0.0:
+            hi -= 1
+        if hi == 0:
+            break
+        lo = hi - 1
+        while lo > 0 and e[lo - 1] != 0.0:
+            lo -= 1
+        # Zero diagonal inside the block: deflate it explicitly.
+        deflated = False
+        for i in range(lo, hi):
+            if d[i] == 0.0:
+                _zero_row_sweep(d, e, i, hi, u)
+                deflated = True
+                break
+        if deflated:
+            continue
+        _svd_step(d, e, lo, hi, u, vt)
+        iterations += 1
+        if iterations > budget:
+            raise BidiagonalQRError(
+                f"no convergence after {iterations} QR steps "
+                f"(block [{lo}, {hi}], e = {e[lo:hi]})"
+            )
+    if scale > 0.0 and scale != 1.0:
+        d *= scale
+    return d, u, vt

@@ -1,0 +1,123 @@
+"""Householder reflections and Golub-Kahan bidiagonalization.
+
+This is the software-baseline substrate: "optimized software
+implementations (e.g., MATLAB, LAPACK) employ the Householder
+transformation" (paper, Section I).  We implement the full
+Golub-Kahan bidiagonalization from scratch: alternating left/right
+Householder reflectors reduce an m x n matrix (m >= n) to upper
+bidiagonal form ``B = Uᵀ A V``, after which the implicit-shift QR
+iteration of :mod:`repro.baselines.golub_kahan_qr` produces singular
+values.
+
+The reflector convention is ``H = I - beta v vᵀ`` with ``v[0] = 1``
+(LAPACK style), applied as a rank-one update — O(mn) per reflector, so
+bidiagonalization costs the textbook ``4 m n^2 - 4 n^3 / 3`` flops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import as_float_matrix
+
+__all__ = ["householder_vector", "apply_reflector_left", "apply_reflector_right", "bidiagonalize"]
+
+
+def householder_vector(x: np.ndarray) -> tuple[np.ndarray, float]:
+    """Compute (v, beta) with ``(I - beta v vᵀ) x = ||x|| e1`` and v[0]=1.
+
+    Uses the sign choice that avoids cancellation (the reflected vector
+    points away from x's first component), as in LAPACK's dlarfg.
+    Returns beta = 0 for x already proportional to e1 (no reflection).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("x must be a non-empty vector")
+    # Scale to unit max magnitude: v is invariant under scaling of x,
+    # and this keeps sigma/v0 out of the denormal range (LAPACK dlarfg
+    # rescales for the same reason).
+    xmax = float(np.max(np.abs(x)))
+    if xmax == 0.0:
+        return np.concatenate(([1.0], np.zeros(x.size - 1))), 0.0
+    v = x / xmax
+    sigma = float(v[1:] @ v[1:])
+    alpha = float(v[0])
+    norm_sq = alpha * alpha + sigma
+    eps = np.finfo(np.float64).eps
+    # A tail below eps^2 of the squared norm is unreflectable in
+    # float64 (beta would underflow while v/v0 overflows); skipping it
+    # leaves a residual of at most eps * ||x||.
+    if sigma <= (eps * eps) * norm_sq:
+        return np.concatenate(([1.0], np.zeros(x.size - 1))), 0.0
+    norm_x = np.sqrt(norm_sq)
+    # v0 = alpha - (+-norm): pick the sign that adds magnitudes.
+    v0 = alpha - norm_x if alpha <= 0 else -sigma / (alpha + norm_x)
+    beta = 2.0 * v0 * v0 / (sigma + v0 * v0)
+    v = v / v0
+    v[0] = 1.0
+    return v, beta
+
+
+def apply_reflector_left(a: np.ndarray, v: np.ndarray, beta: float) -> None:
+    """In-place ``A <- (I - beta v vᵀ) A`` (rows of A combined)."""
+    if beta == 0.0:
+        return
+    w = beta * (v @ a)
+    a -= np.outer(v, w)
+
+
+def apply_reflector_right(a: np.ndarray, v: np.ndarray, beta: float) -> None:
+    """In-place ``A <- A (I - beta v vᵀ)`` (columns of A combined)."""
+    if beta == 0.0:
+        return
+    w = beta * (a @ v)
+    a -= np.outer(w, v)
+
+
+def bidiagonalize(
+    a, *, compute_uv: bool = True
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Golub-Kahan bidiagonalization of an m x n matrix with m >= n.
+
+    Returns ``(u, d, e, vt)``: ``u`` is m x n with orthonormal columns,
+    ``d`` (length n) the diagonal, ``e`` (length n-1) the
+    superdiagonal, ``vt`` is n x n orthogonal, such that
+    ``a = u @ B @ vt`` with B the upper bidiagonal matrix built from
+    (d, e).  With ``compute_uv=False``, ``u`` and ``vt`` are None.
+
+    Raises ``ValueError`` when m < n — call with the transpose and swap
+    factors, as :func:`repro.baselines.gkr_svd.golub_reinsch_svd` does.
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    if m < n:
+        raise ValueError("bidiagonalize requires m >= n; transpose first")
+    work = a.copy()
+    u = np.eye(m, n) if compute_uv else None
+    v = np.eye(n) if compute_uv else None
+
+    # Store reflectors to apply to U in backward order (cheaper than
+    # carrying a full m x m U through the reduction).
+    left_reflectors: list[tuple[int, np.ndarray, float]] = []
+    for k in range(n):
+        # Left reflector: zero below-diagonal of column k.
+        vk, beta = householder_vector(work[k:, k])
+        apply_reflector_left(work[k:, k:], vk, beta)
+        left_reflectors.append((k, vk, beta))
+        if k < n - 2:
+            # Right reflector: zero to the right of the superdiagonal
+            # in row k.
+            vk, beta = householder_vector(work[k, k + 1 :])
+            apply_reflector_right(work[k:, k + 1 :], vk, beta)
+            if v is not None:
+                apply_reflector_right(v[:, k + 1 :], vk, beta)
+
+    if compute_uv:
+        # U = H_0 H_1 ... H_{n-1} (first n columns): apply backwards.
+        for k, vk, beta in reversed(left_reflectors):
+            apply_reflector_left(u[k:, :], vk, beta)
+
+    d = np.diag(work[:n, :n]).copy()
+    e = np.diag(work[:n, :n], k=1).copy()
+    vt = v.T if compute_uv else None
+    return u, d, e, vt

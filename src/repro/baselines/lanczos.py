@@ -1,0 +1,165 @@
+"""Golub-Kahan-Lanczos partial bidiagonalization and partial SVD.
+
+The literal algorithm behind "running partial SVD 15 times" in the
+paper's video-surveillance anecdote ([4] uses PROPACK-style Lanczos):
+build an l-step Krylov bidiagonalization
+
+    ``A V_l = U_l B_l,   Aᵀ U_l = V_l B_lᵀ + beta_l v_{l+1} e_lᵀ``
+
+with ``B_l`` lower-bidiagonal, then take the SVD of the small ``B_l``
+(via :mod:`repro.baselines.golub_kahan_qr` — our own implementation all
+the way down) and lift its top-k triples.  Full reorthogonalization
+keeps the Krylov bases orthonormal in floating point (the classic
+Lanczos failure mode, covered by tests).
+
+Complements :func:`repro.apps.truncated.randomized_svd`: Lanczos
+converges faster per matrix-vector product on strongly decaying
+spectra; the randomized sketch parallelizes better — both feed the
+accelerator-friendly "few columns" inner problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.golub_kahan_qr import qr_iterate_bidiagonal
+from repro.core.result import SVDResult
+from repro.util.rng import default_rng
+from repro.util.validation import as_float_matrix, check_positive_int
+
+__all__ = ["lanczos_bidiagonalization", "lanczos_svd"]
+
+
+def lanczos_bidiagonalization(
+    a,
+    steps: int,
+    *,
+    seed=None,
+    reorthogonalize: bool = True,
+):
+    """l-step Golub-Kahan-Lanczos process.
+
+    Returns ``(u, alphas, betas, v)`` with ``u``: (m, l), ``v``: (n, l)
+    orthonormal and the *upper*-bidiagonal ``B_l`` given by diagonal
+    *alphas* (length l) and superdiagonal *betas* (length l-1): the
+    recurrences ``A v_j = alpha_j u_j + beta_{j-1} u_{j-1}`` and
+    ``Aᵀ u_j = alpha_j v_j + beta_j v_{j+1}`` give
+    ``U_lᵀ A V_l = B_l`` on the Krylov space.
+
+    Parameters
+    ----------
+    a : array_like
+        Input m x n matrix.
+    steps : int
+        Krylov steps l (at most min(m, n)).
+    seed
+        Starting-vector randomness.
+    reorthogonalize : bool
+        Full reorthogonalization against all previous basis vectors
+        (O(l m) extra per step).  Without it, finite precision re-admits
+        converged directions — demonstrated in the tests.
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    steps = check_positive_int(steps, name="steps")
+    if steps > min(m, n):
+        raise ValueError(f"steps={steps} exceeds min(m, n)={min(m, n)}")
+    rng = default_rng(seed)
+
+    v = np.zeros((n, steps))
+    u = np.zeros((m, steps))
+    alphas = np.zeros(steps)
+    betas = np.zeros(max(steps - 1, 0))
+
+    vj = rng.standard_normal(n)
+    vj /= np.linalg.norm(vj)
+    uj_prev = None
+    for j in range(steps):
+        v[:, j] = vj
+        # u_j = A v_j - beta_{j-1} u_{j-1}
+        w = a @ vj
+        if j > 0:
+            w -= betas[j - 1] * uj_prev
+        if reorthogonalize and j > 0:
+            w -= u[:, :j] @ (u[:, :j].T @ w)
+        alpha = float(np.linalg.norm(w))
+        if alpha == 0.0:
+            # Exact breakdown: the Krylov space is invariant; restart
+            # with a fresh random direction orthogonal to U so the
+            # factorization stays well defined.
+            w = rng.standard_normal(m)
+            w -= u[:, :j] @ (u[:, :j].T @ w)
+            alpha_restart = np.linalg.norm(w)
+            if alpha_restart == 0.0:
+                u = u[:, : j + 1]
+                v = v[:, : j + 1]
+                return u, alphas[: j + 1], betas[:j], v
+            w /= alpha_restart
+            alpha = 0.0
+            uj = w
+        else:
+            uj = w / alpha
+        alphas[j] = alpha
+        u[:, j] = uj
+        if j == steps - 1:
+            break
+        # v_{j+1} = Aᵀ u_j - alpha_j v_j
+        z = a.T @ uj - alpha * vj
+        if reorthogonalize:
+            z -= v[:, : j + 1] @ (v[:, : j + 1].T @ z)
+        beta = float(np.linalg.norm(z))
+        if beta == 0.0:
+            z = rng.standard_normal(n)
+            z -= v[:, : j + 1] @ (v[:, : j + 1].T @ z)
+            norm_z = np.linalg.norm(z)
+            if norm_z == 0.0:
+                u = u[:, : j + 1]
+                v = v[:, : j + 1]
+                return u, alphas[: j + 1], betas[:j], v
+            z /= norm_z
+            beta = 0.0
+            vj = z
+        else:
+            vj = z / beta
+        betas[j] = beta
+        uj_prev = uj
+    return u, alphas, betas, v
+
+
+def lanczos_svd(
+    a,
+    k: int,
+    *,
+    extra_steps: int = 10,
+    seed=None,
+) -> SVDResult:
+    """Partial SVD: top-k triples via Lanczos bidiagonalization.
+
+    Runs ``k + extra_steps`` Krylov steps (the Ritz values at the top
+    of the spectrum converge first; the margin buys accuracy), then
+    decomposes the small bidiagonal with the library's own QR iteration.
+    """
+    a = as_float_matrix(a, name="a")
+    k = check_positive_int(k, name="k")
+    if k > min(a.shape):
+        raise ValueError(f"k={k} exceeds min(m, n)={min(a.shape)}")
+    steps = min(k + extra_steps, min(a.shape))
+    u_l, alphas, betas, v_l = lanczos_bidiagonalization(a, steps, seed=seed)
+
+    # B is upper bidiagonal: decompose it with the library's own QR
+    # iteration, then lift: A ~ (U_l P) diag(d) (Qᵀ V_lᵀ).
+    l = len(alphas)
+    d, p, qt = qr_iterate_bidiagonal(alphas, betas, np.eye(l), np.eye(l))
+    order = np.argsort(np.abs(d))[::-1]
+    signs = np.sign(d[order])
+    signs[signs == 0] = 1.0
+    u = (u_l @ p[:, order]) * signs  # fold signs into U
+    vt = qt[order, :] @ v_l.T
+    s_sorted = np.abs(d[order])
+    return SVDResult(
+        s=s_sorted[:k].copy(),
+        u=u[:, :k].copy(),
+        vt=vt[:k, :].copy(),
+        method="lanczos",
+        converged=True,
+    )

@@ -1,0 +1,100 @@
+"""Calibrated timing models of the paper's software comparators.
+
+The paper compares against (Fig. 7-9):
+
+* "Matlab 7.10.0 SVD routine running on a 2.2 GHz dual core Intel Xeon"
+* "SVD solutions with Intel MKL 10.0.4"
+
+We cannot rerun 2010-era MATLAB on a 2009 Xeon, so we model each as a
+flop-rate machine whose *effective* rate grows with the problem's
+small dimension — the well-documented behaviour of LAPACK-era dgesvd,
+which runs far below peak on small matrices (little blocking, call
+overhead) and approaches peak on large ones.  Concretely::
+
+    t(m, n) = overhead + flops_sv(m, n) / R(min(m, n))
+    R(k)    = min(R_max, slope * k)       [FLOP/s]
+
+``flops_sv`` is the textbook Golub-Reinsch singular-values-only count
+(:func:`repro.baselines.gkr_svd.gkr_flops` — MATLAB's single-output
+``svd(A)`` computes only singular values, matching the FPGA's output).
+
+**Calibration.** The paper never reports its software baseline's
+absolute times; the only anchors are (a) the speedup band "3.8x to
+43.6x for column sizes 128-256 and rows 128-2048" (Fig. 9), (b) "better
+efficiency than other software solutions when matrix with dimensions
+under 512" and (c) "slows down when the dimensions over 512" (Fig. 7).
+The constants below reproduce those anchors against our Table-I cycle
+model: the minimum modelled speedup in the Fig. 9 band lands at ~3.8
+(256 x 256), the maximum at ~40 (2048 rows x 128 cols), the MATLAB
+crossover versus the FPGA falls between 512 and 1024, and the MKL
+crossover at ~512.  See EXPERIMENTS.md for the resulting numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gkr_svd import gkr_flops
+from repro.util.validation import check_positive_int
+
+__all__ = ["SoftwareTimingModel", "MATLAB_MODEL", "MKL_MODEL"]
+
+
+@dataclass(frozen=True)
+class SoftwareTimingModel:
+    """Dimension-dependent-efficiency flop-rate model.
+
+    Attributes
+    ----------
+    name : str
+        Label used in reports ("MATLAB 7.10 (model)", ...).
+    rate_slope : float
+        FLOP/s of effective throughput gained per unit of the small
+        dimension (LAPACK efficiency grows roughly linearly with
+        blocking opportunity until saturating).
+    rate_max : float
+        Peak effective FLOP/s (saturation).
+    overhead_s : float
+        Fixed per-call overhead (interpreter dispatch, workspace
+        allocation).
+    compute_uv : bool
+        Whether the modelled call computes factors (the paper's
+        comparisons are singular-values-only).
+    """
+
+    name: str
+    rate_slope: float
+    rate_max: float
+    overhead_s: float = 0.0
+    compute_uv: bool = False
+
+    def rate(self, m: int, n: int) -> float:
+        """Effective FLOP/s on an m x n problem."""
+        k = min(m, n)
+        return min(self.rate_max, self.rate_slope * k)
+
+    def seconds(self, m: int, n: int) -> float:
+        """Modelled execution time for an m x n SVD."""
+        m = check_positive_int(m, name="m")
+        n = check_positive_int(n, name="n")
+        flops = gkr_flops(m, n, compute_uv=self.compute_uv)
+        return self.overhead_s + flops / self.rate(m, n)
+
+
+#: MATLAB 7.10 ``svd(A)`` on the 2.2 GHz Xeon (singular values only).
+#: R(128) = 0.14 GF, R(256) = 0.28 GF, R(1024) = 1.13 GF, cap 6 GF.
+MATLAB_MODEL = SoftwareTimingModel(
+    name="MATLAB 7.10 (model)",
+    rate_slope=1.1e6,
+    rate_max=6.0e9,
+    overhead_s=1.0e-3,
+)
+
+#: Intel MKL 10.0.4 dgesvd on the same host — roughly 2x the MATLAB
+#: effective rate with far lower call overhead.
+MKL_MODEL = SoftwareTimingModel(
+    name="Intel MKL 10.0.4 (model)",
+    rate_slope=2.4e6,
+    rate_max=12.0e9,
+    overhead_s=1.0e-4,
+)

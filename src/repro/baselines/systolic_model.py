@@ -1,0 +1,103 @@
+"""Brent-Luk systolic-array model for two-sided Jacobi on FPGAs.
+
+The related-work architecture ([9], [19]-[21]) the paper contrasts
+against: an (n/2) x (n/2) mesh of processing elements computes a full
+two-sided Jacobi sweep in O(n) systolic steps, achieving O(n log n)
+total time — but it needs n^2/4 PEs *on chip*, which caps the largest
+square matrix a device can handle.  This module quantifies both sides
+of that trade on the paper's Virtex-5, reproducing the scalability
+critique of Sections I/III ("the scalability of those implementations
+are limited, and the designs are restricted to only handle square input
+matrices").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.params import PAPER_ARCH, PlatformParams
+from repro.util.validation import check_positive_int
+
+__all__ = ["SystolicArrayModel"]
+
+
+class SystolicArrayModel:
+    """Timing + capacity model of a Brent-Luk SVD systolic array.
+
+    Parameters
+    ----------
+    platform : PlatformParams
+        Device whose LUT budget caps the PE count.
+    pe_luts : int
+        LUTs per processing element.  A 2x2 two-sided Jacobi PE holds a
+        CORDIC (or multiplier-based) rotator plus neighbour links; 2000
+        LUTs is a mid-range figure for fixed-point Virtex-5 PEs from
+        the cited implementations.
+    step_cycles : int
+        Cycles per systolic step (one 2x2 rotation + data exchange).
+    clock_hz : float
+        Array clock.
+    sweeps : int
+        Jacobi sweeps to convergence (log n-ish; 10 covers the paper's
+        sizes).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformParams | None = None,
+        *,
+        pe_luts: int = 2000,
+        step_cycles: int = 30,
+        clock_hz: float = 150e6,
+        sweeps: int = 10,
+    ) -> None:
+        self.platform = platform or PAPER_ARCH.platform
+        self.pe_luts = check_positive_int(pe_luts, name="pe_luts")
+        self.step_cycles = check_positive_int(step_cycles, name="step_cycles")
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        self.clock_hz = clock_hz
+        self.sweeps = check_positive_int(sweeps, name="sweeps")
+
+    def pe_count(self, n: int) -> int:
+        """PEs required for an n x n matrix: ceil(n/2)^2."""
+        n = check_positive_int(n, name="n")
+        half = math.ceil(n / 2)
+        return half * half
+
+    @property
+    def max_square_size(self) -> int:
+        """Largest n whose PE array fits the device's LUT budget."""
+        max_pes = self.platform.luts // self.pe_luts
+        return 2 * int(math.isqrt(max_pes))
+
+    def fits(self, n: int) -> bool:
+        return self.pe_count(n) * self.pe_luts <= self.platform.luts
+
+    def seconds(self, m: int, n: int) -> float:
+        """Decomposition time, or raise for unsupported shapes.
+
+        Raises
+        ------
+        ValueError
+            For rectangular input (the architecture's structural
+            restriction) or when the PE array exceeds the device.
+        """
+        m = check_positive_int(m, name="m")
+        n = check_positive_int(n, name="n")
+        if m != n:
+            raise ValueError(
+                "two-sided Jacobi systolic arrays handle square matrices only "
+                f"(got {m} x {n}) — the restriction the Hestenes method removes"
+            )
+        if not self.fits(n):
+            raise ValueError(
+                f"n = {n} needs {self.pe_count(n)} PEs "
+                f"({self.pe_count(n) * self.pe_luts} LUTs) but the "
+                f"{self.platform.name} provides {self.platform.luts}; "
+                f"max square size is {self.max_square_size}"
+            )
+        # O(n) systolic steps per sweep (the array retires a full sweep
+        # in ~n steps of simultaneous 2x2 rotations + shifts).
+        cycles = self.sweeps * n * self.step_cycles
+        return cycles / self.clock_hz

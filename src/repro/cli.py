@@ -1,0 +1,351 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+decompose   SVD of a matrix from an .npy/.npz/.txt file (or --random).
+estimate    Modelled FPGA execution time + phase breakdown (Table I mode).
+resources   Device utilization report (Table II mode).
+compare     Modelled times of every system for one shape (Fig 7/8 mode).
+trace       Phase-level execution Gantt chart with cycle attribution.
+sweep       Design-space exploration report (feasible set + Pareto front).
+figures     ASCII renderings of Figs 7-11.
+datasheet   Full accelerator datasheet (markdown).
+netlist     Structural netlist as Graphviz DOT or JSON.
+eval        Run reproduction experiments by id (or all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(args) -> np.ndarray:
+    if args.random:
+        m, n = args.random
+        from repro.workloads import random_matrix
+
+        return random_matrix(m, n, seed=args.seed)
+    if args.input is None:
+        raise SystemExit("decompose: provide an input file or --random M N")
+    path = args.input
+    if path.endswith(".npz"):
+        with np.load(path) as data:
+            return np.asarray(data[list(data.keys())[0]], dtype=np.float64)
+    if path.endswith(".npy"):
+        return np.asarray(np.load(path), dtype=np.float64)
+    return np.loadtxt(path, dtype=np.float64, ndmin=2)
+
+
+def _cmd_decompose(args) -> int:
+    from repro import hestenes_svd
+
+    a = _load_matrix(args)
+    res = hestenes_svd(
+        a,
+        method=args.method,
+        compute_uv=not args.values_only,
+        max_sweeps=args.max_sweeps,
+        tol=args.tol,
+    )
+    print(f"shape: {a.shape[0]} x {a.shape[1]}  method: {res.method}  "
+          f"sweeps: {res.sweeps}")
+    shown = min(len(res.s), args.show)
+    print(f"singular values (top {shown}):")
+    for i in range(shown):
+        print(f"  sigma[{i}] = {res.s[i]:.12g}")
+    if not args.values_only:
+        print(f"reconstruction error: {res.reconstruction_error(a):.3e}")
+    if args.output:
+        if args.values_only:
+            np.savez(args.output, s=res.s)
+        else:
+            np.savez(args.output, s=res.s, u=res.u, vt=res.vt)
+        print(f"saved factors to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.hw import PAPER_ARCH, estimate_cycles
+    from repro.hw.params import PlatformParams
+
+    arch = PAPER_ARCH
+    if args.bandwidth is not None:
+        arch = arch.with_(
+            platform=PlatformParams(offchip_bandwidth_gbs=args.bandwidth)
+        )
+    if args.sweeps is not None:
+        arch = arch.with_(sweeps=args.sweeps)
+    bd = estimate_cycles(args.m, args.n, arch)
+    print(f"modelled decomposition of a {args.m} x {args.n} matrix "
+          f"@ {arch.clock_hz / 1e6:.0f} MHz, {arch.sweeps} sweeps")
+    print(f"  gram phase : {bd.gram_phase:>12,} cycles")
+    for sw in bd.sweeps:
+        print(f"  sweep {sw.index:<2d}   : {sw.total:>12,} cycles "
+              f"(issue {sw.rotation_issue:,}, cov {sw.covariance_work:,}, "
+              f"col {sw.column_work:,}, io {sw.spill_io:,})")
+    print(f"  finalize   : {bd.finalize:>12,} cycles")
+    print(f"  total      : {bd.total:>12,} cycles = {bd.seconds:.6f} s")
+    return 0
+
+
+def _cmd_resources(args) -> int:
+    from repro.hw import PAPER_ARCH, estimate_resources
+
+    arch = PAPER_ARCH
+    if args.kernels is not None:
+        arch = arch.with_(update_kernels=args.kernels)
+    try:
+        rep = estimate_resources(arch, max_cols=args.max_cols)
+    except MemoryError as exc:
+        print(f"configuration does not fit: {exc}")
+        return 1
+    print(f"resource report ({arch.platform.name}):")
+    for key, frac in rep.as_table().items():
+        count = {"lut": rep.luts, "bram": rep.bram_blocks, "dsp": rep.dsps}[key]
+        print(f"  {key.upper():5s}: {count:>8,}  ({frac:6.1%})")
+    if args.verbose:
+        print("  LUT breakdown :", rep.lut_breakdown)
+        print("  BRAM breakdown:", rep.bram_breakdown)
+        print("  DSP breakdown :", rep.dsp_breakdown)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.baselines import (
+        GPU_8800_MODEL,
+        MATLAB_MODEL,
+        MKL_MODEL,
+        SystolicArrayModel,
+        fixed_point_fpga_seconds,
+        gpu_hestenes_seconds,
+    )
+    from repro.hw import estimate_seconds
+
+    m, n = args.m, args.n
+    rows = [("Hestenes-Jacobi FPGA (this paper)", estimate_seconds(m, n))]
+    rows.append((MATLAB_MODEL.name, MATLAB_MODEL.seconds(m, n)))
+    rows.append((MKL_MODEL.name, MKL_MODEL.seconds(m, n)))
+    rows.append((GPU_8800_MODEL.name, GPU_8800_MODEL.seconds(m, n)))
+    try:
+        rows.append(("GPU Hestenes [11] (model)", gpu_hestenes_seconds(m, n)))
+    except ValueError as exc:
+        rows.append(("GPU Hestenes [11] (model)", f"n/a ({exc})"))
+    try:
+        rows.append(("fixed-point FPGA [12] (model)", fixed_point_fpga_seconds(m, n)))
+    except ValueError:
+        rows.append(("fixed-point FPGA [12] (model)", "n/a (beyond 32x128 limit)"))
+    sys_model = SystolicArrayModel()
+    try:
+        rows.append(("Brent-Luk systolic [9] (model)", sys_model.seconds(m, n)))
+    except ValueError:
+        rows.append(
+            ("Brent-Luk systolic [9] (model)",
+             f"n/a (square only, max n={sys_model.max_square_size})")
+        )
+    print(f"modelled SVD times for a {m} x {n} matrix:")
+    for name, t in rows:
+        if isinstance(t, float):
+            print(f"  {name:<36s} {t:12.6f} s")
+        else:
+            print(f"  {name:<36s} {t}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.hw import estimate_cycles
+    from repro.hw.trace import build_trace, render_gantt
+
+    trace = build_trace(estimate_cycles(args.m, args.n))
+    print(f"execution trace for a {args.m} x {args.n} decomposition:")
+    print(render_gantt(trace, width=args.width))
+    util = trace.utilization()
+    print("cycle attribution:")
+    for name, frac in sorted(util.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<22s} {frac:6.1%}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.hw.sweep import explore_design_space, pareto_front
+
+    points = explore_design_space()
+    front = pareto_front(points)
+    feasible = [p for p in points if p.feasible]
+    print(f"design space: {len(points)} points, {len(feasible)} feasible, "
+          f"{len(front)} on the Pareto front")
+    print(f"{'label':<16s} {'time [s]':>10s} {'LUTs':>9s} {'DSPs':>5s} {'BRAM':>5s}")
+    shown = front if args.front_only else feasible[: args.top]
+    for p in shown:
+        print(f"{p.label:<16s} {p.total_seconds:>10.4f} {p.luts:>9,} "
+              f"{p.dsps:>5d} {p.brams:>5d}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.eval import figures as figs
+
+    makers = {
+        "fig7": (figs.fig7_series, True, "SVD time vs square dimension [log s]"),
+        "fig8": (figs.fig8_series, True, "FPGA time vs rows [log s]"),
+        "fig9": (figs.fig9_series, False, "speedup over MATLAB vs rows"),
+        "fig10": (figs.fig10_series, True, "mean |cov| per sweep [log]"),
+        "fig11": (figs.fig11_series, True, "mean |cov| per sweep [log]"),
+    }
+    wanted = args.figures or list(makers)
+    unknown = [w for w in wanted if w not in makers]
+    if unknown:
+        raise SystemExit(f"unknown figure(s): {unknown}; choose from {sorted(makers)}")
+    for ident in wanted:
+        maker, logy, title = makers[ident]
+        print(figs.ascii_chart(maker(), logy=logy, title=f"{ident}: {title}"))
+        print()
+    return 0
+
+
+def _cmd_datasheet(args) -> int:
+    from repro.hw.datasheet import render_datasheet
+
+    print(render_datasheet())
+    return 0
+
+
+def _cmd_netlist(args) -> int:
+    from repro.hw.netlist import build_netlist
+
+    netlist = build_netlist()
+    if args.format == "json":
+        print(netlist.to_json())
+    else:
+        print(netlist.to_dot())
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.eval import experiments as exp
+    from repro.eval.report import format_experiment
+
+    runners = {
+        "table1": exp.run_table1,
+        "table2": exp.run_table2,
+        "fig7": exp.run_fig7,
+        "fig8": exp.run_fig8,
+        "fig9": exp.run_fig9,
+        "fig10": exp.run_fig10,
+        "fig11": exp.run_fig11,
+        "related": exp.run_related_work,
+        "ablation-caching": exp.run_ablation_caching,
+        "ablation-reconfig": exp.run_ablation_reconfiguration,
+        "ablation-ordering": exp.run_ablation_ordering,
+        "ablation-arithmetic": exp.run_ablation_arithmetic,
+        "ablation-resilience": exp.run_ablation_resilience,
+    }
+    from repro.eval.accuracy import run_accuracy_study
+
+    runners["accuracy"] = run_accuracy_study
+    from repro.hw.verification import run_coverification
+
+    runners["coverify"] = run_coverification
+    wanted = args.experiments or list(runners)
+    unknown = [w for w in wanted if w not in runners]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {unknown}; "
+                         f"choose from {sorted(runners)}")
+    failures = 0
+    for ident in wanted:
+        result = runners[ident]()
+        print(format_experiment(result))
+        print()
+        failures += sum(1 for c in result.checks if not c.passed)
+    if failures:
+        print(f"{failures} shape check(s) FAILED")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Hestenes-Jacobi FPGA SVD reproduction toolkit",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("decompose", help="run an SVD")
+    d.add_argument("input", nargs="?", help=".npy/.npz/.txt matrix file")
+    d.add_argument("--random", nargs=2, type=int, metavar=("M", "N"),
+                   help="generate a random M x N matrix instead")
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--method", default="blocked",
+                   choices=("blocked", "modified", "reference"))
+    d.add_argument("--values-only", action="store_true")
+    d.add_argument("--max-sweeps", type=int, default=10)
+    d.add_argument("--tol", type=float, default=None)
+    d.add_argument("--show", type=int, default=10, help="values to print")
+    d.add_argument("--output", help="save factors to an .npz file")
+    d.set_defaults(func=_cmd_decompose)
+
+    e = sub.add_parser("estimate", help="modelled FPGA time (Table I mode)")
+    e.add_argument("m", type=int)
+    e.add_argument("n", type=int)
+    e.add_argument("--sweeps", type=int, default=None)
+    e.add_argument("--bandwidth", type=float, default=None,
+                   help="off-chip GB/s override")
+    e.set_defaults(func=_cmd_estimate)
+
+    r = sub.add_parser("resources", help="device utilization (Table II mode)")
+    r.add_argument("--kernels", type=int, default=None)
+    r.add_argument("--max-cols", type=int, default=None)
+    r.add_argument("--verbose", action="store_true")
+    r.set_defaults(func=_cmd_resources)
+
+    c = sub.add_parser("compare", help="modelled times of every system")
+    c.add_argument("m", type=int)
+    c.add_argument("n", type=int)
+    c.set_defaults(func=_cmd_compare)
+
+    t = sub.add_parser("trace", help="phase-level execution Gantt chart")
+    t.add_argument("m", type=int)
+    t.add_argument("n", type=int)
+    t.add_argument("--width", type=int, default=72)
+    t.set_defaults(func=_cmd_trace)
+
+    s = sub.add_parser("sweep", help="design-space exploration report")
+    s.add_argument("--front-only", action="store_true",
+                   help="show only the Pareto front")
+    s.add_argument("--top", type=int, default=12,
+                   help="feasible points to list (fastest first)")
+    s.set_defaults(func=_cmd_sweep)
+
+    fg = sub.add_parser("figures", help="render figures as ASCII charts")
+    fg.add_argument("figures", nargs="*", help="figure ids (default: all)")
+    fg.set_defaults(func=_cmd_figures)
+
+    ds = sub.add_parser("datasheet", help="full accelerator datasheet")
+    ds.set_defaults(func=_cmd_datasheet)
+
+    nl = sub.add_parser("netlist", help="structural netlist (dot or json)")
+    nl.add_argument("--format", choices=("dot", "json"), default="dot")
+    nl.set_defaults(func=_cmd_netlist)
+
+    v = sub.add_parser("eval", help="run reproduction experiments")
+    v.add_argument("experiments", nargs="*",
+                   help="experiment ids (default: all)")
+    v.set_defaults(func=_cmd_eval)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

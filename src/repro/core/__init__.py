@@ -1,0 +1,70 @@
+"""Core algorithm package: the paper's modified Hestenes-Jacobi SVD.
+
+Public surface:
+
+* :func:`repro.core.svd.hestenes_svd` / :class:`HestenesJacobiSVD` —
+  the user-facing API.
+* :mod:`repro.core.rotation` — plane-rotation math (Algorithm 1 and the
+  hardware dataflow equations 8-10).
+* :mod:`repro.core.ordering` — cyclic/tournament pair scheduling (Fig 6).
+* :mod:`repro.core.convergence` — metrics, criteria, traces (Figs 10-11).
+"""
+
+from repro.core.batch import batch_svd
+from repro.core.block_jacobi import block_jacobi_svd
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion, ConvergenceTrace, measure
+from repro.core.hestenes import FlopCounter, reference_svd
+from repro.core.modified import gram_matrix, modified_svd
+from repro.core.preconditioned import householder_qr, preconditioned_svd
+from repro.core.symeig import jacobi_eigh
+from repro.core.ordering import (
+    all_pairs,
+    cyclic_sweep,
+    group_pairs,
+    make_sweep,
+    random_sweep,
+    row_cyclic_sweep,
+)
+from repro.core.result import SVDResult
+from repro.core.rotation import (
+    RotationParams,
+    apply_rotation_columns,
+    apply_rotation_gram,
+    dataflow_rotation,
+    textbook_rotation,
+    two_sided_angles,
+)
+from repro.core.svd import METHODS, HestenesJacobiSVD, hestenes_svd
+
+__all__ = [
+    "METHODS",
+    "ConvergenceCriterion",
+    "ConvergenceTrace",
+    "FlopCounter",
+    "HestenesJacobiSVD",
+    "RotationParams",
+    "SVDResult",
+    "all_pairs",
+    "apply_rotation_columns",
+    "apply_rotation_gram",
+    "batch_svd",
+    "block_jacobi_svd",
+    "blocked_svd",
+    "cyclic_sweep",
+    "jacobi_eigh",
+    "dataflow_rotation",
+    "gram_matrix",
+    "group_pairs",
+    "hestenes_svd",
+    "householder_qr",
+    "preconditioned_svd",
+    "make_sweep",
+    "measure",
+    "modified_svd",
+    "random_sweep",
+    "reference_svd",
+    "row_cyclic_sweep",
+    "textbook_rotation",
+    "two_sided_angles",
+]

@@ -1,0 +1,131 @@
+"""Vector-pair orderings for Jacobi sweeps.
+
+A *sweep* orthogonalizes every unordered pair of the n columns exactly
+once (n(n-1)/2 rotations).  The order matters for convergence speed and
+for parallel hardware:
+
+* :func:`cyclic_sweep` — the paper's "cyclic order" (Fig. 6), the
+  round-robin tournament schedule of Brent & Luk: indices sit in two
+  rows; index 0 is pinned and the remaining n-1 indices rotate one slot
+  per round.  Each of the n-1 rounds yields n/2 *disjoint* pairs, which
+  is what lets the hardware issue groups of independent rotations (the
+  dashed box in Fig. 6 is one such group).
+* :func:`row_cyclic_sweep` — the classical sequential row-by-row order
+  (i, j) for i < j; a single "round" per pair (no parallelism exposed).
+* :func:`random_sweep` — random pair order, useful as an ablation
+  control for convergence-order experiments.
+
+All functions return ``list[list[tuple[int, int]]]``: a list of rounds,
+each round a list of (i, j) pairs with i < j; pairs within a round are
+index-disjoint for the parallel orderings.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import default_rng
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "cyclic_sweep",
+    "row_cyclic_sweep",
+    "random_sweep",
+    "make_sweep",
+    "group_pairs",
+    "all_pairs",
+    "ORDERINGS",
+]
+
+
+def all_pairs(n: int) -> list[tuple[int, int]]:
+    """All unordered index pairs (i, j), i < j, in row-major order."""
+    n = check_positive_int(n, name="n")
+    return [(i, j) for i in range(n - 1) for j in range(i + 1, n)]
+
+
+def cyclic_sweep(n: int) -> list[list[tuple[int, int]]]:
+    """Round-robin tournament rounds covering every pair exactly once.
+
+    For even n there are n-1 rounds of n/2 disjoint pairs.  For odd n a
+    virtual "bye" index is added and dropped, giving n rounds of
+    (n-1)/2 pairs.  Matches the movement arrows of Fig. 6: position 0
+    fixed, all other indices rotate by one position per round.
+
+    Examples
+    --------
+    >>> cyclic_sweep(4)
+    [[(0, 3), (1, 2)], [(0, 2), (1, 3)], [(0, 1), (2, 3)]]
+    """
+    n = check_positive_int(n, name="n")
+    if n == 1:
+        return []
+    bye = None
+    idx = list(range(n))
+    if n % 2 == 1:
+        idx.append(-1)  # virtual bye
+        bye = -1
+    size = len(idx)
+    rounds: list[list[tuple[int, int]]] = []
+    # Standard circle method: fix idx[0]; rotate the rest each round.
+    ring = idx[1:]
+    for _ in range(size - 1):
+        order = [idx[0]] + ring
+        round_pairs = []
+        for k in range(size // 2):
+            a, b = order[k], order[size - 1 - k]
+            if bye is not None and (a == bye or b == bye):
+                continue
+            round_pairs.append((a, b) if a < b else (b, a))
+        rounds.append(round_pairs)
+        ring = [ring[-1]] + ring[:-1]
+    return rounds
+
+
+def row_cyclic_sweep(n: int) -> list[list[tuple[int, int]]]:
+    """Sequential row-cyclic order: one pair per round, (0,1), (0,2), ...
+
+    This is the order Algorithm 1's nested loops walk; it exposes no
+    parallelism but is the easiest to reason about and is the classical
+    choice in proofs of cyclic-Jacobi convergence.
+    """
+    return [[p] for p in all_pairs(n)]
+
+
+def random_sweep(n: int, seed=None) -> list[list[tuple[int, int]]]:
+    """All pairs exactly once, in a random order (one pair per round)."""
+    rng = default_rng(seed)
+    pairs = all_pairs(n)
+    rng.shuffle(pairs)
+    return [[p] for p in pairs]
+
+
+ORDERINGS = ("cyclic", "row", "random")
+
+
+def make_sweep(n: int, ordering: str = "cyclic", seed=None):
+    """Dispatch on ordering name — see :data:`ORDERINGS`."""
+    if ordering == "cyclic":
+        return cyclic_sweep(n)
+    if ordering == "row":
+        return row_cyclic_sweep(n)
+    if ordering == "random":
+        return random_sweep(n, seed)
+    raise ValueError(f"ordering must be one of {ORDERINGS}, got {ordering!r}")
+
+
+def group_pairs(
+    round_pairs: list[tuple[int, int]], group_size: int
+) -> list[list[tuple[int, int]]]:
+    """Split one parallel round into hardware-sized groups.
+
+    The FPGA's Jacobi rotation component starts at most ``group_size``
+    (8 in the paper's build) independent rotations per 64-cycle issue
+    window; successive groups of a round enter the datapath back to
+    back.  ``group_size`` of 0 or None means "the whole round at once".
+    """
+    if not group_size:
+        return [list(round_pairs)]
+    group_size = check_positive_int(group_size, name="group_size")
+    return [
+        list(round_pairs[k : k + group_size])
+        for k in range(0, len(round_pairs), group_size)
+    ]

@@ -1,0 +1,131 @@
+"""QR-preconditioned one-sided Jacobi SVD (Drmač-Veselić style).
+
+The production refinement of the Hestenes method (LAPACK's xGEJSV):
+first factor ``A = Q R`` with Householder QR, then run one-sided Jacobi
+on the small n x n triangular factor ``R`` and compose
+``A = (Q U_R) S Vᵀ``.  Two wins, both directly relevant to the paper's
+tall-matrix sweet spot:
+
+* the Jacobi sweeps run on n x n instead of m x n — for m >> n the
+  dominant cost collapses from O(m n^2) per sweep to O(n^3), the same
+  economy the paper's hardware gets from covariance caching;
+* QR with column pivoting *preconditions* R, and the direct Jacobi
+  iteration on R preserves high *relative* accuracy of every singular
+  value — including tiny ones — where Gram-cached iterations are
+  limited to ~eps * cond (see the accuracy study).
+
+The QR step reuses the library's own Householder machinery
+(:mod:`repro.baselines.householder`); the inner Jacobi is the direct
+reference engine, so the full stack remains self-contained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.householder import apply_reflector_left, householder_vector
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.hestenes import reference_svd
+from repro.core.result import SVDResult
+from repro.util.validation import as_float_matrix
+
+__all__ = ["householder_qr", "preconditioned_svd"]
+
+
+def householder_qr(a, *, pivot: bool = True):
+    """Householder QR with optional column pivoting.
+
+    Returns ``(q, r, perm)`` with ``q``: (m, n) orthonormal columns,
+    ``r``: (n, n) upper triangular and ``perm`` the column permutation
+    (``a[:, perm] = q @ r``).  Requires m >= n.
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    if m < n:
+        raise ValueError("householder_qr requires m >= n; transpose first")
+    work = a.copy()
+    perm = np.arange(n)
+    reflectors: list[tuple[int, np.ndarray, float]] = []
+    for k in range(n):
+        if pivot:
+            # Classical column pivoting: bring the largest remaining
+            # column (by trailing norm) to position k.
+            norms = np.linalg.norm(work[k:, k:], axis=0)
+            j = k + int(np.argmax(norms))
+            if j != k:
+                work[:, [k, j]] = work[:, [j, k]]
+                perm[[k, j]] = perm[[j, k]]
+        v, beta = householder_vector(work[k:, k])
+        apply_reflector_left(work[k:, k:], v, beta)
+        reflectors.append((k, v, beta))
+    r = np.triu(work[:n, :])
+    q = np.eye(m, n)
+    for k, v, beta in reversed(reflectors):
+        apply_reflector_left(q[k:, :], v, beta)
+    return q, r, perm
+
+
+def preconditioned_svd(
+    a,
+    *,
+    compute_uv: bool = True,
+    criterion: ConvergenceCriterion | None = None,
+    pivot: bool = True,
+) -> SVDResult:
+    """SVD via QR preconditioning + one-sided Jacobi on R.
+
+    Parameters
+    ----------
+    a : array_like
+        Input m x n matrix; wide inputs are handled by transposition.
+    compute_uv : bool
+        Accumulate the factors.
+    criterion : ConvergenceCriterion
+        Sweep budget of the inner Jacobi (default 12 with natural
+        termination — preconditioning usually finishes in 3-5).
+    pivot : bool
+        Column pivoting in the QR step (stronger preconditioning).
+
+    Returns
+    -------
+    SVDResult with ``method="preconditioned"``.
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    if m < n:
+        # Factor the transpose and swap the roles of U and V.
+        res = preconditioned_svd(
+            a.T, compute_uv=compute_uv, criterion=criterion, pivot=pivot
+        )
+        if compute_uv:
+            return SVDResult(
+                s=res.s, u=res.vt.T, vt=res.u.T, sweeps=res.sweeps,
+                trace=res.trace, method="preconditioned", converged=res.converged,
+            )
+        return SVDResult(
+            s=res.s, sweeps=res.sweeps, trace=res.trace,
+            method="preconditioned", converged=res.converged,
+        )
+
+    criterion = criterion or ConvergenceCriterion(max_sweeps=12, tol=None)
+    q, r, perm = householder_qr(a, pivot=pivot)
+    # Direct (recompute) Jacobi on R: the column rotations act on the
+    # actual data, preserving high relative accuracy even for extreme
+    # conditioning — the Drmač-Veselić property a cached-Gram inner
+    # iteration would forfeit.  R is n x n, so the recomputed dot
+    # products are cheap regardless of the original row count.
+    inner = reference_svd(r, compute_uv=compute_uv, criterion=criterion)
+    if not compute_uv:
+        return SVDResult(
+            s=inner.s, sweeps=inner.sweeps, trace=inner.trace,
+            method="preconditioned", converged=inner.converged,
+        )
+    u = q @ inner.u
+    # Undo the pivoting on the right factor: A[:, perm] = Q R, so
+    # A = Q R Pᵀ and Vᵀ picks up the inverse permutation on its columns.
+    vt = np.zeros_like(inner.vt)
+    vt[:, perm] = inner.vt
+    return SVDResult(
+        s=inner.s, u=u, vt=vt, sweeps=inner.sweeps,
+        trace=inner.trace, method="preconditioned", converged=inner.converged,
+    )

@@ -1,0 +1,75 @@
+"""Result container shared by every SVD implementation in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace
+from repro.util.numerics import reconstruction_error
+
+__all__ = ["SVDResult"]
+
+
+@dataclass
+class SVDResult:
+    """Outcome of a singular value decomposition.
+
+    Attributes
+    ----------
+    s : numpy.ndarray
+        Singular values, descending, length ``k = min(m, n)``.
+    u : numpy.ndarray or None
+        Left singular vectors, shape (m, k); ``None`` when the caller
+        requested singular values only (the hardware-faithful mode, like
+        the paper's FPGA which outputs ``Sig`` from the diagonal of D).
+    vt : numpy.ndarray or None
+        Right singular vectors transposed, shape (k, n), or ``None``.
+    sweeps : int
+        Number of Jacobi sweeps executed (0 for non-Jacobi baselines).
+    trace : ConvergenceTrace or None
+        Per-sweep convergence record, when the algorithm produces one.
+    method : str
+        Implementation identifier ("reference", "modified", "blocked",
+        "golub_reinsch", "two_sided_jacobi", "fpga", ...).
+    converged : bool
+        Whether an early-stopping criterion was met (always True for
+        direct baselines).
+    """
+
+    s: np.ndarray
+    u: np.ndarray | None = None
+    vt: np.ndarray | None = None
+    sweeps: int = 0
+    trace: ConvergenceTrace | None = None
+    method: str = ""
+    converged: bool = True
+
+    @property
+    def rank(self) -> int:
+        """Numerical rank: count of singular values above ``s_max * n * eps``."""
+        if len(self.s) == 0:
+            return 0
+        cutoff = self.s[0] * max(len(self.s), 1) * np.finfo(np.float64).eps
+        return int(np.sum(self.s > cutoff))
+
+    def reconstruct(self, rank: int | None = None) -> np.ndarray:
+        """Rebuild ``A`` (or its best rank-``rank`` approximation).
+
+        Requires both factor matrices; raises ``ValueError`` otherwise.
+        """
+        if self.u is None or self.vt is None:
+            raise ValueError(
+                "reconstruct() needs u and vt; run with compute_uv=True"
+            )
+        k = len(self.s) if rank is None else min(rank, len(self.s))
+        return (self.u[:, :k] * self.s[:k]) @ self.vt[:k, :]
+
+    def reconstruction_error(self, a: np.ndarray) -> float:
+        """Relative Frobenius error of the full reconstruction against *a*."""
+        if self.u is None or self.vt is None:
+            raise ValueError(
+                "reconstruction_error() needs u and vt; run with compute_uv=True"
+            )
+        return reconstruction_error(a, self.u, self.s, self.vt)

@@ -1,0 +1,276 @@
+"""Jacobi plane-rotation parameter computation and application.
+
+Two mathematically equivalent formulations are implemented:
+
+* :func:`textbook_rotation` — Algorithm 1, lines 11-14 of the paper
+  (the classical one-sided Jacobi formulas with the stable small root
+  of the annihilation quadratic).  Note the paper's line 11 carries a
+  sign typo (see DESIGN.md §4): with ``norm1 = D_jj`` and
+  ``norm2 = D_ii`` the annihilating choice is
+  ``rho = (norm1 - norm2) / (2 cov)``, i.e. *(second column norm minus
+  first column norm)*, matching Demmel & Veselić's one-sided Jacobi.
+* :func:`dataflow_rotation` — the division-restructured equations
+  (8)-(10) used by the FPGA's Jacobi rotation component, which compute
+  ``|t|``, ``cos`` and ``|sin|`` from radicals only and carry the sign
+  separately (so the datapath needs a single divider and no arctan).
+
+Both produce a rotation ``J = [[cos, sin], [-sin, cos]]`` applied on the
+right of the column pair ``(A_i, A_j)``:
+
+    ``A_i' = A_i cos - A_j sin``     (eq. 11)
+    ``A_j' = A_i sin + A_j cos``     (eq. 12)
+
+such that ``A_i'ᵀ A_j' = 0`` exactly (in real arithmetic) and the
+squared norms move by ``±t*cov`` (Algorithm 1, lines 15-16).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.util.numerics import sign
+
+__all__ = [
+    "RotationParams",
+    "textbook_rotation",
+    "dataflow_rotation",
+    "two_sided_angles",
+    "apply_rotation_columns",
+    "apply_rotation_gram",
+    "rotated_norms",
+    "new_covariance",
+]
+
+
+@dataclass(frozen=True)
+class RotationParams:
+    """Parameters of a single Jacobi plane rotation.
+
+    Attributes
+    ----------
+    cos, sin : float
+        Rotation matrix entries; ``cos >= 0`` and ``cos^2 + sin^2 = 1``.
+    t : float
+        Signed tangent ``sin / cos``; satisfies ``|t| <= 1`` (inner
+        rotation), so the rotation angle is at most 45 degrees.
+    identity : bool
+        True when the pair was already orthogonal (``cov == 0`` or below
+        threshold) and no rotation is required.
+    """
+
+    cos: float
+    sin: float
+    t: float
+    identity: bool = False
+
+    IDENTITY: ClassVar["RotationParams"]
+
+    def as_matrix(self) -> np.ndarray:
+        """Return the 2x2 rotation ``[[cos, sin], [-sin, cos]]``."""
+        return np.array(
+            [[self.cos, self.sin], [-self.sin, self.cos]], dtype=np.float64
+        )
+
+
+# Sentinel for "no rotation needed"; cos=1, sin=0.
+RotationParams.IDENTITY = RotationParams(cos=1.0, sin=0.0, t=0.0, identity=True)
+
+
+def textbook_rotation(
+    norm_i: float, norm_j: float, cov: float, *, eps: float = 0.0
+) -> RotationParams:
+    """Rotation parameters per Algorithm 1 (corrected sign), lines 11-14.
+
+    Parameters
+    ----------
+    norm_i : float
+        Squared 2-norm of the first (lower-index) column, ``D_ii``.
+    norm_j : float
+        Squared 2-norm of the second column, ``D_jj``.
+    cov : float
+        Covariance ``D_ij`` between the two columns.
+    eps : float
+        Annihilation threshold: when ``|cov| <= eps`` the identity
+        rotation is returned.  ``0.0`` means rotate unless exactly zero.
+
+    Returns
+    -------
+    RotationParams
+        With ``t`` chosen as the smaller-magnitude root of
+        ``t^2 + 2*rho*t - 1 = 0``, ``rho = (norm_j - norm_i)/(2 cov)``,
+        which guarantees ``|t| <= 1`` and optimal numerical stability.
+    """
+    # Cast to Python floats: NumPy scalars would emit RuntimeWarnings on
+    # the (benign, guarded) overflow path below.
+    norm_i, norm_j, cov = float(norm_i), float(norm_j), float(cov)
+    if abs(cov) <= eps:
+        return RotationParams.IDENTITY
+    rho = (norm_j - norm_i) / (2.0 * cov)
+    if abs(rho) > 1e150:
+        # rho*rho would overflow; asymptotically t -> 1/(2 rho).
+        t = 0.5 / rho
+    else:
+        t = sign(rho) / (abs(rho) + math.sqrt(1.0 + rho * rho))
+    c = 1.0 / math.sqrt(1.0 + t * t)
+    s = c * t
+    return RotationParams(cos=c, sin=s, t=t)
+
+
+def dataflow_rotation(
+    norm_i: float, norm_j: float, cov: float, *, eps: float = 0.0
+) -> RotationParams:
+    """Rotation parameters via the FPGA dataflow equations (8)-(10).
+
+    The hardware avoids computing ``rho`` (whose magnitude can overflow
+    when ``cov`` underflows) by forming
+
+        ``t   = |2 cov| / (|d| + sqrt(d^2 + 4 cov^2))``          (eq. 8)
+        ``cos = sqrt((d^2 + 2 c2 + |d| r) / (d^2 + 4 c2 + |d| r))``  (eq. 9)
+        ``sin = sign * sqrt(2 c2 / (d^2 + 4 c2 + |d| r))``       (eq. 10)
+
+    with ``d = norm_j - norm_i``, ``c2 = 2 cov^2`` and
+    ``r = sqrt(d^2 + 4 cov^2)``; ``sign`` restores the sign of the
+    annihilating tangent, ``sign(d * cov)``.  Only add/sub/mul/div/sqrt
+    are used, matching the operator inventory of the Jacobi rotation
+    component (1 mul, 2 add, 1 div, 1 sqrt, time-multiplexed).
+    """
+    norm_i, norm_j, cov = float(norm_i), float(norm_j), float(cov)
+    if abs(cov) <= eps:
+        return RotationParams.IDENTITY
+    d = norm_j - norm_i
+    # Equations (8)-(10) are homogeneous of degree zero in (d, cov):
+    # scaling both by the same factor leaves t, cos, sin unchanged.
+    # Normalizing by the larger magnitude keeps the squares below from
+    # under/overflowing for denormal or huge Gram entries.  (The raw
+    # fixed-latency datapath has no such prescaler; for inputs whose
+    # squares underflow, real hardware would flush the rotation — a
+    # fidelity deviation documented in tests/core/test_rotation.py.)
+    scale = max(abs(d), abs(cov))
+    d /= scale
+    cov_s = cov / scale
+    abs_d = abs(d)
+    c2 = 2.0 * cov_s * cov_s  # 2*cov^2
+    four_c2 = 2.0 * c2  # 4*cov^2
+    r = math.sqrt(d * d + four_c2)
+    t_mag = abs(2.0 * cov_s) / (abs_d + r)
+    denom = d * d + four_c2 + abs_d * r
+    c = math.sqrt((d * d + c2 + abs_d * r) / denom)
+    s_mag = math.sqrt(c2 / denom)
+    s = sign(d) * sign(cov) * s_mag
+    t = sign(d) * sign(cov) * t_mag
+    return RotationParams(cos=c, sin=s, t=t)
+
+
+def two_sided_angles(
+    app: float, apq: float, aqp: float, aqq: float
+) -> tuple[float, float]:
+    """Left/right rotation angles for the classic two-sided Jacobi (eq. 5).
+
+    Returns ``(left, right)`` angles such that with
+    ``R(theta) = [[cos, sin], [-sin, cos]]`` the transform
+    ``R(left)ᵀ @ [[app, apq], [aqp, aqq]] @ R(right)`` is diagonal
+    (Brent-Luk-Van Loan formulation; the paper's eq. 2-5 with
+    ``beta + alpha`` and ``beta - alpha`` given by the two arctangents).
+    """
+    sum_angle = math.atan2(aqp + apq, aqq - app)
+    diff_angle = math.atan2(aqp - apq, aqq + app)
+    beta = 0.5 * (sum_angle + diff_angle)
+    alpha = 0.5 * (sum_angle - diff_angle)
+    return alpha, beta
+
+
+def apply_rotation_columns(
+    a: np.ndarray, i: int, j: int, params: RotationParams
+) -> None:
+    """In-place column update per eq. (11)-(12): rotate columns *i*, *j*.
+
+    Vectorized over the m rows — this is what one hardware update kernel
+    streams element-pair by element-pair.
+    """
+    if params.identity:
+        return
+    c, s = params.cos, params.sin
+    ai = a[:, i].copy()
+    a[:, i] = ai * c - a[:, j] * s
+    a[:, j] = ai * s + a[:, j] * c
+
+
+def rotated_norms(
+    norm_i: float, norm_j: float, cov: float, params: RotationParams
+) -> tuple[float, float]:
+    """Post-rotation squared norms (Algorithm 1 lines 15-16).
+
+    ``D_ii' = D_ii - t*cov`` and ``D_jj' = D_jj + t*cov``; the pair's
+    covariance becomes exactly zero.  The identity rotation leaves both
+    unchanged.
+    """
+    if params.identity:
+        return norm_i, norm_j
+    delta = params.t * cov
+    return norm_i - delta, norm_j + delta
+
+
+def new_covariance(
+    norm_i: float, norm_j: float, cov: float, params: RotationParams
+) -> float:
+    """Covariance of the rotated pair — zero in exact arithmetic.
+
+    Provided for tests: evaluates ``cs*(n_i - n_j) + (c^2 - s^2)*cov``
+    which is the analytic post-rotation covariance.
+    """
+    c, s = params.cos, params.sin
+    return c * s * (norm_i - norm_j) + (c * c - s * s) * cov
+
+
+def apply_rotation_gram(
+    d: np.ndarray, i: int, j: int, params: RotationParams, cov: float
+) -> None:
+    """In-place congruence update of the full symmetric Gram matrix.
+
+    Implements Algorithm 1 lines 15-26 on a *full* (not
+    upper-triangular) n x n array, which permits vectorized row/column
+    updates: ``D <- Jᵀ D J`` restricted to the (i, j) plane.
+
+    Parameters
+    ----------
+    d : numpy.ndarray
+        Symmetric Gram matrix, updated in place.
+    i, j : int
+        Rotated column indices, ``i < j``.
+    params : RotationParams
+        Rotation parameters previously computed from ``d`` at (i, j).
+    cov : float
+        The pre-rotation covariance ``d[i, j]`` (passed explicitly so a
+        cached value can be reused, as the hardware does).
+    """
+    if params.identity:
+        return
+    c, s = params.cos, params.sin
+    t = params.t
+
+    # Off-plane rows/columns: every k not in {i, j}.  A temporary copy of
+    # column i is required (the paper's pseudocode overwrites D_ki before
+    # reusing it; see DESIGN.md errata).
+    col_i = d[:, i].copy()
+    col_j = d[:, j].copy()
+    d[:, i] = col_i * c - col_j * s
+    d[:, j] = col_i * s + col_j * c
+    row_i = d[i, :].copy()
+    row_j = d[j, :].copy()
+    d[i, :] = row_i * c - row_j * s
+    d[j, :] = row_i * s + row_j * c
+
+    # The 2x2 plane block: closed forms from lines 15-17 (numerically
+    # better than the generic congruence, and exactly what the hardware
+    # computes — the covariance is *assigned* zero, not rounded to it).
+    delta = t * cov
+    norm_i = col_i[i]  # pre-rotation D_ii
+    norm_j = col_j[j]  # pre-rotation D_jj
+    d[i, i] = norm_i - delta
+    d[j, j] = norm_j + delta
+    d[i, j] = 0.0
+    d[j, i] = 0.0

@@ -1,0 +1,170 @@
+"""Top-level SVD API.
+
+:func:`hestenes_svd` is the single entry point most users need; it
+dispatches to the implementations of the paper's algorithm:
+
+* ``method="reference"`` — plain Hestenes one-sided Jacobi (recomputes
+  norms/covariances; gold standard; models the prior design [12]).
+* ``method="modified"`` — Algorithm 1 with covariance caching (the
+  paper's algorithmic contribution), sequential pair order.
+* ``method="blocked"`` — the same algorithm scheduled in round-parallel
+  batches exactly as the FPGA issues them; fastest in NumPy.
+* ``method="preconditioned"`` — Householder QR first, direct Jacobi on
+  the n x n triangular factor (Drmač-Veselić style): row-count-
+  independent sweep cost and full relative accuracy.
+
+For the cycle-level hardware simulation of the same computation, see
+:class:`repro.hw.architecture.HestenesJacobiAccelerator`, which wraps
+the blocked implementation with the timing and resource models.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.hestenes import reference_svd
+from repro.core.modified import modified_svd
+from repro.core.result import SVDResult
+from repro.util.validation import check_in_choices
+
+__all__ = ["hestenes_svd", "METHODS", "HestenesJacobiSVD"]
+
+METHODS = ("reference", "modified", "blocked", "preconditioned")
+
+
+def hestenes_svd(
+    a,
+    *,
+    method: str = "blocked",
+    compute_uv: bool = True,
+    max_sweeps: int = 6,
+    tol: float | None = None,
+    metric: str = "mean_abs",
+    ordering: str = "cyclic",
+    rotation_impl: str = "textbook",
+    track_columns: str = "first_sweep",
+    seed=None,
+) -> SVDResult:
+    """Singular value decomposition by the Hestenes-Jacobi method.
+
+    Parameters
+    ----------
+    a : array_like
+        Arbitrary m x n real matrix (the Hestenes method has no squareness
+        restriction — the point of the paper versus two-sided Jacobi).
+    method : {"blocked", "modified", "reference", "preconditioned"}
+        Implementation; see module docstring.
+    compute_uv : bool
+        Compute U and Vᵀ (True) or singular values only (False — the
+        hardware-faithful output).
+    max_sweeps : int
+        Sweep cap; the paper's hardware runs a fixed 6.
+    tol : float or None
+        Optional early-stopping threshold on *metric* after each sweep.
+    metric : str
+        Convergence metric name (:data:`repro.core.convergence.METRICS`).
+    ordering : str
+        Pair ordering ("cyclic", "row", "random").  "blocked" requires
+        the cyclic ordering (its rounds are what get batched).
+    rotation_impl : {"textbook", "dataflow"}
+        Rotation parameter formulation (Algorithm 1 vs eq. 8-10).
+    track_columns : {"always", "first_sweep", "never"}
+        Column-update schedule for the modified/blocked methods.
+    seed
+        Used only by the "random" ordering.
+
+    Returns
+    -------
+    SVDResult
+        Singular values descending; economy-size U/Vᵀ when requested.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import hestenes_svd
+    >>> a = np.array([[4.0, 1.0], [2.0, 3.0], [0.0, 5.0]])
+    >>> res = hestenes_svd(a)
+    >>> np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+    True
+    """
+    check_in_choices(method, METHODS, name="method")
+    criterion = ConvergenceCriterion(max_sweeps=max_sweeps, tol=tol, metric=metric)
+    if method == "preconditioned":
+        from repro.core.preconditioned import preconditioned_svd
+
+        return preconditioned_svd(a, compute_uv=compute_uv, criterion=criterion)
+    if method == "reference":
+        return reference_svd(
+            a,
+            compute_uv=compute_uv,
+            criterion=criterion,
+            ordering=ordering,
+            seed=seed,
+        )
+    if method == "modified":
+        return modified_svd(
+            a,
+            compute_uv=compute_uv,
+            criterion=criterion,
+            ordering=ordering,
+            seed=seed,
+            rotation_impl=rotation_impl,
+            track_columns=track_columns,
+        )
+    if ordering != "cyclic":
+        raise ValueError(
+            f'method="blocked" requires the cyclic ordering, got {ordering!r}'
+        )
+    return blocked_svd(
+        a,
+        compute_uv=compute_uv,
+        criterion=criterion,
+        rotation_impl=rotation_impl,
+        track_columns=track_columns,
+    )
+
+
+class HestenesJacobiSVD:
+    """Reusable, pre-configured Hestenes-Jacobi solver.
+
+    Stores the keyword configuration once so parameter sweeps and
+    pipelines can call :meth:`decompose` repeatedly:
+
+    >>> solver = HestenesJacobiSVD(max_sweeps=8, method="blocked")
+    >>> import numpy as np
+    >>> r = solver.decompose(np.eye(4))
+    >>> [float(v) for v in r.s]
+    [1.0, 1.0, 1.0, 1.0]
+    """
+
+    def __init__(self, **options) -> None:
+        # Validate eagerly by probing the option names against the
+        # function signature, so typos fail at construction time.
+        valid = {
+            "method",
+            "compute_uv",
+            "max_sweeps",
+            "tol",
+            "metric",
+            "ordering",
+            "rotation_impl",
+            "track_columns",
+            "seed",
+        }
+        unknown = set(options) - valid
+        if unknown:
+            raise TypeError(f"unknown options: {sorted(unknown)}")
+        self.options = dict(options)
+
+    def decompose(self, a, **overrides) -> SVDResult:
+        """Run the decomposition with stored options plus *overrides*."""
+        merged = {**self.options, **overrides}
+        return hestenes_svd(a, **merged)
+
+    def singular_values(self, a):
+        """Convenience: singular values only (hardware-faithful output)."""
+        return self.decompose(a, compute_uv=False).s
+
+    def __repr__(self) -> str:
+        opts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.options.items()))
+        return f"HestenesJacobiSVD({opts})"

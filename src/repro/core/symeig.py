@@ -1,0 +1,103 @@
+"""Cyclic Jacobi eigensolver for symmetric matrices.
+
+The mathematical cousin of everything in this library: the one-sided
+Hestenes iteration on A is *exactly* the two-sided Jacobi eigenvalue
+iteration on the Gram matrix ``D = AᵀA`` (each column rotation acts on
+D as the congruence ``JᵀDJ``).  A standalone symmetric eigensolver
+therefore serves two purposes:
+
+* cross-validation — ``eig(AᵀA) == sigma(A)^2`` ties the SVD engines
+  to an independent implementation (tests/core/test_symeig.py);
+* a building block — the block-Jacobi SVD
+  (:mod:`repro.core.block_jacobi`) diagonalizes its 2b x 2b pivot
+  blocks with it.
+
+Implementation: classical cyclic Jacobi with the stable rotation choice
+(same ``rho/t/cos/sin`` formulas as Algorithm 1) and optional
+eigenvector accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.ordering import make_sweep
+from repro.core.rotation import apply_rotation_gram, textbook_rotation
+from repro.util.numerics import frobenius_off_diagonal
+from repro.util.validation import as_square_matrix
+
+__all__ = ["jacobi_eigh"]
+
+
+def jacobi_eigh(
+    a,
+    *,
+    compute_vectors: bool = True,
+    criterion: ConvergenceCriterion | None = None,
+    ordering: str = "cyclic",
+    seed=None,
+    tol_scale: float = 1e-15,
+):
+    """Eigendecomposition of a symmetric matrix by cyclic Jacobi.
+
+    Parameters
+    ----------
+    a : array_like
+        Symmetric matrix (symmetry is checked to rounding and then
+        enforced by symmetrizing).
+    compute_vectors : bool
+        Accumulate the orthogonal eigenvector matrix V with
+        ``a = V diag(w) Vᵀ``.
+    criterion : ConvergenceCriterion
+        Sweep budget; default 30 sweeps with natural termination (a
+        sweep that rotates nothing).
+    ordering, seed
+        Pair ordering, as in the SVD drivers.
+    tol_scale : float
+        Relative threshold below which an off-diagonal entry counts as
+        already zero (against ``||a||_F``).
+
+    Returns
+    -------
+    (w, v)
+        Eigenvalues ascending (LAPACK ``eigh`` convention) and the
+        eigenvector matrix (or None), columns aligned with ``w``.
+    """
+    a = as_square_matrix(a, name="a")
+    # Max-abs scale: a Frobenius norm would overflow (underflow) for
+    # entries beyond 1e154 (below 1e-154), breaking the thresholds.
+    amax = max(float(np.max(np.abs(a))), np.finfo(float).tiny)
+    if not np.allclose(a, a.T, atol=1e-8 * amax):
+        raise ValueError("a must be symmetric")
+    d = (a + a.T) / 2.0
+    n = d.shape[0]
+    criterion = criterion or ConvergenceCriterion(max_sweeps=30, tol=None)
+    v = np.eye(n) if compute_vectors else None
+    scale = amax
+
+    for _sweep in range(criterion.max_sweeps):
+        rotations = 0
+        for round_pairs in make_sweep(n, ordering, seed):
+            for i, j in round_pairs:
+                entry = d[i, j]
+                if abs(entry) <= tol_scale * scale:
+                    continue
+                p = textbook_rotation(d[i, i], d[j, j], entry)
+                apply_rotation_gram(d, i, j, p, entry)
+                if v is not None:
+                    ci = v[:, i].copy()
+                    v[:, i] = ci * p.cos - v[:, j] * p.sin
+                    v[:, j] = ci * p.sin + v[:, j] * p.cos
+                rotations += 1
+        if rotations == 0:
+            break
+        if criterion.tol is not None and frobenius_off_diagonal(d) <= criterion.tol:
+            break
+
+    w = np.diag(d).copy()
+    order = np.argsort(w)
+    w = w[order]
+    if v is not None:
+        v = v[:, order]
+    return w, v

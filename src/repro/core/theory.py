@@ -1,0 +1,140 @@
+"""Convergence theory for Jacobi sweeps.
+
+Grounds the paper's empirical "6 iterations suffice" (Section VI-C) in
+the classical analysis:
+
+* **Exact per-rotation reduction** — a Jacobi rotation on the symmetric
+  covariance matrix ``D`` zeroes the pair entry and moves exactly its
+  energy onto the diagonal:  ``off(D')^2 = off(D)^2 - 2 D_ij^2``
+  (Frobenius norm is orthogonally invariant; only row/col i, j change;
+  the 2x2 block becomes diagonal).  This is an *identity*, not a bound,
+  and the property tests verify it to rounding.
+* **Linear-phase bound** — picking pairs cyclically, each sweep
+  annihilates every entry once; the classical worst-case estimate
+  (Henrici / Forsythe-Henrici) gives per-sweep contraction of
+  ``off^2`` by at least ``(1 - 2/N)^N`` with ``N = n(n-1)/2`` under
+  the largest-element strategy, and empirically far faster for cyclic
+  sweeps.  :func:`sweeps_upper_bound` exposes the conservative count.
+* **Quadratic phase** — once ``off(D)`` falls below the smallest
+  diagonal gap, cyclic Jacobi converges quadratically
+  (``off_next <= off^2 / (2 * gap)``, van Kempen/Wilkinson);
+  :func:`quadratic_threshold` and :func:`predict_trace` model the
+  two-phase decay visible in Figs 10-11.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import as_square_matrix, check_positive_float, check_positive_int
+
+__all__ = [
+    "off_after_rotation",
+    "sweeps_upper_bound",
+    "quadratic_threshold",
+    "predict_trace",
+    "diagonal_gap",
+]
+
+
+def off_after_rotation(off_before: float, annihilated: float) -> float:
+    """Exact off-norm after one symmetric Jacobi rotation.
+
+    In the library's upper-triangle convention
+    (:func:`repro.util.numerics.frobenius_off_diagonal`):
+    ``off' = sqrt(off^2 - a^2)`` where *a* is the annihilated entry
+    ``D_ij``.  (On the full symmetric matrix the drop is ``2 a^2``;
+    the upper triangle holds half that energy.)  Clamped to
+    ``[0, off_before]``: for off-norms below ~1e-154 the square
+    denormalizes and the square/sqrt round trip can exceed the input
+    by an ulp.
+    """
+    if annihilated == 0.0:
+        return off_before
+    value = off_before * off_before - annihilated * annihilated
+    return min(math.sqrt(max(value, 0.0)), off_before)
+
+
+def diagonal_gap(d) -> float:
+    """Smallest gap between distinct eigenvalue clusters of diag(D).
+
+    Used as the denominator of the quadratic-phase constant.  Returns
+    +inf for a 1x1 matrix and 0.0 when two diagonal entries coincide.
+    """
+    d = as_square_matrix(d, name="d")
+    diag = np.sort(np.diag(d))
+    if diag.size < 2:
+        return float("inf")
+    return float(np.min(np.diff(diag)))
+
+
+def sweeps_upper_bound(n: int, initial_off: float, target_off: float) -> int:
+    """Conservative sweep count to bring off(D) from initial to target.
+
+    Uses the linear-phase contraction ``off^2 <- off^2 (1 - 2/N)^N``
+    per sweep (N = n(n-1)/2): the bound a largest-element strategy
+    guarantees and cyclic sweeps meet in practice.  Returns 0 when the
+    target is already met; the quadratic endgame makes the true count
+    much smaller, so this is a *ceiling*, asserted (not matched) by the
+    tests.
+    """
+    check_positive_int(n, name="n")
+    check_positive_float(initial_off, name="initial_off")
+    check_positive_float(target_off, name="target_off")
+    if target_off >= initial_off:
+        return 0
+    if n < 2:
+        return 0
+    big_n = n * (n - 1) // 2
+    per_sweep = big_n * math.log1p(-2.0 / big_n)  # log of the squared factor
+    needed_log = 2.0 * (math.log(target_off) - math.log(initial_off))
+    return max(0, math.ceil(needed_log / per_sweep))
+
+
+def quadratic_threshold(d) -> float:
+    """off(D) level below which quadratic convergence kicks in.
+
+    The van Kempen condition: ``off(D) < gap / 4`` where gap is the
+    minimal separation of the (current) diagonal.  Returns +inf for
+    matrices with a single diagonal entry.
+    """
+    gap = diagonal_gap(d)
+    return gap / 4.0
+
+
+def predict_trace(
+    initial_off: float,
+    n: int,
+    sweeps: int,
+    *,
+    gap: float | None = None,
+    linear_factor: float | None = None,
+) -> list[float]:
+    """Two-phase model of the Fig. 10 decay curves.
+
+    Linear phase: ``off <- off * linear_factor`` per sweep (default the
+    Henrici worst-case ``(1 - 2/N)^{N/2}``); once below the quadratic
+    threshold (``gap/4``; skipped when *gap* is None), switches to
+    ``off <- off^2 / (2 gap)``.
+
+    Returns ``sweeps + 1`` values starting at *initial_off*.  The
+    measured curves must lie at or below this prediction — checked in
+    tests/core/test_theory.py.
+    """
+    check_positive_int(n, name="n")
+    if sweeps < 0:
+        raise ValueError("sweeps must be >= 0")
+    big_n = max(n * (n - 1) // 2, 1)
+    if linear_factor is None:
+        linear_factor = (1.0 - 2.0 / big_n) ** (big_n / 2.0) if big_n > 1 else 0.0
+    trace = [float(initial_off)]
+    off = float(initial_off)
+    for _ in range(sweeps):
+        if gap is not None and gap > 0 and off < gap / 4.0:
+            off = off * off / (2.0 * gap)
+        else:
+            off = off * linear_factor
+        trace.append(off)
+    return trace

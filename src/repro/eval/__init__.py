@@ -1,0 +1,58 @@
+"""Evaluation harness: digitized paper data, experiment runners, reports."""
+
+from repro.eval.accuracy import run_accuracy_study
+from repro.eval.calibration import verify_calibration
+from repro.eval.experiments import (
+    CLAIM_COVERAGE,
+    run_ablation_arithmetic,
+    run_ablation_caching,
+    run_ablation_ordering,
+    run_ablation_reconfiguration,
+    run_ablation_resilience,
+    run_all,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_related_work,
+    run_table1,
+    run_table2,
+)
+from repro.eval.paper_data import (
+    CLAIMS,
+    SPEEDUP_BAND,
+    TABLE1_SECONDS,
+    TABLE2_UTILIZATION,
+    Claim,
+)
+from repro.eval.report import ExperimentResult, ShapeCheck, format_experiment, format_table
+
+__all__ = [
+    "CLAIMS",
+    "CLAIM_COVERAGE",
+    "Claim",
+    "ExperimentResult",
+    "SPEEDUP_BAND",
+    "ShapeCheck",
+    "TABLE1_SECONDS",
+    "TABLE2_UTILIZATION",
+    "format_experiment",
+    "format_table",
+    "run_ablation_arithmetic",
+    "run_ablation_caching",
+    "run_ablation_ordering",
+    "run_ablation_reconfiguration",
+    "run_ablation_resilience",
+    "run_accuracy_study",
+    "run_all",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_related_work",
+    "run_table1",
+    "run_table2",
+    "verify_calibration",
+]

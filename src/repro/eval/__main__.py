@@ -1,0 +1,31 @@
+"""Run the complete evaluation: ``python -m repro.eval``.
+
+Prints every reproduced table and figure with its shape checks and
+exits non-zero if any check fails.  Set REPRO_BENCH_FULL=1 to run the
+measured convergence figures at paper scale (minutes instead of
+seconds).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.experiments import run_all
+from repro.eval.report import format_experiment
+
+
+def main() -> int:
+    failures = 0
+    for result in run_all():
+        print(format_experiment(result))
+        print()
+        failures += sum(1 for c in result.checks if not c.passed)
+    if failures:
+        print(f"{failures} shape check(s) FAILED")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

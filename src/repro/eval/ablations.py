@@ -1,0 +1,300 @@
+"""Ablation experiments: the paper's design decisions, isolated.
+
+A: covariance caching vs per-sweep recomputation (the algorithmic
+   contribution).
+B: preprocessor reconfiguration (the 4 reclaimed update kernels).
+C: pair ordering (cyclic vs row vs random) on convergence.
+D: floating point vs fixed-point CORDIC arithmetic (Section V-B).
+E: soft-error resilience of cached covariances vs recomputation, plus
+   the periodic-refresh mitigation.
+
+Each returns an :class:`repro.eval.report.ExperimentResult`; they are
+re-exported through :mod:`repro.eval.experiments` so callers see one
+experiment namespace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.plain_hestenes import plain_hestenes_svd, recompute_ratio
+from repro.core.convergence import ConvergenceCriterion
+from repro.eval.report import ExperimentResult
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.hw.timing_model import estimate_seconds
+
+__all__ = [
+    "run_ablation_caching",
+    "run_ablation_reconfiguration",
+    "run_ablation_ordering",
+    "run_ablation_arithmetic",
+    "run_ablation_resilience",
+]
+
+
+def run_ablation_caching(*, sweeps: int = 6, measure_small: bool = True) -> ExperimentResult:
+    """Ablation A: covariance caching vs per-sweep recomputation."""
+    res = ExperimentResult(
+        "ablation-caching",
+        "Covariance caching vs recomputation (flop ratio, modelled + measured)",
+        ["m", "n", "modelled ratio", "measured dot flops", "cached gram flops"],
+    )
+    for n in (128, 256):
+        for m in (128, 512, 2048):
+            res.add_row(m, n, recompute_ratio(m, n, sweeps), "-", "-")
+    if measure_small:
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((96, 24))
+        _, flops = plain_hestenes_svd(a, max_sweeps=sweeps)
+        gram_flops = 2 * 96 * (24 * 25 // 2)
+        res.add_row(96, 24, recompute_ratio(96, 24, sweeps), flops.dot_flops, gram_flops)
+        res.check(
+            "measured recompute work exceeds one-shot Gram work by ~sweeps x",
+            flops.dot_flops > (sweeps - 1) * gram_flops,
+            f"{flops.dot_flops} vs {gram_flops}",
+        )
+    res.check(
+        "caching advantage grows with aspect ratio m/n",
+        recompute_ratio(2048, 128, sweeps) > recompute_ratio(128, 128, sweeps),
+    )
+    return res
+
+
+def run_ablation_reconfiguration(arch: ArchitectureParams = PAPER_ARCH) -> ExperimentResult:
+    """Ablation B: the preprocessor-reconfiguration design point."""
+    res = ExperimentResult(
+        "ablation-reconfig",
+        "Preprocessor reconfiguration (4 extra update kernels) on/off",
+        ["n", "with reconf [s]", "without [s]", "saving"],
+    )
+    no_reconf = arch.with_(reconfig_kernels=0)
+    savings = {}
+    for n in (128, 256, 512, 1024):
+        t_with = estimate_seconds(n, n, arch)
+        t_without = estimate_seconds(n, n, no_reconf)
+        savings[n] = t_without / t_with
+        res.add_row(n, t_with, t_without, t_without / t_with)
+    res.check(
+        "reconfiguration saves cycles at every size",
+        all(s > 1.0 for s in savings.values()),
+        ", ".join(f"n={n}: {s:.2f}x" for n, s in savings.items()),
+    )
+    return res
+
+
+def run_ablation_ordering(*, n: int = 24, m: int = 48, sweeps: int = 8, seed: int = 11) -> ExperimentResult:
+    """Ablation C: pair-ordering effect on convergence (measured)."""
+    from repro.core.modified import modified_svd
+
+    rng = np.random.default_rng(seed)
+    a = rng.random((m, n))
+    res = ExperimentResult(
+        "ablation-ordering",
+        f"Ordering vs convergence on a {m}x{n} uniform random matrix",
+        ["ordering", *[f"sweep {s}" for s in range(sweeps + 1)]],
+    )
+    finals = {}
+    for ordering in ("cyclic", "row", "random"):
+        out = modified_svd(
+            a,
+            compute_uv=False,
+            ordering=ordering,
+            seed=seed,
+            criterion=ConvergenceCriterion(max_sweeps=sweeps, tol=None),
+        )
+        values = out.trace.values
+        res.add_row(ordering, *values)
+        initial = max(values[0], 1e-300)
+        # Clamp at 1e-10 relative: below that, runs are equally
+        # "converged" and the double-exponential tail scatters wildly.
+        finals[ordering] = max(values[min(6, len(values) - 1)] / initial, 1e-10)
+    res.check(
+        "every ordering converges within the sweep budget",
+        all(f <= 1e-4 for f in finals.values()),
+    )
+    res.check(
+        "the paper's cyclic ordering is competitive at sweep 6",
+        finals["cyclic"] <= 100 * min(finals.values()),
+        ", ".join(f"{k}: {v:.1e}" for k, v in finals.items()),
+    )
+    return res
+
+
+def run_ablation_arithmetic(*, seed: int = 21) -> ExperimentResult:
+    """Ablation D: floating point vs fixed-point/CORDIC (Section V-B).
+
+    The paper chose IEEE-754 double cores over the literature's CORDIC
+    fixed-point approach "for its support of a much wider range of
+    values".  This experiment runs the same matrix through both
+    datapaths at several input scales: fixed point is competitive only
+    inside its format's window; float64 is scale-free.
+    """
+    from repro.baselines.cordic_jacobi import cordic_hestenes_svd
+    from repro.core.svd import hestenes_svd
+
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-1.0, 1.0, (16, 8))
+    res = ExperimentResult(
+        "ablation-arithmetic",
+        "Floating point vs fixed-point CORDIC across input scales",
+        ["scale", "fixed rel err", "fixed saturations", "fixed zeroed",
+         "float rel err"],
+        notes="Fixed point: Q15.16, 24 CORDIC iterations, 6 sweeps.",
+    )
+    window_err = None
+    outside_ok = True
+    for scale in (1e-5, 1e-2, 1.0, 3e2, 1e5):
+        a = base * scale
+        sv = np.linalg.svd(a, compute_uv=False)
+        fixed = cordic_hestenes_svd(a, sweeps=6)
+        err_fixed = float(np.max(np.abs(fixed.s - sv)) / sv[0])
+        flt = hestenes_svd(a, compute_uv=False, max_sweeps=10)
+        err_float = float(np.max(np.abs(flt.s - sv)) / sv[0])
+        res.add_row(scale, err_fixed, fixed.saturations,
+                    round(fixed.quantized_to_zero, 3), err_float)
+        if scale == 1.0:
+            window_err = err_fixed
+        if scale in (1e-5, 1e5):
+            outside_ok = outside_ok and (
+                err_fixed > 1e-2 or fixed.saturations > 0
+                or fixed.quantized_to_zero > 0.25
+            )
+        res.check(
+            f"float64 scale-free at {scale:g}",
+            err_float < 1e-9,
+            f"{err_float:.1e}",
+        )
+    res.check(
+        "fixed point accurate only inside its window",
+        window_err is not None and window_err < 1e-3 and outside_ok,
+        f"in-window err {window_err:.1e}",
+    )
+    return res
+
+
+def run_ablation_resilience(*, m: int = 48, n: int = 16, seed: int = 31) -> ExperimentResult:
+    """Ablation E: soft-error resilience of caching vs recomputation.
+
+    FPGA block RAM is subject to single-event upsets; the paper's
+    covariance cache keeps D resident on chip for the whole run.  This
+    experiment injects one corrupted covariance entry after the first
+    sweep and compares:
+
+    * the *cached* algorithm (Algorithm 1) — the corruption persists in
+      D and propagates into the singular values;
+    * the *recompute* algorithm ([12]-style) — the same corruption in a
+      transient dot product is healed, because every sweep re-derives
+      norms and covariances from the columns;
+    * the *cached + refresh* mitigation — recompute the Gram matrix
+      from the tracked columns once mid-run (one extra preprocessor
+      pass), scrubbing any accumulated upsets.
+
+    A quantified trade-off of the paper's design: caching buys the
+    speed, recomputation buys inherent error-scrubbing, and a periodic
+    refresh recovers the scrubbing at a bounded cost.
+    """
+    from repro.core.modified import gram_matrix
+
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    sv = np.linalg.svd(a, compute_uv=False)
+
+    # --- cached: corrupt D after sweep 1 by re-entering with a bad D.
+    # modified_svd rebuilds D internally, so emulate via a two-stage
+    # run: one sweep clean, then restart from corrupted state by adding
+    # the corruption to the *matrix's* Gram through a rank-one tweak is
+    # not equivalent; instead run the algorithm manually.
+    from repro.core.ordering import cyclic_sweep
+    from repro.core.rotation import apply_rotation_gram, textbook_rotation
+
+    d = gram_matrix(a)
+    sweeps = 6
+    inject_at = (0, min(3, n - 1))
+    corrupted_value = None
+    for sweep in range(1, sweeps + 1):
+        for rnd in cyclic_sweep(n):
+            for i, j in rnd:
+                cov = d[i, j]
+                if cov == 0.0:
+                    continue
+                p = textbook_rotation(d[i, i], d[j, j], cov)
+                apply_rotation_gram(d, i, j, p, cov)
+        if sweep == 1:
+            # Single-event upset: one covariance word flips to garbage.
+            corrupted_value = float(d[inject_at]) + 0.25 * float(np.trace(d)) / n
+            d[inject_at] = corrupted_value
+            d[inject_at[1], inject_at[0]] = corrupted_value
+    diag = np.clip(np.diag(d), 0.0, None)
+    s_cached = np.sort(np.sqrt(diag))[::-1][: min(m, n)]
+    err_cached = float(np.max(np.abs(s_cached - sv)) / sv[0])
+
+    # --- cached + refresh: same upset, but the columns are tracked and
+    # D is recomputed from them at the midpoint (sweep 3), scrubbing
+    # the corruption before it propagates further.
+    d = gram_matrix(a)
+    b_cols = a.copy()
+    for sweep in range(1, sweeps + 1):
+        for rnd in cyclic_sweep(n):
+            for i, j in rnd:
+                cov = d[i, j]
+                if cov == 0.0:
+                    continue
+                p = textbook_rotation(d[i, i], d[j, j], cov)
+                apply_rotation_gram(d, i, j, p, cov)
+                from repro.core.rotation import apply_rotation_columns as _arc
+
+                _arc(b_cols, i, j, p)
+        if sweep == 1:
+            d[inject_at] = corrupted_value
+            d[inject_at[1], inject_at[0]] = corrupted_value
+        if sweep == 3:
+            d = gram_matrix(b_cols)  # the scrub: one preprocessor pass
+    diag = np.clip(np.diag(d), 0.0, None)
+    s_refresh = np.sort(np.sqrt(diag))[::-1][: min(m, n)]
+    err_refresh = float(np.max(np.abs(s_refresh - sv)) / sv[0])
+
+    # --- recompute: corrupt one dot product transiently (sweep 2 reads
+    # a bad covariance once); subsequent sweeps recompute from columns.
+    b = a.copy()
+    for sweep in range(1, sweeps + 1):
+        for rnd in cyclic_sweep(n):
+            for i, j in rnd:
+                bi, bj = b[:, i], b[:, j]
+                cov = float(bi @ bj)
+                if sweep == 2 and (i, j) == inject_at:
+                    cov += 0.25 * float(np.sum(b * b)) / n  # transient upset
+                if cov == 0.0:
+                    continue
+                p = textbook_rotation(float(bi @ bi), float(bj @ bj), cov)
+                from repro.core.rotation import apply_rotation_columns
+
+                apply_rotation_columns(b, i, j, p)
+    s_recompute = np.sort(np.linalg.norm(b, axis=0))[::-1][: min(m, n)]
+    err_recompute = float(np.max(np.abs(s_recompute - sv)) / sv[0])
+
+    res = ExperimentResult(
+        "ablation-resilience",
+        "Soft-error injection: cached covariance vs recomputation",
+        ["strategy", "injected", "sigma rel err after 6 sweeps"],
+        notes="One covariance word corrupted by 25% of mean norm after "
+              "sweep 1 (cached) / during sweep 2 (recompute).",
+    )
+    res.add_row("cached (Algorithm 1)", "persistent in D", err_cached)
+    res.add_row("recompute ([12]-style)", "transient", err_recompute)
+    res.add_row("cached + mid-run refresh", "scrubbed at sweep 3", err_refresh)
+    res.check(
+        "recomputation self-heals the upset",
+        err_recompute < 1e-8,
+        f"{err_recompute:.1e}",
+    )
+    res.check(
+        "the cached design carries the upset into the results",
+        err_cached > 1e3 * max(err_recompute, 1e-16),
+        f"{err_cached:.1e}",
+    )
+    res.check(
+        "one mid-run Gram refresh scrubs the upset",
+        err_refresh < 1e-8,
+        f"{err_refresh:.1e}",
+    )
+    return res

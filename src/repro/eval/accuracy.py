@@ -1,0 +1,155 @@
+"""Systematic accuracy study across engines and conditioning.
+
+The paper evaluates accuracy indirectly, "through analysis of the
+convergence properties" (Section VI-C).  A library release needs the
+direct version: singular-value error, factor orthogonality, and
+reconstruction residual for every engine across condition numbers —
+including the known weakness of Gram-based methods (small singular
+values resolved only to ``sqrt(eps) * sigma_max``, because forming
+``AᵀA`` squares the condition number) against the reference and
+Golub-Reinsch engines, which do not square it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.gkr_svd import golub_reinsch_svd
+from repro.core.block_jacobi import block_jacobi_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.svd import hestenes_svd
+from repro.eval.report import ExperimentResult
+from repro.util.numerics import orthogonality_error, singular_value_error
+from repro.workloads.generators import conditioned_matrix
+
+__all__ = ["run_accuracy_study", "ENGINES"]
+
+_CRIT_SWEEPS = 20
+
+
+def _run_engine(name: str, a: np.ndarray):
+    if name == "golub_reinsch":
+        return golub_reinsch_svd(a)
+    if name == "block_jacobi":
+        return block_jacobi_svd(
+            a, block=4, criterion=ConvergenceCriterion(max_sweeps=_CRIT_SWEEPS)
+        )
+    if name == "modified+polish":
+        from repro.core.modified import modified_svd
+
+        return modified_svd(
+            a, criterion=ConvergenceCriterion(max_sweeps=_CRIT_SWEEPS), polish=True
+        )
+    return hestenes_svd(a, method=name, max_sweeps=_CRIT_SWEEPS)
+
+
+ENGINES = (
+    "reference",
+    "modified",
+    "blocked",
+    "modified+polish",
+    "block_jacobi",
+    "preconditioned",
+    "golub_reinsch",
+)
+
+#: Engines that iterate on the *cached* Gram matrix (Algorithm 1): the
+#: cache drifts from the true BᵀB at the eps*cond^2 level, limiting tiny
+#: singular values and U-orthogonality.  (block_jacobi re-forms its
+#: Gram fresh per block pair, so it behaves like a direct method.)
+CACHED_GRAM = frozenset({"modified", "blocked"})
+DIRECT = (
+    "reference",
+    "modified+polish",
+    "block_jacobi",
+    "preconditioned",
+    "golub_reinsch",
+)
+
+
+def run_accuracy_study(
+    *,
+    m: int = 48,
+    n: int = 24,
+    conds=(1e0, 1e4, 1e8, 1e12),
+    seed: int = 77,
+) -> ExperimentResult:
+    """Accuracy grid: engines x condition numbers.
+
+    Metrics per cell: max relative singular-value error (vs LAPACK),
+    U-orthogonality error, reconstruction residual.  Shape checks
+    encode the expected hierarchy:
+
+    * every engine is near machine precision for well-conditioned
+      inputs;
+    * the direct engines (reference Hestenes, Golub-Reinsch) hold
+      ~1e-13 relative error out to cond 1e12;
+    * the Gram-based engines degrade like ``eps * cond`` — accurate
+      until cond ~ 1e8, then visibly worse than the direct engines
+      (the documented trade-off of Algorithm 1's caching).
+    """
+    res = ExperimentResult(
+        "accuracy",
+        f"Engine accuracy vs condition number ({m}x{n} matrices)",
+        ["engine", "cond", "sigma rel err", "U orth err", "recon err"],
+    )
+    eps = np.finfo(np.float64).eps
+    errors: dict[tuple[str, float], float] = {}
+    for cond in conds:
+        a = conditioned_matrix(m, n, cond, seed=(seed, int(np.log10(cond))))
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        for engine in ENGINES:
+            out = _run_engine(engine, a)
+            serr = singular_value_error(s_ref, out.s)
+            uerr = orthogonality_error(out.u)
+            rerr = out.reconstruction_error(a)
+            errors[(engine, cond)] = serr
+            res.add_row(engine, cond, serr, uerr, rerr)
+
+    res.check(
+        "all engines near machine precision at cond 1",
+        all(errors[(e, conds[0])] < 1e-12 for e in ENGINES),
+    )
+    res.check(
+        "direct engines stay accurate at the worst conditioning",
+        all(errors[(e, conds[-1])] < 1e-10 for e in DIRECT),
+        ", ".join(f"{e}: {errors[(e, conds[-1])]:.1e}" for e in DIRECT),
+    )
+    res.check(
+        "cached-Gram engines degrade ~ eps * cond (visible by 1e12)",
+        all(
+            errors[(e, conds[-1])] > 10 * errors[("reference", conds[-1])]
+            and errors[(e, conds[-1])] < 1e5 * eps * conds[-1]
+            for e in CACHED_GRAM
+        ),
+        ", ".join(f"{e}: {errors[(e, conds[-1])]:.1e}" for e in CACHED_GRAM),
+    )
+    # Orthogonality tiers: engines that rotate the columns until the
+    # *actual* dot products vanish (reference, polish, Golub-Reinsch)
+    # keep machine-precision factors; block_jacobi re-forms each Gram
+    # fresh but still stops on a Gram-resolution criterion, leaving a
+    # mild (1e-6-ish) drift at extreme conditioning.
+    column_exact = ("reference", "modified+polish", "preconditioned", "golub_reinsch")
+    res.check(
+        "column-exact engines keep orthonormal factors at every conditioning",
+        all(row[3] < 1e-8 for row in res.rows if row[0] in column_exact),
+    )
+    res.check(
+        "block_jacobi U-orthogonality stays below 1e-4 everywhere",
+        all(row[3] < 1e-4 for row in res.rows if row[0] == "block_jacobi"),
+    )
+    res.check(
+        "cached-Gram engines lose U-orthogonality beyond cond ~1e4 "
+        "(the caching trade-off; polish repairs it)",
+        any(
+            row[3] > 1e-2
+            for row in res.rows
+            if row[0] in CACHED_GRAM and row[1] >= 1e8
+        )
+        and all(
+            row[3] < 1e-10
+            for row in res.rows
+            if row[0] == "modified+polish"
+        ),
+    )
+    return res

@@ -1,0 +1,112 @@
+"""Transparent calibration of the comparator timing models.
+
+The MATLAB/MKL/GPU curves in Figs 7-9 cannot be rerun, so
+:mod:`repro.baselines.sw_model` and :mod:`repro.baselines.gpu_model`
+carry calibrated constants.  This module makes the calibration
+*reproducible*: given the paper's anchors, it solves for the constants
+and verifies the shipped values — so a reviewer can see exactly which
+facts pinned which numbers, and the test suite guards against silent
+drift between the anchors and the models.
+
+Anchors used (all from the paper; see eval/paper_data.py):
+
+* A1 — speedup band minimum ~3.8x, binding at (m, n) = (256, 256):
+  fixes the MATLAB effective rate at k = 256.
+* A2 — square crossover "slows down when the dimensions over 512":
+  MATLAB ~ FPGA at n = 1024, fixing the rate at k = 1024.
+  A1 + A2 are consistent with a rate linear in the small dimension —
+  the shipped ``rate_slope`` model.
+* A3 — MKL crossover at ~512 (Fig. 7 ordering): fixes the MKL slope.
+* A4 — GPU slower than MATLAB at 512, faster at 1024 ("speedups only
+  for dimensions greater than 1000"): brackets the GPU ramp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gkr_svd import gkr_flops
+from repro.baselines.gpu_model import GPU_8800_MODEL
+from repro.baselines.sw_model import MATLAB_MODEL, MKL_MODEL
+from repro.eval.paper_data import SPEEDUP_BAND, TABLE1_SECONDS
+
+__all__ = ["CalibrationReport", "calibrate_matlab_slope", "verify_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of re-deriving a model constant from paper anchors."""
+
+    name: str
+    derived: float
+    shipped: float
+    anchor: str
+
+    @property
+    def agreement(self) -> float:
+        """shipped / derived — 1.0 means the constant matches exactly."""
+        if self.derived == 0:
+            return float("inf")
+        return self.shipped / self.derived
+
+
+def calibrate_matlab_slope() -> CalibrationReport:
+    """Re-derive the MATLAB rate slope from anchor A1.
+
+    A1: the minimum of the Fig. 9 band is ~3.8x and the binding cell is
+    the square 256 x 256 (largest column count, smallest aspect):
+
+        speedup = t_matlab / t_fpga
+        t_matlab = flops_sv(256, 256) / (slope * 256)
+        => slope = flops / (256 * speedup_min * t_fpga)
+
+    with ``t_fpga`` taken from the paper's own Table I (0.033 s).
+    """
+    speedup_min = SPEEDUP_BAND[0]
+    t_fpga = TABLE1_SECONDS[(256, 256)]
+    flops = gkr_flops(256, 256)
+    derived = flops / (256.0 * speedup_min * t_fpga)
+    return CalibrationReport(
+        name="MATLAB rate_slope",
+        derived=derived,
+        shipped=MATLAB_MODEL.rate_slope,
+        anchor="A1: 3.8x minimum at 256x256 against Table I's 33 ms",
+    )
+
+
+def verify_calibration() -> list[CalibrationReport]:
+    """Re-derive every calibratable constant and compare to shipped.
+
+    Returns one report per constant; the tests assert agreement within
+    modelling slack (the shipped constants also balance the secondary
+    anchors, so exact equality is not expected).
+    """
+    reports = [calibrate_matlab_slope()]
+
+    # A3: MKL ~ FPGA at the square 512 point (Fig. 7 crossover).
+    t_fpga_512 = TABLE1_SECONDS[(512, 512)]
+    flops_512 = gkr_flops(512, 512)
+    derived_mkl = flops_512 / (512.0 * t_fpga_512) - MKL_MODEL.overhead_s
+    reports.append(
+        CalibrationReport(
+            name="MKL rate_slope",
+            derived=flops_512 / (512.0 * t_fpga_512),
+            shipped=MKL_MODEL.rate_slope,
+            anchor="A3: MKL crossover at the square 512 point",
+        )
+    )
+
+    # A4: the GPU must sit between "slower than MATLAB at 512" and
+    # "faster at 1024"; report the implied rate bracket at k = 1024.
+    t_matlab_1024 = MATLAB_MODEL.seconds(1024, 1024)
+    flops_uv_1024 = gkr_flops(1024, 1024, compute_uv=True)
+    required_rate = flops_uv_1024 / t_matlab_1024
+    reports.append(
+        CalibrationReport(
+            name="GPU rate at k=1024",
+            derived=required_rate,
+            shipped=GPU_8800_MODEL.rate(1024, 1024),
+            anchor="A4: GPU overtakes MATLAB between 512 and 1024",
+        )
+    )
+    return reports

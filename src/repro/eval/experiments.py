@@ -1,0 +1,390 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Each runner produces an :class:`repro.eval.report.ExperimentResult`
+holding the reproduced rows/series plus *shape checks* — assertions of
+the paper's qualitative claims (who wins, growth directions, where
+crossovers fall).  Benchmarks print these; ``python -m repro.eval``
+runs the full set.
+
+Modelled quantities (FPGA cycles, software/GPU times) always use paper
+scale.  Measured quantities (actual Python decompositions for the
+convergence figures) default to scaled-down sizes; pass explicit size
+lists or set REPRO_BENCH_FULL=1 for paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.gpu_model import GPU_8800_MODEL, gpu_hestenes_seconds
+from repro.baselines.plain_hestenes import fixed_point_fpga_seconds
+from repro.baselines.sw_model import MATLAB_MODEL, MKL_MODEL
+from repro.baselines.systolic_model import SystolicArrayModel
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.eval.paper_data import (
+    SPEEDUP_BAND,
+    TABLE1_SECONDS,
+    TABLE2_UTILIZATION,
+)
+from repro.eval.ablations import (
+    run_ablation_arithmetic,
+    run_ablation_caching,
+    run_ablation_ordering,
+    run_ablation_reconfiguration,
+    run_ablation_resilience,
+)
+from repro.eval.report import ExperimentResult
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.hw.resources import estimate_resources
+from repro.hw.timing_model import estimate_seconds
+from repro.util.rng import spawn_rngs
+from repro.workloads.suites import (
+    FIG7_SQUARE_SIZES,
+    FIG8_SHAPES,
+    FIG9_COLUMN_DIMS,
+    FIG9_ROW_DIMS,
+    FIG10_SQUARE_SIZES,
+    FIG11_COLUMN_DIM,
+    FIG11_ROW_DIMS,
+    TABLE1_COLUMN_DIMS,
+    TABLE1_ROW_DIMS,
+    fast_mode,
+    scale_dims,
+)
+
+#: Traceability: which experiment asserts each qualitative claim of
+#: :data:`repro.eval.paper_data.CLAIMS`.  The test suite checks this
+#: map stays total (every claim covered, every target a real runner).
+CLAIM_COVERAGE = {
+    "columns-dominate": "table1",
+    "fpga-wins-small": "fig7",
+    "fpga-loses-large": "fig7",
+    "row-growth-slow": "fig8",
+    "speedup-band": "fig9",
+    "six-sweeps-converge": "fig10",
+    "rows-dont-hurt-convergence": "fig11",
+    "beats-gpu-hestenes": "related",
+    "beats-fixed-point": "related",
+}
+
+__all__ = [
+    "CLAIM_COVERAGE",
+    "run_table1",
+    "run_table2",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_related_work",
+    "run_ablation_arithmetic",
+    "run_ablation_resilience",
+    "run_ablation_caching",
+    "run_ablation_reconfiguration",
+    "run_ablation_ordering",
+    "run_all",
+]
+
+
+def run_table1(arch: ArchitectureParams = PAPER_ARCH) -> ExperimentResult:
+    """Table I: execution seconds over the n x m grid, model vs paper."""
+    res = ExperimentResult(
+        "table1",
+        "FPGA execution time (seconds): cycle model vs paper",
+        ["n (cols)", "m (rows)", "paper [s]", "model [s]", "ratio"],
+        notes="Axis reading per DESIGN.md: outer = columns n, inner = rows m.",
+    )
+    ratios = {}
+    for n in TABLE1_COLUMN_DIMS:
+        for m in TABLE1_ROW_DIMS:
+            paper = TABLE1_SECONDS[(n, m)]
+            model = estimate_seconds(m, n, arch)
+            ratios[(n, m)] = model / paper
+            res.add_row(n, m, paper, model, model / paper)
+    res.check(
+        "every cell within 2x of the paper",
+        all(0.5 < r < 2.0 for r in ratios.values()),
+        f"worst ratio {max(ratios.values(), key=lambda r: abs(np.log(r))):.2f}",
+    )
+    res.check(
+        "column growth dominates (n: 128->1024 at m=128 grows >40x)",
+        estimate_seconds(128, 1024, arch) / estimate_seconds(128, 128, arch) > 40,
+    )
+    res.check(
+        "row growth is mild (m: 128->1024 at n=128 grows <10x)",
+        estimate_seconds(1024, 128, arch) / estimate_seconds(128, 128, arch) < 10,
+    )
+    return res
+
+
+def run_table2(arch: ArchitectureParams = PAPER_ARCH) -> ExperimentResult:
+    """Table II: resource utilization, model vs paper."""
+    rep = estimate_resources(arch)
+    ours = rep.as_table()
+    res = ExperimentResult(
+        "table2",
+        "Resource consumption on the XC5VLX330",
+        ["resource", "paper", "model", "model count"],
+    )
+    counts = {"lut": rep.luts, "bram": rep.bram_blocks, "dsp": rep.dsps}
+    for key in ("lut", "bram", "dsp"):
+        res.add_row(key.upper(), TABLE2_UTILIZATION[key], round(ours[key], 3), counts[key])
+        res.check(
+            f"{key} within 3 points of paper",
+            abs(ours[key] - TABLE2_UTILIZATION[key]) <= 0.03,
+            f"{ours[key]:.3f} vs {TABLE2_UTILIZATION[key]:.2f}",
+        )
+    return res
+
+
+def run_fig7(sizes=FIG7_SQUARE_SIZES, arch: ArchitectureParams = PAPER_ARCH) -> ExperimentResult:
+    """Fig. 7: square-matrix execution time, ours vs MATLAB/MKL/GPU."""
+    res = ExperimentResult(
+        "fig7",
+        "SVD time for square matrices (seconds)",
+        ["n", "FPGA (ours)", "MATLAB", "MKL", "GPU [7]"],
+    )
+    series = {}
+    for n in sizes:
+        row = (
+            estimate_seconds(n, n, arch),
+            MATLAB_MODEL.seconds(n, n),
+            MKL_MODEL.seconds(n, n),
+            GPU_8800_MODEL.seconds(n, n),
+        )
+        series[n] = row
+        res.add_row(n, *row)
+    small = [n for n in sizes if n <= 256]
+    res.check(
+        "FPGA fastest for dimensions <= 256",
+        all(series[n][0] == min(series[n]) for n in small),
+    )
+    if 2048 in series:
+        fpga, matlab, mkl, gpu = series[2048]
+        res.check(
+            "software/GPU overtake the FPGA at 2048 (the >512 slowdown)",
+            min(matlab, mkl, gpu) < fpga,
+            f"fpga={fpga:.2f}s best-other={min(matlab, mkl, gpu):.2f}s",
+        )
+    if 128 in series:
+        res.check(
+            "GPU is the slowest solution at 128 (thread-sync overhead)",
+            series[128][3] == max(series[128]),
+        )
+    return res
+
+
+def run_fig8(shapes=FIG8_SHAPES, arch: ArchitectureParams = PAPER_ARCH) -> ExperimentResult:
+    """Fig. 8: rectangular matrices — fixed n, growing m."""
+    res = ExperimentResult(
+        "fig8",
+        "SVD time for rectangular matrices (seconds)",
+        ["m", "n", "FPGA (ours)", "MATLAB", "MKL", "GPU [7]"],
+    )
+    by_n: dict[int, list[tuple[int, float]]] = {}
+    for m, n in shapes:
+        t = estimate_seconds(m, n, arch)
+        by_n.setdefault(n, []).append((m, t))
+        res.add_row(m, n, t, MATLAB_MODEL.seconds(m, n), MKL_MODEL.seconds(m, n),
+                    GPU_8800_MODEL.seconds(m, n))
+    for n, pts in by_n.items():
+        pts.sort()
+        (m0, t0), (m1, t1) = pts[0], pts[-1]
+        res.check(
+            f"n={n}: {m1 // m0}x more rows costs only {t1 / t0:.1f}x time (<{m1 // m0}x)",
+            t1 / t0 < m1 / m0,
+        )
+    return res
+
+
+def run_fig9(
+    column_dims=FIG9_COLUMN_DIMS,
+    row_dims=FIG9_ROW_DIMS,
+    arch: ArchitectureParams = PAPER_ARCH,
+) -> ExperimentResult:
+    """Fig. 9: dimensional speedup of the FPGA over the MATLAB model."""
+    res = ExperimentResult(
+        "fig9",
+        "Speedup over MATLAB (model), n in [128, 256], m in [128, 2048]",
+        ["m", "n", "FPGA [s]", "MATLAB [s]", "speedup"],
+        notes=f"Paper band: {SPEEDUP_BAND[0]}x to {SPEEDUP_BAND[1]}x.",
+    )
+    speedups = {}
+    for n in column_dims:
+        for m in row_dims:
+            fpga = estimate_seconds(m, n, arch)
+            matlab = MATLAB_MODEL.seconds(m, n)
+            speedups[(m, n)] = matlab / fpga
+            res.add_row(m, n, fpga, matlab, matlab / fpga)
+    lo, hi = min(speedups.values()), max(speedups.values())
+    res.check(
+        "speedup > 1 everywhere in the band",
+        lo > 1.0,
+        f"min {lo:.1f}x at {min(speedups, key=speedups.get)}",
+    )
+    res.check(
+        f"band shape comparable to paper ({SPEEDUP_BAND[0]}-{SPEEDUP_BAND[1]}x)",
+        SPEEDUP_BAND[0] * 0.5 <= lo <= SPEEDUP_BAND[0] * 2.5
+        and SPEEDUP_BAND[1] * 0.4 <= hi <= SPEEDUP_BAND[1] * 2.5,
+        f"ours {lo:.1f}-{hi:.1f}x",
+    )
+    res.check(
+        "speedup grows with row dimension (taller is better for us)",
+        all(
+            speedups[(row_dims[i], n)] < speedups[(row_dims[i + 1], n)]
+            for n in column_dims
+            for i in range(len(row_dims) - 1)
+        ),
+    )
+    return res
+
+
+def _convergence_series(shapes, sweeps, seed) -> dict[tuple[int, int], list[float]]:
+    """Mean-abs-covariance trace per shape, via the blocked implementation."""
+    rngs = spawn_rngs(seed, len(shapes))
+    series = {}
+    for (m, n), rng in zip(shapes, rngs):
+        a = rng.random((m, n))  # uniform entries: the correlated hard case
+        out = blocked_svd(
+            a,
+            compute_uv=False,
+            track_columns="never",
+            criterion=ConvergenceCriterion(max_sweeps=sweeps, tol=None),
+        )
+        series[(m, n)] = out.trace.values
+    return series
+
+
+def run_fig10(sizes=None, *, sweeps: int = 6, seed: int = 2014) -> ExperimentResult:
+    """Fig. 10: convergence (mean |cov|) per sweep, square matrices."""
+    if sizes is None:
+        sizes = scale_dims(FIG10_SQUARE_SIZES, 8, 16) if fast_mode() else FIG10_SQUARE_SIZES
+    shapes = [(n, n) for n in sizes]
+    series = _convergence_series(shapes, sweeps, seed)
+    res = ExperimentResult(
+        "fig10",
+        "Convergence of square matrices (mean abs covariance per sweep)",
+        ["n", *[f"sweep {s}" for s in range(sweeps + 1)]],
+        notes="Sweep 0 is the initial covariance level.",
+    )
+    for (m, n), values in series.items():
+        res.add_row(n, *values)
+    for (m, n), values in series.items():
+        # The paper calls 6 sweeps "reasonable convergence with certain
+        # thresholds"; its Fig. 10 shows ~4-6 decades of decay depending
+        # on size.  We require at least 4 decades relative to sweep 0.
+        res.check(
+            f"n={n}: covariances collapse by >=4 orders in {sweeps} sweeps",
+            values[-1] <= 1e-4 * max(values[0], 1e-300),
+            f"{values[0]:.2e} -> {values[-1]:.2e}",
+        )
+    res.check(
+        "decay is monotone from sweep 1 on, for every size",
+        all(
+            all(b <= a * 1.01 for a, b in zip(v[1:], v[2:]))
+            for v in series.values()
+        ),
+    )
+    return res
+
+
+def run_fig11(
+    row_dims=None, *, column_dim: int | None = None, sweeps: int = 6, seed: int = 2015
+) -> ExperimentResult:
+    """Fig. 11: convergence at fixed column size, various row sizes."""
+    if row_dims is None:
+        row_dims = (
+            scale_dims(FIG11_ROW_DIMS, 8, 16) if fast_mode() else FIG11_ROW_DIMS
+        )
+    if column_dim is None:
+        n = FIG11_COLUMN_DIM // 8 if fast_mode() else FIG11_COLUMN_DIM
+    else:
+        n = column_dim
+    shapes = [(m, n) for m in row_dims]
+    series = _convergence_series(shapes, sweeps, seed)
+    res = ExperimentResult(
+        "fig11",
+        f"Convergence at fixed column size {n}, various row sizes",
+        ["m", *[f"sweep {s}" for s in range(sweeps + 1)]],
+    )
+    finals = {}
+    for (m, _n), values in series.items():
+        res.add_row(m, *values)
+        finals[m] = values[-1] / max(values[0], 1e-300)
+    res.check(
+        "all row sizes converge by >=4 orders",
+        all(f <= 1e-4 for f in finals.values()),
+        ", ".join(f"m={m}: {f:.1e}" for m, f in finals.items()),
+    )
+    # Below 1e-8 relative, a run is simply "converged" — the double-
+    # exponential tail makes raw values scatter meaninglessly, so the
+    # similarity comparison clamps there and tolerates four decades
+    # (roughly one sweep of progress either way).
+    clamped = {m: max(f, 1e-8) for m, f in finals.items()}
+    spread = max(clamped.values()) / min(clamped.values())
+    res.check(
+        "row dimension barely affects the convergence rate (spread < 1e4)",
+        spread < 1e4,
+        f"relative-final spread {spread:.1f}x (clamped at 1e-8)",
+    )
+    return res
+
+
+def run_related_work(arch: ArchitectureParams = PAPER_ARCH) -> ExperimentResult:
+    """Section VI-B comparisons: GPU Hestenes [11], fixed-point FPGA [12],
+    and the Brent-Luk systolic family's capacity ceiling."""
+    res = ExperimentResult(
+        "related",
+        "Hestenes-Jacobi related work (Section VI-B)",
+        ["system", "shape", "time [s]", "ours [s]", "speedup"],
+    )
+    for (m, n) in ((128, 128), (256, 256)):
+        theirs = gpu_hestenes_seconds(m, n)
+        ours = estimate_seconds(m, n, arch)
+        res.add_row("GPU Hestenes [11]", f"{m}x{n}", theirs, ours, theirs / ours)
+        res.check(f"faster than GPU Hestenes at {n}", theirs / ours > 1.0)
+    theirs = fixed_point_fpga_seconds(127, 32)
+    ours = estimate_seconds(128, 128, arch)
+    res.add_row("fixed-point FPGA [12]", "32x127 (their max)", theirs, ours, theirs / ours)
+    res.check(
+        "our 128x128 beats their largest 32x127 by >3.5x (paper: >5x)",
+        theirs / ours > 3.5,
+        f"{theirs / ours:.1f}x",
+    )
+    sys_model = SystolicArrayModel(arch.platform)
+    res.add_row(
+        "Brent-Luk systolic [9]",
+        f"max {sys_model.max_square_size}x{sys_model.max_square_size}",
+        sys_model.seconds(sys_model.max_square_size, sys_model.max_square_size),
+        estimate_seconds(sys_model.max_square_size, sys_model.max_square_size, arch),
+        float("nan"),
+    )
+    res.check(
+        "systolic arrays cannot reach the paper's 128-2048 range",
+        sys_model.max_square_size < 128,
+        f"PE budget caps n at {sys_model.max_square_size}",
+    )
+    return res
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run every experiment; used by ``python -m repro.eval``."""
+    from repro.eval.accuracy import run_accuracy_study
+
+    return [
+        run_table1(),
+        run_table2(),
+        run_fig7(),
+        run_fig8(),
+        run_fig9(),
+        run_fig10(),
+        run_fig11(),
+        run_related_work(),
+        run_ablation_caching(),
+        run_ablation_reconfiguration(),
+        run_ablation_ordering(),
+        run_ablation_arithmetic(),
+        run_ablation_resilience(),
+        run_accuracy_study(),
+    ]

@@ -1,0 +1,128 @@
+"""Plot-ready series for every figure, plus a terminal renderer.
+
+The experiment runners (:mod:`repro.eval.experiments`) produce report
+rows; this module reshapes them into ``{label: (x, y)}`` series a
+plotting library (or the built-in ASCII renderer) consumes directly —
+the exact curves of Figs 7-11.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.experiments import run_fig7, run_fig8, run_fig9, run_fig10, run_fig11
+
+__all__ = [
+    "fig7_series",
+    "fig8_series",
+    "fig9_series",
+    "fig10_series",
+    "fig11_series",
+    "ascii_chart",
+]
+
+
+def fig7_series(**kwargs) -> dict[str, tuple[list, list]]:
+    """Fig. 7 curves: time vs square dimension, one series per system."""
+    result = run_fig7(**kwargs)
+    labels = result.headers[1:]
+    xs = [row[0] for row in result.rows]
+    return {
+        label: (xs, [row[i + 1] for row in result.rows])
+        for i, label in enumerate(labels)
+    }
+
+
+def fig8_series(**kwargs) -> dict[str, tuple[list, list]]:
+    """Fig. 8 curves: FPGA time vs rows, one series per column count."""
+    result = run_fig8(**kwargs)
+    series: dict[str, tuple[list, list]] = {}
+    for row in result.rows:
+        m, n, fpga = row[0], row[1], row[2]
+        xs, ys = series.setdefault(f"n={n}", ([], []))
+        xs.append(m)
+        ys.append(fpga)
+    return series
+
+
+def fig9_series(**kwargs) -> dict[str, tuple[list, list]]:
+    """Fig. 9 curves: speedup vs rows, one series per column count."""
+    result = run_fig9(**kwargs)
+    series: dict[str, tuple[list, list]] = {}
+    for row in result.rows:
+        m, n, speedup = row[0], row[1], row[4]
+        xs, ys = series.setdefault(f"n={n}", ([], []))
+        xs.append(m)
+        ys.append(speedup)
+    return series
+
+
+def fig10_series(**kwargs) -> dict[str, tuple[list, list]]:
+    """Fig. 10 curves: mean |cov| vs sweep, one series per size."""
+    result = run_fig10(**kwargs)
+    sweeps = list(range(len(result.rows[0]) - 1))
+    return {f"n={row[0]}": (sweeps, list(row[1:])) for row in result.rows}
+
+
+def fig11_series(**kwargs) -> dict[str, tuple[list, list]]:
+    """Fig. 11 curves: mean |cov| vs sweep, one series per row count."""
+    result = run_fig11(**kwargs)
+    sweeps = list(range(len(result.rows[0]) - 1))
+    return {f"m={row[0]}": (sweeps, list(row[1:])) for row in result.rows}
+
+
+def ascii_chart(
+    series: dict[str, tuple[list, list]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render ``{label: (x, y)}`` series as a terminal scatter chart.
+
+    One marker character per series (a, b, c, ...); overlapping points
+    show the later series.  Log-scale y handles the convergence plots'
+    ten-decade ranges.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+
+    def ty(v: float) -> float:
+        if not logy:
+            return v
+        return math.log10(max(v, 1e-300))
+
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [ty(y) for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10**y_hi:.1e}" if logy else f"{y_hi:.3g}"
+    bot_label = f"{10**y_lo:.1e}" if logy else f"{y_lo:.3g}"
+    lines.append(f"{top_label:>10} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bot_label:>10} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<10.6g}" + " " * max(width - 20, 1) + f"{x_hi:>8.6g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Digitized data and claims from the paper's evaluation section.
+
+Everything the evaluation harness compares against lives here, with the
+exact provenance of each number:
+
+* Table I — execution seconds of the FPGA design (grid of dimensions).
+  Axis note: the printed header reads "m \\ n", but the surrounding text
+  says execution time is dominated by the *column* count while rows
+  "have smaller impact"; the grid matches the architecture only if the
+  outer axis is the column dimension.  We store it as
+  ``TABLE1_SECONDS[(n, m)]`` under that reading (DESIGN.md §5).
+* Table II — resource utilization fractions.
+* Fig. 9 — the headline speedup band.
+* Section VI-B — published comparison points for the GPU Hestenes
+  implementation [11] and the fixed-point FPGA design [12] (the
+  running text swaps those two citations; data stored under the
+  reference list's assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TABLE1_SECONDS",
+    "TABLE2_UTILIZATION",
+    "SPEEDUP_BAND",
+    "GPU_HESTENES_MS",
+    "FIXED_POINT_FPGA",
+    "CLOCK_HZ",
+    "SWEEPS",
+    "Claim",
+    "CLAIMS",
+]
+
+#: Execution time in seconds, keyed by (column dimension n, row dimension m).
+TABLE1_SECONDS: dict[tuple[int, int], float] = {
+    (128, 128): 4.39e-3, (128, 256): 6.30e-3, (128, 512): 1.01e-2, (128, 1024): 1.79e-2,
+    (256, 128): 2.52e-2, (256, 256): 3.30e-2, (256, 512): 4.84e-2, (256, 1024): 7.94e-2,
+    (512, 128): 1.70e-1, (512, 256): 2.01e-1, (512, 512): 2.63e-1, (512, 1024): 3.87e-1,
+    (1024, 128): 1.23, (1024, 256): 1.35, (1024, 512): 1.61, (1024, 1024): 2.01,
+}
+
+#: Table II: fraction of the XC5VLX330 consumed.
+TABLE2_UTILIZATION = {"lut": 0.89, "bram": 0.91, "dsp": 0.53}
+
+#: Fig. 9 headline: "speedups ... range from 3.8x to 43.6x for matrices
+#: with column sizes from 128 to 256 and row dimensions from 128 to 2048".
+SPEEDUP_BAND = (3.8, 43.6)
+
+#: Section VI-B: GPU Hestenes [11] execution times (milliseconds).
+GPU_HESTENES_MS = {(128, 128): 106.90, (256, 256): 1022.92}
+
+#: Section VI-B: fixed-point FPGA design [12] — largest shape and its time.
+FIXED_POINT_FPGA = {"max_shape": (128, 32), "anchor_shape": (127, 32),
+                    "anchor_seconds": 24.3143e-3}
+
+CLOCK_HZ = 150e6
+SWEEPS = 6
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A qualitative claim from the paper that experiments must check."""
+
+    ident: str
+    text: str
+    source: str
+
+
+CLAIMS = (
+    Claim(
+        "columns-dominate",
+        "Execution time grows significantly with the column count; row "
+        "count has smaller impact",
+        "Section VI-B, first paragraph",
+    ),
+    Claim(
+        "fpga-wins-small",
+        "Better efficiency than software solutions for dimensions under 512",
+        "Section VI-B / Fig. 7",
+    ),
+    Claim(
+        "fpga-loses-large",
+        "Execution slows down relative to software when dimensions exceed "
+        "512 (I/O throughput limits)",
+        "Section VI-B / Fig. 7",
+    ),
+    Claim(
+        "row-growth-slow",
+        "Growing the row count causes a comparatively slow increase in "
+        "execution time at fixed column dimension",
+        "Section VI-B / Fig. 8",
+    ),
+    Claim(
+        "speedup-band",
+        "Speedups of 3.8x-43.6x over MATLAB for n in [128, 256], m in "
+        "[128, 2048]",
+        "Abstract / Fig. 9",
+    ),
+    Claim(
+        "six-sweeps-converge",
+        "Reasonable convergence within 6 iterations for matrices of "
+        "dimensions no greater than 2048",
+        "Section VI-C / Fig. 10",
+    ),
+    Claim(
+        "rows-dont-hurt-convergence",
+        "Convergence behaviour is similar across row dimensions at fixed "
+        "column size 1024",
+        "Section VI-C / Fig. 11",
+    ),
+    Claim(
+        "beats-gpu-hestenes",
+        "Faster than the GPU Hestenes implementation (106.90 ms / "
+        "1022.92 ms at 128/256 square)",
+        "Section VI-B",
+    ),
+    Claim(
+        "beats-fixed-point",
+        "More than 5x speedup over the fixed-point FPGA design's "
+        "24.31 ms (and no 32x128 size ceiling)",
+        "Section VI-B",
+    ),
+)

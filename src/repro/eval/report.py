@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShapeCheck", "ExperimentResult", "format_table", "format_experiment"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative (shape) assertion about a reproduced experiment."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows of data plus shape checks."""
+
+    ident: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(ShapeCheck(name, bool(passed), detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def __str__(self) -> str:
+        return format_experiment(self)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(parts):
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Full report block for one experiment."""
+    out = [f"=== {result.ident}: {result.title} ==="]
+    if result.notes:
+        out.append(result.notes)
+    out.append(format_table(result.headers, result.rows))
+    if result.checks:
+        out.append("shape checks:")
+        out.extend(f"  {c}" for c in result.checks)
+    return "\n".join(out)

@@ -1,0 +1,66 @@
+"""Hardware substrate: simulator of the paper's FPGA architecture.
+
+The paper evaluates on a Convey HC-2 with a Virtex-5 XC5VLX330 we do
+not have; this package substitutes a faithful simulator (see DESIGN.md
+for the substitution argument).  Modules:
+
+* :mod:`repro.hw.params` — architecture/platform configuration.
+* :mod:`repro.hw.fp_ops` — pipelined IEEE-754 operator models.
+* :mod:`repro.hw.fifo`, :mod:`repro.hw.bram`, :mod:`repro.hw.offchip` —
+  storage and interconnect.
+* :mod:`repro.hw.preprocessor`, :mod:`repro.hw.jacobi_unit`,
+  :mod:`repro.hw.kernels` — the three computational components.
+* :mod:`repro.hw.scheduler` — event-driven co-simulation.
+* :mod:`repro.hw.timing_model` — closed-form cycle model (Table I).
+* :mod:`repro.hw.resources` — device utilization model (Table II).
+* :mod:`repro.hw.architecture` — the user-facing accelerator facade.
+"""
+
+from repro.hw.architecture import AcceleratorOutcome, HestenesJacobiAccelerator
+from repro.hw.params import (
+    PAPER_ARCH,
+    ArchitectureParams,
+    FifoSpec,
+    FloatCoreLatencies,
+    PlatformParams,
+)
+from repro.hw.resources import TABLE2_PAPER, CoreCosts, ResourceReport, estimate_resources
+from repro.hw.datasheet import render_datasheet
+from repro.hw.netlist import Netlist, build_netlist
+from repro.hw.pipeline import StreamSchedule, schedule_stream
+from repro.hw.scheduler import SimulationOutcome, simulate_decomposition
+from repro.hw.sweep import DesignPoint, explore_design_space, pareto_front
+from repro.hw.timing_model import CycleBreakdown, estimate_cycles, estimate_seconds
+from repro.hw.trace import ExecutionTrace, build_trace, render_gantt
+from repro.hw.verification import run_coverification
+
+__all__ = [
+    "PAPER_ARCH",
+    "TABLE2_PAPER",
+    "AcceleratorOutcome",
+    "ArchitectureParams",
+    "CoreCosts",
+    "CycleBreakdown",
+    "DesignPoint",
+    "ExecutionTrace",
+    "FifoSpec",
+    "FloatCoreLatencies",
+    "HestenesJacobiAccelerator",
+    "Netlist",
+    "PlatformParams",
+    "ResourceReport",
+    "SimulationOutcome",
+    "StreamSchedule",
+    "build_netlist",
+    "schedule_stream",
+    "build_trace",
+    "estimate_cycles",
+    "estimate_resources",
+    "estimate_seconds",
+    "explore_design_space",
+    "pareto_front",
+    "render_datasheet",
+    "render_gantt",
+    "run_coverification",
+    "simulate_decomposition",
+]

@@ -1,0 +1,171 @@
+"""Top-level accelerator facade: functional result + cycles + resources.
+
+:class:`HestenesJacobiAccelerator` is the "device" a user of the
+reproduction programs against.  ``decompose`` returns the singular
+values the hardware would produce together with the modelled execution
+time; two timing modes are available:
+
+* ``mode="analytic"`` (default) — functional result from the blocked
+  NumPy implementation (bit-compatible with the hardware's rotation
+  order and dataflow equations), cycles from the closed-form model.
+  Scales to the paper's full 2048-row/column workloads.
+* ``mode="event"`` — the component-level co-simulation of
+  :mod:`repro.hw.scheduler`; slower, but the cycle count emerges from
+  simulated FIFOs/kernels/memory.  Intended for n up to ~64 and used to
+  validate the analytic model.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.hw import HestenesJacobiAccelerator
+>>> acc = HestenesJacobiAccelerator()
+>>> a = np.random.default_rng(0).standard_normal((64, 16))
+>>> out = acc.decompose(a)
+>>> bool(np.allclose(out.result.s, np.linalg.svd(a, compute_uv=False)))
+True
+>>> out.seconds > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.result import SVDResult
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.hw.resources import ResourceReport, estimate_resources
+from repro.hw.scheduler import simulate_decomposition
+from repro.hw.timing_model import CycleBreakdown, estimate_cycles
+from repro.util.validation import as_float_matrix, check_in_choices
+
+__all__ = ["AcceleratorOutcome", "HestenesJacobiAccelerator"]
+
+MODES = ("analytic", "event")
+
+
+@dataclass
+class AcceleratorOutcome:
+    """Result of one accelerated decomposition."""
+
+    result: SVDResult
+    cycles: int
+    seconds: float
+    mode: str
+    breakdown: CycleBreakdown | None = None
+    stats: dict | None = None
+
+    @property
+    def s(self) -> np.ndarray:
+        """Singular values (descending) — the hardware's ``Sig`` output."""
+        return self.result.s
+
+
+class HestenesJacobiAccelerator:
+    """The FPGA Hestenes-Jacobi SVD engine (simulated).
+
+    Parameters
+    ----------
+    arch : ArchitectureParams
+        Hardware configuration; defaults to the paper's build
+        (Virtex-5 XC5VLX330 @ 150 MHz, 6 sweeps).
+    mode : {"analytic", "event"}
+        Timing mode (see module docstring).
+    compute_v : bool
+        Accumulate right singular vectors.  The paper's hardware emits
+        only singular values; V accumulation models the Section VII PCA
+        extension and costs extra update streams, which the timing
+        model accounts for by treating V columns like matrix columns.
+    """
+
+    def __init__(
+        self,
+        arch: ArchitectureParams = PAPER_ARCH,
+        *,
+        mode: str = "analytic",
+        compute_v: bool = False,
+    ) -> None:
+        check_in_choices(mode, MODES, name="mode")
+        self.arch = arch
+        self.mode = mode
+        self.compute_v = compute_v
+
+    # ---- main entry -----------------------------------------------------
+
+    def decompose(self, a, *, sweeps: int | None = None) -> AcceleratorOutcome:
+        """Decompose *a*; returns values plus modelled execution time."""
+        a = as_float_matrix(a, name="a")
+        if self.mode == "event":
+            return self._decompose_event(a, sweeps)
+        return self._decompose_analytic(a, sweeps)
+
+    def _decompose_analytic(self, a, sweeps):
+        m, n = a.shape
+        n_sweeps = self.arch.sweeps if sweeps is None else sweeps
+        res = blocked_svd(
+            a,
+            compute_uv=self.compute_v,
+            criterion=ConvergenceCriterion(max_sweeps=n_sweeps, tol=None),
+            rotation_impl="dataflow",
+            track_columns="first_sweep" if self.compute_v else "never",
+        )
+        bd = estimate_cycles(
+            m, n, self.arch, sweeps=n_sweeps, accumulate_v=self.compute_v
+        )
+        return AcceleratorOutcome(
+            result=res,
+            cycles=bd.total,
+            seconds=bd.seconds,
+            mode="analytic",
+            breakdown=bd,
+        )
+
+    def _decompose_event(self, a, sweeps):
+        m, n = a.shape
+        n_sweeps = self.arch.sweeps if sweeps is None else sweeps
+        sim = simulate_decomposition(
+            a, self.arch, sweeps=n_sweeps, compute_v=self.compute_v
+        )
+        vt = None
+        if sim.v is not None:
+            k = min(m, n)
+            vt = sim.v.T[:k, :]
+        res = SVDResult(
+            s=sim.singular_values,
+            u=None,
+            vt=vt,
+            sweeps=n_sweeps,
+            trace=sim.trace,
+            method="fpga-event",
+            converged=True,
+        )
+        return AcceleratorOutcome(
+            result=res,
+            cycles=sim.cycles,
+            seconds=self.arch.seconds(sim.cycles),
+            mode="event",
+            stats=sim.stats,
+        )
+
+    # ---- models ----------------------------------------------------------
+
+    def estimate(self, m: int, n: int, *, sweeps: int | None = None) -> CycleBreakdown:
+        """Cycle/time estimate without running any data (Table I mode)."""
+        return estimate_cycles(m, n, self.arch, sweeps=sweeps)
+
+    def estimate_seconds(self, m: int, n: int, **kwargs) -> float:
+        """Estimated wall-clock seconds for an m x n decomposition."""
+        return self.estimate(m, n, **kwargs).seconds
+
+    def resource_report(self) -> ResourceReport:
+        """Device utilization of this configuration (Table II mode)."""
+        return estimate_resources(self.arch)
+
+    def __repr__(self) -> str:
+        return (
+            f"HestenesJacobiAccelerator(mode={self.mode!r}, "
+            f"clock={self.arch.clock_hz/1e6:.0f}MHz, sweeps={self.arch.sweeps})"
+        )

@@ -1,0 +1,153 @@
+"""On-chip memory models: simple dual-port RAM and the BRAM budget.
+
+The architecture keeps three classes of data in block RAM (Section V /
+VI-A): the rotation-angle parameters (cos, sin) of in-flight groups,
+covariances "whose computations have not been completed with the
+current vector pairing", and — for column dimensions up to 256 — the
+whole covariance matrix.  ``DualPortRAM`` provides functional storage
+with port-conflict accounting; ``BramBudget`` converts logical stores
+into 36 Kb block counts against the Virtex-5 capacity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["DualPortRAM", "BramBudget", "covariance_words", "fits_on_chip"]
+
+
+def covariance_words(n: int) -> int:
+    """Words needed for the upper-triangular covariance matrix (with diag)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return n * (n + 1) // 2
+
+
+def fits_on_chip(n: int, max_onchip_cols: int = 256) -> bool:
+    """Paper's rule: the whole covariance matrix is local iff n <= 256."""
+    return n <= max_onchip_cols
+
+
+class DualPortRAM:
+    """Simple dual-port RAM: one read port + one write port per cycle.
+
+    Functional storage is a float64 array.  Reads have a one-cycle
+    latency (matching BRAM output registers); the model counts port
+    conflicts (two same-cycle accesses to one port), which the
+    schedulers must keep at zero.
+    """
+
+    READ_LATENCY = 1
+
+    def __init__(self, words: int, name: str = "") -> None:
+        if words < 1:
+            raise ValueError("words must be >= 1")
+        self.words = words
+        self.name = name
+        self.data = np.zeros(words)
+        self.reads = 0
+        self.writes = 0
+        self.conflicts = 0
+        self._last_read_cycle = -1
+        self._last_write_cycle = -1
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.words:
+            raise IndexError(
+                f"RAM {self.name or id(self)}: address {addr} out of range "
+                f"[0, {self.words})"
+            )
+
+    def read(self, addr: int, cycle: int = 0) -> tuple[float, int]:
+        """Read *addr*; returns ``(value, ready_cycle)``."""
+        self._check(addr)
+        if cycle == self._last_read_cycle:
+            self.conflicts += 1
+        self._last_read_cycle = cycle
+        self.reads += 1
+        return float(self.data[addr]), cycle + self.READ_LATENCY
+
+    def write(self, addr: int, value: float, cycle: int = 0) -> None:
+        self._check(addr)
+        if cycle == self._last_write_cycle:
+            self.conflicts += 1
+        self._last_write_cycle = cycle
+        self.writes += 1
+        self.data[addr] = value
+
+    def reset(self) -> None:
+        self.data[:] = 0.0
+        self.reads = self.writes = self.conflicts = 0
+        self._last_read_cycle = self._last_write_cycle = -1
+
+
+class BramBudget:
+    """Accounts 36 Kb block allocations against a device capacity.
+
+    Each allocation is ``(name, words, word_bits)``; blocks are counted
+    with ceiling division per allocation (a hardware RAM cannot share a
+    block across unrelated memories without extra muxing, which the
+    paper's design does not do).
+    """
+
+    BLOCK_BITS = 36 * 1024
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be >= 1")
+        self.capacity_blocks = capacity_blocks
+        self.allocations: dict[str, int] = {}
+
+    @classmethod
+    def blocks_for(cls, words: int, word_bits: int = 64) -> int:
+        """36 Kb blocks needed for *words* entries of *word_bits* each.
+
+        BRAM36 primitives provide at most 36-bit-wide ports; a 64-bit
+        word therefore occupies two block "lanes" when the depth exceeds
+        512 — modelled here by pure capacity with a width-lane floor.
+        """
+        if words <= 0:
+            return 0
+        bits = words * word_bits
+        by_capacity = math.ceil(bits / cls.BLOCK_BITS)
+        by_width = math.ceil(word_bits / 36)  # minimum lanes for the width
+        return max(by_capacity, by_width)
+
+    def allocate(self, name: str, words: int, word_bits: int = 64) -> int:
+        """Record an allocation; returns blocks used.  Raises when over."""
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        blocks = self.blocks_for(words, word_bits)
+        if self.used_blocks + blocks > self.capacity_blocks:
+            raise MemoryError(
+                f"BRAM budget exceeded: {self.used_blocks}+{blocks} "
+                f"> {self.capacity_blocks} blocks (allocating {name!r})"
+            )
+        self.allocations[name] = blocks
+        return blocks
+
+    def allocate_blocks(self, name: str, blocks: int) -> int:
+        """Record a raw block-count allocation (for fixed structures)."""
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self.used_blocks + blocks > self.capacity_blocks:
+            raise MemoryError(
+                f"BRAM budget exceeded: {self.used_blocks}+{blocks} "
+                f"> {self.capacity_blocks} blocks (allocating {name!r})"
+            )
+        self.allocations[name] = blocks
+        return blocks
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def utilization(self) -> float:
+        return self.used_blocks / self.capacity_blocks
+
+    def report(self) -> dict[str, int]:
+        """Allocation table, name -> blocks."""
+        return dict(self.allocations)

@@ -1,0 +1,142 @@
+"""FIFO model with cycle-stamped entries and occupancy statistics.
+
+The paper's architecture uses three FIFO groups: two groups of eight
+64-bit FIFOs synchronizing input and output with the Convey memory
+system, and one group of eight 127-bit FIFOs carrying (element, cos,
+sin)-style bundles between the Hestenes preprocessor and the Update
+operator.  The model enforces capacity, preserves order, and tracks
+high-water marks so the co-simulator can verify that the paper's depths
+never overflow on the evaluated workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Fifo", "FifoGroup"]
+
+
+class FifoOverflowError(RuntimeError):
+    """Raised on a push into a full FIFO (backpressure must be modelled)."""
+
+
+class FifoUnderflowError(RuntimeError):
+    """Raised on a pop from an empty FIFO."""
+
+
+@dataclass
+class _Entry:
+    value: object
+    ready_cycle: int
+
+
+class Fifo:
+    """A single synchronous FIFO.
+
+    Entries carry the cycle at which they become visible to the
+    consumer (producer latency), so the simulator can model
+    store-and-forward timing without a global event wheel.
+    """
+
+    def __init__(self, depth: int, width_bits: int = 64, name: str = "") -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if width_bits < 1:
+            raise ValueError("width_bits must be >= 1")
+        self.depth = depth
+        self.width_bits = width_bits
+        self.name = name
+        self._q: deque[_Entry] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def push(self, value, cycle: int = 0) -> None:
+        """Enqueue *value*, visible to the consumer from *cycle* on."""
+        if self.full:
+            raise FifoOverflowError(
+                f"FIFO {self.name or id(self)} overflow (depth {self.depth})"
+            )
+        self._q.append(_Entry(value, cycle))
+        self.pushes += 1
+        self.high_water = max(self.high_water, len(self._q))
+
+    def pop(self, cycle: int | None = None):
+        """Dequeue the oldest entry.
+
+        When *cycle* is given, returns ``(value, visible_cycle)`` where
+        ``visible_cycle = max(cycle, entry.ready_cycle)`` — the earliest
+        cycle the consumer could actually have read it.
+        """
+        if self.empty:
+            raise FifoUnderflowError(f"FIFO {self.name or id(self)} underflow")
+        entry = self._q.popleft()
+        self.pops += 1
+        if cycle is None:
+            return entry.value
+        return entry.value, max(cycle, entry.ready_cycle)
+
+    def peek(self):
+        if self.empty:
+            raise FifoUnderflowError(f"FIFO {self.name or id(self)} underflow")
+        return self._q[0].value
+
+    def reset(self) -> None:
+        self._q.clear()
+        self.pushes = 0
+        self.pops = 0
+        self.high_water = 0
+
+
+class FifoGroup:
+    """A bank of identical FIFOs addressed round-robin by the producer.
+
+    Mirrors the paper's "group of eight FIFOs": data words are striped
+    across the group, widening effective bandwidth to
+    ``count * width_bits`` per cycle.
+    """
+
+    def __init__(self, count: int, depth: int, width_bits: int, name: str = "") -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.fifos = [Fifo(depth, width_bits, f"{name}[{i}]") for i in range(count)]
+        self.name = name
+        self._push_idx = 0
+        self._pop_idx = 0
+
+    def push(self, value, cycle: int = 0) -> None:
+        self.fifos[self._push_idx].push(value, cycle)
+        self._push_idx = (self._push_idx + 1) % len(self.fifos)
+
+    def pop(self, cycle: int | None = None):
+        out = self.fifos[self._pop_idx].pop(cycle)
+        self._pop_idx = (self._pop_idx + 1) % len(self.fifos)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(f) for f in self.fifos)
+
+    @property
+    def high_water(self) -> int:
+        return max(f.high_water for f in self.fifos)
+
+    @property
+    def pushes(self) -> int:
+        return sum(f.pushes for f in self.fifos)
+
+    def reset(self) -> None:
+        for f in self.fifos:
+            f.reset()
+        self._push_idx = self._pop_idx = 0

@@ -1,0 +1,237 @@
+"""Fixed-point arithmetic and CORDIC — the road not taken.
+
+Section V-B of the paper: "the CORDIC algorithm is a popular choice in
+the research literature, due to its advantages on efficiently
+performing complicated trigonometric functions through simple
+shift-and-add operations.  Although CORDIC has been demonstrated as a
+hardware-efficient algorithm for fixed-point operations, its efficient
+floating-point implementation is challenged by its inherent bit-width
+shift-and-add structure."  The paper therefore uses IEEE-754 double
+cores; the earlier FPGA design [12] used fixed point and was limited to
+32 x 128 matrices.
+
+This module implements that alternative so the trade-off can be
+measured: a saturating Q-format (:class:`QFormat`) and integer-only
+CORDIC in vectoring mode (magnitude + angle) and rotation mode — the
+exact primitives a fixed-point Jacobi datapath is built from.
+:mod:`repro.baselines.cordic_jacobi` assembles them into a complete
+fixed-point Hestenes-Jacobi SVD whose accuracy/dynamic-range failures
+are what the paper's floating-point choice avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["QFormat", "CordicCore", "CORDIC_GAIN"]
+
+#: The CORDIC gain K = prod(sqrt(1 + 2^-2i)) for i -> inf.
+CORDIC_GAIN = 1.6467602581210654
+
+
+@dataclass
+class QFormat:
+    """Signed fixed-point Q(int_bits).(frac_bits) with saturation.
+
+    Values are stored as Python/NumPy int64 raw words; the represented
+    value is ``raw / 2**frac_bits``.  Total width is
+    ``1 + int_bits + frac_bits`` (sign + integer + fraction) and must
+    fit in 63 bits so products can be formed in int64 pairs.
+
+    Saturation events are counted — they are the "dynamic range"
+    failures the paper's floating-point datapath avoids.
+    """
+
+    int_bits: int = 15
+    frac_bits: int = 16
+    saturations: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.int_bits, name="int_bits")
+        check_positive_int(self.frac_bits, name="frac_bits")
+        if 1 + self.int_bits + self.frac_bits > 63:
+            raise ValueError("total width must fit in 63 bits")
+
+    # -- limits --------------------------------------------------------------
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    @property
+    def raw_max(self) -> int:
+        return (1 << (self.int_bits + self.frac_bits)) - 1
+
+    @property
+    def raw_min(self) -> int:
+        return -(1 << (self.int_bits + self.frac_bits))
+
+    @property
+    def max_value(self) -> float:
+        return self.raw_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """The quantization step 2^-frac_bits."""
+        return 1.0 / self.scale
+
+    # -- conversion -----------------------------------------------------------
+
+    def saturate(self, raw):
+        """Clamp raw words into range, counting saturation events."""
+        raw = np.asarray(raw, dtype=np.int64)
+        over = (raw > self.raw_max) | (raw < self.raw_min)
+        n_over = int(np.count_nonzero(over))
+        if n_over:
+            self.saturations += n_over
+            raw = np.clip(raw, self.raw_min, self.raw_max)
+        return raw
+
+    def quantize(self, x):
+        """Float -> raw fixed-point words (round to nearest, saturate)."""
+        x = np.asarray(x, dtype=np.float64)
+        scaled = np.rint(x * self.scale)
+        # Clip in float space first: float->int64 overflow is UB-ish.
+        limit = float(1 << 62)
+        scaled = np.clip(scaled, -limit, limit)
+        return self.saturate(scaled.astype(np.int64))
+
+    def to_float(self, raw) -> np.ndarray:
+        """Raw words -> float values."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def add(self, a, b):
+        """Saturating addition of raw words."""
+        return self.saturate(np.asarray(a, np.int64) + np.asarray(b, np.int64))
+
+    def sub(self, a, b):
+        return self.saturate(np.asarray(a, np.int64) - np.asarray(b, np.int64))
+
+    def mul(self, a, b):
+        """Saturating multiplication: ``(a * b) >> frac_bits``.
+
+        Products are formed through float128-free object math when they
+        could exceed int64; for the word widths used here (<= 63 bits)
+        the Python-int path is exact.
+        """
+        a = np.asarray(a, np.int64)
+        b = np.asarray(b, np.int64)
+        # Exact big-int products, then shift with rounding.
+        prod = a.astype(object) * b.astype(object)
+        half = 1 << (self.frac_bits - 1)
+        shifted = (prod + half) >> self.frac_bits
+        return self.saturate(np.array([int(v) for v in np.ravel(shifted)],
+                                      dtype=np.int64).reshape(np.shape(prod)))
+
+    def reset_counters(self) -> None:
+        self.saturations = 0
+
+
+class CordicCore:
+    """Integer-only CORDIC (circular mode).
+
+    Angles are raw words of the same Q format as the data path (radians
+    times 2^frac_bits).  ``iterations`` micro-rotations give roughly
+    ``iterations`` bits of angular precision; the amplitude gain K is
+    compensated where noted.
+    """
+
+    def __init__(self, fmt: QFormat, iterations: int = 24) -> None:
+        self.fmt = fmt
+        self.iterations = check_positive_int(iterations, name="iterations")
+        # atan(2^-i) table in raw angle words.
+        self.atan_table = [
+            int(round(math.atan(2.0**-i) * fmt.scale)) for i in range(self.iterations)
+        ]
+        self.gain = self._exact_gain(self.iterations)
+        #: Raw multiplier implementing the 1/K amplitude correction.
+        self.inv_gain_raw = int(round((1.0 / self.gain) * fmt.scale))
+
+    @staticmethod
+    def _exact_gain(iterations: int) -> float:
+        g = 1.0
+        for i in range(iterations):
+            g *= math.sqrt(1.0 + 2.0 ** (-2 * i))
+        return g
+
+    # -- vectoring mode: (x, y) -> (K * |v|, atan2(y, x)) ----------------------
+
+    def vectoring(self, x_raw: int, y_raw: int) -> tuple[int, int]:
+        """Drive y to zero; returns (magnitude_raw_with_gain, angle_raw).
+
+        Inputs must satisfy x >= 0 (fold the left half-plane before
+        calling, as hardware does); the returned magnitude carries the
+        CORDIC gain K (divide by :attr:`gain` or multiply by
+        ``inv_gain_raw`` to correct).
+        """
+        x, y, z = int(x_raw), int(y_raw), 0
+        if x < 0:
+            raise ValueError("vectoring mode requires x >= 0 (pre-fold)")
+        for i in range(self.iterations):
+            if y > 0:
+                x, y, z = x + (y >> i), y - (x >> i), z + self.atan_table[i]
+            else:
+                x, y, z = x - (y >> i), y + (x >> i), z - self.atan_table[i]
+        return x, z
+
+    # -- rotation mode: rotate (x, y) by angle ---------------------------------
+
+    def rotation(self, x_raw: int, y_raw: int, angle_raw: int) -> tuple[int, int]:
+        """Rotate the vector by *angle* (raw words); gain-corrected.
+
+        The angle must lie within CORDIC's convergence range
+        (|angle| <= ~1.74 rad); Jacobi rotation angles are at most
+        pi/4, comfortably inside.
+        """
+        x, y, z = int(x_raw), int(y_raw), int(angle_raw)
+        for i in range(self.iterations):
+            if z >= 0:
+                x, y, z = x - (y >> i), y + (x >> i), z - self.atan_table[i]
+            else:
+                x, y, z = x + (y >> i), y - (x >> i), z + self.atan_table[i]
+        # Amplitude correction by 1/K in the data format.
+        fmt = self.fmt
+        x = int(fmt.mul(np.int64(x), np.int64(self.inv_gain_raw)))
+        y = int(fmt.mul(np.int64(y), np.int64(self.inv_gain_raw)))
+        return x, y
+
+    def rotation_array(self, x_raw, y_raw, angle_raw: int):
+        """Rotate many (x, y) pairs by one shared angle — vectorized.
+
+        The rotation-mode decision sequence depends only on the angle
+        accumulator z, never on the data, so every element pair of a
+        column pair follows the *same* shift-add schedule — which is
+        precisely why a hardware CORDIC array can stream a whole column
+        through one control sequence.  Returns gain-corrected raw word
+        arrays.
+        """
+        x = np.asarray(x_raw, dtype=np.int64).copy()
+        y = np.asarray(y_raw, dtype=np.int64).copy()
+        z = int(angle_raw)
+        for i in range(self.iterations):
+            if z >= 0:
+                x, y = x - (y >> i), y + (x >> i)
+                z -= self.atan_table[i]
+            else:
+                x, y = x + (y >> i), y - (x >> i)
+                z += self.atan_table[i]
+        x = self.fmt.mul(x, np.int64(self.inv_gain_raw))
+        y = self.fmt.mul(y, np.int64(self.inv_gain_raw))
+        return x, y
+
+    def atan2(self, y_raw: int, x_raw: int) -> int:
+        """Full-plane atan2 via vectoring with half-plane folding."""
+        if x_raw >= 0:
+            _, z = self.vectoring(x_raw, y_raw)
+            return z
+        # Left half-plane: atan2(y, x) = sign(y)*pi - atan2(y, -x).
+        _, z = self.vectoring(-x_raw, y_raw)
+        pi_raw = int(round(math.pi * self.fmt.scale))
+        return (pi_raw - z) if y_raw >= 0 else (-pi_raw - z)

@@ -1,0 +1,145 @@
+"""Pipelined IEEE-754 double-precision operator models.
+
+Each operator mirrors a Xilinx Coregen floating-point core: a fixed
+pipeline latency, an initiation interval of one (a new operation may
+enter every cycle), and true float64 arithmetic.  The models are used
+by the event-driven simulator to carry both *values* and *timestamps*
+through the datapath, and they keep issue statistics so utilization can
+be reported per component.
+
+The functional result is computed with NumPy float64 — identical
+bit-for-bit to an IEEE-754-compliant hardware core for these operations
+(+, -, *, /, sqrt are all correctly rounded in both).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["PipelinedOperator", "OperatorBank", "make_operator"]
+
+_OPS = {
+    "mul": lambda a, b: a * b,
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "div": lambda a, b: a / b,
+    "sqrt": lambda a, b=None: math.sqrt(a),
+}
+
+
+@dataclass
+class PipelinedOperator:
+    """One pipelined floating-point core.
+
+    Parameters
+    ----------
+    kind : str
+        "mul", "add", "sub", "div" or "sqrt".
+    latency : int
+        Cycles from issue to result.
+    name : str
+        Instance label for reports (e.g. ``"jacobi.div0"``).
+    """
+
+    kind: str
+    latency: int
+    name: str = ""
+    issues: int = 0
+    _last_issue: int = field(default=-1, repr=False)
+    busy_until: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _OPS:
+            raise ValueError(f"unknown operator kind {self.kind!r}")
+        if self.latency < 1:
+            raise ValueError("latency must be >= 1")
+        self._fn = _OPS[self.kind]
+
+    def issue(self, cycle: int, a: float, b: float | None = None):
+        """Issue one operation at *cycle*.
+
+        Returns ``(ready_cycle, value)``.  Respects the initiation
+        interval: at most one issue per cycle; issuing twice in the same
+        cycle raises, modelling a structural hazard the scheduler must
+        avoid.
+        """
+        if cycle <= self._last_issue:
+            raise RuntimeError(
+                f"structural hazard on {self.name or self.kind}: "
+                f"issue at cycle {cycle} but last issue was {self._last_issue}"
+            )
+        self._last_issue = cycle
+        self.issues += 1
+        ready = cycle + self.latency
+        self.busy_until = max(self.busy_until, ready)
+        value = self._fn(a, b) if self.kind != "sqrt" else self._fn(a)
+        return ready, value
+
+    def next_free(self, cycle: int) -> int:
+        """Earliest cycle >= *cycle* at which a new op may issue."""
+        return max(cycle, self._last_issue + 1)
+
+    def reset(self) -> None:
+        self.issues = 0
+        self._last_issue = -1
+        self.busy_until = 0
+
+
+@dataclass
+class OperatorBank:
+    """A pool of identical operators scheduled round-robin.
+
+    Models an array of cores (e.g. the preprocessor's 16 multipliers):
+    ``issue`` places the operation on the earliest-free core.
+    """
+
+    kind: str
+    latency: int
+    count: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        self.cores = [
+            PipelinedOperator(self.kind, self.latency, f"{self.name}[{i}]")
+            for i in range(self.count)
+        ]
+
+    def issue(self, cycle: int, a: float, b: float | None = None):
+        """Issue on the first core free at or after *cycle*.
+
+        Returns ``(issue_cycle, ready_cycle, value)`` — the issue cycle
+        may be later than requested when all cores are busy that cycle.
+        """
+        best = min(self.cores, key=lambda c: c.next_free(cycle))
+        at = best.next_free(cycle)
+        ready, value = best.issue(at, a, b)
+        return at, ready, value
+
+    @property
+    def issues(self) -> int:
+        return sum(c.issues for c in self.cores)
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of issue slots used over *total_cycles*."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.issues / (self.count * total_cycles)
+
+    def reset(self) -> None:
+        for c in self.cores:
+            c.reset()
+
+
+def make_operator(kind: str, latencies, name: str = "") -> PipelinedOperator:
+    """Build an operator with the latency table from ArchitectureParams."""
+    lat = {
+        "mul": latencies.mul,
+        "add": latencies.add,
+        "sub": latencies.add,
+        "div": latencies.div,
+        "sqrt": latencies.sqrt,
+    }[kind]
+    return PipelinedOperator(kind, lat, name)

@@ -1,0 +1,118 @@
+"""The multiplier-array input schedule of Figs 2-3.
+
+The Hestenes preprocessor's defining trick is *operand reuse*: within
+one multiplier-array, a newly entered matrix element multiplies against
+every resident pivot element in successive cycles, so after the array
+fills, each layer requests at most **one** new operand per cycle
+(Fig. 3: "four double-precision floating-point numbers and at most one
+... are needed as the input for the starting cycle and every
+subsequent cycle respectively").
+
+This module generates that schedule explicitly — which element enters
+which layer at which cycle, and which products are formed — so tests
+can verify the paper's fetch-count and reuse claims, and the
+preprocessor's input-cycle model can be derived rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["ScheduleEvent", "layer_schedule", "schedule_stats", "gram_products"]
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One multiplication scheduled on a layer's array.
+
+    ``cycle`` is relative to the layer's start; ``new_fetch`` marks
+    whether the *moving* operand entered from memory this cycle (the
+    underlined requests in Fig. 3).
+    """
+
+    cycle: int
+    row: int
+    col_moving: int
+    col_pivot: int
+    new_fetch: bool
+
+
+def layer_schedule(row: int, n: int, width: int) -> list[ScheduleEvent]:
+    """Schedule of one layer processing matrix row *row* of n columns.
+
+    The array holds ``width`` pivot columns at a time (the paper's
+    example: 4).  Processing proceeds in pivot blocks: for pivots
+    [p, p + width), the elements A[row, p..n) stream through; element
+    A[row, j] enters once (one fetch) and multiplies against every
+    resident pivot with index <= j, producing the products
+    A[row, j] * A[row, p + k] needed for covariances D[p + k, j].
+
+    Returns the events in issue order; within a cycle, one event per
+    multiplier of the array.
+    """
+    check_positive_int(n, name="n")
+    check_positive_int(width, name="width")
+    if row < 0:
+        raise ValueError("row must be >= 0")
+    events: list[ScheduleEvent] = []
+    cycle = 0
+    for p0 in range(0, n, width):
+        pivots = list(range(p0, min(p0 + width, n)))
+        # Element j (>= p0) enters at this block's local cycle (j - p0)
+        # and is reused against each pivot on subsequent cycles: the
+        # product with pivot p0+k issues k cycles after entry, i.e. the
+        # element moves leftwards one multiplier per cycle (Fig. 2).
+        for j in range(p0, n):
+            entry_cycle = cycle + (j - p0)
+            for k, piv in enumerate(pivots):
+                if piv > j:
+                    continue  # only upper-triangle products needed
+                events.append(
+                    ScheduleEvent(
+                        cycle=entry_cycle + k,
+                        row=row,
+                        col_moving=j,
+                        col_pivot=piv,
+                        new_fetch=(k == 0),
+                    )
+                )
+        # Next pivot block starts after this block's stream has issued.
+        cycle += (n - p0) + len(pivots) - 1
+    events.sort(key=lambda e: (e.cycle, e.col_pivot))
+    return events
+
+
+def schedule_stats(events: list[ScheduleEvent]) -> dict:
+    """Aggregate statistics of a layer schedule.
+
+    Returns fetches, products, reuse factor (products per fetch), span
+    (cycles from first to last issue), and the peak per-cycle fetch
+    count — the quantity the paper bounds at one after the fill.
+    """
+    if not events:
+        return {
+            "fetches": 0,
+            "products": 0,
+            "reuse": 0.0,
+            "span": 0,
+            "max_fetches_per_cycle": 0,
+        }
+    fetches = sum(1 for e in events if e.new_fetch)
+    per_cycle: dict[int, int] = {}
+    for e in events:
+        if e.new_fetch:
+            per_cycle[e.cycle] = per_cycle.get(e.cycle, 0) + 1
+    return {
+        "fetches": fetches,
+        "products": len(events),
+        "reuse": len(events) / fetches,
+        "span": events[-1].cycle - events[0].cycle + 1,
+        "max_fetches_per_cycle": max(per_cycle.values()),
+    }
+
+
+def gram_products(events: list[ScheduleEvent]) -> set[tuple[int, int]]:
+    """The set of (pivot, moving) covariance indices a schedule covers."""
+    return {(e.col_pivot, e.col_moving) for e in events}

@@ -1,0 +1,97 @@
+"""The Jacobi rotation component (Fig. 4).
+
+A single set of expensive floating-point cores — 1 multiplier,
+2 adders, 1 divider, 1 square-root unit — time-multiplexed across the
+dataflow of equations (8)-(10).  The schedule interleaves up to eight
+independent rotations, starting a new group every 64 cycles; results
+for a group emerge one rotation critical-path later.
+
+At the end of the decomposition the same square-root core streams the
+diagonal of D to produce the singular values (Algorithm 1 lines 28-29).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.rotation import RotationParams, dataflow_rotation
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+
+__all__ = ["JacobiRotationUnit"]
+
+
+class JacobiRotationUnit:
+    """Functional + timing model of the rotation component."""
+
+    def __init__(self, arch: ArchitectureParams = PAPER_ARCH) -> None:
+        self.arch = arch
+        self.groups_issued = 0
+        self.rotations = 0
+        self.sqrt_ops = 0
+        self._next_issue = 0
+
+    @property
+    def group_capacity(self) -> int:
+        return self.arch.rotation_group
+
+    def issue_group(
+        self, cycle: int, triples: list[tuple[float, float, float]]
+    ) -> tuple[list[RotationParams], int, int]:
+        """Issue one group of rotations.
+
+        Parameters
+        ----------
+        cycle : int
+            Earliest cycle the operands are available.
+        triples : list of (norm_i, norm_j, cov)
+            At most ``rotation_group`` independent rotations.
+
+        Returns
+        -------
+        (params, issue_cycle, ready_cycle)
+            Rotation parameters (computed through the eq. 8-10 dataflow),
+            the cycle the group actually issued (the unit accepts a new
+            group only every ``rotation_issue_cycles``), and the cycle
+            its cos/sin/t values are available to the update kernels.
+        """
+        if len(triples) == 0:
+            raise ValueError("cannot issue an empty rotation group")
+        if len(triples) > self.group_capacity:
+            raise ValueError(
+                f"group of {len(triples)} exceeds capacity {self.group_capacity}"
+            )
+        issue = max(cycle, self._next_issue)
+        self._next_issue = issue + self.arch.rotation_issue_cycles
+        ready = issue + self.arch.latencies.rotation_critical_path
+        params = [dataflow_rotation(ni, nj, cov) for ni, nj, cov in triples]
+        self.groups_issued += 1
+        self.rotations += sum(1 for p in params if not p.identity)
+        return params, issue, ready
+
+    def finalize_sqrt(self, cycle: int, diag: np.ndarray) -> tuple[np.ndarray, int]:
+        """Stream the diagonal of D through the sqrt core (II = 1).
+
+        Negative entries (possible only through accumulated roundoff)
+        clamp to zero, exactly as the hardware's sqrt of a negative
+        operand would flush via the invalid-operation path.
+        """
+        diag = np.asarray(diag, dtype=np.float64)
+        values = np.sqrt(np.where(diag < 0.0, 0.0, diag))
+        self.sqrt_ops += diag.size
+        done = cycle + diag.size + self.arch.latencies.sqrt
+        return values, done
+
+    def issue_cycles_for(self, pairs: int) -> int:
+        """Issue-bound cycles to push *pairs* rotations through the unit."""
+        if pairs < 0:
+            raise ValueError("pairs must be >= 0")
+        groups = math.ceil(pairs / self.group_capacity)
+        return groups * self.arch.rotation_issue_cycles
+
+    def reset(self) -> None:
+        self.groups_issued = 0
+        self.rotations = 0
+        self.sqrt_ops = 0
+        self._next_issue = 0

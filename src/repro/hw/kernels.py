@@ -1,0 +1,143 @@
+"""Update kernels: the eq. (11)-(12) streaming engines (Fig. 5).
+
+One kernel holds four pipelined multipliers, one adder and one
+subtractor; once its pipeline fills it retires one *element-pair
+update* per cycle:
+
+    ``a_i' = a_i*cos - a_j*sin``,  ``a_j' = a_i*sin + a_j*cos``.
+
+The same kernel is used for column elements (first sweep) and for
+covariance entries (every sweep) — only the streams differ.  A
+:class:`KernelPool` schedules streams onto the earliest-free kernel,
+which is how the Update operator's eight kernels (plus the four
+reconfigured preprocessor kernels) share the per-rotation work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rotation import RotationParams
+from repro.hw.params import FloatCoreLatencies
+
+__all__ = ["UpdateKernel", "KernelPool"]
+
+
+@dataclass
+class UpdateKernel:
+    """A single pipelined update kernel.
+
+    Attributes
+    ----------
+    latencies : FloatCoreLatencies
+        Operator latency table; the kernel fill time is mul + add.
+    name : str
+        Instance label ("update[3]", "preproc-as-update[1]", ...).
+    """
+
+    latencies: FloatCoreLatencies
+    name: str = ""
+    free_at: int = 0
+    streams: int = 0
+    elements: int = 0
+
+    @property
+    def fill(self) -> int:
+        return self.latencies.update_fill
+
+    def stream(self, cycle: int, length: int) -> int:
+        """Schedule a *length*-element update stream from *cycle*.
+
+        Returns the completion cycle.  Streams are non-preemptive: the
+        kernel is busy until the last element has entered; the pipeline
+        drain (fill) is paid once per stream.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        if length == 0:
+            return max(cycle, self.free_at)
+        start = max(cycle, self.free_at)
+        done = start + length + self.fill
+        # The next stream may begin once the last element has issued.
+        self.free_at = start + length
+        self.streams += 1
+        self.elements += length
+        return done
+
+    @staticmethod
+    def apply(mat: np.ndarray, i: int, j: int, params: RotationParams) -> None:
+        """Functional column-pair update (the values the stream computes)."""
+        if params.identity:
+            return
+        ci = mat[:, i].copy()
+        mat[:, i] = ci * params.cos - mat[:, j] * params.sin
+        mat[:, j] = ci * params.sin + mat[:, j] * params.cos
+
+    def reset(self) -> None:
+        self.free_at = 0
+        self.streams = 0
+        self.elements = 0
+
+
+class KernelPool:
+    """Earliest-free scheduling over a set of update kernels.
+
+    Mirrors the Update operator's dispatch: each rotation's update
+    streams (one per affected column pair / covariance row) go to
+    whichever kernel frees first.
+    """
+
+    def __init__(self, kernels: list[UpdateKernel]) -> None:
+        if not kernels:
+            raise ValueError("KernelPool needs at least one kernel")
+        self.kernels = list(kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def extend(self, kernels: list[UpdateKernel]) -> None:
+        """Add kernels (the preprocessor reconfiguring after sweep 1)."""
+        self.kernels.extend(kernels)
+
+    def dispatch(self, cycle: int, lengths: list[int]) -> int:
+        """Schedule one stream per entry of *lengths*; returns last done.
+
+        Greedy earliest-free assignment — optimal for identical
+        machines with equal-length streams, and what a round-robin
+        hardware arbiter achieves for the uniform streams here.
+        """
+        done = cycle
+        for length in lengths:
+            k = min(self.kernels, key=lambda k: k.free_at)
+            done = max(done, k.stream(cycle, length))
+        return done
+
+    def dispatch_work(self, cycle: int, total_elements: int) -> int:
+        """Schedule *total_elements* split evenly across the pool.
+
+        Used for aggregated accounting when per-stream granularity is
+        not needed (e.g. a whole group's covariance updates).
+        """
+        if total_elements < 0:
+            raise ValueError("total_elements must be >= 0")
+        if total_elements == 0:
+            return cycle
+        per = total_elements // len(self.kernels)
+        extra = total_elements % len(self.kernels)
+        lengths = [per + (1 if i < extra else 0) for i in range(len(self.kernels))]
+        return self.dispatch(cycle, [ln for ln in lengths if ln > 0])
+
+    @property
+    def free_at(self) -> int:
+        """Cycle when every kernel is idle."""
+        return max(k.free_at for k in self.kernels)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(k.elements for k in self.kernels)
+
+    def reset(self) -> None:
+        for k in self.kernels:
+            k.reset()

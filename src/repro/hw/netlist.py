@@ -1,0 +1,149 @@
+"""Structural netlist of the accelerator: instances, ports, connections.
+
+A machine-readable description of Fig. 1's block diagram, generated
+*from the same ArchitectureParams* that drive the timing and resource
+models — so the three views can never drift apart (tests assert the
+netlist's operator counts equal the resource model's inventory).
+Export as JSON (tooling) or Graphviz DOT (documentation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+
+__all__ = ["Instance", "Connection", "Netlist", "build_netlist"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One hardware instance (a core, a memory, a FIFO group)."""
+
+    name: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed data connection between two instances."""
+
+    src: str
+    dst: str
+    label: str = ""
+
+
+@dataclass
+class Netlist:
+    """The component graph."""
+
+    instances: list
+    connections: list
+
+    def instance(self, name: str) -> Instance:
+        for inst in self.instances:
+            if inst.name == name:
+                return inst
+        raise KeyError(name)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for i in self.instances if i.kind == kind)
+
+    def operator_totals(self) -> dict[str, int]:
+        """FP core totals by kind — comparable to the resource model."""
+        totals: dict[str, int] = {}
+        for inst in self.instances:
+            if inst.kind == "fp_core":
+                op = inst.params["op"]
+                totals[op] = totals.get(op, 0) + 1
+        return totals
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "instances": [asdict(i) for i in self.instances],
+                "connections": [asdict(c) for c in self.connections],
+            },
+            indent=2,
+        )
+
+    def to_dot(self) -> str:
+        """Graphviz DOT of the top-level blocks (FP cores collapsed)."""
+        lines = ["digraph accelerator {", "  rankdir=LR;"]
+        tops = [i for i in self.instances if i.kind != "fp_core"]
+        for inst in tops:
+            label = inst.name
+            if inst.params:
+                detail = ", ".join(f"{k}={v}" for k, v in inst.params.items())
+                label = f"{inst.name}\\n{detail}"
+            lines.append(f'  "{inst.name}" [shape=box, label="{label}"];')
+        top_names = {i.name for i in tops}
+        for conn in self.connections:
+            if conn.src in top_names and conn.dst in top_names:
+                attr = f' [label="{conn.label}"]' if conn.label else ""
+                lines.append(f'  "{conn.src}" -> "{conn.dst}"{attr};')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_netlist(arch: ArchitectureParams = PAPER_ARCH) -> Netlist:
+    """Instantiate the Fig. 1 structure for *arch*."""
+    instances: list[Instance] = []
+    connections: list[Connection] = []
+
+    def add(name, kind, **params):
+        instances.append(Instance(name, kind, dict(params)))
+        return name
+
+    def wire(src, dst, label=""):
+        connections.append(Connection(src, dst, label))
+
+    offchip = add("offchip_memory", "memory",
+                  bandwidth_gbs=arch.platform.offchip_bandwidth_gbs)
+    fifo_in = add("input_fifos", "fifo_group",
+                  count=arch.input_fifos.count, width=arch.input_fifos.width_bits)
+    fifo_out = add("output_fifos", "fifo_group",
+                   count=arch.output_fifos.count, width=arch.output_fifos.width_bits)
+    fifo_mid = add("internal_fifos", "fifo_group",
+                   count=arch.internal_fifos.count,
+                   width=arch.internal_fifos.width_bits)
+    pre = add("hestenes_preprocessor", "preprocessor",
+              layers=arch.preproc_layers, width=arch.preproc_mults_per_layer)
+    jac = add("jacobi_rotation_unit", "rotation_unit",
+              group=arch.rotation_group, issue_cycles=arch.rotation_issue_cycles)
+    upd = add("update_operator", "update_operator", kernels=arch.update_kernels)
+    cov = add("covariance_store", "bram", max_cols=arch.max_onchip_cols)
+    par = add("param_cache", "bram", contents="cos/sin")
+
+    # FP cores inside the preprocessor: one mul + one accumulating adder
+    # per array slot.
+    for i in range(arch.preproc_multipliers):
+        add(f"pre_mul[{i}]", "fp_core", op="mul", owner=pre)
+        add(f"pre_add[{i}]", "fp_core", op="add", owner=pre)
+    # Rotation unit: 1 mul, 2 adders, 1 div, 1 sqrt (Section VI-A).
+    add("jac_mul", "fp_core", op="mul", owner=jac)
+    add("jac_add[0]", "fp_core", op="add", owner=jac)
+    add("jac_add[1]", "fp_core", op="add", owner=jac)
+    add("jac_div", "fp_core", op="div", owner=jac)
+    add("jac_sqrt", "fp_core", op="sqrt", owner=jac)
+    # Update kernels: 4 muls + adder + subtractor each (Fig. 5).
+    for k in range(arch.update_kernels):
+        for i in range(4):
+            add(f"upd{k}_mul[{i}]", "fp_core", op="mul", owner=upd)
+        add(f"upd{k}_add", "fp_core", op="add", owner=upd)
+        add(f"upd{k}_sub", "fp_core", op="add", owner=upd)
+
+    wire(offchip, fifo_in, "matrix stream")
+    wire(fifo_in, pre, "A elements")
+    wire(pre, cov, "norms + covariances")
+    wire(cov, jac, "n1, n2, cov")
+    wire(jac, par, "cos, sin, t")
+    wire(par, upd, "rotation params")
+    wire(pre, fifo_mid, "reconfigured updates")
+    wire(fifo_mid, upd, "column stream")
+    wire(upd, cov, "updated covariances")
+    wire(jac, fifo_out, "singular values")
+    wire(fifo_out, offchip, "results")
+    return Netlist(instances=instances, connections=connections)

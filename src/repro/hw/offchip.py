@@ -1,0 +1,77 @@
+"""Off-chip memory model for the Convey HC-2 memory subsystem.
+
+The accelerator streams the input matrix in through the input FIFO
+group, and — once the column dimension exceeds the on-chip limit —
+spills part of the covariance matrix, re-streaming the spilled portion
+every cyclic round.  The model is bandwidth/latency based: a transfer
+of B bytes issued at cycle c completes at
+``c + latency + ceil(B / bytes_per_cycle)``, and concurrent transfers
+serialize on the single memory interface (which is how the paper's
+>256-column "I/O wall" arises).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["OffChipMemory", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One logged transfer, for traffic reports."""
+
+    label: str
+    bytes: int
+    start_cycle: int
+    end_cycle: int
+
+
+@dataclass
+class OffChipMemory:
+    """Serialized bandwidth/latency memory interface.
+
+    Parameters
+    ----------
+    bytes_per_cycle : float
+        Sustained streaming bandwidth per clock cycle.
+    latency_cycles : int
+        Fixed request latency before the first byte arrives.
+    """
+
+    bytes_per_cycle: float
+    latency_cycles: int = 120
+    _free_at: int = 0
+    total_bytes: int = 0
+    transfers: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be >= 0")
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Pure streaming time of *nbytes* (no queueing, no latency)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return math.ceil(nbytes / self.bytes_per_cycle)
+
+    def request(self, nbytes: int, cycle: int, label: str = "") -> int:
+        """Issue a transfer at *cycle*; returns its completion cycle.
+
+        Transfers serialize: a request issued while a previous one is
+        still streaming starts after it finishes.
+        """
+        start = max(cycle, self._free_at)
+        end = start + self.latency_cycles + self.transfer_cycles(nbytes)
+        self._free_at = end - self.latency_cycles  # pipelined requests
+        self.total_bytes += nbytes
+        self.transfers.append(TransferRecord(label, nbytes, start, end))
+        return end
+
+    def reset(self) -> None:
+        self._free_at = 0
+        self.total_bytes = 0
+        self.transfers.clear()

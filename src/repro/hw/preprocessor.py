@@ -1,0 +1,110 @@
+"""The Hestenes preprocessor: layered multiplier-arrays computing D = AᵀA.
+
+Functional model of Fig. 2/3: the matrix streams through ``L`` layers
+of ``W``-wide multiplier arrays; a band of ``L`` rows is processed per
+pass, with each layer's products accumulated down the adder chain into
+the partial covariances.  Operand *reuse* is the architectural point:
+within a band, each entering element multiplies against the W pivots
+already resident, so only one new operand per layer per cycle is
+fetched after the initial fill — the paper's "16 cycles for an 8x8
+matrix with 8 layers" input schedule.
+
+Numerical fidelity: the band-accumulation order (partial sums added
+band by band) is reproduced, so the computed D matches the hardware's
+summation order rather than NumPy's pairwise ``a.T @ a`` — the results
+differ only in rounding, which the tests bound.
+
+After the first sweep the preprocessor is *reconfigured* into
+``reconfig_kernels`` extra update kernels (Section V-C), reusing its 16
+multipliers and half of its adders.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hw.kernels import UpdateKernel
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+
+__all__ = ["HestenesPreprocessor"]
+
+
+class HestenesPreprocessor:
+    """Functional + timing model of the preprocessor component."""
+
+    def __init__(self, arch: ArchitectureParams = PAPER_ARCH) -> None:
+        self.arch = arch
+        self.reconfigured = False
+        self.gram_ops = 0
+        self.input_words = 0
+
+    # ---- timing -----------------------------------------------------------
+
+    def input_cycles(self, m: int, n: int) -> int:
+        """Input-schedule cost (Fig. 3): one band of ``layers`` rows per
+        pass, each pass needing (n + layers) cycles of operand entry."""
+        passes = math.ceil(m / self.arch.preproc_layers)
+        return passes * (n + self.arch.preproc_layers)
+
+    def compute_cycles(self, m: int, n: int) -> int:
+        """Multiply-throughput cost: all m*n(n+1)/2 products at
+        ``preproc_multipliers`` per cycle."""
+        return math.ceil(m * n * (n + 1) / 2 / self.arch.preproc_multipliers)
+
+    def gram_cycles(self, m: int, n: int) -> int:
+        """Total phase cycles: the slower of input and compute engines,
+        plus the multiply->adder-chain pipeline fill."""
+        lat = self.arch.latencies
+        fill = lat.mul + self.arch.preproc_layers * lat.add
+        return max(self.input_cycles(m, n), self.compute_cycles(m, n)) + fill
+
+    # ---- function ---------------------------------------------------------
+
+    def compute_gram(self, a: np.ndarray, start_cycle: int = 0):
+        """Compute the covariance matrix with hardware accumulation order.
+
+        Returns ``(d, done_cycle)``.  Raises if the preprocessor has
+        already been reconfigured into update kernels.
+        """
+        if self.reconfigured:
+            raise RuntimeError(
+                "preprocessor was reconfigured into update kernels; "
+                "it can no longer compute Gram matrices"
+            )
+        a = np.asarray(a, dtype=np.float64)
+        m, n = a.shape
+        layers = self.arch.preproc_layers
+        d = np.zeros((n, n))
+        # Band accumulation: partial covariances of each L-row band are
+        # produced by the adder chain, then accumulated band by band by
+        # the auxiliary adders ("vectors with lengths over 8").
+        for r0 in range(0, m, layers):
+            band = a[r0 : r0 + layers, :]
+            d += band.T @ band
+        self.gram_ops += m * n * (n + 1) // 2
+        self.input_words += m * n
+        return d, start_cycle + self.gram_cycles(m, n)
+
+    # ---- reconfiguration ----------------------------------------------------
+
+    def reconfigure(self) -> list[UpdateKernel]:
+        """Repurpose the multiplier arrays as update kernels (Section V-C).
+
+        Returns the extra kernels (4 in the paper's build: 16 multipliers
+        and 8 adders re-wired into 4 x (4 mul + 2 add)).  Idempotent
+        calls raise — hardware cannot reconfigure twice.
+        """
+        if self.reconfigured:
+            raise RuntimeError("preprocessor already reconfigured")
+        self.reconfigured = True
+        return [
+            UpdateKernel(self.arch.latencies, name=f"preproc-as-update[{i}]")
+            for i in range(self.arch.reconfig_kernels)
+        ]
+
+    def reset(self) -> None:
+        self.reconfigured = False
+        self.gram_ops = 0
+        self.input_words = 0

@@ -1,0 +1,141 @@
+"""Register-transfer-level model of one update kernel (Fig. 5).
+
+The most detailed fidelity layer: where
+:class:`repro.hw.kernels.UpdateKernel` *asserts* "one element-pair per
+cycle after a mul+add fill", this model *demonstrates* it by clocking
+actual pipeline registers:
+
+    stage 1: four multipliers in parallel (latency = mul),
+             ai*cos, aj*sin, ai*sin, aj*cos
+    stage 2: one subtractor + one adder (latency = add),
+             ai' = ai*cos - aj*sin,  aj' = ai*sin + aj*cos
+
+Each `clock()` shifts every register once; element pairs enter at most
+one per cycle and results emerge exactly ``mul + add`` cycles later, in
+order, bubbles preserved.  The tests cross-check latency, initiation
+interval, and bit-exact numerics against the behavioural kernel — the
+same relationship an RTL testbench has to its golden model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.hw.params import FloatCoreLatencies
+
+__all__ = ["PairResult", "UpdateKernelRTL"]
+
+_BUBBLE = None
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """One retired element-pair update with its timing."""
+
+    ai_new: float
+    aj_new: float
+    tag: object
+    entered_cycle: int
+    retired_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return self.retired_cycle - self.entered_cycle
+
+
+class UpdateKernelRTL:
+    """Cycle-by-cycle pipeline of the eq. (11)-(12) update kernel.
+
+    Parameters
+    ----------
+    cos, sin : float
+        The rotation parameters loaded into the kernel's operand
+        registers for the current stream (hardware latches them from
+        the 127-bit FIFO bundle before the column streams in).
+    latencies : FloatCoreLatencies
+        Pipeline depths.
+    """
+
+    def __init__(
+        self, cos: float, sin: float, latencies: FloatCoreLatencies | None = None
+    ) -> None:
+        self.cos = float(cos)
+        self.sin = float(sin)
+        lat = latencies or FloatCoreLatencies()
+        # Pipeline registers: one slot per cycle of latency.
+        self._mul_pipe: deque = deque([_BUBBLE] * lat.mul, maxlen=lat.mul)
+        self._add_pipe: deque = deque([_BUBBLE] * lat.add, maxlen=lat.add)
+        self.cycle = 0
+        self.accepted = 0
+        self.retired: list[PairResult] = []
+        self._latencies = lat
+
+    @property
+    def fill_latency(self) -> int:
+        return self._latencies.mul + self._latencies.add
+
+    def clock(self, pair=None, tag=None) -> PairResult | None:
+        """Advance one cycle, optionally feeding one (ai, aj) pair.
+
+        Returns the pair retired this cycle, if any.  Feeding ``None``
+        inserts a bubble (an idle input cycle), which travels through
+        the pipeline preserving order.
+        """
+        self.cycle += 1
+        # Stage 2 output: whatever finishes the adder/subtractor now.
+        done = self._add_pipe.popleft()
+        # Stage 1 -> stage 2 handoff: completed multiplies enter add/sub.
+        mul_done = self._mul_pipe.popleft()
+        if mul_done is _BUBBLE:
+            self._add_pipe.append(_BUBBLE)
+        else:
+            ai, aj, tag_in, entered = mul_done
+            # The four products computed in parallel by stage 1:
+            p1 = ai * self.cos
+            p2 = aj * self.sin
+            p3 = ai * self.sin
+            p4 = aj * self.cos
+            self._add_pipe.append((p1 - p2, p3 + p4, tag_in, entered))
+        # Input: latch at most one new pair into the multiplier pipe.
+        if pair is None:
+            self._mul_pipe.append(_BUBBLE)
+        else:
+            ai, aj = pair
+            self._mul_pipe.append((float(ai), float(aj), tag, self.cycle))
+            self.accepted += 1
+
+        if done is _BUBBLE:
+            return None
+        ai_new, aj_new, tag_out, entered = done
+        result = PairResult(
+            ai_new=ai_new,
+            aj_new=aj_new,
+            tag=tag_out,
+            entered_cycle=entered,
+            retired_cycle=self.cycle,
+        )
+        self.retired.append(result)
+        return result
+
+    def run_stream(self, pairs) -> list[PairResult]:
+        """Stream a sequence of pairs back to back and drain the pipe.
+
+        Returns the retired results in order; the caller can check that
+        the total cycle count equals ``len(pairs) + fill_latency``.
+        """
+        out: list[PairResult] = []
+        for idx, pair in enumerate(pairs):
+            res = self.clock(pair, tag=idx)
+            if res is not None:
+                out.append(res)
+        # Drain.
+        while len(out) < self.accepted:
+            res = self.clock()
+            if res is not None:
+                out.append(res)
+        return out
+
+    def utilization(self) -> float:
+        """Accepted pairs per elapsed cycle (1.0 = fully streaming)."""
+        return self.accepted / self.cycle if self.cycle else 0.0

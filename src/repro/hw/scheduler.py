@@ -1,0 +1,214 @@
+"""Event-driven co-simulation of the full accelerator datapath.
+
+Where :mod:`repro.hw.timing_model` evaluates closed forms, this module
+*runs* the architecture: the preprocessor computes D with hardware
+accumulation order, the Jacobi rotation unit issues real groups (every
+64 cycles), rotation parameters travel through the 127-bit FIFO group,
+update kernels are scheduled earliest-free per stream, and off-chip
+spill transfers serialize on the memory interface.  The functional
+output is therefore produced *by* the simulated components, and the
+cycle count emerges from their interaction — used to validate the
+analytic model on small matrices (they agree to within the pipelining
+approximations; see tests/hw/test_scheduler.py).
+
+Round barrier semantics: rotations of cyclic round r+1 read covariances
+written by round r, so rounds execute back to back; groups within a
+round are independent and overlap in the pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTrace, measure
+from repro.core.ordering import cyclic_sweep, group_pairs
+from repro.core.rotation import apply_rotation_gram
+from repro.hw.bram import covariance_words
+from repro.hw.fifo import FifoGroup
+from repro.hw.jacobi_unit import JacobiRotationUnit
+from repro.hw.kernels import KernelPool, UpdateKernel
+from repro.hw.offchip import OffChipMemory
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.hw.preprocessor import HestenesPreprocessor
+from repro.util.validation import as_float_matrix
+
+__all__ = ["SimulationOutcome", "simulate_decomposition"]
+
+
+@dataclass
+class SimulationOutcome:
+    """Everything the event simulation produces."""
+
+    singular_values: np.ndarray  # descending, length min(m, n)
+    v: np.ndarray | None  # accumulated right rotations (n x n) or None
+    cycles: int
+    gram_cycles: int
+    sweep_cycles: list[int]
+    finalize_cycles: int
+    trace: ConvergenceTrace
+    rotations: int = 0
+    stats: dict = field(default_factory=dict)
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fractions of the major engines over the whole run.
+
+        * ``update_kernels`` — element-pair issue slots used, out of
+          (final kernel count) x (total cycles); sweep-phase engines
+          idle during the Gram phase, so the paper-configuration value
+          sits well below 1 even on large matrices.
+        * ``rotation_unit`` — fraction of issue windows occupied
+          (groups issued x 64 cycles / total).
+        * ``preprocessor`` — Gram-phase share of the run.
+        """
+        total = max(self.cycles, 1)
+        kernels = max(self.stats.get("kernel_count_final", 1), 1)
+        issue = self.stats.get("rotation_issue_cycles", 64)
+        return {
+            "update_kernels": self.stats.get("kernel_elements", 0)
+            / (kernels * total),
+            "rotation_unit": min(
+                self.stats.get("groups_issued", 0) * issue / total, 1.0
+            ),
+            "preprocessor": self.gram_cycles / total,
+        }
+
+
+def simulate_decomposition(
+    a,
+    arch: ArchitectureParams = PAPER_ARCH,
+    *,
+    sweeps: int | None = None,
+    compute_v: bool = False,
+) -> SimulationOutcome:
+    """Run the accelerator on matrix *a*, component by component.
+
+    Parameters
+    ----------
+    a : array_like
+        Input m x n matrix.  Event simulation costs O(sweeps * n^3)
+        Python-level work — intended for n up to roughly 64; use the
+        analytic model beyond that.
+    arch : ArchitectureParams
+        Hardware configuration.
+    sweeps : int, optional
+        Override ``arch.sweeps``.
+    compute_v : bool
+        Additionally accumulate the right singular vectors (the
+        hardware itself outputs only ``Sig``; V accumulation models the
+        planned PCA extension of Section VII).
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    n_sweeps = arch.sweeps if sweeps is None else sweeps
+
+    pre = HestenesPreprocessor(arch)
+    jac = JacobiRotationUnit(arch)
+    pool = KernelPool(
+        [UpdateKernel(arch.latencies, name=f"update[{i}]") for i in range(arch.update_kernels)]
+    )
+    mem = OffChipMemory(
+        bytes_per_cycle=arch.offchip_bytes_per_cycle,
+        latency_cycles=arch.platform.offchip_latency_cycles,
+    )
+    param_fifos = FifoGroup(
+        arch.internal_fifos.count,
+        arch.internal_fifos.depth,
+        arch.internal_fifos.width_bits,
+        name="params",
+    )
+
+    # ---- Gram phase ---------------------------------------------------
+    d, cycle = pre.compute_gram(a, 0)
+    gram_done = cycle
+    trace = ConvergenceTrace()
+    trace.record(0, measure(d))
+
+    v = np.eye(n) if compute_v else None
+    b = a.copy()  # columns, updated during the first sweep only
+
+    spill_words = max(0, covariance_words(n) - covariance_words(arch.max_onchip_cols))
+    spill_bytes = 2 * 8 * spill_words  # read + write per round
+
+    rounds = cyclic_sweep(n)
+    sweep_cycles: list[int] = []
+
+    for sweep in range(1, n_sweeps + 1):
+        if sweep == 2 and arch.reconfig_kernels and not pre.reconfigured:
+            pool.extend(pre.reconfigure())
+        sweep_start = cycle
+        rotations = 0
+        skipped = 0
+        for rnd in rounds:
+            if not rnd:
+                continue
+            round_start = cycle
+            round_end = round_start
+            if spill_bytes:
+                round_end = max(
+                    round_end, mem.request(spill_bytes, round_start, f"s{sweep}-spill")
+                )
+            for group in group_pairs(rnd, arch.rotation_group):
+                triples = [(d[i, i], d[j, j], d[i, j]) for i, j in group]
+                params, _issued, ready = jac.issue_group(round_start, triples)
+                lengths = []
+                for (i, j), p in zip(group, params):
+                    if p.identity:
+                        skipped += 1
+                        continue
+                    rotations += 1
+                    cov = d[i, j]
+                    apply_rotation_gram(d, i, j, p, cov)
+                    if sweep == 1:
+                        UpdateKernel.apply(b, i, j, p)
+                    if v is not None:
+                        UpdateKernel.apply(v, i, j, p)
+                    param_fifos.push((p.cos, p.sin), ready)
+                    if n > 2:
+                        lengths.append(n - 2)  # covariance stream
+                    if sweep == 1 and m > 0:
+                        lengths.append(m)  # column stream (eq. 11-12)
+                if lengths:
+                    for _ in range(sum(1 for (i, j), p in zip(group, params) if not p.identity)):
+                        param_fifos.pop(ready)
+                    round_end = max(round_end, pool.dispatch(ready, lengths))
+                else:
+                    round_end = max(round_end, ready)
+            cycle = round_end
+        trace.record(sweep, measure(d), rotations, skipped)
+        sweep_cycles.append(cycle - sweep_start)
+
+    # ---- Finalization ---------------------------------------------------
+    sig_all, cycle = jac.finalize_sqrt(cycle, np.diag(d))
+    out_words = min(m, n)
+    cycle += -(-out_words // arch.io_words_per_cycle)  # output streaming
+    finalize = cycle - (gram_done + sum(sweep_cycles))
+
+    order = np.argsort(sig_all)[::-1]
+    k = min(m, n)
+    singular_values = sig_all[order][:k]
+    if v is not None:
+        v = v[:, order]
+
+    return SimulationOutcome(
+        singular_values=singular_values,
+        v=v,
+        cycles=cycle,
+        gram_cycles=gram_done,
+        sweep_cycles=sweep_cycles,
+        finalize_cycles=finalize,
+        trace=trace,
+        rotations=jac.rotations,
+        stats={
+            "rotation_issue_cycles": arch.rotation_issue_cycles,
+            "groups_issued": jac.groups_issued,
+            "kernel_elements": pool.total_elements,
+            "kernel_count_final": len(pool),
+            "param_fifo_high_water": param_fifos.high_water,
+            "offchip_bytes": mem.total_bytes,
+            "gram_ops": pre.gram_ops,
+            "input_words": pre.input_words,
+            "preprocessor_reconfigured": pre.reconfigured,
+        },
+    )

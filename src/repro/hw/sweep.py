@@ -1,0 +1,146 @@
+"""Design-space exploration over the accelerator's configuration.
+
+The paper fixes one design point (16 preprocessor multipliers, 8 + 4
+update kernels, 256-column covariance store) chosen to fill the
+XC5VLX330.  This module automates the architect's question behind that
+choice: enumerate configurations, keep the ones that fit the device
+(resource model), evaluate each on a reference workload (cycle model),
+and return the feasible set with its Pareto front — reproducing *why*
+the paper's configuration is where it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.hw.resources import estimate_resources
+from repro.hw.timing_model import estimate_seconds
+from repro.util.validation import check_positive_int
+
+__all__ = ["DesignPoint", "explore_design_space", "pareto_front", "DEFAULT_WORKLOADS"]
+
+#: Reference workloads for scoring a design: the paper's headline cells.
+DEFAULT_WORKLOADS = ((128, 128), (1024, 128), (256, 256), (1024, 1024))
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration.
+
+    Attributes
+    ----------
+    arch : ArchitectureParams
+        The configuration (kernel counts, layers, ...).
+    max_cols : int
+        Column capacity of the on-chip covariance store.
+    feasible : bool
+        Whether the resource model fits the device.
+    luts, brams, dsps : int
+        Resource totals (0 when infeasible before accounting finished).
+    total_seconds : float
+        Summed modelled time over the reference workloads (inf when
+        infeasible).
+    """
+
+    arch: ArchitectureParams
+    max_cols: int
+    feasible: bool
+    luts: int = 0
+    brams: int = 0
+    dsps: int = 0
+    total_seconds: float = float("inf")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"P{self.arch.preproc_multipliers}"
+            f"K{self.arch.update_kernels}+{self.arch.reconfig_kernels}"
+            f"C{self.max_cols}"
+        )
+
+
+def evaluate_design(
+    arch: ArchitectureParams,
+    max_cols: int,
+    workloads=DEFAULT_WORKLOADS,
+) -> DesignPoint:
+    """Score one configuration: feasibility + summed workload time.
+
+    The workload time accounts for the configuration's on-chip column
+    capacity: a smaller covariance store spills earlier, which the
+    timing model charges through its I/O term.
+    """
+    check_positive_int(max_cols, name="max_cols")
+    sized = arch.with_(max_onchip_cols=max_cols)
+    try:
+        rep = estimate_resources(sized, max_cols=max_cols)
+    except MemoryError:
+        return DesignPoint(arch=sized, max_cols=max_cols, feasible=False)
+    # The BRAM budget raises on overflow; LUT and DSP totals must be
+    # checked explicitly against the device capacity.
+    if rep.luts > sized.platform.luts or rep.dsps > sized.platform.dsp48e:
+        return DesignPoint(
+            arch=sized, max_cols=max_cols, feasible=False,
+            luts=rep.luts, brams=rep.bram_blocks, dsps=rep.dsps,
+        )
+    total = sum(estimate_seconds(m, n, sized) for m, n in workloads)
+    return DesignPoint(
+        arch=sized,
+        max_cols=max_cols,
+        feasible=True,
+        luts=rep.luts,
+        brams=rep.bram_blocks,
+        dsps=rep.dsps,
+        total_seconds=total,
+    )
+
+
+def explore_design_space(
+    *,
+    kernel_counts=(4, 6, 8, 10),
+    reconfig_options=(0, 4),
+    layer_options=(2, 4, 8),
+    column_capacities=(128, 192, 256),
+    workloads=DEFAULT_WORKLOADS,
+    base: ArchitectureParams = PAPER_ARCH,
+) -> list[DesignPoint]:
+    """Enumerate and evaluate the configuration grid.
+
+    Returns every point (feasible or not), sorted fastest-first with
+    infeasible points at the end.
+    """
+    points = []
+    for kernels in kernel_counts:
+        for reconf in reconfig_options:
+            for layers in layer_options:
+                for cols in column_capacities:
+                    arch = base.with_(
+                        update_kernels=kernels,
+                        reconfig_kernels=reconf,
+                        preproc_layers=layers,
+                    )
+                    points.append(evaluate_design(arch, cols, workloads))
+    points.sort(key=lambda p: (not p.feasible, p.total_seconds))
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Feasible points not dominated in (total_seconds, luts).
+
+    A point dominates another when it is at least as fast *and* at most
+    as large, and strictly better in one of the two.  Returned sorted
+    by time.
+    """
+    feasible = [p for p in points if p.feasible]
+    front = []
+    for p in feasible:
+        dominated = any(
+            (q.total_seconds <= p.total_seconds and q.luts <= p.luts)
+            and (q.total_seconds < p.total_seconds or q.luts < p.luts)
+            for q in feasible
+        )
+        if not dominated:
+            front.append(p)
+    front.sort(key=lambda p: p.total_seconds)
+    return front

@@ -1,0 +1,201 @@
+"""Closed-form cycle model of the accelerator (regenerates Table I).
+
+The model follows the phase structure of Section V/VI:
+
+1. **Gram phase** (first sweep only): the Hestenes preprocessor computes
+   all n(n+1)/2 squared norms and covariances.  Work =
+   ``m * n(n+1)/2`` multiplies at ``P = layers * width`` multiplies per
+   cycle, overlapped with streaming A through the input FIFO group.
+2. **Sweeps**: each cyclic round issues its pairs to the Jacobi
+   rotation component in groups of 8 every 64 cycles, while the update
+   kernels retire one element-pair update per kernel per cycle:
+
+   * covariance updates: ``(n - 2)`` pair-updates per rotation
+     (Algorithm 1 lines 18-26), every sweep;
+   * column updates: ``m`` pair-updates per rotation (eq. 11-12),
+     first sweep only (the paper's ``track_columns="first_sweep"``);
+   * sweep 1 runs with the 8 standalone kernels; later sweeps gain the
+     4 reconfigured preprocessor kernels (12 total).
+
+   A round costs ``max(rotation issue, kernel work, off-chip I/O)`` —
+   the three engines stream concurrently — and each sweep pays one
+   pipeline drain (rotation critical path + kernel fill).
+3. **Spill I/O**: when n exceeds the on-chip limit (256 columns), the
+   covariance entries beyond the local budget are re-streamed
+   (read + write) every round through the off-chip interface.
+4. **Finalization**: n square roots through the rotation component's
+   sqrt core (II = 1).
+
+Validation against the paper's Table I (150 MHz, 6 sweeps):
+128x128 -> 4.2 ms (paper 4.39), 256x256 -> 33.5 ms (paper 33.0),
+512x512 -> 0.27 s (paper 0.263), 1024x1024 -> 2.2 s (paper 2.01).
+See EXPERIMENTS.md for the full grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.ordering import cyclic_sweep
+from repro.hw.bram import covariance_words
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.util.validation import check_positive_int
+
+__all__ = ["SweepCycles", "CycleBreakdown", "estimate_cycles", "estimate_seconds"]
+
+
+@dataclass(frozen=True)
+class SweepCycles:
+    """Cycle accounting for one sweep."""
+
+    index: int
+    rotation_issue: int
+    covariance_work: int
+    column_work: int
+    spill_io: int
+    drain: int
+    total: int
+
+
+@dataclass
+class CycleBreakdown:
+    """Full decomposition cycle count with per-phase attribution."""
+
+    m: int
+    n: int
+    arch: ArchitectureParams
+    input_stream: int = 0
+    gram_compute: int = 0
+    gram_phase: int = 0  # max(input, compute) + fill
+    sweeps: list[SweepCycles] = field(default_factory=list)
+    finalize: int = 0
+    total: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.arch.seconds(self.total)
+
+    @property
+    def sweep_total(self) -> int:
+        return sum(s.total for s in self.sweeps)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Seconds per phase — the quantities Fig. 7/8 discussions cite."""
+        return {
+            "gram": self.arch.seconds(self.gram_phase),
+            "sweeps": self.arch.seconds(self.sweep_total),
+            "finalize": self.arch.seconds(self.finalize),
+            "total": self.seconds,
+        }
+
+
+def _round_sizes(n: int) -> list[int]:
+    """Pairs per cyclic round (n-1 rounds of n/2 for even n)."""
+    return [len(r) for r in cyclic_sweep(n)]
+
+
+def estimate_cycles(
+    m: int,
+    n: int,
+    arch: ArchitectureParams = PAPER_ARCH,
+    *,
+    sweeps: int | None = None,
+    update_columns_first_sweep: bool = True,
+    accumulate_v: bool = False,
+) -> CycleBreakdown:
+    """Cycle estimate for decomposing an m x n matrix.
+
+    Parameters
+    ----------
+    m, n : int
+        Row and column dimensions.  As in the paper, the column count n
+        drives the dominant O(n^3) covariance-update work; m only enters
+        the Gram phase and the first sweep's column updates.
+    arch : ArchitectureParams
+        Hardware configuration (defaults to the paper's build).
+    sweeps : int, optional
+        Override the architecture's sweep count.
+    update_columns_first_sweep : bool
+        Model the eq. (11)-(12) column updates in sweep 1 (the paper's
+        behaviour).  Disable for the pure singular-value mode.
+    accumulate_v : bool
+        Model right-singular-vector accumulation (the Section VII PCA
+        extension): each rotation additionally streams one n-element
+        V-column pair through the update kernels, every sweep.
+    """
+    m = check_positive_int(m, name="m")
+    n = check_positive_int(n, name="n")
+    n_sweeps = arch.sweeps if sweeps is None else check_positive_int(sweeps, name="sweeps")
+    lat = arch.latencies
+    bd = CycleBreakdown(m=m, n=n, arch=arch)
+
+    # ---- Gram phase -------------------------------------------------------
+    gram_mults = m * n * (n + 1) // 2
+    p = arch.preproc_multipliers
+    bd.gram_compute = math.ceil(gram_mults / p)
+    # Input schedule of Fig. 3: each layer pass covers `layers` rows and
+    # needs (n + layers) input cycles; the 8-layer 8x8 example in the
+    # paper costs exactly (8 + 8) = 16 cycles.
+    passes = math.ceil(m / arch.preproc_layers)
+    bd.input_stream = passes * (n + arch.preproc_layers)
+    fill = lat.mul + arch.preproc_layers * lat.add
+    bd.gram_phase = max(bd.gram_compute, bd.input_stream) + fill
+
+    # ---- Sweeps -----------------------------------------------------------
+    sizes = _round_sizes(n)
+    spill_words = max(0, covariance_words(n) - covariance_words(arch.max_onchip_cols))
+    spill_bytes_per_round = 2 * 8 * spill_words  # read + write, 8 B/word
+    drain = lat.rotation_critical_path + lat.update_fill
+
+    for s in range(1, n_sweeps + 1):
+        kernels = arch.kernels_first_sweep if s == 1 else arch.kernels_later_sweeps
+        issue = cov = col = io = 0
+        sweep_total = 0
+        for size in sizes:
+            groups = math.ceil(size / arch.rotation_group)
+            r_issue = groups * arch.rotation_issue_cycles
+            r_cov = math.ceil(
+                size * max(0, n - 2) / (kernels * arch.kernel_pairs_per_cycle)
+            )
+            r_col = 0
+            if s == 1 and update_columns_first_sweep:
+                r_col = math.ceil(size * m / (kernels * arch.kernel_pairs_per_cycle))
+            if accumulate_v:
+                # One V-column pair (n elements) per rotation, every sweep.
+                r_col += math.ceil(size * n / (kernels * arch.kernel_pairs_per_cycle))
+            r_io = 0
+            if spill_words:
+                r_io = math.ceil(spill_bytes_per_round / arch.offchip_bytes_per_cycle)
+            issue += r_issue
+            cov += r_cov
+            col += r_col
+            io += r_io
+            sweep_total += max(r_issue, r_cov + r_col, r_io)
+        sweep_total += drain
+        bd.sweeps.append(
+            SweepCycles(
+                index=s,
+                rotation_issue=issue,
+                covariance_work=cov,
+                column_work=col,
+                spill_io=io,
+                drain=drain,
+                total=sweep_total,
+            )
+        )
+
+    # ---- Finalization: sqrt of the n diagonal entries ----------------------
+    bd.finalize = n + lat.sqrt
+    bd.total = bd.gram_phase + bd.sweep_total + bd.finalize
+    return bd
+
+
+def estimate_seconds(
+    m: int,
+    n: int,
+    arch: ArchitectureParams = PAPER_ARCH,
+    **kwargs,
+) -> float:
+    """Convenience wrapper: estimated execution time in seconds."""
+    return estimate_cycles(m, n, arch, **kwargs).seconds

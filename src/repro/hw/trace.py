@@ -1,0 +1,99 @@
+"""Execution traces: what the accelerator spends its cycles on.
+
+Converts a :class:`repro.hw.timing_model.CycleBreakdown` into a
+phase-by-phase trace with per-phase bottleneck attribution, and renders
+it as an ASCII Gantt chart — the view an architect uses to see where
+the paper's ">512-column I/O wall" or the first-sweep column-update
+bulge actually lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.timing_model import CycleBreakdown
+
+__all__ = ["PhaseSpan", "ExecutionTrace", "build_trace", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One contiguous phase of the decomposition."""
+
+    name: str
+    start: int
+    end: int
+    bottleneck: str
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered phase spans covering the whole decomposition."""
+
+    spans: list
+    total: int
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of total cycles attributed to each bottleneck."""
+        out: dict[str, float] = {}
+        for span in self.spans:
+            out[span.bottleneck] = out.get(span.bottleneck, 0.0) + span.cycles
+        return {k: v / self.total for k, v in out.items()}
+
+    def dominant_bottleneck(self) -> str:
+        util = self.utilization()
+        return max(util, key=util.get)
+
+
+def build_trace(bd: CycleBreakdown) -> ExecutionTrace:
+    """Assemble the phase trace from a cycle breakdown."""
+    spans: list[PhaseSpan] = []
+    cursor = 0
+
+    gram_bottleneck = (
+        "preprocessor-compute"
+        if bd.gram_compute >= bd.input_stream
+        else "input-streaming"
+    )
+    spans.append(PhaseSpan("gram", cursor, cursor + bd.gram_phase, gram_bottleneck))
+    cursor += bd.gram_phase
+
+    for sw in bd.sweeps:
+        contributions = {
+            "rotation-issue": sw.rotation_issue,
+            "update-kernels": sw.covariance_work + sw.column_work,
+            "offchip-io": sw.spill_io,
+        }
+        bottleneck = max(contributions, key=contributions.get)
+        spans.append(
+            PhaseSpan(f"sweep-{sw.index}", cursor, cursor + sw.total, bottleneck)
+        )
+        cursor += sw.total
+
+    spans.append(PhaseSpan("finalize", cursor, cursor + bd.finalize, "sqrt-unit"))
+    cursor += bd.finalize
+    return ExecutionTrace(spans=spans, total=cursor)
+
+
+def render_gantt(trace: ExecutionTrace, width: int = 72) -> str:
+    """ASCII Gantt chart: one bar row per phase, scaled to *width*."""
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    total = max(trace.total, 1)
+    lines = []
+    name_w = max(len(s.name) for s in trace.spans)
+    for span in trace.spans:
+        lead = int(span.start / total * width)
+        bar = max(1, int(span.cycles / total * width))
+        lines.append(
+            f"{span.name:<{name_w}}  "
+            + " " * lead
+            + "#" * bar
+            + f"  {span.cycles:,} cyc ({span.bottleneck})"
+        )
+    lines.append(f"{'total':<{name_w}}  {trace.total:,} cycles")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Co-verification harness: the simulator's fidelity levels vs each other.
+
+The hardware model exists at four levels — closed-form timing, event
+co-simulation, behavioural components, and the register-level kernel —
+plus the pure-NumPy functional engines.  This module runs them against
+each other across a shape grid and reports the relationships an RTL
+verification suite would sign off on:
+
+* **functional**: event-sim singular values == library values (ulp);
+* **timing envelope**: analytic <= event <= analytic + per-round
+  latency barrier (the documented pipelining approximation);
+* **throughput**: the behavioural kernel's stream formula == the
+  register-level pipeline's measured cycle count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocked import blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.ordering import cyclic_sweep
+from repro.eval.report import ExperimentResult
+from repro.hw.kernels import UpdateKernel
+from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.hw.rtl_kernel import UpdateKernelRTL
+from repro.hw.scheduler import simulate_decomposition
+from repro.hw.timing_model import estimate_cycles
+from repro.util.rng import spawn_rngs
+
+__all__ = ["run_coverification"]
+
+DEFAULT_SHAPES = ((16, 8), (24, 12), (32, 16), (48, 24), (64, 32))
+
+
+def run_coverification(
+    shapes=DEFAULT_SHAPES,
+    arch: ArchitectureParams = PAPER_ARCH,
+    *,
+    seed: int = 404,
+) -> ExperimentResult:
+    """Cross-check every fidelity level of the hardware model."""
+    res = ExperimentResult(
+        "coverify",
+        "Hardware-model co-verification (analytic vs event vs functional)",
+        ["m", "n", "analytic cyc", "event cyc", "ratio", "max sigma diff"],
+    )
+    lat = arch.latencies
+    barrier = lat.rotation_critical_path + lat.update_fill
+    all_within_envelope = True
+    all_functional = True
+    rngs = spawn_rngs(seed, len(shapes))
+    for (m, n), rng in zip(shapes, rngs):
+        a = rng.standard_normal((m, n))
+        sim = simulate_decomposition(a, arch)
+        bd = estimate_cycles(m, n, arch)
+        lib = blocked_svd(
+            a,
+            compute_uv=False,
+            track_columns="never",
+            rotation_impl="dataflow",
+            criterion=ConvergenceCriterion(max_sweeps=arch.sweeps, tol=None),
+        )
+        diff = float(np.max(np.abs(sim.singular_values - lib.s)))
+        scale = max(float(lib.s[0]), 1.0)
+        rounds_total = len(cyclic_sweep(n)) * arch.sweeps
+        upper = bd.total + rounds_total * barrier * 1.3
+        within = bd.total * 0.7 <= sim.cycles <= upper
+        all_within_envelope = all_within_envelope and within
+        all_functional = all_functional and diff <= 1e-12 * scale
+        res.add_row(m, n, bd.total, sim.cycles, sim.cycles / bd.total, diff)
+    res.check(
+        "event cycles inside the analytic envelope at every shape",
+        all_within_envelope,
+    )
+    res.check(
+        "event-sim singular values match the library to ~1 ulp",
+        all_functional,
+    )
+
+    # Behavioural vs register-level kernel throughput.
+    stream_len = 200
+    behavioural = UpdateKernel(lat).stream(cycle=0, length=stream_len)
+    rtl = UpdateKernelRTL(cos=0.8, sin=0.6, latencies=lat)
+    rtl.run_stream([(1.0, 2.0)] * stream_len)
+    res.check(
+        "behavioural kernel formula == register-level pipeline cycles",
+        behavioural == rtl.cycle,
+        f"{behavioural} vs {rtl.cycle}",
+    )
+    return res

@@ -1,0 +1,34 @@
+"""Shared utilities: argument validation, numeric helpers, timing, RNG policy.
+
+These helpers are deliberately small and dependency-free (NumPy only) so
+that every other subpackage can use them without import cycles.
+"""
+
+from repro.util.numerics import (
+    frobenius_off_diagonal,
+    mean_abs_off_diagonal,
+    relative_residual,
+    sign,
+    sort_svd,
+)
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.timer import Timer
+from repro.util.validation import (
+    as_float_matrix,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "Timer",
+    "as_float_matrix",
+    "check_positive_int",
+    "check_probability",
+    "default_rng",
+    "frobenius_off_diagonal",
+    "mean_abs_off_diagonal",
+    "relative_residual",
+    "sign",
+    "sort_svd",
+    "spawn_rngs",
+]

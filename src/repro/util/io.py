@@ -1,0 +1,75 @@
+"""Save and load decomposition results.
+
+Small, dependency-free persistence for :class:`repro.core.result.SVDResult`
+(NumPy ``.npz`` container) so pipelines can checkpoint factorizations —
+e.g. an LSI index built once and queried many times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import SVDResult
+
+__all__ = ["save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(path, result: SVDResult) -> None:
+    """Serialize *result* to an ``.npz`` file.
+
+    The convergence trace is flattened into parallel arrays; a missing
+    U/Vᵀ (singular-values-only results) round-trips as missing.
+    """
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "s": result.s,
+        "sweeps": np.array(result.sweeps),
+        "method": np.array(result.method),
+        "converged": np.array(result.converged),
+    }
+    if result.u is not None:
+        payload["u"] = result.u
+    if result.vt is not None:
+        payload["vt"] = result.vt
+    if result.trace is not None:
+        payload["trace_metric"] = np.array(result.trace.metric)
+        payload["trace_sweeps"] = np.array(result.trace.sweeps)
+        payload["trace_values"] = np.array(result.trace.values)
+        payload["trace_rotations"] = np.array(result.trace.rotations)
+        payload["trace_skipped"] = np.array(result.trace.skipped)
+        payload["trace_converged"] = np.array(result.trace.converged)
+    np.savez(path, **payload)
+
+
+def load_result(path) -> SVDResult:
+    """Load an :class:`SVDResult` previously written by :func:`save_result`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        trace = None
+        if "trace_values" in data:
+            from repro.core.convergence import ConvergenceTrace
+
+            trace = ConvergenceTrace(
+                metric=str(data["trace_metric"]),
+                sweeps=[int(x) for x in data["trace_sweeps"]],
+                values=[float(x) for x in data["trace_values"]],
+                rotations=[int(x) for x in data["trace_rotations"]],
+                skipped=[int(x) for x in data["trace_skipped"]],
+                converged=bool(data["trace_converged"]),
+            )
+        return SVDResult(
+            s=np.array(data["s"]),
+            u=np.array(data["u"]) if "u" in data else None,
+            vt=np.array(data["vt"]) if "vt" in data else None,
+            sweeps=int(data["sweeps"]),
+            trace=trace,
+            method=str(data["method"]),
+            converged=bool(data["converged"]),
+        )

@@ -1,0 +1,59 @@
+"""Wall-clock timing helper for the evaluation harness.
+
+A tiny context-manager/accumulator so experiment runners can report
+measured times without pulling in a profiling dependency.  Benchmarks use
+pytest-benchmark; this is for the example scripts and eval harness.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    >>> t.count
+    1
+    """
+
+    __slots__ = ("elapsed", "count", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.count: int = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without being entered")
+        self.elapsed += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per timed block (0.0 before any block ran)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulator; an in-progress block is discarded."""
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
+    def __repr__(self) -> str:
+        return f"Timer(elapsed={self.elapsed:.6f}s, count={self.count})"

@@ -1,0 +1,112 @@
+"""Argument validation helpers used across the library.
+
+The public API accepts anything array-like; internally everything is a
+C-contiguous ``float64`` ndarray (matching the paper's IEEE-754 double
+precision datapath).  Validation failures raise ``TypeError`` or
+``ValueError`` with messages that name the offending argument, so errors
+surface at the API boundary rather than deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "as_float_matrix",
+    "as_square_matrix",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_positive_float",
+    "check_probability",
+    "check_in_choices",
+]
+
+
+def as_float_matrix(a, *, name: str = "a", allow_empty: bool = False) -> np.ndarray:
+    """Coerce *a* to a 2-D C-contiguous float64 array.
+
+    Parameters
+    ----------
+    a : array_like
+        Input matrix.
+    name : str
+        Argument name used in error messages.
+    allow_empty : bool
+        Whether zero-sized matrices are accepted.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float64, C-contiguous copy-or-view of *a* with ``ndim == 2``.
+    """
+    arr = np.asarray(a)
+    if arr.dtype.kind not in "fiub":
+        raise TypeError(
+            f"{name} must be a real numeric matrix, got dtype {arr.dtype!r}"
+        )
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
+    arr = np.ascontiguousarray(arr, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries (nan or inf)")
+    return arr
+
+
+def as_square_matrix(a, *, name: str = "a") -> np.ndarray:
+    """Like :func:`as_float_matrix` but additionally requires a square shape."""
+    arr = as_float_matrix(a, name=name)
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def check_positive_int(value, *, name: str) -> int:
+    """Validate that *value* is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value, *, name: str) -> int:
+    """Validate that *value* is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_positive_float(value, *, name: str) -> float:
+    """Validate that *value* is a finite number > 0 and return it as ``float``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be finite and > 0, got {value}")
+    return value
+
+
+def check_probability(value, *, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_choices(value, choices, *, name: str):
+    """Validate membership of *value* in *choices* (an iterable)."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices}, got {value!r}")
+    return value

@@ -1,0 +1,49 @@
+"""Workload generators and the paper's experiment dimension grids."""
+
+from repro.workloads.generators import (
+    conditioned_matrix,
+    correlated_matrix,
+    image_like_matrix,
+    low_rank_matrix,
+    pca_dataset,
+    random_matrix,
+    surveillance_video,
+)
+from repro.workloads.traces import incremental_trace, rpca_trace, video_batch_trace
+from repro.workloads.suites import (
+    FIG7_SQUARE_SIZES,
+    FIG8_SHAPES,
+    FIG9_COLUMN_DIMS,
+    FIG9_ROW_DIMS,
+    FIG10_SQUARE_SIZES,
+    FIG11_COLUMN_DIM,
+    FIG11_ROW_DIMS,
+    TABLE1_COLUMN_DIMS,
+    TABLE1_ROW_DIMS,
+    fast_mode,
+    scale_dims,
+)
+
+__all__ = [
+    "FIG7_SQUARE_SIZES",
+    "FIG8_SHAPES",
+    "FIG9_COLUMN_DIMS",
+    "FIG9_ROW_DIMS",
+    "FIG10_SQUARE_SIZES",
+    "FIG11_COLUMN_DIM",
+    "FIG11_ROW_DIMS",
+    "TABLE1_COLUMN_DIMS",
+    "TABLE1_ROW_DIMS",
+    "conditioned_matrix",
+    "correlated_matrix",
+    "fast_mode",
+    "image_like_matrix",
+    "incremental_trace",
+    "low_rank_matrix",
+    "pca_dataset",
+    "random_matrix",
+    "rpca_trace",
+    "scale_dims",
+    "surveillance_video",
+    "video_batch_trace",
+]

@@ -1,0 +1,234 @@
+"""Reproducible matrix generators for experiments and examples.
+
+The paper evaluates on "randomly generated datasets" of various
+dimensions; these generators cover that plus the structured cases the
+examples and ablations need.  Every generator takes ``seed`` (or an
+existing Generator) and is deterministic given one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import default_rng
+from repro.util.validation import (
+    check_in_choices,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "random_matrix",
+    "conditioned_matrix",
+    "low_rank_matrix",
+    "correlated_matrix",
+    "image_like_matrix",
+    "pca_dataset",
+    "surveillance_video",
+]
+
+
+def random_matrix(
+    m: int, n: int, *, distribution: str = "gaussian", scale: float = 1.0, seed=None
+) -> np.ndarray:
+    """Dense random m x n matrix.
+
+    distribution: "gaussian" (iid N(0, scale^2)) or "uniform"
+    (U[0, scale) — strictly positive entries give strongly correlated
+    columns, the harder orthogonalization case).
+    """
+    m = check_positive_int(m, name="m")
+    n = check_positive_int(n, name="n")
+    scale = check_positive_float(scale, name="scale")
+    check_in_choices(distribution, ("gaussian", "uniform"), name="distribution")
+    rng = default_rng(seed)
+    if distribution == "gaussian":
+        return rng.standard_normal((m, n)) * scale
+    return rng.random((m, n)) * scale
+
+
+def conditioned_matrix(
+    m: int,
+    n: int,
+    cond: float,
+    *,
+    spectrum: str = "geometric",
+    seed=None,
+) -> np.ndarray:
+    """Matrix with a prescribed condition number and spectrum shape.
+
+    Built as ``U diag(s) Vᵀ`` with Haar-random orthonormal factors and
+    singular values from 1 down to 1/cond ("geometric" spacing, the
+    standard hard case; or "linear").
+    """
+    m = check_positive_int(m, name="m")
+    n = check_positive_int(n, name="n")
+    cond = check_positive_float(cond, name="cond")
+    if cond < 1.0:
+        raise ValueError(f"cond must be >= 1, got {cond}")
+    check_in_choices(spectrum, ("geometric", "linear"), name="spectrum")
+    rng = default_rng(seed)
+    k = min(m, n)
+    u, _ = np.linalg.qr(rng.standard_normal((m, k)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, k)))
+    if k == 1:
+        s = np.ones(1)
+    elif spectrum == "geometric":
+        s = np.geomspace(1.0, 1.0 / cond, k)
+    else:
+        s = np.linspace(1.0, 1.0 / cond, k)
+    return (u * s) @ v.T
+
+
+def low_rank_matrix(
+    m: int, n: int, rank: int, *, noise: float = 0.0, seed=None
+) -> np.ndarray:
+    """Rank-``rank`` matrix, optionally perturbed by Gaussian noise.
+
+    With ``noise = 0`` the matrix has exactly ``rank`` nonzero singular
+    values; with noise, the tail singular values sit at the noise level
+    (the PCA recovery scenario of the paper's motivating applications).
+    """
+    m = check_positive_int(m, name="m")
+    n = check_positive_int(n, name="n")
+    rank = check_positive_int(rank, name="rank")
+    if rank > min(m, n):
+        raise ValueError(f"rank {rank} exceeds min(m, n) = {min(m, n)}")
+    if noise < 0:
+        raise ValueError("noise must be >= 0")
+    rng = default_rng(seed)
+    a = rng.standard_normal((m, rank)) @ rng.standard_normal((rank, n)) / np.sqrt(rank)
+    if noise:
+        a = a + noise * rng.standard_normal((m, n))
+    return a
+
+
+def correlated_matrix(m: int, n: int, correlation: float, *, seed=None) -> np.ndarray:
+    """Columns with uniform pairwise correlation ``correlation``.
+
+    High correlation means large covariances relative to norms — the
+    slow-convergence stress case for Jacobi orthogonalization.
+    """
+    m = check_positive_int(m, name="m")
+    n = check_positive_int(n, name="n")
+    correlation = check_probability(correlation, name="correlation")
+    rng = default_rng(seed)
+    shared = rng.standard_normal((m, 1))
+    unique = rng.standard_normal((m, n))
+    return np.sqrt(correlation) * shared + np.sqrt(1.0 - correlation) * unique
+
+
+def image_like_matrix(m: int, n: int, *, detail: int = 6, seed=None) -> np.ndarray:
+    """Synthetic smooth "image": superposed 2-D cosine modes with a
+    power-law spectrum, values in [0, 1].
+
+    Stands in for the natural-image inputs of the paper's motivating
+    applications (no external data is available offline); its singular
+    values decay rapidly, so low-rank reconstruction is meaningful.
+    """
+    m = check_positive_int(m, name="m")
+    n = check_positive_int(n, name="n")
+    detail = check_positive_int(detail, name="detail")
+    rng = default_rng(seed)
+    y = np.linspace(0.0, np.pi, m)[:, None]
+    x = np.linspace(0.0, np.pi, n)[None, :]
+    img = np.zeros((m, n))
+    for ky in range(detail):
+        for kx in range(detail):
+            amp = rng.standard_normal() / (1.0 + ky * ky + kx * kx)
+            img += amp * np.cos(ky * y + rng.uniform(0, np.pi)) * np.cos(
+                kx * x + rng.uniform(0, np.pi)
+            )
+    lo, hi = img.min(), img.max()
+    if hi > lo:
+        img = (img - lo) / (hi - lo)
+    return img
+
+
+def pca_dataset(
+    samples: int,
+    features: int,
+    *,
+    intrinsic_dim: int = 3,
+    noise: float = 0.05,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dataset living near a low-dimensional subspace, for PCA demos.
+
+    Returns ``(data, components)``: ``data`` is samples x features
+    (mean-centered), ``components`` the intrinsic_dim x features ground
+    truth basis the PCA should recover.
+    """
+    samples = check_positive_int(samples, name="samples")
+    features = check_positive_int(features, name="features")
+    intrinsic_dim = check_positive_int(intrinsic_dim, name="intrinsic_dim")
+    if intrinsic_dim > min(samples, features):
+        raise ValueError("intrinsic_dim exceeds data dimensions")
+    if noise < 0:
+        raise ValueError("noise must be >= 0")
+    rng = default_rng(seed)
+    basis, _ = np.linalg.qr(rng.standard_normal((features, intrinsic_dim)))
+    weights = rng.standard_normal((samples, intrinsic_dim)) * np.geomspace(
+        3.0, 1.0, intrinsic_dim
+    )
+    data = weights @ basis.T + noise * rng.standard_normal((samples, features))
+    data = data - data.mean(axis=0, keepdims=True)
+    return data, basis.T
+
+
+def surveillance_video(
+    frames: int,
+    height: int,
+    width: int,
+    *,
+    illumination_drift: float = 0.1,
+    object_size: int = 3,
+    object_intensity: float = 0.8,
+    noise: float = 0.01,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic surveillance footage for the robust-PCA application.
+
+    Reproduces the structure of the paper's motivating video-recovery
+    workload [4]: a static scene with slowly drifting illumination (a
+    numerically low-rank background) plus a small bright object moving
+    across the frame (a sparse foreground), with sensor noise.
+
+    Returns
+    -------
+    (video, background, foreground)
+        Each of shape (height * width, frames) — one vectorized frame
+        per column, the layout robust PCA operates on.  ``video`` is
+        the sum of the ground-truth parts plus noise.
+    """
+    frames = check_positive_int(frames, name="frames")
+    height = check_positive_int(height, name="height")
+    width = check_positive_int(width, name="width")
+    object_size = check_positive_int(object_size, name="object_size")
+    if object_size > min(height, width):
+        raise ValueError("object_size exceeds the frame dimensions")
+    if noise < 0 or illumination_drift < 0:
+        raise ValueError("noise and illumination_drift must be >= 0")
+    rng = default_rng(seed)
+
+    # Background: a fixed scene modulated by a slow illumination curve
+    # (rank <= 2 exactly: scene x gain + constant offset drift).
+    scene = rng.random((height, width)) * 0.5 + 0.25
+    t = np.linspace(0.0, 2.0 * np.pi, frames)
+    gain = 1.0 + illumination_drift * np.sin(t)
+    background = scene.reshape(-1, 1) * gain[None, :]
+
+    # Foreground: a bright square sweeping diagonally across the frame.
+    foreground = np.zeros((height * width, frames))
+    for f in range(frames):
+        top = int((height - object_size) * f / max(frames - 1, 1))
+        left = int((width - object_size) * f / max(frames - 1, 1))
+        patch = np.zeros((height, width))
+        patch[top : top + object_size, left : left + object_size] = object_intensity
+        foreground[:, f] = patch.ravel()
+
+    video = background + foreground
+    if noise:
+        video = video + noise * rng.standard_normal(video.shape)
+    return video, background, foreground

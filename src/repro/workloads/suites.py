@@ -1,0 +1,69 @@
+"""The paper's experiment grids, plus scaled-down variants.
+
+Every benchmark draws its dimension lists from here so the paper-scale
+and fast (CI) configurations stay in one place.  ``fast`` variants
+divide dimensions by 8, keeping the same aspect-ratio structure so the
+qualitative checks (who wins, growth directions) still apply to the
+*measured* runs, while the *modelled* numbers always use paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "TABLE1_COLUMN_DIMS",
+    "TABLE1_ROW_DIMS",
+    "FIG7_SQUARE_SIZES",
+    "FIG8_SHAPES",
+    "FIG9_COLUMN_DIMS",
+    "FIG9_ROW_DIMS",
+    "FIG10_SQUARE_SIZES",
+    "FIG11_ROW_DIMS",
+    "FIG11_COLUMN_DIM",
+    "fast_mode",
+    "scale_dims",
+]
+
+#: Table I axes — first index (table rows) is the column dimension n,
+#: header is the row dimension m (see DESIGN.md for the axis reading).
+TABLE1_COLUMN_DIMS = (128, 256, 512, 1024)
+TABLE1_ROW_DIMS = (128, 256, 512, 1024)
+
+#: Fig. 7: square matrices across the comparison span.
+FIG7_SQUARE_SIZES = (128, 256, 512, 1024, 2048)
+
+#: Fig. 8: fixed column dimensions with growing row counts.
+FIG8_SHAPES = tuple(
+    (m, n) for n in (128, 256) for m in (128, 256, 512, 1024, 2048)
+)
+
+#: Fig. 9: the speedup band "column sizes from 128 to 256 and row
+#: dimensions from 128 to 2048".
+FIG9_COLUMN_DIMS = (128, 192, 256)
+FIG9_ROW_DIMS = (128, 256, 512, 1024, 2048)
+
+#: Fig. 10: convergence of square matrices "no greater than 2048".
+FIG10_SQUARE_SIZES = (128, 256, 512, 1024, 2048)
+
+#: Fig. 11: column size fixed at 1024, various row dimensions.
+FIG11_COLUMN_DIM = 1024
+FIG11_ROW_DIMS = (256, 512, 1024, 2048)
+
+
+def fast_mode() -> bool:
+    """True when benchmarks should shrink workloads (REPRO_BENCH_FAST=1).
+
+    Fast mode is the default for the *measured* (wall-clock) portions;
+    set REPRO_BENCH_FULL=1 to run paper-scale measured workloads.
+    Modelled (cycle/flop) numbers are unaffected — they always use the
+    paper's dimensions.
+    """
+    if os.environ.get("REPRO_BENCH_FULL", "") == "1":
+        return False
+    return True
+
+
+def scale_dims(dims, divisor: int = 8, minimum: int = 8):
+    """Scale a dimension tuple down for fast measured runs."""
+    return tuple(max(minimum, d // divisor) for d in dims)

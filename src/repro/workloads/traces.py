@@ -1,0 +1,54 @@
+"""Workload traces: shape sequences for the stream scheduler.
+
+Connects the applications to the hardware model: each trace is the
+sequence of (m, n) decompositions a real workload issues, ready for
+:func:`repro.hw.pipeline.schedule_stream`.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["rpca_trace", "video_batch_trace", "incremental_trace"]
+
+
+def rpca_trace(rows: int, cols: int, iterations: int) -> list[tuple[int, int]]:
+    """The paper anecdote's workload: one full-size SVD per IALM iteration.
+
+    [4]'s 3000 x 3000 recovery "running partial SVD 15 times" is
+    ``rpca_trace(3000, 3000, 15)``.
+    """
+    check_positive_int(rows, name="rows")
+    check_positive_int(cols, name="cols")
+    check_positive_int(iterations, name="iterations")
+    return [(rows, cols) for _ in range(iterations)]
+
+
+def video_batch_trace(
+    pixels: int, frames_per_batch: int, batches: int
+) -> list[tuple[int, int]]:
+    """Background subtraction over a stream of video batches.
+
+    Each batch of ``frames_per_batch`` frames is one tall-skinny
+    decomposition (pixels x frames) — the accelerator's best shape.
+    """
+    check_positive_int(pixels, name="pixels")
+    check_positive_int(frames_per_batch, name="frames_per_batch")
+    check_positive_int(batches, name="batches")
+    return [(pixels, frames_per_batch) for _ in range(batches)]
+
+
+def incremental_trace(
+    features: int, rank: int, block_rows: int, blocks: int
+) -> list[tuple[int, int]]:
+    """Streaming-PCA updates: first the seed block, then one small
+    ``(rank + block) x (rank + block)`` core SVD per arriving block
+    (see :class:`repro.apps.incremental.IncrementalSVD`)."""
+    check_positive_int(features, name="features")
+    check_positive_int(rank, name="rank")
+    check_positive_int(block_rows, name="block_rows")
+    check_positive_int(blocks, name="blocks")
+    trace = [(block_rows, features)]
+    core = rank + min(block_rows, features)
+    trace.extend((core, core) for _ in range(blocks - 1))
+    return trace

@@ -1,0 +1,97 @@
+"""Tests for the image-compression application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.image import CompressedImage, compress_image, psnr, rank_for_energy
+from repro.workloads import image_like_matrix
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self, rng):
+        img = rng.random((8, 8))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.1)
+        # peak defaults to range of a (0) -> falls back to 1.0
+        assert psnr(a, b) == pytest.approx(10 * np.log10(1.0 / 0.01))
+
+    def test_custom_peak(self):
+        a = np.zeros((2, 2))
+        b = np.ones((2, 2))
+        assert psnr(a, b, peak=255.0) == pytest.approx(10 * np.log10(255.0**2))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            psnr(rng.random((3, 3)), rng.random((3, 4)))
+
+
+class TestRankForEnergy:
+    def test_full_energy_is_full_rank(self):
+        s = np.array([3.0, 2.0, 1.0])
+        assert rank_for_energy(s, 1.0) == 3
+
+    def test_dominant_value(self):
+        s = np.array([10.0, 0.1, 0.1])
+        assert rank_for_energy(s, 0.9) == 1
+
+    def test_zero_spectrum(self):
+        assert rank_for_energy(np.zeros(4), 0.9) == 1
+
+    def test_monotone_in_energy(self):
+        s = np.geomspace(1, 1e-3, 10)
+        ranks = [rank_for_energy(s, e) for e in (0.5, 0.9, 0.99, 0.9999)]
+        assert ranks == sorted(ranks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_for_energy(np.ones(3), 1.5)
+
+
+class TestCompressImage:
+    @pytest.fixture(scope="class")
+    def img(self):
+        return image_like_matrix(48, 64, seed=11)
+
+    def test_rank_selection(self, img):
+        comp = compress_image(img, rank=5)
+        assert comp.rank == 5
+        assert comp.u.shape == (48, 5)
+        assert comp.vt.shape == (5, 64)
+
+    def test_energy_selection(self, img):
+        comp = compress_image(img, energy=0.999)
+        recon = comp.decompress()
+        kept = 1 - np.linalg.norm(img - recon) ** 2 / np.linalg.norm(img) ** 2
+        assert kept >= 0.999 - 1e-9
+
+    def test_storage_accounting(self, img):
+        comp = compress_image(img, rank=4)
+        assert comp.stored_values == 4 * (48 + 64 + 1)
+        assert comp.compression_ratio == pytest.approx(
+            48 * 64 / comp.stored_values
+        )
+
+    def test_quality_improves_with_rank(self, img):
+        q = [compress_image(img, rank=r).quality_vs(img) for r in (1, 4, 16)]
+        assert q == sorted(q)
+
+    def test_full_rank_lossless(self, img):
+        comp = compress_image(img, rank=48)
+        assert comp.quality_vs(img) > 120.0  # effectively exact
+
+    def test_matches_optimal_truncation(self, img):
+        comp = compress_image(img, rank=6)
+        u, s, vt = np.linalg.svd(img, full_matrices=False)
+        best = (u[:, :6] * s[:6]) @ vt[:6]
+        assert np.linalg.norm(comp.decompress() - best) < 1e-8
+
+    def test_argument_validation(self, img):
+        with pytest.raises(ValueError, match="exactly one"):
+            compress_image(img)
+        with pytest.raises(ValueError, match="exactly one"):
+            compress_image(img, rank=2, energy=0.9)
+        with pytest.raises(ValueError):
+            compress_image(img, rank=100)

@@ -1,0 +1,83 @@
+"""Tests for the streaming (incremental) SVD."""
+
+import numpy as np
+import pytest
+
+from repro.apps.incremental import IncrementalSVD
+from repro.workloads import low_rank_matrix
+from tests.conftest import random_matrix
+
+
+class TestIncrementalSVD:
+    def test_single_block_equals_batch(self, rng):
+        a = random_matrix(rng, 12, 6)
+        inc = IncrementalSVD(rank=6).partial_fit(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(inc.s_, sv)
+        assert np.linalg.norm(inc.reconstruct() - a) < 1e-10
+
+    def test_streaming_full_rank_exact(self, rng):
+        """With rank >= n, streaming must reproduce the batch SVD."""
+        blocks = [random_matrix(rng, 8, 5) for _ in range(4)]
+        full = np.vstack(blocks)
+        inc = IncrementalSVD(rank=5)
+        for b in blocks:
+            inc.partial_fit(b)
+        sv = np.linalg.svd(full, compute_uv=False)
+        assert np.allclose(inc.s_, sv, atol=1e-9 * sv[0])
+        assert np.linalg.norm(inc.reconstruct() - full) < 1e-8 * np.linalg.norm(full)
+        assert inc.rows_seen_ == 32
+
+    def test_streaming_low_rank_data(self):
+        """Truncated streaming on genuinely low-rank data stays exact."""
+        full = low_rank_matrix(60, 10, rank=3, seed=1)
+        inc = IncrementalSVD(rank=3)
+        for start in range(0, 60, 15):
+            inc.partial_fit(full[start : start + 15])
+        sv = np.linalg.svd(full, compute_uv=False)
+        assert np.allclose(inc.s_, sv[:3], atol=1e-8 * sv[0])
+        assert np.linalg.norm(inc.reconstruct() - full) < 1e-7 * np.linalg.norm(full)
+
+    def test_truncated_tracks_dominant_subspace(self, rng):
+        full = low_rank_matrix(80, 12, rank=3, noise=0.01, seed=2)
+        inc = IncrementalSVD(rank=3)
+        for start in range(0, 80, 20):
+            inc.partial_fit(full[start : start + 20])
+        _, _, vt = np.linalg.svd(full, full_matrices=False)
+        overlap = np.linalg.svd(inc.vt_ @ vt[:3].T, compute_uv=False)
+        assert overlap.min() > 0.98
+
+    def test_factors_orthonormal(self, rng):
+        inc = IncrementalSVD(rank=4)
+        for _ in range(3):
+            inc.partial_fit(random_matrix(rng, 10, 8))
+        k = len(inc.s_)
+        assert np.linalg.norm(inc.u_.T @ inc.u_ - np.eye(k)) < 1e-9
+        assert np.linalg.norm(inc.vt_ @ inc.vt_.T - np.eye(k)) < 1e-9
+
+    def test_values_descending(self, rng):
+        inc = IncrementalSVD(rank=5)
+        for _ in range(3):
+            inc.partial_fit(random_matrix(rng, 7, 9))
+        assert np.all(np.diff(inc.s_) <= 1e-12)
+
+    def test_project(self, rng):
+        inc = IncrementalSVD(rank=4).partial_fit(random_matrix(rng, 10, 6))
+        scores = inc.project(random_matrix(rng, 3, 6))
+        assert scores.shape == (3, 4)
+
+    def test_feature_mismatch(self, rng):
+        inc = IncrementalSVD(rank=2).partial_fit(random_matrix(rng, 5, 4))
+        with pytest.raises(ValueError):
+            inc.partial_fit(random_matrix(rng, 5, 6))
+
+    def test_unfitted_errors(self):
+        inc = IncrementalSVD(rank=2)
+        with pytest.raises(RuntimeError):
+            inc.reconstruct()
+        with pytest.raises(RuntimeError):
+            inc.project(np.ones((2, 2)))
+
+    def test_repr(self, rng):
+        inc = IncrementalSVD(rank=2)
+        assert "rows_seen=0" in repr(inc)

@@ -1,0 +1,146 @@
+"""Tests for latent semantic indexing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lsi import LsiIndex, TermDocumentMatrix, tokenize
+
+DOCS = [
+    "fpga hardware acceleration of matrix decomposition",
+    "hardware architectures for fast signal processing",
+    "matrix decomposition with jacobi rotations on hardware",
+    "gardening tips for tomato plants",
+    "growing tomato and basil plants in summer",
+    "watering schedule for summer gardening",
+]
+
+
+class TestTokenize:
+    def test_lowercase_and_punctuation(self):
+        assert tokenize("The FPGA, accelerates; SVD!") == ["fpga", "accelerates", "svd"]
+
+    def test_stop_words_removed(self):
+        assert "the" not in tokenize("the cat and the hat")
+        assert tokenize("and of the") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("virtex 5 fpga") == ["virtex", "5", "fpga"]
+
+
+class TestTermDocumentMatrix:
+    def test_shape_and_vocabulary(self):
+        tdm = TermDocumentMatrix.from_documents(DOCS)
+        assert tdm.matrix.shape == (len(tdm.vocabulary), len(DOCS))
+        assert "fpga" in tdm.vocabulary
+        assert "the" not in tdm.vocabulary
+
+    def test_tfidf_downweights_common_terms(self):
+        docs = ["shared apple", "shared banana", "shared cherry"]
+        tdm = TermDocumentMatrix.from_documents(docs)
+        shared = tdm.matrix[tdm.vocabulary["shared"], 0]
+        rare = tdm.matrix[tdm.vocabulary["apple"], 0]
+        assert rare > shared
+
+    def test_query_vector(self):
+        tdm = TermDocumentMatrix.from_documents(DOCS)
+        q = tdm.query_vector("fpga fpga unknownword")
+        assert q[tdm.vocabulary["fpga"]] == 2.0
+        assert q.sum() == 2.0  # unknown word ignored
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TermDocumentMatrix.from_documents([])
+        with pytest.raises(ValueError):
+            TermDocumentMatrix.from_documents(["the and of"])
+
+
+class TestLsiIndex:
+    def test_topical_retrieval(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        hits = index.search("tomato gardening in summer", top_k=3)
+        assert {h[0] for h in hits} == {3, 4, 5}
+
+    def test_hardware_topic(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        hits = index.search("hardware matrix decomposition", top_k=3)
+        assert {h[0] for h in hits} == {0, 1, 2}
+
+    def test_latent_similarity_exceeds_lexical(self):
+        # Docs 3 and 5 share only "gardening"-adjacent topicality via
+        # doc 4; in latent space they should still look similar.
+        index = LsiIndex(rank=2).fit(DOCS)
+        same_topic = index.document_similarity(3, 5)
+        cross_topic = index.document_similarity(0, 3)
+        assert same_topic > cross_topic
+
+    def test_similarities_sorted_and_bounded(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        hits = index.search("plants", top_k=6)
+        sims = [s for _, s in hits]
+        assert sims == sorted(sims, reverse=True)
+        assert all(-1.0001 <= s <= 1.0001 for s in sims)
+
+    def test_unknown_query_scores_zero(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        hits = index.search("zzzz qqqq", top_k=2)
+        assert all(s == 0.0 for _, s in hits)
+
+    def test_explained_energy_grows_with_rank(self):
+        e2 = LsiIndex(rank=2).fit(DOCS).explained_energy()
+        e4 = LsiIndex(rank=4).fit(DOCS).explained_energy()
+        assert 0 < e2 < e4 <= 1.0 + 1e-12
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            LsiIndex(rank=100).fit(DOCS)
+        with pytest.raises(ValueError):
+            LsiIndex(rank=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LsiIndex().search("anything")
+
+    def test_embeddings_match_svd(self):
+        index = LsiIndex(rank=3).fit(DOCS)
+        a = index.tdm.matrix
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        ours = np.abs(index.doc_embeddings)
+        ref = np.abs((vt[:3, :] * s[:3, None]).T)
+        assert np.allclose(ours, ref, atol=1e-6 * s[0])
+
+
+class TestFoldingIn:
+    def test_added_documents_searchable(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        n0 = len(index.tdm.documents)
+        index.add_documents(["pruning tomato plants in the summer garden"])
+        hits = index.search("tomato summer", top_k=3)
+        assert n0 in {h[0] for h in hits}  # the folded-in doc is found
+
+    def test_folded_embedding_matches_fit_subspace(self):
+        """Folding in a document identical to an indexed one lands on
+        (the direction of) the same embedding."""
+        index = LsiIndex(rank=3).fit(DOCS)
+        index.add_documents([DOCS[0]])
+        a = index.doc_embeddings[0]
+        b = index.doc_embeddings[-1]
+        cos = float(a @ b) / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cos > 0.99
+
+    def test_unknown_terms_ignored(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        index.add_documents(["zzzz qqqq completely new words"])
+        assert np.allclose(index.doc_embeddings[-1], 0.0)
+
+    def test_requires_fit(self):
+        import pytest as _pytest
+
+        with _pytest.raises(RuntimeError):
+            LsiIndex(rank=2).add_documents(["x"])
+
+    def test_empty_rejected(self):
+        import pytest as _pytest
+
+        index = LsiIndex(rank=2).fit(DOCS)
+        with _pytest.raises(ValueError):
+            index.add_documents([])

@@ -1,0 +1,84 @@
+"""Tests for the subspace pattern classifier."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pattern import SubspaceClassifier, make_class_dataset
+
+
+class TestMakeClassDataset:
+    def test_shapes_and_labels(self):
+        x, y = make_class_dataset(3, 10, 8, seed=1)
+        assert x.shape == (30, 8)
+        assert sorted(set(y)) == [0, 1, 2]
+        assert all((y == c).sum() == 10 for c in range(3))
+
+    def test_reproducible(self):
+        x1, _ = make_class_dataset(2, 5, 6, seed=2)
+        x2, _ = make_class_dataset(2, 5, 6, seed=2)
+        assert np.array_equal(x1, x2)
+
+    def test_classes_are_low_rank(self):
+        x, y = make_class_dataset(2, 20, 12, subspace_dim=2, noise=0.0, seed=3)
+        for c in (0, 1):
+            rows = x[y == c]
+            assert np.linalg.matrix_rank(rows) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_class_dataset(2, 5, 4, subspace_dim=10)
+        with pytest.raises(ValueError):
+            make_class_dataset(0, 5, 4)
+
+
+class TestSubspaceClassifier:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_class_dataset(4, 40, 20, subspace_dim=3, noise=0.03, seed=4)
+
+    def test_training_accuracy(self, data):
+        x, y = data
+        clf = SubspaceClassifier(n_components=3).fit(x, y)
+        assert clf.score(x, y) > 0.97
+
+    def test_generalization(self, data):
+        x, y = data
+        clf = SubspaceClassifier(n_components=3).fit(x[::2], y[::2])
+        assert clf.score(x[1::2], y[1::2]) > 0.9
+
+    def test_residuals_shape_and_argmin(self, data):
+        x, y = data
+        clf = SubspaceClassifier(n_components=3).fit(x, y)
+        res = clf.residuals(x[:5])
+        assert res.shape == (5, 4)
+        assert np.array_equal(
+            clf.predict(x[:5]), clf.classes_[np.argmin(res, axis=1)]
+        )
+
+    def test_string_labels(self):
+        x, y_int = make_class_dataset(2, 15, 10, seed=5)
+        y = np.where(y_int == 0, "cat", "dog")
+        clf = SubspaceClassifier(n_components=3).fit(x, y)
+        preds = clf.predict(x)
+        assert set(preds) <= {"cat", "dog"}
+        assert (preds == y).mean() > 0.95
+
+    def test_too_many_components_clamped(self):
+        x, y = make_class_dataset(2, 4, 10, seed=6)
+        clf = SubspaceClassifier(n_components=50).fit(x, y)
+        # clamped to min(samples-center, features); still functional
+        assert clf.predict(x).shape == (8,)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            SubspaceClassifier().predict(np.zeros((2, 3)))
+
+    def test_label_shape_validation(self):
+        x, y = make_class_dataset(2, 5, 6, seed=7)
+        with pytest.raises(ValueError):
+            SubspaceClassifier().fit(x, y[:-1])
+
+    def test_single_sample_class_rejected(self):
+        x = np.random.default_rng(8).standard_normal((3, 4))
+        with pytest.raises(ValueError):
+            SubspaceClassifier().fit(x, np.array([0, 0, 1]))

@@ -1,0 +1,165 @@
+"""Tests for robust PCA and its building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.robust_pca import (
+    robust_pca,
+    singular_value_threshold,
+    soft_threshold,
+)
+from repro.workloads import low_rank_matrix, surveillance_video
+
+
+class TestSoftThreshold:
+    def test_shrinks_towards_zero(self):
+        x = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        out = soft_threshold(x, 1.0)
+        assert out.tolist() == [-2.0, 0.0, 0.0, 0.0, 2.0]
+
+    def test_zero_tau_identity(self, rng):
+        x = rng.standard_normal(10)
+        assert np.array_equal(soft_threshold(x, 0.0), x)
+
+    def test_nonexpansive(self, rng):
+        x = rng.standard_normal(50)
+        y = rng.standard_normal(50)
+        assert np.linalg.norm(
+            soft_threshold(x, 0.3) - soft_threshold(y, 0.3)
+        ) <= np.linalg.norm(x - y) + 1e-12
+
+
+class TestSingularValueThreshold:
+    def test_shrinks_spectrum(self, rng):
+        a = rng.standard_normal((12, 8))
+        s = np.linalg.svd(a, compute_uv=False)
+        tau = float(s[2])  # keep exactly two values (generic case)
+        out, rank = singular_value_threshold(a, tau)
+        assert rank == 2
+        s_out = np.linalg.svd(out, compute_uv=False)
+        assert np.allclose(s_out[:2], s[:2] - tau, atol=1e-9)
+        assert np.allclose(s_out[2:], 0.0, atol=1e-9)
+
+    def test_large_tau_gives_zero(self, rng):
+        a = rng.standard_normal((6, 6))
+        out, rank = singular_value_threshold(a, 1e6)
+        assert rank == 0
+        assert np.allclose(out, 0.0)
+
+    def test_backend_golub_reinsch(self, rng):
+        a = rng.standard_normal((10, 6))
+        out1, r1 = singular_value_threshold(a, 0.5, backend="blocked")
+        out2, r2 = singular_value_threshold(a, 0.5, backend="golub_reinsch")
+        assert r1 == r2
+        assert np.allclose(out1, out2, atol=1e-8)
+
+
+class TestRobustPca:
+    def test_exact_recovery_sparse_corruption(self, rng):
+        """The Candes setting: low-rank plus sparse gross corruption."""
+        l_true = low_rank_matrix(40, 40, rank=2, seed=3)
+        s_true = np.zeros((40, 40))
+        mask = rng.random((40, 40)) < 0.05
+        s_true[mask] = rng.standard_normal(int(mask.sum())) * 5.0
+        res = robust_pca(l_true + s_true, tol=1e-7, max_iterations=200)
+        assert res.converged
+        assert np.linalg.norm(res.low_rank - l_true) / np.linalg.norm(l_true) < 1e-3
+        assert np.linalg.norm(res.sparse - s_true) / np.linalg.norm(s_true) < 1e-3
+
+    def test_video_background_subtraction(self):
+        video, bg, fg = surveillance_video(24, 10, 10, seed=4)
+        res = robust_pca(video, tol=1e-6, max_iterations=80)
+        assert res.converged
+        assert np.linalg.norm(res.low_rank - bg) / np.linalg.norm(bg) < 0.05
+        # Foreground support: the sparse part concentrates on the object.
+        fg_mask = fg > 0
+        energy_on_object = np.sum(res.sparse[fg_mask] ** 2)
+        assert energy_on_object > 0.5 * np.sum(res.sparse**2)
+
+    def test_residuals_decrease(self, rng):
+        m = low_rank_matrix(20, 20, rank=2, seed=5) + 0.001 * rng.standard_normal((20, 20))
+        res = robust_pca(m, tol=1e-9, max_iterations=50)
+        r = res.residuals
+        assert r[-1] < r[0]
+        assert res.svd_calls == res.iterations
+
+    def test_zero_matrix(self):
+        res = robust_pca(np.zeros((5, 5)))
+        assert res.converged
+        assert res.rank == 0 and res.svd_calls == 0
+
+    def test_pure_low_rank_input(self):
+        l_true = low_rank_matrix(16, 16, rank=1, seed=6)
+        res = robust_pca(l_true, tol=1e-7, max_iterations=100)
+        assert res.converged
+        # Sparse part should be (near) empty.
+        assert np.linalg.norm(res.sparse) < 0.05 * np.linalg.norm(l_true)
+
+    def test_iteration_cap(self, rng):
+        m = rng.standard_normal((10, 10))
+        res = robust_pca(m, tol=1e-16, max_iterations=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_custom_lambda(self):
+        video, _, _ = surveillance_video(12, 6, 6, seed=7)
+        res_sparse = robust_pca(video, sparsity_weight=1.0, max_iterations=40)
+        res_dense = robust_pca(video, sparsity_weight=0.01, max_iterations=40)
+        # Larger lambda punishes S more -> smaller sparse component.
+        assert np.linalg.norm(res_sparse.sparse) < np.linalg.norm(res_dense.sparse)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            robust_pca(np.ones((3, 3)), backend="magic")
+        with pytest.raises(ValueError):
+            robust_pca(np.ones((3, 3)), tol=-1.0)
+
+
+class TestPartialSvdMode:
+    """The paper anecdote's regime: IALM with partial (sketched) SVDs."""
+
+    def test_matches_full_svd_solution(self, rng):
+        l_true = low_rank_matrix(30, 30, rank=2, seed=20)
+        s_true = np.zeros((30, 30))
+        mask = rng.random((30, 30)) < 0.05
+        s_true[mask] = rng.standard_normal(int(mask.sum())) * 4.0
+        m = l_true + s_true
+        full = robust_pca(m, tol=1e-7, max_iterations=150)
+        partial = robust_pca(m, tol=1e-7, max_iterations=150, partial_rank=4, seed=3)
+        assert partial.converged
+        assert np.linalg.norm(partial.low_rank - full.low_rank) < 1e-3 * np.linalg.norm(
+            l_true
+        )
+
+    def test_video_with_partial_svd(self):
+        """Partial-SVD IALM must land on the same optimum as full-SVD
+        IALM (the objective's split need not match the synthetic ground
+        truth when the foreground isn't sparse enough — both modes
+        agree with each other regardless)."""
+        video, _, _ = surveillance_video(20, 8, 8, seed=21)
+        full = robust_pca(video, tol=1e-6, max_iterations=80)
+        part = robust_pca(video, tol=1e-6, max_iterations=80, partial_rank=3)
+        assert part.converged
+        assert np.linalg.norm(part.low_rank - full.low_rank) < 1e-5 * np.linalg.norm(
+            full.low_rank
+        )
+
+    def test_escalation_from_underestimate(self):
+        """A far-too-small initial rank guess must still converge to the
+        full-SVD solution (the sketch escalates until it reaches below
+        the threshold)."""
+        l_true = low_rank_matrix(24, 24, rank=6, seed=22)
+        full = robust_pca(l_true, tol=1e-7, max_iterations=120)
+        part = robust_pca(
+            l_true, tol=1e-7, max_iterations=120, partial_rank=1, seed=4
+        )
+        assert part.converged
+        assert np.linalg.norm(part.low_rank - full.low_rank) < 1e-5 * np.linalg.norm(
+            l_true
+        )
+
+    def test_deterministic_given_seed(self):
+        video, _, _ = surveillance_video(12, 6, 6, seed=23)
+        r1 = robust_pca(video, max_iterations=30, partial_rank=3, seed=9)
+        r2 = robust_pca(video, max_iterations=30, partial_rank=3, seed=9)
+        assert np.array_equal(r1.low_rank, r2.low_rank)

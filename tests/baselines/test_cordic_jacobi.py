@@ -1,0 +1,93 @@
+"""Tests for the fixed-point CORDIC SVD — the paper's rejected design.
+
+These tests quantify the Section V-B argument: fixed-point/CORDIC is
+accurate only inside its format's dynamic range, while the paper's
+IEEE-754 datapath (our float implementations) is scale-free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cordic_jacobi import cordic_hestenes_svd
+from repro.core.svd import hestenes_svd
+from repro.hw.fixed_point import QFormat
+
+
+@pytest.fixture
+def well_scaled(rng):
+    return rng.uniform(-1.0, 1.0, (16, 8))
+
+
+class TestWellScaledAccuracy:
+    def test_tracks_float_svd(self, well_scaled):
+        res = cordic_hestenes_svd(well_scaled, sweeps=8)
+        sv = np.linalg.svd(well_scaled, compute_uv=False)
+        assert res.saturations == 0
+        # Q15.16 with 24 CORDIC iterations: ~1e-4 relative accuracy.
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-3
+
+    def test_descending_output(self, well_scaled):
+        res = cordic_hestenes_svd(well_scaled)
+        assert np.all(np.diff(res.s) <= 0)
+
+    def test_more_frac_bits_more_accuracy(self, well_scaled):
+        sv = np.linalg.svd(well_scaled, compute_uv=False)
+        err = {}
+        for frac in (10, 20):
+            res = cordic_hestenes_svd(
+                well_scaled, fmt=QFormat(12, frac), sweeps=8
+            )
+            err[frac] = np.max(np.abs(res.s - sv)) / sv[0]
+        assert err[20] < err[10]
+
+
+class TestDynamicRangeCliff:
+    """The paper's core argument for floating point (Section V-B)."""
+
+    def test_large_inputs_saturate(self, rng):
+        a = rng.uniform(-1.0, 1.0, (16, 8)) * 300.0
+        res = cordic_hestenes_svd(a, sweeps=6)
+        # Squared norms exceed Q15.16's ~32768 ceiling -> saturation.
+        assert res.saturations > 0
+        sv = np.linalg.svd(a, compute_uv=False)
+        err = np.max(np.abs(res.s - sv)) / sv[0]
+        assert err > 1e-2  # visibly wrong
+
+    def test_tiny_inputs_quantize_to_zero(self, rng):
+        a = rng.uniform(-1.0, 1.0, (16, 8)) * 1e-5
+        res = cordic_hestenes_svd(a, sweeps=6)
+        assert res.quantized_to_zero > 0.3
+
+    def test_float_datapath_is_scale_free(self, rng):
+        """The same inputs through the paper's floating-point algorithm:
+        perfect at every scale — the dynamic-range win."""
+        base = rng.uniform(-1.0, 1.0, (16, 8))
+        for scale in (1e-5, 1.0, 300.0, 1e8):
+            a = base * scale
+            res = hestenes_svd(a, compute_uv=False, max_sweeps=10)
+            sv = np.linalg.svd(a, compute_uv=False)
+            assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-10, scale
+
+    def test_saturation_telemetry_clean_inside_range(self, rng):
+        a = rng.uniform(-0.5, 0.5, (8, 4))
+        res = cordic_hestenes_svd(a, sweeps=4)
+        assert res.saturations == 0
+        assert res.quantized_to_zero == 0.0
+
+
+class TestConfiguration:
+    def test_sweeps_respected(self, well_scaled):
+        res = cordic_hestenes_svd(well_scaled, sweeps=3)
+        assert res.sweeps == 3
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            cordic_hestenes_svd(np.ones(5))
+        with pytest.raises(ValueError):
+            cordic_hestenes_svd(np.ones((3, 3)), sweeps=0)
+
+    def test_frobenius_approximately_preserved(self, well_scaled):
+        res = cordic_hestenes_svd(well_scaled, sweeps=8)
+        assert np.sqrt(np.sum(res.s**2)) == pytest.approx(
+            np.linalg.norm(well_scaled), rel=1e-3
+        )

@@ -1,0 +1,149 @@
+"""Tests for the Cuppen / Gu-Eisenstat divide-and-conquer SVD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.divide_conquer import (
+    _rank_one_update,
+    cuppen_tridiagonal_eigh,
+    dc_svd,
+    secular_roots,
+)
+from repro.workloads import conditioned_matrix, low_rank_matrix
+from tests.conftest import random_matrix
+
+
+class TestSecularRoots:
+    def test_matches_dense_eigenvalues(self, rng):
+        n = 10
+        d = np.sort(rng.standard_normal(n))
+        z = rng.standard_normal(n)
+        rho = 0.9
+        roots = secular_roots(d, z, rho)
+        ref = np.linalg.eigvalsh(np.diag(d) + rho * np.outer(z, z))
+        assert np.allclose(roots, ref, atol=1e-12 * max(np.abs(ref).max(), 1))
+
+    def test_interlacing(self, rng):
+        n = 8
+        d = np.sort(rng.standard_normal(n))
+        z = rng.standard_normal(n) + 0.1
+        roots = secular_roots(d, z, 0.5)
+        for i in range(n - 1):
+            assert d[i] <= roots[i] <= d[i + 1]
+        assert roots[-1] >= d[-1]
+
+    def test_narrow_pole_interval(self):
+        """The regression that motivated nextafter brackets: poles a few
+        ulps apart must not collapse the root onto the wrong side."""
+        d = np.array([0.1049, 0.10491, 1.0])
+        z = np.array([0.3, 0.4, 0.5])
+        roots = secular_roots(d, z, 0.7)
+        ref = np.linalg.eigvalsh(np.diag(d) + 0.7 * np.outer(z, z))
+        assert np.allclose(roots, ref, atol=1e-10)
+
+
+class TestRankOneUpdate:
+    def test_positive_rho(self, rng):
+        n = 14
+        d = np.sort(rng.standard_normal(n))
+        z = rng.standard_normal(n)
+        w, q = _rank_one_update(d, z, 0.7)
+        full = np.diag(d) + 0.7 * np.outer(z, z)
+        assert np.allclose(w, np.linalg.eigvalsh(full), atol=1e-12)
+        assert np.linalg.norm(q @ np.diag(w) @ q.T - full) < 1e-11
+
+    def test_negative_rho(self, rng):
+        n = 10
+        d = np.sort(rng.standard_normal(n))
+        z = rng.standard_normal(n)
+        w, q = _rank_one_update(d, z, -0.4)
+        full = np.diag(d) - 0.4 * np.outer(z, z)
+        assert np.allclose(w, np.linalg.eigvalsh(full), atol=1e-12)
+
+    def test_deflation_zero_weights(self, rng):
+        d = np.array([-1.0, 0.0, 2.0, 5.0])
+        z = np.array([0.5, 0.0, 0.0, 0.3])  # two deflated components
+        w, q = _rank_one_update(d, z, 1.0)
+        full = np.diag(d) + np.outer(z, z)
+        assert np.allclose(np.sort(w), np.linalg.eigvalsh(full), atol=1e-13)
+        assert np.linalg.norm(q.T @ q - np.eye(4)) < 1e-13
+
+    def test_duplicate_poles(self):
+        d = np.array([1.0, 1.0, 3.0])
+        z = np.array([0.6, 0.8, 0.2])
+        w, q = _rank_one_update(d, z, 0.5)
+        full = np.diag(d) + 0.5 * np.outer(z, z)
+        assert np.allclose(w, np.linalg.eigvalsh(full), atol=1e-13)
+        assert np.linalg.norm(q @ np.diag(w) @ q.T - full) < 1e-12
+
+
+class TestCuppenTridiagonal:
+    @pytest.mark.parametrize("n", [4, 16, 17, 50, 128])
+    def test_matches_lapack(self, rng, n):
+        dd = rng.standard_normal(n)
+        oo = rng.standard_normal(max(n - 1, 0))
+        t = np.diag(dd) + np.diag(oo, 1) + np.diag(oo, -1)
+        w, q = cuppen_tridiagonal_eigh(dd, oo)
+        assert np.allclose(w, np.linalg.eigvalsh(t), atol=1e-10)
+        assert np.linalg.norm(q.T @ q - np.eye(n)) < 1e-10
+
+    def test_zero_coupling_splits_cleanly(self, rng):
+        dd = rng.standard_normal(40)
+        oo = rng.standard_normal(39)
+        oo[19] = 0.0  # exact split point
+        t = np.diag(dd) + np.diag(oo, 1) + np.diag(oo, -1)
+        w, _ = cuppen_tridiagonal_eigh(dd, oo)
+        assert np.allclose(w, np.linalg.eigvalsh(t), atol=1e-11)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cuppen_tridiagonal_eigh(np.ones(4), np.ones(4))
+
+
+class TestDcSvd:
+    @pytest.mark.parametrize("shape", [(8, 8), (25, 12), (12, 25), (60, 40), (100, 100)])
+    def test_matches_numpy(self, rng, shape):
+        a = random_matrix(rng, *shape)
+        res = dc_svd(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-9
+        assert res.reconstruction_error(a) < 1e-10
+        # Known tolerance of this implementation: clustered secular
+        # roots leave ~1e-8 cross-talk in U (LAPACK's dlaed4 invests
+        # substantially more machinery here).
+        k = res.u.shape[1]
+        assert np.linalg.norm(res.u.T @ res.u - np.eye(k)) < 1e-6
+
+    def test_values_only(self, rng):
+        a = random_matrix(rng, 30, 14)
+        res = dc_svd(a, compute_uv=False)
+        assert res.u is None
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-9
+
+    def test_low_rank(self):
+        a = low_rank_matrix(30, 20, rank=3, seed=1)
+        res = dc_svd(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-8
+
+    def test_gram_conditioning_limit(self):
+        """Through BᵀB the tiny singular values resolve only to
+        sqrt(eps)*sigma_max — the same class as the paper's cached-Gram
+        algorithm, and the reason LAPACK's bdsdc works on B directly."""
+        a = conditioned_matrix(40, 20, cond=1e12, seed=2)
+        res = dc_svd(a, compute_uv=False)
+        sv = np.linalg.svd(a, compute_uv=False)
+        rel = np.max(np.abs(res.s - sv)) / sv[0]
+        assert 1e-13 < rel < 1e-2  # degraded, but in the expected band
+
+    def test_agrees_with_other_engines(self, rng):
+        from repro import hestenes_svd
+        from repro.baselines.gkr_svd import golub_reinsch_svd
+
+        a = random_matrix(rng, 40, 18)
+        s_dc = dc_svd(a, compute_uv=False).s
+        s_hj = hestenes_svd(a, compute_uv=False, max_sweeps=12).s
+        s_gk = golub_reinsch_svd(a, compute_uv=False).s
+        assert np.allclose(s_dc, s_hj, rtol=1e-8)
+        assert np.allclose(s_dc, s_gk, rtol=1e-8)

@@ -1,0 +1,132 @@
+"""Tests for Householder reflectors and bidiagonalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.householder import (
+    apply_reflector_left,
+    apply_reflector_right,
+    bidiagonalize,
+    householder_vector,
+)
+from tests.conftest import random_matrix
+
+
+def reflector_matrix(v, beta):
+    return np.eye(len(v)) - beta * np.outer(v, v)
+
+
+class TestHouseholderVector:
+    def test_annihilates_below_first(self, rng):
+        x = rng.standard_normal(6)
+        v, beta = householder_vector(x)
+        h = reflector_matrix(v, beta)
+        y = h @ x
+        assert np.allclose(y[1:], 0.0, atol=1e-14 * np.linalg.norm(x))
+        assert y[0] == pytest.approx(np.linalg.norm(x))
+
+    def test_norm_preserved(self, rng):
+        x = rng.standard_normal(9)
+        v, beta = householder_vector(x)
+        y = reflector_matrix(v, beta) @ x
+        assert np.linalg.norm(y) == pytest.approx(np.linalg.norm(x))
+
+    def test_already_e1(self):
+        v, beta = householder_vector(np.array([3.0, 0.0, 0.0]))
+        assert beta == 0.0  # no reflection needed
+
+    def test_negative_leading(self):
+        x = np.array([-2.0, 1.0, 2.0])
+        v, beta = householder_vector(x)
+        y = reflector_matrix(v, beta) @ x
+        assert y[0] == pytest.approx(3.0)  # reflected to +||x||
+
+    def test_v0_is_one(self, rng):
+        v, _ = householder_vector(rng.standard_normal(5))
+        assert v[0] == 1.0
+
+    def test_reflector_is_orthogonal_and_involutory(self, rng):
+        v, beta = householder_vector(rng.standard_normal(5))
+        h = reflector_matrix(v, beta)
+        assert np.allclose(h @ h, np.eye(5), atol=1e-14)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=12))
+    @settings(max_examples=150)
+    def test_property_annihilation(self, values):
+        x = np.array(values)
+        v, beta = householder_vector(x)
+        y = reflector_matrix(v, beta) @ x
+        assert np.allclose(y[1:], 0.0, atol=1e-10 * max(np.linalg.norm(x), 1.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            householder_vector(np.zeros(0))
+
+
+class TestApplyReflector:
+    def test_left_matches_matrix_product(self, rng):
+        a = rng.standard_normal((6, 4))
+        v, beta = householder_vector(rng.standard_normal(6))
+        expected = reflector_matrix(v, beta) @ a
+        apply_reflector_left(a, v, beta)
+        assert np.allclose(a, expected)
+
+    def test_right_matches_matrix_product(self, rng):
+        a = rng.standard_normal((6, 4))
+        v, beta = householder_vector(rng.standard_normal(4))
+        expected = a @ reflector_matrix(v, beta)
+        apply_reflector_right(a, v, beta)
+        assert np.allclose(a, expected)
+
+    def test_beta_zero_noop(self, rng):
+        a = rng.standard_normal((4, 4))
+        before = a.copy()
+        apply_reflector_left(a, np.ones(4), 0.0)
+        assert np.array_equal(a, before)
+
+
+class TestBidiagonalize:
+    @pytest.mark.parametrize("shape", [(5, 5), (8, 5), (20, 20), (30, 7), (2, 2), (3, 1)])
+    def test_reconstruction(self, rng, shape):
+        a = random_matrix(rng, *shape)
+        u, d, e, vt = bidiagonalize(a)
+        n = shape[1]
+        b = np.diag(d) + (np.diag(e, 1) if n > 1 else 0.0)
+        assert np.allclose(u @ b @ vt, a, atol=1e-12 * np.linalg.norm(a))
+
+    def test_factors_orthonormal(self, rng):
+        a = random_matrix(rng, 12, 7)
+        u, d, e, vt = bidiagonalize(a)
+        assert np.linalg.norm(u.T @ u - np.eye(7)) < 1e-13
+        assert np.linalg.norm(vt @ vt.T - np.eye(7)) < 1e-13
+
+    def test_singular_values_preserved(self, rng):
+        a = random_matrix(rng, 15, 9)
+        _, d, e, _ = bidiagonalize(a)
+        b = np.diag(d) + np.diag(e, 1)
+        assert np.allclose(
+            np.linalg.svd(b, compute_uv=False),
+            np.linalg.svd(a, compute_uv=False),
+        )
+
+    def test_values_only_mode(self, rng):
+        a = random_matrix(rng, 10, 6)
+        u, d, e, vt = bidiagonalize(a, compute_uv=False)
+        assert u is None and vt is None
+        b = np.diag(d) + np.diag(e, 1)
+        assert np.allclose(
+            np.linalg.svd(b, compute_uv=False),
+            np.linalg.svd(a, compute_uv=False),
+        )
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ValueError, match="m >= n"):
+            bidiagonalize(random_matrix(rng, 3, 5))
+
+    def test_diagonal_nonnegative(self, rng):
+        # Our reflector convention maps pivots onto +||x|| e1.
+        a = random_matrix(rng, 10, 6)
+        _, d, _, _ = bidiagonalize(a)
+        assert np.all(d >= 0)

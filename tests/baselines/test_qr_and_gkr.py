@@ -1,0 +1,167 @@
+"""Tests for bidiagonal QR iteration and the Golub-Reinsch driver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gkr_svd import gkr_flops, golub_reinsch_svd
+from repro.baselines.golub_kahan_qr import (
+    BidiagonalQRError,
+    givens,
+    qr_iterate_bidiagonal,
+)
+from tests.conftest import assert_valid_svd, random_matrix
+
+
+class TestGivens:
+    def test_annihilates(self):
+        c, s, r = givens(3.0, 4.0)
+        assert -s * 3.0 + c * 4.0 == pytest.approx(0.0)
+        assert c * 3.0 + s * 4.0 == pytest.approx(r)
+        assert r == pytest.approx(5.0)
+
+    def test_g_zero(self):
+        assert givens(2.0, 0.0) == (1.0, 0.0, 2.0)
+
+    def test_f_zero(self):
+        assert givens(0.0, 2.0) == (0.0, 1.0, 2.0)
+
+    def test_unit_norm(self):
+        c, s, _ = givens(-1.7, 0.3)
+        assert c * c + s * s == pytest.approx(1.0)
+
+
+def run_bidiagonal(d, e, with_uv=True):
+    n = len(d)
+    b = np.diag(np.asarray(d, float)) + (np.diag(np.asarray(e, float), 1) if n > 1 else 0)
+    u = np.eye(n) if with_uv else None
+    vt = np.eye(n) if with_uv else None
+    d2, u, vt = qr_iterate_bidiagonal(d, e, u, vt)
+    return b, d2, u, vt
+
+
+class TestQRIteration:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10, 40])
+    def test_random_bidiagonal(self, rng, n):
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(max(n - 1, 0))
+        b, d2, u, vt = run_bidiagonal(d, e)
+        sv = np.linalg.svd(b, compute_uv=False)
+        assert np.allclose(np.sort(np.abs(d2))[::-1], sv, atol=1e-12 * max(sv[0], 1))
+        assert np.allclose(u @ np.diag(d2) @ vt, b, atol=1e-12 * max(sv[0], 1))
+
+    def test_zero_diagonal_deflation(self):
+        d = np.array([1.0, 0.0, 2.0, 0.5])
+        e = np.array([0.5, 0.7, 0.3])
+        b, d2, u, vt = run_bidiagonal(d, e)
+        sv = np.linalg.svd(b, compute_uv=False)
+        assert np.allclose(np.sort(np.abs(d2))[::-1], sv)
+        assert np.allclose(u @ np.diag(d2) @ vt, b, atol=1e-13)
+
+    def test_already_diagonal(self):
+        d = np.array([3.0, 1.0, 2.0])
+        e = np.zeros(2)
+        _, d2, u, vt = run_bidiagonal(d, e)
+        assert np.allclose(np.sort(np.abs(d2)), [1.0, 2.0, 3.0])
+        assert np.allclose(u, np.eye(3))  # nothing rotated
+
+    def test_graded_matrix(self):
+        d = np.geomspace(1.0, 1e-12, 10)
+        e = np.geomspace(1e-2, 1e-11, 9)
+        b, d2, _, _ = run_bidiagonal(d, e)
+        sv = np.linalg.svd(b, compute_uv=False)
+        assert np.allclose(np.sort(np.abs(d2))[::-1], sv, atol=1e-14)
+
+    def test_orthogonality_of_factors(self, rng):
+        d = rng.standard_normal(12)
+        e = rng.standard_normal(11)
+        _, _, u, vt = run_bidiagonal(d, e)
+        assert np.linalg.norm(u.T @ u - np.eye(12)) < 1e-12
+        assert np.linalg.norm(vt @ vt.T - np.eye(12)) < 1e-12
+
+    def test_values_only(self, rng):
+        d = rng.standard_normal(8)
+        e = rng.standard_normal(7)
+        b = np.diag(d) + np.diag(e, 1)
+        d2, u, vt = qr_iterate_bidiagonal(d, e)
+        assert u is None and vt is None
+        assert np.allclose(
+            np.sort(np.abs(d2))[::-1], np.linalg.svd(b, compute_uv=False)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            qr_iterate_bidiagonal(np.ones(4), np.ones(4))
+
+    def test_empty(self):
+        d, u, vt = qr_iterate_bidiagonal(np.zeros(0), np.zeros(0))
+        assert d.size == 0
+
+    def test_iteration_budget(self, rng):
+        d = rng.standard_normal(8)
+        e = rng.standard_normal(7)
+        with pytest.raises(BidiagonalQRError):
+            qr_iterate_bidiagonal(d, e, max_iterations=0)
+
+
+class TestGolubReinschSVD:
+    @pytest.mark.parametrize(
+        "shape", [(6, 6), (12, 5), (5, 12), (1, 1), (1, 7), (7, 1), (30, 30)]
+    )
+    def test_matches_numpy(self, rng, shape):
+        a = random_matrix(rng, *shape)
+        res = golub_reinsch_svd(a)
+        assert res.method == "golub_reinsch"
+        assert_valid_svd(a, res, rtol=1e-11)
+
+    def test_wide_matrix_transposition(self, rng):
+        a = random_matrix(rng, 4, 11)
+        res = golub_reinsch_svd(a)
+        assert res.u.shape == (4, 4)
+        assert res.vt.shape == (4, 11)
+        assert np.allclose(res.reconstruct(), a)
+
+    def test_values_only(self, rng):
+        a = random_matrix(rng, 9, 6)
+        res = golub_reinsch_svd(a, compute_uv=False)
+        assert res.u is None
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_rank_deficient_exact(self, rng):
+        # Unlike the Gram-based methods, Golub-Reinsch resolves tiny
+        # singular values to full precision.
+        a = random_matrix(rng, 12, 8, kind="rank", cond=3)
+        res = golub_reinsch_svd(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) < 1e-12 * sv[0]
+
+    def test_ill_conditioned(self, rng):
+        a = random_matrix(rng, 20, 10, kind="conditioned", cond=1e12)
+        res = golub_reinsch_svd(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-12
+
+    def test_agrees_with_hestenes(self, rng):
+        from repro import hestenes_svd
+
+        a = random_matrix(rng, 16, 8)
+        s_gkr = golub_reinsch_svd(a, compute_uv=False).s
+        s_hj = hestenes_svd(a, compute_uv=False, max_sweeps=10).s
+        assert np.max(np.abs(s_gkr - s_hj)) < 1e-10 * s_gkr[0]
+
+
+class TestGkrFlops:
+    def test_square_values_only(self):
+        n = 100
+        assert gkr_flops(n, n) == pytest.approx(
+            4 * n**3 - 4 * n**3 / 3 + 30 * n * n
+        )
+
+    def test_symmetric_in_dims(self):
+        assert gkr_flops(200, 50) == gkr_flops(50, 200)
+
+    def test_uv_costs_more(self):
+        assert gkr_flops(128, 128, compute_uv=True) > gkr_flops(128, 128)
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            gkr_flops(0, 5)

@@ -1,0 +1,63 @@
+"""Shared fixtures and assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+SEED = 20140519  # IPDPSW 2014 conference date — fixed suite-wide seed
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(SEED)
+
+
+def random_matrix(rng, m, n, kind="gaussian", cond=None):
+    """Test-matrix factory.
+
+    kind: "gaussian" (iid N(0,1)), "uniform" (U[0,1), strictly positive
+    covariances), "conditioned" (geometric singular spectrum with
+    condition number *cond*), "rank" (exact rank ``cond``), "tiny"
+    (gaussian scaled by 1e-150), "huge" (scaled by 1e+150).
+    """
+    if kind == "gaussian":
+        return rng.standard_normal((m, n))
+    if kind == "uniform":
+        return rng.random((m, n))
+    if kind == "conditioned":
+        cond = 1e6 if cond is None else cond
+        k = min(m, n)
+        u, _ = np.linalg.qr(rng.standard_normal((m, k)))
+        v, _ = np.linalg.qr(rng.standard_normal((n, k)))
+        s = np.geomspace(1.0, 1.0 / cond, k)
+        return (u * s) @ v.T
+    if kind == "rank":
+        r = int(cond if cond is not None else max(1, min(m, n) // 2))
+        return rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    if kind == "tiny":
+        return rng.standard_normal((m, n)) * 1e-150
+    if kind == "huge":
+        return rng.standard_normal((m, n)) * 1e150
+    raise ValueError(kind)
+
+
+def assert_valid_svd(a, result, rtol=1e-10):
+    """Assert a complete SVD result reconstructs *a* with orthonormal factors."""
+    m, n = a.shape
+    k = min(m, n)
+    s = result.s
+    assert s.shape == (k,)
+    assert np.all(np.diff(s) <= 1e-12 * max(s[0], 1.0)), "s not descending"
+    assert np.all(s >= 0.0)
+    sv_ref = np.linalg.svd(a, compute_uv=False)
+    scale = max(sv_ref[0], np.finfo(float).tiny)
+    assert np.max(np.abs(s - sv_ref)) / scale < rtol, "singular values off"
+    if result.u is not None:
+        assert result.u.shape == (m, k)
+        assert result.vt.shape == (k, n)
+        assert np.linalg.norm(result.u.T @ result.u - np.eye(k)) < 1e-8
+        assert np.linalg.norm(result.vt @ result.vt.T - np.eye(k)) < 1e-8
+        recon = (result.u * s) @ result.vt
+        assert np.linalg.norm(a - recon) / max(np.linalg.norm(a), 1e-300) < 1e-8

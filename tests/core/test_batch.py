@@ -1,0 +1,50 @@
+"""Tests for batch (optionally parallel) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_svd
+from repro.core.svd import HestenesJacobiSVD
+from tests.conftest import random_matrix
+
+
+class TestBatchSvd:
+    def test_serial_correctness(self, rng):
+        mats = [random_matrix(rng, 10 + i, 5) for i in range(4)]
+        results = batch_svd(mats, max_sweeps=12)
+        for a, r in zip(mats, results):
+            assert np.allclose(r.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_parallel_matches_serial_bitwise(self, rng):
+        mats = [random_matrix(rng, 16, 8) for _ in range(6)]
+        serial = batch_svd(mats, workers=1, max_sweeps=8)
+        parallel = batch_svd(mats, workers=4, max_sweeps=8)
+        for rs, rp in zip(serial, parallel):
+            assert np.array_equal(rs.s, rp.s)
+            assert np.array_equal(rs.u, rp.u)
+
+    def test_order_preserved(self, rng):
+        mats = [np.eye(3) * (i + 1) for i in range(8)]
+        results = batch_svd(mats, workers=3)
+        assert [r.s[0] for r in results] == [float(i + 1) for i in range(8)]
+
+    def test_mixed_shapes(self, rng):
+        mats = [random_matrix(rng, 6, 3), random_matrix(rng, 3, 6), np.eye(2)]
+        results = batch_svd(mats, workers=2, max_sweeps=10)
+        assert [len(r.s) for r in results] == [3, 3, 2]
+
+    def test_empty_batch(self):
+        assert batch_svd([]) == []
+
+    def test_preconfigured_solver(self, rng):
+        solver = HestenesJacobiSVD(method="reference", max_sweeps=15)
+        results = batch_svd([random_matrix(rng, 8, 4)], solver=solver)
+        assert results[0].method == "reference"
+
+    def test_solver_and_options_conflict(self):
+        with pytest.raises(TypeError):
+            batch_svd([np.eye(2)], solver=HestenesJacobiSVD(), max_sweeps=3)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            batch_svd([np.eye(2)], workers=0)

@@ -1,0 +1,137 @@
+"""Tests for the round-parallel (hardware-scheduled) implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocked import apply_round_gram, batch_rotation_params, blocked_svd
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.modified import modified_svd
+from repro.core.ordering import cyclic_sweep
+from repro.core.rotation import dataflow_rotation, textbook_rotation
+from tests.conftest import assert_valid_svd, random_matrix
+
+
+class TestBatchRotationParams:
+    @pytest.mark.parametrize("impl", ["textbook", "dataflow"])
+    def test_matches_scalar(self, rng, impl):
+        scalar = textbook_rotation if impl == "textbook" else dataflow_rotation
+        ni = rng.random(32) * 10 + 0.1
+        nj = rng.random(32) * 10 + 0.1
+        frac = rng.uniform(-0.99, 0.99, 32)
+        cov = frac * np.sqrt(ni * nj)
+        c, s, t, active = batch_rotation_params(ni, nj, cov, rotation_impl=impl)
+        assert active.all()
+        for k in range(32):
+            p = scalar(float(ni[k]), float(nj[k]), float(cov[k]))
+            assert c[k] == pytest.approx(p.cos, rel=1e-13)
+            assert s[k] == pytest.approx(p.sin, rel=1e-13)
+            assert t[k] == pytest.approx(p.t, rel=1e-13)
+
+    def test_zero_cov_inactive(self):
+        c, s, t, active = batch_rotation_params(
+            np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.array([0.5, 0.0])
+        )
+        assert active.tolist() == [True, False]
+        assert c[1] == 1.0 and s[1] == 0.0 and t[1] == 0.0
+
+    def test_denormal_cov_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            c, s, t, active = batch_rotation_params(
+                np.array([1.0]), np.array([2.0]), np.array([1e-300])
+            )
+        assert np.isfinite(c[0]) and np.isfinite(s[0])
+
+
+class TestApplyRoundGram:
+    def test_equivalent_to_sequential(self, rng):
+        """A whole disjoint round applied jointly == applied pair by pair."""
+        from repro.core.rotation import apply_rotation_gram
+
+        a = rng.standard_normal((20, 8))
+        d_joint = a.T @ a
+        d_seq = d_joint.copy()
+        round_pairs = cyclic_sweep(8)[0]
+        idx_i = np.array([p[0] for p in round_pairs])
+        idx_j = np.array([p[1] for p in round_pairs])
+
+        cov = d_joint[idx_i, idx_j].copy()
+        c, s, t, _ = batch_rotation_params(
+            d_joint[idx_i, idx_i], d_joint[idx_j, idx_j], cov
+        )
+        apply_round_gram(d_joint, idx_i, idx_j, c, s, t, cov)
+
+        for i, j in round_pairs:
+            cov_ij = d_seq[i, j]
+            p = textbook_rotation(d_seq[i, i], d_seq[j, j], cov_ij)
+            apply_rotation_gram(d_seq, i, j, p, cov_ij)
+
+        assert np.linalg.norm(d_joint - d_seq) < 1e-11 * np.linalg.norm(d_seq)
+
+    def test_annihilates_all_round_pairs(self, rng):
+        a = rng.standard_normal((30, 12))
+        d = a.T @ a
+        round_pairs = cyclic_sweep(12)[0]
+        idx_i = np.array([p[0] for p in round_pairs])
+        idx_j = np.array([p[1] for p in round_pairs])
+        cov = d[idx_i, idx_j].copy()
+        c, s, t, _ = batch_rotation_params(d[idx_i, idx_i], d[idx_j, idx_j], cov)
+        apply_round_gram(d, idx_i, idx_j, c, s, t, cov)
+        assert np.all(d[idx_i, idx_j] == 0.0)
+        assert np.allclose(d, d.T)
+
+
+class TestBlockedAccuracy:
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 8), (8, 16), (33, 7), (40, 40)])
+    def test_matches_numpy(self, rng, shape):
+        a = random_matrix(rng, *shape)
+        res = blocked_svd(a, criterion=ConvergenceCriterion(max_sweeps=12))
+        assert_valid_svd(a, res, rtol=1e-9)
+
+    def test_matches_modified_sequential(self, rng):
+        """Blocked execution is numerically identical to sequential cyclic."""
+        a = random_matrix(rng, 24, 12)
+        crit = ConvergenceCriterion(max_sweeps=6)
+        s_blocked = blocked_svd(a, compute_uv=False, criterion=crit).s
+        s_seq = modified_svd(a, compute_uv=False, criterion=crit).s
+        # Same rotations in a different grouping: equal to tight tolerance
+        # (roundoff ordering differs slightly within a round).
+        assert np.max(np.abs(s_blocked - s_seq)) <= 1e-10 * max(s_seq[0], 1.0)
+
+    @pytest.mark.parametrize("impl", ["textbook", "dataflow"])
+    def test_rotation_impls(self, rng, impl):
+        a = random_matrix(rng, 16, 10)
+        res = blocked_svd(a, rotation_impl=impl)
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_odd_column_count(self, rng):
+        a = random_matrix(rng, 15, 9)
+        res = blocked_svd(a, criterion=ConvergenceCriterion(max_sweeps=10))
+        assert_valid_svd(a, res, rtol=1e-9)
+
+    def test_sigma_only_mode(self, rng):
+        a = random_matrix(rng, 20, 10)
+        res = blocked_svd(a, compute_uv=False, track_columns="never")
+        assert res.u is None
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=11, deadline=None)
+    def test_all_column_counts(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.standard_normal((n + 3, n))
+        res = blocked_svd(a, criterion=ConvergenceCriterion(max_sweeps=14))
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) <= 1e-9 * max(sv[0], 1.0)
+
+    def test_converged_flag_with_tol(self, rng):
+        a = random_matrix(rng, 16, 8)
+        res = blocked_svd(
+            a, criterion=ConvergenceCriterion(max_sweeps=30, tol=1e-8, metric="relative")
+        )
+        assert res.converged
+        assert res.trace.final_value <= 1e-8

@@ -1,0 +1,91 @@
+"""Tests for convergence metrics, criteria and traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    METRICS,
+    ConvergenceCriterion,
+    ConvergenceTrace,
+    measure,
+)
+
+
+class TestMeasure:
+    def test_diagonal_matrix_is_converged(self):
+        d = np.diag([4.0, 2.0, 1.0])
+        for metric in METRICS:
+            assert measure(d, metric) == 0.0
+
+    def test_mean_abs_value(self):
+        d = np.array([[1.0, 2.0, -4.0], [2.0, 1.0, 6.0], [-4.0, 6.0, 1.0]])
+        assert measure(d, "mean_abs") == pytest.approx((2 + 4 + 6) / 3)
+
+    def test_off_fro_value(self):
+        d = np.array([[1.0, 3.0], [3.0, 1.0]])
+        assert measure(d, "off_fro") == pytest.approx(3.0)
+
+    def test_max_abs_value(self):
+        d = np.array([[1.0, 2.0, -4.0], [2.0, 1.0, 6.0], [-4.0, 6.0, 1.0]])
+        assert measure(d, "max_abs") == pytest.approx(6.0)
+
+    def test_relative_is_scale_free(self):
+        d = np.array([[2.0, 1.0], [1.0, 3.0]])
+        assert measure(d, "relative") == pytest.approx(measure(d * 1e6, "relative"))
+
+    def test_1x1(self):
+        for metric in METRICS:
+            assert measure(np.array([[5.0]]), metric) == 0.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            measure(np.eye(2), "bogus")
+
+
+class TestConvergenceCriterion:
+    def test_paper_default_no_early_stop(self):
+        c = ConvergenceCriterion()
+        assert c.max_sweeps == 6
+        assert not c.satisfied(0.0)
+
+    def test_threshold(self):
+        c = ConvergenceCriterion(max_sweeps=10, tol=1e-6)
+        assert c.satisfied(1e-7)
+        assert not c.satisfied(1e-5)
+
+    def test_rejects_bad_sweeps(self):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(max_sweeps=0)
+
+    def test_rejects_negative_tol(self):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(tol=-1.0)
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError):
+            ConvergenceCriterion(metric="nope")
+
+    def test_frozen(self):
+        c = ConvergenceCriterion()
+        with pytest.raises(AttributeError):
+            c.tol = 1.0
+
+
+class TestConvergenceTrace:
+    def test_record_and_series(self):
+        t = ConvergenceTrace()
+        t.record(0, 10.0)
+        t.record(1, 1.0, rotations=5, skipped=1)
+        t.record(2, 0.1, rotations=3, skipped=3)
+        sweeps, values = t.series()
+        assert sweeps == [0, 1, 2]
+        assert values == [10.0, 1.0, 0.1]
+        assert t.rotations == [0, 5, 3]
+        assert t.n_sweeps == 2  # sweep-0 entry not counted
+        assert t.final_value == 0.1
+
+    def test_empty_trace(self):
+        t = ConvergenceTrace()
+        assert t.n_sweeps == 0
+        assert t.final_value == float("inf")
+        assert not t.converged

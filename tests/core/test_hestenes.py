@@ -1,0 +1,124 @@
+"""Tests for the reference (plain) Hestenes one-sided Jacobi SVD."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.hestenes import FlopCounter, reference_svd
+from tests.conftest import assert_valid_svd, random_matrix
+
+
+class TestReferenceAccuracy:
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 8), (8, 16), (1, 5), (5, 1), (33, 7)])
+    def test_matches_numpy(self, rng, shape):
+        a = random_matrix(rng, *shape)
+        res = reference_svd(a)
+        assert_valid_svd(a, res)
+
+    def test_square_identity(self):
+        res = reference_svd(np.eye(6))
+        assert np.allclose(res.s, 1.0)
+        assert res.sweeps <= 2  # already orthogonal: first sweep all-skip
+
+    def test_diagonal_matrix(self):
+        a = np.diag([5.0, 3.0, 1.0])
+        res = reference_svd(a)
+        assert np.allclose(res.s, [5.0, 3.0, 1.0])
+
+    def test_negative_diagonal(self):
+        a = np.diag([-5.0, 3.0, -1.0])
+        res = reference_svd(a)
+        assert np.allclose(res.s, [5.0, 3.0, 1.0])
+        assert_valid_svd(a, res)
+
+    def test_rank_deficient(self, rng):
+        a = random_matrix(rng, 12, 8, kind="rank", cond=3)
+        res = reference_svd(a)
+        assert res.rank == 3
+        assert_valid_svd(a, res)
+        # U completed to orthonormal even in the nullspace columns.
+        assert np.linalg.norm(res.u.T @ res.u - np.eye(8)) < 1e-8
+
+    def test_ill_conditioned(self, rng):
+        a = random_matrix(rng, 20, 10, kind="conditioned", cond=1e8)
+        res = reference_svd(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        # One-sided Jacobi is accurate even for small singular values.
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-10
+
+    def test_tiny_scale(self, rng):
+        a = random_matrix(rng, 10, 6, kind="tiny")
+        res = reference_svd(a)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) / sv[0] < 1e-10
+
+    def test_singular_values_only(self, rng):
+        a = random_matrix(rng, 10, 6)
+        res = reference_svd(a, compute_uv=False)
+        assert res.u is None and res.vt is None
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    @pytest.mark.parametrize("ordering", ["cyclic", "row", "random"])
+    def test_orderings_converge(self, rng, ordering):
+        a = random_matrix(rng, 12, 12)
+        res = reference_svd(a, ordering=ordering, seed=5)
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+
+class TestReferenceControl:
+    def test_early_stop_on_tol(self, rng):
+        a = random_matrix(rng, 16, 8)
+        crit = ConvergenceCriterion(max_sweeps=50, tol=1e-3, metric="mean_abs")
+        res = reference_svd(a, criterion=crit)
+        assert res.converged
+        assert res.trace.final_value <= 1e-3
+        assert res.sweeps < 50
+
+    def test_sweep_cap_respected(self, rng):
+        a = random_matrix(rng, 16, 8)
+        crit = ConvergenceCriterion(max_sweeps=2, tol=None)
+        res = reference_svd(a, criterion=crit)
+        assert res.sweeps == 2
+
+    def test_natural_termination_all_skipped(self):
+        # Columns already orthogonal -> sweep performs zero rotations.
+        a = np.diag([3.0, 2.0, 1.0])
+        res = reference_svd(a)
+        assert res.converged
+        assert res.trace.rotations[-1] == 0
+
+    def test_trace_monotone_tail(self, rng):
+        a = random_matrix(rng, 24, 12)
+        res = reference_svd(a)
+        values = res.trace.values
+        # Off-quantities after the final sweeps should be far below start.
+        assert values[-1] < 1e-8 * max(values[0], 1.0)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            reference_svd(np.zeros(3))
+
+    def test_rejects_nan(self):
+        a = np.ones((3, 3))
+        a[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            reference_svd(a)
+
+
+class TestFlopCounter:
+    def test_counts_recomputation(self, rng):
+        a = random_matrix(rng, 10, 6)
+        flops = FlopCounter()
+        res = reference_svd(a, flops=flops)
+        n_pairs = 6 * 5 // 2
+        # Every sweep recomputes all pair dot products.
+        assert flops.dot_products == 3 * n_pairs * res.sweeps
+        assert flops.dot_flops == 6 * 10 * n_pairs * res.sweeps
+        assert flops.total_flops == flops.dot_flops + flops.update_flops
+
+    def test_update_flops_only_for_rotated_pairs(self):
+        a = np.diag([3.0, 2.0, 1.0])
+        flops = FlopCounter()
+        reference_svd(a, flops=flops)
+        assert flops.update_flops == 0  # nothing rotated
+        assert flops.dot_flops > 0  # but dot products were still paid

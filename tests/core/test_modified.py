@@ -1,0 +1,215 @@
+"""Tests for the paper's modified (covariance-caching) algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.hestenes import reference_svd
+from repro.core.modified import gram_matrix, modified_svd
+from tests.conftest import assert_valid_svd, random_matrix
+
+
+class TestGramMatrix:
+    def test_matches_definition(self, rng):
+        a = rng.standard_normal((9, 5))
+        d = gram_matrix(a)
+        assert np.allclose(d, a.T @ a)
+        assert np.allclose(d, d.T)
+
+    def test_diagonal_is_squared_norms(self, rng):
+        a = rng.standard_normal((9, 5))
+        d = gram_matrix(a)
+        assert np.allclose(np.diag(d), np.linalg.norm(a, axis=0) ** 2)
+
+
+class TestModifiedAccuracy:
+    @pytest.mark.parametrize(
+        "shape", [(8, 8), (16, 8), (8, 16), (1, 5), (5, 1), (33, 7), (40, 40)]
+    )
+    def test_matches_numpy(self, rng, shape):
+        a = random_matrix(rng, *shape)
+        res = modified_svd(a, criterion=ConvergenceCriterion(max_sweeps=12))
+        assert_valid_svd(a, res, rtol=1e-9)
+
+    def test_six_sweeps_default_matches_paper_setting(self, rng):
+        a = random_matrix(rng, 32, 16)
+        res = modified_svd(a)
+        assert res.sweeps <= 6
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_singular_values_only(self, rng):
+        a = random_matrix(rng, 24, 12)
+        res = modified_svd(a, compute_uv=False)
+        assert res.u is None and res.vt is None
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_agrees_with_reference(self, rng):
+        a = random_matrix(rng, 20, 10)
+        crit = ConvergenceCriterion(max_sweeps=15)
+        r_ref = reference_svd(a, criterion=crit)
+        r_mod = modified_svd(a, criterion=crit)
+        assert np.max(np.abs(r_ref.s - r_mod.s)) / r_ref.s[0] < 1e-10
+
+    @pytest.mark.parametrize("impl", ["textbook", "dataflow"])
+    def test_rotation_impls_equivalent(self, rng, impl):
+        a = random_matrix(rng, 16, 8)
+        res = modified_svd(a, rotation_impl=impl)
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_uniform_matrices_converge(self, rng):
+        # Positive-mean data: strongly correlated columns (the hard case
+        # for orthogonalization; also what "randomly generated datasets"
+        # in the paper most plausibly were).
+        a = random_matrix(rng, 32, 16, kind="uniform")
+        res = modified_svd(a, criterion=ConvergenceCriterion(max_sweeps=10))
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_rank_deficient(self, rng):
+        # The Gram-based method resolves small singular values only to
+        # sqrt(eps)*s_max (squaring halves the precision) — a documented
+        # limitation of Algorithm 1 versus the reference method, which
+        # recovers exact zeros.  The rank is still clear at 1e-7.
+        a = random_matrix(rng, 12, 8, kind="rank", cond=4)
+        res = modified_svd(a, criterion=ConvergenceCriterion(max_sweeps=12))
+        assert int(np.sum(res.s > 1e-7 * res.s[0])) == 4
+        assert np.all(res.s[4:] <= 1e-7 * res.s[0])
+        assert_valid_svd(a, res, rtol=1e-7)
+
+
+class TestTrackColumns:
+    """The paper's column-update schedule: only during the first sweep."""
+
+    def test_first_sweep_mode_sigma_exact(self, rng):
+        # Sigma comes from D alone, so truncating column updates after
+        # sweep 1 must not change singular values at all.
+        a = random_matrix(rng, 20, 10)
+        crit = ConvergenceCriterion(max_sweeps=10)
+        s_first = modified_svd(a, track_columns="first_sweep", criterion=crit).s
+        s_always = modified_svd(a, track_columns="always", criterion=crit).s
+        assert np.array_equal(s_first, s_always)
+
+    def test_never_mode_sigma_exact(self, rng):
+        a = random_matrix(rng, 20, 10)
+        crit = ConvergenceCriterion(max_sweeps=10)
+        s_never = modified_svd(
+            a, track_columns="never", compute_uv=False, criterion=crit
+        ).s
+        s_always = modified_svd(a, track_columns="always", criterion=crit).s
+        assert np.array_equal(s_never, s_always)
+
+    def test_u_via_eq7_matches_tracked_u(self, rng):
+        # U recovered as A·V·inv(Sigma) (eq. 7) vs U from fully tracked
+        # columns: same subspaces, same reconstruction.
+        a = random_matrix(rng, 20, 10)
+        crit = ConvergenceCriterion(max_sweeps=10)
+        r1 = modified_svd(a, track_columns="first_sweep", criterion=crit)
+        r2 = modified_svd(a, track_columns="always", criterion=crit)
+        assert r1.reconstruction_error(a) < 1e-10
+        assert r2.reconstruction_error(a) < 1e-10
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            modified_svd(np.eye(3), track_columns="sometimes")
+
+
+class TestPolish:
+    """The recompute-based refinement pass (caching-accuracy remedy)."""
+
+    def test_restores_accuracy_on_ill_conditioned(self, rng):
+        a = random_matrix(rng, 30, 12, kind="conditioned", cond=1e10)
+        crit = ConvergenceCriterion(max_sweeps=15)
+        cached = modified_svd(a, criterion=crit)
+        polished = modified_svd(a, criterion=crit, polish=True)
+        sv = np.linalg.svd(a, compute_uv=False)
+        err_cached = np.max(np.abs(cached.s - sv)) / sv[0]
+        err_polished = np.max(np.abs(polished.s - sv)) / sv[0]
+        assert err_polished < 1e-13
+        assert err_polished < err_cached
+        assert np.linalg.norm(
+            polished.u.T @ polished.u - np.eye(12)
+        ) < 1e-12
+
+    def test_polished_factors_reconstruct(self, rng):
+        a = random_matrix(rng, 16, 8)
+        res = modified_svd(a, polish=True)
+        assert res.method == "modified+polish"
+        assert res.reconstruction_error(a) < 1e-12
+
+    def test_polish_cheap_on_well_conditioned(self, rng):
+        """Warm start: the refinement adds only a couple of sweeps."""
+        a = random_matrix(rng, 20, 10)
+        crit = ConvergenceCriterion(max_sweeps=8)
+        res = modified_svd(a, criterion=crit, polish=True)
+        # total sweeps = cached (<= 8) + polish (small)
+        assert res.sweeps <= 8 + 4
+
+    def test_polish_trace_extends(self, rng):
+        a = random_matrix(rng, 16, 8)
+        res = modified_svd(a, polish=True)
+        assert res.trace.n_sweeps == res.sweeps
+
+    def test_polish_requires_uv(self, rng):
+        with pytest.raises(ValueError, match="compute_uv"):
+            modified_svd(random_matrix(rng, 6, 4), compute_uv=False, polish=True)
+
+
+class TestModifiedProperties:
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_random_shapes_property(self, n_rows, n_cols):
+        rng = np.random.default_rng(n_rows * 100 + n_cols)
+        a = rng.standard_normal((n_rows, n_cols))
+        res = modified_svd(a, criterion=ConvergenceCriterion(max_sweeps=14))
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - sv)) <= 1e-9 * max(sv[0], 1.0)
+
+    def test_trace_values_decrease_overall(self, rng):
+        a = random_matrix(rng, 24, 12)
+        res = modified_svd(a, criterion=ConvergenceCriterion(max_sweeps=8))
+        v = res.trace.values
+        assert v[-1] < v[0] * 1e-6
+
+    def test_gram_trace_invariant(self, rng):
+        # sum of squared singular values == ||A||_F^2 (trace of D is
+        # preserved by every congruence rotation).
+        a = random_matrix(rng, 15, 9)
+        res = modified_svd(a, compute_uv=False)
+        assert np.sum(res.s**2) == pytest.approx(np.linalg.norm(a) ** 2, rel=1e-12)
+
+
+class TestRefreshEvery:
+    """Periodic Gram recomputation (the resilience/scrubbing feature)."""
+
+    def test_results_unchanged_on_clean_run(self, rng):
+        a = random_matrix(rng, 20, 10)
+        crit = ConvergenceCriterion(max_sweeps=8)
+        clean = modified_svd(a, criterion=crit, track_columns="always")
+        refreshed = modified_svd(
+            a, criterion=crit, track_columns="always", refresh_every=2
+        )
+        assert np.allclose(clean.s, refreshed.s, rtol=1e-12)
+
+    def test_requires_always_tracking(self, rng):
+        with pytest.raises(ValueError, match="track_columns"):
+            modified_svd(random_matrix(rng, 6, 4), refresh_every=2)
+
+    def test_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            modified_svd(
+                random_matrix(rng, 6, 4),
+                track_columns="always",
+                refresh_every=0,
+            )
+
+    def test_refresh_tightens_final_covariances(self, rng):
+        # After a refresh, the recorded metric reflects the true Gram
+        # of the columns, not the drifted cache.
+        a = random_matrix(rng, 24, 12, kind="conditioned", cond=1e8)
+        crit = ConvergenceCriterion(max_sweeps=9)
+        refreshed = modified_svd(
+            a, criterion=crit, track_columns="always", refresh_every=3
+        )
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(refreshed.s - sv)) / sv[0] < 1e-8

@@ -1,0 +1,127 @@
+"""Tests for sweep orderings: coverage, disjointness, grouping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ordering import (
+    ORDERINGS,
+    all_pairs,
+    cyclic_sweep,
+    group_pairs,
+    make_sweep,
+    random_sweep,
+    row_cyclic_sweep,
+)
+
+
+def flatten(rounds):
+    return [p for rnd in rounds for p in rnd]
+
+
+class TestAllPairs:
+    def test_count(self):
+        assert len(all_pairs(8)) == 28
+
+    def test_ordered(self):
+        assert all(i < j for i, j in all_pairs(10))
+
+    def test_n1(self):
+        assert all_pairs(1) == []
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            all_pairs(0)
+
+
+class TestCyclicSweep:
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=63)
+    def test_covers_every_pair_exactly_once(self, n):
+        pairs = flatten(cyclic_sweep(n))
+        assert sorted(pairs) == sorted(all_pairs(n))
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=63)
+    def test_rounds_are_disjoint(self, n):
+        for rnd in cyclic_sweep(n):
+            seen = set()
+            for i, j in rnd:
+                assert i not in seen and j not in seen
+                seen.update((i, j))
+
+    def test_even_round_structure(self):
+        rounds = cyclic_sweep(32)  # the paper's Fig. 6 example size
+        assert len(rounds) == 31
+        assert all(len(r) == 16 for r in rounds)
+
+    def test_odd_round_structure(self):
+        rounds = cyclic_sweep(7)
+        assert len(rounds) == 7
+        assert all(len(r) == 3 for r in rounds)
+
+    def test_n2(self):
+        assert cyclic_sweep(2) == [[(0, 1)]]
+
+    def test_n1_empty(self):
+        assert cyclic_sweep(1) == []
+
+    def test_pairs_ordered(self):
+        assert all(i < j for rnd in cyclic_sweep(12) for i, j in rnd)
+
+    def test_doctest_example(self):
+        assert cyclic_sweep(4) == [[(0, 3), (1, 2)], [(0, 2), (1, 3)], [(0, 1), (2, 3)]]
+
+
+class TestRowCyclicSweep:
+    def test_sequence_matches_algorithm_1_loops(self):
+        rounds = row_cyclic_sweep(4)
+        assert flatten(rounds) == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+    def test_one_pair_per_round(self):
+        assert all(len(r) == 1 for r in row_cyclic_sweep(9))
+
+
+class TestRandomSweep:
+    def test_covers_every_pair(self):
+        pairs = flatten(random_sweep(10, seed=1))
+        assert sorted(pairs) == sorted(all_pairs(10))
+
+    def test_seed_reproducible(self):
+        assert random_sweep(12, seed=7) == random_sweep(12, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert random_sweep(12, seed=1) != random_sweep(12, seed=2)
+
+
+class TestMakeSweep:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_dispatch_covers_pairs(self, ordering):
+        pairs = flatten(make_sweep(16, ordering, seed=3))
+        assert sorted(pairs) == sorted(all_pairs(16))
+
+    def test_unknown_ordering(self):
+        with pytest.raises(ValueError, match="ordering"):
+            make_sweep(8, "zigzag")
+
+
+class TestGroupPairs:
+    def test_groups_of_8(self):
+        rnd = cyclic_sweep(32)[0]  # 16 pairs
+        groups = group_pairs(rnd, 8)
+        assert [len(g) for g in groups] == [8, 8]
+        assert flatten(groups) == rnd
+
+    def test_ragged_tail(self):
+        rnd = cyclic_sweep(10)[0]  # 5 pairs
+        groups = group_pairs(rnd, 2)
+        assert [len(g) for g in groups] == [2, 2, 1]
+
+    def test_zero_means_whole_round(self):
+        rnd = cyclic_sweep(10)[0]
+        assert group_pairs(rnd, 0) == [rnd]
+        assert group_pairs(rnd, None) == [rnd]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            group_pairs([(0, 1)], -2)

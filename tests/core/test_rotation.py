@@ -1,0 +1,265 @@
+"""Unit and property tests for Jacobi plane-rotation math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rotation import (
+    RotationParams,
+    apply_rotation_columns,
+    apply_rotation_gram,
+    dataflow_rotation,
+    new_covariance,
+    rotated_norms,
+    textbook_rotation,
+    two_sided_angles,
+)
+
+# Strategy: realistic norm/covariance triples.  Norms are strictly
+# positive; the covariance obeys Cauchy-Schwarz (|cov| <= sqrt(ni*nj)),
+# as any true column Gram entry must.  The correlation magnitude is kept
+# above 1e-6 so cov^2 never underflows — the regime where the dataflow
+# equations (8)-(10) are defined (see test_underflow_artifact below for
+# the degenerate regime).
+_norm = st.floats(min_value=1e-8, max_value=1e8)
+_frac_mag = st.floats(min_value=1e-6, max_value=0.999)
+
+
+@st.composite
+def gram_triples(draw):
+    ni = draw(_norm)
+    nj = draw(_norm)
+    frac = draw(_frac_mag) * (1 if draw(st.booleans()) else -1)
+    cov = frac * math.sqrt(ni * nj)
+    return ni, nj, cov
+
+
+class TestTextbookRotation:
+    def test_identity_on_zero_cov(self):
+        p = textbook_rotation(3.0, 5.0, 0.0)
+        assert p.identity
+        assert p.cos == 1.0 and p.sin == 0.0 and p.t == 0.0
+
+    def test_threshold_skip(self):
+        p = textbook_rotation(3.0, 5.0, 1e-12, eps=1e-10)
+        assert p.identity
+
+    def test_equal_norms_gives_45_degrees(self):
+        p = textbook_rotation(2.0, 2.0, 1.0)
+        assert p.cos == pytest.approx(math.sqrt(0.5))
+        assert abs(p.sin) == pytest.approx(math.sqrt(0.5))
+        assert abs(p.t) == pytest.approx(1.0)
+
+    def test_negative_cov_flips_sin_sign(self):
+        p_pos = textbook_rotation(2.0, 2.0, 1.0)
+        p_neg = textbook_rotation(2.0, 2.0, -1.0)
+        assert p_neg.sin == pytest.approx(-p_pos.sin)
+        assert p_neg.cos == pytest.approx(p_pos.cos)
+
+    def test_huge_rho_no_overflow(self):
+        # Denormal covariance drives rho past the overflow range.
+        p = textbook_rotation(1.0, 2.0, 1e-300)
+        assert math.isfinite(p.t) and math.isfinite(p.cos)
+        assert p.cos == pytest.approx(1.0)
+
+    @given(gram_triples())
+    @settings(max_examples=300)
+    def test_annihilates_covariance(self, triple):
+        ni, nj, cov = triple
+        p = textbook_rotation(ni, nj, cov)
+        scale = max(abs(ni), abs(nj), abs(cov))
+        assert abs(new_covariance(ni, nj, cov, p)) <= 1e-12 * scale
+
+    @given(gram_triples())
+    @settings(max_examples=300)
+    def test_unit_determinant_and_inner_rotation(self, triple):
+        ni, nj, cov = triple
+        p = textbook_rotation(ni, nj, cov)
+        assert p.cos * p.cos + p.sin * p.sin == pytest.approx(1.0)
+        assert p.cos > 0
+        assert abs(p.t) <= 1.0 + 1e-12  # inner rotation: angle <= 45 deg
+
+    @given(gram_triples())
+    @settings(max_examples=300)
+    def test_trace_preserved_by_norm_updates(self, triple):
+        ni, nj, cov = triple
+        p = textbook_rotation(ni, nj, cov)
+        ni2, nj2 = rotated_norms(ni, nj, cov, p)
+        assert ni2 + nj2 == pytest.approx(ni + nj, rel=1e-12)
+
+
+class TestDataflowRotation:
+    @given(gram_triples())
+    @settings(max_examples=300)
+    def test_matches_textbook(self, triple):
+        ni, nj, cov = triple
+        p1 = textbook_rotation(ni, nj, cov)
+        p2 = dataflow_rotation(ni, nj, cov)
+        assert p2.cos == pytest.approx(p1.cos, rel=1e-12, abs=1e-12)
+        assert p2.sin == pytest.approx(p1.sin, rel=1e-12, abs=1e-12)
+        assert p2.t == pytest.approx(p1.t, rel=1e-12, abs=1e-12)
+
+    @given(gram_triples())
+    @settings(max_examples=300)
+    def test_annihilates_covariance(self, triple):
+        ni, nj, cov = triple
+        p = dataflow_rotation(ni, nj, cov)
+        scale = max(abs(ni), abs(nj), abs(cov))
+        assert abs(new_covariance(ni, nj, cov, p)) <= 1e-12 * scale
+
+    def test_identity_on_zero_cov(self):
+        assert dataflow_rotation(1.0, 2.0, 0.0).identity
+
+    def test_underflow_regime_matches_textbook(self):
+        # When cov^2 would underflow, the raw eq. (8)-(10) datapath
+        # degrades (real fixed-latency hardware would flush the
+        # rotation); our implementation prescales by max(|d|, |cov|) —
+        # the equations are homogeneous of degree 0 — so the dataflow
+        # form stays exact even for denormal covariances.
+        p_df = dataflow_rotation(1.0, 1.0, 1e-289)
+        p_tb = textbook_rotation(1.0, 1.0, 1e-289)
+        assert abs(p_tb.t) == pytest.approx(1.0)
+        assert p_df.t == pytest.approx(p_tb.t)
+        assert p_df.cos == pytest.approx(p_tb.cos)
+
+    def test_denormal_and_huge_scales_finite(self):
+        for scale in (1e-300, 1e-150, 1e150, 1e300):
+            p = dataflow_rotation(2.0 * scale, 5.0 * scale, 1.5 * scale)
+            ref = dataflow_rotation(2.0, 5.0, 1.5)
+            assert p.cos == pytest.approx(ref.cos, rel=1e-12)
+            assert p.sin == pytest.approx(ref.sin, rel=1e-12)
+
+    def test_t_magnitude_equation_8(self):
+        # Direct check of eq. (8) against the returned |t|.
+        n1, n2, c = 3.0, 7.0, 1.5
+        p = dataflow_rotation(n1, n2, c)
+        expected = abs(2 * c) / (abs(n2 - n1) + math.sqrt((n2 - n1) ** 2 + 4 * c * c))
+        assert abs(p.t) == pytest.approx(expected)
+
+
+class TestRotationParams:
+    def test_as_matrix_is_orthogonal(self):
+        p = textbook_rotation(1.0, 4.0, 0.7)
+        j = p.as_matrix()
+        assert np.allclose(j.T @ j, np.eye(2))
+
+    def test_identity_sentinel(self):
+        assert RotationParams.IDENTITY.identity
+        assert np.allclose(RotationParams.IDENTITY.as_matrix(), np.eye(2))
+
+    def test_frozen(self):
+        p = textbook_rotation(1.0, 4.0, 0.7)
+        with pytest.raises(AttributeError):
+            p.cos = 0.0
+
+
+class TestApplyRotationColumns:
+    def test_orthogonalizes_pair(self, rng):
+        a = rng.standard_normal((20, 5))
+        i, j = 1, 3
+        ni = a[:, i] @ a[:, i]
+        nj = a[:, j] @ a[:, j]
+        cov = a[:, i] @ a[:, j]
+        p = textbook_rotation(ni, nj, cov)
+        apply_rotation_columns(a, i, j, p)
+        assert abs(a[:, i] @ a[:, j]) < 1e-12 * math.sqrt(ni * nj)
+
+    def test_identity_is_noop(self, rng):
+        a = rng.standard_normal((6, 4))
+        before = a.copy()
+        apply_rotation_columns(a, 0, 1, RotationParams.IDENTITY)
+        assert np.array_equal(a, before)
+
+    def test_preserves_frobenius_norm(self, rng):
+        a = rng.standard_normal((10, 6))
+        norm0 = np.linalg.norm(a)
+        p = textbook_rotation(2.0, 3.0, 1.2)
+        apply_rotation_columns(a, 2, 5, p)
+        assert np.linalg.norm(a) == pytest.approx(norm0)
+
+    def test_other_columns_untouched(self, rng):
+        a = rng.standard_normal((10, 6))
+        before = a.copy()
+        p = textbook_rotation(2.0, 3.0, 1.2)
+        apply_rotation_columns(a, 2, 5, p)
+        keep = [0, 1, 3, 4]
+        assert np.array_equal(a[:, keep], before[:, keep])
+
+
+class TestApplyRotationGram:
+    def _check_consistency(self, rng, m, n, i, j):
+        """Gram update must equal recomputing the Gram of rotated columns."""
+        a = rng.standard_normal((m, n))
+        d = a.T @ a
+        cov = d[i, j]
+        p = textbook_rotation(d[i, i], d[j, j], cov)
+        apply_rotation_gram(d, i, j, p, cov)
+        apply_rotation_columns(a, i, j, p)
+        d_direct = a.T @ a
+        scale = np.linalg.norm(d_direct)
+        assert np.linalg.norm(d - d_direct) < 1e-12 * scale
+        # The pair covariance is *exactly* zero by construction.
+        assert d[i, j] == 0.0 and d[j, i] == 0.0
+
+    def test_consistency_small(self, rng):
+        self._check_consistency(rng, 12, 6, 1, 4)
+
+    def test_consistency_adjacent(self, rng):
+        self._check_consistency(rng, 9, 5, 0, 1)
+
+    def test_consistency_last_pair(self, rng):
+        self._check_consistency(rng, 15, 7, 5, 6)
+
+    def test_preserves_symmetry(self, rng):
+        a = rng.standard_normal((10, 8))
+        d = a.T @ a
+        cov = d[2, 6]
+        p = textbook_rotation(d[2, 2], d[6, 6], cov)
+        apply_rotation_gram(d, 2, 6, p, cov)
+        assert np.allclose(d, d.T)
+
+    def test_preserves_trace(self, rng):
+        a = rng.standard_normal((10, 8))
+        d = a.T @ a
+        tr = np.trace(d)
+        cov = d[0, 7]
+        p = textbook_rotation(d[0, 0], d[7, 7], cov)
+        apply_rotation_gram(d, 0, 7, p, cov)
+        assert np.trace(d) == pytest.approx(tr)
+
+    def test_identity_is_noop(self, rng):
+        a = rng.standard_normal((5, 4))
+        d = a.T @ a
+        before = d.copy()
+        apply_rotation_gram(d, 0, 1, RotationParams.IDENTITY, 0.0)
+        assert np.array_equal(d, before)
+
+
+class TestTwoSidedAngles:
+    @staticmethod
+    def _rot(theta):
+        return np.array(
+            [[math.cos(theta), math.sin(theta)], [-math.sin(theta), math.cos(theta)]]
+        )
+
+    def test_annihilates_2x2(self, rng):
+        blk = rng.standard_normal((2, 2))
+        left, right = two_sided_angles(blk[0, 0], blk[0, 1], blk[1, 0], blk[1, 1])
+        out = self._rot(left).T @ blk @ self._rot(right)
+        assert abs(out[0, 1]) < 1e-12
+        assert abs(out[1, 0]) < 1e-12
+
+    def test_preserves_frobenius(self, rng):
+        blk = rng.standard_normal((2, 2))
+        left, right = two_sided_angles(blk[0, 0], blk[0, 1], blk[1, 0], blk[1, 1])
+        out = self._rot(left).T @ blk @ self._rot(right)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(blk))
+
+    def test_diagonal_input_stays_diagonal(self):
+        blk = np.diag([2.0, 5.0])
+        left, right = two_sided_angles(2.0, 0.0, 0.0, 5.0)
+        out = self._rot(left).T @ blk @ self._rot(right)
+        assert abs(out[0, 1]) < 1e-12 and abs(out[1, 0]) < 1e-12

@@ -1,0 +1,115 @@
+"""Tests for the public API: hestenes_svd dispatch, solver class, result."""
+
+import numpy as np
+import pytest
+
+from repro import HestenesJacobiSVD, SVDResult, hestenes_svd
+from repro.core.svd import METHODS
+from tests.conftest import random_matrix
+
+
+class TestHestenesSvdDispatch:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_methods(self, rng, method):
+        a = random_matrix(rng, 12, 6)
+        res = hestenes_svd(a, method=method, max_sweeps=12)
+        assert res.method == method
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="method"):
+            hestenes_svd(np.eye(3), method="magic")
+
+    def test_blocked_rejects_non_cyclic_ordering(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            hestenes_svd(np.eye(4), method="blocked", ordering="row")
+
+    def test_reference_accepts_row_ordering(self, rng):
+        a = random_matrix(rng, 8, 6)
+        res = hestenes_svd(a, method="reference", ordering="row", max_sweeps=15)
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_tol_early_stop(self, rng):
+        a = random_matrix(rng, 16, 8)
+        res = hestenes_svd(a, max_sweeps=40, tol=1e-9, metric="relative")
+        assert res.converged
+        assert res.sweeps < 40
+
+    def test_docstring_example(self):
+        a = np.array([[4.0, 1.0], [2.0, 3.0], [0.0, 5.0]])
+        res = hestenes_svd(a)
+        assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_rank_deficient_small_values_bounded(self):
+        # Gram-based methods resolve tiny singular values only to
+        # sqrt(eps)*s_max; the rank-2 arange matrix exhibits exactly that.
+        a = np.arange(12.0).reshape(4, 3)
+        res = hestenes_svd(a)
+        assert res.s[2] < 1e-6 * res.s[0]
+
+    def test_list_input_accepted(self):
+        res = hestenes_svd([[3.0, 0.0], [0.0, 4.0]])
+        assert np.allclose(res.s, [4.0, 3.0])
+
+    def test_integer_input_accepted(self):
+        res = hestenes_svd(np.array([[3, 0], [0, 4]]))
+        assert np.allclose(res.s, [4.0, 3.0])
+
+
+class TestHestenesJacobiSVDClass:
+    def test_reusable_solver(self, rng):
+        solver = HestenesJacobiSVD(max_sweeps=10, method="blocked")
+        for _ in range(3):
+            a = random_matrix(rng, 10, 5)
+            res = solver.decompose(a)
+            assert np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
+
+    def test_override_per_call(self, rng):
+        solver = HestenesJacobiSVD(method="blocked", max_sweeps=6)
+        a = random_matrix(rng, 10, 5)
+        res = solver.decompose(a, method="reference", max_sweeps=12)
+        assert res.method == "reference"
+
+    def test_singular_values_helper(self, rng):
+        a = random_matrix(rng, 10, 5)
+        s = HestenesJacobiSVD().singular_values(a)
+        assert np.allclose(s, np.linalg.svd(a, compute_uv=False))
+
+    def test_unknown_option_rejected_eagerly(self):
+        with pytest.raises(TypeError, match="unknown options"):
+            HestenesJacobiSVD(max_sweps=3)
+
+    def test_repr(self):
+        assert "max_sweeps=4" in repr(HestenesJacobiSVD(max_sweeps=4))
+
+
+class TestSVDResult:
+    def test_reconstruct_full_and_truncated(self, rng):
+        a = random_matrix(rng, 10, 6)
+        res = hestenes_svd(a, max_sweeps=12)
+        assert np.allclose(res.reconstruct(), a)
+        r2 = res.reconstruct(rank=2)
+        best2 = None
+        u, s, vt = np.linalg.svd(a)
+        best2 = (u[:, :2] * s[:2]) @ vt[:2]
+        assert np.linalg.norm(r2 - best2) < 1e-8  # Eckart-Young optimum
+
+    def test_reconstruct_requires_uv(self, rng):
+        a = random_matrix(rng, 6, 4)
+        res = hestenes_svd(a, compute_uv=False)
+        with pytest.raises(ValueError):
+            res.reconstruct()
+        with pytest.raises(ValueError):
+            res.reconstruction_error(a)
+
+    def test_rank_property(self, rng):
+        # Use the reference method: it applies rotations to columns
+        # directly, so exact rank deficiency survives to the result.
+        a = random_matrix(rng, 12, 8, kind="rank", cond=5)
+        res = hestenes_svd(a, method="reference", max_sweeps=15)
+        assert res.rank == 5
+
+    def test_rank_of_zero_matrix(self):
+        res = hestenes_svd(np.zeros((4, 3)))
+        assert res.rank == 0
+        assert np.allclose(res.s, 0.0)

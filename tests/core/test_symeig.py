@@ -1,0 +1,93 @@
+"""Tests for the cyclic Jacobi symmetric eigensolver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.symeig import jacobi_eigh
+from tests.conftest import random_matrix
+
+
+def random_symmetric(rng, n):
+    a = rng.standard_normal((n, n))
+    return (a + a.T) / 2
+
+
+class TestJacobiEigh:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 20])
+    def test_matches_lapack(self, rng, n):
+        a = random_symmetric(rng, n)
+        w, v = jacobi_eigh(a)
+        w_ref = np.linalg.eigvalsh(a)
+        assert np.allclose(w, w_ref, atol=1e-12 * max(abs(w_ref).max(), 1))
+
+    def test_eigenvectors_reconstruct(self, rng):
+        a = random_symmetric(rng, 12)
+        w, v = jacobi_eigh(a)
+        assert np.linalg.norm(v @ np.diag(w) @ v.T - a) < 1e-12 * np.linalg.norm(a)
+        assert np.linalg.norm(v.T @ v - np.eye(12)) < 1e-12
+
+    def test_ascending_order(self, rng):
+        w, _ = jacobi_eigh(random_symmetric(rng, 9))
+        assert np.all(np.diff(w) >= 0)
+
+    def test_values_only(self, rng):
+        a = random_symmetric(rng, 7)
+        w, v = jacobi_eigh(a, compute_vectors=False)
+        assert v is None
+        assert np.allclose(w, np.linalg.eigvalsh(a))
+
+    def test_diagonal_input_no_rotations(self):
+        a = np.diag([3.0, -1.0, 2.0])
+        w, v = jacobi_eigh(a)
+        assert np.allclose(w, [-1.0, 2.0, 3.0])
+        assert np.allclose(np.abs(v), np.eye(3)[:, [1, 2, 0]])
+
+    def test_negative_definite(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((6, 6)))
+        a = q @ np.diag([-5.0, -4.0, -3.0, -2.0, -1.0, -0.5]) @ q.T
+        w, _ = jacobi_eigh(a)
+        assert np.allclose(w, [-5, -4, -3, -2, -1, -0.5], atol=1e-10)
+
+    def test_repeated_eigenvalues(self):
+        a = np.eye(5) * 2.0
+        w, v = jacobi_eigh(a)
+        assert np.allclose(w, 2.0)
+        assert np.allclose(v.T @ v, np.eye(5))
+
+    def test_rejects_nonsymmetric(self, rng):
+        with pytest.raises(ValueError, match="symmetric"):
+            jacobi_eigh(rng.standard_normal((4, 4)))
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            jacobi_eigh(rng.standard_normal((3, 4)))
+
+    def test_connects_svd_and_eig(self, rng):
+        """eig(AᵀA) = sigma(A)^2 — the identity underlying the whole
+        Hestenes method, verified across independent implementations."""
+        a = random_matrix(rng, 14, 7)
+        w, _ = jacobi_eigh(a.T @ a)
+        from repro import hestenes_svd
+
+        s = hestenes_svd(a, compute_uv=False, max_sweeps=15).s
+        assert np.allclose(np.sort(s**2), w, atol=1e-10 * max(w.max(), 1))
+
+    @given(st.integers(2, 10), st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_eigenvalues(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = random_symmetric(rng, n)
+        w, _ = jacobi_eigh(a)
+        w_ref = np.linalg.eigvalsh(a)
+        assert np.allclose(w, w_ref, atol=1e-10 * max(abs(w_ref).max(), 1))
+
+    def test_sweep_budget(self, rng):
+        a = random_symmetric(rng, 8)
+        crit = ConvergenceCriterion(max_sweeps=1, tol=None)
+        w, _ = jacobi_eigh(a, criterion=crit)
+        # one sweep is not exact but already close
+        w_ref = np.linalg.eigvalsh(a)
+        assert np.max(np.abs(w - w_ref)) < 0.5 * max(abs(w_ref).max(), 1)

@@ -1,0 +1,143 @@
+"""Tests for the convergence-theory module."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.modified import gram_matrix, modified_svd
+from repro.core.rotation import apply_rotation_gram, textbook_rotation
+from repro.core.theory import (
+    diagonal_gap,
+    off_after_rotation,
+    predict_trace,
+    quadratic_threshold,
+    sweeps_upper_bound,
+)
+from repro.util.numerics import frobenius_off_diagonal
+from tests.conftest import random_matrix
+
+
+class TestOffAfterRotation:
+    def test_exact_identity_on_real_rotations(self, rng):
+        """off(D')^2 = off(D)^2 - 2 D_ij^2 holds to rounding for every
+        actual Jacobi rotation."""
+        a = rng.standard_normal((20, 8))
+        d = gram_matrix(a)
+        for (i, j) in [(0, 1), (2, 7), (3, 4)]:
+            off_before = frobenius_off_diagonal(d)
+            entry = d[i, j]
+            p = textbook_rotation(d[i, i], d[j, j], entry)
+            apply_rotation_gram(d, i, j, p, entry)
+            off_after = frobenius_off_diagonal(d)
+            assert off_after == pytest.approx(
+                off_after_rotation(off_before, entry), rel=1e-10, abs=1e-12
+            )
+
+    def test_clamps_at_zero(self):
+        assert off_after_rotation(1.0, 1.0) == 0.0
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    @settings(max_examples=100)
+    def test_monotone_nonincreasing(self, off, a):
+        assert off_after_rotation(off, a) <= off
+
+
+class TestSweepsUpperBound:
+    def test_already_converged(self):
+        assert sweeps_upper_bound(10, 1.0, 2.0) == 0
+
+    def test_positive_for_real_targets(self):
+        assert sweeps_upper_bound(128, 100.0, 1e-6) > 0
+
+    def test_monotone_in_target(self):
+        loose = sweeps_upper_bound(64, 10.0, 1e-2)
+        tight = sweeps_upper_bound(64, 10.0, 1e-8)
+        assert tight >= loose
+
+    def test_measured_sweeps_beat_bound(self, rng):
+        """Cyclic Jacobi converges far faster than the worst-case bound
+        — the bound must be an actual ceiling on the measured count."""
+        a = random_matrix(rng, 24, 12, kind="uniform")
+        d = gram_matrix(a)
+        initial = frobenius_off_diagonal(d)
+        target = 1e-6 * initial
+        res = modified_svd(
+            a,
+            compute_uv=False,
+            criterion=ConvergenceCriterion(max_sweeps=30, tol=None),
+        )
+        # first sweep index where the off metric (off_fro trace not
+        # recorded; use mean_abs ~ proportional) reaches target scale
+        bound = sweeps_upper_bound(12, initial, target)
+        measured = res.sweeps
+        assert measured <= bound
+
+    def test_n1_trivial(self):
+        assert sweeps_upper_bound(1, 5.0, 1.0) == 0
+
+
+class TestQuadraticPhase:
+    def test_diagonal_gap(self):
+        d = np.diag([1.0, 3.0, 3.5])
+        assert diagonal_gap(d) == pytest.approx(0.5)
+
+    def test_gap_1x1_infinite(self):
+        assert diagonal_gap(np.array([[2.0]])) == float("inf")
+
+    def test_threshold_quarter_gap(self):
+        d = np.diag([0.0, 4.0])
+        assert quadratic_threshold(d) == pytest.approx(1.0)
+
+    def test_measured_quadratic_tail(self, rng):
+        """Once below the threshold, each sweep at least squares the
+        off-norm (up to the constant) — visible as the super-linear
+        tail of Fig. 10."""
+        a = random_matrix(rng, 30, 10)
+        res = modified_svd(
+            a,
+            compute_uv=False,
+            criterion=ConvergenceCriterion(max_sweeps=12, tol=None, metric="off_fro"),
+        )
+        values = [v for v in res.trace.values if v > 0]
+        # find a pair of consecutive small values deep in the run
+        tail = [v for v in values if v < 1e-3 * values[0]]
+        if len(tail) >= 2:
+            assert tail[1] < tail[0] ** 1.5  # super-linear contraction
+
+
+class TestPredictTrace:
+    def test_shape_and_start(self):
+        trace = predict_trace(100.0, 16, 6)
+        assert len(trace) == 7
+        assert trace[0] == 100.0
+        assert all(b <= a for a, b in zip(trace, trace[1:]))
+
+    def test_quadratic_switch(self):
+        # with a huge gap, the quadratic phase activates immediately
+        trace = predict_trace(0.1, 8, 3, gap=10.0)
+        assert trace[1] == pytest.approx(0.1**2 / 20.0)
+
+    def test_measured_curve_beats_prediction(self, rng):
+        """The conservative two-phase model upper-bounds the measured
+        cyclic-sweep decay."""
+        a = random_matrix(rng, 24, 12, kind="uniform")
+        res = modified_svd(
+            a,
+            compute_uv=False,
+            criterion=ConvergenceCriterion(max_sweeps=8, tol=None, metric="off_fro"),
+        )
+        measured = res.trace.values
+        predicted = predict_trace(measured[0], 12, 8)
+        for meas, pred in zip(measured[1:], predicted[1:]):
+            assert meas <= pred * 1.001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_trace(1.0, 8, -1)

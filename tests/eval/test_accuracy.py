@@ -1,0 +1,27 @@
+"""Tests for the accuracy-study experiment."""
+
+from repro.eval.accuracy import CACHED_GRAM, DIRECT, ENGINES, run_accuracy_study
+from repro.eval.report import format_experiment
+
+
+class TestAccuracyStudy:
+    def test_all_checks_pass(self):
+        r = run_accuracy_study()
+        assert r.all_passed, format_experiment(r)
+
+    def test_covers_all_engines_and_conds(self):
+        r = run_accuracy_study(conds=(1e0, 1e8))
+        engines = {row[0] for row in r.rows}
+        assert engines == set(ENGINES)
+        assert len(r.rows) == len(ENGINES) * 2
+
+    def test_taxonomy_disjoint(self):
+        assert not (CACHED_GRAM & set(DIRECT))
+        assert CACHED_GRAM | set(DIRECT) <= set(ENGINES)
+
+    def test_small_custom_study(self):
+        r = run_accuracy_study(m=24, n=12, conds=(1e0, 1e6, 1e12), seed=5)
+        assert len(r.rows) == len(ENGINES) * 3
+        # the headline quantity: polish beats cached at the worst cond
+        worst = {row[0]: row[2] for row in r.rows if row[1] == 1e12}
+        assert worst["modified+polish"] < worst["modified"]

@@ -1,0 +1,45 @@
+"""Tests guarding the comparator-model calibration against drift."""
+
+import pytest
+
+from repro.baselines.gpu_model import GPU_8800_MODEL
+from repro.baselines.sw_model import MATLAB_MODEL, MKL_MODEL
+from repro.eval.calibration import calibrate_matlab_slope, verify_calibration
+
+
+class TestCalibration:
+    def test_matlab_slope_matches_anchor(self):
+        r = calibrate_matlab_slope()
+        # Shipped constant balances all anchors; it must sit within 50%
+        # of the single-anchor derivation.
+        assert 0.5 < r.agreement < 2.0, r
+
+    def test_all_constants_within_modelling_slack(self):
+        for r in verify_calibration():
+            assert 0.5 < r.agreement < 2.0, r
+
+    def test_gpu_rate_exceeds_the_crossover_requirement(self):
+        """Anchor A4 is one-sided: 'speedups only above 1000' needs the
+        GPU rate at 1024 to beat the rate that merely ties MATLAB."""
+        reports = {r.name: r for r in verify_calibration()}
+        gpu = reports["GPU rate at k=1024"]
+        assert gpu.shipped >= gpu.derived
+
+    def test_anchor_ordering_preserved(self):
+        """The facts the calibration encodes, checked directly on the
+        shipped models (independent of the derivations):"""
+        # MATLAB slower than MKL everywhere
+        assert MATLAB_MODEL.seconds(512, 512) > MKL_MODEL.seconds(512, 512)
+        # GPU slowest at 128, not slowest at 1024
+        t128 = {
+            "matlab": MATLAB_MODEL.seconds(128, 128),
+            "mkl": MKL_MODEL.seconds(128, 128),
+            "gpu": GPU_8800_MODEL.seconds(128, 128),
+        }
+        assert t128["gpu"] == max(t128.values())
+        assert GPU_8800_MODEL.seconds(1024, 1024) < MATLAB_MODEL.seconds(1024, 1024)
+
+    def test_reports_carry_provenance(self):
+        for r in verify_calibration():
+            assert r.anchor.startswith("A")
+            assert r.name

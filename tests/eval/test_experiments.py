@@ -1,0 +1,167 @@
+"""Tests for the evaluation harness: every experiment's shape checks pass."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    run_ablation_arithmetic,
+    run_ablation_caching,
+    run_ablation_ordering,
+    run_ablation_reconfiguration,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_related_work,
+    run_table1,
+    run_table2,
+)
+from repro.eval.paper_data import CLAIMS, SPEEDUP_BAND, TABLE1_SECONDS
+from repro.eval.report import ExperimentResult, ShapeCheck, format_experiment, format_table
+
+
+class TestPaperData:
+    def test_table1_complete_grid(self):
+        assert len(TABLE1_SECONDS) == 16
+        assert TABLE1_SECONDS[(128, 128)] == 4.39e-3
+        assert TABLE1_SECONDS[(1024, 1024)] == 2.01
+
+    def test_speedup_band(self):
+        assert SPEEDUP_BAND == (3.8, 43.6)
+
+    def test_claims_well_formed(self):
+        idents = [c.ident for c in CLAIMS]
+        assert len(idents) == len(set(idents))
+        assert all(c.text and c.source for c in CLAIMS)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [100, 3.14159e-9]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # aligned
+
+    def test_experiment_result_roundtrip(self):
+        r = ExperimentResult("x", "Title", ["col"], notes="note")
+        r.add_row(1.0)
+        r.check("ok", True, "why")
+        text = format_experiment(r)
+        assert "Title" in text and "PASS" in text and "note" in text
+        assert r.all_passed
+
+    def test_failed_check_rendering(self):
+        c = ShapeCheck("bad", False, "reason")
+        assert "FAIL" in str(c) and "reason" in str(c)
+
+
+class TestModelExperiments:
+    """Fast (purely modelled) experiments — paper scale, no matrices."""
+
+    def test_table1_checks(self):
+        r = run_table1()
+        assert r.all_passed, format_experiment(r)
+        assert len(r.rows) == 16
+
+    def test_table2_checks(self):
+        r = run_table2()
+        assert r.all_passed, format_experiment(r)
+
+    def test_fig7_checks(self):
+        r = run_fig7()
+        assert r.all_passed, format_experiment(r)
+
+    def test_fig8_checks(self):
+        r = run_fig8()
+        assert r.all_passed, format_experiment(r)
+
+    def test_fig9_checks(self):
+        r = run_fig9()
+        assert r.all_passed, format_experiment(r)
+        speedups = [row[-1] for row in r.rows]
+        assert min(speedups) > 1.0
+
+    def test_related_work_checks(self):
+        r = run_related_work()
+        assert r.all_passed, format_experiment(r)
+
+    def test_ablation_reconfiguration(self):
+        r = run_ablation_reconfiguration()
+        assert r.all_passed, format_experiment(r)
+        savings = [row[-1] for row in r.rows]
+        assert all(1.0 < s < 2.0 for s in savings)
+
+
+class TestMeasuredExperiments:
+    """Measured experiments at reduced scale (fast mode)."""
+
+    def test_fig10_checks(self):
+        r = run_fig10(sizes=(8, 16, 32))
+        assert r.all_passed, format_experiment(r)
+
+    def test_fig10_values_decay(self):
+        r = run_fig10(sizes=(16,))
+        values = r.rows[0][1:]
+        assert values[-1] < values[0] * 1e-4
+
+    def test_fig11_checks(self):
+        r = run_fig11(row_dims=(16, 32, 64), column_dim=16)
+        assert r.all_passed, format_experiment(r)
+
+    def test_ablation_caching(self):
+        r = run_ablation_caching()
+        assert r.all_passed, format_experiment(r)
+
+    def test_ablation_ordering(self):
+        r = run_ablation_ordering(n=12, m=24)
+        assert r.all_passed, format_experiment(r)
+
+    def test_ablation_arithmetic(self):
+        r = run_ablation_arithmetic()
+        assert r.all_passed, format_experiment(r)
+        # the fixed-point error column must show the dynamic-range cliff
+        errs = {row[0]: row[1] for row in r.rows}
+        assert errs[1.0] < 1e-3 < errs[1e5]
+
+    def test_fig10_deterministic(self):
+        a = run_fig10(sizes=(16,), seed=5)
+        b = run_fig10(sizes=(16,), seed=5)
+        assert np.allclose(a.rows[0][1:], b.rows[0][1:])
+        c = run_fig10(sizes=(16,), seed=6)
+        assert not np.allclose(a.rows[0][1:], c.rows[0][1:])
+
+
+class TestResilienceAblation:
+    def test_checks_pass(self):
+        from repro.eval.experiments import run_ablation_resilience
+
+        r = run_ablation_resilience()
+        assert r.all_passed, format_experiment(r)
+
+    def test_quantified_gap(self):
+        from repro.eval.experiments import run_ablation_resilience
+
+        r = run_ablation_resilience()
+        errs = {row[0]: row[2] for row in r.rows}
+        assert errs["recompute ([12]-style)"] < 1e-10
+        assert errs["cached (Algorithm 1)"] > 1e-4
+        assert errs["cached + mid-run refresh"] < 1e-10
+
+
+class TestClaimTraceability:
+    def test_every_claim_has_a_checking_experiment(self):
+        from repro.eval.experiments import CLAIM_COVERAGE, run_all
+        from repro.eval.paper_data import CLAIMS
+
+        claim_ids = {c.ident for c in CLAIMS}
+        assert set(CLAIM_COVERAGE) == claim_ids
+
+    def test_coverage_targets_are_real_experiments(self):
+        from repro.eval import experiments as exp
+
+        known = {
+            "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "related",
+        }
+        assert set(exp.CLAIM_COVERAGE.values()) <= known

@@ -1,0 +1,70 @@
+"""Tests for figure-series extraction and the ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    ascii_chart,
+    fig7_series,
+    fig8_series,
+    fig9_series,
+    fig10_series,
+    fig11_series,
+)
+
+
+class TestSeriesExtraction:
+    def test_fig7_has_four_systems(self):
+        series = fig7_series()
+        assert set(series) == {"FPGA (ours)", "MATLAB", "MKL", "GPU [7]"}
+        xs, ys = series["FPGA (ours)"]
+        assert xs == [128, 256, 512, 1024, 2048]
+        assert all(y > 0 for y in ys)
+
+    def test_fig8_one_series_per_column_count(self):
+        series = fig8_series()
+        assert set(series) == {"n=128", "n=256"}
+        xs, ys = series["n=128"]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)  # time grows with rows
+
+    def test_fig9_speedups(self):
+        series = fig9_series()
+        for label, (xs, ys) in series.items():
+            assert all(s > 1.0 for s in ys), label
+            assert ys == sorted(ys)  # speedup grows with rows
+
+    def test_fig10_decay(self):
+        series = fig10_series(sizes=(8, 16))
+        for label, (sweeps, values) in series.items():
+            assert sweeps[0] == 0
+            assert values[-1] < values[0]
+
+    def test_fig11_decay(self):
+        series = fig11_series(row_dims=(16, 32), column_dim=8)
+        assert set(series) == {"m=16", "m=32"}
+
+
+class TestAsciiChart:
+    def test_contains_labels_and_markers(self):
+        series = {"one": ([0, 1, 2], [1.0, 2.0, 3.0]), "two": ([0, 1, 2], [3.0, 2.0, 1.0])}
+        text = ascii_chart(series, title="T")
+        assert text.startswith("T")
+        assert "a=one" in text and "b=two" in text
+        assert "a" in text and "b" in text
+
+    def test_log_scale_handles_decades(self):
+        series = {"decay": ([0, 1, 2, 3], [1.0, 1e-4, 1e-8, 1e-12])}
+        text = ascii_chart(series, logy=True)
+        assert "1.0e+00" in text
+        assert "1.0e-12" in text
+
+    def test_constant_series(self):
+        text = ascii_chart({"flat": ([0, 1], [2.0, 2.0])})
+        assert "a=flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"x": ([0], [1.0])}, width=2)

@@ -1,0 +1,74 @@
+"""Tests dedicated to the accelerator facade's remaining behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hw.architecture import MODES, AcceleratorOutcome, HestenesJacobiAccelerator
+from repro.hw.params import PAPER_ARCH
+from tests.conftest import random_matrix
+
+
+class TestFacadeConfiguration:
+    def test_modes_constant(self):
+        assert MODES == ("analytic", "event")
+
+    def test_custom_architecture(self, rng):
+        slow = PAPER_ARCH.with_(clock_hz=75e6)
+        a = random_matrix(rng, 16, 8)
+        t_fast = HestenesJacobiAccelerator().decompose(a).seconds
+        t_slow = HestenesJacobiAccelerator(slow).decompose(a).seconds
+        assert t_slow == pytest.approx(2 * t_fast)
+
+    def test_outcome_fields(self, rng):
+        a = random_matrix(rng, 12, 6)
+        out = HestenesJacobiAccelerator().decompose(a)
+        assert isinstance(out, AcceleratorOutcome)
+        assert out.mode == "analytic"
+        assert out.breakdown is not None and out.stats is None
+        assert np.array_equal(out.s, out.result.s)
+
+    def test_event_outcome_fields(self, rng):
+        a = random_matrix(rng, 12, 6)
+        out = HestenesJacobiAccelerator(mode="event").decompose(a)
+        assert out.breakdown is None and out.stats is not None
+        assert out.result.method == "fpga-event"
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            HestenesJacobiAccelerator().decompose(np.zeros(4))
+        with pytest.raises(ValueError):
+            HestenesJacobiAccelerator().decompose(
+                np.array([[1.0, np.inf], [0.0, 1.0]])
+            )
+
+
+class TestComputeVPaths:
+    def test_event_mode_compute_v(self, rng):
+        a = random_matrix(rng, 16, 8)
+        out = HestenesJacobiAccelerator(mode="event", compute_v=True).decompose(
+            a, sweeps=10
+        )
+        vt = out.result.vt
+        assert vt is not None and vt.shape == (8, 8)
+        assert np.linalg.norm(vt @ vt.T - np.eye(8)) < 1e-10
+        # A V has orthogonal columns whose norms are the singular values.
+        b = a @ vt.T
+        assert np.allclose(
+            np.sort(np.linalg.norm(b, axis=0))[::-1], out.s, rtol=1e-9
+        )
+
+    def test_analytic_v_matches_event_v_subspace(self, rng):
+        a = random_matrix(rng, 14, 7)
+        va = HestenesJacobiAccelerator(compute_v=True).decompose(a).result.vt
+        ve = HestenesJacobiAccelerator(mode="event", compute_v=True).decompose(
+            a
+        ).result.vt
+        # Same subspace per singular value (signs may differ).
+        overlap = np.abs(np.sum(va * ve, axis=1))
+        assert np.allclose(overlap, 1.0, atol=1e-6)
+
+    def test_sweeps_override_event_mode(self, rng):
+        a = random_matrix(rng, 12, 6)
+        out3 = HestenesJacobiAccelerator(mode="event").decompose(a, sweeps=3)
+        out6 = HestenesJacobiAccelerator(mode="event").decompose(a, sweeps=6)
+        assert out3.cycles < out6.cycles

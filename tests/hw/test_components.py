@@ -1,0 +1,192 @@
+"""Tests for the three datapath components and the off-chip memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.rotation import textbook_rotation
+from repro.hw.jacobi_unit import JacobiRotationUnit
+from repro.hw.kernels import KernelPool, UpdateKernel
+from repro.hw.offchip import OffChipMemory
+from repro.hw.params import PAPER_ARCH, FloatCoreLatencies
+from repro.hw.preprocessor import HestenesPreprocessor
+
+
+class TestOffChipMemory:
+    def test_transfer_cycles(self):
+        mem = OffChipMemory(bytes_per_cycle=100.0, latency_cycles=10)
+        assert mem.transfer_cycles(1000) == 10
+        assert mem.transfer_cycles(1001) == 11
+        assert mem.transfer_cycles(0) == 0
+
+    def test_request_completion(self):
+        mem = OffChipMemory(bytes_per_cycle=100.0, latency_cycles=10)
+        assert mem.request(1000, cycle=0) == 20  # 10 latency + 10 stream
+
+    def test_requests_serialize(self):
+        mem = OffChipMemory(bytes_per_cycle=100.0, latency_cycles=10)
+        end1 = mem.request(1000, cycle=0)
+        end2 = mem.request(1000, cycle=0)  # queued behind the first
+        assert end2 == end1 + 10
+        assert mem.total_bytes == 2000
+
+    def test_records(self):
+        mem = OffChipMemory(bytes_per_cycle=8.0)
+        mem.request(64, 0, label="spill")
+        assert mem.transfers[0].label == "spill"
+        assert mem.transfers[0].bytes == 64
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            OffChipMemory(bytes_per_cycle=0.0)
+
+
+class TestUpdateKernel:
+    def test_stream_timing(self):
+        k = UpdateKernel(FloatCoreLatencies())
+        done = k.stream(cycle=0, length=100)
+        assert done == 100 + 23  # length + mul/add fill
+
+    def test_back_to_back_streams(self):
+        k = UpdateKernel(FloatCoreLatencies())
+        k.stream(0, 100)
+        done = k.stream(0, 50)  # must wait until the first has issued
+        assert done == 100 + 50 + 23
+
+    def test_zero_length(self):
+        k = UpdateKernel(FloatCoreLatencies())
+        assert k.stream(7, 0) == 7
+        assert k.streams == 0
+
+    def test_functional_apply(self, rng):
+        a = rng.standard_normal((10, 4))
+        d = a.T @ a
+        p = textbook_rotation(d[0, 0], d[2, 2], d[0, 2])
+        UpdateKernel.apply(a, 0, 2, p)
+        assert abs(a[:, 0] @ a[:, 2]) < 1e-12 * np.linalg.norm(d)
+
+
+class TestKernelPool:
+    def _pool(self, k=4):
+        return KernelPool([UpdateKernel(FloatCoreLatencies()) for _ in range(k)])
+
+    def test_parallel_dispatch(self):
+        pool = self._pool(4)
+        done = pool.dispatch(0, [100, 100, 100, 100])
+        assert done == 123  # all four run concurrently
+
+    def test_overflow_queues(self):
+        pool = self._pool(2)
+        done = pool.dispatch(0, [100, 100, 100])
+        assert done == 200 + 23  # third stream queues behind a kernel
+
+    def test_dispatch_work_balances(self):
+        pool = self._pool(4)
+        done = pool.dispatch_work(0, 1000)
+        assert done == 250 + 23
+
+    def test_extend_models_reconfiguration(self):
+        pool = self._pool(8)
+        pool.extend([UpdateKernel(FloatCoreLatencies()) for _ in range(4)])
+        assert len(pool) == 12
+        done = pool.dispatch_work(0, 1200)
+        assert done == 100 + 23
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            KernelPool([])
+
+
+class TestHestenesPreprocessor:
+    def test_paper_input_schedule_example(self):
+        """Paper: '16 cycles ... for an 8x8 matrix if 8 layers'."""
+        arch = PAPER_ARCH.with_(preproc_layers=8, preproc_mults_per_layer=2)
+        pre = HestenesPreprocessor(arch)
+        assert pre.input_cycles(8, 8) == 16
+
+    def test_compute_cycles(self):
+        pre = HestenesPreprocessor()
+        # m*n(n+1)/2 products over 16 multipliers
+        assert pre.compute_cycles(128, 128) == 128 * 128 * 129 // 2 // 16
+
+    def test_gram_functional_matches_blas(self, rng):
+        a = rng.standard_normal((37, 12))
+        pre = HestenesPreprocessor()
+        d, done = pre.compute_gram(a)
+        assert np.allclose(d, a.T @ a, rtol=1e-13)
+        assert done == pre.gram_cycles(37, 12)
+        assert pre.gram_ops == 37 * 12 * 13 // 2
+
+    def test_band_accumulation_order_differs_only_in_rounding(self, rng):
+        a = rng.standard_normal((64, 8)) * 1e3
+        d, _ = HestenesPreprocessor().compute_gram(a)
+        direct = a.T @ a
+        rel = np.linalg.norm(d - direct) / np.linalg.norm(direct)
+        assert 0 <= rel < 1e-14
+
+    def test_reconfigure_yields_kernels(self):
+        pre = HestenesPreprocessor()
+        kernels = pre.reconfigure()
+        assert len(kernels) == 4
+        assert pre.reconfigured
+
+    def test_reconfigure_twice_rejected(self):
+        pre = HestenesPreprocessor()
+        pre.reconfigure()
+        with pytest.raises(RuntimeError):
+            pre.reconfigure()
+
+    def test_gram_after_reconfigure_rejected(self, rng):
+        pre = HestenesPreprocessor()
+        pre.reconfigure()
+        with pytest.raises(RuntimeError):
+            pre.compute_gram(rng.standard_normal((4, 4)))
+
+    def test_reset(self, rng):
+        pre = HestenesPreprocessor()
+        pre.reconfigure()
+        pre.reset()
+        pre.compute_gram(rng.standard_normal((4, 4)))  # works again
+
+
+class TestJacobiRotationUnit:
+    def test_group_issue_interval(self):
+        unit = JacobiRotationUnit()
+        triples = [(2.0, 3.0, 1.0)] * 8
+        _, issue1, ready1 = unit.issue_group(0, triples)
+        _, issue2, _ = unit.issue_group(0, triples)
+        assert issue1 == 0
+        assert issue2 == 64  # one group every 64 cycles
+        assert ready1 == PAPER_ARCH.latencies.rotation_critical_path
+
+    def test_group_capacity_enforced(self):
+        unit = JacobiRotationUnit()
+        with pytest.raises(ValueError):
+            unit.issue_group(0, [(1.0, 2.0, 0.5)] * 9)
+        with pytest.raises(ValueError):
+            unit.issue_group(0, [])
+
+    def test_params_match_dataflow_equations(self):
+        from repro.core.rotation import dataflow_rotation
+
+        unit = JacobiRotationUnit()
+        params, _, _ = unit.issue_group(0, [(2.0, 5.0, 1.5)])
+        ref = dataflow_rotation(2.0, 5.0, 1.5)
+        assert params[0].cos == ref.cos
+        assert params[0].sin == ref.sin
+
+    def test_rotation_counter_skips_identity(self):
+        unit = JacobiRotationUnit()
+        unit.issue_group(0, [(2.0, 5.0, 0.0), (2.0, 5.0, 1.0)])
+        assert unit.rotations == 1
+
+    def test_finalize_sqrt(self):
+        unit = JacobiRotationUnit()
+        values, done = unit.finalize_sqrt(100, np.array([9.0, 4.0, -1e-18]))
+        assert values.tolist() == [3.0, 2.0, 0.0]  # negative clamps to 0
+        assert done == 100 + 3 + 57
+
+    def test_issue_cycles_for(self):
+        unit = JacobiRotationUnit()
+        assert unit.issue_cycles_for(64) == 8 * 64
+        assert unit.issue_cycles_for(65) == 9 * 64
+        assert unit.issue_cycles_for(0) == 0

@@ -1,0 +1,155 @@
+"""Tests for FIFO, dual-port RAM and BRAM budget models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.bram import BramBudget, DualPortRAM, covariance_words, fits_on_chip
+from repro.hw.fifo import Fifo, FifoGroup
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        f = Fifo(depth=8)
+        for i in range(5):
+            f.push(i)
+        assert [f.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    @given(st.lists(st.integers(), min_size=0, max_size=32))
+    @settings(max_examples=100)
+    def test_fifo_property(self, items):
+        f = Fifo(depth=32)
+        for x in items:
+            f.push(x)
+        assert [f.pop() for _ in items] == items
+
+    def test_overflow(self):
+        f = Fifo(depth=2)
+        f.push(1)
+        f.push(2)
+        assert f.full
+        with pytest.raises(RuntimeError, match="overflow"):
+            f.push(3)
+
+    def test_underflow(self):
+        with pytest.raises(RuntimeError, match="underflow"):
+            Fifo(depth=2).pop()
+
+    def test_visibility_cycle(self):
+        f = Fifo(depth=4)
+        f.push("x", cycle=100)
+        value, visible = f.pop(cycle=50)
+        assert value == "x"
+        assert visible == 100  # consumer had to wait for the producer
+
+    def test_visibility_consumer_later(self):
+        f = Fifo(depth=4)
+        f.push("x", cycle=10)
+        _, visible = f.pop(cycle=50)
+        assert visible == 50
+
+    def test_high_water(self):
+        f = Fifo(depth=8)
+        for i in range(5):
+            f.push(i)
+        f.pop()
+        f.push(9)
+        assert f.high_water == 5
+
+    def test_peek(self):
+        f = Fifo(depth=2)
+        f.push(7)
+        assert f.peek() == 7
+        assert len(f) == 1
+
+    def test_reset(self):
+        f = Fifo(depth=2)
+        f.push(1)
+        f.reset()
+        assert f.empty and f.pushes == 0
+
+
+class TestFifoGroup:
+    def test_round_robin_striping(self):
+        g = FifoGroup(count=4, depth=8, width_bits=64)
+        for i in range(8):
+            g.push(i)
+        assert [g.pop() for _ in range(8)] == list(range(8))
+        # each member FIFO saw exactly 2 pushes
+        assert all(f.pushes == 2 for f in g.fifos)
+
+    def test_group_widens_capacity(self):
+        g = FifoGroup(count=8, depth=2, width_bits=64)
+        for i in range(16):  # 8 FIFOs x depth 2
+            g.push(i)
+        with pytest.raises(RuntimeError):
+            g.push(99)
+
+
+class TestDualPortRAM:
+    def test_read_write(self):
+        r = DualPortRAM(16)
+        r.write(3, 2.5, cycle=0)
+        value, ready = r.read(3, cycle=1)
+        assert value == 2.5
+        assert ready == 2  # one-cycle read latency
+
+    def test_bounds(self):
+        r = DualPortRAM(4)
+        with pytest.raises(IndexError):
+            r.read(4)
+        with pytest.raises(IndexError):
+            r.write(-1, 0.0)
+
+    def test_port_conflicts_counted(self):
+        r = DualPortRAM(4)
+        r.read(0, cycle=5)
+        r.read(1, cycle=5)  # same cycle, same read port
+        assert r.conflicts == 1
+        r.read(2, cycle=6)
+        assert r.conflicts == 1
+
+
+class TestCovarianceStorage:
+    def test_covariance_words(self):
+        assert covariance_words(0) == 0
+        assert covariance_words(1) == 1
+        assert covariance_words(256) == 256 * 257 // 2
+
+    def test_fits_on_chip_rule(self):
+        # Paper: whole covariance matrix local iff n <= 256.
+        assert fits_on_chip(256)
+        assert not fits_on_chip(257)
+        assert fits_on_chip(128)
+
+
+class TestBramBudget:
+    def test_blocks_for_capacity(self):
+        # 256-col covariance store: 32 896 words x 64 b = 2.1 Mb -> 58 blocks.
+        assert BramBudget.blocks_for(covariance_words(256), 64) == 58
+
+    def test_blocks_for_width_floor(self):
+        # even a tiny 64-bit-wide store needs 2 block lanes (36 b ports)
+        assert BramBudget.blocks_for(10, 64) == 2
+
+    def test_zero_words(self):
+        assert BramBudget.blocks_for(0, 64) == 0
+
+    def test_allocate_and_report(self):
+        b = BramBudget(100)
+        b.allocate("cov", 1000, 64)
+        b.allocate_blocks("iface", 5)
+        assert b.used_blocks == b.report()["cov"] + 5
+        assert 0 < b.utilization < 1
+
+    def test_over_budget(self):
+        b = BramBudget(2)
+        with pytest.raises(MemoryError):
+            b.allocate("big", 10**6, 64)
+
+    def test_duplicate_name(self):
+        b = BramBudget(100)
+        b.allocate("x", 10, 64)
+        with pytest.raises(ValueError):
+            b.allocate("x", 10, 64)

@@ -1,0 +1,122 @@
+"""Tests for fixed-point arithmetic and the CORDIC core."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.fixed_point import CORDIC_GAIN, CordicCore, QFormat
+
+
+class TestQFormat:
+    def test_quantize_roundtrip(self):
+        fmt = QFormat(15, 16)
+        x = np.array([0.5, -1.25, 3.0001, 0.0])
+        back = fmt.to_float(fmt.quantize(x))
+        assert np.max(np.abs(back - x)) <= fmt.resolution / 2 + 1e-12
+
+    def test_resolution(self):
+        assert QFormat(15, 16).resolution == 2.0**-16
+
+    def test_saturation_counted_and_clamped(self):
+        fmt = QFormat(7, 8)  # max value ~127.996
+        raw = fmt.quantize(np.array([1000.0, -1000.0, 1.0]))
+        assert fmt.saturations == 2
+        assert fmt.to_float(raw)[0] == pytest.approx(fmt.max_value)
+        assert fmt.to_float(raw)[2] == 1.0
+
+    def test_add_saturates(self):
+        fmt = QFormat(3, 4)  # max 7.9375
+        a = fmt.quantize(6.0)
+        out = fmt.add(a, a)
+        assert fmt.to_float(out) == pytest.approx(fmt.max_value)
+        assert fmt.saturations >= 1
+
+    def test_mul_exact_within_range(self):
+        fmt = QFormat(15, 16)
+        a = fmt.quantize(1.5)
+        b = fmt.quantize(-2.25)
+        assert fmt.to_float(fmt.mul(a, b)) == pytest.approx(-3.375, abs=fmt.resolution)
+
+    def test_mul_saturates_on_overflow(self):
+        fmt = QFormat(7, 8)
+        big = fmt.quantize(100.0)
+        fmt.reset_counters()
+        fmt.mul(big, big)  # 10000 >> max 128
+        assert fmt.saturations == 1
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            QFormat(40, 40)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=100)
+    def test_quantization_error_bounded(self, x):
+        fmt = QFormat(15, 16)
+        err = abs(float(fmt.to_float(fmt.quantize(x))) - x)
+        assert err <= fmt.resolution / 2 + 1e-12
+
+
+class TestCordicCore:
+    @pytest.fixture
+    def cordic(self):
+        return CordicCore(QFormat(15, 16), iterations=24)
+
+    def test_gain_constant(self, cordic):
+        assert cordic.gain == pytest.approx(CORDIC_GAIN, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "y,x",
+        [(1.0, 1.0), (0.5, 2.0), (1.0, -1.0), (-0.3, 0.7), (-1.0, -1.0),
+         (0.0, 1.0), (0.0, -1.0), (2.0, 0.0), (-2.0, 0.0)],
+    )
+    def test_atan2_all_quadrants(self, cordic, y, x):
+        fmt = cordic.fmt
+        z = cordic.atan2(fmt.quantize(y).item(), fmt.quantize(x).item())
+        assert z / fmt.scale == pytest.approx(math.atan2(y, x), abs=3e-5)
+
+    def test_vectoring_magnitude_carries_gain(self, cordic):
+        fmt = cordic.fmt
+        mag, _ = cordic.vectoring(fmt.quantize(3.0).item(), fmt.quantize(4.0).item())
+        assert mag / fmt.scale == pytest.approx(5.0 * CORDIC_GAIN, rel=1e-4)
+
+    def test_vectoring_requires_right_half_plane(self, cordic):
+        with pytest.raises(ValueError):
+            cordic.vectoring(-100, 50)
+
+    @given(
+        st.floats(min_value=-0.9, max_value=0.9),
+        st.floats(min_value=-0.9, max_value=0.9),
+        st.floats(min_value=-0.78, max_value=0.78),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_matches_trig(self, x, y, theta):
+        cordic = CordicCore(QFormat(15, 16), iterations=24)
+        fmt = cordic.fmt
+        xr, yr = cordic.rotation(
+            fmt.quantize(x).item(), fmt.quantize(y).item(),
+            int(theta * fmt.scale),
+        )
+        x_true = x * math.cos(theta) - y * math.sin(theta)
+        y_true = y * math.cos(theta) + x * math.sin(theta)
+        assert xr / fmt.scale == pytest.approx(x_true, abs=2e-4)
+        assert yr / fmt.scale == pytest.approx(y_true, abs=2e-4)
+
+    def test_rotation_preserves_norm_after_gain_correction(self, cordic):
+        fmt = cordic.fmt
+        x, y = fmt.quantize(0.6).item(), fmt.quantize(0.3).item()
+        xr, yr = cordic.rotation(x, y, int(0.5 * fmt.scale))
+        norm_in = math.hypot(0.6, 0.3)
+        norm_out = math.hypot(xr / fmt.scale, yr / fmt.scale)
+        assert norm_out == pytest.approx(norm_in, rel=1e-4)
+
+    def test_more_iterations_more_accuracy(self):
+        fmt = QFormat(15, 16)
+        errs = []
+        for iters in (8, 16, 24):
+            c = CordicCore(fmt, iters)
+            z = c.atan2(fmt.quantize(1.0).item(), fmt.quantize(2.0).item())
+            errs.append(abs(z / fmt.scale - math.atan2(1.0, 2.0)))
+        assert errs[0] > errs[2]

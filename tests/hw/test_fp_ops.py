@@ -1,0 +1,102 @@
+"""Tests for the pipelined floating-point operator models."""
+
+import math
+
+import pytest
+
+from repro.hw.fp_ops import OperatorBank, PipelinedOperator, make_operator
+from repro.hw.params import FloatCoreLatencies
+
+
+class TestPipelinedOperator:
+    def test_latency_and_value(self):
+        op = PipelinedOperator("mul", 9)
+        ready, value = op.issue(10, 3.0, 4.0)
+        assert ready == 19
+        assert value == 12.0
+
+    @pytest.mark.parametrize(
+        "kind,a,b,expected",
+        [
+            ("add", 1.5, 2.5, 4.0),
+            ("sub", 1.5, 2.5, -1.0),
+            ("div", 3.0, 2.0, 1.5),
+            ("mul", -2.0, 4.0, -8.0),
+        ],
+    )
+    def test_arithmetic(self, kind, a, b, expected):
+        op = PipelinedOperator(kind, 5)
+        _, value = op.issue(0, a, b)
+        assert value == expected
+
+    def test_sqrt(self):
+        op = PipelinedOperator("sqrt", 57)
+        ready, value = op.issue(0, 9.0)
+        assert ready == 57
+        assert value == 3.0
+
+    def test_initiation_interval_one(self):
+        op = PipelinedOperator("add", 14)
+        op.issue(0, 1.0, 1.0)
+        op.issue(1, 2.0, 2.0)  # next cycle is fine
+        with pytest.raises(RuntimeError, match="structural hazard"):
+            op.issue(1, 3.0, 3.0)  # same cycle is a hazard
+
+    def test_issue_in_past_rejected(self):
+        op = PipelinedOperator("add", 14)
+        op.issue(5, 1.0, 1.0)
+        with pytest.raises(RuntimeError):
+            op.issue(4, 1.0, 1.0)
+
+    def test_counts_and_reset(self):
+        op = PipelinedOperator("mul", 9)
+        op.issue(0, 1.0, 1.0)
+        op.issue(1, 1.0, 1.0)
+        assert op.issues == 2
+        op.reset()
+        assert op.issues == 0
+        op.issue(0, 1.0, 1.0)  # issuable at cycle 0 again
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            PipelinedOperator("fma", 5)
+
+    def test_ieee754_exactness(self):
+        # The model must be bit-exact IEEE-754 double, like the core.
+        op = PipelinedOperator("div", 57)
+        _, value = op.issue(0, 1.0, 3.0)
+        assert value == 1.0 / 3.0
+        sq = PipelinedOperator("sqrt", 57)
+        _, value = sq.issue(0, 2.0)
+        assert value == math.sqrt(2.0)
+
+
+class TestOperatorBank:
+    def test_parallel_issue(self):
+        bank = OperatorBank("mul", 9, count=4, name="pre")
+        # Four issues at the same requested cycle land on four cores.
+        cycles = [bank.issue(0, float(i), 2.0)[0] for i in range(4)]
+        assert cycles == [0, 0, 0, 0]
+        # Fifth spills to the next cycle on the earliest-free core.
+        at, ready, _ = bank.issue(0, 5.0, 2.0)
+        assert at == 1
+
+    def test_utilization(self):
+        bank = OperatorBank("add", 14, count=2)
+        bank.issue(0, 1.0, 1.0)
+        bank.issue(0, 1.0, 1.0)
+        assert bank.utilization(10) == pytest.approx(2 / 20)
+        assert bank.utilization(0) == 0.0
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            OperatorBank("mul", 9, count=0)
+
+
+class TestMakeOperator:
+    def test_uses_latency_table(self):
+        lat = FloatCoreLatencies()
+        assert make_operator("mul", lat).latency == 9
+        assert make_operator("sub", lat).latency == 14
+        assert make_operator("div", lat).latency == 57
+        assert make_operator("sqrt", lat).latency == 57

@@ -1,0 +1,75 @@
+"""Tests for the Fig. 3 multiplier-array input schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.input_schedule import gram_products, layer_schedule, schedule_stats
+
+
+class TestLayerSchedule:
+    def test_covers_upper_triangle(self):
+        """One layer pass must form every product A[r,i]*A[r,j], i<=j."""
+        events = layer_schedule(0, 8, 4)
+        expected = {(i, j) for i in range(8) for j in range(i, 8)}
+        assert gram_products(events) == expected
+
+    def test_each_product_exactly_once(self):
+        events = layer_schedule(0, 8, 4)
+        pairs = [(e.col_pivot, e.col_moving) for e in events]
+        assert len(pairs) == len(set(pairs)) == 8 * 9 // 2
+
+    def test_one_fetch_per_element_per_block(self):
+        """Operand reuse: within a pivot block, each streamed element is
+        fetched once and reused across the resident pivots."""
+        events = layer_schedule(0, 8, 4)
+        stats = schedule_stats(events)
+        # blocks: pivots 0-3 stream elements 0..7 (8 fetches), pivots
+        # 4-7 stream elements 4..7 (4 fetches).
+        assert stats["fetches"] == 8 + 4
+        assert stats["reuse"] > 2.0
+
+    def test_paper_fetch_bound(self):
+        """Fig. 3: 'at most one [new operand] ... every subsequent
+        cycle' — the per-cycle fetch count never exceeds 1."""
+        for n, w in [(8, 4), (16, 4), (12, 3), (9, 2)]:
+            stats = schedule_stats(layer_schedule(0, n, w))
+            assert stats["max_fetches_per_cycle"] == 1, (n, w)
+
+    def test_multiplier_capacity_respected(self):
+        """No more than `width` products issue in any single cycle."""
+        events = layer_schedule(0, 16, 4)
+        per_cycle: dict[int, int] = {}
+        for e in events:
+            per_cycle[e.cycle] = per_cycle.get(e.cycle, 0) + 1
+        assert max(per_cycle.values()) <= 4
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_property(self, n, w):
+        events = layer_schedule(0, n, w)
+        expected = {(i, j) for i in range(n) for j in range(i, n)}
+        assert gram_products(events) == expected
+        assert schedule_stats(events)["max_fetches_per_cycle"] <= 1 or n == 1
+
+    def test_wide_array_single_block(self):
+        # width >= n: a single block, n fetches, all products formed.
+        events = layer_schedule(0, 5, 8)
+        assert schedule_stats(events)["fetches"] == 5
+        assert len(gram_products(events)) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layer_schedule(-1, 4, 2)
+        with pytest.raises(ValueError):
+            layer_schedule(0, 0, 2)
+
+
+class TestScheduleStats:
+    def test_empty(self):
+        stats = schedule_stats([])
+        assert stats["fetches"] == 0 and stats["reuse"] == 0.0
+
+    def test_span_positive(self):
+        stats = schedule_stats(layer_schedule(0, 6, 3))
+        assert stats["span"] >= 6

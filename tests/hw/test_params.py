@@ -1,0 +1,92 @@
+"""Tests for architecture/platform parameter objects."""
+
+import pytest
+
+from repro.hw.params import (
+    PAPER_ARCH,
+    ArchitectureParams,
+    FifoSpec,
+    FloatCoreLatencies,
+    PlatformParams,
+)
+
+
+class TestFloatCoreLatencies:
+    def test_paper_defaults(self):
+        lat = FloatCoreLatencies()
+        assert (lat.mul, lat.add, lat.div, lat.sqrt) == (9, 14, 57, 57)
+
+    def test_rotation_critical_path(self):
+        lat = FloatCoreLatencies()
+        # sub -> mul -> add -> sqrt -> add -> div -> sqrt
+        assert lat.rotation_critical_path == 14 + 9 + 14 + 57 + 14 + 57 + 57
+
+    def test_update_fill(self):
+        assert FloatCoreLatencies().update_fill == 9 + 14
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            FloatCoreLatencies(mul=0)
+
+
+class TestFifoSpec:
+    def test_total_bits(self):
+        assert FifoSpec(8, 64, 512).total_bits == 8 * 64 * 512
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            FifoSpec(0, 64)
+
+
+class TestPlatformParams:
+    def test_virtex5_lx330_capacities(self):
+        p = PlatformParams()
+        assert p.luts == 207_360
+        assert p.bram36 == 288
+        assert p.dsp48e == 192
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            PlatformParams(offchip_bandwidth_gbs=0.0)
+
+
+class TestArchitectureParams:
+    def test_paper_configuration(self):
+        a = PAPER_ARCH
+        assert a.preproc_multipliers == 16
+        assert a.kernels_first_sweep == 8
+        assert a.kernels_later_sweeps == 12
+        assert a.rotation_group == 8
+        assert a.rotation_issue_cycles == 64
+        assert a.sweeps == 6
+        assert a.max_onchip_cols == 256
+        assert a.clock_hz == 150e6
+        assert a.input_fifos.width_bits == 64
+        assert a.internal_fifos.width_bits == 127
+        assert a.internal_fifos.count == 8
+
+    def test_seconds_conversion(self):
+        assert PAPER_ARCH.seconds(150e6) == pytest.approx(1.0)
+
+    def test_offchip_bytes_per_cycle(self):
+        a = PAPER_ARCH
+        assert a.offchip_bytes_per_cycle == pytest.approx(
+            a.platform.offchip_bandwidth_gbs * 1e9 / a.clock_hz
+        )
+
+    def test_with_override(self):
+        b = PAPER_ARCH.with_(sweeps=10)
+        assert b.sweeps == 10
+        assert PAPER_ARCH.sweeps == 6  # original untouched
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ArchitectureParams(update_kernels=0)
+        with pytest.raises(ValueError):
+            ArchitectureParams(reconfig_kernels=-1)
+        with pytest.raises(ValueError):
+            ArchitectureParams(clock_hz=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_ARCH.sweeps = 7

@@ -1,0 +1,144 @@
+"""Tests for stream scheduling and the structural netlist."""
+
+import json
+
+import pytest
+
+from repro.hw.netlist import build_netlist
+from repro.hw.params import PAPER_ARCH
+from repro.hw.pipeline import schedule_stream
+from repro.hw.resources import estimate_resources
+from repro.hw.timing_model import estimate_cycles
+
+
+class TestStreamScheduling:
+    SHAPES = [(256, 64), (128, 64), (512, 64), (256, 128)]
+
+    def test_serial_is_sum(self):
+        sched = schedule_stream(self.SHAPES, policy="serial")
+        assert sched.makespan == sched.serial_cycles
+        assert sched.overlap_saving == 0.0
+
+    def test_pipelined_beats_serial(self):
+        serial = schedule_stream(self.SHAPES, policy="serial")
+        piped = schedule_stream(self.SHAPES, policy="pipelined")
+        assert piped.makespan < serial.makespan
+        assert 0.0 < piped.overlap_saving < 1.0
+
+    def test_flow_shop_lower_bound(self):
+        """Makespan >= max(total stage-1 work, total stage-2 work) and
+        >= any single job's total."""
+        sched = schedule_stream(self.SHAPES, policy="pipelined")
+        stage1 = sum(j.gram_cycles for j in sched.jobs)
+        stage2 = sum(j.sweep_cycles for j in sched.jobs)
+        assert sched.makespan >= max(stage1, stage2)
+        assert sched.makespan >= max(j.total_cycles for j in sched.jobs)
+
+    def test_jobs_respect_dependencies(self):
+        sched = schedule_stream(self.SHAPES, policy="pipelined")
+        for prev, cur in zip(sched.jobs, sched.jobs[1:]):
+            # stage 1 is exclusive: gram phases never overlap each other
+            assert cur.start >= prev.start + prev.gram_cycles
+            # stage 2 is exclusive: done times strictly ordered
+            assert cur.done >= prev.done
+
+    def test_single_job_equals_estimate(self):
+        sched = schedule_stream([(128, 32)], policy="pipelined")
+        bd = estimate_cycles(128, 32)
+        assert sched.makespan == bd.total
+
+    def test_empty_stream(self):
+        sched = schedule_stream([], policy="pipelined")
+        assert sched.makespan == 0 and sched.jobs == []
+
+    def test_gram_heavy_stream_overlaps_most(self):
+        """Tall matrices (Gram-dominated) benefit most from pipelining:
+        their sweep stages are short relative to the preprocessor work."""
+        tall = [(4096, 32)] * 4
+        square = [(64, 64)] * 4
+        s_tall = schedule_stream(tall, policy="pipelined")
+        s_square = schedule_stream(square, policy="pipelined")
+        assert s_tall.overlap_saving > s_square.overlap_saving
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            schedule_stream([(8, 8)], policy="greedy")
+
+    def test_seconds(self):
+        sched = schedule_stream([(128, 64)])
+        assert sched.seconds() == pytest.approx(
+            sched.makespan / PAPER_ARCH.clock_hz
+        )
+
+
+class TestNetlist:
+    @pytest.fixture(scope="class")
+    def netlist(self):
+        return build_netlist()
+
+    def test_operator_totals_match_resource_model(self, netlist):
+        """The netlist and the resource model derive from the same
+        params; their FP-core inventories must be identical."""
+        rep = estimate_resources()
+        totals = netlist.operator_totals()
+        from repro.hw.resources import CoreCosts
+
+        costs = CoreCosts()
+        assert totals["mul"] * costs.mul_lut == rep.lut_breakdown["multipliers"]
+        assert totals["add"] * costs.add_lut == rep.lut_breakdown["adders"]
+        assert totals["div"] == 1
+        assert totals["sqrt"] == 1
+        assert totals["mul"] == 49  # 16 + 32 + 1
+
+    def test_top_level_blocks_present(self, netlist):
+        for name in (
+            "hestenes_preprocessor",
+            "jacobi_rotation_unit",
+            "update_operator",
+            "covariance_store",
+            "input_fifos",
+            "offchip_memory",
+        ):
+            assert netlist.instance(name)
+
+    def test_dataflow_edges(self, netlist):
+        pairs = {(c.src, c.dst) for c in netlist.connections}
+        assert ("input_fifos", "hestenes_preprocessor") in pairs
+        assert ("covariance_store", "jacobi_rotation_unit") in pairs
+        assert ("param_cache", "update_operator") in pairs
+        assert ("update_operator", "covariance_store") in pairs
+
+    def test_json_roundtrip(self, netlist):
+        data = json.loads(netlist.to_json())
+        assert len(data["instances"]) == len(netlist.instances)
+        assert len(data["connections"]) == len(netlist.connections)
+
+    def test_dot_export(self, netlist):
+        dot = netlist.to_dot()
+        assert dot.startswith("digraph")
+        assert "hestenes_preprocessor" in dot
+        assert "fp_core" not in dot  # cores collapsed in the diagram
+
+    def test_scales_with_params(self):
+        small = build_netlist(PAPER_ARCH.with_(update_kernels=2))
+        assert small.operator_totals()["mul"] == 16 + 8 + 1
+
+    def test_unknown_instance(self, netlist):
+        with pytest.raises(KeyError):
+            netlist.instance("gpu")
+
+
+class TestCoverification:
+    def test_all_checks_pass(self):
+        from repro.eval.report import format_experiment
+        from repro.hw.verification import run_coverification
+
+        r = run_coverification()
+        assert r.all_passed, format_experiment(r)
+
+    def test_custom_shapes(self):
+        from repro.hw.verification import run_coverification
+
+        r = run_coverification(shapes=((12, 6), (20, 10)))
+        assert len(r.rows) == 2
+        assert r.all_passed

@@ -1,0 +1,75 @@
+"""Tests for the resource model — including the Table II check."""
+
+import pytest
+
+from repro.hw.params import PAPER_ARCH
+from repro.hw.resources import TABLE2_PAPER, CoreCosts, estimate_resources
+
+
+class TestTableII:
+    def test_lut_utilization(self):
+        r = estimate_resources()
+        assert r.lut_fraction == pytest.approx(TABLE2_PAPER["lut"], abs=0.03)
+
+    def test_bram_utilization(self):
+        r = estimate_resources()
+        assert r.bram_fraction == pytest.approx(TABLE2_PAPER["bram"], abs=0.03)
+
+    def test_dsp_utilization(self):
+        r = estimate_resources()
+        assert r.dsp_fraction == pytest.approx(TABLE2_PAPER["dsp"], abs=0.03)
+
+    def test_as_table(self):
+        t = estimate_resources().as_table()
+        assert set(t) == {"lut", "bram", "dsp"}
+        assert all(0 < v <= 1 for v in t.values())
+
+
+class TestInventory:
+    def test_multiplier_count(self):
+        """16 preprocessor + 32 update + 1 Jacobi = 49 multipliers."""
+        r = estimate_resources()
+        costs = CoreCosts()
+        assert r.dsp_breakdown["multipliers"] == 49 * costs.mul_dsp
+
+    def test_fits_on_device(self):
+        r = estimate_resources()
+        assert r.luts <= r.platform_luts
+        assert r.dsps <= r.platform_dsps
+        assert r.bram_blocks <= r.platform_bram
+
+    def test_breakdowns_sum(self):
+        r = estimate_resources()
+        assert sum(r.lut_breakdown.values()) == r.luts
+        assert sum(r.dsp_breakdown.values()) == r.dsps
+        assert sum(r.bram_breakdown.values()) == r.bram_blocks
+
+    def test_covariance_store_sized_for_256(self):
+        r = estimate_resources()
+        assert r.bram_breakdown["covariance_store"] == 58
+
+    def test_scaling_covariance_store(self):
+        small = estimate_resources(max_cols=128)
+        full = estimate_resources()
+        assert (
+            small.bram_breakdown["covariance_store"]
+            < full.bram_breakdown["covariance_store"]
+        )
+
+    def test_bigger_build_uses_more(self):
+        big = PAPER_ARCH.with_(update_kernels=10)
+        assert estimate_resources(big).luts > estimate_resources().luts
+        assert estimate_resources(big).dsps > estimate_resources().dsps
+
+    def test_12_kernel_build_exceeds_bram(self):
+        """Design-space validation: growing the Update operator to 12
+        standalone kernels blows the BRAM budget — consistent with the
+        paper stopping at 8 kernels + reconfiguration."""
+        with pytest.raises(MemoryError):
+            estimate_resources(PAPER_ARCH.with_(update_kernels=12))
+
+    def test_512_col_store_would_not_fit(self):
+        """The paper's 256-column on-chip limit is real: doubling the
+        covariance store to 512 columns blows the BRAM budget."""
+        with pytest.raises(MemoryError):
+            estimate_resources(max_cols=512)

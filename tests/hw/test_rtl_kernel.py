@@ -1,0 +1,96 @@
+"""Tests for the RTL-level update-kernel pipeline model."""
+
+import numpy as np
+import pytest
+
+from repro.core.rotation import apply_rotation_columns, textbook_rotation
+from repro.hw.kernels import UpdateKernel
+from repro.hw.params import FloatCoreLatencies
+from repro.hw.rtl_kernel import UpdateKernelRTL
+
+
+class TestPipelineTiming:
+    def test_latency_is_mul_plus_add(self):
+        k = UpdateKernelRTL(cos=0.8, sin=0.6)
+        results = k.run_stream([(1.0, 2.0)])
+        assert len(results) == 1
+        assert results[0].latency == 9 + 14
+
+    def test_initiation_interval_one(self):
+        """Back-to-back pairs retire on consecutive cycles."""
+        k = UpdateKernelRTL(cos=0.8, sin=0.6)
+        results = k.run_stream([(float(i), float(-i)) for i in range(50)])
+        retire_cycles = [r.retired_cycle for r in results]
+        assert np.all(np.diff(retire_cycles) == 1)
+
+    def test_stream_total_cycles(self):
+        """The behavioural model's formula: length + fill."""
+        k = UpdateKernelRTL(cos=0.8, sin=0.6)
+        k.run_stream([(1.0, 1.0)] * 40)
+        assert k.cycle == 40 + k.fill_latency
+
+    def test_matches_behavioural_kernel_timing(self):
+        """RTL and behavioural timing agree for a whole stream."""
+        rtl = UpdateKernelRTL(cos=0.8, sin=0.6)
+        rtl.run_stream([(1.0, 1.0)] * 100)
+        behavioural = UpdateKernel(FloatCoreLatencies())
+        done = behavioural.stream(cycle=0, length=100)
+        assert rtl.cycle == done
+
+    def test_bubbles_preserve_order_and_timing(self):
+        k = UpdateKernelRTL(cos=1.0, sin=0.0)
+        k.clock((1.0, 10.0), tag="a")
+        k.clock()  # bubble
+        k.clock((2.0, 20.0), tag="b")
+        results = []
+        for _ in range(30):
+            r = k.clock()
+            if r:
+                results.append(r)
+        assert [r.tag for r in results] == ["a", "b"]
+        assert results[1].retired_cycle - results[0].retired_cycle == 2
+
+    def test_utilization(self):
+        k = UpdateKernelRTL(cos=0.6, sin=0.8)
+        k.run_stream([(1.0, 2.0)] * 23)  # length == fill -> 50% busy
+        assert k.utilization() == pytest.approx(0.5)
+
+    def test_custom_latencies(self):
+        k = UpdateKernelRTL(cos=1.0, sin=0.0, latencies=FloatCoreLatencies(mul=2, add=3))
+        results = k.run_stream([(1.0, 1.0)])
+        assert results[0].latency == 5
+
+
+class TestPipelineNumerics:
+    def test_bit_exact_against_rotation(self, rng):
+        """The RTL datapath computes exactly eq. (11)-(12)."""
+        a = rng.standard_normal((40, 2))
+        ref = a.copy()
+        d = ref.T @ ref
+        p = textbook_rotation(d[0, 0], d[1, 1], d[0, 1])
+        apply_rotation_columns(ref, 0, 1, p)
+
+        k = UpdateKernelRTL(cos=p.cos, sin=p.sin)
+        results = k.run_stream([(a[r, 0], a[r, 1]) for r in range(40)])
+        out = np.array([[r.ai_new, r.aj_new] for r in results])
+        assert np.array_equal(out[:, 0], ref[:, 0])
+        assert np.array_equal(out[:, 1], ref[:, 1])
+
+    def test_orthogonalizes_streamed_columns(self, rng):
+        a = rng.standard_normal((64, 2))
+        d = a.T @ a
+        p = textbook_rotation(d[0, 0], d[1, 1], d[0, 1])
+        k = UpdateKernelRTL(cos=p.cos, sin=p.sin)
+        results = k.run_stream([(x, y) for x, y in a])
+        new = np.array([[r.ai_new, r.aj_new] for r in results])
+        assert abs(new[:, 0] @ new[:, 1]) < 1e-12 * np.linalg.norm(d)
+
+    def test_identity_rotation_passthrough(self):
+        k = UpdateKernelRTL(cos=1.0, sin=0.0)
+        results = k.run_stream([(3.5, -2.5)])
+        assert (results[0].ai_new, results[0].aj_new) == (3.5, -2.5)
+
+    def test_tags_travel_with_data(self):
+        k = UpdateKernelRTL(cos=0.6, sin=0.8)
+        results = k.run_stream([(float(i), 0.0) for i in range(10)])
+        assert [r.tag for r in results] == list(range(10))

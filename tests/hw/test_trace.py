@@ -1,0 +1,92 @@
+"""Tests for execution-trace construction and rendering."""
+
+import pytest
+
+from repro.hw.params import PAPER_ARCH, PlatformParams
+from repro.hw.timing_model import estimate_cycles
+from repro.hw.trace import build_trace, render_gantt
+
+
+class TestBuildTrace:
+    def test_spans_cover_total(self):
+        bd = estimate_cycles(256, 128)
+        trace = build_trace(bd)
+        assert trace.total == bd.total
+        # contiguous, ordered spans
+        cursor = 0
+        for span in trace.spans:
+            assert span.start == cursor
+            assert span.end > span.start
+            cursor = span.end
+        assert cursor == bd.total
+
+    def test_phase_names(self):
+        trace = build_trace(estimate_cycles(64, 32))
+        names = [s.name for s in trace.spans]
+        assert names[0] == "gram"
+        assert names[-1] == "finalize"
+        assert names[1:-1] == [f"sweep-{i}" for i in range(1, PAPER_ARCH.sweeps + 1)]
+
+    def test_first_sweep_kernel_bound(self):
+        trace = build_trace(estimate_cycles(1024, 128))
+        sweep1 = trace.spans[1]
+        assert sweep1.bottleneck == "update-kernels"
+
+    def test_io_bottleneck_when_starved(self):
+        starved = PAPER_ARCH.with_(
+            platform=PlatformParams(offchip_bandwidth_gbs=0.5)
+        )
+        trace = build_trace(estimate_cycles(512, 512, starved))
+        later = [s for s in trace.spans if s.name.startswith("sweep-")][1:]
+        assert all(s.bottleneck == "offchip-io" for s in later)
+
+    def test_utilization_sums_to_one(self):
+        trace = build_trace(estimate_cycles(128, 128))
+        assert sum(trace.utilization().values()) == pytest.approx(1.0)
+
+    def test_dominant_bottleneck_is_kernels_at_paper_sizes(self):
+        trace = build_trace(estimate_cycles(128, 128))
+        assert trace.dominant_bottleneck() == "update-kernels"
+
+
+class TestRenderGantt:
+    def test_contains_all_phases(self):
+        trace = build_trace(estimate_cycles(64, 32))
+        text = render_gantt(trace)
+        assert "gram" in text and "sweep-1" in text and "finalize" in text
+        assert "total" in text
+
+    def test_bars_scale_with_cycles(self):
+        trace = build_trace(estimate_cycles(256, 256))
+        lines = render_gantt(trace, width=60).splitlines()
+        gram_bar = lines[0].count("#")
+        sweep1_bar = lines[1].count("#")
+        # sweep 1 (columns + covariances) outweighs the gram phase here
+        assert sweep1_bar > gram_bar
+
+    def test_width_validation(self):
+        trace = build_trace(estimate_cycles(16, 8))
+        with pytest.raises(ValueError):
+            render_gantt(trace, width=2)
+
+
+class TestDatasheet:
+    def test_datasheet_content(self):
+        from repro.hw.datasheet import render_datasheet
+
+        text = render_datasheet()
+        assert "150 MHz" in text
+        assert "Table I within" in text
+        # performance grid matches the timing model
+        from repro.hw.timing_model import estimate_cycles
+
+        cell = f"{estimate_cycles(128, 128).seconds:.3g}"
+        assert cell in text
+
+    def test_datasheet_tracks_configuration(self):
+        from repro.hw.datasheet import render_datasheet
+        from repro.hw.params import PAPER_ARCH
+
+        small = render_datasheet(PAPER_ARCH.with_(update_kernels=4))
+        assert "4 kernels" in small
+        assert "multipliers: 33" in small  # 16 + 16 + 1

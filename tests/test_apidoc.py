@@ -1,0 +1,56 @@
+"""Tests for the API-reference generator and documentation sync."""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.tools.apidoc import PUBLIC_MODULES, collect_api, render_markdown
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestCollectApi:
+    def test_all_modules_importable(self):
+        for name in PUBLIC_MODULES:
+            importlib.import_module(name)
+
+    def test_every_module_collected(self):
+        api = collect_api()
+        assert [e["module"] for e in api] == list(PUBLIC_MODULES)
+
+    def test_known_symbols_present(self):
+        api = {e["module"]: e for e in collect_api()}
+        svd_items = {i[0] for i in api["repro.core.svd"]["items"]}
+        assert "hestenes_svd" in svd_items
+        hw_items = {i[0] for i in api["repro.hw.timing_model"]["items"]}
+        assert "estimate_cycles" in hw_items
+
+    def test_defined_items_have_summaries(self):
+        for entry in collect_api():
+            for name, kind, sig, summary in entry["items"]:
+                if kind in ("function", "class"):
+                    assert summary, f"{entry['module']}.{name} lacks a docstring"
+
+    def test_all_names_resolve(self):
+        """Every __all__ entry must exist (guards stale exports)."""
+        for name in PUBLIC_MODULES:
+            mod = importlib.import_module(name)
+            for sym in getattr(mod, "__all__", []):
+                assert hasattr(mod, sym), f"{name}.__all__ lists missing {sym}"
+
+
+class TestRenderedDocument:
+    def test_render_contains_sections(self):
+        text = render_markdown()
+        assert "# API reference" in text
+        assert "## `repro.hw.architecture`" in text
+        assert "hestenes_svd" in text
+
+    def test_shipped_api_md_in_sync(self):
+        """docs/API.md must match a fresh generation (no drift)."""
+        shipped = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert shipped == render_markdown(), (
+            "docs/API.md is stale; regenerate with "
+            "`python -m repro.tools.apidoc docs/API.md`"
+        )

@@ -1,0 +1,196 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDecompose:
+    def test_random_values_only(self, capsys):
+        assert main(["decompose", "--random", "8", "4", "--values-only"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma[0]" in out
+        assert "8 x 4" in out
+
+    def test_npy_input(self, tmp_path, capsys, rng):
+        a = rng.standard_normal((6, 4))
+        path = tmp_path / "a.npy"
+        np.save(path, a)
+        assert main(["decompose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reconstruction error" in out
+        sigma0 = float(out.split("sigma[0] = ")[1].split()[0])
+        assert sigma0 == pytest.approx(np.linalg.svd(a, compute_uv=False)[0])
+
+    def test_txt_input(self, tmp_path, capsys):
+        path = tmp_path / "a.txt"
+        np.savetxt(path, np.diag([3.0, 2.0]))
+        assert main(["decompose", str(path), "--values-only"]) == 0
+        assert "sigma[0] = 3" in capsys.readouterr().out
+
+    def test_npz_output_roundtrip(self, tmp_path, capsys, rng):
+        a = rng.standard_normal((5, 3))
+        src = tmp_path / "a.npy"
+        dst = tmp_path / "out.npz"
+        np.save(src, a)
+        assert main(["decompose", str(src), "--output", str(dst)]) == 0
+        with np.load(dst) as data:
+            recon = (data["u"] * data["s"]) @ data["vt"]
+        assert np.allclose(recon, a)
+
+    def test_method_choice(self, capsys):
+        assert main(["decompose", "--random", "6", "4", "--method", "reference"]) == 0
+        assert "reference" in capsys.readouterr().out
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["decompose"])
+
+
+class TestEstimate:
+    def test_table1_headline(self, capsys):
+        assert main(["estimate", "128", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "0.005017 s" in out
+        assert "gram phase" in out
+
+    def test_sweeps_override(self, capsys):
+        assert main(["estimate", "64", "64", "--sweeps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 sweeps" in out
+        assert "sweep 4" not in out
+
+    def test_bandwidth_override_changes_spilled_time(self, capsys):
+        main(["estimate", "512", "512"])
+        fast = capsys.readouterr().out
+        main(["estimate", "512", "512", "--bandwidth", "1"])
+        slow = capsys.readouterr().out
+        t_fast = float(fast.split("= ")[-1].split(" s")[0])
+        t_slow = float(slow.split("= ")[-1].split(" s")[0])
+        assert t_slow > t_fast
+
+
+class TestResources:
+    def test_default_report(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "89.0%" in out and "91.0%" in out
+
+    def test_verbose(self, capsys):
+        main(["resources", "--verbose"])
+        assert "covariance_store" in capsys.readouterr().out
+
+    def test_infeasible_configuration(self, capsys):
+        assert main(["resources", "--kernels", "16"]) == 1
+        assert "does not fit" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_small_square(self, capsys):
+        assert main(["compare", "128", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Hestenes-Jacobi FPGA" in out
+        assert "MATLAB" in out
+        assert "GPU Hestenes" in out
+
+    def test_limits_reported(self, capsys):
+        main(["compare", "256", "256"])
+        out = capsys.readouterr().out
+        assert "beyond 32x128 limit" in out
+        assert "square only" in out
+
+
+class TestTrace:
+    def test_gantt_output(self, capsys):
+        assert main(["trace", "128", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "gram" in out and "sweep-1" in out and "finalize" in out
+        assert "update-kernels" in out
+
+    def test_custom_width(self, capsys):
+        assert main(["trace", "64", "32", "--width", "40"]) == 0
+        assert "cycle attribution" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_front_only(self, capsys):
+        assert main(["sweep", "--front-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "P8K8+4C128" in out
+
+    def test_top_listing(self, capsys):
+        assert main(["sweep", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        # header + summary + exactly 3 data rows
+        data_rows = [l for l in out.splitlines() if l.startswith("P")]
+        assert len(data_rows) == 3
+
+
+class TestNetlist:
+    def test_dot_default(self, capsys):
+        assert main(["netlist"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "jacobi_rotation_unit" in out
+
+    def test_json(self, capsys):
+        import json
+
+        assert main(["netlist", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert any(i["name"] == "update_operator" for i in data["instances"])
+
+
+class TestEval:
+    def test_single_experiment(self, capsys):
+        assert main(["eval", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Resource consumption" in out
+        assert "all shape checks passed" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["eval", "fig99"])
+
+    def test_accuracy_and_coverify_registered(self, capsys):
+        assert main(["eval", "coverify"]) == 0
+        assert "co-verification" in capsys.readouterr().out.lower()
+
+    def test_resilience_registered(self, capsys):
+        assert main(["eval", "ablation-resilience"]) == 0
+        assert "Soft-error" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_all_figures_render(self, capsys):
+        assert main(["figures", "fig7", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "fig9" in out
+        assert "FPGA (ours)" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figures", "fig3"])
+
+
+class TestDatasheet:
+    def test_renders_complete_document(self, capsys):
+        assert main(["datasheet"]) == 0
+        out = capsys.readouterr().out
+        assert "datasheet" in out
+        assert "89.0%" in out and "91.0%" in out and "53.1%" in out
+        assert "multipliers: 49" in out
+        assert "| 1024 |" in out

@@ -1,0 +1,33 @@
+"""Run the doctests embedded in public docstrings.
+
+Not every module is doctest-clean (stochastic outputs, large reprs);
+this whitelist covers the ones whose Examples sections are written to
+be executed, and the test fails if a whitelisted module stops carrying
+any doctests (silent erosion).
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core.svd",
+    "repro.core.ordering",
+    "repro.core.batch",
+    "repro.apps.pca",
+    "repro.apps.lsi",
+    "repro.apps.incremental",
+    "repro.apps.image",
+    "repro.apps.pattern",
+    "repro.util.timer",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_doctests(name):
+    mod = importlib.import_module(name)
+    results = doctest.testmod(mod, verbose=False, raise_on_error=False)
+    assert results.attempted > 0, f"{name} has no doctests but is whitelisted"
+    assert results.failed == 0, f"{name}: {results.failed} doctest failure(s)"

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run clean and say what it promised.
+
+Examples are the public face of the repo; these tests execute each one
+in a subprocess (as a user would) and grep for its key outputs.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = REPO_ROOT / "examples"
+
+#: script -> substrings its stdout must contain.
+EXPECTED = {
+    "quickstart.py": ["largest singular values", "modelled FPGA time", "sweep 6"],
+    "image_compression.py": ["rank  storage", "optimal rank-8 approximation"],
+    "pca_pipeline.py": ["explained", "principal angle", "numpy PCA subspace"],
+    "fpga_accelerator_sim.py": ["Table I reproduction", "resource report",
+                                "phase breakdown"],
+    "convergence_study.py": ["Fig. 10 style", "ordering comparison",
+                             "converged in"],
+    "video_surveillance.py": ["robust PCA", "background recovery error",
+                              "foreground"],
+    "design_space.py": ["Pareto front", "execution trace"],
+    "lsi_search.py": ["indexed", "query:", "latent document similarities"],
+    "streaming_pca.py": ["streaming", "background-pattern recovery",
+                         "pipelined"],
+    "pattern_recognition.py": ["test accuracy", "confusion matrix",
+                               "residual margin"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in EXPECTED[script]:
+        assert needle in result.stdout, (
+            f"{script} output missing {needle!r}\n--- stdout tail ---\n"
+            + result.stdout[-1500:]
+        )
+
+
+def test_every_example_is_covered():
+    """A new example script must register its expectations here."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTED), (
+        f"unregistered examples: {scripts - set(EXPECTED)}; "
+        f"stale entries: {set(EXPECTED) - scripts}"
+    )

@@ -1,0 +1,148 @@
+"""End-to-end integration tests across subsystems.
+
+These tests cut across packages: workloads feed the core solvers, the
+hardware simulator, the baselines and the applications, and the results
+are cross-checked against each other and against LAPACK.
+"""
+
+import numpy as np
+import pytest
+
+from repro import hestenes_svd
+from repro.apps import PCA, randomized_svd, robust_pca, truncated_svd
+from repro.baselines import golub_reinsch_svd, two_sided_jacobi_svd
+from repro.hw import HestenesJacobiAccelerator, simulate_decomposition
+from repro.workloads import (
+    conditioned_matrix,
+    correlated_matrix,
+    image_like_matrix,
+    low_rank_matrix,
+    random_matrix,
+    surveillance_video,
+)
+
+MATRIX_KINDS = [
+    ("gaussian", lambda: random_matrix(24, 12, seed=1)),
+    ("uniform", lambda: random_matrix(24, 12, distribution="uniform", seed=2)),
+    ("conditioned", lambda: conditioned_matrix(24, 12, cond=1e6, seed=3)),
+    ("correlated", lambda: correlated_matrix(24, 12, correlation=0.95, seed=4)),
+    ("image", lambda: image_like_matrix(24, 12, seed=5)),
+    ("lowrank+noise", lambda: low_rank_matrix(24, 12, rank=3, noise=1e-3, seed=6)),
+]
+
+
+class TestSolverCrossAgreement:
+    @pytest.mark.parametrize("kind,make", MATRIX_KINDS, ids=[k for k, _ in MATRIX_KINDS])
+    def test_all_engines_agree(self, kind, make):
+        """Five independent implementations, one spectrum."""
+        a = make()
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        scale = max(s_ref[0], 1e-300)
+        engines = {
+            "reference": hestenes_svd(a, method="reference", max_sweeps=20).s,
+            "modified": hestenes_svd(a, method="modified", max_sweeps=20).s,
+            "blocked": hestenes_svd(a, method="blocked", max_sweeps=20).s,
+            "golub_reinsch": golub_reinsch_svd(a).s,
+        }
+        for name, s in engines.items():
+            assert np.max(np.abs(s - s_ref)) / scale < 1e-8, name
+
+    def test_two_sided_joins_on_square(self):
+        a = random_matrix(16, 16, seed=7)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        s_two = two_sided_jacobi_svd(a).s
+        assert np.max(np.abs(s_two - s_ref)) / s_ref[0] < 1e-9
+
+    def test_accelerator_event_vs_analytic_vs_lapack(self):
+        a = random_matrix(20, 10, seed=8)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        for mode in ("analytic", "event"):
+            out = HestenesJacobiAccelerator(mode=mode).decompose(a, sweeps=10)
+            assert np.max(np.abs(out.s - s_ref)) / s_ref[0] < 1e-9
+
+
+class TestPipelines:
+    def test_generate_decompose_truncate_reconstruct(self):
+        img = image_like_matrix(48, 64, seed=9)
+        res = truncated_svd(img, 6, max_sweeps=10)
+        err = np.linalg.norm(img - res.reconstruct()) / np.linalg.norm(img)
+        s_full = np.linalg.svd(img, compute_uv=False)
+        optimal = np.sqrt(np.sum(s_full[6:] ** 2)) / np.linalg.norm(img)
+        assert err == pytest.approx(optimal, rel=1e-6)
+
+    def test_pca_on_randomized_sketch_agrees(self):
+        # Structured data (spectral gap): the sketch captures the top
+        # subspace essentially exactly.  On flat spectra randomized SVD
+        # is only ~1%-accurate by design — covered in test_truncated.
+        data = low_rank_matrix(120, 30, rank=4, noise=1e-4, seed=10)
+        centered = data - data.mean(axis=0)
+        exact = PCA(n_components=4).fit(data)
+        sketch = randomized_svd(centered, 4, power_iterations=3, seed=11)
+        assert np.allclose(exact.singular_values_, sketch.s, rtol=1e-6)
+
+    def test_rpca_inner_engine_consistency(self):
+        video, bg, _ = surveillance_video(16, 8, 8, seed=12)
+        r1 = robust_pca(video, backend="blocked", max_iterations=40, tol=1e-6)
+        r2 = robust_pca(video, backend="golub_reinsch", max_iterations=40, tol=1e-6)
+        assert r1.converged and r2.converged
+        assert np.linalg.norm(r1.low_rank - r2.low_rank) < 1e-4 * np.linalg.norm(bg)
+
+    def test_accelerator_time_for_rpca_workload(self):
+        """Glue check: the motivating use-case maps onto the timing model."""
+        acc = HestenesJacobiAccelerator()
+        t = acc.estimate_seconds(3000, 3000)
+        # The paper's anecdote: 185.2 s for 15 partial SVDs of a
+        # 3000x3000 matrix (12.3 s each on their CPU).  The accelerator
+        # model should land well under the CPU per-SVD time scaled to
+        # the anecdote, while staying a sane positive number.
+        assert 0 < t < 185.2
+
+    def test_event_sim_matches_library_on_image(self):
+        img = image_like_matrix(20, 12, seed=13)
+        sim = simulate_decomposition(img, sweeps=10)
+        lib = hestenes_svd(
+            img, method="blocked", compute_uv=False, max_sweeps=10,
+            rotation_impl="dataflow", track_columns="never",
+        )
+        # The image matrix is numerically rank-deficient; its tail
+        # singular values live at the Gram method's sqrt(eps) noise
+        # floor, where the scalar (event) and vectorized (library)
+        # rotation orders round differently.
+        assert np.max(np.abs(sim.singular_values - lib.s)) <= 1e-7 * max(lib.s[0], 1)
+
+
+class TestDeterminism:
+    def test_full_stack_deterministic(self):
+        """Same seed in, bit-identical results out — across the stack."""
+        def run():
+            a = random_matrix(18, 9, seed=14)
+            res = hestenes_svd(a, max_sweeps=8)
+            acc = HestenesJacobiAccelerator().decompose(a)
+            rnd = randomized_svd(a, 3, seed=15)
+            return res.s, acc.cycles, rnd.s
+
+        s1, c1, r1 = run()
+        s2, c2, r2 = run()
+        assert np.array_equal(s1, s2)
+        assert c1 == c2
+        assert np.array_equal(r1, r2)
+
+
+class TestScaleSanity:
+    def test_moderate_scale_end_to_end(self):
+        """A 256x64 decomposition through the full API in one piece."""
+        a = random_matrix(256, 64, seed=16)
+        res = hestenes_svd(a, max_sweeps=8)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(res.s - s_ref)) / s_ref[0] < 1e-9
+        assert res.reconstruction_error(a) < 1e-9
+
+    def test_extreme_aspect_ratios(self):
+        # Wide shapes keep n modest: the Gram-based sweeps cost O(n^3)
+        # regardless of m, so 1024-column inputs belong to the
+        # full-scale benchmarks, not the unit suite.
+        for shape in [(1024, 4), (4, 128), (500, 1), (1, 128)]:
+            a = random_matrix(*shape, seed=sum(shape))
+            res = hestenes_svd(a, compute_uv=False, max_sweeps=12)
+            s_ref = np.linalg.svd(a, compute_uv=False)
+            assert np.max(np.abs(res.s - s_ref)) / s_ref[0] < 1e-9, shape

@@ -1,0 +1,29 @@
+"""Execute every code block of docs/TUTORIAL.md — documentation as tests."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parents[1] / "docs" / "TUTORIAL.md"
+
+
+def extract_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_has_blocks():
+    blocks = extract_blocks(TUTORIAL.read_text())
+    assert len(blocks) >= 6
+
+
+def test_tutorial_executes_top_to_bottom():
+    """All blocks share one namespace and must run without error; the
+    embedded assertions are the checks."""
+    blocks = extract_blocks(TUTORIAL.read_text())
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"tutorial block {i} failed: {exc}\n---\n{block}")

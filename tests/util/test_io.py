@@ -1,0 +1,58 @@
+"""Tests for result serialization."""
+
+import numpy as np
+import pytest
+
+from repro import hestenes_svd
+from repro.util.io import load_result, save_result
+from tests.conftest import random_matrix
+
+
+class TestRoundTrip:
+    def test_full_result(self, tmp_path, rng):
+        a = random_matrix(rng, 10, 6)
+        res = hestenes_svd(a, max_sweeps=8)
+        path = tmp_path / "result.npz"
+        save_result(path, res)
+        loaded = load_result(path)
+        assert np.array_equal(loaded.s, res.s)
+        assert np.array_equal(loaded.u, res.u)
+        assert np.array_equal(loaded.vt, res.vt)
+        assert loaded.sweeps == res.sweeps
+        assert loaded.method == res.method
+        assert loaded.converged == res.converged
+
+    def test_trace_roundtrip(self, tmp_path, rng):
+        a = random_matrix(rng, 10, 6)
+        res = hestenes_svd(a, max_sweeps=8)
+        path = tmp_path / "result.npz"
+        save_result(path, res)
+        loaded = load_result(path)
+        assert loaded.trace.metric == res.trace.metric
+        assert loaded.trace.sweeps == res.trace.sweeps
+        assert loaded.trace.values == res.trace.values
+        assert loaded.trace.converged == res.trace.converged
+
+    def test_values_only_result(self, tmp_path, rng):
+        a = random_matrix(rng, 8, 4)
+        res = hestenes_svd(a, compute_uv=False)
+        path = tmp_path / "values.npz"
+        save_result(path, res)
+        loaded = load_result(path)
+        assert loaded.u is None and loaded.vt is None
+        assert np.array_equal(loaded.s, res.s)
+
+    def test_loaded_result_is_functional(self, tmp_path, rng):
+        a = random_matrix(rng, 9, 5)
+        res = hestenes_svd(a, max_sweeps=10)
+        path = tmp_path / "r.npz"
+        save_result(path, res)
+        loaded = load_result(path)
+        assert loaded.reconstruction_error(a) < 1e-10
+        assert loaded.rank == 5
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, format_version=np.array(99), s=np.ones(2))
+        with pytest.raises(ValueError, match="version"):
+            load_result(path)

@@ -1,0 +1,62 @@
+"""Tests for Timer and RNG policy helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.timer import Timer
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.elapsed >= 0.0
+        assert t.mean == pytest.approx(t.elapsed / 2)
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.count == 0 and t.elapsed == 0.0
+        assert t.mean == 0.0
+
+    def test_exit_without_enter(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
+    def test_repr(self):
+        assert "count=0" in repr(Timer())
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = default_rng(42).standard_normal(5)
+        b = default_rng(42).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert default_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(7, 3)
+        assert len(streams) == 3
+        draws = [g.standard_normal(4) for g in streams]
+        assert not np.array_equal(draws[0], draws[1])
+
+    def test_spawn_reproducible(self):
+        a = [g.standard_normal(3) for g in spawn_rngs(7, 2)]
+        b = [g.standard_normal(3) for g in spawn_rngs(7, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

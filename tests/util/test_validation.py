@@ -1,0 +1,113 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_float_matrix,
+    as_square_matrix,
+    check_in_choices,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestAsFloatMatrix:
+    def test_passthrough(self):
+        a = np.ones((3, 4))
+        out = as_float_matrix(a)
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_coerces_ints_and_lists(self):
+        out = as_float_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_float_matrix(np.zeros(4))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_float_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_complex(self):
+        with pytest.raises(TypeError, match="numeric"):
+            as_float_matrix(np.zeros((2, 2), dtype=complex))
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_float_matrix([["a", "b"]])
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_float_matrix(np.zeros((0, 3)))
+
+    def test_allow_empty(self):
+        out = as_float_matrix(np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_matrix([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_matrix([[1.0, np.inf]])
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="weights"):
+            as_float_matrix(np.zeros(2), name="weights")
+
+    def test_fortran_input_made_contiguous(self):
+        a = np.asfortranarray(np.ones((3, 4)))
+        assert as_float_matrix(a).flags["C_CONTIGUOUS"]
+
+
+class TestAsSquareMatrix:
+    def test_accepts_square(self):
+        assert as_square_matrix(np.eye(3)).shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            as_square_matrix(np.ones((2, 3)))
+
+
+class TestScalarChecks:
+    def test_positive_int(self):
+        assert check_positive_int(3, name="k") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, name="k")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True, None])
+    def test_positive_int_type(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, name="k")
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(0, name="k") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, name="k")
+
+    def test_positive_float(self):
+        assert check_positive_float(2.5, name="x") == 2.5
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, name="x")
+        with pytest.raises(ValueError):
+            check_positive_float(float("inf"), name="x")
+        with pytest.raises(TypeError):
+            check_positive_float("1.0", name="x")
+
+    def test_probability(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.1, name="p")
+
+    def test_in_choices(self):
+        assert check_in_choices("a", ("a", "b"), name="mode") == "a"
+        with pytest.raises(ValueError, match="mode"):
+            check_in_choices("c", ("a", "b"), name="mode")

@@ -1,0 +1,152 @@
+"""Tests for workload generators and experiment suites."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    conditioned_matrix,
+    correlated_matrix,
+    image_like_matrix,
+    low_rank_matrix,
+    pca_dataset,
+    random_matrix,
+)
+from repro.workloads.suites import (
+    FIG8_SHAPES,
+    FIG9_COLUMN_DIMS,
+    TABLE1_COLUMN_DIMS,
+    fast_mode,
+    scale_dims,
+)
+
+
+class TestRandomMatrix:
+    def test_shape_and_reproducibility(self):
+        a = random_matrix(8, 5, seed=1)
+        b = random_matrix(8, 5, seed=1)
+        assert a.shape == (8, 5)
+        assert np.array_equal(a, b)
+
+    def test_distributions(self):
+        g = random_matrix(200, 50, distribution="gaussian", seed=2)
+        u = random_matrix(200, 50, distribution="uniform", seed=2)
+        assert abs(g.mean()) < 0.05
+        assert np.all(u >= 0) and np.all(u < 1)
+
+    def test_scale(self):
+        a = random_matrix(100, 100, scale=10.0, seed=3)
+        assert 5 < a.std() < 15
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            random_matrix(0, 5)
+        with pytest.raises(ValueError):
+            random_matrix(5, 5, distribution="poisson")
+
+
+class TestConditionedMatrix:
+    def test_condition_number(self):
+        a = conditioned_matrix(20, 10, cond=1e4, seed=4)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert sv[0] / sv[-1] == pytest.approx(1e4, rel=1e-8)
+
+    def test_linear_spectrum(self):
+        a = conditioned_matrix(12, 6, cond=100, spectrum="linear", seed=5)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(np.diff(sv), np.diff(sv)[0], atol=1e-10)
+
+    def test_cond_one_is_orthonormal(self):
+        a = conditioned_matrix(8, 8, cond=1.0, seed=6)
+        assert np.allclose(a.T @ a, np.eye(8), atol=1e-12)
+
+    def test_rejects_cond_below_one(self):
+        with pytest.raises(ValueError):
+            conditioned_matrix(4, 4, cond=0.5)
+
+
+class TestLowRankMatrix:
+    def test_exact_rank(self):
+        a = low_rank_matrix(15, 10, rank=3, seed=7)
+        assert np.linalg.matrix_rank(a) == 3
+
+    def test_noise_fills_spectrum(self):
+        a = low_rank_matrix(30, 20, rank=3, noise=0.01, seed=8)
+        sv = np.linalg.svd(a, compute_uv=False)
+        assert sv[3] > 0  # noise floor
+        assert sv[0] / sv[3] > 10  # still a visible spectral gap
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            low_rank_matrix(5, 5, rank=6)
+
+
+class TestCorrelatedMatrix:
+    def test_high_correlation(self):
+        a = correlated_matrix(5000, 8, correlation=0.9, seed=9)
+        c = np.corrcoef(a.T)
+        off = c[np.triu_indices(8, 1)]
+        assert np.all(off > 0.8)
+
+    def test_zero_correlation(self):
+        a = correlated_matrix(5000, 8, correlation=0.0, seed=10)
+        c = np.corrcoef(a.T)
+        off = c[np.triu_indices(8, 1)]
+        assert np.all(np.abs(off) < 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlated_matrix(4, 4, correlation=1.5)
+
+
+class TestImageLikeMatrix:
+    def test_range_and_shape(self):
+        img = image_like_matrix(32, 48, seed=11)
+        assert img.shape == (32, 48)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_rapid_spectral_decay(self):
+        """The property that makes low-rank compression meaningful."""
+        img = image_like_matrix(64, 64, seed=12)
+        sv = np.linalg.svd(img, compute_uv=False)
+        assert sv[10] < 0.05 * sv[0]
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            image_like_matrix(16, 16, seed=13), image_like_matrix(16, 16, seed=13)
+        )
+
+
+class TestPcaDataset:
+    def test_centered(self):
+        data, _ = pca_dataset(200, 12, intrinsic_dim=3, seed=14)
+        assert np.allclose(data.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_intrinsic_dimension_visible(self):
+        data, _ = pca_dataset(500, 12, intrinsic_dim=3, noise=0.01, seed=15)
+        sv = np.linalg.svd(data, compute_uv=False)
+        assert sv[2] / sv[3] > 5  # gap after the intrinsic dimension
+
+    def test_components_orthonormal(self):
+        _, comps = pca_dataset(100, 10, intrinsic_dim=4, seed=16)
+        assert np.allclose(comps @ comps.T, np.eye(4), atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca_dataset(5, 3, intrinsic_dim=10)
+
+
+class TestSuites:
+    def test_paper_grids(self):
+        assert TABLE1_COLUMN_DIMS == (128, 256, 512, 1024)
+        assert FIG9_COLUMN_DIMS[0] == 128 and FIG9_COLUMN_DIMS[-1] == 256
+        assert all(n in (128, 256) for _, n in FIG8_SHAPES)
+
+    def test_scale_dims(self):
+        assert scale_dims((128, 256), 8) == (16, 32)
+        assert scale_dims((16,), 8, minimum=8) == (8,)
+
+    def test_fast_mode_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert fast_mode()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert not fast_mode()

@@ -1,0 +1,56 @@
+"""Tests for workload traces and their scheduling."""
+
+import pytest
+
+from repro.hw.pipeline import schedule_stream
+from repro.workloads.traces import incremental_trace, rpca_trace, video_batch_trace
+
+
+class TestTraces:
+    def test_rpca_anecdote_shape(self):
+        trace = rpca_trace(3000, 3000, 15)
+        assert len(trace) == 15
+        assert all(shape == (3000, 3000) for shape in trace)
+
+    def test_video_batches(self):
+        trace = video_batch_trace(4096, 32, 10)
+        assert trace == [(4096, 32)] * 10
+
+    def test_incremental_structure(self):
+        trace = incremental_trace(features=64, rank=8, block_rows=32, blocks=5)
+        assert trace[0] == (32, 64)
+        assert len(trace) == 5
+        assert all(m == n == 8 + 32 for m, n in trace[1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rpca_trace(0, 10, 5)
+        with pytest.raises(ValueError):
+            video_batch_trace(10, 10, 0)
+
+
+class TestTraceScheduling:
+    def test_video_stream_pipelines_well(self):
+        """Tall video batches are Gram-heavy: pipelining pays."""
+        trace = video_batch_trace(4096, 32, 8)
+        piped = schedule_stream(trace, policy="pipelined")
+        serial = schedule_stream(trace, policy="serial")
+        assert piped.makespan < serial.makespan
+        assert piped.overlap_saving > 0.15
+
+    def test_rpca_stream_schedule(self):
+        trace = rpca_trace(384, 64, 6)
+        sched = schedule_stream(trace)
+        assert len(sched.jobs) == 6
+        assert sched.makespan > 0
+
+    def test_incremental_core_svds_are_cheap(self):
+        """After the seed block, the streaming updates decompose only
+        (rank + block)-sized cores — orders cheaper than re-decomposing
+        everything seen so far."""
+        trace = incremental_trace(features=256, rank=8, block_rows=64, blocks=10)
+        sched = schedule_stream(trace, policy="serial")
+        seed = sched.jobs[0].total_cycles
+        updates = [j.total_cycles for j in sched.jobs[1:]]
+        full_rerun = schedule_stream([(64 * 10, 256)], policy="serial").makespan
+        assert sum(updates) + seed < full_rerun
