@@ -1,6 +1,6 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test bench bench-full eval examples apidoc all
+.PHONY: install test bench bench-full serve-bench eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,9 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+serve-bench:
+	python benchmarks/bench_serve.py --quick
 
 eval:
 	python -m repro eval

@@ -12,6 +12,7 @@ figures     ASCII renderings of Figs 7-11.
 datasheet   Full accelerator datasheet (markdown).
 netlist     Structural netlist as Graphviz DOT or JSON.
 eval        Run reproduction experiments by id (or all).
+serve-demo  Drive the micro-batching SVD server with a traffic trace.
 """
 
 from __future__ import annotations
@@ -270,6 +271,64 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_serve_demo(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.core.svd import hestenes_svd
+    from repro.serve import SVDServer
+    from repro.workloads import random_matrix
+
+    rng_shapes = [(args.rows, args.cols), (args.cols, args.cols),
+                  (2 * args.rows, args.cols // 2 or 1)]
+    unique = [
+        random_matrix(*rng_shapes[i % len(rng_shapes)], seed=args.seed + i)
+        for i in range(max(args.requests // 2, 1))
+    ]
+    trace = unique + unique[: max(args.requests - len(unique), 0)]
+    print(f"serve-demo: {len(trace)} requests over shapes "
+          f"{sorted(set(a.shape for a in trace))} "
+          f"({len(trace) - len(unique)} repeats)")
+    start = time.perf_counter()
+    with SVDServer(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        workers=args.workers,
+        compute_uv=not args.values_only,
+    ) as srv:
+        first = [h.result(timeout=300.0) for h in srv.submit_many(unique)]
+        rest = [h.result(timeout=300.0)
+                for h in srv.submit_many(trace[len(unique):])]
+        stats = srv.stats()
+    elapsed = time.perf_counter() - start
+    responses = first + rest
+    bad = [r for r in responses if not r.ok]
+    if bad:
+        print(f"{len(bad)} request(s) failed; first: {bad[0].error}")
+        return 1
+    check = hestenes_svd(unique[0], compute_uv=not args.values_only)
+    identical = bool(np.array_equal(responses[0].result.s, check.s))
+    lat = stats["histograms"]["latency_s"]
+    bat = stats["histograms"]["batch_size"]
+    cache = stats["cache"]
+    print(f"served {len(responses)} requests in {elapsed:.3f} s "
+          f"({len(responses) / elapsed:,.0f} req/s)")
+    print(f"  latency   : p50 {lat['p50'] * 1e3:.2f} ms   "
+          f"p95 {lat['p95'] * 1e3:.2f} ms   p99 {lat['p99'] * 1e3:.2f} ms")
+    print(f"  batching  : {stats['counters']['batches_dispatched']} batches, "
+          f"mean size {bat['mean']:.2f}, "
+          f"{stats['counters'].get('coalesced_requests', 0)} requests coalesced")
+    print(f"  cache     : {cache['hits']} hits / {cache['lookups']} lookups "
+          f"(hit rate {cache['hit_rate']:.1%})")
+    print(f"  engines   : core={stats['counters'].get('engine_core_requests', 0)} "
+          f"hw={stats['counters'].get('engine_hw_requests', 0)} "
+          f"degradations={stats['degradations']}")
+    print(f"  verification: served result bit-identical to direct solver: "
+          f"{identical}")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -339,6 +398,19 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("experiments", nargs="*",
                    help="experiment ids (default: all)")
     v.set_defaults(func=_cmd_eval)
+
+    sd = sub.add_parser("serve-demo",
+                        help="drive the micro-batching SVD server")
+    sd.add_argument("--requests", type=int, default=200,
+                    help="trace length (half unique, half repeats)")
+    sd.add_argument("--rows", type=int, default=24)
+    sd.add_argument("--cols", type=int, default=12)
+    sd.add_argument("--seed", type=int, default=0)
+    sd.add_argument("--workers", type=int, default=4)
+    sd.add_argument("--max-batch", type=int, default=8)
+    sd.add_argument("--max-wait-ms", type=float, default=2.0)
+    sd.add_argument("--values-only", action="store_true")
+    sd.set_defaults(func=_cmd_serve_demo)
     return p
 
 

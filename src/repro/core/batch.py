@@ -11,6 +11,11 @@ give real speedups without pickling matrices to worker processes.
 Determinism: results are identical (bit-for-bit) between serial and
 parallel execution — each matrix's decomposition is independent, and
 outputs are returned in input order.
+
+The serving layer (:mod:`repro.serve.scheduler`) dispatches its
+micro-batches through this module, reusing one long-lived pool across
+batches via the ``pool`` hook instead of paying thread start-up per
+batch.
 """
 
 from __future__ import annotations
@@ -24,11 +29,31 @@ from repro.util.validation import check_positive_int
 __all__ = ["batch_svd"]
 
 
+def _decompose_indexed(solver: HestenesJacobiSVD, a, index: int) -> SVDResult:
+    """Run one decomposition, annotating any failure with its batch index.
+
+    The first failing matrix (in input order, since results are
+    consumed in order) surfaces as an exception of the original type
+    whose message names the index and shape, chained to the original.
+    """
+    try:
+        return solver.decompose(a)
+    except Exception as exc:
+        shape = getattr(a, "shape", None)
+        msg = f"batch_svd: matrix {index} (shape {shape}) failed: {exc}"
+        try:
+            wrapped = type(exc)(msg)
+        except Exception:
+            wrapped = RuntimeError(msg)
+        raise wrapped from exc
+
+
 def batch_svd(
     matrices,
     *,
     workers: int = 1,
     solver: HestenesJacobiSVD | None = None,
+    pool: ThreadPoolExecutor | None = None,
     **options,
 ) -> list[SVDResult]:
     """Decompose every matrix in *matrices*.
@@ -38,9 +63,16 @@ def batch_svd(
     matrices : sequence of array_like
         The inputs; shapes may differ.
     workers : int
-        Thread count; 1 (default) runs serially.
+        Thread count; 1 (default) runs serially.  Capped at
+        ``len(matrices)`` so a wide pool never spawns idle threads for
+        a narrow batch.
     solver : HestenesJacobiSVD, optional
         Pre-configured solver; mutually exclusive with **options.
+    pool : concurrent.futures.ThreadPoolExecutor, optional
+        Existing executor to run on (left open afterwards), so stream
+        schedulers can reuse one pool across many batches.  When given,
+        dispatch always goes through this pool (its own width applies)
+        and *workers* is ignored.
     **options
         Passed to :class:`repro.core.svd.HestenesJacobiSVD` when no
         solver is given (method, max_sweeps, tol, ...).
@@ -48,6 +80,13 @@ def batch_svd(
     Returns
     -------
     list of SVDResult, in input order.
+
+    Raises
+    ------
+    Exception
+        The first worker failure (in input order) is re-raised with the
+        failing matrix index and shape prepended to the message and the
+        original exception attached as ``__cause__``.
 
     Examples
     --------
@@ -63,7 +102,15 @@ def batch_svd(
     matrices = list(matrices)
     if not matrices:
         return []
-    if workers == 1 or len(matrices) == 1:
-        return [solver.decompose(a) for a in matrices]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(solver.decompose, matrices))
+    workers = min(workers, len(matrices))
+    if workers == 1 and pool is None:
+        return [
+            _decompose_indexed(solver, a, i) for i, a in enumerate(matrices)
+        ]
+    indices = range(len(matrices))
+    if pool is not None:
+        return list(pool.map(_decompose_indexed, [solver] * len(matrices),
+                             matrices, indices))
+    with ThreadPoolExecutor(max_workers=workers) as owned:
+        return list(owned.map(_decompose_indexed, [solver] * len(matrices),
+                              matrices, indices))

@@ -1,0 +1,154 @@
+"""LRU result cache keyed by matrix content digests.
+
+The paper's motivating workloads repeat themselves: IALM robust PCA
+resubmits near-identical frames, streaming PCA re-decomposes the same
+core shapes, LSI re-runs queries against one index.  Whenever the
+*exact* same matrix arrives with the exact same solver options, the
+decomposition is pure recomputation — so the serving layer memoises
+:class:`repro.core.result.SVDResult` objects under the request's
+content digest (:attr:`repro.serve.request.SVDRequest.cache_key`).
+
+Eviction is LRU under a byte budget: each entry is costed by the size
+of its factor arrays, and inserts evict least-recently-used entries
+until the budget holds.  Results larger than the whole budget are
+never admitted (counted as ``oversize``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.result import SVDResult
+from repro.util.validation import check_positive_int
+
+__all__ = ["result_nbytes", "CacheStats", "ResultCache"]
+
+#: Fixed per-entry overhead charged on top of array payloads (object
+#: headers, key string, bookkeeping) so many tiny results still respect
+#: the budget.
+ENTRY_OVERHEAD = 512
+
+
+def result_nbytes(result: SVDResult) -> int:
+    """Approximate resident size of a cached result in bytes."""
+    total = ENTRY_OVERHEAD + result.s.nbytes
+    if result.u is not None:
+        total += result.u.nbytes
+    if result.vt is not None:
+        total += result.vt.nbytes
+    return total
+
+
+class CacheStats:
+    """Mutable hit/miss/eviction accounting for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "oversize")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for metrics export."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "evictions": self.evictions,
+            "oversize": self.oversize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU cache of SVD results under a byte budget.
+
+    Parameters
+    ----------
+    max_bytes : int
+        Total budget for cached factor arrays (plus a small fixed
+        per-entry overhead).
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        self.max_bytes = check_positive_int(max_bytes, name="max_bytes")
+        self._entries: OrderedDict[str, tuple[SVDResult, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently resident."""
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: str) -> SVDResult | None:
+        """Look up *key*, refreshing its recency; ``None`` on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+
+    def put(self, key: str, result: SVDResult) -> bool:
+        """Insert *result* under *key*, evicting LRU entries to fit.
+
+        Returns False (and admits nothing) when the result alone
+        exceeds the whole budget; re-inserting an existing key
+        refreshes its recency and replaces the entry.
+        """
+        size = result_nbytes(result)
+        with self._lock:
+            if size > self.max_bytes:
+                self.stats.oversize += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            while self._bytes + size > self.max_bytes and self._entries:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.stats.evictions += 1
+            self._entries[key] = (result, size)
+            self._bytes += size
+            return True
+
+    def keys(self) -> list[str]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def snapshot(self) -> dict:
+        """Accounting snapshot: sizes plus :class:`CacheStats` fields."""
+        with self._lock:
+            out = self.stats.as_dict()
+            out.update(items=len(self._entries), bytes=self._bytes,
+                       max_bytes=self.max_bytes)
+            return out

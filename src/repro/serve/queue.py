@@ -1,0 +1,136 @@
+"""Bounded, thread-safe submission queue with configurable backpressure.
+
+The queue is the admission-control point of the serving layer: it is
+FIFO, bounded, and applies one of two backpressure policies when full —
+
+* ``policy="block"`` (default): :meth:`RequestQueue.put` waits until
+  space frees up (optionally bounded by ``timeout``, after which it
+  raises :class:`QueueFull`); smooths bursts at the cost of caller
+  latency.
+* ``policy="reject"``: :meth:`RequestQueue.put` raises
+  :class:`QueueFull` immediately; keeps caller latency bounded and
+  pushes retry logic to the client (see :mod:`repro.serve.retry`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.serve.request import ServeError
+from repro.util.validation import check_in_choices, check_positive_int
+
+__all__ = ["POLICIES", "QueueFull", "QueueClosed", "RequestQueue"]
+
+#: Backpressure policies for a full queue.
+POLICIES = ("block", "reject")
+
+
+class QueueFull(ServeError):
+    """The queue refused an item (reject policy, or a blocked put timed out)."""
+
+
+class QueueClosed(ServeError):
+    """The queue is closed and accepts no further items."""
+
+
+class RequestQueue:
+    """Bounded FIFO queue for :class:`repro.serve.request.SVDRequest`.
+
+    Parameters
+    ----------
+    maxsize : int
+        Capacity bound; admission beyond it triggers backpressure.
+    policy : str
+        ``"block"`` or ``"reject"`` (:data:`POLICIES`).
+    """
+
+    def __init__(self, maxsize: int = 256, policy: str = "block") -> None:
+        self.maxsize = check_positive_int(maxsize, name="maxsize")
+        self.policy = check_in_choices(policy, POLICIES, name="policy")
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def put(self, item, timeout: float | None = None) -> None:
+        """Enqueue *item*, applying the configured backpressure policy.
+
+        Raises
+        ------
+        QueueFull
+            Immediately under ``policy="reject"`` when full, or after
+            *timeout* seconds of blocking under ``policy="block"``.
+        QueueClosed
+            When the queue no longer accepts work.
+        """
+        with self._not_full:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            if len(self._items) >= self.maxsize:
+                if self.policy == "reject":
+                    raise QueueFull(
+                        f"queue full ({self.maxsize} pending), rejecting"
+                    )
+                if not self._not_full.wait_for(
+                    lambda: self._closed or len(self._items) < self.maxsize,
+                    timeout=timeout,
+                ):
+                    raise QueueFull(
+                        f"queue full ({self.maxsize} pending) after "
+                        f"blocking {timeout}s"
+                    )
+                if self._closed:
+                    raise QueueClosed("queue closed while blocked on put")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None):
+        """Dequeue the oldest item, waiting up to *timeout* seconds.
+
+        Returns ``None`` when the wait expires or the queue is closed
+        and drained — the scheduler's idle-loop signal, not an error.
+        """
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._closed or self._items, timeout=timeout
+            ):
+                return None
+            if not self._items:
+                return None  # closed and drained
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def get_nowait(self):
+        """Dequeue without waiting; ``None`` when empty."""
+        return self.get(timeout=0)
+
+    def drain(self) -> list:
+        """Remove and return every pending item (used at shutdown)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return items
+
+    def close(self) -> None:
+        """Stop accepting items and wake every blocked producer/consumer.
+
+        Pending items remain readable via :meth:`get`/:meth:`drain` so
+        shutdown can finish in-flight work.
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

@@ -1,0 +1,145 @@
+"""Typed requests for the SVD serving layer.
+
+A :class:`SVDRequest` is one decomposition a client wants: the matrix,
+the solver options, the engine to run on, and an optional deadline.
+Requests are what flows through the queue and scheduler; they carry the
+two keys the serving layer batches and caches by:
+
+* :attr:`SVDRequest.batch_key` — shape + dtype + engine + options.
+  Requests with equal batch keys are *compatible*: they can be coalesced
+  into one micro-batch and dispatched through
+  :func:`repro.core.batch.batch_svd` together.
+* :attr:`SVDRequest.cache_key` — a content digest of the matrix bytes
+  plus the batch key, so the result cache returns hits only for
+  bit-identical inputs decomposed with identical options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.hashing import digest
+from repro.util.validation import as_float_matrix, check_in_choices
+
+__all__ = ["ENGINES", "ServeError", "DeadlineExceeded", "SVDRequest", "make_request"]
+
+#: Execution engines a request may target: the pure-NumPy solvers
+#: ("core") or the cycle-modelled FPGA accelerator ("hw").
+ENGINES = ("core", "hw")
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class DeadlineExceeded(ServeError):
+    """A request's deadline passed before its result was produced."""
+
+
+@dataclass(frozen=True)
+class SVDRequest:
+    """One decomposition job flowing through the serving layer.
+
+    Attributes
+    ----------
+    request_id : str
+        Server-assigned identifier, unique within a server lifetime.
+    matrix : numpy.ndarray
+        Validated C-contiguous float64 input (via
+        :func:`repro.util.validation.as_float_matrix`).
+    options : tuple of (str, object)
+        Solver options as a sorted tuple of pairs — hashable, so it can
+        participate in the batch key.
+    engine : str
+        ``"core"`` or ``"hw"`` (:data:`ENGINES`).
+    submitted_at : float
+        Clock reading when the request entered the server.
+    deadline : float or None
+        Absolute clock time after which the result is worthless; the
+        scheduler drops expired requests and may degrade the engine
+        under deadline pressure.
+    """
+
+    request_id: str
+    matrix: np.ndarray = field(repr=False)
+    options: tuple = ()
+    engine: str = "core"
+    submitted_at: float = 0.0
+    deadline: float | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape, for grouping and reporting."""
+        return self.matrix.shape
+
+    @property
+    def batch_key(self) -> tuple:
+        """Compatibility key: requests sharing it may share a micro-batch."""
+        return (self.matrix.shape, self.matrix.dtype.str, self.engine,
+                self.options)
+
+    @property
+    def cache_key(self) -> str:
+        """Content digest keying the result cache (matrix + options + engine)."""
+        return digest(self.matrix,
+                      extra={"engine": self.engine, "options": self.options})
+
+    def expired(self, now: float) -> bool:
+        """Whether *now* is past the deadline (False when no deadline)."""
+        return self.deadline is not None and now > self.deadline
+
+    def remaining(self, now: float) -> float:
+        """Seconds until the deadline (``inf`` when no deadline)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - now
+
+
+def make_request(
+    matrix,
+    *,
+    request_id: str,
+    engine: str = "core",
+    now: float = 0.0,
+    timeout: float | None = None,
+    **options,
+) -> SVDRequest:
+    """Validate inputs and build an :class:`SVDRequest`.
+
+    Parameters
+    ----------
+    matrix : array_like
+        The input matrix; coerced to C-contiguous float64.
+    request_id : str
+        Identifier assigned by the caller (normally the server).
+    engine : str
+        ``"core"`` or ``"hw"``.
+    now : float
+        Current clock reading; stored as ``submitted_at`` and used to
+        convert *timeout* into an absolute deadline.
+    timeout : float or None
+        Relative deadline in seconds; ``None`` means no deadline.
+    **options
+        Solver options, validated eagerly by constructing a
+        :class:`repro.core.svd.HestenesJacobiSVD` so typos fail at
+        submission, not inside a worker thread.
+    """
+    from repro.core.svd import HestenesJacobiSVD
+
+    check_in_choices(engine, ENGINES, name="engine")
+    HestenesJacobiSVD(**options)  # eager option validation
+    arr = as_float_matrix(matrix, name="matrix")
+    if isinstance(matrix, np.ndarray) and np.shares_memory(arr, matrix):
+        arr = arr.copy()  # snapshot: the caller may mutate theirs after submit
+    arr.setflags(write=False)
+    deadline = None if timeout is None else now + float(timeout)
+    return SVDRequest(
+        request_id=request_id,
+        matrix=arr,
+        options=tuple(sorted(options.items())),
+        engine=engine,
+        submitted_at=now,
+        deadline=deadline,
+    )

@@ -1,0 +1,187 @@
+"""Retry with backoff and graceful engine degradation.
+
+Two resilience mechanisms for the serving layer:
+
+* :func:`retry_call` — generic deterministic retry-with-exponential-
+  backoff around any callable (clients use it around ``submit`` under
+  the reject backpressure policy; the scheduler uses it around flaky
+  dispatch).
+* :class:`EngineExecutor` — maps a request's engine name to an actual
+  batch dispatch, degrading gracefully: when the cycle-modelled ``hw``
+  engine fails, or when the modelled FPGA latency would blow a batch's
+  deadline budget, the batch falls back to the pure-NumPy ``core``
+  solver path instead of failing or timing out.  The ``hw`` engine is
+  hardware-faithful — singular values only, fixed sweep count, dataflow
+  rotations — so a degraded batch runs the request's configured core
+  options instead (and may additionally return U/Vᵀ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.batch import batch_svd
+from repro.core.result import SVDResult
+from repro.core.svd import HestenesJacobiSVD
+
+__all__ = ["RetryPolicy", "retry_call", "EngineExecutor"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential-backoff schedule.
+
+    Attributes
+    ----------
+    attempts : int
+        Total tries, including the first (>= 1).
+    backoff_s : float
+        Sleep before the second try.
+    multiplier : float
+        Backoff growth factor per further retry.
+    max_backoff_s : float
+        Upper bound on any single sleep.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def delays(self) -> list[float]:
+        """The sleeps between tries (length ``attempts - 1``)."""
+        out = []
+        delay = self.backoff_s
+        for _ in range(max(self.attempts - 1, 0)):
+            out.append(min(delay, self.max_backoff_s))
+            delay *= self.multiplier
+        return out
+
+
+def retry_call(
+    fn,
+    *args,
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: tuple = (Exception,),
+    sleep=None,
+    **kwargs,
+):
+    """Call ``fn(*args, **kwargs)``, retrying per *policy*.
+
+    Parameters
+    ----------
+    fn : callable
+        The operation to attempt.
+    policy : RetryPolicy
+        Attempt count and backoff schedule.
+    retry_on : tuple of exception types
+        Only these are retried; anything else propagates immediately.
+    sleep : callable, optional
+        Injection point for tests; defaults to :func:`time.sleep`.
+
+    Returns
+    -------
+    Whatever ``fn`` returns.  The final attempt's exception propagates
+    when every try fails.
+    """
+    if sleep is None:
+        import time
+
+        sleep = time.sleep
+    delays = policy.delays()
+    for attempt, delay in enumerate([*delays, None]):
+        try:
+            return fn(*args, **kwargs)
+        except retry_on:
+            if delay is None:
+                raise
+            sleep(delay)
+    raise AssertionError("unreachable")
+
+
+def _hw_seconds(shape: tuple[int, int]) -> float:
+    """Modelled FPGA latency for one decomposition of *shape*."""
+    from repro.hw import estimate_seconds
+
+    return estimate_seconds(shape[0], shape[1])
+
+
+class EngineExecutor:
+    """Dispatch micro-batches on a named engine with core fallback.
+
+    Parameters
+    ----------
+    workers : int
+        Thread-pool width handed to :func:`repro.core.batch.batch_svd`.
+    pool : ThreadPoolExecutor, optional
+        Long-lived pool to reuse across batches.
+    allow_degradation : bool
+        When True (default), ``hw`` batches fall back to ``core`` on
+        accelerator failure or deadline pressure; when False, failures
+        propagate.
+
+    Notes
+    -----
+    The ``hw`` engine runs each matrix through
+    :class:`repro.hw.architecture.HestenesJacobiAccelerator` and *charges*
+    the modelled FPGA cycles; its functional output is the same blocked
+    algorithm, so falling back is numerically transparent.
+    """
+
+    def __init__(self, workers: int = 4, pool=None,
+                 allow_degradation: bool = True) -> None:
+        self.workers = workers
+        self.pool = pool
+        self.allow_degradation = allow_degradation
+        self.degradations = 0
+        self._accelerator = None
+
+    def _core_dispatch(self, matrices, options: dict) -> list[SVDResult]:
+        solver = HestenesJacobiSVD(**options)
+        return batch_svd(matrices, workers=self.workers, solver=solver,
+                         pool=self.pool)
+
+    def _hw_dispatch(self, matrices, options: dict) -> list[SVDResult]:
+        from repro.hw import HestenesJacobiAccelerator
+
+        if self._accelerator is None:
+            self._accelerator = HestenesJacobiAccelerator()
+        # The accelerator is hardware-faithful: singular values only
+        # (the paper's FPGA emits Sig from the diagonal of D), so the
+        # request's compute_uv option applies only on the core path.
+        return [self._accelerator.decompose(a).result for a in matrices]
+
+    def hw_latency_estimate(self, matrices) -> float:
+        """Modelled total FPGA seconds to run *matrices* sequentially."""
+        return sum(_hw_seconds(a.shape) for a in matrices)
+
+    def dispatch(
+        self,
+        matrices,
+        options: dict,
+        engine: str = "core",
+        deadline_budget_s: float | None = None,
+    ) -> tuple[list[SVDResult], str]:
+        """Run a compatible batch; returns ``(results, engine_used)``.
+
+        A ``hw`` batch degrades to ``core`` (when allowed) if the
+        modelled accelerator latency exceeds *deadline_budget_s* — the
+        tightest remaining deadline in the batch — or if the
+        accelerator raises.
+        """
+        if engine == "core":
+            return self._core_dispatch(matrices, options), "core"
+        if (
+            self.allow_degradation
+            and deadline_budget_s is not None
+            and self.hw_latency_estimate(matrices) > deadline_budget_s
+        ):
+            self.degradations += 1
+            return self._core_dispatch(matrices, options), "core"
+        try:
+            return self._hw_dispatch(matrices, options), "hw"
+        except Exception:
+            if not self.allow_degradation:
+                raise
+            self.degradations += 1
+            return self._core_dispatch(matrices, options), "core"

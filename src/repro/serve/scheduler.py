@@ -1,0 +1,146 @@
+"""Micro-batching scheduler policy for the serving layer.
+
+The paper's accelerator (and its GPU/MKL comparators) amortise control
+overhead across many decompositions; host-side, the same economics
+apply to thread-pool dispatch.  :class:`MicroBatcher` implements the
+batching *policy* as a pure, clock-free object so it can be tested
+deterministically with a fake clock:
+
+* requests are grouped by :attr:`~repro.serve.request.SVDRequest.batch_key`
+  (shape + dtype + engine + options) — only compatible requests share a
+  micro-batch;
+* a group flushes as soon as it reaches ``max_batch`` requests
+  (throughput bound), or once its oldest member has waited
+  ``max_wait_s`` (latency bound, so sparse traffic is not starved);
+* :meth:`MicroBatcher.flush_all` empties every group at shutdown.
+
+The *mechanism* — the thread that moves requests from the queue through
+this policy into :class:`repro.serve.retry.EngineExecutor` — lives in
+:mod:`repro.serve.server`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.request import SVDRequest
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = ["BatchConfig", "Batch", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Tunables of the micro-batching policy.
+
+    Attributes
+    ----------
+    max_batch : int
+        Largest micro-batch the scheduler will coalesce.
+    max_wait_s : float
+        Latency bound: a request is dispatched no later than this long
+        after entering the batcher, full batch or not.
+    workers : int
+        Thread-pool width used to execute each batch.
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+    workers: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_batch, name="max_batch")
+        check_positive_float(self.max_wait_s, name="max_wait_s")
+        check_positive_int(self.workers, name="workers")
+
+
+@dataclass
+class Batch:
+    """A flushed group of compatible requests, ready for dispatch."""
+
+    key: tuple
+    requests: list[SVDRequest]
+    created_at: float
+    flushed_at: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def matrices(self) -> list:
+        """The request matrices, dispatch order."""
+        return [r.matrix for r in self.requests]
+
+    @property
+    def engine(self) -> str:
+        """Engine shared by every member (part of the batch key)."""
+        return self.requests[0].engine
+
+    @property
+    def options(self) -> dict:
+        """Solver options shared by every member, as a dict."""
+        return dict(self.requests[0].options)
+
+    def deadline_budget(self, now: float) -> float | None:
+        """Tightest remaining deadline across members (None when none)."""
+        remaining = [r.remaining(now) for r in self.requests
+                     if r.deadline is not None]
+        return min(remaining) if remaining else None
+
+
+class MicroBatcher:
+    """Pure batching policy: group compatible requests, bound the wait.
+
+    Drive it with :meth:`add` and :meth:`poll`, passing explicit ``now``
+    readings — the object never consults a real clock, which is what
+    makes its behaviour reproducible under test.
+    """
+
+    def __init__(self, config: BatchConfig | None = None) -> None:
+        self.config = config or BatchConfig()
+        #: batch_key -> (oldest_arrival, [requests])
+        self._groups: dict[tuple, tuple[float, list[SVDRequest]]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(reqs) for _, reqs in self._groups.values())
+
+    @property
+    def pending_groups(self) -> int:
+        """Number of distinct batch keys currently held."""
+        return len(self._groups)
+
+    def add(self, request: SVDRequest, now: float) -> Batch | None:
+        """Admit *request*; returns a full batch if this filled one."""
+        key = request.batch_key
+        arrived, reqs = self._groups.get(key, (now, []))
+        reqs.append(request)
+        self._groups[key] = (arrived, reqs)
+        if len(reqs) >= self.config.max_batch:
+            return self._flush(key, now)
+        return None
+
+    def poll(self, now: float) -> list[Batch]:
+        """Flush every group whose oldest member has waited max_wait_s."""
+        due = [key for key, (arrived, _) in self._groups.items()
+               if now - arrived >= self.config.max_wait_s]
+        return [self._flush(key, now) for key in due]
+
+    def next_deadline(self) -> float | None:
+        """Clock time of the earliest pending max-wait expiry.
+
+        The dispatch loop sleeps at most until this instant; ``None``
+        when nothing is pending.
+        """
+        if not self._groups:
+            return None
+        oldest = min(arrived for arrived, _ in self._groups.values())
+        return oldest + self.config.max_wait_s
+
+    def flush_all(self, now: float) -> list[Batch]:
+        """Empty every group immediately (shutdown drain)."""
+        return [self._flush(key, now) for key in list(self._groups)]
+
+    def _flush(self, key: tuple, now: float) -> Batch:
+        arrived, reqs = self._groups.pop(key)
+        return Batch(key=key, requests=reqs, created_at=arrived,
+                     flushed_at=now)

@@ -1,0 +1,328 @@
+"""The SVD server: queue + micro-batcher + worker pool + cache + metrics.
+
+:class:`SVDServer` is the long-lived façade that turns the repository's
+solvers into a service.  One background dispatch thread moves requests
+from the bounded :class:`~repro.serve.queue.RequestQueue` through the
+:class:`~repro.serve.scheduler.MicroBatcher` policy into a persistent
+worker pool (via :func:`repro.core.batch.batch_svd`), consults the
+:class:`~repro.serve.cache.ResultCache` before computing, and records
+every serving metric along the way.
+
+Results are bit-identical to calling :func:`repro.core.svd.hestenes_svd`
+directly with the same options: batching only changes *when* a request
+runs, never *how* — each matrix is still decomposed independently.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.serve import SVDServer
+>>> with SVDServer(max_wait_s=0.001) as srv:
+...     handle = srv.submit(np.eye(3) * 2.0, compute_uv=False)
+...     response = handle.result(timeout=30.0)
+>>> response.status
+'ok'
+>>> [float(v) for v in response.result.s]
+[2.0, 2.0, 2.0]
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.queue import POLICIES, RequestQueue
+from repro.serve.request import ServeError, SVDRequest, make_request
+from repro.serve.result import SVDResponse
+from repro.serve.retry import EngineExecutor
+from repro.serve.scheduler import Batch, BatchConfig, MicroBatcher
+
+__all__ = ["ServerClosed", "ResponseHandle", "SVDServer"]
+
+#: Idle poll granularity of the dispatch loop when no flush is pending.
+_IDLE_WAIT_S = 0.01
+
+
+class ServerClosed(ServeError):
+    """Submission attempted on a closed server."""
+
+
+class ResponseHandle:
+    """Future-like handle for one submitted request."""
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: SVDResponse | None = None
+
+    def done(self) -> bool:
+        """Whether the response is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SVDResponse:
+        """Block until the response arrives (raises on *timeout* expiry)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id}: no response within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _fulfil(self, response: SVDResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+class SVDServer:
+    """Long-lived micro-batching SVD service over the repo's solvers.
+
+    Parameters
+    ----------
+    max_batch, max_wait_s, workers
+        Micro-batching policy (:class:`repro.serve.scheduler.BatchConfig`).
+    queue_size, backpressure
+        Admission control (:class:`repro.serve.queue.RequestQueue`):
+        ``backpressure="block"`` stalls producers when full,
+        ``"reject"`` raises :class:`repro.serve.queue.QueueFull`.
+    cache_bytes : int or None
+        Result-cache budget; ``None`` disables caching.
+    default_engine : str
+        Engine used when a request does not choose: ``"core"`` or ``"hw"``.
+    clock : callable
+        Monotonic time source (injectable for tests).
+    **default_options
+        Solver options applied to every request unless overridden at
+        :meth:`submit` (method, max_sweeps, tol, compute_uv, ...).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 8,
+        max_wait_s: float = 0.002,
+        workers: int = 4,
+        queue_size: int = 1024,
+        backpressure: str = "block",
+        cache_bytes: int | None = 64 * 1024 * 1024,
+        default_engine: str = "core",
+        clock=time.monotonic,
+        **default_options,
+    ) -> None:
+        self.config = BatchConfig(max_batch=max_batch, max_wait_s=max_wait_s,
+                                  workers=workers)
+        self.queue = RequestQueue(maxsize=queue_size, policy=backpressure)
+        self.cache = ResultCache(cache_bytes) if cache_bytes else None
+        self.metrics = MetricsRegistry()
+        self.default_engine = default_engine
+        self.default_options = default_options
+        self._clock = clock
+        self._ids = itertools.count()
+        self._batcher = MicroBatcher(self.config)
+        self._executor = EngineExecutor(workers=workers)
+        self._pending: dict[str, ResponseHandle] = {}
+        self._pending_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self.start()
+
+    # ---- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatch thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._closed = False
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="svd-serve-dispatch",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def close(self) -> None:
+        """Stop accepting work, drain in-flight requests, join the thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+            self._thread = None
+
+    def __enter__(self) -> "SVDServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---- submission -----------------------------------------------------
+
+    def submit(self, matrix, *, engine: str | None = None,
+               timeout: float | None = None, **options) -> ResponseHandle:
+        """Submit one decomposition; returns a :class:`ResponseHandle`.
+
+        Cache hits complete synchronously (the handle is already done);
+        misses are enqueued for micro-batched dispatch.  *timeout* sets
+        the request deadline; expired requests resolve with status
+        ``"timeout"``.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        now = self._clock()
+        merged = {**self.default_options, **options}
+        request = make_request(
+            matrix,
+            request_id=f"req-{next(self._ids)}",
+            engine=engine or self.default_engine,
+            now=now,
+            timeout=timeout,
+            **merged,
+        )
+        handle = ResponseHandle(request.request_id)
+        if self.cache is not None:
+            cached = self.cache.get(request.cache_key)
+            if cached is not None:
+                self.metrics.counter("cache_hits").inc()
+                handle._fulfil(SVDResponse(
+                    request_id=request.request_id, status="ok", result=cached,
+                    engine=request.engine, cache_hit=True,
+                    total_s=self._clock() - now,
+                ))
+                self.metrics.counter("requests_completed").inc()
+                return handle
+            self.metrics.counter("cache_misses").inc()
+        with self._pending_lock:
+            self._pending[request.request_id] = handle
+        try:
+            self.queue.put(request)
+        except ServeError as exc:
+            with self._pending_lock:
+                self._pending.pop(request.request_id, None)
+            self.metrics.counter("requests_rejected").inc()
+            handle._fulfil(SVDResponse(
+                request_id=request.request_id, status="rejected",
+                error=str(exc), engine=request.engine,
+            ))
+            raise
+        self.metrics.counter("requests_submitted").inc()
+        self.metrics.gauge("queue_depth").set(len(self.queue))
+        return handle
+
+    def submit_many(self, matrices, **kwargs) -> list[ResponseHandle]:
+        """Submit a sequence of matrices; returns handles in input order."""
+        return [self.submit(a, **kwargs) for a in matrices]
+
+    def result(self, handle: ResponseHandle | str,
+               timeout: float | None = None) -> SVDResponse:
+        """Wait for a response, by handle or by request id."""
+        if isinstance(handle, str):
+            with self._pending_lock:
+                found = self._pending.get(handle)
+            if found is None:
+                raise KeyError(f"unknown or already-collected request {handle!r}")
+            handle = found
+        return handle.result(timeout)
+
+    # ---- observability --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot of metrics, cache accounting, and queue state."""
+        snap = self.metrics.snapshot()
+        snap["queue"] = {"depth": len(self.queue),
+                         "maxsize": self.queue.maxsize,
+                         "policy": self.queue.policy}
+        snap["cache"] = self.cache.snapshot() if self.cache else None
+        snap["degradations"] = self._executor.degradations
+        return snap
+
+    def render_stats(self) -> str:
+        """Human-readable metrics report."""
+        return self.metrics.render_text()
+
+    # ---- dispatch loop --------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            closing = self.queue.closed
+            deadline = self._batcher.next_deadline()
+            if deadline is None:
+                wait = None if closing else _IDLE_WAIT_S
+            else:
+                wait = max(0.0, deadline - self._clock())
+            request = self.queue.get(timeout=0.0 if closing else wait)
+            now = self._clock()
+            self.metrics.gauge("queue_depth").set(len(self.queue))
+            if request is not None:
+                full = self._batcher.add(request, now)
+                if full is not None:
+                    self._run_batch(full)
+            for batch in self._batcher.poll(self._clock()):
+                self._run_batch(batch)
+            if closing and request is None:
+                for batch in self._batcher.flush_all(self._clock()):
+                    self._run_batch(batch)
+                return
+
+    def _run_batch(self, batch: Batch) -> None:
+        now = self._clock()
+        live: list[SVDRequest] = []
+        for req in batch.requests:
+            if req.expired(now):
+                self.metrics.counter("requests_timeout").inc()
+                self._respond(req, SVDResponse(
+                    request_id=req.request_id, status="timeout",
+                    error=f"deadline passed before dispatch "
+                          f"(waited {now - req.submitted_at:.4f}s)",
+                    engine=req.engine, queued_s=now - req.submitted_at,
+                    total_s=now - req.submitted_at,
+                ))
+            else:
+                live.append(req)
+        if not live:
+            return
+        self.metrics.counter("batches_dispatched").inc()
+        self.metrics.histogram("batch_size").observe(len(live))
+        if len(live) > 1:
+            self.metrics.counter("coalesced_requests").inc(len(live) - 1)
+        budget = Batch(batch.key, live, batch.created_at,
+                       batch.flushed_at).deadline_budget(now)
+        started = self._clock()
+        try:
+            results, engine_used = self._executor.dispatch(
+                [r.matrix for r in live], dict(live[0].options),
+                engine=live[0].engine, deadline_budget_s=budget,
+            )
+        except Exception as exc:
+            finished = self._clock()
+            for req in live:
+                self.metrics.counter("requests_failed").inc()
+                self._respond(req, SVDResponse(
+                    request_id=req.request_id, status="error", error=str(exc),
+                    engine=req.engine, batch_size=len(live),
+                    queued_s=started - req.submitted_at,
+                    service_s=finished - started,
+                    total_s=finished - req.submitted_at,
+                ))
+            return
+        finished = self._clock()
+        self.metrics.counter(f"engine_{engine_used}_requests").inc(len(live))
+        for req, res in zip(live, results):
+            if self.cache is not None:
+                self.cache.put(req.cache_key, res)
+            self.metrics.counter("requests_completed").inc()
+            self.metrics.histogram("latency_s").observe(
+                finished - req.submitted_at)
+            self._respond(req, SVDResponse(
+                request_id=req.request_id, status="ok", result=res,
+                engine=engine_used, batch_size=len(live),
+                queued_s=started - req.submitted_at,
+                service_s=finished - started,
+                total_s=finished - req.submitted_at,
+            ))
+
+    def _respond(self, request: SVDRequest, response: SVDResponse) -> None:
+        with self._pending_lock:
+            handle = self._pending.pop(request.request_id, None)
+        if handle is not None:
+            handle._fulfil(response)

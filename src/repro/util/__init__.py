@@ -4,6 +4,7 @@ These helpers are deliberately small and dependency-free (NumPy only) so
 that every other subpackage can use them without import cycles.
 """
 
+from repro.util.hashing import digest
 from repro.util.numerics import (
     frobenius_off_diagonal,
     mean_abs_off_diagonal,
@@ -25,6 +26,7 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "default_rng",
+    "digest",
     "frobenius_off_diagonal",
     "mean_abs_off_diagonal",
     "relative_residual",

@@ -1,0 +1,83 @@
+"""Content digests for arrays and option mappings.
+
+The serving layer's result cache (:mod:`repro.serve.cache`) needs a
+stable key for "this exact matrix decomposed with these exact options".
+:func:`digest` provides it: a hex digest over the array's dtype, shape,
+and raw bytes plus a canonical encoding of any extra options.  Two
+arrays collide only if they are bit-identical *and* logically identical
+(dtype and shape are part of the digest, so a float32 copy or a
+transposed view of the same buffer hashes differently), and layout is
+normalised first, so non-contiguous views hash the same as their
+contiguous copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["digest"]
+
+
+def _canonical(value) -> str:
+    """Deterministic, order-insensitive text encoding of option values."""
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_canonical(k)}:{_canonical(v)}" for k, v in sorted(value.items())
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; format 1.0 and 1 distinctly.
+        return f"f{value!r}"
+    if isinstance(value, bool):
+        return f"b{value}"
+    if value is None:
+        return "~"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def digest(a, *, extra=None, length: int = 16) -> str:
+    """Hex content digest of an array plus optional extra context.
+
+    Parameters
+    ----------
+    a : array_like
+        The array to fingerprint.  Non-contiguous (sliced, transposed,
+        Fortran-ordered) inputs are normalised to C order first, so the
+        digest depends only on logical content, not memory layout.
+    extra : dict, list, tuple, scalar, or None
+        Additional context folded into the digest — e.g. solver options.
+        Dicts are encoded with sorted keys, so insertion order is
+        irrelevant.
+    length : int
+        Digest size in bytes (the hex string is twice this long).
+
+    Returns
+    -------
+    str
+        Hex digest of ``2 * length`` characters.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> a = np.arange(6.0).reshape(2, 3)
+    >>> digest(a) == digest(a.copy())
+    True
+    >>> digest(a) == digest(a.T)
+    False
+    >>> digest(a) == digest(a, extra={"method": "blocked"})
+    False
+    """
+    arr = np.asarray(a)
+    canon = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=length)
+    h.update(canon.dtype.str.encode())
+    h.update(repr(canon.shape).encode())
+    h.update(canon.tobytes())
+    if extra is not None:
+        h.update(b"|")
+        h.update(_canonical(extra).encode())
+    return h.hexdigest()

@@ -48,3 +48,50 @@ class TestBatchSvd:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             batch_svd([np.eye(2)], workers=0)
+
+    def test_workers_capped_at_batch_size(self, rng, monkeypatch):
+        """workers > len(matrices) must not spawn idle threads."""
+        import repro.core.batch as batch_mod
+
+        seen = {}
+        real_pool = batch_mod.ThreadPoolExecutor
+
+        class SpyPool(real_pool):
+            def __init__(self, max_workers=None, **kwargs):
+                seen["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(batch_mod, "ThreadPoolExecutor", SpyPool)
+        batch_svd([random_matrix(rng, 6, 3) for _ in range(2)], workers=16)
+        assert seen["max_workers"] == 2
+
+    def test_failure_names_matrix_index(self, rng):
+        """The first worker failure carries the failing index and chains
+        the original exception."""
+        good = random_matrix(rng, 4, 3)
+        bad = np.full((4, 3), np.nan)
+        with pytest.raises(ValueError, match=r"matrix 2 \(shape \(4, 3\)\)"):
+            batch_svd([good, good, bad, good], workers=2)
+        try:
+            batch_svd([good, bad])
+        except ValueError as exc:
+            assert exc.__cause__ is not None
+            assert "non-finite" in str(exc.__cause__)
+
+    def test_failure_index_reported_serially_too(self, rng):
+        with pytest.raises(ValueError, match="matrix 1"):
+            batch_svd([random_matrix(rng, 3, 2), np.full((3, 2), np.inf)])
+
+    def test_external_pool_reused_and_left_open(self, rng):
+        from concurrent.futures import ThreadPoolExecutor
+
+        mats = [random_matrix(rng, 8, 4) for _ in range(5)]
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            first = batch_svd(mats, pool=pool)
+            second = batch_svd(mats, pool=pool)  # pool must still be usable
+            assert pool.submit(lambda: 42).result() == 42
+        serial = batch_svd(mats)
+        for r_pool, r_serial in zip(first, serial):
+            assert np.array_equal(r_pool.s, r_serial.s)
+        for r1, r2 in zip(first, second):
+            assert np.array_equal(r1.s, r2.s)

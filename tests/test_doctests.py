@@ -16,6 +16,9 @@ MODULES = [
     "repro.core.svd",
     "repro.core.ordering",
     "repro.core.batch",
+    "repro.serve",
+    "repro.serve.server",
+    "repro.util.hashing",
     "repro.apps.pca",
     "repro.apps.lsi",
     "repro.apps.incremental",

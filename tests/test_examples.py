@@ -30,6 +30,9 @@ EXPECTED = {
                          "pipelined"],
     "pattern_recognition.py": ["test accuracy", "confusion matrix",
                                "residual margin"],
+    "serving_pipeline.py": ["serving pipeline demo", "micro-batches dispatched",
+                            "cache hit rate",
+                            "bit-identical to direct hestenes_svd: True"],
 }
 
 

@@ -1,0 +1,87 @@
+"""Tests for the content-digest helper behind the serving cache."""
+
+import numpy as np
+import pytest
+
+from repro.util import digest
+
+
+class TestContentSensitivity:
+    def test_identical_copies_collide(self, rng):
+        a = rng.standard_normal((6, 4))
+        assert digest(a) == digest(a.copy())
+
+    def test_single_bit_flip_changes_digest(self, rng):
+        a = rng.standard_normal((6, 4))
+        b = a.copy()
+        b[3, 2] = np.nextafter(b[3, 2], np.inf)
+        assert digest(a) != digest(b)
+
+    def test_dtype_is_part_of_the_key(self):
+        a64 = np.arange(12, dtype=np.float64).reshape(3, 4)
+        a32 = a64.astype(np.float32)
+        aint = a64.astype(np.int64)
+        assert digest(a64) != digest(a32)
+        assert digest(a64) != digest(aint)
+
+    def test_shape_is_part_of_the_key(self):
+        flat = np.arange(12.0)
+        assert digest(flat.reshape(3, 4)) != digest(flat.reshape(4, 3))
+        assert digest(flat.reshape(3, 4)) != digest(flat.reshape(2, 6))
+        assert digest(flat) != digest(flat.reshape(1, 12))
+
+
+class TestLayoutInsensitivity:
+    def test_non_contiguous_view_matches_contiguous_copy(self, rng):
+        a = rng.standard_normal((10, 10))
+        view = a[::2, ::3]
+        assert not view.flags["C_CONTIGUOUS"]
+        assert digest(view) == digest(np.ascontiguousarray(view))
+
+    def test_fortran_order_matches_c_order(self, rng):
+        a = rng.standard_normal((5, 7))
+        f = np.asfortranarray(a)
+        assert not f.flags["C_CONTIGUOUS"]
+        assert digest(f) == digest(a)
+
+    def test_transpose_view_hashes_as_its_logical_content(self, rng):
+        a = rng.standard_normal((4, 6))
+        # a.T is a view over the same buffer but a different matrix.
+        assert digest(a.T) != digest(a)
+        assert digest(a.T) == digest(np.ascontiguousarray(a.T))
+
+
+class TestExtraContext:
+    def test_extra_changes_digest(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert digest(a) != digest(a, extra={"method": "blocked"})
+        assert (digest(a, extra={"method": "blocked"})
+                != digest(a, extra={"method": "modified"}))
+
+    def test_dict_key_order_is_irrelevant(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert (digest(a, extra={"x": 1, "y": 2})
+                == digest(a, extra={"y": 2, "x": 1}))
+
+    def test_scalar_types_are_distinguished(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert digest(a, extra=1) != digest(a, extra=1.0)
+        assert digest(a, extra=True) != digest(a, extra=1)
+        assert digest(a, extra=None) != digest(a, extra="None")
+
+    def test_nested_structures_supported(self, rng):
+        a = rng.standard_normal((3, 3))
+        e1 = {"opts": [("max_sweeps", 6), ("tol", None)]}
+        e2 = {"opts": [("max_sweeps", 6), ("tol", 0.0)]}
+        assert digest(a, extra=e1) != digest(a, extra=e2)
+
+
+class TestOutputFormat:
+    def test_length_parameter(self, rng):
+        a = rng.standard_normal((2, 2))
+        assert len(digest(a)) == 32
+        assert len(digest(a, length=8)) == 16
+
+    def test_digest_is_stable_across_calls(self):
+        a = np.eye(3)
+        assert digest(a) == digest(a)
