@@ -1,12 +1,19 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test bench bench-full serve-bench eval examples apidoc all
+.PHONY: install test test-all test-engines bench bench-full serve-bench \
+	vectorized-bench eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+test-all:
+	pytest tests/ --runslow
+
+test-engines:
+	pytest tests/core/test_engine_invariants.py tests/core/test_differential.py --runslow
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -16,6 +23,9 @@ bench-full:
 
 serve-bench:
 	python benchmarks/bench_serve.py --quick
+
+vectorized-bench:
+	python benchmarks/bench_vectorized.py --quick
 
 eval:
 	python -m repro eval

@@ -54,6 +54,7 @@ def _cmd_decompose(args) -> int:
         compute_uv=not args.values_only,
         max_sweeps=args.max_sweeps,
         tol=args.tol,
+        block_rounds=args.block_rounds,
     )
     print(f"shape: {a.shape[0]} x {a.shape[1]}  method: {res.method}  "
           f"sweeps: {res.sweeps}")
@@ -295,6 +296,7 @@ def _cmd_serve_demo(args) -> int:
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
         workers=args.workers,
+        default_engine=args.engine,
         compute_uv=not args.values_only,
     ) as srv:
         first = [h.result(timeout=300.0) for h in srv.submit_many(unique)]
@@ -307,7 +309,9 @@ def _cmd_serve_demo(args) -> int:
     if bad:
         print(f"{len(bad)} request(s) failed; first: {bad[0].error}")
         return 1
-    check = hestenes_svd(unique[0], compute_uv=not args.values_only)
+    check_method = {"method": "vectorized"} if args.engine == "vectorized" else {}
+    check = hestenes_svd(unique[0], compute_uv=not args.values_only,
+                         **check_method)
     identical = bool(np.array_equal(responses[0].result.s, check.s))
     lat = stats["histograms"]["latency_s"]
     bat = stats["histograms"]["batch_size"]
@@ -322,6 +326,7 @@ def _cmd_serve_demo(args) -> int:
     print(f"  cache     : {cache['hits']} hits / {cache['lookups']} lookups "
           f"(hit rate {cache['hit_rate']:.1%})")
     print(f"  engines   : core={stats['counters'].get('engine_core_requests', 0)} "
+          f"vectorized={stats['counters'].get('engine_vectorized_requests', 0)} "
           f"hw={stats['counters'].get('engine_hw_requests', 0)} "
           f"degradations={stats['degradations']}")
     print(f"  verification: served result bit-identical to direct solver: "
@@ -343,7 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="generate a random M x N matrix instead")
     d.add_argument("--seed", type=int, default=0)
     d.add_argument("--method", default="blocked",
-                   choices=("blocked", "modified", "reference"))
+                   choices=("blocked", "modified", "reference", "vectorized",
+                            "preconditioned"))
+    d.add_argument("--block-rounds", type=int, default=1,
+                   help="round-fusion width (method=vectorized only)")
     d.add_argument("--values-only", action="store_true")
     d.add_argument("--max-sweeps", type=int, default=10)
     d.add_argument("--tol", type=float, default=None)
@@ -409,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
     sd.add_argument("--workers", type=int, default=4)
     sd.add_argument("--max-batch", type=int, default=8)
     sd.add_argument("--max-wait-ms", type=float, default=2.0)
+    sd.add_argument("--engine", default="core",
+                    choices=("core", "vectorized"),
+                    help="default serving engine for the trace")
     sd.add_argument("--values-only", action="store_true")
     sd.set_defaults(func=_cmd_serve_demo)
     return p

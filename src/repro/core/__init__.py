@@ -14,13 +14,14 @@ from repro.core.batch import batch_svd
 from repro.core.block_jacobi import block_jacobi_svd
 from repro.core.blocked import blocked_svd
 from repro.core.convergence import ConvergenceCriterion, ConvergenceTrace, measure
-from repro.core.hestenes import FlopCounter, reference_svd
+from repro.core.hestenes import FlopCounter, finalize_columns, reference_svd
 from repro.core.modified import gram_matrix, modified_svd
 from repro.core.preconditioned import householder_qr, preconditioned_svd
 from repro.core.symeig import jacobi_eigh
 from repro.core.ordering import (
     all_pairs,
     cyclic_sweep,
+    fuse_rounds,
     group_pairs,
     make_sweep,
     random_sweep,
@@ -31,11 +32,13 @@ from repro.core.rotation import (
     RotationParams,
     apply_rotation_columns,
     apply_rotation_gram,
+    apply_round_columns,
     dataflow_rotation,
     textbook_rotation,
     two_sided_angles,
 )
 from repro.core.svd import METHODS, HestenesJacobiSVD, hestenes_svd
+from repro.core.vectorized import pair_dots, round_plan, vectorized_svd
 
 __all__ = [
     "METHODS",
@@ -48,15 +51,19 @@ __all__ = [
     "all_pairs",
     "apply_rotation_columns",
     "apply_rotation_gram",
+    "apply_round_columns",
     "batch_svd",
     "block_jacobi_svd",
     "blocked_svd",
     "cyclic_sweep",
+    "finalize_columns",
+    "fuse_rounds",
     "jacobi_eigh",
     "dataflow_rotation",
     "gram_matrix",
     "group_pairs",
     "hestenes_svd",
+    "pair_dots",
     "householder_qr",
     "preconditioned_svd",
     "make_sweep",
@@ -64,7 +71,9 @@ __all__ = [
     "modified_svd",
     "random_sweep",
     "reference_svd",
+    "round_plan",
     "row_cyclic_sweep",
     "textbook_rotation",
     "two_sided_angles",
+    "vectorized_svd",
 ]

@@ -26,6 +26,7 @@ from repro.core.hestenes import _complete_orthonormal
 from repro.core.modified import TRACK_COLUMN_MODES, gram_matrix
 from repro.core.ordering import cyclic_sweep
 from repro.core.result import SVDResult
+from repro.core.rotation import apply_round_columns
 from repro.util.numerics import sort_svd
 from repro.util.validation import as_float_matrix, check_in_choices
 
@@ -128,20 +129,6 @@ def apply_round_gram(
     d[idx_j, idx_i] = 0.0
 
 
-def _apply_round_columns(
-    mat: np.ndarray,
-    idx_i: np.ndarray,
-    idx_j: np.ndarray,
-    c: np.ndarray,
-    s: np.ndarray,
-) -> None:
-    """Rotate disjoint column pairs of *mat* in one vectorized shot."""
-    cols_i = mat[:, idx_i].copy()
-    cols_j = mat[:, idx_j]
-    mat[:, idx_i] = cols_i * c - cols_j * s
-    mat[:, idx_j] = cols_i * s + cols_j * c
-
-
 def blocked_svd(
     a,
     *,
@@ -199,9 +186,9 @@ def blocked_svd(
                 continue
             apply_round_gram(d, idx_i, idx_j, c, s, t, cov)
             if update_cols:
-                _apply_round_columns(b, idx_i, idx_j, c, s)
+                apply_round_columns(b, idx_i, idx_j, c, s)
             if v is not None:
-                _apply_round_columns(v, idx_i, idx_j, c, s)
+                apply_round_columns(v, idx_i, idx_j, c, s)
         sweeps_done = sweep
         value = measure(d, criterion.metric)
         trace.record(sweep, value, rotations, skipped)

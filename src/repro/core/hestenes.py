@@ -28,7 +28,7 @@ from repro.core.rotation import apply_rotation_columns, textbook_rotation
 from repro.util.numerics import sort_svd
 from repro.util.validation import as_float_matrix
 
-__all__ = ["reference_svd", "FlopCounter"]
+__all__ = ["reference_svd", "FlopCounter", "finalize_columns"]
 
 
 class FlopCounter:
@@ -47,12 +47,25 @@ class FlopCounter:
 
     def add_pair(self, m: int) -> None:
         """Record the norm/covariance recomputation for one pair."""
-        self.dot_products += 3
-        self.dot_flops += 6 * m
+        self.add_pairs(m, 1)
 
     def add_update(self, m: int) -> None:
         """Record one column-pair rotation update (eq. 11-12)."""
-        self.update_flops += 6 * m
+        self.add_updates(m, 1)
+
+    def add_pairs(self, m: int, count: int) -> None:
+        """Record *count* pairs' norm/covariance recomputations at once.
+
+        The round-parallel engine examines a whole round of disjoint
+        pairs per batched pass; charging them through this method keeps
+        its totals identical to the scalar loop's pair-at-a-time tally.
+        """
+        self.dot_products += 3 * count
+        self.dot_flops += 6 * m * count
+
+    def add_updates(self, m: int, count: int) -> None:
+        """Record *count* column-pair rotation updates at once."""
+        self.update_flops += 6 * m * count
 
     @property
     def total_flops(self) -> int:
@@ -142,26 +155,7 @@ def reference_svd(
             break
     trace.converged = converged
 
-    # Singular values are the column norms of the orthogonalized B.
-    norms = np.linalg.norm(b, axis=0)
-    k = min(m, n)
-    if compute_uv:
-        u_full = np.zeros_like(b)
-        s_max = float(np.max(norms)) if norms.size else 0.0
-        cutoff = s_max * max(m, n) * np.finfo(np.float64).eps
-        nonzero = norms > cutoff
-        u_full[:, nonzero] = b[:, nonzero] / norms[nonzero]
-        u, s, vt = sort_svd(u_full, norms, v.T)
-        u, s, vt = u[:, :k], s[:k], vt[:k, :]
-        # Columns of U belonging to (numerically) zero singular values
-        # are completed to an orthonormal set so UᵀU = I always holds.
-        zero_cols = np.linalg.norm(u, axis=0) < 0.5
-        if np.any(zero_cols):
-            u = _complete_orthonormal(u, zero_cols)
-    else:
-        _, s, _ = sort_svd(None, norms, None)
-        s = s[:k]
-        u = vt = None
+    s, u, vt = finalize_columns(b, v, compute_uv=compute_uv)
 
     return SVDResult(
         s=s,
@@ -172,6 +166,38 @@ def reference_svd(
         method="reference",
         converged=converged,
     )
+
+
+def finalize_columns(
+    b: np.ndarray, v: np.ndarray | None, *, compute_uv: bool
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+    """Extract ``(s, u, vt)`` from orthogonalized columns ``B = A V``.
+
+    Singular values are the column norms of *b*; left vectors are the
+    normalized non-negligible columns, with the zero-singular-value
+    columns completed to an orthonormal basis so ``UᵀU = I`` always
+    holds.  Shared by every column-space engine (reference and
+    vectorized) so their finalization is bit-identical.
+    """
+    m, n = b.shape
+    norms = np.linalg.norm(b, axis=0)
+    k = min(m, n)
+    if not compute_uv:
+        _, s, _ = sort_svd(None, norms, None)
+        return s[:k], None, None
+    u_full = np.zeros_like(b)
+    s_max = float(np.max(norms)) if norms.size else 0.0
+    cutoff = s_max * max(m, n) * np.finfo(np.float64).eps
+    nonzero = norms > cutoff
+    u_full[:, nonzero] = b[:, nonzero] / norms[nonzero]
+    u, s, vt = sort_svd(u_full, norms, v.T)
+    u, s, vt = u[:, :k], s[:k], vt[:k, :]
+    # Columns of U belonging to (numerically) zero singular values are
+    # completed to an orthonormal set so UᵀU = I always holds.
+    zero_cols = np.linalg.norm(u, axis=0) < 0.5
+    if np.any(zero_cols):
+        u = _complete_orthonormal(u, zero_cols)
+    return s, u, vt
 
 
 def _complete_orthonormal(u: np.ndarray, zero_cols: np.ndarray) -> np.ndarray:

@@ -31,6 +31,7 @@ __all__ = [
     "random_sweep",
     "make_sweep",
     "group_pairs",
+    "fuse_rounds",
     "all_pairs",
     "ORDERINGS",
 ]
@@ -110,6 +111,48 @@ def make_sweep(n: int, ordering: str = "cyclic", seed=None):
     if ordering == "random":
         return random_sweep(n, seed)
     raise ValueError(f"ordering must be one of {ORDERINGS}, got {ordering!r}")
+
+
+def fuse_rounds(
+    rounds: list[list[tuple[int, int]]], block_rounds: int = 1
+) -> list[list[tuple[int, int]]]:
+    """Greedily merge consecutive rounds whose pairs stay index-disjoint.
+
+    At most *block_rounds* consecutive rounds are fused into one
+    super-round, and a fusion stops early as soon as the next round
+    would reuse an index already rotated in the current super-round —
+    so every fused round remains a set of independent plane rotations
+    that one batched gather/scatter update can apply.
+
+    The cyclic ordering already packs all n (or n-1) indices into every
+    round, so nothing fuses there; the sequential orderings ("row",
+    "random") emit one pair per round, and fusing recovers round-level
+    parallelism for them.  Pair order and coverage are preserved:
+    concatenating the output rounds yields exactly the input pairs.
+
+    Examples
+    --------
+    >>> fuse_rounds([[(0, 1)], [(2, 3)], [(0, 2)]], block_rounds=2)
+    [[(0, 1), (2, 3)], [(0, 2)]]
+    """
+    block_rounds = check_positive_int(block_rounds, name="block_rounds")
+    if block_rounds == 1:
+        return [list(rnd) for rnd in rounds]
+    fused: list[list[tuple[int, int]]] = []
+    current: list[tuple[int, int]] = []
+    used: set[int] = set()
+    merged = 0
+    for rnd in rounds:
+        indices = {idx for pair in rnd for idx in pair}
+        if current and (merged >= block_rounds or used & indices):
+            fused.append(current)
+            current, used, merged = [], set(), 0
+        current.extend(rnd)
+        used |= indices
+        merged += 1
+    if current:
+        fused.append(current)
+    return fused
 
 
 def group_pairs(

@@ -40,6 +40,7 @@ __all__ = [
     "dataflow_rotation",
     "two_sided_angles",
     "apply_rotation_columns",
+    "apply_round_columns",
     "apply_rotation_gram",
     "rotated_norms",
     "new_covariance",
@@ -197,6 +198,29 @@ def apply_rotation_columns(
     ai = a[:, i].copy()
     a[:, i] = ai * c - a[:, j] * s
     a[:, j] = ai * s + a[:, j] * c
+
+
+def apply_round_columns(
+    a: np.ndarray,
+    idx_i: np.ndarray,
+    idx_j: np.ndarray,
+    c: np.ndarray,
+    s: np.ndarray,
+) -> None:
+    """Rotate disjoint column pairs of *a* in one gather/scatter update.
+
+    The batched form of :func:`apply_rotation_columns` (eq. 11-12) for a
+    whole tournament round: pair k rotates columns ``idx_i[k]`` and
+    ``idx_j[k]`` by ``(c[k], s[k])``.  Because the index pairs of a
+    round are disjoint, the elementwise arithmetic is identical to
+    applying the rotations one at a time — same operations, same
+    operands, same order per element — so the result is bit-identical
+    to the sequential loop.
+    """
+    cols_i = a[:, idx_i].copy()
+    cols_j = a[:, idx_j]
+    a[:, idx_i] = cols_i * c - cols_j * s
+    a[:, idx_j] = cols_i * s + cols_j * c
 
 
 def rotated_norms(

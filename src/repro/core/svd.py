@@ -9,6 +9,10 @@ dispatches to the implementations of the paper's algorithm:
   paper's algorithmic contribution), sequential pair order.
 * ``method="blocked"`` — the same algorithm scheduled in round-parallel
   batches exactly as the FPGA issues them; fastest in NumPy.
+* ``method="vectorized"`` — the *reference* recompute-from-columns
+  numerics scheduled round-parallel: batched norms/covariances, batched
+  rotation parameters, one gather/scatter column update per round (plus
+  a ``block_rounds`` fusion knob for the sequential orderings).
 * ``method="preconditioned"`` — Householder QR first, direct Jacobi on
   the n x n triangular factor (Drmač-Veselić style): row-count-
   independent sweep cost and full relative accuracy.
@@ -29,7 +33,7 @@ from repro.util.validation import check_in_choices
 
 __all__ = ["hestenes_svd", "METHODS", "HestenesJacobiSVD"]
 
-METHODS = ("reference", "modified", "blocked", "preconditioned")
+METHODS = ("reference", "modified", "blocked", "vectorized", "preconditioned")
 
 
 def hestenes_svd(
@@ -43,6 +47,7 @@ def hestenes_svd(
     ordering: str = "cyclic",
     rotation_impl: str = "textbook",
     track_columns: str = "first_sweep",
+    block_rounds: int = 1,
     seed=None,
 ) -> SVDResult:
     """Singular value decomposition by the Hestenes-Jacobi method.
@@ -52,7 +57,7 @@ def hestenes_svd(
     a : array_like
         Arbitrary m x n real matrix (the Hestenes method has no squareness
         restriction — the point of the paper versus two-sided Jacobi).
-    method : {"blocked", "modified", "reference", "preconditioned"}
+    method : {"blocked", "modified", "reference", "vectorized", "preconditioned"}
         Implementation; see module docstring.
     compute_uv : bool
         Compute U and Vᵀ (True) or singular values only (False — the
@@ -70,6 +75,9 @@ def hestenes_svd(
         Rotation parameter formulation (Algorithm 1 vs eq. 8-10).
     track_columns : {"always", "first_sweep", "never"}
         Column-update schedule for the modified/blocked methods.
+    block_rounds : int
+        Round-fusion width of the vectorized engine (1 = no fusion);
+        only valid with ``method="vectorized"``.
     seed
         Used only by the "random" ordering.
 
@@ -88,7 +96,24 @@ def hestenes_svd(
     True
     """
     check_in_choices(method, METHODS, name="method")
+    if block_rounds != 1 and method != "vectorized":
+        raise ValueError(
+            f'block_rounds is a method="vectorized" option, '
+            f"got block_rounds={block_rounds!r} with method={method!r}"
+        )
     criterion = ConvergenceCriterion(max_sweeps=max_sweeps, tol=tol, metric=metric)
+    if method == "vectorized":
+        from repro.core.vectorized import vectorized_svd
+
+        return vectorized_svd(
+            a,
+            compute_uv=compute_uv,
+            criterion=criterion,
+            ordering=ordering,
+            seed=seed,
+            rotation_impl=rotation_impl,
+            block_rounds=block_rounds,
+        )
     if method == "preconditioned":
         from repro.core.preconditioned import preconditioned_svd
 
@@ -149,6 +174,7 @@ class HestenesJacobiSVD:
             "ordering",
             "rotation_impl",
             "track_columns",
+            "block_rounds",
             "seed",
         }
         unknown = set(options) - valid

@@ -26,8 +26,9 @@ from repro.util.validation import as_float_matrix, check_in_choices
 __all__ = ["ENGINES", "ServeError", "DeadlineExceeded", "SVDRequest", "make_request"]
 
 #: Execution engines a request may target: the pure-NumPy solvers
-#: ("core") or the cycle-modelled FPGA accelerator ("hw").
-ENGINES = ("core", "hw")
+#: ("core"), the round-parallel batched solver ("vectorized"), or the
+#: cycle-modelled FPGA accelerator ("hw").
+ENGINES = ("core", "vectorized", "hw")
 
 
 class ServeError(RuntimeError):
@@ -53,7 +54,7 @@ class SVDRequest:
         Solver options as a sorted tuple of pairs — hashable, so it can
         participate in the batch key.
     engine : str
-        ``"core"`` or ``"hw"`` (:data:`ENGINES`).
+        ``"core"``, ``"vectorized"`` or ``"hw"`` (:data:`ENGINES`).
     submitted_at : float
         Clock reading when the request entered the server.
     deadline : float or None
@@ -115,7 +116,7 @@ def make_request(
     request_id : str
         Identifier assigned by the caller (normally the server).
     engine : str
-        ``"core"`` or ``"hw"``.
+        ``"core"``, ``"vectorized"`` or ``"hw"``.
     now : float
         Current clock reading; stored as ``submitted_at`` and used to
         convert *timeout* into an absolute deadline.

@@ -14,6 +14,10 @@ Two resilience mechanisms for the serving layer:
   hardware-faithful — singular values only, fixed sweep count, dataflow
   rotations — so a degraded batch runs the request's configured core
   options instead (and may additionally return U/Vᵀ).
+
+Degradation chains: ``hw → core`` (accelerator failure or deadline
+pressure) and ``vectorized → core`` (the round-parallel engine falls
+back to the request's configured scalar solver on any failure).
 """
 
 from __future__ import annotations
@@ -141,6 +145,11 @@ class EngineExecutor:
         return batch_svd(matrices, workers=self.workers, solver=solver,
                          pool=self.pool)
 
+    def _vectorized_dispatch(self, matrices, options: dict) -> list[SVDResult]:
+        solver = HestenesJacobiSVD(**{**options, "method": "vectorized"})
+        return batch_svd(matrices, workers=self.workers, solver=solver,
+                         pool=self.pool)
+
     def _hw_dispatch(self, matrices, options: dict) -> list[SVDResult]:
         from repro.hw import HestenesJacobiAccelerator
 
@@ -167,10 +176,21 @@ class EngineExecutor:
         A ``hw`` batch degrades to ``core`` (when allowed) if the
         modelled accelerator latency exceeds *deadline_budget_s* — the
         tightest remaining deadline in the batch — or if the
-        accelerator raises.
+        accelerator raises.  A ``vectorized`` batch degrades to ``core``
+        (when allowed) if the round-parallel engine raises — e.g. an
+        option combination it rejects, such as ``block_rounds`` with an
+        incompatible method override.
         """
         if engine == "core":
             return self._core_dispatch(matrices, options), "core"
+        if engine == "vectorized":
+            try:
+                return self._vectorized_dispatch(matrices, options), "vectorized"
+            except Exception:
+                if not self.allow_degradation:
+                    raise
+                self.degradations += 1
+                return self._core_dispatch(matrices, options), "core"
         if (
             self.allow_degradation
             and deadline_budget_s is not None

@@ -89,7 +89,8 @@ class SVDServer:
     cache_bytes : int or None
         Result-cache budget; ``None`` disables caching.
     default_engine : str
-        Engine used when a request does not choose: ``"core"`` or ``"hw"``.
+        Engine used when a request does not choose: ``"core"``,
+        ``"vectorized"`` or ``"hw"``.
     clock : callable
         Monotonic time source (injectable for tests).
     **default_options

@@ -8,6 +8,28 @@ import pytest
 SEED = 20140519  # IPDPSW 2014 conference date — fixed suite-wide seed
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="also run tests marked slow (make test-all)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running case, skipped unless --runslow"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="slow: pass --runslow (make test-all)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def rng():
     """Fresh deterministic generator per test."""

@@ -1,0 +1,142 @@
+"""Differential tests: engines vs LAPACK and vs each other.
+
+Three layers of cross-checking:
+
+1. every registered engine against ``numpy.linalg.svd`` on
+   well-conditioned inputs (relative error <= 1e-10);
+2. every *pair* of engines against each other — catches a systematic
+   bias that a single LAPACK comparison with a loose tolerance could
+   mask;
+3. the vectorized engine against the scalar reference loop
+   round-for-round on one fixed sweep: identical skip decisions,
+   rotation parameters equal to the rounding of the batched dot
+   products, and an identical convergence-trace schema.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import batch_rotation_params
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.hestenes import reference_svd
+from repro.core.ordering import make_sweep
+from repro.core.rotation import (
+    apply_rotation_columns,
+    apply_round_columns,
+    textbook_rotation,
+)
+from repro.core.svd import METHODS, hestenes_svd
+from repro.core.vectorized import pair_dots, vectorized_svd
+
+from tests.conftest import SEED
+
+
+def _well_conditioned(m, n, seed_offset=0):
+    rng = np.random.default_rng(SEED + seed_offset)
+    return rng.standard_normal((m, n))
+
+
+# ---- every engine vs LAPACK --------------------------------------------
+
+
+@pytest.mark.parametrize("shape", [(16, 16), (32, 10), (10, 32)])
+@pytest.mark.parametrize("method", METHODS)
+def test_engine_vs_lapack(method, shape):
+    a = _well_conditioned(*shape)
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    res = hestenes_svd(a, method=method, compute_uv=False, max_sweeps=20)
+    assert np.max(np.abs(res.s - s_ref)) / s_ref[0] < 1e-10, method
+
+
+# ---- pairwise engine agreement -----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "method_a,method_b",
+    list(itertools.combinations(METHODS, 2)),
+    ids=lambda v: v if isinstance(v, str) else None,
+)
+def test_engines_agree_pairwise(method_a, method_b):
+    a = _well_conditioned(20, 12, seed_offset=1)
+    s_a = hestenes_svd(a, method=method_a, compute_uv=False, max_sweeps=20).s
+    s_b = hestenes_svd(a, method=method_b, compute_uv=False, max_sweeps=20).s
+    scale = max(float(s_a[0]), np.finfo(float).tiny)
+    assert np.max(np.abs(s_a - s_b)) / scale < 1e-10, (method_a, method_b)
+
+
+# ---- vectorized vs reference, round for round --------------------------
+
+
+def test_vectorized_matches_reference_round_for_round():
+    """One fixed cyclic sweep, checked a round at a time.
+
+    Within a round the pairs are index-disjoint, so the scalar loop's
+    sequentially-computed dot products see exactly the state the
+    batched pass gathers.  Rotation parameters must then agree to the
+    rounding of the dot products (the batched einsum reductions and
+    BLAS ddot may differ in the last bit), and the applied updates must
+    keep both matrices within the same rounding envelope.
+    """
+    rng = np.random.default_rng(SEED + 2)
+    a = rng.standard_normal((18, 12))
+    n = a.shape[1]
+
+    b_scalar = a.copy()
+    b_batch = a.copy()
+    for round_pairs in make_sweep(n, "cyclic"):
+        idx_i = np.array([p[0] for p in round_pairs], dtype=np.intp)
+        idx_j = np.array([p[1] for p in round_pairs], dtype=np.intp)
+
+        # Batched parameters from the batched dots on the batch state.
+        norm_i, norm_j, cov = pair_dots(b_batch, idx_i, idx_j)
+
+        # Scalar parameters from BLAS dots on the scalar state,
+        # computed *before* applying this round (disjointness makes the
+        # pre-round state what the sequential loop observes too).
+        c_scalar = np.empty(len(round_pairs))
+        s_scalar = np.empty(len(round_pairs))
+        params = []
+        for k, (i, j) in enumerate(round_pairs):
+            bi, bj = b_scalar[:, i], b_scalar[:, j]
+            p = textbook_rotation(float(bi @ bi), float(bj @ bj),
+                                  float(bi @ bj))
+            c_scalar[k], s_scalar[k] = p.cos, p.sin
+            params.append(p)
+
+        c_batch, s_batch, _, _ = batch_rotation_params(norm_i, norm_j, cov)
+        np.testing.assert_allclose(c_batch, c_scalar, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(s_batch, s_scalar, rtol=1e-12, atol=1e-12)
+
+        apply_round_columns(b_batch, idx_i, idx_j, c_batch, s_batch)
+        for (i, j), p in zip(round_pairs, params):
+            apply_rotation_columns(b_scalar, i, j, p)
+        np.testing.assert_allclose(b_batch, b_scalar, rtol=1e-12, atol=1e-14)
+
+
+def test_vectorized_trace_schema_matches_reference():
+    # Same schedule in, same trace out: sweep indices, rotation counts,
+    # skip counts, and convergence flag — the full trace schema.
+    rng = np.random.default_rng(SEED + 3)
+    a = rng.standard_normal((16, 10))
+    crit = ConvergenceCriterion(max_sweeps=12, tol=None)
+    ref = reference_svd(a, criterion=crit)
+    vec = vectorized_svd(a, criterion=crit)
+    assert vec.trace.metric == ref.trace.metric
+    assert vec.trace.sweeps == ref.trace.sweeps
+    assert vec.trace.rotations == ref.trace.rotations
+    assert vec.trace.skipped == ref.trace.skipped
+    assert vec.trace.converged == ref.trace.converged
+    scale = float(ref.s[0])
+    assert np.max(np.abs(vec.s - ref.s)) / scale < 1e-12
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("method", METHODS)
+def test_engine_vs_lapack_large(method):
+    # Bigger differential instance per engine (make test-all).
+    a = _well_conditioned(96, 48, seed_offset=4)
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    res = hestenes_svd(a, method=method, compute_uv=False, max_sweeps=24)
+    assert np.max(np.abs(res.s - s_ref)) / s_ref[0] < 1e-10, method

@@ -64,6 +64,41 @@ class TestEngineExecutor:
         for a, r in zip(mats, results):
             assert np.array_equal(r.s, hestenes_svd(a, max_sweeps=8).s)
 
+    def test_vectorized_dispatch_matches_direct_calls(self, rng):
+        mats = [rng.standard_normal((8, 4)) for _ in range(3)]
+        ex = EngineExecutor(workers=2)
+        results, engine = ex.dispatch(mats, {"max_sweeps": 8},
+                                      engine="vectorized")
+        assert engine == "vectorized"
+        for a, r in zip(mats, results):
+            direct = hestenes_svd(a, method="vectorized", max_sweeps=8)
+            assert np.array_equal(r.s, direct.s)
+            assert r.method == "vectorized"
+
+    def test_vectorized_failure_degrades_to_core(self, rng, monkeypatch):
+        a = rng.standard_normal((8, 4))
+        ex = EngineExecutor()
+
+        def boom(matrices, options):
+            raise RuntimeError("batched path broken")
+
+        monkeypatch.setattr(ex, "_vectorized_dispatch", boom)
+        results, engine = ex.dispatch([a], {}, engine="vectorized")
+        assert engine == "core"
+        assert ex.degradations == 1
+        assert np.array_equal(results[0].s, hestenes_svd(a).s)
+
+    def test_vectorized_failure_propagates_when_degradation_off(
+            self, rng, monkeypatch):
+        ex = EngineExecutor(allow_degradation=False)
+
+        def boom(matrices, options):
+            raise RuntimeError("batched path broken")
+
+        monkeypatch.setattr(ex, "_vectorized_dispatch", boom)
+        with pytest.raises(RuntimeError, match="broken"):
+            ex.dispatch([rng.standard_normal((4, 4))], {}, engine="vectorized")
+
     def test_hw_dispatch_matches_accelerator(self, rng):
         from repro.hw import HestenesJacobiAccelerator
 

@@ -173,3 +173,16 @@ class TestLifecycle:
         assert np.array_equal(
             r.result.s, HestenesJacobiAccelerator().decompose(a).result.s
         )
+
+    def test_vectorized_engine_served(self, rng):
+        from repro.core.svd import hestenes_svd
+
+        a = rng.standard_normal((16, 8))
+        with SVDServer(max_wait_s=0.001, default_engine="vectorized") as srv:
+            r = srv.submit(a, max_sweeps=8).result(timeout=60.0)
+            stats = srv.stats()
+        assert r.engine == "vectorized"
+        assert stats["counters"]["engine_vectorized_requests"] == 1
+        direct = hestenes_svd(a, method="vectorized", max_sweeps=8)
+        assert np.array_equal(r.result.s, direct.s)
+        assert r.result.method == "vectorized"

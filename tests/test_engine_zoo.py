@@ -1,6 +1,6 @@
 """The engine x matrix-zoo grid: every solver against every hard input.
 
-One consolidated compatibility matrix: all seven from-scratch SVD
+One consolidated compatibility matrix: all eight from-scratch SVD
 engines run every structurally interesting matrix, and singular values
 are checked against LAPACK with per-engine tolerances (the cached-Gram
 engines get the documented sqrt(eps)-class slack on low-rank inputs).
@@ -29,6 +29,7 @@ ENGINES = {
     "reference": lambda a: hestenes_svd(a, method="reference", compute_uv=False, max_sweeps=20),
     "modified": lambda a: hestenes_svd(a, method="modified", compute_uv=False, max_sweeps=20),
     "blocked": lambda a: hestenes_svd(a, method="blocked", compute_uv=False, max_sweeps=20),
+    "vectorized": lambda a: hestenes_svd(a, method="vectorized", compute_uv=False, max_sweeps=20),
     "preconditioned": lambda a: preconditioned_svd(a, compute_uv=False, criterion=CRIT),
     "block_jacobi": lambda a: block_jacobi_svd(a, block=4, compute_uv=False, criterion=CRIT),
     "golub_reinsch": lambda a: golub_reinsch_svd(a, compute_uv=False),
