@@ -1,7 +1,7 @@
 # Convenience targets; see CONTRIBUTING.md.
 
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
-	vectorized-bench eval examples apidoc all
+	vectorized-bench obs-bench trace-demo eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,13 @@ serve-bench:
 
 vectorized-bench:
 	python benchmarks/bench_vectorized.py --quick
+
+obs-bench:
+	PYTHONPATH=src python benchmarks/bench_obs.py --quick
+
+trace-demo:
+	PYTHONPATH=src python -m repro trace 32 16 --serve --requests 2 \
+		--output /tmp/repro-demo.trace.json
 
 eval:
 	python -m repro eval

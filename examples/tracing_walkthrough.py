@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Tracing walkthrough: spans across engines, the hw model, and serving.
+
+The paper's evaluation asks *where the cycles go* — per-sweep work, the
+rotation/update overlap, accelerator vs host time.  ``repro.obs`` makes
+the same question answerable on any run of this repo: install a
+:class:`repro.obs.Tracer` and every layer emits nested spans — the core
+engines (``core.sweep`` / ``core.round`` / ``core.finalize``), the
+hardware cycle model (``hw.estimate`` with modeled-cycle attributes),
+and the serving layer (``serve.request`` → ``serve.queue_wait`` /
+``serve.batch`` → ``serve.engine``).  This walkthrough:
+
+1. lists the engine registry and traces one direct decomposition;
+2. overlays measured sweep time on the FPGA model's modeled time;
+3. traces a served request end-to-end and exports the span forest as
+   Chrome ``chrome://tracing`` JSON plus a Prometheus metrics dump.
+
+Run:  python examples/tracing_walkthrough.py
+"""
+
+import os
+import tempfile
+
+from repro.core.registry import engine_names, resolve_engine
+from repro.core.svd import hestenes_svd
+from repro.hw.timing_model import estimate_cycles
+from repro.obs import (
+    Tracer,
+    metrics_to_prometheus,
+    render_span_tree,
+    use_tracer,
+    write_chrome_trace,
+)
+from repro.serve import SVDServer
+from repro.workloads import random_matrix
+
+M, N = 48, 24
+
+
+def part1_registry_and_direct_trace():
+    print("registered engines:")
+    for name in engine_names():
+        spec = resolve_engine(name)
+        print(f"  {name:<15} orderings={','.join(spec.supported_orderings)}"
+              f"  opts={','.join(sorted(spec.options_schema)) or '-'}")
+
+    tracer = Tracer()
+    a = random_matrix(M, N, seed=0)
+    with use_tracer(tracer):
+        hestenes_svd(a, method="blocked", compute_uv=False)
+    print(f"\ndirect blocked engine, span tree ({len(tracer.spans)} spans):")
+    print(render_span_tree(tracer, attrs=False))
+    return tracer
+
+
+def part2_modeled_overlay(engine_tracer):
+    model_tracer = Tracer()
+    with use_tracer(model_tracer):
+        estimate_cycles(M, N)
+    measured = [s for s in engine_tracer.spans if s.name == "core.sweep"]
+    modeled = [s for s in model_tracer.spans if s.name == "hw.sweep"]
+    print("\nmeasured vs modeled per sweep (host NumPy vs FPGA cycle model):")
+    print("  sweep   measured_ms   modeled_ms   modeled_cycles")
+    for meas, mod in zip(sorted(measured, key=lambda s: s.attrs["sweep"]),
+                         sorted(modeled, key=lambda s: s.attrs["sweep"])):
+        print(f"  {meas.attrs['sweep']:>5}   {meas.duration * 1e3:11.3f}"
+              f"   {mod.attrs['modeled_s'] * 1e3:10.4f}"
+              f"   {mod.attrs['modeled_cycles']:>14}")
+
+
+def part3_traced_serving():
+    tracer = Tracer()
+    a = random_matrix(M, N, seed=1)
+    b = random_matrix(M, N, seed=2)
+    with SVDServer(max_wait_s=0.002, tracer=tracer,
+                   compute_uv=False) as server:
+        handles = server.submit_many([a, b])
+        responses = [h.result(timeout=30.0) for h in handles]
+        repeat = server.submit(a)  # resubmission: served from the cache
+        responses.append(repeat.result(timeout=30.0))
+        for resp in responses:
+            print(f"  {resp.request_id}: status={resp.status} "
+                  f"trace id={resp.trace_id} cache_hit={resp.cache_hit}")
+        prom = metrics_to_prometheus(server.metrics)
+    print("\nserved request span tree:")
+    print(render_span_tree(tracer, attrs=False))
+
+    out = os.path.join(tempfile.gettempdir(), "repro-walkthrough.trace.json")
+    write_chrome_trace(out, tracer)
+    print(f"\nwrote {len(tracer.spans)} spans to {out} "
+          "(open in chrome://tracing or Perfetto)")
+    print("\nprometheus metrics dump (excerpt):")
+    for line in prom.splitlines():
+        if line.startswith(("# TYPE repro_requests", "repro_requests",
+                            "# TYPE repro_cache", "repro_cache")):
+            print(f"  {line}")
+
+
+def main():
+    engine_tracer = part1_registry_and_direct_trace()
+    part2_modeled_overlay(engine_tracer)
+    print("\ntraced serving (trace id rides on every SVDResponse):")
+    part3_traced_serving()
+
+
+if __name__ == "__main__":
+    main()

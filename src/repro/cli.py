@@ -6,7 +6,9 @@ decompose   SVD of a matrix from an .npy/.npz/.txt file (or --random).
 estimate    Modelled FPGA execution time + phase breakdown (Table I mode).
 resources   Device utilization report (Table II mode).
 compare     Modelled times of every system for one shape (Fig 7/8 mode).
-trace       Phase-level execution Gantt chart with cycle attribution.
+trace       Phase-level execution Gantt chart with cycle attribution;
+            with --output, records a live span trace (engines, serving
+            layer, modeled-cycle overlay) as Chrome trace JSON.
 sweep       Design-space exploration report (feasible set + Pareto front).
 figures     ASCII renderings of Figs 7-11.
 datasheet   Full accelerator datasheet (markdown).
@@ -48,13 +50,16 @@ def _cmd_decompose(args) -> int:
     from repro import hestenes_svd
 
     a = _load_matrix(args)
+    engine_opts = (
+        {"block_rounds": args.block_rounds} if args.block_rounds != 1 else None
+    )
     res = hestenes_svd(
         a,
         method=args.method,
         compute_uv=not args.values_only,
         max_sweeps=args.max_sweeps,
         tol=args.tol,
-        block_rounds=args.block_rounds,
+        engine_opts=engine_opts,
     )
     print(f"shape: {a.shape[0]} x {a.shape[1]}  method: {res.method}  "
           f"sweeps: {res.sweeps}")
@@ -161,6 +166,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.output:
+        return _record_trace(args)
     from repro.hw import estimate_cycles
     from repro.hw.trace import build_trace, render_gantt
 
@@ -171,6 +178,44 @@ def _cmd_trace(args) -> int:
     print("cycle attribution:")
     for name, frac in sorted(util.items(), key=lambda kv: -kv[1]):
         print(f"  {name:<22s} {frac:6.1%}")
+    return 0
+
+
+def _record_trace(args) -> int:
+    """Record a live span trace (engines / serve / hw model) to Chrome JSON."""
+    from repro.hw import estimate_cycles
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+    from repro.workloads import random_matrix
+
+    tracer = Tracer(detail=args.detail)
+    if args.serve:
+        from repro.serve import SVDServer
+
+        mats = [random_matrix(args.m, args.n, seed=i)
+                for i in range(args.requests)]
+        with SVDServer(max_wait_s=0.002, tracer=tracer,
+                       default_engine=args.engine,
+                       compute_uv=False) as srv:
+            responses = [h.result(timeout=300.0)
+                         for h in srv.submit_many(mats)]
+        ids = ", ".join(r.trace_id for r in responses[:4])
+        print(f"traced {len(responses)} served request(s); trace ids: "
+              f"{ids}{' ...' if len(responses) > 4 else ''}")
+    else:
+        from repro import hestenes_svd
+
+        method = "blocked" if args.engine == "core" else args.engine
+        a = random_matrix(args.m, args.n, seed=0)
+        with use_tracer(tracer):
+            hestenes_svd(a, method=method, compute_uv=False)
+        print(f"traced one {args.m} x {args.n} decomposition "
+              f"(method={method})")
+    # Modeled overlay: the cycle model's spans carry modeled_cycles /
+    # modeled_s attrs next to the measured engine spans.
+    with use_tracer(tracer):
+        estimate_cycles(args.m, args.n)
+    path = write_chrome_trace(args.output, tracer)
+    print(f"{len(tracer.spans)} spans -> {path} (open in chrome://tracing)")
     return 0
 
 
@@ -309,7 +354,7 @@ def _cmd_serve_demo(args) -> int:
     if bad:
         print(f"{len(bad)} request(s) failed; first: {bad[0].error}")
         return 1
-    check_method = {"method": "vectorized"} if args.engine == "vectorized" else {}
+    check_method = {"method": args.engine} if args.engine != "core" else {}
     check = hestenes_svd(unique[0], compute_uv=not args.values_only,
                          **check_method)
     identical = bool(np.array_equal(responses[0].result.s, check.s))
@@ -325,16 +370,21 @@ def _cmd_serve_demo(args) -> int:
           f"{stats['counters'].get('coalesced_requests', 0)} requests coalesced")
     print(f"  cache     : {cache['hits']} hits / {cache['lookups']} lookups "
           f"(hit rate {cache['hit_rate']:.1%})")
-    print(f"  engines   : core={stats['counters'].get('engine_core_requests', 0)} "
-          f"vectorized={stats['counters'].get('engine_vectorized_requests', 0)} "
-          f"hw={stats['counters'].get('engine_hw_requests', 0)} "
-          f"degradations={stats['degradations']}")
+    used = {
+        k[len("engine_"):-len("_requests")]: v
+        for k, v in stats["counters"].items()
+        if k.startswith("engine_") and k.endswith("_requests")
+    }
+    engines = " ".join(f"{k}={v}" for k, v in sorted(used.items())) or "none"
+    print(f"  engines   : {engines} degradations={stats['degradations']}")
     print(f"  verification: served result bit-identical to direct solver: "
           f"{identical}")
     return 0 if identical else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.core.registry import METHODS
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Hestenes-Jacobi FPGA SVD reproduction toolkit",
@@ -347,9 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--random", nargs=2, type=int, metavar=("M", "N"),
                    help="generate a random M x N matrix instead")
     d.add_argument("--seed", type=int, default=0)
-    d.add_argument("--method", default="blocked",
-                   choices=("blocked", "modified", "reference", "vectorized",
-                            "preconditioned"))
+    d.add_argument("--method", default="blocked", choices=METHODS)
     d.add_argument("--block-rounds", type=int, default=1,
                    help="round-fusion width (method=vectorized only)")
     d.add_argument("--values-only", action="store_true")
@@ -378,10 +426,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("n", type=int)
     c.set_defaults(func=_cmd_compare)
 
-    t = sub.add_parser("trace", help="phase-level execution Gantt chart")
+    t = sub.add_parser(
+        "trace",
+        help="phase-level Gantt chart, or (with --output) record a live "
+             "span trace to Chrome trace JSON",
+    )
     t.add_argument("m", type=int)
     t.add_argument("n", type=int)
     t.add_argument("--width", type=int, default=72)
+    t.add_argument("--output", default=None, metavar="FILE.trace.json",
+                   help="record a live span trace and write Chrome "
+                        "trace-event JSON (open at chrome://tracing)")
+    t.add_argument("--engine", default="blocked",
+                   choices=("core", *METHODS),
+                   help="engine to trace (with --output)")
+    t.add_argument("--serve", action="store_true",
+                   help="trace requests through the serving layer "
+                        "instead of a direct solver call")
+    t.add_argument("--requests", type=int, default=3,
+                   help="request count for --serve")
+    t.add_argument("--detail", default="sweep", choices=("sweep", "round"),
+                   help="span granularity for engine instrumentation")
     t.set_defaults(func=_cmd_trace)
 
     s = sub.add_parser("sweep", help="design-space exploration report")
@@ -418,7 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     sd.add_argument("--max-batch", type=int, default=8)
     sd.add_argument("--max-wait-ms", type=float, default=2.0)
     sd.add_argument("--engine", default="core",
-                    choices=("core", "vectorized"),
+                    choices=("core", *METHODS),
                     help="default serving engine for the trace")
     sd.add_argument("--values-only", action="store_true")
     sd.set_defaults(func=_cmd_serve_demo)

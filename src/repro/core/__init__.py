@@ -17,6 +17,13 @@ from repro.core.convergence import ConvergenceCriterion, ConvergenceTrace, measu
 from repro.core.hestenes import FlopCounter, finalize_columns, reference_svd
 from repro.core.modified import gram_matrix, modified_svd
 from repro.core.preconditioned import householder_qr, preconditioned_svd
+from repro.core.registry import (
+    EngineSpec,
+    engine_names,
+    register_engine,
+    resolve_engine,
+    unregister_engine,
+)
 from repro.core.symeig import jacobi_eigh
 from repro.core.ordering import (
     all_pairs,
@@ -44,6 +51,7 @@ __all__ = [
     "METHODS",
     "ConvergenceCriterion",
     "ConvergenceTrace",
+    "EngineSpec",
     "FlopCounter",
     "HestenesJacobiSVD",
     "RotationParams",
@@ -56,6 +64,7 @@ __all__ = [
     "block_jacobi_svd",
     "blocked_svd",
     "cyclic_sweep",
+    "engine_names",
     "finalize_columns",
     "fuse_rounds",
     "jacobi_eigh",
@@ -71,9 +80,12 @@ __all__ = [
     "modified_svd",
     "random_sweep",
     "reference_svd",
+    "register_engine",
+    "resolve_engine",
     "round_plan",
     "row_cyclic_sweep",
     "textbook_rotation",
+    "unregister_engine",
     "two_sided_angles",
     "vectorized_svd",
 ]

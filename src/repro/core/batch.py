@@ -20,6 +20,7 @@ batch.
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.result import SVDResult
@@ -27,6 +28,17 @@ from repro.core.svd import HestenesJacobiSVD
 from repro.util.validation import check_positive_int
 
 __all__ = ["batch_svd"]
+
+
+def _run_in_context(ctx, solver: HestenesJacobiSVD, a, index: int) -> SVDResult:
+    """Run one decomposition inside the submitting thread's context.
+
+    Pool workers otherwise start from an empty :mod:`contextvars`
+    context, which would detach the engines' spans from any tracer
+    installed by the caller (e.g. the serving layer's ``serve.engine``
+    span).
+    """
+    return ctx.run(_decompose_indexed, solver, a, index)
 
 
 def _decompose_indexed(solver: HestenesJacobiSVD, a, index: int) -> SVDResult:
@@ -108,9 +120,12 @@ def batch_svd(
             _decompose_indexed(solver, a, i) for i, a in enumerate(matrices)
         ]
     indices = range(len(matrices))
+    # One context copy per matrix: ctx.run is not re-entrant, so
+    # concurrent workers cannot share a single copy.
+    contexts = [contextvars.copy_context() for _ in matrices]
     if pool is not None:
-        return list(pool.map(_decompose_indexed, [solver] * len(matrices),
-                             matrices, indices))
+        return list(pool.map(_run_in_context, contexts,
+                             [solver] * len(matrices), matrices, indices))
     with ThreadPoolExecutor(max_workers=workers) as owned:
-        return list(owned.map(_decompose_indexed, [solver] * len(matrices),
-                              matrices, indices))
+        return list(owned.map(_run_in_context, contexts,
+                              [solver] * len(matrices), matrices, indices))

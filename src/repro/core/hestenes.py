@@ -25,6 +25,7 @@ from repro.core.convergence import ConvergenceCriterion, ConvergenceTrace, measu
 from repro.core.ordering import make_sweep
 from repro.core.result import SVDResult
 from repro.core.rotation import apply_rotation_columns, textbook_rotation
+from repro.obs import noop_span, round_detail, span
 from repro.util.numerics import sort_svd
 from repro.util.validation import as_float_matrix
 
@@ -123,33 +124,41 @@ def reference_svd(
 
     converged = False
     sweeps_done = 0
+    rspan = span if round_detail() else noop_span
     for sweep in range(1, criterion.max_sweeps + 1):
-        rotations = 0
-        skipped = 0
-        for round_pairs in make_sweep(n, ordering, seed):
-            for i, j in round_pairs:
-                bi = b[:, i]
-                bj = b[:, j]
-                norm_i = float(bi @ bi)
-                norm_j = float(bj @ bj)
-                cov = float(bi @ bj)
-                if flops is not None:
-                    flops.add_pair(m)
-                # sqrt per factor: the product ni*nj overflows for
-                # squared norms above 1e154 (columns of scale ~1e77).
-                if abs(cov) <= pair_threshold * np.sqrt(norm_i) * np.sqrt(norm_j):
-                    skipped += 1
-                    continue
-                params = textbook_rotation(norm_i, norm_j, cov)
-                apply_rotation_columns(b, i, j, params)
-                if v is not None:
-                    apply_rotation_columns(v, i, j, params)
-                if flops is not None:
-                    flops.add_update(m)
-                rotations += 1
-        sweeps_done = sweep
-        value = measure(b.T @ b, criterion.metric)
-        trace.record(sweep, value, rotations, skipped)
+        with span("core.sweep", method="reference", sweep=sweep) as sweep_span:
+            rotations = 0
+            skipped = 0
+            for round_index, round_pairs in enumerate(make_sweep(n, ordering, seed)):
+                with rspan("core.round", round=round_index, pairs=len(round_pairs)):
+                    for i, j in round_pairs:
+                        bi = b[:, i]
+                        bj = b[:, j]
+                        norm_i = float(bi @ bi)
+                        norm_j = float(bj @ bj)
+                        cov = float(bi @ bj)
+                        if flops is not None:
+                            flops.add_pair(m)
+                        # sqrt per factor: the product ni*nj overflows for
+                        # squared norms above 1e154 (columns of scale ~1e77).
+                        if abs(cov) <= (
+                            pair_threshold * np.sqrt(norm_i) * np.sqrt(norm_j)
+                        ):
+                            skipped += 1
+                            continue
+                        params = textbook_rotation(norm_i, norm_j, cov)
+                        apply_rotation_columns(b, i, j, params)
+                        if v is not None:
+                            apply_rotation_columns(v, i, j, params)
+                        if flops is not None:
+                            flops.add_update(m)
+                        rotations += 1
+            sweeps_done = sweep
+            value = measure(b.T @ b, criterion.metric)
+            trace.record(sweep, value, rotations, skipped)
+            sweep_span.set_attrs(
+                rotations=rotations, skipped=skipped, off_diagonal=value
+            )
         if rotations == 0 or criterion.satisfied(value):
             converged = True
             break
@@ -179,6 +188,13 @@ def finalize_columns(
     holds.  Shared by every column-space engine (reference and
     vectorized) so their finalization is bit-identical.
     """
+    with span("core.finalize", m=b.shape[0], n=b.shape[1]):
+        return _finalize_columns(b, v, compute_uv=compute_uv)
+
+
+def _finalize_columns(
+    b: np.ndarray, v: np.ndarray | None, *, compute_uv: bool
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
     m, n = b.shape
     norms = np.linalg.norm(b, axis=0)
     k = min(m, n)

@@ -27,6 +27,7 @@ from repro.baselines.householder import apply_reflector_left, householder_vector
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.hestenes import reference_svd
 from repro.core.result import SVDResult
+from repro.obs import span
 from repro.util.validation import as_float_matrix
 
 __all__ = ["householder_qr", "preconditioned_svd"]
@@ -108,7 +109,8 @@ def preconditioned_svd(
         )
 
     criterion = criterion or ConvergenceCriterion(max_sweeps=12, tol=None)
-    q, r, perm = householder_qr(a, pivot=pivot)
+    with span("core.precondition", method="preconditioned", m=m, n=n, pivot=pivot):
+        q, r, perm = householder_qr(a, pivot=pivot)
     # Direct (recompute) Jacobi on R: the column rotations act on the
     # actual data, preserving high relative accuracy even for extreme
     # conditioning — the Drmač-Veselić property a cached-Gram inner

@@ -1,7 +1,9 @@
 """Top-level SVD API.
 
 :func:`hestenes_svd` is the single entry point most users need; it
-dispatches to the implementations of the paper's algorithm:
+resolves the requested engine through
+:mod:`repro.core.registry` and dispatches to the implementations of
+the paper's algorithm:
 
 * ``method="reference"`` — plain Hestenes one-sided Jacobi (recomputes
   norms/covariances; gold standard; models the prior design [12]).
@@ -17,6 +19,12 @@ dispatches to the implementations of the paper's algorithm:
   the n x n triangular factor (Drmač-Veselić style): row-count-
   independent sweep cost and full relative accuracy.
 
+Engine-specific knobs travel in the validated ``engine_opts`` mapping
+(``{"block_rounds": 4}``, ``{"pivot": False}``, ...); the historical
+``block_rounds=`` keyword still works as a deprecation shim.  Adding an
+engine is one :func:`repro.core.registry.register_engine` call — the
+serving layer and CLI resolve engines through the same registry.
+
 For the cycle-level hardware simulation of the same computation, see
 :class:`repro.hw.architecture.HestenesJacobiAccelerator`, which wraps
 the blocked implementation with the timing and resource models.
@@ -24,16 +32,28 @@ the blocked implementation with the timing and resource models.
 
 from __future__ import annotations
 
-from repro.core.blocked import blocked_svd
+import warnings
+
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.hestenes import reference_svd
-from repro.core.modified import modified_svd
+from repro.core.registry import METHODS, resolve_engine
 from repro.core.result import SVDResult
-from repro.util.validation import check_in_choices
 
 __all__ = ["hestenes_svd", "METHODS", "HestenesJacobiSVD"]
 
-METHODS = ("reference", "modified", "blocked", "vectorized", "preconditioned")
+
+def _normalize_engine_opts(engine_opts) -> dict:
+    """Accept a mapping or an iterable of (key, value) pairs."""
+    if engine_opts is None:
+        return {}
+    if isinstance(engine_opts, dict):
+        return dict(engine_opts)
+    try:
+        return dict(engine_opts)
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"engine_opts must be a mapping of option name -> value, "
+            f"got {engine_opts!r}"
+        ) from None
 
 
 def hestenes_svd(
@@ -47,7 +67,8 @@ def hestenes_svd(
     ordering: str = "cyclic",
     rotation_impl: str = "textbook",
     track_columns: str = "first_sweep",
-    block_rounds: int = 1,
+    engine_opts=None,
+    block_rounds: int | None = None,
     seed=None,
 ) -> SVDResult:
     """Singular value decomposition by the Hestenes-Jacobi method.
@@ -57,8 +78,9 @@ def hestenes_svd(
     a : array_like
         Arbitrary m x n real matrix (the Hestenes method has no squareness
         restriction — the point of the paper versus two-sided Jacobi).
-    method : {"blocked", "modified", "reference", "vectorized", "preconditioned"}
-        Implementation; see module docstring.
+    method : str
+        Engine name; any engine registered in
+        :mod:`repro.core.registry` (built-ins: :data:`METHODS`).
     compute_uv : bool
         Compute U and Vᵀ (True) or singular values only (False — the
         hardware-faithful output).
@@ -69,15 +91,23 @@ def hestenes_svd(
     metric : str
         Convergence metric name (:data:`repro.core.convergence.METRICS`).
     ordering : str
-        Pair ordering ("cyclic", "row", "random").  "blocked" requires
-        the cyclic ordering (its rounds are what get batched).
+        Pair ordering ("cyclic", "row", "random"), validated against the
+        engine's ``supported_orderings`` ("blocked" and "preconditioned"
+        accept only the cyclic default).
     rotation_impl : {"textbook", "dataflow"}
-        Rotation parameter formulation (Algorithm 1 vs eq. 8-10).
+        Rotation parameter formulation (Algorithm 1 vs eq. 8-10);
+        forwarded to engines that support it.
     track_columns : {"always", "first_sweep", "never"}
         Column-update schedule for the modified/blocked methods.
-    block_rounds : int
-        Round-fusion width of the vectorized engine (1 = no fusion);
-        only valid with ``method="vectorized"``.
+    engine_opts : mapping, optional
+        Engine-specific options, validated against the engine's
+        ``options_schema`` — e.g. ``{"block_rounds": 4}`` for the
+        vectorized engine or ``{"pivot": False}`` for preconditioned.
+        Unknown options and out-of-range values raise ``ValueError``.
+    block_rounds : int, optional
+        Deprecated alias for ``engine_opts={"block_rounds": ...}``
+        (round-fusion width of the vectorized engine); emits a
+        ``DeprecationWarning``.
     seed
         Used only by the "random" ordering.
 
@@ -95,57 +125,34 @@ def hestenes_svd(
     >>> np.allclose(res.s, np.linalg.svd(a, compute_uv=False))
     True
     """
-    check_in_choices(method, METHODS, name="method")
-    if block_rounds != 1 and method != "vectorized":
-        raise ValueError(
-            f'block_rounds is a method="vectorized" option, '
-            f"got block_rounds={block_rounds!r} with method={method!r}"
+    spec = resolve_engine(method)
+    spec.validate_ordering(ordering)
+    opts = _normalize_engine_opts(engine_opts)
+    # Legacy keyword folding: the historical top-level knobs flow into
+    # engine_opts for engines that declare them and are ignored (as
+    # they always were) elsewhere; explicit engine_opts wins.
+    if "rotation_impl" in spec.options_schema:
+        opts.setdefault("rotation_impl", rotation_impl)
+    if "track_columns" in spec.options_schema:
+        opts.setdefault("track_columns", track_columns)
+    if block_rounds is not None:
+        warnings.warn(
+            "hestenes_svd(block_rounds=...) is deprecated; pass "
+            "engine_opts={'block_rounds': ...} instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        if block_rounds != 1:
+            opts.setdefault("block_rounds", block_rounds)
+    opts = spec.validate_options(opts)
     criterion = ConvergenceCriterion(max_sweeps=max_sweeps, tol=tol, metric=metric)
-    if method == "vectorized":
-        from repro.core.vectorized import vectorized_svd
-
-        return vectorized_svd(
-            a,
-            compute_uv=compute_uv,
-            criterion=criterion,
-            ordering=ordering,
-            seed=seed,
-            rotation_impl=rotation_impl,
-            block_rounds=block_rounds,
-        )
-    if method == "preconditioned":
-        from repro.core.preconditioned import preconditioned_svd
-
-        return preconditioned_svd(a, compute_uv=compute_uv, criterion=criterion)
-    if method == "reference":
-        return reference_svd(
-            a,
-            compute_uv=compute_uv,
-            criterion=criterion,
-            ordering=ordering,
-            seed=seed,
-        )
-    if method == "modified":
-        return modified_svd(
-            a,
-            compute_uv=compute_uv,
-            criterion=criterion,
-            ordering=ordering,
-            seed=seed,
-            rotation_impl=rotation_impl,
-            track_columns=track_columns,
-        )
-    if ordering != "cyclic":
-        raise ValueError(
-            f'method="blocked" requires the cyclic ordering, got {ordering!r}'
-        )
-    return blocked_svd(
+    return spec.fn(
         a,
         compute_uv=compute_uv,
         criterion=criterion,
-        rotation_impl=rotation_impl,
-        track_columns=track_columns,
+        ordering=ordering,
+        seed=seed,
+        **opts,
     )
 
 
@@ -174,6 +181,7 @@ class HestenesJacobiSVD:
             "ordering",
             "rotation_impl",
             "track_columns",
+            "engine_opts",
             "block_rounds",
             "seed",
         }

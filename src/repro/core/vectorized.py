@@ -36,6 +36,7 @@ from repro.core.convergence import ConvergenceCriterion, ConvergenceTrace, measu
 from repro.core.hestenes import FlopCounter, finalize_columns
 from repro.core.ordering import fuse_rounds, make_sweep
 from repro.core.result import SVDResult
+from repro.obs import noop_span, round_detail, span
 from repro.util.validation import as_float_matrix, check_positive_int
 
 __all__ = ["vectorized_svd", "pair_dots", "round_plan"]
@@ -202,43 +203,49 @@ def vectorized_svd(
 
     converged = False
     sweeps_done = 0
+    rspan = span if round_detail() else noop_span
     for sweep in range(1, criterion.max_sweeps + 1):
         plan = (
             static_plan
             if static_plan is not None
             else round_plan(n, ordering, seed, block_rounds)
         )
-        rotations = 0
-        skipped = 0
-        for idx_i, idx_j in plan:
-            norm_i, norm_j, cov = _row_dots(bt, idx_i, idx_j)
-            if flops is not None:
-                flops.add_pairs(m, len(idx_i))
-            # sqrt per factor: the product norm_i*norm_j overflows for
-            # squared norms above 1e154 (columns of scale ~1e77).
-            active = np.abs(cov) > pair_threshold * np.sqrt(norm_i) * np.sqrt(
-                norm_j
+        with span("core.sweep", method="vectorized", sweep=sweep) as sweep_span:
+            rotations = 0
+            skipped = 0
+            for round_index, (idx_i, idx_j) in enumerate(plan):
+                with rspan("core.round", round=round_index, pairs=len(idx_i)):
+                    norm_i, norm_j, cov = _row_dots(bt, idx_i, idx_j)
+                    if flops is not None:
+                        flops.add_pairs(m, len(idx_i))
+                    # sqrt per factor: the product norm_i*norm_j overflows
+                    # for squared norms above 1e154 (columns of scale ~1e77).
+                    active = np.abs(cov) > pair_threshold * np.sqrt(
+                        norm_i
+                    ) * np.sqrt(norm_j)
+                    n_active = int(np.count_nonzero(active))
+                    skipped += len(idx_i) - n_active
+                    if n_active == 0:
+                        continue
+                    rotations += n_active
+                    if n_active < len(idx_i):
+                        idx_i, idx_j = idx_i[active], idx_j[active]
+                        norm_i, norm_j = norm_i[active], norm_j[active]
+                        cov = cov[active]
+                    c, s, _, _ = batch_rotation_params(
+                        norm_i, norm_j, cov, rotation_impl=rotation_impl
+                    )
+                    _apply_round_rows(bt, idx_i, idx_j, c, s)
+                    if vt is not None:
+                        _apply_round_rows(vt, idx_i, idx_j, c, s)
+                    if flops is not None:
+                        flops.add_updates(m, n_active)
+            sweeps_done = sweep
+            value = measure(bt @ bt.T, criterion.metric)
+            trace.record(sweep, value, rotations, skipped)
+            sweep_span.set_attrs(
+                rotations=rotations, skipped=skipped, off_diagonal=value
             )
-            n_active = int(np.count_nonzero(active))
-            skipped += len(idx_i) - n_active
-            if n_active == 0:
-                continue
-            rotations += n_active
-            if n_active < len(idx_i):
-                idx_i, idx_j = idx_i[active], idx_j[active]
-                norm_i, norm_j = norm_i[active], norm_j[active]
-                cov = cov[active]
-            c, s, _, _ = batch_rotation_params(
-                norm_i, norm_j, cov, rotation_impl=rotation_impl
-            )
-            _apply_round_rows(bt, idx_i, idx_j, c, s)
-            if vt is not None:
-                _apply_round_rows(vt, idx_i, idx_j, c, s)
-            if flops is not None:
-                flops.add_updates(m, n_active)
-        sweeps_done = sweep
-        value = measure(bt @ bt.T, criterion.metric)
-        trace.record(sweep, value, rotations, skipped)
         if rotations == 0 or criterion.satisfied(value):
             converged = True
             break

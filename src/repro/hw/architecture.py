@@ -40,6 +40,7 @@ from repro.hw.params import PAPER_ARCH, ArchitectureParams
 from repro.hw.resources import ResourceReport, estimate_resources
 from repro.hw.scheduler import simulate_decomposition
 from repro.hw.timing_model import CycleBreakdown, estimate_cycles
+from repro.obs import span
 from repro.util.validation import as_float_matrix, check_in_choices
 
 __all__ = ["AcceleratorOutcome", "HestenesJacobiAccelerator"]
@@ -98,9 +99,15 @@ class HestenesJacobiAccelerator:
     def decompose(self, a, *, sweeps: int | None = None) -> AcceleratorOutcome:
         """Decompose *a*; returns values plus modelled execution time."""
         a = as_float_matrix(a, name="a")
-        if self.mode == "event":
-            return self._decompose_event(a, sweeps)
-        return self._decompose_analytic(a, sweeps)
+        with span(
+            "hw.decompose", mode=self.mode, m=a.shape[0], n=a.shape[1]
+        ) as dec_span:
+            if self.mode == "event":
+                out = self._decompose_event(a, sweeps)
+            else:
+                out = self._decompose_analytic(a, sweeps)
+            dec_span.set_attrs(modeled_cycles=out.cycles, modeled_s=out.seconds)
+            return out
 
     def _decompose_analytic(self, a, sweeps):
         m, n = a.shape

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from repro.core.ordering import cyclic_sweep
 from repro.hw.bram import covariance_words
 from repro.hw.params import PAPER_ARCH, ArchitectureParams
+from repro.obs import span
 from repro.util.validation import check_positive_int
 
 __all__ = ["SweepCycles", "CycleBreakdown", "estimate_cycles", "estimate_seconds"]
@@ -130,64 +131,100 @@ def estimate_cycles(
     lat = arch.latencies
     bd = CycleBreakdown(m=m, n=n, arch=arch)
 
-    # ---- Gram phase -------------------------------------------------------
-    gram_mults = m * n * (n + 1) // 2
-    p = arch.preproc_multipliers
-    bd.gram_compute = math.ceil(gram_mults / p)
-    # Input schedule of Fig. 3: each layer pass covers `layers` rows and
-    # needs (n + layers) input cycles; the 8-layer 8x8 example in the
-    # paper costs exactly (8 + 8) = 16 cycles.
-    passes = math.ceil(m / arch.preproc_layers)
-    bd.input_stream = passes * (n + arch.preproc_layers)
-    fill = lat.mul + arch.preproc_layers * lat.add
-    bd.gram_phase = max(bd.gram_compute, bd.input_stream) + fill
-
-    # ---- Sweeps -----------------------------------------------------------
-    sizes = _round_sizes(n)
-    spill_words = max(0, covariance_words(n) - covariance_words(arch.max_onchip_cols))
-    spill_bytes_per_round = 2 * 8 * spill_words  # read + write, 8 B/word
-    drain = lat.rotation_critical_path + lat.update_fill
-
-    for s in range(1, n_sweeps + 1):
-        kernels = arch.kernels_first_sweep if s == 1 else arch.kernels_later_sweeps
-        issue = cov = col = io = 0
-        sweep_total = 0
-        for size in sizes:
-            groups = math.ceil(size / arch.rotation_group)
-            r_issue = groups * arch.rotation_issue_cycles
-            r_cov = math.ceil(
-                size * max(0, n - 2) / (kernels * arch.kernel_pairs_per_cycle)
+    with span("hw.estimate", m=m, n=n, sweeps=n_sweeps) as est_span:
+        # ---- Gram phase ---------------------------------------------------
+        with span("hw.gram") as gram_span:
+            gram_mults = m * n * (n + 1) // 2
+            p = arch.preproc_multipliers
+            bd.gram_compute = math.ceil(gram_mults / p)
+            # Input schedule of Fig. 3: each layer pass covers `layers`
+            # rows and needs (n + layers) input cycles; the 8-layer 8x8
+            # example in the paper costs exactly (8 + 8) = 16 cycles.
+            passes = math.ceil(m / arch.preproc_layers)
+            bd.input_stream = passes * (n + arch.preproc_layers)
+            fill = lat.mul + arch.preproc_layers * lat.add
+            bd.gram_phase = max(bd.gram_compute, bd.input_stream) + fill
+            gram_span.set_attrs(
+                modeled_cycles=bd.gram_phase,
+                modeled_s=arch.seconds(bd.gram_phase),
             )
-            r_col = 0
-            if s == 1 and update_columns_first_sweep:
-                r_col = math.ceil(size * m / (kernels * arch.kernel_pairs_per_cycle))
-            if accumulate_v:
-                # One V-column pair (n elements) per rotation, every sweep.
-                r_col += math.ceil(size * n / (kernels * arch.kernel_pairs_per_cycle))
-            r_io = 0
-            if spill_words:
-                r_io = math.ceil(spill_bytes_per_round / arch.offchip_bytes_per_cycle)
-            issue += r_issue
-            cov += r_cov
-            col += r_col
-            io += r_io
-            sweep_total += max(r_issue, r_cov + r_col, r_io)
-        sweep_total += drain
-        bd.sweeps.append(
-            SweepCycles(
-                index=s,
-                rotation_issue=issue,
-                covariance_work=cov,
-                column_work=col,
-                spill_io=io,
-                drain=drain,
-                total=sweep_total,
-            )
+
+        # ---- Sweeps -------------------------------------------------------
+        sizes = _round_sizes(n)
+        spill_words = max(
+            0, covariance_words(n) - covariance_words(arch.max_onchip_cols)
         )
+        spill_bytes_per_round = 2 * 8 * spill_words  # read + write, 8 B/word
+        drain = lat.rotation_critical_path + lat.update_fill
 
-    # ---- Finalization: sqrt of the n diagonal entries ----------------------
-    bd.finalize = n + lat.sqrt
-    bd.total = bd.gram_phase + bd.sweep_total + bd.finalize
+        for s in range(1, n_sweeps + 1):
+            with span("hw.sweep", sweep=s) as sweep_span:
+                kernels = (
+                    arch.kernels_first_sweep
+                    if s == 1
+                    else arch.kernels_later_sweeps
+                )
+                issue = cov = col = io = 0
+                sweep_total = 0
+                for size in sizes:
+                    groups = math.ceil(size / arch.rotation_group)
+                    r_issue = groups * arch.rotation_issue_cycles
+                    r_cov = math.ceil(
+                        size * max(0, n - 2)
+                        / (kernels * arch.kernel_pairs_per_cycle)
+                    )
+                    r_col = 0
+                    if s == 1 and update_columns_first_sweep:
+                        r_col = math.ceil(
+                            size * m / (kernels * arch.kernel_pairs_per_cycle)
+                        )
+                    if accumulate_v:
+                        # One V-column pair (n elements) per rotation,
+                        # every sweep.
+                        r_col += math.ceil(
+                            size * n / (kernels * arch.kernel_pairs_per_cycle)
+                        )
+                    r_io = 0
+                    if spill_words:
+                        r_io = math.ceil(
+                            spill_bytes_per_round / arch.offchip_bytes_per_cycle
+                        )
+                    issue += r_issue
+                    cov += r_cov
+                    col += r_col
+                    io += r_io
+                    sweep_total += max(r_issue, r_cov + r_col, r_io)
+                sweep_total += drain
+                bd.sweeps.append(
+                    SweepCycles(
+                        index=s,
+                        rotation_issue=issue,
+                        covariance_work=cov,
+                        column_work=col,
+                        spill_io=io,
+                        drain=drain,
+                        total=sweep_total,
+                    )
+                )
+                sweep_span.set_attrs(
+                    modeled_cycles=sweep_total,
+                    modeled_s=arch.seconds(sweep_total),
+                    rotation_issue=issue,
+                    covariance_work=cov,
+                    column_work=col,
+                    spill_io=io,
+                )
+
+        # ---- Finalization: sqrt of the n diagonal entries ------------------
+        with span("hw.finalize") as fin_span:
+            bd.finalize = n + lat.sqrt
+            fin_span.set_attrs(
+                modeled_cycles=bd.finalize, modeled_s=arch.seconds(bd.finalize)
+            )
+        bd.total = bd.gram_phase + bd.sweep_total + bd.finalize
+        est_span.set_attrs(
+            modeled_cycles=bd.total, modeled_s=bd.seconds
+        )
     return bd
 
 

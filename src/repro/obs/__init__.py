@@ -1,0 +1,76 @@
+"""Observability: span tracing and per-sweep telemetry.
+
+The paper's evaluation is all about *where cycles go* — per-sweep
+rotation/update overlap (Table I, Figs 7-11) — and a serving deployment
+needs the same visibility per request.  This package supplies it
+without any external dependency:
+
+* :class:`~repro.obs.tracer.Tracer` — a context-variable based tracer
+  with nested :func:`~repro.obs.tracer.span` scopes carrying a name,
+  attributes, monotonic start time and duration.  Installing a tracer
+  via :func:`~repro.obs.tracer.use_tracer` makes every instrumented
+  layer emit spans: the core engines (``core.sweep`` / ``core.round`` /
+  ``core.finalize``), the hardware cycle model (``hw.estimate`` and its
+  modeled per-sweep children, so modeled and measured time can be
+  overlaid), and the serving layer (``serve.request`` →
+  ``serve.queue_wait`` / ``serve.batch`` → ``serve.engine``).
+* :mod:`~repro.obs.exporters` — Chrome ``chrome://tracing`` JSON,
+  an indented text tree, and a flat Prometheus-style dump of a
+  :class:`repro.serve.metrics.MetricsRegistry`.
+
+The disabled path (no tracer installed, or a
+:class:`~repro.obs.tracer.NullTracer`) is a single context-variable
+read per instrumented scope and is budgeted at <= 5% overhead on the
+engine hot path (enforced by ``benchmarks/bench_obs.py``).
+
+Example
+-------
+>>> from repro.obs import Tracer, use_tracer, span
+>>> tracer = Tracer()
+>>> with use_tracer(tracer):
+...     with span("outer", layer="demo") as outer:
+...         with span("inner") as inner:
+...             _ = inner.set_attr("pairs", 4)
+>>> [s.name for s in tracer.spans]
+['inner', 'outer']
+>>> tracer.spans[0].parent_id == tracer.spans[1].span_id
+True
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    metrics_to_prometheus,
+    render_span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import (
+    DETAIL_LEVELS,
+    NOOP_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    noop_span,
+    round_detail,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "DETAIL_LEVELS",
+    "NOOP_SPAN",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "metrics_to_prometheus",
+    "noop_span",
+    "render_span_tree",
+    "round_detail",
+    "span",
+    "to_chrome_trace",
+    "use_tracer",
+    "write_chrome_trace",
+]

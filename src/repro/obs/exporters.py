@@ -1,0 +1,165 @@
+"""Span and metrics exporters: Chrome trace JSON, text tree, Prometheus.
+
+Three output formats, all dependency-free:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  Trace Event format (open the file at ``chrome://tracing`` or in
+  Perfetto).  Each span becomes one complete ("X") event; span ids,
+  parent ids and the trace id ride along in ``args`` so request flows
+  can be filtered.
+* :func:`render_span_tree` — an indented text rendering of the span
+  forest for terminals and test output.
+* :func:`metrics_to_prometheus` — a flat Prometheus-style exposition of
+  a :class:`repro.serve.metrics.MetricsRegistry` snapshot (counters,
+  gauges, histogram count/sum/quantiles).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_span_tree",
+    "metrics_to_prometheus",
+]
+
+
+def _spans_of(tracer_or_spans) -> list:
+    spans = getattr(tracer_or_spans, "spans", tracer_or_spans)
+    return [sp if isinstance(sp, dict) else sp.to_dict() for sp in spans]
+
+
+def _jsonable(value):
+    """Coerce an attribute to something json.dumps accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def chrome_trace_events(tracer_or_spans, *, pid: int = 1) -> list[dict]:
+    """Spans as Chrome Trace Event dicts (complete events, µs units).
+
+    Timestamps are rebased to the earliest span start so the trace
+    begins at t=0 regardless of the tracer's clock origin.
+    """
+    spans = _spans_of(tracer_or_spans)
+    if not spans:
+        return []
+    origin = min(sp["start"] for sp in spans)
+    events = []
+    for sp in spans:
+        args = {k: _jsonable(v) for k, v in sp["attrs"].items()}
+        args["span_id"] = sp["span_id"]
+        if sp["parent_id"] is not None:
+            args["parent_id"] = sp["parent_id"]
+        if sp["trace_id"] is not None:
+            args["trace_id"] = sp["trace_id"]
+        events.append(
+            {
+                "name": sp["name"],
+                "cat": sp["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": (sp["start"] - origin) * 1e6,
+                "dur": sp["duration"] * 1e6,
+                "pid": pid,
+                "tid": sp["thread_id"],
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def to_chrome_trace(tracer_or_spans) -> dict:
+    """The full Chrome trace document (``{"traceEvents": [...]}``)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer_or_spans),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path, tracer_or_spans) -> str:
+    """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
+    doc = to_chrome_trace(tracer_or_spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return str(path)
+
+
+def render_span_tree(tracer_or_spans, *, attrs: bool = True) -> str:
+    """Indented text rendering of the span forest (roots first).
+
+    Spans whose parent was never recorded (e.g. round spans under a
+    sweep-detail tracer) render as roots.
+    """
+    spans = _spans_of(tracer_or_spans)
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {sp["span_id"]: sp for sp in spans}
+    children: dict = {}
+    roots = []
+    for sp in sorted(spans, key=lambda s: (s["start"], s["span_id"])):
+        parent = sp["parent_id"]
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(sp)
+        else:
+            roots.append(sp)
+    lines: list[str] = []
+
+    def walk(sp, depth):
+        extra = ""
+        if attrs and sp["attrs"]:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(sp["attrs"].items()))
+            extra = f"  [{pairs}]"
+        trace = f"  trace={sp['trace_id']}" if sp["trace_id"] else ""
+        lines.append(
+            f"{'  ' * depth}{sp['name']}  {sp['duration'] * 1e3:.3f} ms"
+            f"{trace}{extra}"
+        )
+        for child in children.get(sp["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def _metric_name(name: str) -> str:
+    safe = "".join(c if c.isalnum() else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def metrics_to_prometheus(registry) -> str:
+    """Flat Prometheus-style text dump of a MetricsRegistry snapshot.
+
+    Counters render as ``repro_<name> <value>``; gauges likewise;
+    histograms expand to ``_count`` / ``_sum`` plus one
+    ``{quantile="..."}`` sample per tracked quantile — the conventional
+    summary-metric shape, computed over the registry's bounded
+    reservoir.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snap["gauges"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    for name, summary in snap["histograms"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for q in ("p50", "p95", "p99"):
+            quantile = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}[q]
+            lines.append(f'{metric}{{quantile="{quantile}"}} {summary[q]:g}')
+        lines.append(f"{metric}_count {summary['count']}")
+        lines.append(f"{metric}_sum {summary['mean'] * summary['count']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")

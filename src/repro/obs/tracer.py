@@ -1,0 +1,355 @@
+"""Context-variable span tracer (zero-dependency, thread-aware).
+
+Design constraints, in priority order:
+
+1. **Disabled cost ~ zero.**  Instrumented code calls the module-level
+   :func:`span` helper; when no tracer is installed (the default) it
+   performs one ``ContextVar.get`` plus an ``is None`` check and
+   returns a shared no-op context manager.  No allocation, no lock.
+2. **Correct nesting across threads.**  The active tracer and the
+   current span both live in context variables, so parent/child
+   relationships follow the logical call stack.  Worker threads receive
+   the caller's context through ``contextvars.copy_context`` (see
+   :func:`repro.core.batch.batch_svd`), which parents engine sweep
+   spans under the serving layer's ``serve.engine`` span.
+3. **Cross-thread lifecycles.**  The serving layer opens a request's
+   root span in the client thread and closes it in the dispatch thread;
+   :meth:`Tracer.start_span` / :meth:`Span.end` and the retroactive
+   :meth:`Tracer.add_span` support that without touching the context
+   variables.
+
+Span timestamps come from the tracer's clock (default
+``time.perf_counter``) and are floats in seconds; exporters convert to
+microseconds for the Chrome trace format.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "DETAIL_LEVELS",
+    "NOOP_SPAN",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "noop_span",
+    "round_detail",
+    "span",
+    "use_tracer",
+]
+
+#: Instrumentation granularities: "sweep" (default) emits one span per
+#: engine sweep; "round" additionally emits one span per rotation round.
+DETAIL_LEVELS = ("sweep", "round")
+
+_tracer_var: ContextVar["Tracer | None"] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+_span_var: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path (stateless, reentrant)."""
+
+    __slots__ = ()
+
+    def set_attr(self, name, value) -> "_NoopSpan":
+        return self
+
+    def set_attrs(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def end(self, end_time: float | None = None) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span every disabled scope shares.
+NOOP_SPAN = _NoopSpan()
+
+
+def noop_span(name=None, **attrs) -> _NoopSpan:
+    """Signature-compatible stand-in for :func:`span` that never records."""
+    return NOOP_SPAN
+
+
+class Span:
+    """One named, timed scope with attributes and a parent link.
+
+    Use as a context manager for stack-scoped spans (parenting follows
+    the ambient context variable) or via :meth:`Tracer.start_span` +
+    :meth:`end` for lifecycles that cross threads.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "start",
+        "duration",
+        "attrs",
+        "thread_id",
+        "_tracer",
+        "_token",
+        "_ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        trace_id: str | None,
+        start: float,
+        attrs: dict,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.start = start
+        self.duration = 0.0
+        self.attrs = attrs
+        self.thread_id = threading.get_ident()
+        self._tracer = tracer
+        self._token = None
+        self._ended = False
+
+    def set_attr(self, name: str, value) -> "Span":
+        """Attach one attribute; returns self for chaining."""
+        self.attrs[name] = value
+        return self
+
+    def set_attrs(self, **attrs) -> "Span":
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, end_time: float | None = None) -> "Span":
+        """Close the span and hand it to the tracer (idempotent)."""
+        if not self._ended:
+            self._ended = True
+            end = self._tracer.now() if end_time is None else end_time
+            self.duration = max(0.0, end - self.start)
+            self._tracer._record(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _span_var.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _span_var.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the exporters' input)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start": self.start,
+            "duration": self.duration,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"trace={self.trace_id!r}, dur={self.duration:.6f}s)"
+        )
+
+
+class Tracer:
+    """Collects finished spans; install with :func:`use_tracer`.
+
+    Parameters
+    ----------
+    clock : callable
+        Monotonic time source shared by every span (injectable for
+        tests); defaults to :func:`time.perf_counter`.
+    detail : {"sweep", "round"}
+        Engine instrumentation granularity.  "round" adds one span per
+        rotation round — detailed, but O(n) spans per sweep.
+    """
+
+    enabled = True
+
+    def __init__(self, *, clock=time.perf_counter, detail: str = "sweep") -> None:
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(
+                f"detail must be one of {DETAIL_LEVELS}, got {detail!r}"
+            )
+        self.detail = detail
+        self._clock = clock
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # ---- span creation --------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Context-managed span parented on the ambient current span."""
+        parent = _span_var.get()
+        return Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            trace_id=attrs.pop("trace_id", None)
+            or (parent.trace_id if parent is not None else None),
+            start=self.now(),
+            attrs=attrs,
+        )
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        trace_id: str | None = None,
+        start: float | None = None,
+        **attrs,
+    ) -> Span:
+        """Manually managed span (close with :meth:`Span.end`).
+
+        Does not touch the context variables, so it is safe to open in
+        one thread and close in another.
+        """
+        return Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            trace_id=trace_id or (parent.trace_id if parent is not None else None),
+            start=self.now() if start is None else start,
+            attrs=attrs,
+        )
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        trace_id: str | None = None,
+        **attrs,
+    ) -> Span:
+        """Record a retroactive, already-finished span (start/end in
+        this tracer's clock domain)."""
+        sp = self.start_span(
+            name, parent=parent, trace_id=trace_id, start=start, **attrs
+        )
+        sp.end(end_time=end)
+        return sp
+
+    # ---- bookkeeping ----------------------------------------------------
+
+    def now(self) -> float:
+        """Current reading of the tracer's clock."""
+        return self._clock()
+
+    def _record(self, sp: Span) -> None:
+        with self._lock:
+            self._spans.append(sp)
+
+    @property
+    def spans(self) -> tuple:
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def find(self, name: str) -> list[Span]:
+        """Finished spans with the given name."""
+        return [sp for sp in self.spans if sp.name == name]
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class NullTracer(Tracer):
+    """A disabled tracer: installable, records nothing.
+
+    Useful to measure (and test) the disabled-path overhead explicitly:
+    instrumented code sees a tracer whose ``enabled`` flag is False and
+    short-circuits to the shared :data:`NOOP_SPAN`.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return NOOP_SPAN
+
+    def start_span(self, name, **kwargs):
+        return NOOP_SPAN
+
+    def add_span(self, name, **kwargs):
+        return NOOP_SPAN
+
+
+# ---- module-level helpers (the instrumentation surface) -----------------
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer installed in the current context, or None."""
+    return _tracer_var.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None):
+    """Install *tracer* for the dynamic extent of the ``with`` block.
+
+    The installation is context-local: other threads (unless they copy
+    this context) keep their own tracer.  Passing None disables tracing
+    inside the block even when an outer scope installed a tracer.
+    """
+    token = _tracer_var.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _tracer_var.reset(token)
+
+
+def span(name: str, **attrs):
+    """Open a span on the ambient tracer (no-op when tracing is off).
+
+    This is the hot-path entry point the instrumented layers call; the
+    disabled path costs one context-variable read.
+    """
+    tracer = _tracer_var.get()
+    if tracer is None or not tracer.enabled:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def round_detail() -> bool:
+    """Whether per-round spans are requested by the ambient tracer."""
+    tracer = _tracer_var.get()
+    return tracer is not None and tracer.enabled and tracer.detail == "round"

@@ -20,15 +20,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.registry import METHODS
 from repro.util.hashing import digest
 from repro.util.validation import as_float_matrix, check_in_choices
 
 __all__ = ["ENGINES", "ServeError", "DeadlineExceeded", "SVDRequest", "make_request"]
 
-#: Execution engines a request may target: the pure-NumPy solvers
-#: ("core"), the round-parallel batched solver ("vectorized"), or the
-#: cycle-modelled FPGA accelerator ("hw").
-ENGINES = ("core", "vectorized", "hw")
+#: Execution engines a request may target: ``"core"`` (the default
+#: solver configuration), any engine registered in
+#: :mod:`repro.core.registry` by name, or the cycle-modelled FPGA
+#: accelerator ("hw").  Derived from the registry so serve's vocabulary
+#: can never drift from the core dispatch.
+ENGINES = ("core", *METHODS, "hw")
 
 
 class ServeError(RuntimeError):
@@ -54,13 +57,18 @@ class SVDRequest:
         Solver options as a sorted tuple of pairs — hashable, so it can
         participate in the batch key.
     engine : str
-        ``"core"``, ``"vectorized"`` or ``"hw"`` (:data:`ENGINES`).
+        One of :data:`ENGINES` — ``"core"``, a registry engine name
+        (``"reference"``, ``"blocked"``, ...) or ``"hw"``.
     submitted_at : float
         Clock reading when the request entered the server.
     deadline : float or None
         Absolute clock time after which the result is worthless; the
         scheduler drops expired requests and may degrade the engine
         under deadline pressure.
+    trace_id : str or None
+        Tracing correlation id assigned at submission when the server
+        has a tracer; spans of this request's lifecycle carry it, and
+        it is echoed on the response.
     """
 
     request_id: str
@@ -69,6 +77,7 @@ class SVDRequest:
     engine: str = "core"
     submitted_at: float = 0.0
     deadline: float | None = None
+    trace_id: str | None = field(default=None, compare=False)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -105,6 +114,7 @@ def make_request(
     engine: str = "core",
     now: float = 0.0,
     timeout: float | None = None,
+    trace_id: str | None = None,
     **options,
 ) -> SVDRequest:
     """Validate inputs and build an :class:`SVDRequest`.
@@ -116,21 +126,35 @@ def make_request(
     request_id : str
         Identifier assigned by the caller (normally the server).
     engine : str
-        ``"core"``, ``"vectorized"`` or ``"hw"``.
+        One of :data:`ENGINES`.
     now : float
         Current clock reading; stored as ``submitted_at`` and used to
         convert *timeout* into an absolute deadline.
     timeout : float or None
         Relative deadline in seconds; ``None`` means no deadline.
+    trace_id : str or None
+        Tracing correlation id (normally server-assigned).
     **options
         Solver options, validated eagerly by constructing a
         :class:`repro.core.svd.HestenesJacobiSVD` so typos fail at
-        submission, not inside a worker thread.
+        submission, not inside a worker thread.  An ``engine_opts``
+        mapping is canonicalized to a sorted tuple of pairs so the
+        request stays hashable for batching and caching.
     """
     from repro.core.svd import HestenesJacobiSVD
 
     check_in_choices(engine, ENGINES, name="engine")
-    HestenesJacobiSVD(**options)  # eager option validation
+    HestenesJacobiSVD(**options)  # eager option-name validation
+    if options.get("engine_opts"):
+        # Validate contents against the engine that will actually run:
+        # a registry engine named directly, or the core path's method.
+        from repro.core.registry import resolve_engine
+
+        method = engine if engine in METHODS else options.get("method",
+                                                              "blocked")
+        resolve_engine(method).validate_options(dict(options["engine_opts"]))
+    if isinstance(options.get("engine_opts"), dict):
+        options["engine_opts"] = tuple(sorted(options["engine_opts"].items()))
     arr = as_float_matrix(matrix, name="matrix")
     if isinstance(matrix, np.ndarray) and np.shares_memory(arr, matrix):
         arr = arr.copy()  # snapshot: the caller may mutate theirs after submit
@@ -143,4 +167,5 @@ def make_request(
         engine=engine,
         submitted_at=now,
         deadline=deadline,
+        trace_id=trace_id,
     )

@@ -49,6 +49,10 @@ class SVDResponse:
         Time spent inside the solver dispatch.
     total_s : float
         Submission-to-completion wall time.
+    trace_id : str or None
+        Correlation id of this request's spans when the server was
+        constructed with a tracer (matches the ``trace_id`` attribute
+        on the ``serve.request`` span tree), else None.
     """
 
     request_id: str
@@ -61,6 +65,7 @@ class SVDResponse:
     queued_s: float = 0.0
     service_s: float = 0.0
     total_s: float = 0.0
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:

@@ -145,8 +145,10 @@ class EngineExecutor:
         return batch_svd(matrices, workers=self.workers, solver=solver,
                          pool=self.pool)
 
-    def _vectorized_dispatch(self, matrices, options: dict) -> list[SVDResult]:
-        solver = HestenesJacobiSVD(**{**options, "method": "vectorized"})
+    def _method_dispatch(self, matrices, options: dict,
+                         method: str) -> list[SVDResult]:
+        """Dispatch on a specific registry engine, overriding ``method``."""
+        solver = HestenesJacobiSVD(**{**options, "method": method})
         return batch_svd(matrices, workers=self.workers, solver=solver,
                          pool=self.pool)
 
@@ -176,16 +178,18 @@ class EngineExecutor:
         A ``hw`` batch degrades to ``core`` (when allowed) if the
         modelled accelerator latency exceeds *deadline_budget_s* — the
         tightest remaining deadline in the batch — or if the
-        accelerator raises.  A ``vectorized`` batch degrades to ``core``
-        (when allowed) if the round-parallel engine raises — e.g. an
-        option combination it rejects, such as ``block_rounds`` with an
+        accelerator raises.  A batch on any registry engine
+        (``"reference"``, ``"vectorized"``, ...) degrades to ``core``
+        (when allowed) if that engine raises — e.g. an option
+        combination it rejects, such as ``block_rounds`` with an
         incompatible method override.
         """
         if engine == "core":
             return self._core_dispatch(matrices, options), "core"
-        if engine == "vectorized":
+        if engine != "hw":
+            # Any engine registered with repro.core.registry, by name.
             try:
-                return self._vectorized_dispatch(matrices, options), "vectorized"
+                return self._method_dispatch(matrices, options, engine), engine
             except Exception:
                 if not self.allow_degradation:
                     raise

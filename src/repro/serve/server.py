@@ -31,6 +31,7 @@ import itertools
 import threading
 import time
 
+from repro.obs import use_tracer
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.queue import POLICIES, RequestQueue
@@ -89,10 +90,17 @@ class SVDServer:
     cache_bytes : int or None
         Result-cache budget; ``None`` disables caching.
     default_engine : str
-        Engine used when a request does not choose: ``"core"``,
-        ``"vectorized"`` or ``"hw"``.
+        Engine used when a request does not choose: ``"core"``, any
+        registry engine name, or ``"hw"``
+        (:data:`repro.serve.request.ENGINES`).
     clock : callable
         Monotonic time source (injectable for tests).
+    tracer : repro.obs.Tracer, optional
+        When given, every request's lifecycle is recorded as a span
+        tree — ``serve.request`` → ``serve.queue_wait`` /
+        ``serve.batch`` → ``serve.engine`` → the engine's own
+        ``core.sweep`` spans — correlated by a per-request trace id
+        that is echoed on :class:`repro.serve.result.SVDResponse`.
     **default_options
         Solver options applied to every request unless overridden at
         :meth:`submit` (method, max_sweeps, tol, compute_uv, ...).
@@ -109,6 +117,7 @@ class SVDServer:
         cache_bytes: int | None = 64 * 1024 * 1024,
         default_engine: str = "core",
         clock=time.monotonic,
+        tracer=None,
         **default_options,
     ) -> None:
         self.config = BatchConfig(max_batch=max_batch, max_wait_s=max_wait_s,
@@ -122,6 +131,10 @@ class SVDServer:
         self._ids = itertools.count()
         self._batcher = MicroBatcher(self.config)
         self._executor = EngineExecutor(workers=workers)
+        self.tracer = tracer
+        # Submit-time tracer timestamps, for the retroactive
+        # serve.request / serve.queue_wait spans built at dispatch.
+        self._trace_starts: dict[str, float] = {}
         self._pending: dict[str, ResponseHandle] = {}
         self._pending_lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -171,13 +184,16 @@ class SVDServer:
         if self._closed:
             raise ServerClosed("server is closed")
         now = self._clock()
+        request_id = f"req-{next(self._ids)}"
+        trace_start = self.tracer.now() if self.tracer is not None else None
         merged = {**self.default_options, **options}
         request = make_request(
             matrix,
-            request_id=f"req-{next(self._ids)}",
+            request_id=request_id,
             engine=engine or self.default_engine,
             now=now,
             timeout=timeout,
+            trace_id=request_id if self.tracer is not None else None,
             **merged,
         )
         handle = ResponseHandle(request.request_id)
@@ -185,25 +201,42 @@ class SVDServer:
             cached = self.cache.get(request.cache_key)
             if cached is not None:
                 self.metrics.counter("cache_hits").inc()
+                if self.tracer is not None:
+                    self.tracer.add_span(
+                        "serve.request", start=trace_start,
+                        end=self.tracer.now(), trace_id=request.trace_id,
+                        request_id=request.request_id, engine=request.engine,
+                        status="ok", cache_hit=True,
+                    )
                 handle._fulfil(SVDResponse(
                     request_id=request.request_id, status="ok", result=cached,
                     engine=request.engine, cache_hit=True,
-                    total_s=self._clock() - now,
+                    total_s=self._clock() - now, trace_id=request.trace_id,
                 ))
                 self.metrics.counter("requests_completed").inc()
                 return handle
             self.metrics.counter("cache_misses").inc()
         with self._pending_lock:
             self._pending[request.request_id] = handle
+            if trace_start is not None:
+                self._trace_starts[request.request_id] = trace_start
         try:
             self.queue.put(request)
         except ServeError as exc:
             with self._pending_lock:
                 self._pending.pop(request.request_id, None)
+                self._trace_starts.pop(request.request_id, None)
             self.metrics.counter("requests_rejected").inc()
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "serve.request", start=trace_start, end=self.tracer.now(),
+                    trace_id=request.trace_id, request_id=request.request_id,
+                    engine=request.engine, status="rejected",
+                )
             handle._fulfil(SVDResponse(
                 request_id=request.request_id, status="rejected",
                 error=str(exc), engine=request.engine,
+                trace_id=request.trace_id,
             ))
             raise
         self.metrics.counter("requests_submitted").inc()
@@ -265,18 +298,36 @@ class SVDServer:
                     self._run_batch(batch)
                 return
 
+    def _pop_trace_start(self, request_id: str) -> float | None:
+        with self._pending_lock:
+            return self._trace_starts.pop(request_id, None)
+
     def _run_batch(self, batch: Batch) -> None:
         now = self._clock()
+        tracer = self.tracer
         live: list[SVDRequest] = []
         for req in batch.requests:
             if req.expired(now):
                 self.metrics.counter("requests_timeout").inc()
+                if tracer is not None:
+                    t_end = tracer.now()
+                    t0 = self._pop_trace_start(req.request_id)
+                    root = tracer.add_span(
+                        "serve.request", start=t0 if t0 is not None else t_end,
+                        end=t_end, trace_id=req.trace_id,
+                        request_id=req.request_id, engine=req.engine,
+                        status="timeout",
+                    )
+                    tracer.add_span(
+                        "serve.queue_wait", start=root.start, end=t_end,
+                        parent=root, trace_id=req.trace_id, expired=True,
+                    )
                 self._respond(req, SVDResponse(
                     request_id=req.request_id, status="timeout",
                     error=f"deadline passed before dispatch "
                           f"(waited {now - req.submitted_at:.4f}s)",
                     engine=req.engine, queued_s=now - req.submitted_at,
-                    total_s=now - req.submitted_at,
+                    total_s=now - req.submitted_at, trace_id=req.trace_id,
                 ))
             else:
                 live.append(req)
@@ -289,13 +340,55 @@ class SVDServer:
         budget = Batch(batch.key, live, batch.created_at,
                        batch.flushed_at).deadline_budget(now)
         started = self._clock()
-        try:
-            results, engine_used = self._executor.dispatch(
-                [r.matrix for r in live], dict(live[0].options),
-                engine=live[0].engine, deadline_budget_s=budget,
+        roots: dict[str, object] = {}
+        batch_span = engine_span = None
+        if tracer is not None:
+            # Request roots open retroactively at their submit-time
+            # tracer timestamp; they were submitted in another thread,
+            # so they are managed manually rather than via contextvars.
+            t_dispatch = tracer.now()
+            for req in live:
+                t0 = self._pop_trace_start(req.request_id)
+                root = tracer.start_span(
+                    "serve.request", trace_id=req.trace_id,
+                    start=t0 if t0 is not None else t_dispatch,
+                    request_id=req.request_id, engine=req.engine,
+                )
+                tracer.add_span(
+                    "serve.queue_wait", start=root.start, end=t_dispatch,
+                    parent=root, trace_id=req.trace_id,
+                )
+                roots[req.request_id] = root
+            batch_span = tracer.start_span(
+                "serve.batch", parent=roots[live[0].request_id],
+                trace_id=live[0].trace_id, batch_size=len(live),
+                engine=live[0].engine,
             )
+            engine_span = tracer.start_span(
+                "serve.engine", parent=batch_span,
+                trace_id=live[0].trace_id, engine=live[0].engine,
+            )
+        try:
+            if tracer is not None:
+                # Entering engine_span sets the ambient current-span,
+                # so engine core.sweep spans (propagated into pool
+                # workers by batch_svd) nest beneath it.
+                with use_tracer(tracer), engine_span:
+                    results, engine_used = self._executor.dispatch(
+                        [r.matrix for r in live], dict(live[0].options),
+                        engine=live[0].engine, deadline_budget_s=budget,
+                    )
+            else:
+                results, engine_used = self._executor.dispatch(
+                    [r.matrix for r in live], dict(live[0].options),
+                    engine=live[0].engine, deadline_budget_s=budget,
+                )
         except Exception as exc:
             finished = self._clock()
+            if tracer is not None:
+                batch_span.set_attrs(error=type(exc).__name__).end()
+                for req in live:
+                    roots[req.request_id].set_attrs(status="error").end()
             for req in live:
                 self.metrics.counter("requests_failed").inc()
                 self._respond(req, SVDResponse(
@@ -304,22 +397,34 @@ class SVDServer:
                     queued_s=started - req.submitted_at,
                     service_s=finished - started,
                     total_s=finished - req.submitted_at,
+                    trace_id=req.trace_id,
                 ))
             return
         finished = self._clock()
         self.metrics.counter(f"engine_{engine_used}_requests").inc(len(live))
+        if tracer is not None:
+            engine_span.set_attr("engine_used", engine_used)
+            if engine_used != live[0].engine:
+                engine_span.set_attr("degraded", True)
+            batch_span.set_attrs(engine_used=engine_used).end()
         for req, res in zip(live, results):
             if self.cache is not None:
                 self.cache.put(req.cache_key, res)
             self.metrics.counter("requests_completed").inc()
             self.metrics.histogram("latency_s").observe(
                 finished - req.submitted_at)
+            if tracer is not None:
+                roots[req.request_id].set_attrs(
+                    status="ok", batch_size=len(live),
+                    engine_used=engine_used,
+                ).end()
             self._respond(req, SVDResponse(
                 request_id=req.request_id, status="ok", result=res,
                 engine=engine_used, batch_size=len(live),
                 queued_s=started - req.submitted_at,
                 service_s=finished - started,
                 total_s=finished - req.submitted_at,
+                trace_id=req.trace_id,
             ))
 
     def _respond(self, request: SVDRequest, response: SVDResponse) -> None:

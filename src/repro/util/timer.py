@@ -24,6 +24,16 @@ class Timer:
     True
     >>> t.count
     1
+
+    Nested entry of one instance is rejected — it would silently
+    overwrite the outer block's start time and corrupt the accumulator:
+
+    >>> with t:
+    ...     with t:
+    ...         pass
+    Traceback (most recent call last):
+        ...
+    RuntimeError: Timer is not re-entrant: already timing a block
     """
 
     __slots__ = ("elapsed", "count", "_start")
@@ -34,6 +44,8 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer is not re-entrant: already timing a block")
         self._start = time.perf_counter()
         return self
 

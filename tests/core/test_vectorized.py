@@ -161,13 +161,15 @@ def test_block_rounds_bitwise_equivalent(rng):
 def test_block_rounds_validation():
     with pytest.raises(ValueError):
         vectorized_svd(np.eye(4), block_rounds=0)
-    with pytest.raises(ValueError, match="block_rounds"):
+    with pytest.raises(ValueError, match="block_rounds"), \
+            pytest.warns(DeprecationWarning):
         hestenes_svd(np.eye(4), method="blocked", block_rounds=2)
 
 
 def test_hestenes_svd_dispatches_vectorized(rng):
     a = random_matrix(rng, 10, 6)
-    res = hestenes_svd(a, method="vectorized", block_rounds=2, ordering="row")
+    res = hestenes_svd(a, method="vectorized", ordering="row",
+                       engine_opts={"block_rounds": 2})
     assert res.method == "vectorized"
     assert_valid_svd(a, res)
 

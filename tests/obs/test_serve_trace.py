@@ -1,0 +1,124 @@
+"""Request-lifecycle tracing through SVDServer.
+
+The acceptance scenario for the observability layer: a traced serve
+request must produce a span tree ``serve.request`` →
+``serve.queue_wait`` / ``serve.batch`` → ``serve.engine`` →
+``core.sweep``..., all stamped with a trace id that matches the
+``trace_id`` on the :class:`repro.serve.SVDResponse`.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, to_chrome_trace, write_chrome_trace
+from repro.serve import SVDServer
+
+
+def serve_one(rng, tracer, shape=(12, 6), **submit_kwargs):
+    a = rng.standard_normal(shape)
+    with SVDServer(max_wait_s=0.001, tracer=tracer) as srv:
+        resp = srv.submit(a, **submit_kwargs).result(timeout=60.0)
+    return resp
+
+
+def children_of(tracer, parent):
+    return [s for s in tracer.spans if s.parent_id == parent.span_id]
+
+
+class TestLifecycleTree:
+    def test_full_span_tree_with_matching_trace_id(self, rng):
+        tracer = Tracer()
+        resp = serve_one(rng, tracer)
+        assert resp.ok
+        assert resp.trace_id == resp.request_id
+
+        (root,) = tracer.find("serve.request")
+        assert root.trace_id == resp.trace_id
+        assert root.attrs["request_id"] == resp.request_id
+        assert root.attrs["status"] == "ok"
+
+        names = {s.name for s in children_of(tracer, root)}
+        assert names == {"serve.queue_wait", "serve.batch"}
+
+        (batch,) = tracer.find("serve.batch")
+        (engine,) = tracer.find("serve.engine")
+        assert engine.parent_id == batch.span_id
+        assert engine.attrs["engine_used"] == "core"
+
+        sweeps = tracer.find("core.sweep")
+        assert sweeps, "engine spans must nest under the serve trace"
+        assert all(s.trace_id == resp.trace_id for s in sweeps)
+        assert all(s.parent_id == engine.span_id for s in sweeps)
+        assert tracer.find("core.finalize")
+
+    def test_batch_attrs(self, rng):
+        tracer = Tracer()
+        serve_one(rng, tracer)
+        (batch,) = tracer.find("serve.batch")
+        assert batch.attrs["batch_size"] == 1
+        assert batch.attrs["engine"] == "core"
+        assert batch.attrs["engine_used"] == "core"
+
+    def test_registry_engine_request_traced(self, rng):
+        tracer = Tracer()
+        resp = serve_one(rng, tracer, engine="vectorized")
+        assert resp.ok and resp.engine == "vectorized"
+        (root,) = tracer.find("serve.request")
+        assert root.attrs["engine"] == "vectorized"
+        assert root.attrs["engine_used"] == "vectorized"
+        (engine,) = tracer.find("serve.engine")
+        assert engine.attrs["engine_used"] == "vectorized"
+
+    def test_chrome_export_of_serve_trace(self, rng, tmp_path):
+        tracer = Tracer()
+        resp = serve_one(rng, tracer)
+        out = tmp_path / "serve.trace.json"
+        write_chrome_trace(out, tracer)
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        by_name = {ev["name"] for ev in events}
+        assert {"serve.request", "serve.queue_wait", "serve.batch",
+                "serve.engine", "core.sweep"} <= by_name
+        for ev in events:
+            assert ev["args"]["trace_id"] == resp.trace_id
+
+
+class TestCacheAndEdgeSpans:
+    def test_cache_hit_produces_synchronous_request_span(self, rng):
+        tracer = Tracer()
+        a = rng.standard_normal((10, 5))
+        with SVDServer(max_wait_s=0.001, tracer=tracer) as srv:
+            first = srv.submit(a).result(timeout=60.0)
+            hit = srv.submit(a)
+            assert hit.done()
+            resp = hit.result()
+        assert resp.cache_hit and resp.trace_id == resp.request_id
+        roots = tracer.find("serve.request")
+        assert len(roots) == 2
+        hit_span = next(r for r in roots
+                        if r.attrs["request_id"] == resp.request_id)
+        assert hit_span.attrs["cache_hit"] is True
+        assert hit_span.trace_id != first.trace_id
+
+    def test_untraced_server_has_no_trace_ids(self, rng):
+        resp = serve_one(rng, tracer=None)
+        assert resp.ok
+        assert resp.trace_id is None
+
+    def test_tracer_survives_many_requests(self, rng):
+        tracer = Tracer()
+        mats = [rng.standard_normal((8, 4)) for _ in range(6)]
+        with SVDServer(max_wait_s=0.002, tracer=tracer) as srv:
+            responses = [h.result(timeout=60.0)
+                         for h in srv.submit_many(mats)]
+        assert all(r.ok for r in responses)
+        roots = tracer.find("serve.request")
+        assert {r.attrs["request_id"] for r in roots} == {
+            r.request_id for r in responses
+        }
+        # Every root's trace id matches its response's trace id.
+        by_id = {r.request_id: r.trace_id for r in responses}
+        assert all(root.trace_id == by_id[root.attrs["request_id"]]
+                   for root in roots)
+        json.dumps(to_chrome_trace(tracer))  # exportable end-to-end

@@ -1,0 +1,66 @@
+"""`repro trace --output` writes a valid Chrome trace with nested spans."""
+
+import json
+
+from repro.cli import main
+
+
+def load_trace(path):
+    doc = json.loads(path.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    return doc["traceEvents"]
+
+
+class TestTraceRecording:
+    def test_direct_engine_trace(self, tmp_path, capsys):
+        out = tmp_path / "direct.trace.json"
+        assert main(["trace", "16", "8", "--output", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "chrome://tracing" in stdout
+        events = load_trace(out)
+        names = {ev["name"] for ev in events}
+        assert "core.sweep" in names and "core.finalize" in names
+        # The modelled overlay rides in the same trace file.
+        assert "hw.estimate" in names and "hw.sweep" in names
+
+    def test_round_detail_adds_round_events(self, tmp_path):
+        out = tmp_path / "round.trace.json"
+        assert main(["trace", "12", "6", "--output", str(out),
+                     "--detail", "round"]) == 0
+        assert any(ev["name"] == "core.round" for ev in load_trace(out))
+
+    def test_engine_choice(self, tmp_path):
+        out = tmp_path / "vec.trace.json"
+        assert main(["trace", "12", "6", "--output", str(out),
+                     "--engine", "vectorized"]) == 0
+        sweep = next(ev for ev in load_trace(out)
+                     if ev["name"] == "core.sweep")
+        assert sweep["args"]["method"] == "vectorized"
+
+    def test_serve_mode_emits_nested_request_spans(self, tmp_path, capsys):
+        out = tmp_path / "serve.trace.json"
+        assert main(["trace", "12", "6", "--output", str(out), "--serve",
+                     "--requests", "2"]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace ids: req-0, req-1" in stdout
+        events = load_trace(out)
+        by_name = {}
+        for ev in events:
+            by_name.setdefault(ev["name"], []).append(ev)
+        assert len(by_name["serve.request"]) == 2
+        assert {"serve.queue_wait", "serve.batch", "serve.engine",
+                "core.sweep"} <= set(by_name)
+        # Engine spans nest: parent chain engine -> batch is intact and
+        # every event carries one of the printed trace ids.
+        engine = by_name["serve.engine"][0]
+        assert engine["args"]["parent_id"] == (
+            by_name["serve.batch"][0]["args"]["span_id"]
+        )
+        traced = [ev["args"]["trace_id"] for ev in events
+                  if "trace_id" in ev["args"]]
+        assert set(traced) == {"req-0", "req-1"}
+
+    def test_gantt_mode_still_works(self, capsys):
+        assert main(["trace", "8", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "execution trace" in out.lower() or "cycle" in out.lower()

@@ -1,0 +1,265 @@
+"""Tracer semantics: nesting, attrs, inheritance, disabled path, engines."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.svd import hestenes_svd
+from repro.obs import (
+    DETAIL_LEVELS,
+    NOOP_SPAN,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    noop_span,
+    round_detail,
+    span,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by *step* seconds."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer") as outer:
+                with span("inner"):
+                    pass
+        inner, recorded_outer = tracer.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert recorded_outer.parent_id is None
+
+    def test_completion_order_inner_first(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("a"):
+                with span("b"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["b", "a"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("root") as root:
+                with span("s1"):
+                    pass
+                with span("s2"):
+                    pass
+        s1, s2 = tracer.find("s1")[0], tracer.find("s2")[0]
+        assert s1.parent_id == s2.parent_id == root.span_id
+
+    def test_trace_id_inherited_from_parent(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("root", trace_id="t-1"):
+                with span("child"):
+                    pass
+        assert tracer.find("child")[0].trace_id == "t-1"
+        assert tracer.find("root")[0].trace_id == "t-1"
+
+
+class TestAttrs:
+    def test_kwargs_and_setters(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("s", k=1) as sp:
+                sp.set_attr("j", 2).set_attrs(x=3, y=4)
+        assert tracer.spans[0].attrs == {"k": 1, "j": 2, "x": 3, "y": 4}
+
+    def test_exception_records_error_attr(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("nope")
+        sp = tracer.spans[0]
+        assert sp.attrs["error"] == "ValueError"
+
+    def test_to_dict_roundtrip(self):
+        tracer = Tracer(clock=FakeClock())
+        with use_tracer(tracer):
+            with span("s", k=1):
+                pass
+        d = tracer.spans[0].to_dict()
+        assert d["name"] == "s" and d["attrs"] == {"k": 1}
+        assert d["duration"] > 0
+
+
+class TestClockAndTiming:
+    def test_fake_clock_durations(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with use_tracer(tracer):
+            with span("s"):  # start=t1, end=t2
+                pass
+        assert tracer.spans[0].duration == pytest.approx(1.0)
+
+    def test_add_span_retroactive(self):
+        tracer = Tracer()
+        sp = tracer.add_span("retro", start=10.0, end=12.5, trace_id="t")
+        assert sp.duration == pytest.approx(2.5)
+        assert tracer.spans[0] is sp
+
+    def test_start_span_cross_thread_end(self):
+        tracer = Tracer()
+        sp = tracer.start_span("request", trace_id="t-9")
+        t = threading.Thread(target=sp.end)
+        t.start()
+        t.join()
+        assert tracer.spans[0].name == "request"
+        assert tracer.spans[0].trace_id == "t-9"
+
+    def test_end_idempotent(self):
+        tracer = Tracer()
+        sp = tracer.start_span("once")
+        sp.end()
+        sp.end()
+        assert len(tracer) == 1
+
+
+class TestDisabledPath:
+    def test_no_tracer_returns_noop(self):
+        assert current_tracer() is None
+        assert span("x") is NOOP_SPAN
+
+    def test_noop_span_api(self):
+        sp = noop_span("anything", k=1)
+        assert sp is NOOP_SPAN
+        with sp as inner:
+            inner.set_attr("a", 1).set_attrs(b=2).end()
+
+    def test_null_tracer_records_nothing(self):
+        null = NullTracer()
+        with use_tracer(null):
+            assert span("x") is NOOP_SPAN
+            with span("y"):
+                pass
+        assert len(null) == 0
+        assert not null.enabled
+
+    def test_use_tracer_none_disables_inner_scope(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with use_tracer(None):
+                with span("hidden"):
+                    pass
+            with span("seen"):
+                pass
+        assert [s.name for s in tracer.spans] == ["seen"]
+
+    def test_use_tracer_restores_on_exit(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+
+class TestDetail:
+    def test_levels(self):
+        assert DETAIL_LEVELS == ("sweep", "round")
+
+    def test_invalid_detail_rejected(self):
+        with pytest.raises(ValueError, match="detail"):
+            Tracer(detail="verbose")
+
+    def test_round_detail_flag(self):
+        assert round_detail() is False
+        with use_tracer(Tracer(detail="round")):
+            assert round_detail() is True
+        with use_tracer(Tracer(detail="sweep")):
+            assert round_detail() is False
+        with use_tracer(NullTracer()):
+            assert round_detail() is False
+
+
+class TestBookkeeping:
+    def test_find_and_clear(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("a"):
+                pass
+            with span("a"):
+                pass
+        assert len(tracer.find("a")) == 2
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.spans == ()
+
+
+@pytest.mark.parametrize("method", ["reference", "modified", "blocked",
+                                    "vectorized"])
+class TestEngineInstrumentation:
+    def test_sweep_spans_emitted(self, method, rng):
+        a = rng.standard_normal((12, 8))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            res = hestenes_svd(a, method=method, compute_uv=False)
+        sweeps = tracer.find("core.sweep")
+        assert len(sweeps) == res.sweeps
+        assert all(s.attrs["method"] == method for s in sweeps)
+        assert all(s.attrs["off_diagonal"] >= 0.0 for s in sweeps)
+        assert len(tracer.find("core.finalize")) == 1
+
+    def test_round_detail_adds_round_spans(self, method, rng):
+        a = rng.standard_normal((10, 6))
+        sweep_tracer = Tracer(detail="sweep")
+        round_tracer = Tracer(detail="round")
+        with use_tracer(sweep_tracer):
+            hestenes_svd(a, method=method, compute_uv=False)
+        with use_tracer(round_tracer):
+            hestenes_svd(a, method=method, compute_uv=False)
+        assert not sweep_tracer.find("core.round")
+        rounds = round_tracer.find("core.round")
+        assert rounds
+        assert all(r.attrs["pairs"] >= 1 for r in rounds)
+
+    def test_tracing_does_not_change_results(self, method, rng):
+        a = rng.standard_normal((12, 8))
+        plain = hestenes_svd(a, method=method, seed=0)
+        with use_tracer(Tracer(detail="round")):
+            traced = hestenes_svd(a, method=method, seed=0)
+        assert np.array_equal(plain.s, traced.s)
+        assert np.array_equal(plain.u, traced.u)
+
+
+class TestPreconditionedInstrumentation:
+    def test_precondition_span(self, rng):
+        a = rng.standard_normal((12, 6))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            hestenes_svd(a, method="preconditioned", compute_uv=False)
+        pre = tracer.find("core.precondition")
+        assert len(pre) == 1
+        assert pre[0].attrs["m"] == 12 and pre[0].attrs["n"] == 6
+        # The inner Jacobi iteration on R still reports its sweeps.
+        assert tracer.find("core.sweep")
+
+
+class TestHwInstrumentation:
+    def test_estimate_spans_carry_modeled_cycles(self):
+        from repro.hw.timing_model import estimate_cycles
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            bd = estimate_cycles(32, 16)
+        est = tracer.find("hw.estimate")
+        assert len(est) == 1
+        assert est[0].attrs["modeled_cycles"] == bd.total
+        sweeps = tracer.find("hw.sweep")
+        assert sweeps and all("modeled_cycles" in s.attrs for s in sweeps)
+        assert tracer.find("hw.gram") and tracer.find("hw.finalize")
+        assert all(s.parent_id == est[0].span_id
+                   for s in sweeps + tracer.find("hw.gram"))

@@ -79,10 +79,10 @@ class TestEngineExecutor:
         a = rng.standard_normal((8, 4))
         ex = EngineExecutor()
 
-        def boom(matrices, options):
+        def boom(matrices, options, method):
             raise RuntimeError("batched path broken")
 
-        monkeypatch.setattr(ex, "_vectorized_dispatch", boom)
+        monkeypatch.setattr(ex, "_method_dispatch", boom)
         results, engine = ex.dispatch([a], {}, engine="vectorized")
         assert engine == "core"
         assert ex.degradations == 1
@@ -92,10 +92,10 @@ class TestEngineExecutor:
             self, rng, monkeypatch):
         ex = EngineExecutor(allow_degradation=False)
 
-        def boom(matrices, options):
+        def boom(matrices, options, method):
             raise RuntimeError("batched path broken")
 
-        monkeypatch.setattr(ex, "_vectorized_dispatch", boom)
+        monkeypatch.setattr(ex, "_method_dispatch", boom)
         with pytest.raises(RuntimeError, match="broken"):
             ex.dispatch([rng.standard_normal((4, 4))], {}, engine="vectorized")
 

@@ -186,3 +186,31 @@ class TestLifecycle:
         direct = hestenes_svd(a, method="vectorized", max_sweeps=8)
         assert np.array_equal(r.result.s, direct.s)
         assert r.result.method == "vectorized"
+
+    def test_engine_opts_served_and_cacheable(self, rng):
+        from repro.core.svd import hestenes_svd
+
+        a = rng.standard_normal((12, 6))
+        with SVDServer(max_wait_s=0.001, default_engine="vectorized") as srv:
+            first = srv.submit(a, engine_opts={"block_rounds": 2})
+            r = first.result(timeout=60.0)
+            # The dict form canonicalizes, so a repeat with the same
+            # opts is hashable and hits the cache.
+            repeat = srv.submit(a, engine_opts={"block_rounds": 2})
+            hit = repeat.result(timeout=60.0)
+        direct = hestenes_svd(a, method="vectorized",
+                              engine_opts={"block_rounds": 2})
+        assert np.array_equal(r.result.s, direct.s)
+        assert hit.cache_hit
+
+    def test_invalid_engine_opts_rejected_at_submit(self, rng):
+        a = rng.standard_normal((6, 4))
+        with SVDServer(max_wait_s=0.001) as srv:
+            with pytest.raises(ValueError, match="block_rounds"):
+                srv.submit(a, engine_opts={"block_rounds": 2})
+
+    def test_engine_vocabulary_matches_registry(self):
+        from repro.core.registry import METHODS
+        from repro.serve.request import ENGINES
+
+        assert ENGINES == ("core", *METHODS, "hw")

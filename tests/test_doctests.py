@@ -25,6 +25,7 @@ MODULES = [
     "repro.apps.image",
     "repro.apps.pattern",
     "repro.util.timer",
+    "repro.obs",
 ]
 
 

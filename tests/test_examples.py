@@ -33,6 +33,11 @@ EXPECTED = {
     "serving_pipeline.py": ["serving pipeline demo", "micro-batches dispatched",
                             "cache hit rate",
                             "bit-identical to direct hestenes_svd: True"],
+    "tracing_walkthrough.py": ["registered engines",
+                               "measured vs modeled per sweep",
+                               "served request span tree", "serve.engine",
+                               "chrome://tracing", "cache_hit=True",
+                               "# TYPE repro_requests_submitted counter"],
 }
 
 

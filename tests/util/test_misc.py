@@ -31,6 +31,24 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             t.__exit__(None, None, None)
 
+    def test_nested_entry_rejected(self):
+        # Regression: nested entry used to silently overwrite the outer
+        # block's start time, shrinking the accumulated elapsed time.
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError, match="not re-entrant"):
+                t.__enter__()
+        assert t.count == 1
+
+    def test_usable_after_rejected_nesting(self):
+        t = Timer()
+        with t:
+            with pytest.raises(RuntimeError):
+                t.__enter__()
+        with t:
+            pass
+        assert t.count == 2
+
     def test_repr(self):
         assert "count=0" in repr(Timer())
 
