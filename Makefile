@@ -1,7 +1,8 @@
 # Convenience targets; see CONTRIBUTING.md.
 
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
-	vectorized-bench obs-bench trace-demo eval examples apidoc all
+	vectorized-bench obs-bench bench-baseline bench-check trace-demo \
+	eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +30,12 @@ vectorized-bench:
 
 obs-bench:
 	PYTHONPATH=src python benchmarks/bench_obs.py --quick
+
+bench-baseline:
+	PYTHONPATH=src python benchmarks/bench_baseline.py --update
+
+bench-check:
+	PYTHONPATH=src python benchmarks/bench_baseline.py
 
 trace-demo:
 	PYTHONPATH=src python -m repro trace 32 16 --serve --requests 2 \

@@ -1,0 +1,58 @@
+"""Pinned benchmark baseline runner (``make bench-baseline`` / ``bench-check``).
+
+Thin driver over :mod:`repro.eval.benchgate` via the ``repro
+bench-compare`` CLI, with the baseline directory pinned to the repo
+root so the committed ``BENCH_CORE.json`` / ``BENCH_SERVE.json``
+trajectories are the ones being written and checked regardless of the
+caller's working directory.
+
+* ``python benchmarks/bench_baseline.py --update`` — re-measure and
+  rewrite the committed baselines (``make bench-baseline``).
+* ``python benchmarks/bench_baseline.py`` — run the suites and fail on
+  >20% probe-normalized regression (``make bench-check``).
+* ``--quick`` / ``--tolerance`` / ``--suite`` / ``--inject-slowdown``
+  pass straight through to ``repro bench-compare``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baselines")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions (same workloads)")
+    parser.add_argument("--suite", choices=("core", "serve", "all"),
+                        default="all")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--inject-slowdown", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import main as repro_main
+
+    cli_args = [
+        "bench-compare",
+        "--baseline-dir", str(REPO_ROOT),
+        "--suite", args.suite,
+        "--tolerance", str(args.tolerance),
+        "--inject-slowdown", str(args.inject_slowdown),
+    ]
+    if args.update:
+        cli_args.append("--update")
+    if args.quick:
+        cli_args.append("--quick")
+    return repro_main(cli_args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

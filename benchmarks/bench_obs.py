@@ -1,19 +1,26 @@
 """Observability overhead benchmark: the disabled path must be ~free.
 
 The engines are permanently instrumented with :func:`repro.obs.span`
-scopes, so the cost that matters is the *disabled* path — no tracer
-installed (one context-variable read returning the shared no-op span).
-The budget, enforced here and wired to ``make obs-bench``: instrumented
-scopes may add at most 5% to a blocked-engine decomposition at n=128.
+scopes, per-sweep :func:`repro.obs.health.sweep_guard` checks, and one
+:func:`repro.obs.health.observe_result` hook per run, so the cost that
+matters is the *passive* path — no tracer installed (one
+context-variable read returning the shared no-op span), guards on
+finite values (one ``math.isfinite``), and the per-run health/metrics
+recording.  The budget, enforced here and wired to ``make obs-bench``:
+the instrumentation together may add at most 5% to a blocked-engine
+decomposition at n=128 — with health monitoring ON (the default), and
+the tracer-disabled span path additionally checked alone so the PR 4
+guarantee is preserved unchanged.
 
-Methodology: the engine emits O(sweeps) spans per decomposition, so the
-overhead fraction is ``spans_per_run * disabled_scope_cost /
-engine_runtime``.  Both factors are measured directly (min-of-reps, so
+Methodology: the engine emits O(sweeps) spans and guard calls per
+decomposition, plus one observe_result, so the overhead fraction is
+``(spans * scope_cost + sweeps * guard_cost + observe_cost) /
+engine_runtime``.  Every factor is measured directly (min-of-reps, so
 scheduler noise only ever *under*-states headroom on the engine side
-and the scope cost is measured over millions of iterations).  Measuring
-the product instead of an A/B run of the same binary keeps the check
-deterministic: a 5% budget cannot be resolved by re-timing a ~10 ms
-decomposition twice on a noisy machine.
+and the per-call costs are measured over large iteration counts).
+Measuring the product instead of an A/B run of the same binary keeps
+the check deterministic: a 5% budget cannot be resolved by re-timing a
+~10 ms decomposition twice on a noisy machine.
 
 Dual-use:
 
@@ -31,6 +38,8 @@ import time
 
 from repro.core.svd import hestenes_svd
 from repro.obs import NullTracer, Tracer, span, use_tracer
+from repro.obs.health import observe_result, sweep_guard
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.workloads import random_matrix
 
 #: Maximum tolerated disabled-path overhead on the engine hot path.
@@ -74,6 +83,28 @@ def spans_per_run(a) -> int:
     return len(tracer.spans)
 
 
+def time_sweep_guard(iterations: int) -> float:
+    """Seconds per healthy (finite-value) :func:`sweep_guard` call."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        sweep_guard("blocked", 1, 1e-12)
+    return (time.perf_counter() - start) / iterations
+
+
+def time_observe_result(a, iterations: int) -> float:
+    """Seconds per :func:`observe_result` health hook on a real result.
+
+    Recorded into a private registry so the measurement does not
+    inflate the process-wide counters.
+    """
+    result = hestenes_svd(a, method="blocked", compute_uv=False)
+    with use_registry(MetricsRegistry()):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            observe_result(result, engine="blocked")
+        return (time.perf_counter() - start) / iterations
+
+
 # ---- pytest-benchmark entry points ------------------------------------
 
 
@@ -107,6 +138,21 @@ def test_disabled_overhead_within_budget():
     assert overhead <= BUDGET, f"disabled-path overhead {overhead:.3%}"
 
 
+def test_health_overhead_within_budget():
+    """Spans + guards + observe_result together stay inside 5%."""
+    a = random_matrix(64, 64, seed=0)
+    engine_s = time_engine(a, reps=3)
+    n_spans = spans_per_run(a)
+    sweeps = hestenes_svd(a, method="blocked", compute_uv=False).sweeps
+    total = (
+        n_spans * time_disabled_scope(200_000)
+        + sweeps * time_sweep_guard(200_000)
+        + time_observe_result(a, 2_000)
+    )
+    overhead = total / engine_s
+    assert overhead <= BUDGET, f"health+span overhead {overhead:.3%}"
+
+
 # ---- script mode (make obs-bench) -------------------------------------
 
 
@@ -126,10 +172,16 @@ def main(argv=None) -> int:
 
     engine_s = time_engine(a, reps)
     n_spans = spans_per_run(a)
+    sweeps = hestenes_svd(a, method="blocked", compute_uv=False).sweeps
     disabled_s = time_disabled_scope(iters)
     null_s = time_null_tracer_scope(iters)
+    guard_s = time_sweep_guard(iters)
+    observe_s = time_observe_result(a, 500 if args.quick else 2_000)
     overhead = n_spans * disabled_s / engine_s
     null_overhead = n_spans * null_s / engine_s
+    health_overhead = (
+        n_spans * disabled_s + sweeps * guard_s + observe_s
+    ) / engine_s
 
     print(f"obs overhead budget check (blocked engine, n={n}):")
     print(f"  engine runtime        : {engine_s * 1e3:10.3f} ms "
@@ -139,14 +191,20 @@ def main(argv=None) -> int:
           f"(no tracer installed)")
     print(f"  null-tracer scope cost: {null_s * 1e9:10.1f} ns "
           f"(NullTracer installed)")
+    print(f"  sweep-guard cost      : {guard_s * 1e9:10.1f} ns "
+          f"(finite value)")
+    print(f"  observe_result cost   : {observe_s * 1e6:10.2f} us "
+          f"(per run, labeled metrics)")
     print(f"  disabled overhead     : {overhead:10.4%} "
           f"(budget {BUDGET:.0%})")
     print(f"  null-tracer overhead  : {null_overhead:10.4%}")
-    ok = overhead <= BUDGET and null_overhead <= BUDGET
+    print(f"  spans+health overhead : {health_overhead:10.4%}")
+    ok = (overhead <= BUDGET and null_overhead <= BUDGET
+          and health_overhead <= BUDGET)
     if not ok:
-        print("FAIL: disabled-path overhead exceeds the 5% budget")
+        print("FAIL: instrumentation overhead exceeds the 5% budget")
         return 1
-    print("disabled-path overhead within the 5% budget: ok")
+    print("instrumentation overhead within the 5% budget: ok")
     return 0
 
 

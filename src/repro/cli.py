@@ -15,6 +15,10 @@ datasheet   Full accelerator datasheet (markdown).
 netlist     Structural netlist as Graphviz DOT or JSON.
 eval        Run reproduction experiments by id (or all).
 serve-demo  Drive the micro-batching SVD server with a traffic trace.
+stats       Render the process-wide metrics registry (text or --prom).
+bench-compare  Benchmark regression gate against BENCH_*.json baselines.
+
+The serving/metrics/benchmark commands live in :mod:`repro.cli_ops`.
 """
 
 from __future__ import annotations
@@ -166,7 +170,7 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    if args.output:
+    if args.output or args.convergence_csv:
         return _record_trace(args)
     from repro.hw import estimate_cycles
     from repro.hw.trace import build_trace, render_gantt
@@ -188,6 +192,9 @@ def _record_trace(args) -> int:
     from repro.workloads import random_matrix
 
     tracer = Tracer(detail=args.detail)
+    if args.convergence_csv and args.serve:
+        raise SystemExit("trace: --convergence-csv requires a direct "
+                         "engine run (drop --serve)")
     if args.serve:
         from repro.serve import SVDServer
 
@@ -207,15 +214,21 @@ def _record_trace(args) -> int:
         method = "blocked" if args.engine == "core" else args.engine
         a = random_matrix(args.m, args.n, seed=0)
         with use_tracer(tracer):
-            hestenes_svd(a, method=method, compute_uv=False)
+            res = hestenes_svd(a, method=method, compute_uv=False)
         print(f"traced one {args.m} x {args.n} decomposition "
               f"(method={method})")
-    # Modeled overlay: the cycle model's spans carry modeled_cycles /
-    # modeled_s attrs next to the measured engine spans.
-    with use_tracer(tracer):
-        estimate_cycles(args.m, args.n)
-    path = write_chrome_trace(args.output, tracer)
-    print(f"{len(tracer.spans)} spans -> {path} (open in chrome://tracing)")
+        if args.convergence_csv:
+            res.trace.to_csv(args.convergence_csv)
+            print(f"convergence trace ({res.trace.metric}, "
+                  f"{len(res.trace.sweeps)} rows) -> {args.convergence_csv}")
+    if args.output:
+        # Modeled overlay: the cycle model's spans carry modeled_cycles /
+        # modeled_s attrs next to the measured engine spans.
+        with use_tracer(tracer):
+            estimate_cycles(args.m, args.n)
+        path = write_chrome_trace(args.output, tracer)
+        print(f"{len(tracer.spans)} spans -> {path} "
+              f"(open in chrome://tracing)")
     return 0
 
 
@@ -317,71 +330,6 @@ def _cmd_eval(args) -> int:
     return 0
 
 
-def _cmd_serve_demo(args) -> int:
-    import time
-
-    import numpy as np
-
-    from repro.core.svd import hestenes_svd
-    from repro.serve import SVDServer
-    from repro.workloads import random_matrix
-
-    rng_shapes = [(args.rows, args.cols), (args.cols, args.cols),
-                  (2 * args.rows, args.cols // 2 or 1)]
-    unique = [
-        random_matrix(*rng_shapes[i % len(rng_shapes)], seed=args.seed + i)
-        for i in range(max(args.requests // 2, 1))
-    ]
-    trace = unique + unique[: max(args.requests - len(unique), 0)]
-    print(f"serve-demo: {len(trace)} requests over shapes "
-          f"{sorted(set(a.shape for a in trace))} "
-          f"({len(trace) - len(unique)} repeats)")
-    start = time.perf_counter()
-    with SVDServer(
-        max_batch=args.max_batch,
-        max_wait_s=args.max_wait_ms / 1e3,
-        workers=args.workers,
-        default_engine=args.engine,
-        compute_uv=not args.values_only,
-    ) as srv:
-        first = [h.result(timeout=300.0) for h in srv.submit_many(unique)]
-        rest = [h.result(timeout=300.0)
-                for h in srv.submit_many(trace[len(unique):])]
-        stats = srv.stats()
-    elapsed = time.perf_counter() - start
-    responses = first + rest
-    bad = [r for r in responses if not r.ok]
-    if bad:
-        print(f"{len(bad)} request(s) failed; first: {bad[0].error}")
-        return 1
-    check_method = {"method": args.engine} if args.engine != "core" else {}
-    check = hestenes_svd(unique[0], compute_uv=not args.values_only,
-                         **check_method)
-    identical = bool(np.array_equal(responses[0].result.s, check.s))
-    lat = stats["histograms"]["latency_s"]
-    bat = stats["histograms"]["batch_size"]
-    cache = stats["cache"]
-    print(f"served {len(responses)} requests in {elapsed:.3f} s "
-          f"({len(responses) / elapsed:,.0f} req/s)")
-    print(f"  latency   : p50 {lat['p50'] * 1e3:.2f} ms   "
-          f"p95 {lat['p95'] * 1e3:.2f} ms   p99 {lat['p99'] * 1e3:.2f} ms")
-    print(f"  batching  : {stats['counters']['batches_dispatched']} batches, "
-          f"mean size {bat['mean']:.2f}, "
-          f"{stats['counters'].get('coalesced_requests', 0)} requests coalesced")
-    print(f"  cache     : {cache['hits']} hits / {cache['lookups']} lookups "
-          f"(hit rate {cache['hit_rate']:.1%})")
-    used = {
-        k[len("engine_"):-len("_requests")]: v
-        for k, v in stats["counters"].items()
-        if k.startswith("engine_") and k.endswith("_requests")
-    }
-    engines = " ".join(f"{k}={v}" for k, v in sorted(used.items())) or "none"
-    print(f"  engines   : {engines} degradations={stats['degradations']}")
-    print(f"  verification: served result bit-identical to direct solver: "
-          f"{identical}")
-    return 0 if identical else 1
-
-
 def build_parser() -> argparse.ArgumentParser:
     from repro.core.registry import METHODS
 
@@ -447,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="request count for --serve")
     t.add_argument("--detail", default="sweep", choices=("sweep", "round"),
                    help="span granularity for engine instrumentation")
+    t.add_argument("--convergence-csv", default=None, metavar="FILE.csv",
+                   help="run the engine live and write its per-sweep "
+                        "convergence trace as CSV (Figs 10-11 data); "
+                        "combines with --output")
     t.set_defaults(func=_cmd_trace)
 
     s = sub.add_parser("sweep", help="design-space exploration report")
@@ -472,21 +424,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment ids (default: all)")
     v.set_defaults(func=_cmd_eval)
 
-    sd = sub.add_parser("serve-demo",
-                        help="drive the micro-batching SVD server")
-    sd.add_argument("--requests", type=int, default=200,
-                    help="trace length (half unique, half repeats)")
-    sd.add_argument("--rows", type=int, default=24)
-    sd.add_argument("--cols", type=int, default=12)
-    sd.add_argument("--seed", type=int, default=0)
-    sd.add_argument("--workers", type=int, default=4)
-    sd.add_argument("--max-batch", type=int, default=8)
-    sd.add_argument("--max-wait-ms", type=float, default=2.0)
-    sd.add_argument("--engine", default="core",
-                    choices=("core", *METHODS),
-                    help="default serving engine for the trace")
-    sd.add_argument("--values-only", action="store_true")
-    sd.set_defaults(func=_cmd_serve_demo)
+    from repro.cli_ops import add_ops_commands
+
+    add_ops_commands(sub, METHODS)
     return p
 
 

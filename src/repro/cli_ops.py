@@ -1,0 +1,223 @@
+"""Operational CLI commands: ``serve-demo``, ``stats``, ``bench-compare``.
+
+Split out of :mod:`repro.cli` (which stays focused on the modelling
+commands) and registered into the same ``repro`` argument parser via
+:func:`add_ops_commands`:
+
+* ``serve-demo`` — drive the micro-batching SVD server with a traffic
+  trace; ``--json`` emits the final metrics snapshot as machine-readable
+  JSON on stdout (progress lines move to stderr).
+* ``stats`` — render the process-wide metrics registry
+  (:func:`repro.obs.metrics.get_registry`) as a text report or, with
+  ``--prom``, Prometheus text exposition; ``--demo`` first runs a small
+  workload so there is something to show.
+* ``bench-compare`` — run the pinned benchmark suites of
+  :mod:`repro.eval.benchgate` and gate against the committed
+  ``BENCH_CORE.json`` / ``BENCH_SERVE.json`` baselines (``--update``
+  rewrites them; ``--inject-slowdown`` is the self-test hook).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["add_ops_commands"]
+
+
+def _cmd_serve_demo(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.core.svd import hestenes_svd
+    from repro.serve import SVDServer
+    from repro.workloads import random_matrix
+
+    info = sys.stderr if args.json else sys.stdout
+
+    rng_shapes = [(args.rows, args.cols), (args.cols, args.cols),
+                  (2 * args.rows, args.cols // 2 or 1)]
+    unique = [
+        random_matrix(*rng_shapes[i % len(rng_shapes)], seed=args.seed + i)
+        for i in range(max(args.requests // 2, 1))
+    ]
+    trace = unique + unique[: max(args.requests - len(unique), 0)]
+    print(f"serve-demo: {len(trace)} requests over shapes "
+          f"{sorted(set(a.shape for a in trace))} "
+          f"({len(trace) - len(unique)} repeats)", file=info)
+    start = time.perf_counter()
+    with SVDServer(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        workers=args.workers,
+        default_engine=args.engine,
+        compute_uv=not args.values_only,
+    ) as srv:
+        first = [h.result(timeout=300.0) for h in srv.submit_many(unique)]
+        rest = [h.result(timeout=300.0)
+                for h in srv.submit_many(trace[len(unique):])]
+        stats = srv.stats()
+    elapsed = time.perf_counter() - start
+    responses = first + rest
+    bad = [r for r in responses if not r.ok]
+    if bad:
+        print(f"{len(bad)} request(s) failed; first: {bad[0].error}",
+              file=info)
+        return 1
+    check_method = {"method": args.engine} if args.engine != "core" else {}
+    check = hestenes_svd(unique[0], compute_uv=not args.values_only,
+                         **check_method)
+    identical = bool(np.array_equal(responses[0].result.s, check.s))
+    if args.json:
+        payload = {
+            "requests": len(responses),
+            "elapsed_s": elapsed,
+            "throughput_rps": len(responses) / elapsed,
+            "identical": identical,
+            "stats": stats,
+        }
+        health = responses[0].health
+        if health is not None:
+            payload["first_response_health"] = health.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if identical else 1
+    lat = stats["histograms"]["latency_s"]
+    bat = stats["histograms"]["batch_size"]
+    cache = stats["cache"]
+    print(f"served {len(responses)} requests in {elapsed:.3f} s "
+          f"({len(responses) / elapsed:,.0f} req/s)")
+    print(f"  latency   : p50 {lat['p50'] * 1e3:.2f} ms   "
+          f"p95 {lat['p95'] * 1e3:.2f} ms   p99 {lat['p99'] * 1e3:.2f} ms")
+    print(f"  batching  : {stats['counters']['batches_dispatched']} batches, "
+          f"mean size {bat['mean']:.2f}, "
+          f"{stats['counters'].get('coalesced_requests', 0)} requests coalesced")
+    print(f"  cache     : {cache['hits']} hits / {cache['lookups']} lookups "
+          f"(hit rate {cache['hit_rate']:.1%})")
+    used = {
+        k[len("engine_"):-len("_requests")]: v
+        for k, v in stats["counters"].items()
+        if k.startswith("engine_") and k.endswith("_requests")
+    }
+    engines = " ".join(f"{k}={v}" for k, v in sorted(used.items())) or "none"
+    print(f"  engines   : {engines} degradations={stats['degradations']}")
+    print(f"  verification: served result bit-identical to direct solver: "
+          f"{identical}")
+    return 0 if identical else 1
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.exporters import metrics_to_prometheus
+    from repro.obs.metrics import get_registry
+
+    if args.demo:
+        from repro.core.svd import METHODS, hestenes_svd
+        from repro.hw.timing_model import estimate_cycles
+        from repro.workloads import random_matrix
+
+        a = random_matrix(24, 12, seed=0)
+        for method in METHODS:
+            hestenes_svd(a, method=method, compute_uv=False)
+        estimate_cycles(128, 128)
+        print(f"stats --demo: ran {len(METHODS)} engines + the cycle model "
+              f"on a 24 x 12 matrix", file=sys.stderr)
+    registry = get_registry()
+    if args.prom:
+        text = metrics_to_prometheus(registry)
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        print(registry.render_text())
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from pathlib import Path
+
+    from repro.eval import benchgate
+
+    suites = {
+        "core": (benchgate.run_core, benchgate.CORE_BASELINE),
+        "serve": (benchgate.run_serve, benchgate.SERVE_BASELINE),
+    }
+    wanted = list(suites) if args.suite == "all" else [args.suite]
+    base_dir = Path(args.baseline_dir)
+    failed = False
+    for name in wanted:
+        runner, filename = suites[name]
+        path = base_dir / filename
+        print(f"[{name}] running suite "
+              f"({'quick' if args.quick else 'full'} mode):")
+        current = runner(quick=args.quick, log=print)
+        if args.inject_slowdown != 1.0:
+            current = benchgate.scale_metrics(current, args.inject_slowdown)
+            print(f"[{name}] injected x{args.inject_slowdown:g} slowdown "
+                  f"into the measured metrics")
+        if args.update:
+            print(f"[{name}] baseline written to "
+                  f"{benchgate.write_baseline(current, path)}")
+            continue
+        try:
+            baseline = benchgate.load_baseline(path)
+        except FileNotFoundError:
+            print(f"[{name}] no baseline at {path}; run "
+                  f"`repro bench-compare --update` (make bench-baseline) "
+                  f"first")
+            failed = True
+            continue
+        rows, ok = benchgate.compare(current, baseline, args.tolerance)
+        print(benchgate.format_rows(rows, args.tolerance))
+        print(f"[{name}] {'ok' if ok else 'REGRESSION'} "
+              f"(probe {baseline['probe_s'] * 1e3:.2f} ms -> "
+              f"{current['probe_s'] * 1e3:.2f} ms)")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+def add_ops_commands(sub, methods) -> None:
+    """Register the operational subcommands on an argparse subparsers."""
+    sd = sub.add_parser("serve-demo",
+                        help="drive the micro-batching SVD server")
+    sd.add_argument("--requests", type=int, default=200,
+                    help="trace length (half unique, half repeats)")
+    sd.add_argument("--rows", type=int, default=24)
+    sd.add_argument("--cols", type=int, default=12)
+    sd.add_argument("--seed", type=int, default=0)
+    sd.add_argument("--workers", type=int, default=4)
+    sd.add_argument("--max-batch", type=int, default=8)
+    sd.add_argument("--max-wait-ms", type=float, default=2.0)
+    sd.add_argument("--engine", default="core",
+                    choices=("core", *methods),
+                    help="default serving engine for the trace")
+    sd.add_argument("--values-only", action="store_true")
+    sd.add_argument("--json", action="store_true",
+                    help="emit the final metrics snapshot as JSON on "
+                         "stdout (progress lines go to stderr)")
+    sd.set_defaults(func=_cmd_serve_demo)
+
+    st = sub.add_parser("stats",
+                        help="render the process-wide metrics registry")
+    st.add_argument("--prom", action="store_true",
+                    help="Prometheus text exposition instead of the "
+                         "fixed-width report")
+    st.add_argument("--demo", action="store_true",
+                    help="run a small workload first so the registry "
+                         "has content")
+    st.set_defaults(func=_cmd_stats)
+
+    bc = sub.add_parser("bench-compare",
+                        help="benchmark regression gate vs BENCH_*.json")
+    bc.add_argument("--suite", choices=("core", "serve", "all"),
+                    default="all")
+    bc.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed probe-normalized slowdown (0.20 = 20%%)")
+    bc.add_argument("--baseline-dir", default=".",
+                    help="directory holding BENCH_CORE.json/BENCH_SERVE.json")
+    bc.add_argument("--quick", action="store_true",
+                    help="fewer repetitions (same workloads)")
+    bc.add_argument("--update", action="store_true",
+                    help="rewrite the baselines instead of comparing")
+    bc.add_argument("--inject-slowdown", type=float, default=1.0,
+                    metavar="FACTOR",
+                    help="multiply measured metrics by FACTOR (gate "
+                         "self-test; 2.0 must fail)")
+    bc.set_defaults(func=_cmd_bench_compare)

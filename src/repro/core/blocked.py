@@ -28,6 +28,7 @@ from repro.core.ordering import cyclic_sweep
 from repro.core.result import SVDResult
 from repro.core.rotation import apply_round_columns
 from repro.obs import noop_span, round_detail, span
+from repro.obs.health import sweep_guard
 from repro.util.numerics import sort_svd
 from repro.util.validation import as_float_matrix, check_in_choices
 
@@ -196,6 +197,7 @@ def blocked_svd(
             sweeps_done = sweep
             value = measure(d, criterion.metric)
             trace.record(sweep, value, rotations, skipped)
+            sweep_guard("blocked", sweep, value)
             sweep_span.set_attrs(
                 rotations=rotations, skipped=skipped, off_diagonal=value
             )

@@ -117,3 +117,29 @@ class ConvergenceTrace:
     def series(self) -> tuple[list[int], list[float]]:
         """(sweep indices, metric values) — plotting-ready for Fig 10/11."""
         return list(self.sweeps), list(self.values)
+
+    def to_csv(self, path=None) -> str:
+        """CSV rendering of the trace (one row per recorded sweep).
+
+        Columns: ``sweep,<metric>,rotations,skipped`` — exactly the
+        data behind the paper's Figs 10-11 convergence curves, in a
+        form any plotting tool ingests directly.  When *path* is given
+        the CSV is also written there; the text is returned either way.
+
+        >>> t = ConvergenceTrace()
+        >>> t.record(0, 0.5); t.record(1, 0.01, 3, 1)
+        >>> print(t.to_csv(), end="")
+        sweep,mean_abs,rotations,skipped
+        0,0.5,0,0
+        1,0.01,3,1
+        """
+        lines = [f"sweep,{self.metric},rotations,skipped"]
+        for sweep, value, rot, skip in zip(
+            self.sweeps, self.values, self.rotations, self.skipped
+        ):
+            lines.append(f"{sweep},{value!r},{rot},{skip}")
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text

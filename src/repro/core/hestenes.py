@@ -26,6 +26,7 @@ from repro.core.ordering import make_sweep
 from repro.core.result import SVDResult
 from repro.core.rotation import apply_rotation_columns, textbook_rotation
 from repro.obs import noop_span, round_detail, span
+from repro.obs.health import sweep_guard
 from repro.util.numerics import sort_svd
 from repro.util.validation import as_float_matrix
 
@@ -156,6 +157,7 @@ def reference_svd(
             sweeps_done = sweep
             value = measure(b.T @ b, criterion.metric)
             trace.record(sweep, value, rotations, skipped)
+            sweep_guard("reference", sweep, value)
             sweep_span.set_attrs(
                 rotations=rotations, skipped=skipped, off_diagonal=value
             )

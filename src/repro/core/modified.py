@@ -40,6 +40,7 @@ from repro.core.rotation import (
     textbook_rotation,
 )
 from repro.obs import noop_span, round_detail, span
+from repro.obs.health import sweep_guard
 from repro.util.numerics import sort_svd
 from repro.util.validation import as_float_matrix, check_in_choices
 
@@ -175,6 +176,7 @@ def modified_svd(
                 d = gram_matrix(b)  # the scrub: one extra preprocessor pass
             value = measure(d, criterion.metric)
             trace.record(sweep, value, rotations, skipped)
+            sweep_guard("modified", sweep, value)
             sweep_span.set_attrs(
                 rotations=rotations, skipped=skipped, off_diagonal=value
             )

@@ -28,6 +28,7 @@ from repro.core.convergence import ConvergenceCriterion
 from repro.core.hestenes import reference_svd
 from repro.core.result import SVDResult
 from repro.obs import span
+from repro.obs.health import sweep_guard
 from repro.util.validation import as_float_matrix
 
 __all__ = ["householder_qr", "preconditioned_svd"]
@@ -111,6 +112,12 @@ def preconditioned_svd(
     criterion = criterion or ConvergenceCriterion(max_sweeps=12, tol=None)
     with span("core.precondition", method="preconditioned", m=m, n=n, pivot=pivot):
         q, r, perm = householder_qr(a, pivot=pivot)
+        # Guard the factorization itself: a non-finite R poisons every
+        # inner sweep, so flag it at sweep 0 (the inner reference engine
+        # guards its own sweeps under its "reference" label).
+        sweep_guard(
+            "preconditioned", 0, float(np.max(np.abs(r))) if r.size else 0.0
+        )
     # Direct (recompute) Jacobi on R: the column rotations act on the
     # actual data, preserving high relative accuracy even for extreme
     # conditioning — the Drmač-Veselić property a cached-Gram inner

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.convergence import ConvergenceTrace
 from repro.util.numerics import reconstruction_error
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a hard dep
+    from repro.obs.health import HealthReport
 
 __all__ = ["SVDResult"]
 
@@ -36,6 +40,10 @@ class SVDResult:
     converged : bool
         Whether an early-stopping criterion was met (always True for
         direct baselines).
+    health : HealthReport or None
+        Numerical-health summary attached by
+        :func:`repro.obs.health.observe_result` when monitoring is on
+        (the default for :func:`repro.core.svd.hestenes_svd` runs).
     """
 
     s: np.ndarray
@@ -45,6 +53,7 @@ class SVDResult:
     trace: ConvergenceTrace | None = None
     method: str = ""
     converged: bool = True
+    health: "HealthReport | None" = None
 
     @property
     def rank(self) -> int:

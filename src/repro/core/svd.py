@@ -37,6 +37,7 @@ import warnings
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.registry import METHODS, resolve_engine
 from repro.core.result import SVDResult
+from repro.obs.health import observe_result
 
 __all__ = ["hestenes_svd", "METHODS", "HestenesJacobiSVD"]
 
@@ -146,7 +147,7 @@ def hestenes_svd(
             opts.setdefault("block_rounds", block_rounds)
     opts = spec.validate_options(opts)
     criterion = ConvergenceCriterion(max_sweeps=max_sweeps, tol=tol, metric=metric)
-    return spec.fn(
+    result = spec.fn(
         a,
         compute_uv=compute_uv,
         criterion=criterion,
@@ -154,6 +155,7 @@ def hestenes_svd(
         seed=seed,
         **opts,
     )
+    return observe_result(result, engine=spec.name)
 
 
 class HestenesJacobiSVD:

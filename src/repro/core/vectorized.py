@@ -37,6 +37,7 @@ from repro.core.hestenes import FlopCounter, finalize_columns
 from repro.core.ordering import fuse_rounds, make_sweep
 from repro.core.result import SVDResult
 from repro.obs import noop_span, round_detail, span
+from repro.obs.health import sweep_guard
 from repro.util.validation import as_float_matrix, check_positive_int
 
 __all__ = ["vectorized_svd", "pair_dots", "round_plan"]
@@ -243,6 +244,7 @@ def vectorized_svd(
             sweeps_done = sweep
             value = measure(bt @ bt.T, criterion.metric)
             trace.record(sweep, value, rotations, skipped)
+            sweep_guard("vectorized", sweep, value)
             sweep_span.set_attrs(
                 rotations=rotations, skipped=skipped, off_diagonal=value
             )

@@ -41,6 +41,7 @@ from repro.hw.resources import ResourceReport, estimate_resources
 from repro.hw.scheduler import simulate_decomposition
 from repro.hw.timing_model import CycleBreakdown, estimate_cycles
 from repro.obs import span
+from repro.obs.health import observe_result
 from repro.util.validation import as_float_matrix, check_in_choices
 
 __all__ = ["AcceleratorOutcome", "HestenesJacobiAccelerator"]
@@ -106,6 +107,9 @@ class HestenesJacobiAccelerator:
                 out = self._decompose_event(a, sweeps)
             else:
                 out = self._decompose_analytic(a, sweeps)
+            # The facade calls the engine functions directly (not via
+            # hestenes_svd), so the health hook must run here.
+            observe_result(out.result, engine=f"hw-{self.mode}")
             dec_span.set_attrs(modeled_cycles=out.cycles, modeled_s=out.seconds)
             return out
 

@@ -41,6 +41,7 @@ from repro.core.ordering import cyclic_sweep
 from repro.hw.bram import covariance_words
 from repro.hw.params import PAPER_ARCH, ArchitectureParams
 from repro.obs import span
+from repro.obs.health import record_hw_estimate
 from repro.util.validation import check_positive_int
 
 __all__ = ["SweepCycles", "CycleBreakdown", "estimate_cycles", "estimate_seconds"]
@@ -225,6 +226,7 @@ def estimate_cycles(
         est_span.set_attrs(
             modeled_cycles=bd.total, modeled_s=bd.seconds
         )
+    record_hw_estimate(bd)
     return bd
 
 

@@ -14,9 +14,16 @@ without any external dependency:
   modeled per-sweep children, so modeled and measured time can be
   overlaid), and the serving layer (``serve.request`` →
   ``serve.queue_wait`` / ``serve.batch`` → ``serve.engine``).
+* :mod:`~repro.obs.metrics` — process-wide labeled Counter / Gauge /
+  Histogram instruments with a default global registry
+  (:func:`~repro.obs.metrics.get_registry`); the serving layer's
+  ``repro.serve.metrics`` is now a thin shim over it.
+* :mod:`~repro.obs.health` — numerical-health monitors: per-sweep
+  NaN/Inf guards in every engine, a :class:`~repro.obs.health.HealthReport`
+  attached to each ``SVDResult``, and an optional fail-fast mode.
 * :mod:`~repro.obs.exporters` — Chrome ``chrome://tracing`` JSON,
-  an indented text tree, and a flat Prometheus-style dump of a
-  :class:`repro.serve.metrics.MetricsRegistry`.
+  an indented text tree, and Prometheus text exposition of a
+  :class:`repro.obs.metrics.MetricsRegistry` (label-aware).
 
 The disabled path (no tracer installed, or a
 :class:`~repro.obs.tracer.NullTracer`) is a single context-variable
@@ -44,6 +51,22 @@ from repro.obs.exporters import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.health import (
+    HealthError,
+    HealthReport,
+    fail_fast,
+    health_from_result,
+    set_fail_fast,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
 from repro.obs.tracer import (
     DETAIL_LEVELS,
     NOOP_SPAN,
@@ -58,19 +81,31 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Counter",
     "DETAIL_LEVELS",
+    "Gauge",
+    "HealthError",
+    "HealthReport",
+    "Histogram",
+    "MetricsRegistry",
     "NOOP_SPAN",
     "NullTracer",
     "Span",
     "Tracer",
     "chrome_trace_events",
     "current_tracer",
+    "fail_fast",
+    "get_registry",
+    "health_from_result",
     "metrics_to_prometheus",
     "noop_span",
     "render_span_tree",
     "round_detail",
+    "set_fail_fast",
+    "set_registry",
     "span",
     "to_chrome_trace",
+    "use_registry",
     "use_tracer",
     "write_chrome_trace",
 ]

@@ -135,31 +135,79 @@ def _metric_name(name: str) -> str:
     return f"repro_{safe}"
 
 
-def metrics_to_prometheus(registry) -> str:
-    """Flat Prometheus-style text dump of a MetricsRegistry snapshot.
+def _escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
-    Counters render as ``repro_<name> <value>``; gauges likewise;
-    histograms expand to ``_count`` / ``_sum`` plus one
+
+def _label_pairs(labels: dict, extra: dict | None = None) -> str:
+    """Render ``{k="v",...}`` for the merged label sets (may be empty)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in merged.items()
+    )
+    return "{" + inner + "}"
+
+
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def metrics_to_prometheus(registry) -> str:
+    """Prometheus text exposition of a MetricsRegistry.
+
+    Counters render as ``repro_<name>[{labels}] <value>``; gauges
+    likewise; histograms expand to ``_count`` / ``_sum`` plus one
     ``{quantile="..."}`` sample per tracked quantile — the conventional
     summary-metric shape, computed over the registry's bounded
-    reservoir.
+    reservoir.  Labeled instrument families emit one sample line per
+    child, sharing a single ``# TYPE`` (and, when declared, ``# HELP``)
+    header; registries attached as collectors are included under their
+    ``<collector>.`` prefix.
     """
-    snap = registry.snapshot()
+    collect = getattr(registry, "collect", None)
+    families = collect() if callable(collect) else _families_from_snapshot(
+        registry.snapshot()
+    )
     lines: list[str] = []
-    for name, value in snap["counters"].items():
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
-    for name, value in snap["gauges"].items():
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {value:g}")
-    for name, summary in snap["histograms"].items():
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} summary")
-        for q in ("p50", "p95", "p99"):
-            quantile = {"p50": "0.5", "p95": "0.95", "p99": "0.99"}[q]
-            lines.append(f'{metric}{{quantile="{quantile}"}} {summary[q]:g}')
-        lines.append(f"{metric}_count {summary['count']}")
-        lines.append(f"{metric}_sum {summary['mean'] * summary['count']:g}")
+    for fam in families:
+        metric = _metric_name(fam["name"])
+        if fam.get("help"):
+            lines.append(f"# HELP {metric} {fam['help']}")
+        kind = "summary" if fam["kind"] == "histogram" else fam["kind"]
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in fam["samples"]:
+            if fam["kind"] == "histogram":
+                for key, q in _QUANTILES:
+                    lines.append(
+                        f"{metric}{_label_pairs(labels, {'quantile': q})} "
+                        f"{value[key]:g}"
+                    )
+                lines.append(
+                    f"{metric}_count{_label_pairs(labels)} {value['count']}"
+                )
+                lines.append(
+                    f"{metric}_sum{_label_pairs(labels)} "
+                    f"{value['mean'] * value['count']:g}"
+                )
+            elif fam["kind"] == "counter":
+                lines.append(f"{metric}{_label_pairs(labels)} {value}")
+            else:
+                lines.append(f"{metric}{_label_pairs(labels)} {value:g}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _families_from_snapshot(snap: dict) -> list[dict]:
+    """Fallback family list for registries exposing only ``snapshot()``."""
+    families = []
+    for kind, key in (("counter", "counters"), ("gauge", "gauges"),
+                      ("histogram", "histograms")):
+        for name, value in snap.get(key, {}).items():
+            families.append(
+                {"name": name, "kind": kind, "help": "",
+                 "samples": [({}, value)]}
+            )
+    return families

@@ -1,0 +1,300 @@
+"""Numerical-health monitors for the SVD engines and the hw model.
+
+Convergence health is the first casualty of aggressive optimization
+(the mixed-precision Jacobi literature is explicit about this), so the
+library watches it continuously instead of relying on ad-hoc prints:
+
+* :func:`sweep_guard` — a per-sweep NaN/Inf check every registry engine
+  calls on its freshly measured convergence metric.  The healthy path
+  is a single ``math.isfinite`` test; a non-finite value increments a
+  labeled counter in the global metrics registry and, in fail-fast
+  mode, raises :class:`HealthError` mid-run.
+* :func:`observe_result` — the central hook in
+  :func:`repro.core.svd.hestenes_svd`.  It builds a
+  :class:`HealthReport` from the finished :class:`~repro.core.result.SVDResult`
+  (finiteness of the factors, convergence trace summary, rotation/skip
+  totals), attaches it as ``result.health``, and records per-engine
+  labeled metrics (runs, sweeps, rotations, skips, final off-diagonal)
+  into :func:`repro.obs.metrics.get_registry`.
+* :func:`record_hw_estimate` — the analogous hook for the timing
+  model's :class:`~repro.hw.timing_model.CycleBreakdown`.
+
+Fail-fast is off by default (monitor, don't interfere); enable it
+process-wide with ``REPRO_HEALTH_FAIL_FAST=1`` in the environment, with
+:func:`set_fail_fast`, or scoped with the :func:`fail_fast` context
+manager.  All monitoring can be disabled entirely with
+:func:`set_monitoring` (the engines' guard calls then return after one
+attribute read), which ``benchmarks/bench_obs.py`` uses to hold the
+disabled path inside the <= 5% overhead budget.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "HealthError",
+    "HealthReport",
+    "fail_fast",
+    "fail_fast_enabled",
+    "health_from_result",
+    "monitoring_enabled",
+    "observe_result",
+    "record_hw_estimate",
+    "set_fail_fast",
+    "set_monitoring",
+]
+
+
+class HealthError(RuntimeError):
+    """Raised in fail-fast mode when a numerical-health check trips.
+
+    Carries the offending :class:`HealthReport` (when available) as
+    ``report``; mid-sweep guards raise with ``report=None`` since the
+    run never produced a result.
+    """
+
+    def __init__(self, message: str, report: "HealthReport | None" = None):
+        super().__init__(message)
+        self.report = report
+
+
+_state_lock = threading.Lock()
+_fail_fast = os.environ.get("REPRO_HEALTH_FAIL_FAST", "").strip() not in (
+    "", "0", "false", "no",
+)
+_monitoring = True
+
+
+def fail_fast_enabled() -> bool:
+    """True when health violations raise instead of only being counted."""
+    return _fail_fast
+
+
+def set_fail_fast(enabled: bool) -> bool:
+    """Set the process-wide fail-fast flag; returns the previous value."""
+    global _fail_fast
+    with _state_lock:
+        previous = _fail_fast
+        _fail_fast = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fail_fast(enabled: bool = True):
+    """Scoped fail-fast toggle: ``with fail_fast(): hestenes_svd(a)``."""
+    previous = set_fail_fast(enabled)
+    try:
+        yield
+    finally:
+        set_fail_fast(previous)
+
+
+def monitoring_enabled() -> bool:
+    """True when the health hooks record metrics (the default)."""
+    return _monitoring
+
+
+def set_monitoring(enabled: bool) -> bool:
+    """Enable/disable all health monitoring; returns the previous value."""
+    global _monitoring
+    with _state_lock:
+        previous = _monitoring
+        _monitoring = bool(enabled)
+    return previous
+
+
+@dataclass
+class HealthReport:
+    """Numerical-health summary of one decomposition run.
+
+    ``ok`` is True when every singular value and factor entry is finite
+    and no per-sweep metric went non-finite; ``issues`` lists the
+    human-readable reasons when it is not.
+    """
+
+    engine: str = ""
+    ok: bool = True
+    sweeps: int = 0
+    converged: bool = True
+    rotations: int = 0
+    skipped: int = 0
+    final_off_diagonal: float = float("nan")
+    nonfinite_singular_values: int = 0
+    nonfinite_factor_entries: int = 0
+    issues: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialization (CLI / serve)."""
+        return {
+            "engine": self.engine,
+            "ok": self.ok,
+            "sweeps": self.sweeps,
+            "converged": self.converged,
+            "rotations": self.rotations,
+            "skipped": self.skipped,
+            "final_off_diagonal": self.final_off_diagonal,
+            "nonfinite_singular_values": self.nonfinite_singular_values,
+            "nonfinite_factor_entries": self.nonfinite_factor_entries,
+            "issues": list(self.issues),
+        }
+
+
+def _count_nonfinite(arr) -> int:
+    if arr is None:
+        return 0
+    return int(np.size(arr) - np.count_nonzero(np.isfinite(arr)))
+
+
+def health_from_result(result, *, engine: str = "") -> HealthReport:
+    """Build a :class:`HealthReport` from a finished ``SVDResult``.
+
+    Pure inspection — no metrics are recorded and nothing raises; use
+    :func:`observe_result` for the full monitored pipeline.
+    """
+    report = HealthReport(engine=engine or getattr(result, "method", ""))
+    report.sweeps = int(getattr(result, "sweeps", 0))
+    report.converged = bool(getattr(result, "converged", True))
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        report.rotations = int(sum(trace.rotations))
+        report.skipped = int(sum(trace.skipped))
+        report.final_off_diagonal = float(trace.final_value)
+        if trace.values and not all(math.isfinite(v) for v in trace.values):
+            report.ok = False
+            report.issues.append("non-finite convergence metric in trace")
+        elif not math.isfinite(report.final_off_diagonal):
+            # inf final_value from an *empty* trace is benign; only a
+            # recorded non-finite value is a health problem (caught
+            # above), so nothing to do here.
+            report.final_off_diagonal = float("nan")
+    report.nonfinite_singular_values = _count_nonfinite(result.s)
+    if report.nonfinite_singular_values:
+        report.ok = False
+        report.issues.append(
+            f"{report.nonfinite_singular_values} non-finite singular value(s)"
+        )
+    bad_factors = _count_nonfinite(getattr(result, "u", None))
+    bad_factors += _count_nonfinite(getattr(result, "vt", None))
+    report.nonfinite_factor_entries = bad_factors
+    if bad_factors:
+        report.ok = False
+        report.issues.append(f"{bad_factors} non-finite factor entr(y/ies)")
+    return report
+
+
+_ENGINE_LABEL = ("engine",)
+
+
+def observe_result(result, *, engine: str = ""):
+    """Attach a ``HealthReport`` to *result* and record engine metrics.
+
+    Called by :func:`repro.core.svd.hestenes_svd` after every engine
+    dispatch (and by the accelerator facade), so serve requests and
+    direct API calls are covered by the same monitor.  Returns *result*
+    for chaining.  Raises :class:`HealthError` when the report is not
+    ok and fail-fast mode is on.
+    """
+    if not _monitoring:
+        return result
+    report = health_from_result(result, engine=engine)
+    result.health = report
+    reg = get_registry()
+    labels = {"engine": report.engine or "unknown"}
+    reg.counter(
+        "engine_runs", help="decompositions per engine",
+        labelnames=_ENGINE_LABEL,
+    ).labels(**labels).inc()
+    reg.histogram(
+        "engine_sweeps", help="sweeps executed per run",
+        labelnames=_ENGINE_LABEL,
+    ).labels(**labels).observe(report.sweeps)
+    if report.rotations or report.skipped:
+        reg.counter(
+            "engine_rotations", help="Jacobi rotations applied",
+            labelnames=_ENGINE_LABEL,
+        ).labels(**labels).inc(report.rotations)
+        reg.counter(
+            "engine_rotations_skipped",
+            help="pair rotations skipped (already orthogonal)",
+            labelnames=_ENGINE_LABEL,
+        ).labels(**labels).inc(report.skipped)
+    if math.isfinite(report.final_off_diagonal):
+        reg.histogram(
+            "engine_final_off_diagonal",
+            help="convergence metric after the last sweep",
+            labelnames=_ENGINE_LABEL,
+        ).labels(**labels).observe(report.final_off_diagonal)
+    if not report.converged:
+        reg.counter(
+            "engine_unconverged_runs",
+            help="runs that exhausted max_sweeps above tolerance",
+            labelnames=_ENGINE_LABEL,
+        ).labels(**labels).inc()
+    if not report.ok:
+        reg.counter(
+            "engine_health_violations",
+            help="runs with non-finite outputs or metrics",
+            labelnames=_ENGINE_LABEL,
+        ).labels(**labels).inc()
+        if _fail_fast:
+            raise HealthError(
+                f"health check failed for engine "
+                f"{report.engine!r}: {'; '.join(report.issues)}",
+                report,
+            )
+    return result
+
+
+def sweep_guard(engine: str, sweep: int, value: float) -> None:
+    """Per-sweep NaN/Inf guard on the freshly measured metric *value*.
+
+    The healthy path is one ``math.isfinite`` call — cheap enough for
+    every engine's sweep loop.  A non-finite value increments the
+    ``engine_sweep_nonfinite`` counter and raises :class:`HealthError`
+    in fail-fast mode, stopping a diverging run at the sweep where it
+    went bad instead of after ``max_sweeps``.
+    """
+    if math.isfinite(value):
+        return
+    if not _monitoring:
+        return
+    get_registry().counter(
+        "engine_sweep_nonfinite",
+        help="sweeps whose convergence metric went NaN/Inf",
+        labelnames=_ENGINE_LABEL,
+    ).labels(engine=engine or "unknown").inc()
+    if _fail_fast:
+        raise HealthError(
+            f"non-finite convergence metric ({value!r}) in engine "
+            f"{engine!r} at sweep {sweep}"
+        )
+
+
+def record_hw_estimate(breakdown) -> None:
+    """Record timing-model metrics for one ``CycleBreakdown``.
+
+    Called by :func:`repro.hw.timing_model.estimate_cycles`; keeps the
+    modeled-cycle trajectory visible next to the measured engine
+    metrics so modeled/measured drift shows up in the same scrape.
+    """
+    if not _monitoring:
+        return
+    reg = get_registry()
+    reg.counter(
+        "hw_estimates", help="timing-model estimates computed"
+    ).inc()
+    reg.histogram(
+        "hw_modeled_seconds", help="modeled decomposition wall time"
+    ).observe(breakdown.seconds)
+    reg.histogram(
+        "hw_modeled_cycles", help="modeled total cycle count"
+    ).observe(float(breakdown.total))

@@ -1,199 +1,19 @@
-"""Lightweight serving metrics: counters, gauges, histograms.
+"""Serving metrics — compatibility shim over :mod:`repro.obs.metrics`.
 
-No external dependency — just enough instrumentation for an operator to
-answer the serving questions (queue depth, batch sizes, tail latency,
-cache hit rate, per-engine throughput).  A :class:`MetricsRegistry`
-owns named instruments, produces a nested :meth:`~MetricsRegistry.snapshot`
-dict for programmatic use, and renders a fixed-width text report for
-humans (the ``repro serve-demo`` output).
+The serving layer's counters/gauges/histograms were promoted to the
+process-wide observability package (labels, a default global registry,
+Prometheus exposition); this module re-exports the same names so
+existing imports — ``from repro.serve.metrics import MetricsRegistry``
+— keep working unchanged.  New code should import from
+:mod:`repro.obs.metrics` directly.
 
-Histograms keep a bounded reservoir of recent observations for
-quantile estimates (p50/p95/p99) alongside exact count/sum/min/max, so
-memory stays constant under sustained traffic.
+The behavioural contract is identical: unlabeled instruments, the
+nested ``snapshot()`` dict shape, the fixed-width ``render_text()``
+report, and reservoir-backed interpolated quantiles.
 """
 
 from __future__ import annotations
 
-import threading
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
-
-
-class Counter:
-    """Monotonically increasing count."""
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        """Add *amount* (must be >= 0)."""
-        if amount < 0:
-            raise ValueError(f"counter {self.name}: negative increment")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        """Current count."""
-        return self._value
-
-
-class Gauge:
-    """Point-in-time value (queue depth, in-flight requests, ...)."""
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        """Replace the current value."""
-        with self._lock:
-            self._value = float(value)
-
-    def inc(self, amount: float = 1.0) -> None:
-        """Adjust the current value by *amount* (may be negative)."""
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> float:
-        """Current value."""
-        return self._value
-
-
-class Histogram:
-    """Distribution of observations with reservoir-backed quantiles.
-
-    Exact ``count``/``sum``/``min``/``max`` over the full stream; the
-    quantiles are computed over the most recent *window* observations.
-    """
-
-    __slots__ = ("name", "window", "_recent", "_count", "_sum", "_min",
-                 "_max", "_lock")
-
-    def __init__(self, name: str, window: int = 2048) -> None:
-        self.name = name
-        self.window = int(window)
-        self._recent: list[float] = []
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-            self._recent.append(value)
-            if len(self._recent) > self.window:
-                del self._recent[: len(self._recent) - self.window]
-
-    @property
-    def count(self) -> int:
-        """Observations recorded."""
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        """Mean over the full stream (0.0 when empty)."""
-        return self._sum / self._count if self._count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile over the recent window."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            data = sorted(self._recent)
-        if not data:
-            return 0.0
-        pos = q * (len(data) - 1)
-        lo = int(pos)
-        hi = min(lo + 1, len(data) - 1)
-        frac = pos - lo
-        return data[lo] * (1.0 - frac) + data[hi] * frac
-
-    def summary(self) -> dict:
-        """count/mean/min/max plus p50/p95/p99."""
-        with self._lock:
-            count, total = self._count, self._sum
-            lo, hi = self._min, self._max
-        return {
-            "count": count,
-            "mean": total / count if count else 0.0,
-            "min": lo if count else 0.0,
-            "max": hi if count else 0.0,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
-
-
-class MetricsRegistry:
-    """Named instrument registry with snapshot and text rendering."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter *name*."""
-        with self._lock:
-            return self._counters.setdefault(name, Counter(name))
-
-    def gauge(self, name: str) -> Gauge:
-        """Get or create the gauge *name*."""
-        with self._lock:
-            return self._gauges.setdefault(name, Gauge(name))
-
-    def histogram(self, name: str, window: int = 2048) -> Histogram:
-        """Get or create the histogram *name*."""
-        with self._lock:
-            return self._histograms.setdefault(name, Histogram(name, window))
-
-    def snapshot(self) -> dict:
-        """Nested dict of every instrument's current state."""
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {n: c.value for n, c in sorted(counters.items())},
-            "gauges": {n: g.value for n, g in sorted(gauges.items())},
-            "histograms": {n: h.summary() for n, h in sorted(histograms.items())},
-        }
-
-    def render_text(self) -> str:
-        """Fixed-width human-readable report of the snapshot."""
-        snap = self.snapshot()
-        lines = []
-        if snap["counters"]:
-            lines.append("counters:")
-            for name, value in snap["counters"].items():
-                lines.append(f"  {name:<32s} {value:>12,}")
-        if snap["gauges"]:
-            lines.append("gauges:")
-            for name, value in snap["gauges"].items():
-                lines.append(f"  {name:<32s} {value:>12g}")
-        if snap["histograms"]:
-            lines.append("histograms:")
-            for name, s in snap["histograms"].items():
-                lines.append(
-                    f"  {name:<32s} n={s['count']:<7d} mean={s['mean']:.6g} "
-                    f"p50={s['p50']:.6g} p95={s['p95']:.6g} "
-                    f"p99={s['p99']:.6g} max={s['max']:.6g}"
-                )
-        return "\n".join(lines) if lines else "(no metrics recorded)"

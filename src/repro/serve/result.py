@@ -72,6 +72,15 @@ class SVDResponse:
         """Whether the request completed with a result."""
         return self.status == "ok"
 
+    @property
+    def health(self):
+        """Numerical-health report of the underlying run, when present.
+
+        ``None`` for non-ok responses and for results produced before
+        health monitoring existed (e.g. deserialized caches).
+        """
+        return getattr(self.result, "health", None)
+
     def unwrap(self) -> SVDResult:
         """Return the result, raising a serving error for non-ok statuses.
 

@@ -32,6 +32,7 @@ import threading
 import time
 
 from repro.obs import use_tracer
+from repro.obs.metrics import get_registry
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.queue import POLICIES, RequestQueue
@@ -139,6 +140,11 @@ class SVDServer:
         self._pending_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._closed = False
+        # Expose this server's registry in the process-wide snapshot
+        # (prefixed "serve.<key>") for `repro stats` / Prometheus.
+        self._collector_name = get_registry().register_collector(
+            "serve", self.metrics
+        )
         self.start()
 
     # ---- lifecycle ------------------------------------------------------
@@ -158,6 +164,7 @@ class SVDServer:
         if self._closed:
             return
         self._closed = True
+        get_registry().unregister_collector(self._collector_name)
         self.queue.close()
         if self._thread is not None:
             self._thread.join(timeout=60.0)

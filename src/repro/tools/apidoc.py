@@ -89,11 +89,14 @@ PUBLIC_MODULES = (
     "repro.serve.server",
     "repro.obs",
     "repro.obs.tracer",
+    "repro.obs.metrics",
+    "repro.obs.health",
     "repro.obs.exporters",
     "repro.workloads",
     "repro.eval",
     "repro.eval.accuracy",
     "repro.eval.calibration",
+    "repro.eval.benchgate",
     "repro.util",
     "repro.util.io",
     "repro.util.hashing",

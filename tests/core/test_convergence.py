@@ -89,3 +89,29 @@ class TestConvergenceTrace:
         assert t.n_sweeps == 0
         assert t.final_value == float("inf")
         assert not t.converged
+
+    def test_to_csv_text(self):
+        t = ConvergenceTrace(metric="off_fro")
+        t.record(0, 10.0)
+        t.record(1, 0.5, rotations=5, skipped=1)
+        assert t.to_csv() == (
+            "sweep,off_fro,rotations,skipped\n"
+            "0,10.0,0,0\n"
+            "1,0.5,5,1\n"
+        )
+
+    def test_to_csv_roundtrips_values_exactly(self):
+        t = ConvergenceTrace()
+        t.record(1, 0.1 + 0.2, rotations=1)  # repr() keeps full precision
+        row = t.to_csv().splitlines()[1]
+        assert float(row.split(",")[1]) == 0.1 + 0.2
+
+    def test_to_csv_writes_file(self, tmp_path):
+        t = ConvergenceTrace()
+        t.record(0, 1.0)
+        path = tmp_path / "trace.csv"
+        text = t.to_csv(path)
+        assert path.read_text() == text
+
+    def test_to_csv_empty_trace_is_header_only(self):
+        assert ConvergenceTrace().to_csv() == "sweep,mean_abs,rotations,skipped\n"

@@ -1,0 +1,222 @@
+"""Tests for the benchmark baseline/regression gate (repro.eval.benchgate)."""
+
+import json
+
+import pytest
+
+from repro.eval import benchgate
+from repro.eval.benchgate import (
+    compare,
+    core_cases,
+    format_rows,
+    load_baseline,
+    machine_probe,
+    scale_metrics,
+    serve_cases,
+    write_baseline,
+)
+
+
+def _result(metrics, probe=0.010, suite="core"):
+    return {
+        "schema": benchgate.SCHEMA_VERSION,
+        "suite": suite,
+        "quick": False,
+        "probe_s": probe,
+        "metrics": dict(metrics),
+    }
+
+
+class TestSuiteDefinitions:
+    def test_core_suite_keys_are_pinned(self):
+        """The suite is a contract: renaming a case silently orphans its
+        baseline entry, so the key set is pinned here."""
+        assert set(core_cases()) == {
+            "core.reference.64",
+            "core.modified.64",
+            "core.blocked.64",
+            "core.vectorized.64",
+            "core.vectorized.128",
+            "core.preconditioned.128x64",
+            "hw.estimate.512",
+            "obs.span_disabled",
+            "obs.counter_labeled_inc",
+        }
+
+    def test_serve_suite_keys_are_pinned(self):
+        assert set(serve_cases()) == {
+            "serve.request.32x16",
+            "serve.cache_hit.32x16",
+        }
+
+    def test_machine_probe_positive_and_repeatable(self):
+        a = machine_probe(reps=2)
+        b = machine_probe(reps=2)
+        assert a > 0 and b > 0
+        # min-of-reps of the same fixed workload: same order of magnitude
+        assert 0.1 < a / b < 10
+
+    def test_cheap_cases_measure(self):
+        seconds = core_cases()["obs.counter_labeled_inc"](1)
+        assert 0 < seconds < 1e-3
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        base = _result({"a": 1.0, "b": 2.0})
+        rows, ok = compare(base, base, tolerance=0.20)
+        assert ok
+        assert [r["status"] for r in rows] == ["ok", "ok"]
+        assert all(r["ratio"] == pytest.approx(1.0) for r in rows)
+
+    def test_probe_normalization_forgives_slow_machines(self):
+        """2x slower metrics on a 2x slower machine is not a regression."""
+        base = _result({"a": 1.0}, probe=0.010)
+        cur = _result({"a": 2.0}, probe=0.020)
+        rows, ok = compare(cur, base, tolerance=0.20)
+        assert ok
+        assert rows[0]["ratio"] == pytest.approx(1.0)
+
+    def test_real_slowdown_fails(self):
+        base = _result({"a": 1.0})
+        cur = _result({"a": 1.5})
+        rows, ok = compare(cur, base, tolerance=0.20)
+        assert not ok
+        assert rows[0]["status"] == "slow"
+        assert rows[0]["ratio"] == pytest.approx(1.5)
+
+    def test_slowdown_inside_tolerance_passes(self):
+        rows, ok = compare(_result({"a": 1.15}), _result({"a": 1.0}),
+                           tolerance=0.20)
+        assert ok and rows[0]["status"] == "ok"
+
+    def test_missing_metric_fails(self):
+        """Dropping a benchmark cannot hide its regression."""
+        base = _result({"a": 1.0, "gone": 1.0})
+        cur = _result({"a": 1.0})
+        rows, ok = compare(cur, base, tolerance=0.20)
+        assert not ok
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["gone"]["status"] == "missing"
+        assert by_name["a"]["status"] == "ok"
+
+    def test_new_metric_is_informational(self):
+        base = _result({"a": 1.0})
+        cur = _result({"a": 1.0, "fresh": 5.0})
+        rows, ok = compare(cur, base, tolerance=0.20)
+        assert ok
+        assert {r["name"]: r["status"] for r in rows}["fresh"] == "new"
+
+    def test_injected_slowdown_trips_gate(self):
+        """The --inject-slowdown self-test contract: 2x must fail."""
+        base = _result({"a": 1.0, "b": 0.5})
+        rows, ok = compare(scale_metrics(base, 2.0), base, tolerance=0.20)
+        assert not ok
+        assert all(r["status"] == "slow" for r in rows)
+
+    def test_microsecond_jitter_inside_absolute_slack_passes(self):
+        """A 50% blip on a 30 us metric is scheduler noise, not a
+        regression — the gate needs both relative AND absolute excess."""
+        base = _result({"tiny": 30e-6})
+        cur = _result({"tiny": 45e-6})
+        rows, ok = compare(cur, base, tolerance=0.20)
+        assert ok
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["ratio"] == pytest.approx(1.5)
+
+    def test_tiny_metric_catastrophe_still_fails(self):
+        base = _result({"tiny": 30e-6})
+        rows, ok = compare(_result({"tiny": 30e-6 + 2e-4}), base,
+                           tolerance=0.20)
+        assert not ok and rows[0]["status"] == "slow"
+
+    def test_scale_metrics_does_not_mutate(self):
+        base = _result({"a": 1.0})
+        scaled = scale_metrics(base, 2.0)
+        assert base["metrics"]["a"] == 1.0
+        assert scaled["metrics"]["a"] == 2.0
+        assert scaled["probe_s"] == base["probe_s"]
+
+
+class TestBaselineIO:
+    def test_write_load_roundtrip(self, tmp_path):
+        base = _result({"a": 1.0})
+        path = tmp_path / "BENCH_CORE.json"
+        assert write_baseline(base, path) == str(path)
+        assert load_baseline(path) == base
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 0, "metrics": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+
+class TestFormatRows:
+    def test_report_lists_every_status(self):
+        base = _result({"ok": 1.0, "slow": 1.0, "gone": 1.0})
+        cur = _result({"ok": 1.0, "slow": 9.0, "fresh": 1.0})
+        rows, _ = compare(cur, base, tolerance=0.20)
+        text = format_rows(rows, tolerance=0.20)
+        assert "tolerance 20%" in text
+        for token in ("ok", "slow", "missing", "new"):
+            assert token in text
+
+
+class TestBenchCompareCLI:
+    """End-to-end CLI behaviour with the suite runners stubbed out (the
+    real measurements are exercised by ``make bench-check``)."""
+
+    @pytest.fixture
+    def stubbed(self, monkeypatch):
+        def fake_core(*, quick=False, log=None):
+            return _result({"a": 1.0}, suite="core")
+
+        def fake_serve(*, quick=False, log=None):
+            return _result({"r": 2.0}, suite="serve")
+
+        monkeypatch.setattr(benchgate, "run_core", fake_core)
+        monkeypatch.setattr(benchgate, "run_serve", fake_serve)
+
+    def _main(self, *extra):
+        from repro.cli import main
+
+        return main(["bench-compare", *extra])
+
+    def test_update_then_check_passes(self, stubbed, tmp_path, capsys):
+        assert self._main("--baseline-dir", str(tmp_path), "--update") == 0
+        assert (tmp_path / "BENCH_CORE.json").exists()
+        assert (tmp_path / "BENCH_SERVE.json").exists()
+        assert self._main("--baseline-dir", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "[core] ok" in out
+        assert "[serve] ok" in out
+
+    def test_injected_slowdown_exits_nonzero(self, stubbed, tmp_path, capsys):
+        assert self._main("--baseline-dir", str(tmp_path), "--update") == 0
+        assert self._main("--baseline-dir", str(tmp_path),
+                          "--inject-slowdown", "2.0") == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_nonzero(self, stubbed, tmp_path, capsys):
+        assert self._main("--baseline-dir", str(tmp_path)) == 1
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_single_suite_selection(self, stubbed, tmp_path):
+        assert self._main("--baseline-dir", str(tmp_path), "--suite", "core",
+                          "--update") == 0
+        assert (tmp_path / "BENCH_CORE.json").exists()
+        assert not (tmp_path / "BENCH_SERVE.json").exists()
+
+    def test_committed_baselines_exist_and_load(self):
+        """The repo ships its own baselines; they must stay loadable."""
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        for name in (benchgate.CORE_BASELINE, benchgate.SERVE_BASELINE):
+            data = load_baseline(repo / name)
+            assert data["metrics"], name

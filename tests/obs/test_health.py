@@ -1,0 +1,193 @@
+"""Tests for the numerical-health monitors (repro.obs.health)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.svd import METHODS, hestenes_svd
+from repro.hw.timing_model import estimate_cycles
+from repro.obs.health import (
+    HealthError,
+    fail_fast,
+    fail_fast_enabled,
+    health_from_result,
+    monitoring_enabled,
+    observe_result,
+    record_hw_estimate,
+    set_monitoring,
+    sweep_guard,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.workloads import random_matrix
+
+
+@pytest.fixture
+def registry():
+    """A private global registry so tests never touch process metrics."""
+    with use_registry(MetricsRegistry()) as reg:
+        yield reg
+
+
+class TestHealthReport:
+    def test_healthy_run(self, registry):
+        res = hestenes_svd(random_matrix(12, 8, seed=0), method="reference")
+        report = res.health
+        assert report is not None
+        assert report.ok
+        assert report.engine == "reference"
+        assert report.sweeps == res.sweeps
+        assert report.rotations == sum(res.trace.rotations)
+        assert report.skipped == sum(res.trace.skipped)
+        assert math.isfinite(report.final_off_diagonal)
+        assert report.issues == []
+
+    def test_every_registry_engine_attaches_health(self, registry):
+        a = random_matrix(10, 6, seed=1)
+        for method in METHODS:
+            res = hestenes_svd(a, method=method)
+            assert res.health is not None, method
+            assert res.health.ok, method
+            assert res.health.engine == method
+
+    def test_to_dict_roundtrips_fields(self, registry):
+        res = hestenes_svd(random_matrix(8, 4, seed=2), method="reference")
+        d = res.health.to_dict()
+        assert d["engine"] == "reference"
+        assert d["ok"] is True
+        assert d["sweeps"] == res.sweeps
+        assert isinstance(d["issues"], list)
+
+    def test_nonfinite_singular_values_flagged(self):
+        res = hestenes_svd(random_matrix(6, 4, seed=0))
+        res.s = res.s.copy()
+        res.s[0] = np.nan
+        report = health_from_result(res, engine="reference")
+        assert not report.ok
+        assert report.nonfinite_singular_values == 1
+        assert any("singular value" in issue for issue in report.issues)
+
+    def test_nonfinite_factor_entries_flagged(self):
+        res = hestenes_svd(random_matrix(6, 4, seed=0))
+        res.u = res.u.copy()
+        res.u[0, 0] = np.inf
+        report = health_from_result(res)
+        assert not report.ok
+        assert report.nonfinite_factor_entries == 1
+
+
+class TestObserveResult:
+    def test_records_per_engine_metrics(self, registry):
+        hestenes_svd(random_matrix(10, 6, seed=0), method="blocked")
+        snap = registry.snapshot()
+        assert snap["counters"]['engine_runs{engine="blocked"}'] == 1
+        assert snap["counters"]['engine_rotations{engine="blocked"}'] > 0
+        assert snap["histograms"]['engine_sweeps{engine="blocked"}']["count"] == 1
+
+    def test_violation_increments_counter(self, registry):
+        res = hestenes_svd(random_matrix(6, 4, seed=0))
+        res.s = res.s.copy()
+        res.s[0] = np.nan
+        observe_result(res, engine="reference")
+        snap = registry.snapshot()
+        assert snap["counters"]['engine_health_violations{engine="reference"}'] == 1
+
+    def test_nan_escaping_an_engine_counts_violation(self, registry,
+                                                     monkeypatch):
+        """Input validation rejects NaN matrices up front, so a health
+        violation means an engine *produced* garbage — simulate that by
+        poisoning the dispatched engine's output."""
+        import dataclasses
+
+        from repro.core import svd as svd_mod
+
+        spec = svd_mod.resolve_engine("reference")
+
+        def poisoned(a, **kwargs):
+            res = spec.fn(a, **kwargs)
+            res.s = res.s.copy()
+            res.s[0] = np.nan
+            return res
+
+        monkeypatch.setattr(
+            svd_mod, "resolve_engine",
+            lambda name: dataclasses.replace(spec, fn=poisoned))
+        res = hestenes_svd(random_matrix(6, 4, seed=0), method="reference")
+        assert not res.health.ok
+        snap = registry.snapshot()
+        assert snap["counters"]['engine_health_violations{engine="reference"}'] == 1
+
+    def test_fail_fast_raises_health_error(self, registry):
+        res = hestenes_svd(random_matrix(6, 4, seed=0), method="reference")
+        res.s = res.s.copy()
+        res.s[0] = np.nan
+        with fail_fast():
+            with pytest.raises(HealthError) as exc:
+                observe_result(res, engine="reference")
+        assert exc.value.report is not None
+        assert not exc.value.report.ok
+        assert not fail_fast_enabled()
+
+    def test_returns_result_for_chaining(self, registry):
+        res = hestenes_svd(random_matrix(6, 4, seed=0))
+        assert observe_result(res, engine="reference") is res
+
+    def test_serve_response_exposes_health(self, registry):
+        from repro.serve import SVDServer
+
+        with SVDServer(workers=1) as srv:
+            response = srv.submit(random_matrix(8, 4, seed=0)).result(
+                timeout=60.0)
+        assert response.ok
+        assert response.health is not None
+        assert response.health.ok
+
+    def test_accelerator_facade_observed(self, registry):
+        from repro.hw.architecture import HestenesJacobiAccelerator
+
+        out = HestenesJacobiAccelerator().decompose(
+            random_matrix(8, 8, seed=0))
+        assert out.result.health is not None
+        assert out.result.health.engine.startswith("hw-")
+
+
+class TestSweepGuard:
+    def test_finite_value_is_silent(self, registry):
+        sweep_guard("blocked", 3, 1e-9)
+        assert registry.snapshot()["counters"] == {}
+
+    def test_nonfinite_value_counts(self, registry):
+        sweep_guard("blocked", 3, float("nan"))
+        snap = registry.snapshot()
+        assert snap["counters"]['engine_sweep_nonfinite{engine="blocked"}'] == 1
+
+    def test_nonfinite_value_raises_in_fail_fast(self, registry):
+        with fail_fast():
+            with pytest.raises(HealthError, match="sweep 2"):
+                sweep_guard("vectorized", 2, float("inf"))
+
+
+class TestMonitoringToggle:
+    def test_disabled_monitoring_records_nothing(self, registry):
+        previous = set_monitoring(False)
+        try:
+            assert not monitoring_enabled()
+            res = hestenes_svd(random_matrix(8, 4, seed=0))
+            sweep_guard("blocked", 1, float("nan"))
+            record_hw_estimate(estimate_cycles(32, 32))
+            assert res.health is None
+            assert registry.snapshot()["counters"] == {}
+        finally:
+            set_monitoring(previous)
+        assert monitoring_enabled()
+
+
+class TestHwEstimateHook:
+    def test_estimate_cycles_records(self, registry):
+        bd = estimate_cycles(64, 64)
+        snap = registry.snapshot()
+        assert snap["counters"]["hw_estimates"] == 1
+        modeled = snap["histograms"]["hw_modeled_seconds"]
+        assert modeled["count"] == 1
+        assert modeled["max"] == pytest.approx(bd.seconds)
+        assert snap["histograms"]["hw_modeled_cycles"]["max"] == float(bd.total)

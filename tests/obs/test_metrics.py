@@ -1,0 +1,347 @@
+"""Tests for the process-wide labeled metrics layer (repro.obs.metrics)."""
+
+import gc
+import re
+import threading
+
+import pytest
+
+from repro.obs.exporters import metrics_to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError, match="negative"):
+            c.inc(-1)
+
+    def test_labeled_children_are_cached(self):
+        c = Counter("ops", labelnames=("engine",))
+        a = c.labels(engine="blocked")
+        b = c.labels(engine="blocked")
+        assert a is b
+        a.inc(3)
+        c.labels(engine="reference").inc(2)
+        assert c.value == 5
+
+    def test_labeled_family_rejects_direct_inc(self):
+        c = Counter("ops", labelnames=("engine",))
+        with pytest.raises(ValueError, match="labeled family"):
+            c.inc()
+
+    def test_unlabeled_rejects_labels_call(self):
+        with pytest.raises(ValueError, match="without labels"):
+            Counter("ops").labels(engine="x")
+
+    def test_label_name_mismatch_rejected(self):
+        c = Counter("ops", labelnames=("engine", "status"))
+        with pytest.raises(ValueError, match="expects labels"):
+            c.labels(engine="blocked")
+        with pytest.raises(ValueError, match="expects labels"):
+            c.labels(engine="blocked", status="ok", extra="nope")
+
+
+class TestGauge:
+    def test_set_inc_and_negative_delta(self):
+        g = Gauge("depth")
+        g.set(10.0)
+        g.inc(-3.0)
+        assert g.value == 7.0
+
+    def test_labeled_sum(self):
+        g = Gauge("depth", labelnames=("queue",))
+        g.labels(queue="hot").set(2.0)
+        g.labels(queue="cold").set(5.0)
+        assert g.value == 7.0
+
+
+class TestHistogramQuantiles:
+    def test_interpolated_quantiles_on_known_sequence(self):
+        """Regression pin: quantiles interpolate instead of nearest-rank.
+
+        For the 10-sample reservoir 1..10, nearest-rank p99 snaps to the
+        max (10.0); linear interpolation lands between the two largest
+        samples.  These exact values are the contract.
+        """
+        h = Histogram("lat")
+        for v in range(1, 11):
+            h.observe(float(v))
+        assert h.quantile(0.50) == pytest.approx(5.5)
+        assert h.quantile(0.95) == pytest.approx(9.55)
+        assert h.quantile(0.99) == pytest.approx(9.91)
+        assert h.quantile(0.99) != h.summary()["max"]
+
+    def test_quantile_edges_and_bounds(self):
+        h = Histogram("lat")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 3.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.quantile(0.99) == 0.0
+        assert h.summary() == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_window_bounds_reservoir_but_not_totals(self):
+        h = Histogram("lat", window=4)
+        for v in range(1, 11):
+            h.observe(float(v))
+        assert h.count == 10
+        assert h.summary()["max"] == 10.0
+        # Quantiles cover only the last 4 observations (7..10).
+        assert h.quantile(0.0) == 7.0
+
+    def test_labeled_summary_and_count(self):
+        h = Histogram("lat", labelnames=("engine",))
+        h.labels(engine="a").observe(1.0)
+        h.labels(engine="b").observe(3.0)
+        assert h.count == 2
+        assert h.labels(engine="b").summary()["mean"] == 3.0
+
+
+class TestConcurrency:
+    THREADS = 8
+    OPS = 10_000
+
+    def _hammer(self, fn):
+        errors = []
+
+        def work():
+            try:
+                for _ in range(self.OPS):
+                    fn()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_labeled_counter_exact_total(self):
+        c = Counter("ops", labelnames=("engine",))
+        child = c.labels(engine="blocked")
+        self._hammer(child.inc)
+        assert child.value == self.THREADS * self.OPS
+        assert c.value == self.THREADS * self.OPS
+
+    def test_labeled_gauge_exact_total(self):
+        g = Gauge("depth", labelnames=("queue",))
+        child = g.labels(queue="hot")
+        self._hammer(lambda: child.inc(1.0))
+        assert child.value == self.THREADS * self.OPS
+
+    def test_labeled_histogram_exact_count_and_sum(self):
+        h = Histogram("lat", labelnames=("engine",))
+        child = h.labels(engine="blocked")
+        self._hammer(lambda: child.observe(1.0))
+        expected = self.THREADS * self.OPS
+        assert child.count == expected
+        assert child.summary()["mean"] == pytest.approx(1.0)
+
+    def test_concurrent_labels_create_single_child(self):
+        c = Counter("ops", labelnames=("engine",))
+        self._hammer(lambda: c.labels(engine="x").inc())
+        assert len(c.children()) == 1
+        assert c.value == self.THREADS * self.OPS
+
+    def test_snapshot_under_write(self):
+        """snapshot() stays consistent while writers hammer the registry."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def write():
+            c = reg.counter("ops", labelnames=("engine",))
+            h = reg.histogram("lat")
+            i = 0
+            while not stop.is_set():
+                c.labels(engine=f"e{i % 4}").inc()
+                h.observe(float(i % 7))
+                i += 1
+
+        writers = [threading.Thread(target=write) for _ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = reg.snapshot()
+                total = sum(snap["counters"].values())
+                assert total >= 0
+                for s in snap["histograms"].values():
+                    assert s["count"] >= 0
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+        assert not errors
+
+
+class TestRegistry:
+    def test_instruments_are_singletons_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("ops") is reg.counter("ops")
+        assert reg.gauge("depth") is reg.gauge("depth")
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+    def test_relabeling_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", labelnames=("engine",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("ops", labelnames=("status",))
+        reg.histogram("lat")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("lat", labelnames=("engine",))
+
+    def test_snapshot_expands_labeled_families(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("ops", labelnames=("engine",))
+        fam.labels(engine="blocked").inc(2)
+        fam.labels(engine="reference").inc(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {
+            'ops{engine="blocked"}': 2,
+            'ops{engine="reference"}': 1,
+        }
+
+    def test_collect_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", help="total ops",
+                    labelnames=("engine",)).labels(engine="a").inc(3)
+        reg.histogram("lat").observe(1.0)
+        families = {f["name"]: f for f in reg.collect()}
+        assert families["ops"]["kind"] == "counter"
+        assert families["ops"]["help"] == "total ops"
+        assert families["ops"]["samples"] == [({"engine": "a"}, 3)]
+        labels, summary = families["lat"]["samples"][0]
+        assert labels == {} and summary["count"] == 1
+
+    def test_render_text_mentions_labeled_children(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", labelnames=("engine",)).labels(engine="a").inc()
+        assert 'ops{engine="a"}' in reg.render_text()
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"
+
+
+class TestCollectors:
+    def test_collector_merged_with_prefix(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        child.counter("requests").inc(7)
+        name = parent.register_collector("serve", child)
+        assert name == "serve"
+        assert parent.snapshot()["counters"]["serve.requests"] == 7
+        families = {f["name"]: f for f in parent.collect()}
+        assert families["serve.requests"]["samples"] == [({}, 7)]
+
+    def test_collector_names_uniquified(self):
+        parent = MetricsRegistry()
+        a, b = MetricsRegistry(), MetricsRegistry()
+        assert parent.register_collector("serve", a) == "serve"
+        assert parent.register_collector("serve", b) == "serve-2"
+
+    def test_unregister_collector(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        child.counter("requests").inc()
+        name = parent.register_collector("serve", child)
+        parent.unregister_collector(name)
+        assert "serve.requests" not in parent.snapshot()["counters"]
+        parent.unregister_collector("absent")  # no-op
+
+    def test_dropped_collector_expires(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.counter("requests").inc()
+        parent.register_collector("serve", child)
+        del child
+        gc.collect()
+        assert "serve.requests" not in parent.snapshot()["counters"]
+
+
+class TestGlobalRegistry:
+    def test_get_registry_is_stable(self):
+        assert get_registry() is get_registry()
+
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped) as reg:
+            assert reg is scoped
+            assert get_registry() is scoped
+        assert get_registry() is outer
+
+    def test_set_registry_returns_previous(self):
+        outer = get_registry()
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert previous is outer
+            assert get_registry() is mine
+        finally:
+            set_registry(outer)
+
+
+# One line per sample in Prometheus text exposition; HELP/TYPE comments
+# and blank lines aside, nothing else is allowed.
+_PROM_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'            # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'    # optional {k="v",...}
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r' -?[0-9.eE+\-]+(\.[0-9]+)?$'          # value
+)
+
+
+class TestPrometheusExposition:
+    def _render(self):
+        reg = MetricsRegistry()
+        reg.counter("engine_runs", help="decompositions per engine",
+                    labelnames=("engine",)).labels(engine="blocked").inc(3)
+        reg.gauge("queue_depth").set(2)
+        h = reg.histogram("latency_s", labelnames=("engine",))
+        for v in (0.1, 0.2, 0.3):
+            h.labels(engine="blocked").observe(v)
+        return metrics_to_prometheus(reg)
+
+    def test_every_line_parses(self):
+        """The acceptance check: output is valid Prometheus text format."""
+        for line in self._render().splitlines():
+            if not line or line.startswith(("# HELP ", "# TYPE ")):
+                continue
+            assert _PROM_SAMPLE.match(line), f"bad exposition line: {line!r}"
+
+    def test_labels_and_quantiles_exported(self):
+        text = self._render()
+        assert 'repro_engine_runs{engine="blocked"} 3' in text
+        assert "# TYPE repro_latency_s summary" in text
+        assert '"0.99"' in text
+        assert 'repro_latency_s_count{engine="blocked"} 3' in text
+
+    def test_help_lines_present(self):
+        assert "# HELP repro_engine_runs decompositions per engine" \
+            in self._render()

@@ -64,3 +64,29 @@ class TestTraceRecording:
         assert main(["trace", "8", "4"]) == 0
         out = capsys.readouterr().out
         assert "execution trace" in out.lower() or "cycle" in out.lower()
+
+
+class TestConvergenceCsv:
+    def test_csv_without_chrome_output(self, tmp_path, capsys):
+        csv = tmp_path / "conv.csv"
+        assert main(["trace", "16", "8", "--convergence-csv", str(csv)]) == 0
+        assert "convergence trace" in capsys.readouterr().out
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "sweep,mean_abs,rotations,skipped"
+        assert len(lines) > 1
+        sweeps = [int(row.split(",")[0]) for row in lines[1:]]
+        assert sweeps == sorted(sweeps)
+
+    def test_csv_alongside_chrome_trace(self, tmp_path):
+        csv = tmp_path / "conv.csv"
+        out = tmp_path / "t.trace.json"
+        assert main(["trace", "12", "6", "--output", str(out),
+                     "--convergence-csv", str(csv)]) == 0
+        assert csv.exists() and out.exists()
+
+    def test_csv_rejected_with_serve(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit, match="drop --serve"):
+            main(["trace", "12", "6", "--serve",
+                  "--convergence-csv", str(tmp_path / "conv.csv")])

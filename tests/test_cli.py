@@ -211,3 +211,50 @@ class TestServeDemo:
         assert main(["serve-demo", "--requests", "8", "--rows", "8",
                      "--cols", "4", "--values-only"]) == 0
         assert "bit-identical" in capsys.readouterr().out
+
+    def test_json_mode_emits_metrics_snapshot(self, capsys):
+        import json
+
+        assert main(["serve-demo", "--requests", "8", "--rows", "8",
+                     "--cols", "4", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert payload["requests"] == 8
+        assert payload["identical"] is True
+        assert payload["throughput_rps"] > 0
+        assert "histograms" in payload["stats"]
+        assert payload["first_response_health"]["ok"] is True
+        assert "serve-demo: 8 requests" in captured.err
+
+
+class TestStats:
+    @pytest.fixture(autouse=True)
+    def isolated_registry(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()):
+            yield
+
+    def test_empty_registry(self, capsys):
+        assert main(["stats"]) == 0
+        assert "(no metrics recorded)" in capsys.readouterr().out
+
+    def test_demo_populates_report(self, capsys):
+        assert main(["stats", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert 'engine_runs{engine="reference"}' in out
+        assert 'engine_runs{engine="vectorized"}' in out
+        assert "hw_estimates" in out
+
+    def test_prom_exposition(self, capsys):
+        import re
+
+        assert main(["stats", "--demo", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_runs counter" in out
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+\-]+$')
+        for line in out.splitlines():
+            if not line or line.startswith("# "):
+                continue
+            assert sample.match(line), f"bad exposition line: {line!r}"

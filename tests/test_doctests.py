@@ -14,6 +14,7 @@ import pytest
 MODULES = [
     "repro",
     "repro.core.svd",
+    "repro.core.convergence",
     "repro.core.ordering",
     "repro.core.batch",
     "repro.serve",
