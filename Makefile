@@ -1,8 +1,8 @@
 # Convenience targets; see CONTRIBUTING.md.
 
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
-	vectorized-bench obs-bench bench-baseline bench-check trace-demo \
-	eval examples apidoc all
+	shard-bench shard-smoke vectorized-bench obs-bench bench-baseline \
+	bench-check trace-demo eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,12 @@ bench-full:
 
 serve-bench:
 	python benchmarks/bench_serve.py --quick
+
+shard-bench:
+	PYTHONPATH=src python benchmarks/bench_shard.py --quick
+
+shard-smoke:
+	PYTHONPATH=src python benchmarks/bench_shard.py --smoke
 
 vectorized-bench:
 	python benchmarks/bench_vectorized.py --quick

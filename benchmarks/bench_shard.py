@@ -1,0 +1,190 @@
+"""Shard-tier saturation benchmark: sharded vs single-process serving.
+
+Drives an open-loop Poisson/bursty arrival process (the
+:mod:`repro.workloads` trace generators) against both the in-process
+:class:`~repro.serve.server.SVDServer` and the multi-process
+:class:`~repro.serve.shard.ShardedSVDServer` and compares aggregate
+throughput at saturation.  Sharding pays off by escaping the GIL: each
+shard worker is its own interpreter, so on a multi-core host the
+aggregate rate scales with the shard count.
+
+Dual-use:
+
+* ``pytest benchmarks/bench_shard.py --benchmark-only`` —
+  pytest-benchmark timings for both paths.
+* ``python benchmarks/bench_shard.py [--quick|--smoke]`` — a
+  saturation comparison table; on hosts with >= 4 cores it asserts
+  the sharded tier reaches >= 2.5x the single-process throughput
+  (ISSUE 6's acceptance bar).  ``--smoke`` is the CI mode: 2 shards,
+  ~2 s of load, and a bit-identical spot-check against the direct
+  solver instead of the ratio assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+import numpy as np
+
+from repro.core.svd import hestenes_svd
+from repro.serve import SVDServer
+from repro.serve.shard import ShardedSVDServer, default_shards
+from repro.workloads import (
+    bursty_arrivals,
+    fast_mode,
+    poisson_arrivals,
+    random_matrix,
+    replay_arrivals,
+)
+
+#: (rows, cols) mix for the saturation trace; compute-heavy enough that
+#: a single interpreter saturates well below the offered rate.
+SHAPES = [(48, 24), (64, 16), (32, 32)]
+
+
+def build_matrices(count: int):
+    """*count* distinct matrices cycling over :data:`SHAPES`."""
+    return [
+        random_matrix(*SHAPES[i % len(SHAPES)], seed=300 + i)
+        for i in range(count)
+    ]
+
+
+def build_arrivals(duration_s: float, rate_hz: float, *, bursty: bool,
+                   seed: int = 0):
+    """Arrival offsets for the run: Poisson or two-state bursty."""
+    if bursty:
+        return bursty_arrivals(rate_hz / 2.0, rate_hz * 2.0, duration_s,
+                               seed=seed)
+    return poisson_arrivals(rate_hz, duration_s, seed=seed)
+
+
+def run_single(matrices, arrivals, *, workers: int = 2):
+    """The arrival trace against one in-process server; returns a report."""
+    with SVDServer(max_batch=8, max_wait_s=0.002, workers=workers,
+                   cache_bytes=None, compute_uv=False) as srv:
+        return replay_arrivals(srv, matrices, arrivals)
+
+
+def run_sharded(matrices, arrivals, *, shards: int):
+    """The same trace against the sharded tier; returns (report, stats)."""
+    with ShardedSVDServer(shards=shards, max_wait_s=0.002, workers=1,
+                          cache_bytes=None, worker_cache_bytes=None,
+                          compute_uv=False) as srv:
+        for a in matrices[:shards]:  # warm every worker off the clock
+            srv.submit(a).result(timeout=120.0)
+        report = replay_arrivals(srv, matrices, arrivals)
+        stats = srv.stats()
+    return report, stats
+
+
+# ---- pytest-benchmark entry points ------------------------------------
+
+
+def test_single_process_saturation(benchmark):
+    matrices = build_matrices(6 if fast_mode() else 12)
+    arrivals = build_arrivals(1.0, 40.0, bursty=False)
+    report = benchmark(lambda: run_single(matrices, arrivals))
+    assert report.completed + report.errors + report.timeouts == report.submitted
+
+
+def test_sharded_saturation(benchmark):
+    matrices = build_matrices(6 if fast_mode() else 12)
+    arrivals = build_arrivals(1.0, 40.0, bursty=False)
+    report, stats = benchmark(lambda: run_sharded(matrices, arrivals,
+                                                  shards=2))
+    assert report.completed + report.errors + report.timeouts == report.submitted
+    assert all(s["alive"] for s in stats["shards"])
+
+
+# ---- CLI entry point (Makefile shard-bench / CI smoke) -----------------
+
+
+def _smoke(shards: int) -> int:
+    """CI smoke: short saturation load + bit-identical spot-check."""
+    matrices = build_matrices(9)
+    arrivals = build_arrivals(2.0, 60.0, bursty=True, seed=7)
+    print(f"shard smoke: {shards} shards, {len(arrivals)} bursty "
+          f"arrivals over ~2 s")
+    report, stats = run_sharded(matrices, arrivals, shards=shards)
+    print(f"  submitted={report.submitted} completed={report.completed} "
+          f"rejected={report.rejected} errors={report.errors} "
+          f"({report.throughput_rps:,.0f} req/s)")
+    if report.errors or report.timeouts:
+        print("FAIL: errors or timeouts under smoke load")
+        return 1
+    if report.completed != report.submitted:
+        print("FAIL: accepted requests lost")
+        return 1
+    with ShardedSVDServer(shards=1, cache_bytes=None,
+                          worker_cache_bytes=None,
+                          compute_uv=False) as srv:
+        served = srv.submit(matrices[0]).result(timeout=120.0)
+    direct = hestenes_svd(matrices[0], compute_uv=False)
+    if not np.array_equal(served.result.s, direct.s):
+        print("FAIL: sharded result not bit-identical to direct solver")
+        return 1
+    print("bit-identical spot-check: ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter load window")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 2 shards, ~2 s load, "
+                             "bit-identical spot-check, no ratio gate")
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="offered arrival rate [req/s]")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="load window [s]")
+    parser.add_argument("--bursty", action="store_true",
+                        help="two-state bursty arrivals instead of Poisson")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke(args.shards or 2)
+
+    shards = args.shards or default_shards()
+    duration = args.duration or (2.0 if args.quick else 6.0)
+    rate = args.rate or 80.0
+    matrices = build_matrices(12)
+    arrivals = build_arrivals(duration, rate, bursty=args.bursty)
+    kind = "bursty" if args.bursty else "poisson"
+    print(f"shard saturation benchmark: {len(arrivals)} {kind} arrivals "
+          f"over {duration:g} s (offered {rate:g} req/s), "
+          f"{shards} shards on {os.cpu_count()} cores")
+
+    hestenes_svd(matrices[0], compute_uv=False)  # warm BLAS off the clock
+
+    single = run_single(matrices, arrivals)
+    sharded, stats = run_sharded(matrices, arrivals, shards=shards)
+    ratio = (sharded.throughput_rps / single.throughput_rps
+             if single.throughput_rps else float("inf"))
+
+    print(f"\n{'path':<24s} {'completed':>10s} {'rejected':>9s} "
+          f"{'req/s':>10s} {'p99 [ms]':>10s}")
+    for name, rep in (("single process", single),
+                      (f"{shards} shards", sharded)):
+        p99 = rep.summary().get("p99_s", 0.0) * 1e3
+        print(f"{name:<24s} {rep.completed:>10d} {rep.rejected:>9d} "
+              f"{rep.throughput_rps:>10,.0f} {p99:>10.2f}")
+    print(f"\naggregate throughput ratio: {ratio:.2f}x")
+
+    if (os.cpu_count() or 1) < 4:
+        print(f"host has {os.cpu_count()} cores (< 4): the >= 2.5x "
+              f"acceptance gate only applies on multi-core hosts; "
+              f"reporting only")
+        return 0
+    if ratio < 2.5:
+        print("FAIL: sharded throughput below the 2.5x acceptance bar")
+        return 1
+    print("sharded throughput >= 2.5x single process: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Operational CLI commands: ``serve-demo``, ``stats``, ``bench-compare``.
+"""Operational CLI commands: ``serve-demo``, ``shard-demo``, ``stats``.
 
 Split out of :mod:`repro.cli` (which stays focused on the modelling
 commands) and registered into the same ``repro`` argument parser via
@@ -7,6 +7,11 @@ commands) and registered into the same ``repro`` argument parser via
 * ``serve-demo`` — drive the micro-batching SVD server with a traffic
   trace; ``--json`` emits the final metrics snapshot as machine-readable
   JSON on stdout (progress lines move to stderr).
+* ``shard-demo`` — drive the multi-process sharded tier
+  (:class:`repro.serve.shard.ShardedSVDServer`) with an open-loop
+  Poisson arrival trace; reports throughput, loss accounting, and
+  per-shard health, and spot-checks bit-identity against the direct
+  solver.
 * ``stats`` — render the process-wide metrics registry
   (:func:`repro.obs.metrics.get_registry`) as a text report or, with
   ``--prom``, Prometheus text exposition; ``--demo`` first runs a small
@@ -106,6 +111,64 @@ def _cmd_serve_demo(args) -> int:
     return 0 if identical else 1
 
 
+def _cmd_shard_demo(args) -> int:
+    import numpy as np
+
+    from repro.core.svd import hestenes_svd
+    from repro.serve.shard import ShardedSVDServer
+    from repro.workloads import (
+        poisson_arrivals,
+        random_matrix,
+        replay_arrivals,
+    )
+
+    info = sys.stderr if args.json else sys.stdout
+    matrices = [random_matrix(args.rows, args.cols, seed=args.seed + i)
+                for i in range(8)]
+    arrivals = poisson_arrivals(args.rate, args.duration, seed=args.seed)
+    print(f"shard-demo: {len(arrivals)} poisson arrivals over "
+          f"{args.duration:g} s at {args.rate:g} req/s across "
+          f"{args.shards} shard worker(s)", file=info)
+    with ShardedSVDServer(
+        shards=args.shards,
+        max_inflight=args.max_inflight,
+        default_engine=args.engine,
+        compute_uv=not args.values_only,
+    ) as srv:
+        report = replay_arrivals(srv, matrices, arrivals)
+        stats = srv.stats()
+    check_method = {"method": args.engine} if args.engine != "core" else {}
+    check = hestenes_svd(matrices[0], compute_uv=not args.values_only,
+                         **check_method)
+    with ShardedSVDServer(shards=1, default_engine=args.engine,
+                          cache_bytes=None, worker_cache_bytes=None,
+                          compute_uv=not args.values_only) as one:
+        served = one.submit(matrices[0]).result(timeout=120.0)
+    identical = (served.ok
+                 and bool(np.array_equal(served.result.s, check.s)))
+    summary = report.summary()
+    shard_rows = [
+        {"id": s["id"], "alive": s["alive"], "generation": s["generation"]}
+        for s in stats["shards"]
+    ]
+    ok = identical and not (report.errors or report.timeouts)
+    if args.json:
+        print(json.dumps({"replay": summary, "identical": identical,
+                          "shards": shard_rows}, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(f"served {report.completed}/{report.submitted} admitted requests "
+          f"({report.rejected} rejected 429, {report.errors} errors) "
+          f"at {report.throughput_rps:,.0f} req/s")
+    print(f"  latency   : p50 {summary['p50_s'] * 1e3:.2f} ms   "
+          f"p99 {summary['p99_s'] * 1e3:.2f} ms")
+    print(f"  shards    : " + " ".join(
+        f"{r['id']}={'up' if r['alive'] else 'DOWN'}(gen {r['generation']})"
+        for r in shard_rows))
+    print(f"  verification: sharded result bit-identical to direct solver: "
+          f"{identical}")
+    return 0 if ok else 1
+
+
 def _cmd_stats(args) -> int:
     from repro.obs.exporters import metrics_to_prometheus
     from repro.obs.metrics import get_registry
@@ -193,6 +256,27 @@ def add_ops_commands(sub, methods) -> None:
                     help="emit the final metrics snapshot as JSON on "
                          "stdout (progress lines go to stderr)")
     sd.set_defaults(func=_cmd_serve_demo)
+
+    shd = sub.add_parser("shard-demo",
+                         help="drive the multi-process sharded SVD tier")
+    shd.add_argument("--shards", type=int, default=2)
+    shd.add_argument("--rate", type=float, default=40.0,
+                     help="offered poisson arrival rate [req/s]")
+    shd.add_argument("--duration", type=float, default=2.0,
+                     help="load window [s]")
+    shd.add_argument("--rows", type=int, default=32)
+    shd.add_argument("--cols", type=int, default=16)
+    shd.add_argument("--seed", type=int, default=0)
+    shd.add_argument("--max-inflight", type=int, default=32,
+                     help="per-shard admission depth (429 beyond it)")
+    shd.add_argument("--engine", default="core",
+                     choices=("core", *methods),
+                     help="default serving engine for the trace")
+    shd.add_argument("--values-only", action="store_true")
+    shd.add_argument("--json", action="store_true",
+                     help="emit the replay report as JSON on stdout "
+                          "(progress lines go to stderr)")
+    shd.set_defaults(func=_cmd_shard_demo)
 
     st = sub.add_parser("stats",
                         help="render the process-wide metrics registry")

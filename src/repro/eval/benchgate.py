@@ -218,11 +218,40 @@ def core_cases() -> dict:
     }
 
 
+def _shard_request_case(reps: int) -> float:
+    """Seconds per request through the sharded (multi-process) tier.
+
+    Spawn cost dominates server construction (seconds per worker), so
+    the server is built once and the metric times steady-state request
+    round-trips — shared-memory framing, control-pipe hops, and worker
+    dispatch — not process start-up.  Caches are disabled on both
+    sides so every request crosses the process boundary.
+    """
+    from repro.serve.shard import ShardedSVDServer
+    from repro.workloads import random_matrix
+
+    mats = [random_matrix(32, 16, seed=i) for i in range(24)]
+    with ShardedSVDServer(shards=2, max_wait_s=0.001, workers=1,
+                          cache_bytes=None, worker_cache_bytes=None,
+                          compute_uv=False) as srv:
+        for handle in srv.submit_many(mats):  # warm both workers
+            handle.result(timeout=120.0)
+
+        def once() -> float:
+            start = time.perf_counter()
+            for handle in srv.submit_many(mats):
+                handle.result(timeout=120.0)
+            return (time.perf_counter() - start) / len(mats)
+
+        return _best_of(once, reps)
+
+
 def serve_cases() -> dict:
     """The pinned serve suite: name -> callable(reps) -> seconds-per-unit."""
     return {
         "serve.request.32x16": _serve_throughput_case,
         "serve.cache_hit.32x16": _serve_cached_case,
+        "serve.shard_request.32x16": _shard_request_case,
     }
 
 

@@ -35,9 +35,15 @@ from repro.serve.result import SVDResponse
 from repro.serve.retry import EngineExecutor, RetryPolicy, retry_call
 from repro.serve.scheduler import Batch, BatchConfig, MicroBatcher
 from repro.serve.server import ResponseHandle, ServerClosed, SVDServer
+from repro.serve.shard import (  # noqa: E402 - must follow serve.server
+    AsyncSVDServer,
+    ShardedSVDServer,
+    ShardSaturated,
+)
 
 __all__ = [
     "ENGINES",
+    "AsyncSVDServer",
     "Batch",
     "BatchConfig",
     "CacheStats",
@@ -59,6 +65,8 @@ __all__ = [
     "SVDServer",
     "ServeError",
     "ServerClosed",
+    "ShardSaturated",
+    "ShardedSVDServer",
     "result_nbytes",
     "retry_call",
     "make_request",

@@ -53,6 +53,10 @@ class SVDResponse:
         Correlation id of this request's spans when the server was
         constructed with a tracer (matches the ``trace_id`` attribute
         on the ``serve.request`` span tree), else None.
+    shard : int or None
+        Id of the worker shard that served the request, when it came
+        through :class:`repro.serve.shard.ShardedSVDServer`; ``None``
+        for single-process serving and front-cache hits.
     """
 
     request_id: str
@@ -66,6 +70,7 @@ class SVDResponse:
     service_s: float = 0.0
     total_s: float = 0.0
     trace_id: str | None = None
+    shard: int | None = None
 
     @property
     def ok(self) -> bool:

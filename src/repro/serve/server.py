@@ -43,9 +43,6 @@ from repro.serve.scheduler import Batch, BatchConfig, MicroBatcher
 
 __all__ = ["ServerClosed", "ResponseHandle", "SVDServer"]
 
-#: Idle poll granularity of the dispatch loop when no flush is pending.
-_IDLE_WAIT_S = 0.01
-
 
 class ServerClosed(ServeError):
     """Submission attempted on a closed server."""
@@ -58,6 +55,8 @@ class ResponseHandle:
         self.request_id = request_id
         self._event = threading.Event()
         self._response: SVDResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def done(self) -> bool:
         """Whether the response is available."""
@@ -72,9 +71,26 @@ class ResponseHandle:
         assert self._response is not None
         return self._response
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(response)`` when the handle fulfils.
+
+        Fires immediately (in the calling thread) when already done;
+        otherwise runs in whichever thread fulfils the handle — keep
+        callbacks short and never block in them.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self._response)
+
     def _fulfil(self, response: SVDResponse) -> None:
-        self._response = response
-        self._event.set()
+        with self._cb_lock:
+            self._response = response
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(response)
 
 
 class SVDServer:
@@ -245,14 +261,40 @@ class SVDServer:
                 error=str(exc), engine=request.engine,
                 trace_id=request.trace_id,
             ))
+            exc.handle = handle
             raise
         self.metrics.counter("requests_submitted").inc()
         self.metrics.gauge("queue_depth").set(len(self.queue))
         return handle
 
-    def submit_many(self, matrices, **kwargs) -> list[ResponseHandle]:
-        """Submit a sequence of matrices; returns handles in input order."""
-        return [self.submit(a, **kwargs) for a in matrices]
+    def submit_many(self, matrices, *, on_error: str = "raise",
+                    **kwargs) -> list[ResponseHandle]:
+        """Submit a sequence of matrices; returns handles in input order.
+
+        ``on_error="continue"`` keeps submitting past rejections: the
+        failed positions still receive handles (already fulfilled with
+        status ``"rejected"``), so a partial failure never scrambles
+        the input/handle correspondence.
+        """
+        if on_error not in ("raise", "continue"):
+            raise ValueError(f"on_error must be 'raise' or 'continue', "
+                             f"got {on_error!r}")
+        handles: list[ResponseHandle] = []
+        for a in matrices:
+            try:
+                handles.append(self.submit(a, **kwargs))
+            except ServeError as exc:
+                if on_error == "raise":
+                    raise
+                handle = getattr(exc, "handle", None)
+                if handle is None:  # e.g. ServerClosed: no handle was made
+                    handle = ResponseHandle(f"req-rejected-{next(self._ids)}")
+                    handle._fulfil(SVDResponse(
+                        request_id=handle.request_id, status="rejected",
+                        error=str(exc), engine=self.default_engine,
+                    ))
+                handles.append(handle)
+        return handles
 
     def result(self, handle: ResponseHandle | str,
                timeout: float | None = None) -> SVDResponse:
@@ -273,7 +315,8 @@ class SVDServer:
         snap["queue"] = {"depth": len(self.queue),
                          "maxsize": self.queue.maxsize,
                          "policy": self.queue.policy}
-        snap["cache"] = self.cache.snapshot() if self.cache else None
+        snap["cache"] = (self.cache.snapshot()
+                         if self.cache is not None else None)
         snap["degradations"] = self._executor.degradations
         return snap
 
@@ -287,8 +330,11 @@ class SVDServer:
         while True:
             closing = self.queue.closed
             deadline = self._batcher.next_deadline()
+            # Event-driven wakeup: with no pending flush deadline the
+            # loop parks on the queue's condition variable (signaled by
+            # put/close) instead of polling — zero idle CPU burn.
             if deadline is None:
-                wait = None if closing else _IDLE_WAIT_S
+                wait = None
             else:
                 wait = max(0.0, deadline - self._clock())
             request = self.queue.get(timeout=0.0 if closing else wait)

@@ -1,0 +1,39 @@
+"""Multi-process worker shards: the serving layer's PE array.
+
+The paper scales Hestenes-Jacobi by replicating processing elements
+behind a scheduler; this package is the software transplant of that
+idea onto the serving layer.  It shards the single-process
+:class:`repro.serve.server.SVDServer` across worker *processes* — each
+one a full queue → micro-batcher → engine pipeline — connected by a
+pickle-free shared-memory matrix transport, behind a router with
+admission control and an optional :mod:`asyncio` front-end.
+
+Modules
+-------
+:mod:`~repro.serve.shard.transport`
+    Framed shared-memory protocol with explicit ownership handoff.
+:mod:`~repro.serve.shard.worker`
+    The child-process entry point hosting the inner pipeline.
+:mod:`~repro.serve.shard.router`
+    Keyed routing, least-loaded fallback, 429-style admission,
+    worker-death detection, respawn, and zero-loss re-queueing.
+:mod:`~repro.serve.shard.frontend`
+    :class:`ShardedSVDServer` (blocking) and :class:`AsyncSVDServer`
+    (asyncio) façades.
+"""
+
+from repro.serve.shard.frontend import (AsyncSVDServer, ShardedSVDServer,
+                                        default_shards)
+from repro.serve.shard.router import ShardRouter, ShardSaturated, shape_bucket
+from repro.serve.shard.worker import WorkerConfig, worker_main
+
+__all__ = [
+    "AsyncSVDServer",
+    "ShardRouter",
+    "ShardSaturated",
+    "ShardedSVDServer",
+    "WorkerConfig",
+    "default_shards",
+    "shape_bucket",
+    "worker_main",
+]

@@ -1,0 +1,96 @@
+"""Shared state types of the shard tier: shards, in-flight records.
+
+Split out of :mod:`repro.serve.shard.router` so the router module
+holds only policy (routing, admission, supervision) while these plain
+data holders carry the bookkeeping:
+
+* :class:`ShardSaturated` — the 429-style admission rejection.
+* :func:`shape_bucket` — the power-of-two shape key that gives
+  compatible requests affinity to the same shard.
+* :class:`Inflight` — one request currently owned by a worker, with
+  everything needed to re-queue it losslessly after a worker death.
+* :class:`ShardState` — one worker process's transport, connection,
+  generation counter, and in-flight table.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.request import ServeError, SVDRequest
+from repro.serve.shard import transport
+
+__all__ = ["ShardSaturated", "shape_bucket", "Inflight", "ShardState"]
+
+
+class ShardSaturated(ServeError):
+    """Every eligible shard is at its admission limit (HTTP-429 analogue)."""
+
+    status_code = 429
+
+
+def shape_bucket(shape) -> tuple[int, ...]:
+    """Round each dimension up to a power of two for routing affinity."""
+    return tuple(1 << max(int(d) - 1, 0).bit_length() for d in shape)
+
+
+class Inflight:
+    """Parent-side record of one request currently owned by a shard.
+
+    Keeps the original :class:`~repro.serve.request.SVDRequest` (matrix
+    included) so a worker death can re-queue the request through the
+    normal submit path with nothing lost.
+    """
+
+    __slots__ = ("request", "handle", "attempts", "sent_at", "ticket",
+                 "segment", "trace_start")
+
+    def __init__(self, request: SVDRequest, handle, *, trace_start=None):
+        self.request = request
+        self.handle = handle
+        self.attempts = 0
+        self.sent_at = 0.0
+        self.ticket = None
+        self.segment = None          # parent-created overflow request segment
+        self.trace_start = trace_start
+
+    def drop_segment(self) -> None:
+        """Unlink the overflow request segment, if one was used."""
+        if self.segment is not None:
+            transport.unlink_segment(self.segment)
+            self.segment = None
+
+
+class ShardState:
+    """One worker process plus its transport and supervision state."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.id = shard_id
+        self.generation = 0
+        self.process = None
+        self.conn = None
+        self.arena = None
+        self.alive = False
+        self.pid = None
+        self.clock_offset = 0.0      # parent perf_counter - worker perf_counter
+        self.inflight: dict[str, Inflight] = {}
+        self.lock = threading.Lock()
+        # Connection.send is not thread-safe; submissions, pings, and
+        # stop all serialize through this lock.
+        self.send_lock = threading.Lock()
+        self.last_report: dict | None = None
+
+    def send(self, message) -> None:
+        """Thread-safe send on the control pipe."""
+        with self.send_lock:
+            self.conn.send(message)
+
+    @property
+    def depth(self) -> int:
+        """Number of requests currently owned by this shard."""
+        with self.lock:
+            return len(self.inflight)
+
+    def labels(self) -> dict:
+        """Metric label set identifying this shard."""
+        return {"shard": str(self.id)}

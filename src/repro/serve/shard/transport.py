@@ -1,0 +1,293 @@
+"""Pickle-free shared-memory matrix transport for worker shards.
+
+Matrices crossing the parent/worker process boundary never pass through
+``pickle``: their raw float64 bytes are written into a
+:mod:`multiprocessing.shared_memory` segment using a small **framed
+message protocol**, and only a tiny control tuple (request id, frame
+ticket, options) travels over the pipe.  The paper's analogue is the
+accelerator's off-chip channel: matrix columns stream over a dedicated
+wide bus while the control processor exchanges descriptors.
+
+Frame format (one *message* = one or more arrays)::
+
+    HEADER   (16 B)  magic "RSH1" | version | state | count | pad | total
+    ARRAYHDR (64 B)  dtype string (16s) | ndim | pad | shape dims (5 x q)
+    PAYLOAD          raw array bytes, each 16-byte aligned
+
+The ``state`` byte implements the **explicit ownership handoff**:
+
+* :data:`STATE_FREE`     — owned by the parent-side allocator,
+* :data:`STATE_REQUEST`  — written by the parent, readable by the worker,
+* :data:`STATE_RESPONSE` — rewritten in place by the worker, readable by
+  the parent, which then releases the slot back to ``FREE``.
+
+A process unpacking a message asserts the state it expects; a mismatch
+raises :class:`TransportError` instead of silently reading a frame the
+other side still owns.
+
+Two carriers implement the protocol:
+
+* :class:`SlotArena` — a fixed pool of equal-size slots in one shared
+  segment (the common case: bounded, allocation-free steady state).
+* one-off **overflow segments** (:func:`create_segment` /
+  :func:`attach_segment`) for payloads larger than a slot.
+
+Workers share the parent's ``resource_tracker`` (they are
+multiprocessing children), so segment lifetimes follow a strict
+create-register / unlink-unregister pairing — see the commentary above
+:func:`create_segment` for why this sidesteps the well-known CPython
+tracker-unlinks-attached-segments pitfall.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.serve.request import ServeError
+
+__all__ = [
+    "MAGIC",
+    "STATE_FREE",
+    "STATE_REQUEST",
+    "STATE_RESPONSE",
+    "TransportError",
+    "SlotArena",
+    "attach_segment",
+    "create_segment",
+    "message_nbytes",
+    "pack_message",
+    "peek_state",
+    "unpack_message",
+]
+
+MAGIC = b"RSH1"
+VERSION = 1
+
+STATE_FREE = 0
+STATE_REQUEST = 1
+STATE_RESPONSE = 2
+
+_HEADER = struct.Struct("<4sBBBxq")       # magic, version, state, count, total
+_ARRAYHDR = struct.Struct("<16sB7x5q")    # dtype, ndim, shape dims
+_ALIGN = 16
+_MAX_NDIM = 5
+_STATE_OFFSET = 5                          # byte offset of `state` in HEADER
+
+
+class TransportError(ServeError):
+    """A shared-memory frame violated the framing/ownership protocol."""
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def message_nbytes(arrays) -> int:
+    """Exact bytes a packed message of *arrays* occupies."""
+    total = _HEADER.size + len(arrays) * _ARRAYHDR.size
+    for a in arrays:
+        total = _aligned(total) + a.nbytes
+    return total
+
+
+def pack_message(buf, offset: int, arrays, state: int) -> int:
+    """Write *arrays* as one framed message at *offset*; returns nbytes.
+
+    Array data is copied byte-for-byte (C order), so a round trip is
+    bit-identical.  Raises :class:`TransportError` when an array has
+    more than five dimensions (nothing in the serving layer does).
+    """
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    for a in arrays:
+        if a.ndim > _MAX_NDIM:
+            raise TransportError(f"array rank {a.ndim} exceeds {_MAX_NDIM}")
+    total = message_nbytes(arrays)
+    _HEADER.pack_into(buf, offset, MAGIC, VERSION, state, len(arrays), total)
+    pos = offset + _HEADER.size
+    for a in arrays:
+        dims = list(a.shape) + [0] * (_MAX_NDIM - a.ndim)
+        _ARRAYHDR.pack_into(buf, pos, a.dtype.str.encode("ascii"), a.ndim,
+                            *dims)
+        pos += _ARRAYHDR.size
+    for a in arrays:
+        pos = offset + _aligned(pos - offset)
+        raw = a.tobytes()  # C-order bytes regardless of source layout
+        buf[pos:pos + len(raw)] = raw
+        pos += len(raw)
+    return total
+
+
+def peek_state(buf, offset: int) -> int:
+    """Read a message's ownership state byte without unpacking it."""
+    return buf[offset + _STATE_OFFSET]
+
+
+def unpack_message(buf, offset: int, *, expect_state: int | None = None):
+    """Read a framed message; returns ``(state, [read-only array views])``.
+
+    The views alias the shared buffer — copy them (``np.array(v)``)
+    before the slot is released or handed back to the other side.
+    """
+    magic, version, state, count, total = _HEADER.unpack_from(buf, offset)
+    if magic != MAGIC:
+        raise TransportError(f"bad frame magic {magic!r} at offset {offset}")
+    if version != VERSION:
+        raise TransportError(f"unsupported frame version {version}")
+    if expect_state is not None and state != expect_state:
+        raise TransportError(
+            f"ownership handoff violated: expected state {expect_state}, "
+            f"found {state} (frame owned by the other side?)"
+        )
+    headers = []
+    pos = offset + _HEADER.size
+    for _ in range(count):
+        dtype_raw, ndim, *dims = _ARRAYHDR.unpack_from(buf, pos)
+        dtype = np.dtype(dtype_raw.rstrip(b"\x00").decode("ascii"))
+        headers.append((dtype, tuple(dims[:ndim])))
+        pos += _ARRAYHDR.size
+    arrays = []
+    for dtype, shape in headers:
+        pos = offset + _aligned(pos - offset)
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        view = np.frombuffer(buf, dtype=dtype, count=max(
+            nbytes // dtype.itemsize, 0), offset=pos).reshape(shape)
+        view.setflags(write=False)
+        arrays.append(view)
+        pos += nbytes
+    if pos - offset > total:
+        raise TransportError("frame payload overruns its declared total")
+    return state, arrays
+
+
+# ---- resource-tracker-safe attach/create --------------------------------
+#
+# Shard workers are multiprocessing children of the router process, so
+# they SHARE the parent's resource_tracker (the tracker fd travels in
+# the spawn preparation data) and its cache is a set of names.  That
+# makes the safe discipline simple: the creating process registers a
+# name once, attaches re-register idempotently, and exactly one
+# eventual `unlink()` unregisters it — regardless of which process
+# performs it.  Manually unregistering on attach (the usual workaround
+# for CPython's tracker-unlinks-attached-segments pitfall with
+# *unrelated* processes) would here remove the parent's own
+# registration from the shared cache and make the final unlink
+# double-unregister.  A worker death therefore never tears down the
+# arena — the shared tracker only sweeps leftovers when the whole
+# process tree exits, which doubles as a leak backstop for response
+# segments orphaned mid-flight.
+
+
+def create_segment(nbytes: int):
+    """Create a fresh named segment of at least *nbytes*."""
+    return shared_memory.SharedMemory(create=True, size=max(int(nbytes), 16))
+
+
+def attach_segment(name: str):
+    """Attach an existing segment by name.
+
+    The attach-side registration is idempotent under the shared
+    tracker (see the module comment above); cleanup ownership belongs
+    to whichever side eventually calls :func:`unlink_segment`.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def unlink_segment(shm) -> None:
+    """Close and unlink *shm*, tolerating an already-unlinked name."""
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # a dying worker's tracker beat us to it
+        pass
+
+
+class SlotArena:
+    """Fixed pool of equal-size message slots in one shared segment.
+
+    The parent creates the arena and owns allocation (:meth:`acquire` /
+    :meth:`release` — a simple lock-guarded free list; workers never
+    allocate, they only flip a slot they were handed from ``REQUEST``
+    to ``RESPONSE``).  Workers attach by name with :meth:`attach`.
+
+    Parameters
+    ----------
+    slots : int
+        Number of slots (bounds transport-level concurrency).
+    slot_bytes : int
+        Capacity of each slot; messages that do not fit go to overflow
+        segments instead (see :func:`create_segment`).
+    """
+
+    def __init__(self, slots: int, slot_bytes: int, *, _shm=None,
+                 _owner: bool = True) -> None:
+        if slots < 1 or slot_bytes < _HEADER.size + _ARRAYHDR.size:
+            raise ValueError("arena needs >=1 slot of useful size")
+        self.slots = int(slots)
+        self.slot_bytes = int(slot_bytes)
+        self._owner = _owner
+        self._shm = _shm if _shm is not None else shared_memory.SharedMemory(
+            create=True, size=self.slots * self.slot_bytes)
+        if _owner and _shm is None:
+            for i in range(self.slots):
+                self._shm.buf[self.offset(i) + _STATE_OFFSET] = STATE_FREE
+        self._free = list(range(self.slots - 1, -1, -1))
+        self._lock = threading.Lock()
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "SlotArena":
+        """Worker-side view of an existing arena (no allocation rights)."""
+        return cls(slots, slot_bytes, _shm=attach_segment(name), _owner=False)
+
+    @property
+    def name(self) -> str:
+        """Shared-memory segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def buf(self):
+        """The raw shared buffer (memoryview)."""
+        return self._shm.buf
+
+    def offset(self, index: int) -> int:
+        """Byte offset of slot *index*."""
+        if not 0 <= index < self.slots:
+            raise IndexError(f"slot {index} out of range 0..{self.slots - 1}")
+        return index * self.slot_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a message of *nbytes* fits in one slot."""
+        return nbytes <= self.slot_bytes
+
+    def acquire(self) -> int | None:
+        """Claim a free slot index (``None`` when the pool is exhausted)."""
+        if not self._owner:
+            raise TransportError("only the arena owner allocates slots")
+        with self._lock:
+            return self._free.pop() if self._free else None
+
+    def release(self, index: int) -> None:
+        """Return slot *index* to the pool and mark it ``FREE``."""
+        if not self._owner:
+            raise TransportError("only the arena owner releases slots")
+        with self._lock:
+            self._shm.buf[self.offset(index) + _STATE_OFFSET] = STATE_FREE
+            self._free.append(index)
+
+    @property
+    def free_slots(self) -> int:
+        """Currently unclaimed slot count."""
+        with self._lock:
+            return len(self._free)
+
+    def close(self) -> None:
+        """Detach (and unlink, when owner) the shared segment."""
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - tracker raced us
+            pass

@@ -1,0 +1,283 @@
+"""Shard worker: a child process hosting the serving pipeline.
+
+Each :func:`worker_main` process is one software "processing element"
+in the paper's sense: it owns a full copy of the existing
+queue → micro-batcher → engine pipeline (a private
+:class:`repro.serve.server.SVDServer`) and is fed matrices over the
+pickle-free shared-memory transport of
+:mod:`repro.serve.shard.transport`.  The control plane is a duplex
+pipe carrying small tuples:
+
+parent → worker
+    ``("req", req_id, ticket, meta)`` — a matrix is ready in the slot /
+    segment named by *ticket*; ``("ping", seq)`` — health probe;
+    ``("stop",)`` — drain and exit.
+worker → parent
+    ``("ready", pid, clock_now)`` — handshake (the clock reading lets
+    the parent rebase worker span timestamps); ``("res", req_id,
+    ticket, meta)`` — response payload ready; ``("pong", seq, report)``
+    — metrics/health snapshot.
+
+Results are produced by the same engines with the same options, so the
+served bytes are bit-identical to a direct
+:func:`repro.core.svd.hestenes_svd` call — the transport only moves
+them, it never re-encodes them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.shard import transport
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a shard worker needs to build its inner pipeline.
+
+    This object crosses the process boundary once, at spawn; it carries
+    configuration only — matrix payloads use the shared-memory
+    transport.
+    """
+
+    shard_id: int
+    arena_name: str
+    arena_slots: int
+    slot_bytes: int
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+    workers: int = 2
+    queue_size: int = 256
+    cache_bytes: int | None = None
+    default_engine: str = "core"
+    default_options: dict = field(default_factory=dict)
+    trace_detail: str | None = None
+
+
+def _read_matrix(arena, ticket):
+    """Copy the request matrix out of its slot/segment.
+
+    Returns ``(matrix, response_carrier)`` where *response_carrier* is
+    the still-open overflow segment to reuse for the response (``None``
+    when the request came through an arena slot).
+    """
+    kind = ticket[0]
+    if kind == "slot":
+        _, arrays = transport.unpack_message(
+            arena.buf, arena.offset(ticket[1]),
+            expect_state=transport.STATE_REQUEST)
+        return np.array(arrays[0]), None
+    seg = transport.attach_segment(ticket[1])
+    _, arrays = transport.unpack_message(
+        seg.buf, 0, expect_state=transport.STATE_REQUEST)
+    return np.array(arrays[0]), seg
+
+
+def _write_response(arena, ticket, carrier, arrays):
+    """Pack *arrays* for the parent; returns the response ticket.
+
+    Prefers rewriting the request's own slot/segment in place (the
+    ownership handoff flips its state to ``RESPONSE``); payloads that
+    no longer fit move to a fresh disowned overflow segment the parent
+    will unlink after reading.
+    """
+    nbytes = transport.message_nbytes(arrays)
+    if ticket[0] == "slot" and arena.fits(nbytes):
+        transport.pack_message(arena.buf, arena.offset(ticket[1]), arrays,
+                               transport.STATE_RESPONSE)
+        return ticket
+    if carrier is not None and nbytes <= carrier.size:
+        transport.pack_message(carrier.buf, 0, arrays,
+                               transport.STATE_RESPONSE)
+        return ("seg", carrier.name)
+    # Fresh overflow segment: the parent unlinks it after reading (the
+    # shared resource tracker keeps the registration until then).
+    seg = transport.create_segment(nbytes)
+    transport.pack_message(seg.buf, 0, arrays, transport.STATE_RESPONSE)
+    name = seg.name
+    seg.close()
+    return ("seg", name)
+
+
+def _trace_payload(result) -> dict | None:
+    if result is None or result.trace is None:
+        return None
+    tr = result.trace
+    return {
+        "metric": tr.metric,
+        "sweeps": list(tr.sweeps),
+        "values": list(tr.values),
+        "rotations": list(tr.rotations),
+        "skipped": list(tr.skipped),
+        "converged": bool(tr.converged),
+    }
+
+
+def _response_meta(response) -> dict:
+    result = response.result
+    health = getattr(result, "health", None)
+    return {
+        "status": response.status,
+        "error": response.error,
+        "engine": response.engine,
+        "cache_hit": bool(response.cache_hit),
+        "batch_size": int(response.batch_size),
+        "queued_s": float(response.queued_s),
+        "service_s": float(response.service_s),
+        "sweeps": int(result.sweeps) if result is not None else 0,
+        "method": result.method if result is not None else "",
+        "converged": bool(result.converged) if result is not None else True,
+        "trace": _trace_payload(result),
+        "health": health.to_dict() if health is not None else None,
+        "uv": bool(result is not None and result.u is not None),
+    }
+
+
+class _WorkerLoop:
+    """State of one running shard worker (see :func:`worker_main`)."""
+
+    def __init__(self, conn, config: WorkerConfig) -> None:
+        from repro.obs import Tracer
+        from repro.serve.server import SVDServer
+
+        self.conn = conn
+        self.config = config
+        self.arena = transport.SlotArena.attach(
+            config.arena_name, config.arena_slots, config.slot_bytes)
+        self.tracer = (Tracer(detail=config.trace_detail)
+                       if config.trace_detail else None)
+        self.server = SVDServer(
+            max_batch=config.max_batch,
+            max_wait_s=config.max_wait_s,
+            workers=config.workers,
+            queue_size=config.queue_size,
+            cache_bytes=config.cache_bytes,
+            default_engine=config.default_engine,
+            tracer=self.tracer,
+            **dict(config.default_options),
+        )
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: set[str] = set()
+
+    def send(self, message) -> None:
+        with self._send_lock:
+            self.conn.send(message)
+
+    # ---- request path ---------------------------------------------------
+
+    def handle_request(self, req_id: str, ticket, meta: dict) -> None:
+        try:
+            matrix, carrier = _read_matrix(self.arena, ticket)
+        except Exception as exc:
+            self.send(("res", req_id, None,
+                       {"status": "error",
+                        "error": f"transport read failed: {exc}"}))
+            return
+        with self._pending_lock:
+            self._pending.add(req_id)
+        try:
+            handle = self.server.submit(
+                matrix,
+                engine=meta.get("engine"),
+                timeout=meta.get("timeout"),
+                **dict(meta.get("options") or {}),
+            )
+        except Exception as exc:
+            self._finish(req_id)
+            if carrier is not None:
+                carrier.close()
+            self.send(("res", req_id, None,
+                       {"status": "error", "error": str(exc)}))
+            return
+        trace_id = meta.get("trace_id")
+        handle.add_done_callback(
+            lambda resp: self._reply(req_id, ticket, carrier, resp, trace_id))
+
+    def _reply(self, req_id: str, ticket, carrier, response, trace_id) -> None:
+        try:
+            out_ticket = None
+            if response.status == "ok":
+                result = response.result
+                arrays = [result.s]
+                if result.u is not None:
+                    arrays += [result.u, result.vt]
+                out_ticket = _write_response(self.arena, ticket, carrier,
+                                             arrays)
+            meta = _response_meta(response)
+            meta["spans"] = self._collect_spans(trace_id)
+            self.send(("res", req_id, out_ticket, meta))
+        except Exception as exc:  # never strand the parent's handle
+            try:
+                self.send(("res", req_id, None,
+                           {"status": "error",
+                            "error": f"transport write failed: {exc}"}))
+            except OSError:
+                pass
+        finally:
+            if carrier is not None:
+                carrier.close()
+            self._finish(req_id)
+
+    def _finish(self, req_id: str) -> None:
+        with self._pending_lock:
+            self._pending.discard(req_id)
+            idle = not self._pending
+        if idle and self.tracer is not None and len(self.tracer) > 512:
+            self.tracer.clear()
+
+    def _collect_spans(self, trace_id) -> list[dict]:
+        if self.tracer is None or trace_id is None:
+            return []
+        return [sp.to_dict() for sp in self.tracer.spans
+                if sp.trace_id == trace_id]
+
+    # ---- health path ----------------------------------------------------
+
+    def report(self) -> dict:
+        from repro.obs.metrics import get_registry
+
+        return {
+            "pid": os.getpid(),
+            "now": time.perf_counter(),
+            "server": self.server.stats(),
+            "registry": get_registry().snapshot(),
+        }
+
+    # ---- lifecycle ------------------------------------------------------
+
+    def run(self) -> None:
+        self.send(("ready", os.getpid(), time.perf_counter()))
+        try:
+            while True:
+                try:
+                    msg = self.conn.recv()
+                except (EOFError, OSError):
+                    return  # parent went away; nothing left to serve
+                kind = msg[0]
+                if kind == "req":
+                    self.handle_request(msg[1], msg[2], msg[3])
+                elif kind == "ping":
+                    self.send(("pong", msg[1], self.report()))
+                elif kind == "stop":
+                    return
+        finally:
+            self.server.close()
+            try:
+                self.send(("bye",))
+            except OSError:
+                pass
+            self.arena.close()
+            self.conn.close()
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Entry point of a shard worker process (spawn- and fork-safe)."""
+    _WorkerLoop(conn, config).run()

@@ -87,12 +87,20 @@ PUBLIC_MODULES = (
     "repro.serve.metrics",
     "repro.serve.retry",
     "repro.serve.server",
+    "repro.serve.shard",
+    "repro.serve.shard.transport",
+    "repro.serve.shard.worker",
+    "repro.serve.shard.state",
+    "repro.serve.shard.router",
+    "repro.serve.shard.responses",
+    "repro.serve.shard.frontend",
     "repro.obs",
     "repro.obs.tracer",
     "repro.obs.metrics",
     "repro.obs.health",
     "repro.obs.exporters",
     "repro.workloads",
+    "repro.workloads.driver",
     "repro.eval",
     "repro.eval.accuracy",
     "repro.eval.calibration",

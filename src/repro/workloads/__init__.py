@@ -9,7 +9,14 @@ from repro.workloads.generators import (
     random_matrix,
     surveillance_video,
 )
-from repro.workloads.traces import incremental_trace, rpca_trace, video_batch_trace
+from repro.workloads.driver import ReplayReport, replay_arrivals
+from repro.workloads.traces import (
+    bursty_arrivals,
+    incremental_trace,
+    poisson_arrivals,
+    rpca_trace,
+    video_batch_trace,
+)
 from repro.workloads.suites import (
     FIG7_SQUARE_SIZES,
     FIG8_SHAPES,
@@ -34,6 +41,8 @@ __all__ = [
     "FIG11_ROW_DIMS",
     "TABLE1_COLUMN_DIMS",
     "TABLE1_ROW_DIMS",
+    "ReplayReport",
+    "bursty_arrivals",
     "conditioned_matrix",
     "correlated_matrix",
     "fast_mode",
@@ -41,7 +50,9 @@ __all__ = [
     "incremental_trace",
     "low_rank_matrix",
     "pca_dataset",
+    "poisson_arrivals",
     "random_matrix",
+    "replay_arrivals",
     "rpca_trace",
     "scale_dims",
     "surveillance_video",

@@ -1,0 +1,134 @@
+"""Open-loop arrival replay against a serving façade.
+
+Replays an arrival process (see
+:func:`repro.workloads.traces.poisson_arrivals` /
+:func:`~repro.workloads.traces.bursty_arrivals`) against anything with
+the ``submit``/``ResponseHandle`` API — the single-process
+:class:`repro.serve.server.SVDServer` or the sharded
+:class:`repro.serve.shard.ShardedSVDServer` — and reports aggregate
+throughput, latency, and loss accounting.  This is the load generator
+behind ``benchmarks/bench_shard.py`` and the CI shard-saturation smoke.
+
+The driver is *open-loop*: requests are submitted on the arrival
+clock regardless of how far the server has fallen behind, which is
+what actually exposes saturation (a closed-loop client self-throttles
+and hides it).  Admission rejections (429-style
+:class:`repro.serve.shard.router.ShardSaturated` or queue
+backpressure) are counted, not raised.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.request import ServeError
+
+__all__ = ["ReplayReport", "replay_arrivals"]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one open-loop replay.
+
+    Attributes
+    ----------
+    submitted, completed, rejected, errors, timeouts : int
+        Request accounting; ``submitted`` counts only admitted
+        requests, ``rejected`` counts admission refusals.
+    duration_s : float
+        Wall time from first submission to last response.
+    throughput_rps : float
+        Completed requests per second of wall time.
+    latencies_s : list of float
+        Per-request total latency for completed requests.
+    statuses : dict
+        Response-status histogram over every collected response.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    duration_s: float = 0.0
+    throughput_rps: float = 0.0
+    latencies_s: list = field(default_factory=list)
+    statuses: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Compact dict form (what the benchmark prints/pins)."""
+        lat = sorted(self.latencies_s)
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_s": lat[len(lat) // 2] if lat else 0.0,
+            "p99_s": lat[min(len(lat) - 1, int(len(lat) * 0.99))] if lat
+                     else 0.0,
+        }
+
+
+def replay_arrivals(
+    server,
+    matrices,
+    arrivals,
+    *,
+    wait_timeout_s: float = 120.0,
+    clock=time.perf_counter,
+    sleep=time.sleep,
+    **submit_options,
+) -> ReplayReport:
+    """Submit *matrices* (cycled) at the *arrivals* offsets; await all.
+
+    Parameters
+    ----------
+    server
+        Any object with ``submit(matrix, **options) -> handle`` where
+        the handle has ``result(timeout)``.
+    matrices : sequence of ndarray
+        Request payloads, cycled round-robin over the arrivals.
+    arrivals : sequence of float
+        Absolute submission offsets in seconds from replay start.
+    wait_timeout_s : float
+        Per-handle collection timeout after the submission phase.
+    clock, sleep : callables
+        Injectable time sources (tests replay instantly with fakes).
+    **submit_options
+        Forwarded to every ``submit`` call (engine, compute_uv, ...).
+    """
+    report = ReplayReport()
+    handles = []
+    start = clock()
+    for i, offset in enumerate(arrivals):
+        delay = offset - (clock() - start)
+        if delay > 0:
+            sleep(delay)
+        try:
+            handles.append(server.submit(matrices[i % len(matrices)],
+                                         **submit_options))
+            report.submitted += 1
+        except ServeError:
+            report.rejected += 1
+    for handle in handles:
+        try:
+            response = handle.result(timeout=wait_timeout_s)
+        except TimeoutError:
+            report.timeouts += 1
+            continue
+        report.statuses[response.status] = (
+            report.statuses.get(response.status, 0) + 1)
+        if response.status == "ok":
+            report.completed += 1
+            report.latencies_s.append(response.total_s)
+        elif response.status == "timeout":
+            report.timeouts += 1
+        else:
+            report.errors += 1
+    report.duration_s = max(clock() - start, 1e-9)
+    report.throughput_rps = report.completed / report.duration_s
+    return report

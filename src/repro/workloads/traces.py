@@ -1,15 +1,28 @@
-"""Workload traces: shape sequences for the stream scheduler.
+"""Workload traces: shape sequences and arrival processes.
 
-Connects the applications to the hardware model: each trace is the
-sequence of (m, n) decompositions a real workload issues, ready for
-:func:`repro.hw.pipeline.schedule_stream`.
+Connects the applications to the hardware model and the serving layer:
+the *shape* traces are the sequences of (m, n) decompositions a real
+workload issues, ready for :func:`repro.hw.pipeline.schedule_stream`;
+the *arrival* generators produce the request **timing** of such a
+stream — Poisson (memoryless open-loop load) and bursty
+(Markov-modulated, alternating calm/burst phases) — used by the shard
+saturation benchmark and by :mod:`repro.workloads.driver` to replay
+load against a server.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.util.validation import check_positive_int
 
-__all__ = ["rpca_trace", "video_batch_trace", "incremental_trace"]
+__all__ = [
+    "rpca_trace",
+    "video_batch_trace",
+    "incremental_trace",
+    "poisson_arrivals",
+    "bursty_arrivals",
+]
 
 
 def rpca_trace(rows: int, cols: int, iterations: int) -> list[tuple[int, int]]:
@@ -52,3 +65,74 @@ def incremental_trace(
     core = rank + min(block_rows, features)
     trace.extend((core, core) for _ in range(blocks - 1))
     return trace
+
+
+def poisson_arrivals(
+    rate_hz: float, duration_s: float, *, seed: int = 0
+) -> list[float]:
+    """Poisson arrival times on ``[0, duration_s)`` at *rate_hz*.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/rate_hz``
+    (the memoryless open-loop client model), generated deterministically
+    from *seed*.  Returns sorted absolute offsets in seconds.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    rng = np.random.default_rng(seed)
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_hz))
+        if t >= duration_s:
+            return times
+        times.append(t)
+
+
+def bursty_arrivals(
+    base_rate_hz: float,
+    burst_rate_hz: float,
+    duration_s: float,
+    *,
+    calm_dwell_s: float = 0.5,
+    burst_dwell_s: float = 0.1,
+    seed: int = 0,
+) -> list[float]:
+    """Markov-modulated Poisson arrivals alternating calm and burst.
+
+    A two-state MMPP: the process emits at *base_rate_hz* in the calm
+    state and *burst_rate_hz* in the burst state, switching after
+    exponentially distributed dwells with the given means.  Bursty
+    traffic is the adversarial case for admission control — it
+    saturates per-shard depth limits that a smooth Poisson stream at
+    the same mean rate would never touch.  Returns sorted absolute
+    offsets in seconds, deterministic in *seed*.
+    """
+    for name, value in (("base_rate_hz", base_rate_hz),
+                        ("burst_rate_hz", burst_rate_hz),
+                        ("duration_s", duration_s),
+                        ("calm_dwell_s", calm_dwell_s),
+                        ("burst_dwell_s", burst_dwell_s)):
+        if value <= 0:
+            raise ValueError(f"{name} must be > 0, got {value}")
+    rng = np.random.default_rng(seed)
+    rates = (float(base_rate_hz), float(burst_rate_hz))
+    dwells = (float(calm_dwell_s), float(burst_dwell_s))
+    times: list[float] = []
+    state = 0
+    t = 0.0
+    phase_end = float(rng.exponential(dwells[state]))
+    while t < duration_s:
+        gap = float(rng.exponential(1.0 / rates[state]))
+        if t + gap >= phase_end:
+            # Jump to the phase boundary and switch state; the partial
+            # gap is discarded (memorylessness makes this exact).
+            t = phase_end
+            state = 1 - state
+            phase_end = t + float(rng.exponential(dwells[state]))
+            continue
+        t += gap
+        if t < duration_s:
+            times.append(t)
+    return times

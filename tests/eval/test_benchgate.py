@@ -47,6 +47,7 @@ class TestSuiteDefinitions:
         assert set(serve_cases()) == {
             "serve.request.32x16",
             "serve.cache_hit.32x16",
+            "serve.shard_request.32x16",
         }
 
     def test_machine_probe_positive_and_repeatable(self):

@@ -1,0 +1,1 @@
+"""Tests for the multi-process shard tier (`repro.serve.shard`)."""

@@ -1,0 +1,57 @@
+"""AsyncSVDServer: the asyncio façade over the shard tier."""
+
+import asyncio
+
+import numpy as np
+
+from repro.core.svd import hestenes_svd
+from repro.serve.shard import AsyncSVDServer, ShardedSVDServer
+from repro.workloads import random_matrix
+
+
+def test_await_single_svd_matches_direct_solver():
+    a = random_matrix(16, 8, seed=0)
+
+    async def go():
+        async with AsyncSVDServer(shards=1, cache_bytes=None,
+                                  worker_cache_bytes=None) as srv:
+            return await srv.svd(a, compute_uv=False)
+
+    response = asyncio.run(go())
+    assert response.status == "ok"
+    direct = hestenes_svd(a, compute_uv=False)
+    assert np.array_equal(response.result.s, direct.s)
+
+
+def test_svd_many_preserves_input_order():
+    mats = [random_matrix(12, 6, seed=i) for i in range(4)]
+
+    async def go():
+        async with AsyncSVDServer(shards=1, cache_bytes=None,
+                                  worker_cache_bytes=None) as srv:
+            responses = await srv.svd_many(mats, compute_uv=False)
+            stats = srv.stats()
+        return responses, stats
+
+    responses, stats = asyncio.run(go())
+    assert all(r.status == "ok" for r in responses)
+    for matrix, response in zip(mats, responses):
+        direct = hestenes_svd(matrix, compute_uv=False)
+        assert np.array_equal(response.result.s, direct.s)
+    assert stats["shards"][0]["alive"] is True
+
+
+def test_wrapping_an_existing_server_does_not_own_its_lifecycle():
+    a = random_matrix(8, 4, seed=1)
+    with ShardedSVDServer(shards=1, cache_bytes=None,
+                          worker_cache_bytes=None) as srv:
+
+        async def go():
+            async with AsyncSVDServer(srv) as async_srv:
+                return await async_srv.svd(a, compute_uv=False)
+
+        response = asyncio.run(go())
+        assert response.status == "ok"
+        # The wrapper exited but the wrapped server must still serve.
+        again = srv.submit(a, compute_uv=False).result(timeout=120.0)
+        assert again.status == "ok"

@@ -1,0 +1,177 @@
+"""End-to-end sharded serving: bit-identity, admission, fault tolerance."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.svd import hestenes_svd
+from repro.obs import Tracer
+from repro.serve.server import ServerClosed
+from repro.serve.shard import ShardedSVDServer, ShardSaturated
+from repro.workloads import random_matrix
+
+#: Every serve engine x engine_opts combination the acceptance bar
+#: requires to round-trip bit-identically through the shm transport.
+ENGINE_COMBOS = [
+    ("core", {}),
+    ("reference", {}),
+    ("modified", {}),
+    ("blocked", {}),
+    ("vectorized", {}),
+    ("preconditioned", {}),
+    ("reference", {"pair_threshold": 1e-12}),
+    ("modified", {"rotation_impl": "dataflow"}),
+    ("blocked", {"rotation_impl": "dataflow"}),
+    ("vectorized", {"block_rounds": 2}),
+    ("preconditioned", {"pivot": False}),
+]
+
+
+def _no_cache(**kwargs):
+    return ShardedSVDServer(cache_bytes=None, worker_cache_bytes=None,
+                            **kwargs)
+
+
+class TestBitIdentity:
+    def test_every_engine_combo_round_trips_bit_identical(self):
+        a = random_matrix(24, 12, seed=5)
+        with _no_cache(shards=1) as srv:
+            for engine, opts in ENGINE_COMBOS:
+                kwargs = {"engine_opts": opts} if opts else {}
+                served = srv.submit(a, engine=engine, **kwargs).result(
+                    timeout=120.0)
+                assert served.status == "ok", (engine, opts, served.error)
+                direct_kwargs = dict(kwargs)
+                if engine != "core":
+                    direct_kwargs["method"] = engine
+                direct = hestenes_svd(a, **direct_kwargs)
+                assert np.array_equal(served.result.s, direct.s), (engine, opts)
+                assert np.array_equal(served.result.u, direct.u), (engine, opts)
+                assert np.array_equal(served.result.vt, direct.vt), (engine,
+                                                                     opts)
+
+    def test_overflow_segment_payload_round_trips(self):
+        # A matrix too large for the slot arena travels via a one-shot
+        # overflow segment; the result must still be bit-identical.
+        a = random_matrix(96, 40, seed=9)
+        with _no_cache(shards=1, slot_bytes=4096) as srv:
+            served = srv.submit(a).result(timeout=120.0)
+        direct = hestenes_svd(a)
+        assert served.status == "ok"
+        assert np.array_equal(served.result.s, direct.s)
+        assert np.array_equal(served.result.u, direct.u)
+        assert np.array_equal(served.result.vt, direct.vt)
+
+
+class TestAdmissionControl:
+    def test_saturation_raises_429_with_rejected_handle(self):
+        a = random_matrix(96, 48, seed=1)
+        with _no_cache(shards=1, max_inflight=1) as srv:
+            first = srv.submit(a)
+            with pytest.raises(ShardSaturated) as excinfo:
+                srv.submit(random_matrix(96, 48, seed=2))
+            assert excinfo.value.status_code == 429
+            rejected = excinfo.value.handle.result(timeout=1.0)
+            assert rejected.status == "rejected"
+            assert first.result(timeout=120.0).status == "ok"
+
+    def test_submit_many_continue_preserves_ordering(self):
+        mats = [random_matrix(96, 48, seed=10 + i) for i in range(3)]
+        with _no_cache(shards=1, max_inflight=1) as srv:
+            handles = srv.submit_many(mats, on_error="continue")
+            assert len(handles) == len(mats)
+            statuses = [h.result(timeout=120.0).status for h in handles]
+        # The first occupies the only admission slot; later positions
+        # are rejected but keep their place in the handle list.
+        assert statuses[0] == "ok"
+        assert statuses[1:] == ["rejected", "rejected"]
+
+    def test_submit_after_close_raises_and_continue_synthesizes(self):
+        srv = _no_cache(shards=1)
+        srv.submit(random_matrix(8, 4, seed=0)).result(timeout=120.0)
+        srv.close()
+        with pytest.raises(ServerClosed):
+            srv.submit(random_matrix(8, 4, seed=1))
+        handles = srv.submit_many([random_matrix(8, 4, seed=2)],
+                                  on_error="continue")
+        assert handles[0].result(timeout=1.0).status == "rejected"
+
+
+class TestFaultTolerance:
+    def test_worker_kill_loses_zero_accepted_requests(self):
+        mats = [random_matrix(48, 24, seed=20 + i) for i in range(16)]
+        with _no_cache(shards=2, ping_interval_s=0.05) as srv:
+            victim = srv.stats()["shards"][0]["pid"]
+            handles = srv.submit_many(mats)
+            os.kill(victim, signal.SIGKILL)
+            responses = [h.result(timeout=120.0) for h in handles]
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                shards = srv.stats()["shards"]
+                if all(s["alive"] for s in shards):
+                    break
+                time.sleep(0.05)
+            shards = srv.stats()["shards"]
+        # Zero loss: every accepted request resolves ok (re-queued to a
+        # live shard or answered by the inline degradation path).
+        assert [r.status for r in responses] == ["ok"] * len(mats)
+        direct = hestenes_svd(mats[0])
+        assert np.array_equal(responses[0].result.s, direct.s)
+        assert all(s["alive"] for s in shards)
+        assert shards[0]["generation"] >= 2  # the victim was respawned
+
+
+class TestFrontCacheAndStats:
+    def test_front_cache_hit_skips_the_process_boundary(self):
+        a = random_matrix(16, 8, seed=3)
+        with ShardedSVDServer(shards=1, worker_cache_bytes=None) as srv:
+            first = srv.submit(a).result(timeout=120.0)
+            second = srv.submit(a).result(timeout=120.0)
+            stats = srv.stats()
+        assert first.cache_hit is False
+        assert first.shard == 0
+        assert second.cache_hit is True
+        assert second.shard is None  # answered without touching a shard
+        assert np.array_equal(first.result.s, second.result.s)
+        assert stats["cache"]["hits"] == 1
+
+    def test_stats_topology_shape(self):
+        with _no_cache(shards=1) as srv:
+            srv.submit(random_matrix(8, 4, seed=0)).result(timeout=120.0)
+            stats = srv.stats()
+        (shard,) = stats["shards"]
+        assert shard["id"] == 0
+        assert shard["alive"] is True
+        assert shard["generation"] == 1
+        assert isinstance(shard["pid"], int)
+        assert stats["pending"] == 0
+
+    def test_result_by_request_id(self):
+        with _no_cache(shards=1) as srv:
+            handle = srv.submit(random_matrix(8, 4, seed=0))
+            response = srv.result(handle.request_id, timeout=120.0)
+        assert response.status == "ok"
+
+
+class TestTraceStitching:
+    def test_worker_spans_land_under_a_parent_root(self):
+        tracer = Tracer()
+        a = random_matrix(16, 8, seed=4)
+        with _no_cache(shards=1, tracer=tracer) as srv:
+            response = srv.submit(a).result(timeout=120.0)
+        roots = tracer.find("serve.shard.request")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.trace_id == response.trace_id
+        assert root.attrs["shard"] == 0
+        children = [sp for sp in tracer.spans
+                    if sp.trace_id == response.trace_id
+                    and sp.name != "serve.shard.request"]
+        assert any(sp.name == "serve.request" for sp in children)
+        # Rebasing keeps worker spans inside the parent root's window.
+        for sp in children:
+            assert sp.start >= root.start - 1e-6
+            assert sp.start + sp.duration <= root.start + root.duration + 1e-6

@@ -1,0 +1,54 @@
+"""Router building blocks that need no worker processes."""
+
+import numpy as np
+import pytest
+
+from repro.serve.request import ServeError
+from repro.serve.shard.state import Inflight, ShardSaturated, shape_bucket
+
+
+class TestShapeBucket:
+    def test_rounds_up_to_powers_of_two(self):
+        assert shape_bucket((17, 9)) == (32, 16)
+        assert shape_bucket((16, 16)) == (16, 16)
+        assert shape_bucket((1, 1)) == (1, 1)
+
+    def test_nearby_shapes_share_a_bucket(self):
+        # Affinity groups nearby shapes so one worker's micro-batcher
+        # sees homogeneous traffic even under jittered dimensions.
+        assert shape_bucket((100, 50)) == shape_bucket((128, 64))
+        assert shape_bucket((129, 64)) != shape_bucket((128, 64))
+
+
+class TestShardSaturated:
+    def test_is_a_429_style_serve_error(self):
+        exc = ShardSaturated("all shards full")
+        assert isinstance(exc, ServeError)
+        assert exc.status_code == 429
+
+
+class TestInflight:
+    def test_drop_segment_without_segment_is_noop(self):
+        record = Inflight(request=None, handle=None)
+        record.drop_segment()
+        assert record.segment is None
+
+    def test_tracks_attempts(self):
+        record = Inflight(request=None, handle=None)
+        assert record.attempts == 0
+        record.attempts += 1
+        assert record.attempts == 1
+
+
+class TestRouteSelection:
+    def test_preferred_shard_is_deterministic_per_key(self):
+        # Identical (bucket, engine, opts) keys must hash to the same
+        # shard so batchable traffic lands on one worker.
+        from repro.serve.request import make_request
+
+        a = np.ones((24, 12))
+        r1 = make_request(a, request_id="a", engine="core", now=0.0)
+        r2 = make_request(a + 1, request_id="b", engine="core", now=0.0)
+        key1 = (shape_bucket(r1.matrix.shape), r1.engine, r1.options)
+        key2 = (shape_bucket(r2.matrix.shape), r2.engine, r2.options)
+        assert key1 == key2

@@ -1,0 +1,179 @@
+"""Framed shared-memory protocol: bit-exact round trips and ownership."""
+
+import numpy as np
+import pytest
+
+from repro.serve.request import ServeError
+from repro.serve.shard import transport
+from repro.serve.shard.transport import (
+    STATE_FREE,
+    STATE_REQUEST,
+    STATE_RESPONSE,
+    SlotArena,
+    TransportError,
+    message_nbytes,
+    pack_message,
+    peek_state,
+    unpack_message,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFraming:
+    def test_round_trip_is_bit_identical(self, rng):
+        arrays = [rng.standard_normal((7, 5)), rng.standard_normal(5),
+                  rng.standard_normal((3, 3, 2))]
+        buf = bytearray(message_nbytes(arrays))
+        pack_message(buf, 0, arrays, STATE_REQUEST)
+        state, views = unpack_message(buf, 0)
+        assert state == STATE_REQUEST
+        assert len(views) == len(arrays)
+        for original, view in zip(arrays, views):
+            assert view.dtype == original.dtype
+            assert view.shape == original.shape
+            assert np.array_equal(view, original)
+            assert original.tobytes() == view.tobytes()
+
+    def test_fortran_order_input_round_trips(self, rng):
+        a = np.asfortranarray(rng.standard_normal((6, 4)))
+        buf = bytearray(message_nbytes([a]))
+        pack_message(buf, 0, [a], STATE_REQUEST)
+        _, (view,) = unpack_message(buf, 0)
+        assert np.array_equal(view, a)
+
+    def test_nonzero_offset_and_declared_size(self, rng):
+        a = rng.standard_normal((4, 4))
+        offset = 64
+        nbytes = message_nbytes([a])
+        buf = bytearray(offset + nbytes)
+        written = pack_message(buf, offset, [a], STATE_RESPONSE)
+        assert written == nbytes
+        _, (view,) = unpack_message(buf, offset)
+        assert np.array_equal(view, a)
+
+    def test_views_are_read_only(self, rng):
+        a = rng.standard_normal((3, 3))
+        buf = bytearray(message_nbytes([a]))
+        pack_message(buf, 0, [a], STATE_REQUEST)
+        _, (view,) = unpack_message(buf, 0)
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0, 0] = 1.0
+
+    def test_peek_state_matches_packed_state(self, rng):
+        a = rng.standard_normal(4)
+        buf = bytearray(message_nbytes([a]))
+        for state in (STATE_FREE, STATE_REQUEST, STATE_RESPONSE):
+            pack_message(buf, 0, [a], state)
+            assert peek_state(buf, 0) == state
+
+    def test_ownership_mismatch_raises(self, rng):
+        a = rng.standard_normal(4)
+        buf = bytearray(message_nbytes([a]))
+        pack_message(buf, 0, [a], STATE_REQUEST)
+        with pytest.raises(TransportError):
+            unpack_message(buf, 0, expect_state=STATE_RESPONSE)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(TransportError):
+            unpack_message(bytearray(64), 0)
+
+    def test_excessive_rank_raises(self):
+        a = np.zeros((1, 1, 1, 1, 1, 1))
+        with pytest.raises(TransportError):
+            pack_message(bytearray(1024), 0, [a], STATE_REQUEST)
+
+    def test_transport_error_is_a_serve_error(self):
+        assert issubclass(TransportError, ServeError)
+
+
+class TestSlotArena:
+    def test_acquire_release_cycle(self):
+        arena = SlotArena(3, 4096)
+        try:
+            taken = [arena.acquire() for _ in range(3)]
+            assert sorted(taken) == [0, 1, 2]
+            assert arena.acquire() is None
+            assert arena.free_slots == 0
+            arena.release(taken[0])
+            assert arena.free_slots == 1
+            assert arena.acquire() == taken[0]
+        finally:
+            arena.close()
+
+    def test_attach_shares_memory_but_cannot_allocate(self, rng):
+        arena = SlotArena(2, 4096)
+        try:
+            other = SlotArena.attach(arena.name, 2, 4096)
+            a = rng.standard_normal((5, 5))
+            slot = arena.acquire()
+            pack_message(arena.buf, arena.offset(slot), [a], STATE_REQUEST)
+            _, (view,) = unpack_message(other.buf, other.offset(slot),
+                                        expect_state=STATE_REQUEST)
+            assert np.array_equal(view, a)
+            with pytest.raises(TransportError):
+                other.acquire()
+            with pytest.raises(TransportError):
+                other.release(slot)
+            del view
+            other.close()
+        finally:
+            arena.close()
+
+    def test_fits_respects_slot_capacity(self):
+        arena = SlotArena(1, 1024)
+        try:
+            assert arena.fits(1024)
+            assert not arena.fits(1025)
+        finally:
+            arena.close()
+
+    def test_release_marks_slot_free(self, rng):
+        arena = SlotArena(1, 4096)
+        try:
+            slot = arena.acquire()
+            pack_message(arena.buf, arena.offset(slot),
+                         [rng.standard_normal(4)], STATE_REQUEST)
+            arena.release(slot)
+            assert peek_state(arena.buf, arena.offset(slot)) == STATE_FREE
+        finally:
+            arena.close()
+
+    def test_degenerate_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SlotArena(0, 4096)
+        with pytest.raises(ValueError):
+            SlotArena(4, 8)
+
+    def test_out_of_range_slot_index(self):
+        arena = SlotArena(2, 4096)
+        try:
+            with pytest.raises(IndexError):
+                arena.offset(2)
+        finally:
+            arena.close()
+
+
+class TestSegments:
+    def test_create_attach_unlink(self, rng):
+        a = rng.standard_normal((8, 3))
+        seg = transport.create_segment(message_nbytes([a]))
+        try:
+            pack_message(seg.buf, 0, [a], STATE_REQUEST)
+            other = transport.attach_segment(seg.name)
+            _, (view,) = unpack_message(other.buf, 0,
+                                        expect_state=STATE_REQUEST)
+            copied = np.array(view)
+            del view
+            transport.unlink_segment(other)
+            assert np.array_equal(copied, a)
+        finally:
+            seg.close()
+
+    def test_unlink_tolerates_missing_name(self):
+        seg = transport.create_segment(64)
+        transport.unlink_segment(seg)
+        transport.unlink_segment(seg)  # second unlink must not raise

@@ -1,0 +1,130 @@
+"""Arrival-process generators and the open-loop replay driver."""
+
+import numpy as np
+import pytest
+
+from repro.serve.request import ServeError
+from repro.workloads import (
+    ReplayReport,
+    bursty_arrivals,
+    poisson_arrivals,
+    replay_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_a_seed(self):
+        assert poisson_arrivals(50.0, 2.0, seed=3) == poisson_arrivals(
+            50.0, 2.0, seed=3)
+        assert poisson_arrivals(50.0, 2.0, seed=3) != poisson_arrivals(
+            50.0, 2.0, seed=4)
+
+    def test_offsets_sorted_within_window(self):
+        arrivals = poisson_arrivals(100.0, 1.5, seed=0)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 1.5 for t in arrivals)
+
+    def test_count_tracks_the_rate(self):
+        counts = [len(poisson_arrivals(200.0, 1.0, seed=s))
+                  for s in range(20)]
+        mean = np.mean(counts)
+        # Poisson(200): mean 200, sd ~14; 20-sample mean sd ~3.2.
+        assert 180 < mean < 220
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10.0, -1.0)
+
+
+class TestBurstyArrivals:
+    def test_deterministic_and_sorted(self):
+        a = bursty_arrivals(20.0, 200.0, 2.0, seed=1)
+        assert a == bursty_arrivals(20.0, 200.0, 2.0, seed=1)
+        assert a == sorted(a)
+        assert all(0.0 <= t < 2.0 for t in a)
+
+    def test_burstier_than_its_calm_rate(self):
+        calm_only = len(poisson_arrivals(20.0, 4.0, seed=2))
+        bursty = len(bursty_arrivals(20.0, 400.0, 4.0, seed=2))
+        assert bursty > calm_only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(0.0, 100.0, 1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10.0, 100.0, 1.0, calm_dwell_s=0.0)
+
+
+class _FakeHandle:
+    def __init__(self, response):
+        self._response = response
+
+    def result(self, timeout=None):
+        return self._response
+
+
+class _FakeResponse:
+    def __init__(self, status, total_s=0.01):
+        self.status = status
+        self.total_s = total_s
+
+
+class _FakeServer:
+    """Instant server: scripted statuses, optional admission failures."""
+
+    def __init__(self, statuses, reject_every=None):
+        self._statuses = list(statuses)
+        self._reject_every = reject_every
+        self.calls = 0
+
+    def submit(self, matrix, **options):
+        self.calls += 1
+        if self._reject_every and self.calls % self._reject_every == 0:
+            raise ServeError("admission refused")
+        return _FakeHandle(_FakeResponse(
+            self._statuses[(self.calls - 1) % len(self._statuses)]))
+
+
+class TestReplayArrivals:
+    def test_instant_replay_accounting(self):
+        clock_value = [0.0]
+
+        def clock():
+            return clock_value[0]
+
+        def sleep(seconds):
+            clock_value[0] += seconds
+
+        server = _FakeServer(["ok", "ok", "error", "timeout"])
+        report = replay_arrivals(server, [np.eye(2)],
+                                 [0.0, 0.1, 0.2, 0.3],
+                                 clock=clock, sleep=sleep)
+        assert isinstance(report, ReplayReport)
+        assert report.submitted == 4
+        assert report.completed == 2
+        assert report.errors == 1
+        assert report.timeouts == 1
+        assert report.statuses == {"ok": 2, "error": 1, "timeout": 1}
+        assert len(report.latencies_s) == 2
+
+    def test_rejections_counted_not_raised(self):
+        clock_value = [0.0]
+        server = _FakeServer(["ok"], reject_every=2)
+        report = replay_arrivals(
+            server, [np.eye(2)], [0.0, 0.0, 0.0, 0.0],
+            clock=lambda: clock_value[0],
+            sleep=lambda s: clock_value.__setitem__(0, clock_value[0] + s))
+        assert report.submitted == 2
+        assert report.rejected == 2
+        assert report.completed == 2
+
+    def test_summary_shape(self):
+        report = ReplayReport(submitted=3, completed=3,
+                              latencies_s=[0.01, 0.02, 0.03],
+                              duration_s=1.0, throughput_rps=3.0)
+        summary = report.summary()
+        assert summary["p50_s"] == 0.02
+        assert summary["p99_s"] == 0.03
+        assert summary["throughput_rps"] == 3.0
