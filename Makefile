@@ -1,7 +1,8 @@
 # Convenience targets; see CONTRIBUTING.md.
 
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
-	shard-bench shard-smoke vectorized-bench obs-bench bench-baseline \
+	shard-bench shard-smoke vectorized-bench mixed-bench obs-bench \
+	bench-baseline \
 	bench-check trace-demo eval examples apidoc all
 
 install:
@@ -33,6 +34,9 @@ shard-smoke:
 
 vectorized-bench:
 	python benchmarks/bench_vectorized.py --quick
+
+mixed-bench:
+	PYTHONPATH=src python benchmarks/bench_mixed.py
 
 obs-bench:
 	PYTHONPATH=src python benchmarks/bench_obs.py --quick

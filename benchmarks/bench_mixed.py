@@ -1,0 +1,168 @@
+"""Mixed-precision fast-path benchmark: fp32 bulk sweeps + fp64 cleanup.
+
+Measures the tentpole win of the ``precision="mixed"`` schedule in
+:func:`repro.core.vectorized.vectorized_svd`: float32 halves the bytes
+every batched round moves and doubles SIMD width, so the bulk of the
+Jacobi work runs at roughly twice the sweep rate; a short fp64 phase
+(Newton-Schulz re-orthonormalization of V, B rebuilt from the original
+fp64 input, fused fp64 finishing sweeps) then restores full fp64-class
+accuracy.
+
+The comparison protocol is *equal criterion*, not equal sweeps: both
+precisions run ``tol=1e-12`` on the relative off-diagonal metric with
+``compute_uv=True``, so the reported ratio is end-to-end time to the
+same convergence target.  The same protocol is pinned in
+``BENCH_CORE.json`` as ``core.vectorized.256`` /
+``core.vectorized_mixed.256`` and regression-gated by
+``repro bench-compare``.
+
+Dual-use:
+
+* ``pytest benchmarks/bench_mixed.py --benchmark-only`` —
+  pytest-benchmark timings for both schedules at a moderate size.
+* ``python benchmarks/bench_mixed.py [--quick|--smoke]`` — the
+  Makefile's ``mixed-bench`` target: a timing table across sizes
+  asserting mixed is >= 2x faster than fp64 at n >= 256 and stays
+  within fp64-class accuracy of LAPACK.  ``--smoke`` (CI) runs tiny
+  sizes for correctness only and does not assert the speedup, so CI
+  machine noise cannot flake the ratio; the pinned baseline ratio is
+  what CI gates instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.vectorized import vectorized_svd
+from repro.workloads import fast_mode, random_matrix
+
+#: Convergence target both precision schedules must reach (relative
+#: off-diagonal mass of the implicit Gram matrix).
+TOL = 1e-12
+
+#: Sweep ceiling — generous, so the criterion (not the cap) stops runs.
+MAX_SWEEPS = 30
+
+#: Speedup floor the CLI entry point enforces at n >= 256 (full mode).
+TARGET_SPEEDUP = 2.0
+
+#: Accuracy floor for the mixed schedule versus LAPACK singular values
+#: (relative to sigma_max) — the fp64 accuracy class.
+MIXED_ACCURACY = 1e-10
+
+
+def _criterion() -> ConvergenceCriterion:
+    """Equal-criterion schedule: run to the tolerance, whatever it takes."""
+    return ConvergenceCriterion(max_sweeps=MAX_SWEEPS, tol=TOL,
+                                metric="relative")
+
+
+def run_precision(a: np.ndarray, precision: str, *, repeats: int = 1):
+    """(best_seconds, result) for one precision schedule on *a*."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = vectorized_svd(a, compute_uv=True, criterion=_criterion(),
+                                precision=precision)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def accuracy_vs_lapack(a: np.ndarray, s: np.ndarray) -> float:
+    """Max singular-value error relative to sigma_max, against LAPACK."""
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    return float(np.max(np.abs(s - s_ref)) / s_ref[0])
+
+
+# ---- pytest-benchmark entry points ------------------------------------
+
+
+def test_fp64_schedule(benchmark):
+    n = 32 if fast_mode() else 96
+    a = random_matrix(n, n, seed=7)
+    res = benchmark(lambda: vectorized_svd(
+        a, compute_uv=True, criterion=_criterion(), precision="fp64"))
+    assert res.converged
+
+
+def test_mixed_schedule(benchmark):
+    n = 32 if fast_mode() else 96
+    a = random_matrix(n, n, seed=7)
+    res = benchmark(lambda: vectorized_svd(
+        a, compute_uv=True, criterion=_criterion(), precision="mixed"))
+    assert res.converged
+    assert res.precision == "mixed"
+
+
+# ---- CLI entry point (Makefile mixed-bench) ---------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat per size")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, correctness only, no speedup "
+                             "assertion (CI)")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="square sizes to time (default 128 256)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        sizes = args.sizes or [48, 96]
+        repeats = 1
+    else:
+        sizes = args.sizes or [128, 256]
+        repeats = 1 if args.quick else 3
+
+    # Warm both paths so BLAS/allocator start-up is off the clock.
+    warm = random_matrix(32, 32, seed=0)
+    run_precision(warm, "fp64")
+    run_precision(warm, "mixed")
+
+    print(f"mixed-precision fast-path benchmark (equal criterion: "
+          f"relative off-diagonal <= {TOL:g}, U/Vt computed)")
+    print(f"\n{'n':>6s} {'fp64 [s]':>10s} {'mixed [s]':>10s} "
+          f"{'speedup':>8s} {'fp32 swp':>9s} {'mixed err':>10s}")
+    final_speedup = 0.0
+    worst_err = 0.0
+    for n in sizes:
+        a = random_matrix(n, n, seed=1000 + n)
+        fp64_s, _ = run_precision(a, "fp64", repeats=repeats)
+        mixed_s, mixed_res = run_precision(a, "mixed", repeats=repeats)
+        err = accuracy_vs_lapack(a, mixed_res.s)
+        worst_err = max(worst_err, err)
+        speedup = fp64_s / mixed_s
+        final_speedup = speedup
+        print(f"{n:>6d} {fp64_s:>10.4f} {mixed_s:>10.4f} {speedup:>7.2f}x "
+              f"{mixed_res.fp32_sweeps:>9d} {err:>10.2e}")
+        if not mixed_res.converged:
+            print(f"FAIL: mixed did not converge at n={n}")
+            return 1
+
+    print(f"\nworst mixed sv error vs LAPACK: {worst_err:.2e} "
+          f"(bound {MIXED_ACCURACY:g})")
+    if worst_err > MIXED_ACCURACY:
+        print("FAIL: mixed schedule left the fp64 accuracy class")
+        return 1
+    if args.smoke:
+        print("smoke mode: correctness only, speedup not asserted "
+              "(the pinned BENCH_CORE ratio gates regressions)")
+        return 0
+    if sizes[-1] >= 256 and final_speedup < TARGET_SPEEDUP:
+        print(f"FAIL: speedup {final_speedup:.2f}x below the "
+              f"{TARGET_SPEEDUP:.0f}x target at n={sizes[-1]}")
+        return 1
+    print(f"mixed speedup >= {TARGET_SPEEDUP:.0f}x at n={sizes[-1]}: ok"
+          if sizes[-1] >= 256 else
+          f"sizes below 256 only; {TARGET_SPEEDUP:.0f}x target checked "
+          f"at n>=256")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

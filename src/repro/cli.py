@@ -54,19 +54,25 @@ def _cmd_decompose(args) -> int:
     from repro import hestenes_svd
 
     a = _load_matrix(args)
-    engine_opts = (
-        {"block_rounds": args.block_rounds} if args.block_rounds != 1 else None
-    )
+    engine_opts = {}
+    if args.block_rounds != 1:
+        engine_opts["block_rounds"] = args.block_rounds
+    if args.switch_tol is not None:
+        engine_opts["switch_tol"] = args.switch_tol
     res = hestenes_svd(
         a,
         method=args.method,
         compute_uv=not args.values_only,
         max_sweeps=args.max_sweeps,
         tol=args.tol,
-        engine_opts=engine_opts,
+        precision=args.precision,
+        engine_opts=engine_opts or None,
+    )
+    tier = "" if res.precision == "fp64" else (
+        f"  precision: {res.precision} (fp32 sweeps: {res.fp32_sweeps})"
     )
     print(f"shape: {a.shape[0]} x {a.shape[1]}  method: {res.method}  "
-          f"sweeps: {res.sweeps}")
+          f"sweeps: {res.sweeps}{tier}")
     shown = min(len(res.s), args.show)
     print(f"singular values (top {shown}):")
     for i in range(shown):
@@ -349,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--block-rounds", type=int, default=1,
                    help="round-fusion width (method=vectorized only)")
     d.add_argument("--values-only", action="store_true")
+    d.add_argument("--precision", default="fp64",
+                   choices=("fp64", "mixed", "fp32"),
+                   help="working-precision schedule (vectorized engine)")
+    d.add_argument("--switch-tol", type=float, default=None, metavar="TOL",
+                   help="mixed-precision fp32->fp64 switch threshold")
     d.add_argument("--max-sweeps", type=int, default=10)
     d.add_argument("--tol", type=float, default=None)
     d.add_argument("--show", type=int, default=10, help="values to print")

@@ -51,13 +51,26 @@ def _cmd_serve_demo(args) -> int:
     print(f"serve-demo: {len(trace)} requests over shapes "
           f"{sorted(set(a.shape for a in trace))} "
           f"({len(trace) - len(unique)} repeats)", file=info)
+    prec_opts = (
+        {"precision": args.precision} if args.precision != "fp64" else {}
+    )
+    engine = args.engine
+    if prec_opts and engine == "core":
+        # "core" resolves to the blocked method, which carries no
+        # reduced-precision schedule; the demo routes to the engine
+        # that does.  An explicit non-vectorized --engine still gets
+        # the submit-time typed error.
+        engine = "vectorized"
+        print(f"--precision {args.precision}: serving on the vectorized "
+              f"engine", file=info)
     start = time.perf_counter()
     with SVDServer(
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
         workers=args.workers,
-        default_engine=args.engine,
+        default_engine=engine,
         compute_uv=not args.values_only,
+        **prec_opts,
     ) as srv:
         first = [h.result(timeout=300.0) for h in srv.submit_many(unique)]
         rest = [h.result(timeout=300.0)
@@ -70,9 +83,9 @@ def _cmd_serve_demo(args) -> int:
         print(f"{len(bad)} request(s) failed; first: {bad[0].error}",
               file=info)
         return 1
-    check_method = {"method": args.engine} if args.engine != "core" else {}
+    check_method = {"method": engine} if engine != "core" else {}
     check = hestenes_svd(unique[0], compute_uv=not args.values_only,
-                         **check_method)
+                         **check_method, **prec_opts)
     identical = bool(np.array_equal(responses[0].result.s, check.s))
     if args.json:
         payload = {
@@ -129,20 +142,32 @@ def _cmd_shard_demo(args) -> int:
     print(f"shard-demo: {len(arrivals)} poisson arrivals over "
           f"{args.duration:g} s at {args.rate:g} req/s across "
           f"{args.shards} shard worker(s)", file=info)
+    prec_opts = (
+        {"precision": args.precision} if args.precision != "fp64" else {}
+    )
+    engine = args.engine
+    if prec_opts and engine == "core":
+        # Same routing as serve-demo: "core" means the blocked method,
+        # which rejects reduced precision at submit time.
+        engine = "vectorized"
+        print(f"--precision {args.precision}: serving on the vectorized "
+              f"engine", file=info)
     with ShardedSVDServer(
         shards=args.shards,
         max_inflight=args.max_inflight,
-        default_engine=args.engine,
+        default_engine=engine,
         compute_uv=not args.values_only,
+        **prec_opts,
     ) as srv:
         report = replay_arrivals(srv, matrices, arrivals)
         stats = srv.stats()
-    check_method = {"method": args.engine} if args.engine != "core" else {}
+    check_method = {"method": engine} if engine != "core" else {}
     check = hestenes_svd(matrices[0], compute_uv=not args.values_only,
-                         **check_method)
-    with ShardedSVDServer(shards=1, default_engine=args.engine,
+                         **check_method, **prec_opts)
+    with ShardedSVDServer(shards=1, default_engine=engine,
                           cache_bytes=None, worker_cache_bytes=None,
-                          compute_uv=not args.values_only) as one:
+                          compute_uv=not args.values_only,
+                          **prec_opts) as one:
         served = one.submit(matrices[0]).result(timeout=120.0)
     identical = (served.ok
                  and bool(np.array_equal(served.result.s, check.s)))
@@ -251,6 +276,10 @@ def add_ops_commands(sub, methods) -> None:
     sd.add_argument("--engine", default="core",
                     choices=("core", *methods),
                     help="default serving engine for the trace")
+    sd.add_argument("--precision", default="fp64",
+                    choices=("fp64", "mixed", "fp32"),
+                    help="working-precision schedule applied to every "
+                         "request (vectorized engine)")
     sd.add_argument("--values-only", action="store_true")
     sd.add_argument("--json", action="store_true",
                     help="emit the final metrics snapshot as JSON on "
@@ -272,6 +301,10 @@ def add_ops_commands(sub, methods) -> None:
     shd.add_argument("--engine", default="core",
                      choices=("core", *methods),
                      help="default serving engine for the trace")
+    shd.add_argument("--precision", default="fp64",
+                     choices=("fp64", "mixed", "fp32"),
+                     help="working-precision schedule applied to every "
+                          "request (vectorized engine)")
     shd.add_argument("--values-only", action="store_true")
     shd.add_argument("--json", action="store_true",
                      help="emit the replay report as JSON on stdout "

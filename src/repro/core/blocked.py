@@ -35,12 +35,18 @@ from repro.util.validation import as_float_matrix, check_in_choices
 __all__ = ["blocked_svd", "batch_rotation_params", "apply_round_gram"]
 
 
+# Large-|rho| cutoff above which the closed-form tangent switches to
+# its 1/(2 rho) asymptote: rho*rho must not overflow the working dtype.
+_HUGE_RHO = {"float64": 1e150, "float32": 1e15}
+
+
 def batch_rotation_params(
     norm_i: np.ndarray,
     norm_j: np.ndarray,
     cov: np.ndarray,
     *,
     rotation_impl: str = "textbook",
+    dtype=np.float64,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized rotation parameters for a batch of disjoint pairs.
 
@@ -48,24 +54,37 @@ def batch_rotation_params(
     (``cov == 0``) carry the identity rotation.  Matches
     :func:`repro.core.rotation.textbook_rotation` /
     :func:`repro.core.rotation.dataflow_rotation` elementwise.
+
+    ``dtype`` selects the working precision (float64 default; float32
+    for the mixed-precision fast path).  Every constant is materialized
+    in that dtype so no intermediate silently promotes, and the huge-rho
+    overflow guard scales with the dtype's range.
     """
     check_in_choices(rotation_impl, ("textbook", "dataflow"), name="rotation_impl")
-    norm_i = np.asarray(norm_i, dtype=np.float64)
-    norm_j = np.asarray(norm_j, dtype=np.float64)
-    cov = np.asarray(cov, dtype=np.float64)
+    dtype = np.dtype(dtype)
+    if dtype.name not in _HUGE_RHO:
+        raise ValueError(
+            f"dtype must be float32 or float64, got {dtype.name!r}"
+        )
+    one = dtype.type(1.0)
+    zero = dtype.type(0.0)
+    neg_one = dtype.type(-1.0)
+    norm_i = np.asarray(norm_i, dtype=dtype)
+    norm_j = np.asarray(norm_j, dtype=dtype)
+    cov = np.asarray(cov, dtype=dtype)
     active = cov != 0.0
     # Hardware-style sign: the IEEE sign bit, never zero.
-    sgn = np.where(np.signbit(cov), -1.0, 1.0) * np.where(
-        np.signbit(norm_j - norm_i), -1.0, 1.0
+    sgn = np.where(np.signbit(cov), neg_one, one) * np.where(
+        np.signbit(norm_j - norm_i), neg_one, one
     )
     d = norm_j - norm_i
-    safe_cov = np.where(active, cov, 1.0)
+    safe_cov = np.where(active, cov, one)
     if rotation_impl == "textbook":
         with np.errstate(over="ignore", divide="ignore"):
             rho = d / (2.0 * safe_cov)
-            huge = np.abs(rho) > 1e150
-            safe_rho = np.where(huge, 1.0, rho)
-            t_normal = np.where(np.signbit(rho), -1.0, 1.0) / (
+            huge = np.abs(rho) > _HUGE_RHO[dtype.name]
+            safe_rho = np.where(huge, one, rho)
+            t_normal = np.where(np.signbit(rho), neg_one, one) / (
                 np.abs(safe_rho) + np.sqrt(1.0 + safe_rho * safe_rho)
             )
             # rho*rho would overflow; asymptotically t -> 1/(2 rho).
@@ -77,7 +96,7 @@ def batch_rotation_params(
         # normalizing (d, cov) by their larger magnitude keeps the
         # squares from under/overflowing on denormal or huge entries.
         scale = np.maximum(np.abs(d), np.abs(safe_cov))
-        scale = np.where(scale == 0.0, 1.0, scale)
+        scale = np.where(scale == 0.0, one, scale)
         dn = d / scale
         cn = safe_cov / scale
         abs_d = np.abs(dn)
@@ -85,13 +104,13 @@ def batch_rotation_params(
         four_c2 = 2.0 * c2
         r = np.sqrt(dn * dn + four_c2)
         denom = dn * dn + four_c2 + abs_d * r
-        denom = np.where(denom == 0.0, 1.0, denom)
+        denom = np.where(denom == 0.0, one, denom)
         t = sgn * np.abs(2.0 * cn) / (abs_d + r)
         c = np.sqrt((dn * dn + c2 + abs_d * r) / denom)
         s = sgn * np.sqrt(c2 / denom)
-    c = np.where(active, c, 1.0)
-    s = np.where(active, s, 0.0)
-    t = np.where(active, t, 0.0)
+    c = np.where(active, c, one)
+    s = np.where(active, s, zero)
+    t = np.where(active, t, zero)
     return c, s, t, active
 
 

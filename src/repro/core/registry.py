@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.core.ordering import ORDERINGS
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_positive_float, check_positive_int
 
 __all__ = [
     "EngineSpec",
@@ -190,7 +190,12 @@ def _positive_int(value) -> None:
     check_positive_int(value, name="block_rounds")
 
 
+def _positive_float(value) -> None:
+    check_positive_float(value, name="switch_tol")
+
+
 _ROTATION_IMPLS = ("textbook", "dataflow")
+_PRECISIONS = ("fp64", "mixed", "fp32")
 _TRACK_MODES = ("always", "first_sweep", "never")
 
 register_engine(EngineSpec(
@@ -222,8 +227,11 @@ register_engine(EngineSpec(
     supported_orderings=ORDERINGS,
     options_schema={"rotation_impl": _ROTATION_IMPLS,
                     "block_rounds": _positive_int,
-                    "pair_threshold": None},
-    description="round-parallel column-space engine with batched rotations",
+                    "pair_threshold": None,
+                    "precision": _PRECISIONS,
+                    "switch_tol": _positive_float},
+    description="round-parallel column-space engine with batched rotations "
+                "and fp64/mixed/fp32 precision schedules",
 ))
 register_engine(EngineSpec(
     name="preconditioned",

@@ -44,6 +44,15 @@ class SVDResult:
         Numerical-health summary attached by
         :func:`repro.obs.health.observe_result` when monitoring is on
         (the default for :func:`repro.core.svd.hestenes_svd` runs).
+    precision : str
+        Working-precision schedule the run used ("fp64" for every
+        engine except :func:`repro.core.vectorized.vectorized_svd`
+        running with its ``precision`` engine_opt set to "mixed" or
+        "fp32").
+    fp32_sweeps : int
+        Sweeps executed in the float32 phase (0 on pure-fp64 runs, and
+        on mixed runs that took the zero-fp32-round early exit because
+        the input was already below the switch threshold).
     """
 
     s: np.ndarray
@@ -54,6 +63,8 @@ class SVDResult:
     method: str = ""
     converged: bool = True
     health: "HealthReport | None" = None
+    precision: str = "fp64"
+    fp32_sweeps: int = 0
 
     @property
     def rank(self) -> int:

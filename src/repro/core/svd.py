@@ -68,6 +68,7 @@ def hestenes_svd(
     ordering: str = "cyclic",
     rotation_impl: str = "textbook",
     track_columns: str = "first_sweep",
+    precision: str = "fp64",
     engine_opts=None,
     block_rounds: int | None = None,
     seed=None,
@@ -100,6 +101,14 @@ def hestenes_svd(
         forwarded to engines that support it.
     track_columns : {"always", "first_sweep", "never"}
         Column-update schedule for the modified/blocked methods.
+    precision : {"fp64", "mixed", "fp32"}
+        Working-precision schedule, for engines that declare it (the
+        vectorized engine): "mixed" runs float32 bulk sweeps with an
+        fp64 cleanup (fp64-class accuracy, ~2.5x faster at n>=256),
+        "fp32" stays in float32 throughout (documented ~1e-5 accuracy
+        class).  Requesting a non-default precision from an engine
+        without precision support raises ``ValueError`` rather than
+        silently computing in fp64.
     engine_opts : mapping, optional
         Engine-specific options, validated against the engine's
         ``options_schema`` — e.g. ``{"block_rounds": 4}`` for the
@@ -136,6 +145,17 @@ def hestenes_svd(
         opts.setdefault("rotation_impl", rotation_impl)
     if "track_columns" in spec.options_schema:
         opts.setdefault("track_columns", track_columns)
+    if "precision" in spec.options_schema:
+        opts.setdefault("precision", precision)
+    elif precision != "fp64" or opts.get("precision", "fp64") != "fp64":
+        # Engines without a precision schedule always compute in fp64;
+        # failing loudly beats silently ignoring an accuracy/latency
+        # request (the serve layer relies on this for submit rejection).
+        raise ValueError(
+            f'method="{spec.name}" does not support reduced precision; '
+            f'precision={precision!r} is only available on engines '
+            f'declaring a "precision" engine_opt (e.g. "vectorized")'
+        )
     if block_rounds is not None:
         warnings.warn(
             "hestenes_svd(block_rounds=...) is deprecated; pass "
@@ -155,7 +175,7 @@ def hestenes_svd(
         seed=seed,
         **opts,
     )
-    return observe_result(result, engine=spec.name)
+    return observe_result(result, engine=spec.name, matrix=a)
 
 
 class HestenesJacobiSVD:
@@ -183,6 +203,7 @@ class HestenesJacobiSVD:
             "ordering",
             "rotation_impl",
             "track_columns",
+            "precision",
             "engine_opts",
             "block_rounds",
             "seed",

@@ -25,6 +25,19 @@ A ``block_rounds`` knob additionally fuses consecutive rounds through
 no-op for the dense cyclic ordering, but it batches the one-pair-per-
 round sequential orderings ("row", "random") back up to hardware-style
 groups.
+
+Mixed-precision fast path
+-------------------------
+The ``precision`` knob selects the working-precision schedule:
+``"fp64"`` (the default double-precision path above, untouched),
+``"mixed"`` (cheap float32 bulk sweeps, then a re-derived fp64 handoff
+and double-precision finishing sweeps — same final accuracy class as
+fp64), and ``"fp32"`` (float32 throughout, the documented ~1e-5
+class).  The reduced-precision kernel — the fused ``[Bᵀ | Vᵀ]`` store,
+the fp32 phase, the Newton-Schulz handoff, and the fp64 finish — lives
+in :mod:`repro.core.fused`; ``tests/core/test_differential.py``
+enforces the per-tier tolerance schedule.  Finalization is always
+fp64.
 """
 
 from __future__ import annotations
@@ -33,14 +46,47 @@ import numpy as np
 
 from repro.core.blocked import batch_rotation_params
 from repro.core.convergence import ConvergenceCriterion, ConvergenceTrace, measure
+from repro.core.fused import (
+    compile_fused_plan,
+    fp32_phase,
+    fused_fp64_finish,
+    polar_orthonormalize,
+)
 from repro.core.hestenes import FlopCounter, finalize_columns
 from repro.core.ordering import fuse_rounds, make_sweep
 from repro.core.result import SVDResult
 from repro.obs import noop_span, round_detail, span
 from repro.obs.health import sweep_guard
-from repro.util.validation import as_float_matrix, check_positive_int
+from repro.util.validation import (
+    as_float_matrix,
+    check_in_choices,
+    check_positive_float,
+    check_positive_int,
+)
 
-__all__ = ["vectorized_svd", "pair_dots", "round_plan"]
+__all__ = [
+    "vectorized_svd",
+    "pair_dots",
+    "round_plan",
+    "PRECISIONS",
+    "DEFAULT_SWITCH_TOL",
+]
+
+#: Working-precision schedules accepted by :func:`vectorized_svd`.
+PRECISIONS = ("fp64", "mixed", "fp32")
+
+#: Default ``switch_tol``: the scale-free off-diagonal estimate at
+#: which the mixed schedule hands over to fp64 finishing sweeps.  1e-5
+#: sits comfortably above the fp32 noise floor while leaving the fp64
+#: phase only ~2 full sweeps of quadratic-convergence work.
+DEFAULT_SWITCH_TOL = 1e-5
+
+#: Sweeps of the ``criterion.max_sweeps`` budget reserved for the fp64
+#: finishing phase of the mixed schedule; the fp32 phase may consume
+#: the rest.  Three sweeps take a ~1e-2 handoff to the fp64 floor under
+#: quadratic convergence, so even a tight total budget (the classic
+#: max_sweeps=6) leaves the cleanup enough room.
+_RESERVED_FP64_SWEEPS = 3
 
 
 def pair_dots(
@@ -124,88 +170,49 @@ def round_plan(
     return plan
 
 
-def vectorized_svd(
-    a,
+def _fused_plan_maker(n, ordering, seed, block_rounds):
+    """Zero-argument plan builder for the fused sweep loops
+    (:mod:`repro.core.fused`): static orderings compile once and return
+    the same plan every sweep; "random" recompiles per call."""
+    if ordering == "random":
+        return lambda: compile_fused_plan(
+            round_plan(n, ordering, seed, block_rounds)
+        )
+    plan = compile_fused_plan(round_plan(n, ordering, seed, block_rounds))
+    return lambda: plan
+
+
+def _fp64_sweep_loop(
+    bt: np.ndarray,
+    vt: np.ndarray | None,
     *,
-    compute_uv: bool = True,
-    criterion: ConvergenceCriterion | None = None,
-    ordering: str = "cyclic",
-    seed=None,
-    pair_threshold: float = 1e-15,
-    rotation_impl: str = "textbook",
-    block_rounds: int = 1,
-    flops: FlopCounter | None = None,
-) -> SVDResult:
-    """Round-parallel one-sided Jacobi SVD with batched rotations.
+    criterion: ConvergenceCriterion,
+    ordering: str,
+    seed,
+    block_rounds: int,
+    pair_threshold: float,
+    rotation_impl: str,
+    trace: ConvergenceTrace,
+    flops: FlopCounter | None,
+    start_sweep: int = 0,
+) -> tuple[int, bool]:
+    """The double-precision sweep loop over the transposed stores.
 
-    Parameters
-    ----------
-    a : array_like
-        Input m x n matrix (any rectangular shape).
-    compute_uv : bool
-        When True, return U and Vᵀ in addition to the singular values.
-    criterion : ConvergenceCriterion
-        Sweep cap and optional early-stopping threshold.  Default:
-        ``ConvergenceCriterion(max_sweeps=30, tol=None)`` — the same
-        generous cap as the sequential reference engine; the loop also
-        stops when a full sweep performs no rotation.
-    ordering : str
-        Pair ordering per sweep (:data:`repro.core.ordering.ORDERINGS`).
-        The cyclic ordering exposes n/2-wide rounds; "row" and "random"
-        start one pair per round and rely on *block_rounds* for width.
-    seed
-        Only used by the "random" ordering.
-    pair_threshold : float
-        de Rijk relative skip threshold, as in
-        :func:`repro.core.hestenes.reference_svd`: the pair rotates only
-        when ``|cov| > pair_threshold * sqrt(norm_i) * sqrt(norm_j)``.
-    rotation_impl : {"textbook", "dataflow"}
-        Batched rotation-parameter formulation — Algorithm 1 lines 11-14
-        or the FPGA's division-restructured equations (8)-(10).  The
-        textbook form matches the reference engine's parameters exactly
-        for identical norm/covariance inputs.
-    block_rounds : int
-        Fuse up to this many consecutive conflict-free rounds into one
-        batched update (:func:`repro.core.ordering.fuse_rounds`).  Exact
-        for any value: fused pairs are index-disjoint, so their
-        rotations neither observe nor perturb each other.
-    flops : FlopCounter, optional
-        Tallies dot-product and update work; totals match the scalar
-        reference loop for an identical sweep schedule.
-
-    Returns
-    -------
-    SVDResult
-        Economy-size decomposition, singular values descending, with
-        ``method="vectorized"`` and the standard per-sweep trace.
+    This is the engine's reference-precision round path; the fp64 and
+    mixed schedules both run it (the latter with ``start_sweep`` set to
+    the fp32 sweep count so trace numbering stays contiguous).  Returns
+    ``(sweeps_done, converged)`` with ``sweeps_done`` absolute.
     """
-    a = as_float_matrix(a, name="a")
-    m, n = a.shape
-    criterion = criterion or ConvergenceCriterion(max_sweeps=30, tol=None)
-    check_positive_int(block_rounds, name="block_rounds")
-
-    # Transposed stores: columns of B (and of V) live as contiguous
-    # rows, so the round-wide gather/reduce/scatter runs at unit stride.
-    # (.copy() rather than ascontiguousarray: the latter can return a
-    # view for degenerate shapes, and the input must never be mutated.)
-    bt = a.T.copy()
-    vt = np.eye(n) if compute_uv else None
-    trace = ConvergenceTrace(metric=criterion.metric)
-    trace.record(0, measure(bt @ bt.T, criterion.metric))
-
-    # The cyclic and row schedules are deterministic — compile them
-    # once.  The random ordering redraws per sweep, exactly like the
-    # sequential engines calling make_sweep inside the sweep loop.
+    n, m = bt.shape
     static_plan = (
         None
         if ordering == "random"
         else round_plan(n, ordering, seed, block_rounds)
     )
-
     converged = False
-    sweeps_done = 0
+    sweeps_done = start_sweep
     rspan = span if round_detail() else noop_span
-    for sweep in range(1, criterion.max_sweeps + 1):
+    for sweep in range(start_sweep + 1, criterion.max_sweeps + 1):
         plan = (
             static_plan
             if static_plan is not None
@@ -251,6 +258,215 @@ def vectorized_svd(
         if rotations == 0 or criterion.satisfied(value):
             converged = True
             break
+    return sweeps_done, converged
+
+
+def vectorized_svd(
+    a,
+    *,
+    compute_uv: bool = True,
+    criterion: ConvergenceCriterion | None = None,
+    ordering: str = "cyclic",
+    seed=None,
+    pair_threshold: float = 1e-15,
+    rotation_impl: str = "textbook",
+    block_rounds: int = 1,
+    precision: str = "fp64",
+    switch_tol: float | None = None,
+    flops: FlopCounter | None = None,
+) -> SVDResult:
+    """Round-parallel one-sided Jacobi SVD with batched rotations.
+
+    Parameters
+    ----------
+    a : array_like
+        Input m x n matrix (any rectangular shape).
+    compute_uv : bool
+        When True, return U and Vᵀ in addition to the singular values.
+    criterion : ConvergenceCriterion
+        Sweep cap and optional early-stopping threshold.  Default:
+        ``ConvergenceCriterion(max_sweeps=30, tol=None)`` — the same
+        generous cap as the sequential reference engine; the loop also
+        stops when a full sweep performs no rotation.
+    ordering : str
+        Pair ordering per sweep (:data:`repro.core.ordering.ORDERINGS`).
+        The cyclic ordering exposes n/2-wide rounds; "row" and "random"
+        start one pair per round and rely on *block_rounds* for width.
+    seed
+        Only used by the "random" ordering.
+    pair_threshold : float
+        de Rijk relative skip threshold, as in
+        :func:`repro.core.hestenes.reference_svd`: the pair rotates only
+        when ``|cov| > pair_threshold * sqrt(norm_i) * sqrt(norm_j)``.
+        The fp32 phase clamps this from below at float32 eps, where
+        smaller covariances are indistinguishable from rounding noise.
+    rotation_impl : {"textbook", "dataflow"}
+        Batched rotation-parameter formulation — Algorithm 1 lines 11-14
+        or the FPGA's division-restructured equations (8)-(10).  The
+        textbook form matches the reference engine's parameters exactly
+        for identical norm/covariance inputs.
+    block_rounds : int
+        Fuse up to this many consecutive conflict-free rounds into one
+        batched update (:func:`repro.core.ordering.fuse_rounds`).  Exact
+        for any value: fused pairs are index-disjoint, so their
+        rotations neither observe nor perturb each other.
+    precision : {"fp64", "mixed", "fp32"}
+        Working-precision schedule (see the module docstring).  "mixed"
+        runs cheap float32 bulk sweeps, then re-orthonormalizes V,
+        recomputes ``B = A @ V`` in fp64 and finishes on the standard
+        double-precision path — same final accuracy class as "fp64".
+        "fp32" stays in float32 throughout (documented ~1e-5 class).
+        Finalization is always fp64.
+    switch_tol : float, optional
+        Mixed-precision handoff threshold on the scale-free off-diagonal
+        estimate ``off_fro(BᵀB)/‖BᵀB‖_F``; defaults to
+        :data:`DEFAULT_SWITCH_TOL`.  Any positive value converges to the
+        fp64 class — the threshold trades fp32 vs fp64 sweep counts, not
+        final accuracy (the fp32 phase additionally self-limits at its
+        noise floor and the fp64 phase always retains
+        budget).  Ignored for "fp64" and "fp32".
+    flops : FlopCounter, optional
+        Tallies dot-product and update work; totals match the scalar
+        reference loop for an identical sweep schedule.  (The fp32
+        phase's cached-norm rounds are charged at the same per-pair
+        rate even though they skip two of the three reductions.)
+
+    Returns
+    -------
+    SVDResult
+        Economy-size decomposition, singular values descending, with
+        ``method="vectorized"``, the standard per-sweep trace, and the
+        precision schedule recorded as ``precision``/``fp32_sweeps``.
+    """
+    a = as_float_matrix(a, name="a")
+    m, n = a.shape
+    criterion = criterion or ConvergenceCriterion(max_sweeps=30, tol=None)
+    check_positive_int(block_rounds, name="block_rounds")
+    check_in_choices(precision, PRECISIONS, name="precision")
+    if switch_tol is None:
+        switch_tol = DEFAULT_SWITCH_TOL
+    else:
+        check_positive_float(switch_tol, name="switch_tol")
+
+    # Transposed stores: columns of B (and of V) live as contiguous
+    # rows, so the round-wide gather/reduce/scatter runs at unit stride.
+    # (.copy() rather than ascontiguousarray: the latter can return a
+    # view for degenerate shapes, and the input must never be mutated.)
+    bt = a.T.copy()
+    vt = np.eye(n) if compute_uv else None
+    trace = ConvergenceTrace(metric=criterion.metric)
+    g0 = bt @ bt.T
+    trace.record(0, measure(g0, criterion.metric))
+
+    fp32_sweeps = 0
+    low_converged = False
+    if precision != "fp64":
+        est0 = float(measure(g0, "relative"))
+        run_low = precision == "fp32" or est0 > switch_tol
+        if run_low:
+            budget = (
+                criterion.max_sweeps
+                if precision == "fp32"
+                else max(1, criterion.max_sweeps - _RESERVED_FP64_SWEEPS)
+            )
+            w, fp32_sweeps, low_converged = fp32_phase(
+                a,
+                criterion=criterion,
+                make_plan=_fused_plan_maker(n, ordering, seed, block_rounds),
+                pair_threshold=pair_threshold,
+                rotation_impl=rotation_impl,
+                switch_tol=switch_tol if precision == "mixed" else None,
+                budget=budget,
+                initial_estimate=est0,
+                trace=trace,
+                flops=flops,
+            )
+        if precision == "fp32":
+            # Cheap tier: upcast the finished fp32 factors as-is.
+            trace.converged = low_converged
+            b = np.ascontiguousarray(w[:, :m].T, dtype=np.float64)
+            v = (
+                np.ascontiguousarray(w[:, m:].T, dtype=np.float64)
+                if compute_uv
+                else None
+            )
+            s_vals, u, out_vt = finalize_columns(b, v, compute_uv=compute_uv)
+            return SVDResult(
+                s=s_vals,
+                u=u,
+                vt=out_vt,
+                sweeps=fp32_sweeps,
+                trace=trace,
+                method="vectorized",
+                converged=low_converged,
+                precision=precision,
+                fp32_sweeps=fp32_sweeps,
+            )
+        if fp32_sweeps:
+            # Mixed handoff: re-derive the fp64 state rather than
+            # upcasting it.  V's fp32 orthogonality defect is polished
+            # away by the polar iteration, then B is recomputed from
+            # the *original* fp64 input so no fp32 rounding survives
+            # into the finishing sweeps.
+            with span(
+                "core.precision_switch",
+                method="vectorized",
+                fp32_sweeps=fp32_sweeps,
+            ):
+                v = np.ascontiguousarray(w[:, m:].T, dtype=np.float64)
+                v = polar_orthonormalize(v)
+                width = m + n if compute_uv else m
+                w64 = np.empty((n, width), dtype=np.float64)
+                w64[:, :m] = (a @ v).T
+                if compute_uv:
+                    w64[:, m:] = v.T
+            sweeps_done, converged = fused_fp64_finish(
+                w64,
+                m,
+                criterion=criterion,
+                make_plan=_fused_plan_maker(n, ordering, seed, block_rounds),
+                pair_threshold=pair_threshold,
+                rotation_impl=rotation_impl,
+                trace=trace,
+                flops=flops,
+                start_sweep=fp32_sweeps,
+            )
+            trace.converged = converged
+            b = np.ascontiguousarray(w64[:, :m].T)
+            v_fin = (
+                np.ascontiguousarray(w64[:, m:].T) if compute_uv else None
+            )
+            s_vals, u, out_vt = finalize_columns(
+                b, v_fin, compute_uv=compute_uv
+            )
+            return SVDResult(
+                s=s_vals,
+                u=u,
+                vt=out_vt,
+                sweeps=sweeps_done,
+                trace=trace,
+                method="vectorized",
+                converged=converged,
+                precision=precision,
+                fp32_sweeps=fp32_sweeps,
+            )
+        # else: the input was already below switch_tol (e.g. diagonal)
+        # — the zero-fp32-round early exit runs the pure fp64 path on
+        # the untouched stores.
+
+    sweeps_done, converged = _fp64_sweep_loop(
+        bt,
+        vt,
+        criterion=criterion,
+        ordering=ordering,
+        seed=seed,
+        block_rounds=block_rounds,
+        pair_threshold=pair_threshold,
+        rotation_impl=rotation_impl,
+        trace=trace,
+        flops=flops,
+        start_sweep=fp32_sweeps,
+    )
     trace.converged = converged
 
     b = np.ascontiguousarray(bt.T)
@@ -264,4 +480,6 @@ def vectorized_svd(
         trace=trace,
         method="vectorized",
         converged=converged,
+        precision=precision,
+        fp32_sweeps=fp32_sweeps,
     )

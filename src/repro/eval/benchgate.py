@@ -108,6 +108,42 @@ def _engine_case(method: str, n: int = 64, m: int | None = None):
     return run
 
 
+def _precision_case(precision: str, n: int = 256):
+    """Seconds per equal-criterion run of the vectorized engine.
+
+    Unlike :func:`_engine_case` (fixed 6 sweeps, values only), this is
+    the mixed-precision comparison protocol: both precisions drive the
+    same convergence target (relative off-diagonal <= 1e-12, U/Vᵀ
+    computed), so the pinned ratio between ``core.vectorized.256`` and
+    ``core.vectorized_mixed.256`` is time-to-solution, not
+    time-per-sweep.
+    """
+
+    def run(reps: int) -> float:
+        from repro.core.svd import hestenes_svd
+        from repro.workloads import random_matrix
+
+        a = random_matrix(n, n, seed=0)
+
+        def decompose():
+            return hestenes_svd(
+                a, method="vectorized", compute_uv=True, tol=1e-12,
+                metric="relative", max_sweeps=30,
+                engine_opts={"precision": precision},
+            )
+
+        decompose()  # warm BLAS/caches
+
+        def once() -> float:
+            start = time.perf_counter()
+            decompose()
+            return time.perf_counter() - start
+
+        return _best_of(once, reps)
+
+    return run
+
+
 def _hw_estimate_case(reps: int) -> float:
     """Seconds per 512x512 cycle-model evaluation."""
     from repro.hw.timing_model import estimate_cycles
@@ -211,6 +247,8 @@ def core_cases() -> dict:
         "core.blocked.64": _engine_case("blocked"),
         "core.vectorized.64": _engine_case("vectorized"),
         "core.vectorized.128": _engine_case("vectorized", n=128),
+        "core.vectorized.256": _precision_case("fp64"),
+        "core.vectorized_mixed.256": _precision_case("mixed"),
         "core.preconditioned.128x64": _engine_case("preconditioned", n=64, m=128),
         "hw.estimate.512": _hw_estimate_case,
         "obs.span_disabled": _span_disabled_case,

@@ -130,6 +130,11 @@ class HealthReport:
     final_off_diagonal: float = float("nan")
     nonfinite_singular_values: int = 0
     nonfinite_factor_entries: int = 0
+    precision: str = "fp64"
+    fp32_sweeps: int = 0
+    u_orthogonality: float = float("nan")
+    vt_orthogonality: float = float("nan")
+    reconstruction_residual: float = float("nan")
     issues: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -144,6 +149,11 @@ class HealthReport:
             "final_off_diagonal": self.final_off_diagonal,
             "nonfinite_singular_values": self.nonfinite_singular_values,
             "nonfinite_factor_entries": self.nonfinite_factor_entries,
+            "precision": self.precision,
+            "fp32_sweeps": self.fp32_sweeps,
+            "u_orthogonality": self.u_orthogonality,
+            "vt_orthogonality": self.vt_orthogonality,
+            "reconstruction_residual": self.reconstruction_residual,
             "issues": list(self.issues),
         }
 
@@ -154,15 +164,44 @@ def _count_nonfinite(arr) -> int:
     return int(np.size(arr) - np.count_nonzero(np.isfinite(arr)))
 
 
-def health_from_result(result, *, engine: str = "") -> HealthReport:
+#: Per-tier acceptance thresholds for the reduced-precision evidence:
+#: a mixed run whose fp64 cleanup worked sits at the fp64 floor (~1e-13
+#: orthogonality defect), so 1e-6 flags a broken cleanup without
+#: tripping on honest rounding; the fp32 tier legitimately lives near
+#: its ~1e-5 accuracy class, so its guard is the much looser 1e-3.
+_PRECISION_GUARDS = {"mixed": 1e-6, "fp32": 1e-3}
+
+
+def _orthogonality_defect(q) -> float:
+    """``max |QᵀQ - I|`` over the smaller Gram of factor *q* (nan if None)."""
+    if q is None or q.size == 0:
+        return float("nan")
+    g = q.T @ q if q.shape[0] >= q.shape[1] else q @ q.T
+    g = g - np.eye(g.shape[0])
+    return float(np.max(np.abs(g)))
+
+
+def health_from_result(result, *, engine: str = "", matrix=None) -> HealthReport:
     """Build a :class:`HealthReport` from a finished ``SVDResult``.
 
     Pure inspection — no metrics are recorded and nothing raises; use
-    :func:`observe_result` for the full monitored pipeline.
+    :func:`observe_result` for the full monitored pipeline.  When the
+    result came from a reduced-precision schedule (``result.precision``
+    of "mixed" or "fp32") the report also carries the per-tier
+    evidence: the fp32-phase sweep count, the post-cleanup
+    orthogonality defects of both factors, and — when *matrix* (the
+    original input) is supplied and factors are present — the relative
+    reconstruction residual.  On a *converged* run, evidence beyond the
+    tier's guard threshold (:data:`_PRECISION_GUARDS`) flips ``ok`` —
+    a converged mixed run past the guard means the fp64 cleanup is
+    broken.  Unconverged runs keep their evidence but are reported
+    through ``converged`` alone, matching the fp64 path's semantics.
     """
     report = HealthReport(engine=engine or getattr(result, "method", ""))
     report.sweeps = int(getattr(result, "sweeps", 0))
     report.converged = bool(getattr(result, "converged", True))
+    report.precision = str(getattr(result, "precision", "fp64"))
+    report.fp32_sweeps = int(getattr(result, "fp32_sweeps", 0))
     trace = getattr(result, "trace", None)
     if trace is not None:
         report.rotations = int(sum(trace.rotations))
@@ -188,13 +227,47 @@ def health_from_result(result, *, engine: str = "") -> HealthReport:
     if bad_factors:
         report.ok = False
         report.issues.append(f"{bad_factors} non-finite factor entr(y/ies)")
+
+    guard = _PRECISION_GUARDS.get(report.precision)
+    if guard is not None and not bad_factors:
+        u = getattr(result, "u", None)
+        vt = getattr(result, "vt", None)
+        report.u_orthogonality = _orthogonality_defect(u)
+        report.vt_orthogonality = _orthogonality_defect(
+            vt.T if vt is not None else None
+        )
+        if matrix is not None and u is not None and vt is not None:
+            a = np.asarray(matrix, dtype=np.float64)
+            scale = float(np.linalg.norm(a))
+            resid = np.linalg.norm(a - (u * result.s) @ vt)
+            report.reconstruction_residual = float(
+                resid / scale if scale > 0.0 else resid
+            )
+        # The guard judges the *cleanup*, so it only applies to runs the
+        # criterion let finish: an unconverged run (sweep budget
+        # exhausted) lands wherever fp64 would have landed under the
+        # same budget and already reports itself via ``converged`` and
+        # the unconverged-run counter, exactly like the fp64 path.
+        if report.converged:
+            for label, value in (
+                ("u orthogonality defect", report.u_orthogonality),
+                ("vt orthogonality defect", report.vt_orthogonality),
+                ("reconstruction residual", report.reconstruction_residual),
+            ):
+                if math.isfinite(value) and value > guard:
+                    report.ok = False
+                    report.issues.append(
+                        f"{report.precision} {label} {value:.3e} exceeds "
+                        f"tier guard {guard:.0e}"
+                    )
     return report
 
 
 _ENGINE_LABEL = ("engine",)
+_TIER_LABEL = ("engine", "precision")
 
 
-def observe_result(result, *, engine: str = ""):
+def observe_result(result, *, engine: str = "", matrix=None):
     """Attach a ``HealthReport`` to *result* and record engine metrics.
 
     Called by :func:`repro.core.svd.hestenes_svd` after every engine
@@ -202,10 +275,16 @@ def observe_result(result, *, engine: str = ""):
     direct API calls are covered by the same monitor.  Returns *result*
     for chaining.  Raises :class:`HealthError` when the report is not
     ok and fail-fast mode is on.
+
+    *matrix* — the original input, when the caller has it — enables the
+    reduced-precision evidence (reconstruction residual); the fp64 hot
+    path never touches it, so default runs pay nothing extra.
     """
     if not _monitoring:
         return result
-    report = health_from_result(result, engine=engine)
+    if str(getattr(result, "precision", "fp64")) == "fp64":
+        matrix = None  # evidence is a reduced-precision-only cost
+    report = health_from_result(result, engine=engine, matrix=matrix)
     result.health = report
     reg = get_registry()
     labels = {"engine": report.engine or "unknown"}
@@ -239,6 +318,28 @@ def observe_result(result, *, engine: str = ""):
             help="runs that exhausted max_sweeps above tolerance",
             labelnames=_ENGINE_LABEL,
         ).labels(**labels).inc()
+    if report.precision != "fp64":
+        tier = {"engine": labels["engine"], "precision": report.precision}
+        reg.histogram(
+            "engine_fp32_sweeps",
+            help="sweeps spent in the float32 phase per reduced-precision run",
+            labelnames=_TIER_LABEL,
+        ).labels(**tier).observe(report.fp32_sweeps)
+        for metric_name, help_text, value in (
+            ("engine_u_orthogonality",
+             "post-run max |UᵀU - I| per precision tier",
+             report.u_orthogonality),
+            ("engine_vt_orthogonality",
+             "post-run max |VᵀV - I| per precision tier",
+             report.vt_orthogonality),
+            ("engine_reconstruction_residual",
+             "relative Frobenius reconstruction residual per precision tier",
+             report.reconstruction_residual),
+        ):
+            if math.isfinite(value):
+                reg.histogram(
+                    metric_name, help=help_text, labelnames=_TIER_LABEL,
+                ).labels(**tier).observe(value)
     if not report.ok:
         reg.counter(
             "engine_health_violations",

@@ -145,6 +145,29 @@ def make_request(
 
     check_in_choices(engine, ENGINES, name="engine")
     HestenesJacobiSVD(**options)  # eager option-name validation
+    if options.get("precision") is not None:
+        # Validate the precision *value* and the target engine's support
+        # here at submission: a worker-side failure would surface as a
+        # degraded/error response long after the client could fix the
+        # call, and the typed error names the fix.
+        from repro.core.registry import resolve_engine
+        from repro.core.vectorized import PRECISIONS
+
+        check_in_choices(options["precision"], PRECISIONS, name="precision")
+        if options["precision"] != "fp64":
+            method = engine if engine in METHODS else options.get(
+                "method", "blocked")
+            supported = (
+                engine != "hw"
+                and method in METHODS
+                and "precision" in resolve_engine(method).options_schema
+            )
+            if not supported:
+                raise ValueError(
+                    f"precision={options['precision']!r} is not supported "
+                    f"by engine {engine!r} (method {method!r}); use "
+                    f'engine/method "vectorized" for reduced precision'
+                )
     if options.get("engine_opts"):
         # Validate contents against the engine that will actually run:
         # a registry engine named directly, or the core path's method.

@@ -82,6 +82,8 @@ def build_response(shard: ShardState, record: Inflight, ticket, meta,
             s=s, u=u, vt=vt, sweeps=meta.get("sweeps", 0), trace=trace,
             method=meta.get("method", ""),
             converged=meta.get("converged", True), health=health,
+            precision=meta.get("precision", "fp64"),
+            fp32_sweeps=int(meta.get("fp32_sweeps", 0)),
         )
     else:
         release_request_ticket(shard, record)

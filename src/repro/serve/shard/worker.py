@@ -134,6 +134,10 @@ def _response_meta(response) -> dict:
         "sweeps": int(result.sweeps) if result is not None else 0,
         "method": result.method if result is not None else "",
         "converged": bool(result.converged) if result is not None else True,
+        "precision": getattr(result, "precision", "fp64")
+        if result is not None else "fp64",
+        "fp32_sweeps": int(getattr(result, "fp32_sweeps", 0))
+        if result is not None else 0,
         "trace": _trace_payload(result),
         "health": health.to_dict() if health is not None else None,
         "uv": bool(result is not None and result.u is not None),

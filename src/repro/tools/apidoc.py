@@ -31,6 +31,7 @@ PUBLIC_MODULES = (
     "repro.core.modified",
     "repro.core.blocked",
     "repro.core.vectorized",
+    "repro.core.fused",
     "repro.core.block_jacobi",
     "repro.core.preconditioned",
     "repro.core.symeig",

@@ -1,13 +1,17 @@
 """Differential tests: engines vs LAPACK and vs each other.
 
-Three layers of cross-checking:
+Four layers of cross-checking:
 
 1. every registered engine against ``numpy.linalg.svd`` on
    well-conditioned inputs (relative error <= 1e-10);
-2. every *pair* of engines against each other — catches a systematic
+2. the precision-aware tolerance ladder: every (engine, precision,
+   matrix class) cell of :data:`TOLERANCE_CLASSES` executes against
+   LAPACK with its class bound — fp64 and mixed sit in the 1e-10
+   class, the fp32 tier in its documented ~1e-5 class;
+3. every *pair* of engines against each other — catches a systematic
    bias that a single LAPACK comparison with a loose tolerance could
-   mask;
-3. the vectorized engine against the scalar reference loop
+   mask (bounds routed through the same ladder);
+4. the vectorized engine against the scalar reference loop
    round-for-round on one fixed sweep: identical skip decisions,
    rotation parameters equal to the rounding of the batched dot
    products, and an identical convergence-trace schema.
@@ -31,11 +35,91 @@ from repro.core.svd import METHODS, hestenes_svd
 from repro.core.vectorized import pair_dots, vectorized_svd
 
 from tests.conftest import SEED
+from tests.core.test_engine_invariants import _matrix
 
 
 def _well_conditioned(m, n, seed_offset=0):
     rng = np.random.default_rng(SEED + seed_offset)
     return rng.standard_normal((m, n))
+
+
+# ---- precision-aware tolerance ladder ----------------------------------
+
+#: Matrix classes the ladder executes (generators live in
+#: ``test_engine_invariants._matrix`` except the well-conditioned one).
+MATRIX_CLASSES = ("well_conditioned", "tall", "wide", "rank_deficient",
+                  "graded_1e12")
+
+#: Relative singular-value error bound versus LAPACK (scaled by
+#: sigma_max) per accuracy class.  fp64 and mixed are the same class:
+#: the mixed schedule's fp64 cleanup (Newton-Schulz re-orthonormalized
+#: V, B rebuilt from the original fp64 input, fp64 finishing sweeps)
+#: restores full accuracy, and the ladder proves it on every matrix
+#: class, not just the friendly ones.  The fp32 tier is its own class:
+#: float32 rounding caps accuracy near 1e-5; the 1e-4 bound gives that
+#: class ~10x headroom without letting it drift toward single-precision
+#: failure.  Measured errors sit 4-5 orders inside the fp64/mixed
+#: bounds and 1-2 orders inside the fp32 bound.
+FP64_CLASS_BOUND = 1e-10
+FP32_CLASS_BOUND = 1e-4
+
+#: The Gram-cached engines (modified, blocked) iterate on AᵀA, which
+#: squares the condition number: on exactly rank-deficient or
+#: cond=1e12 graded spectra their cached norms drift to ~1e-9 relative
+#: error where the column-recompute engines stay at 1e-15.  That is an
+#: algorithmic property of the paper's Algorithm 1, not a bug, so
+#: those cells get their own documented class (measured ~1e-9, bound
+#: with two orders of headroom).
+GRAM_DEGENERATE_BOUND = 1e-6
+_GRAM_ENGINES = ("modified", "blocked")
+_DEGENERATE_CLASSES = ("rank_deficient", "graded_1e12")
+
+#: (method, precision, matrix class) -> bound.  Every registered engine
+#: runs the fp64 row; the reduced-precision rows exist only for the
+#: engine that declares a ``precision`` engine_opt (vectorized).  Every
+#: cell in this table has an executing test (``test_tolerance_ladder``
+#: parametrizes directly over its keys), and the pairwise-agreement
+#: bounds are routed through :func:`tolerance_for` rather than
+#: hardcoded.
+TOLERANCE_CLASSES = {
+    **{(method, "fp64", cls): FP64_CLASS_BOUND
+       for method in METHODS for cls in MATRIX_CLASSES},
+    **{(method, "fp64", cls): GRAM_DEGENERATE_BOUND
+       for method in _GRAM_ENGINES for cls in _DEGENERATE_CLASSES},
+    **{("vectorized", "mixed", cls): FP64_CLASS_BOUND
+       for cls in MATRIX_CLASSES},
+    **{("vectorized", "fp32", cls): FP32_CLASS_BOUND
+       for cls in MATRIX_CLASSES},
+}
+
+
+def tolerance_for(method: str, precision: str, matrix_class: str) -> float:
+    """Ladder lookup; raises ``KeyError`` on a cell the suite never
+    calibrated rather than inventing a bound."""
+    return TOLERANCE_CLASSES[(method, precision, matrix_class)]
+
+
+def _ladder_matrix(name: str) -> np.ndarray:
+    if name == "well_conditioned":
+        return _well_conditioned(20, 12)
+    return _matrix(name)
+
+
+@pytest.mark.parametrize(
+    "method,precision,matrix_name",
+    sorted(TOLERANCE_CLASSES),
+    ids=lambda v: v if isinstance(v, str) else None,
+)
+def test_tolerance_ladder(method, precision, matrix_name):
+    a = _ladder_matrix(matrix_name)
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    scale = max(float(s_ref[0]), np.finfo(float).tiny)
+    res = hestenes_svd(a, method=method, compute_uv=False, max_sweeps=30,
+                       precision=precision)
+    err = float(np.max(np.abs(res.s - s_ref)) / scale)
+    bound = tolerance_for(method, precision, matrix_name)
+    assert err < bound, (method, precision, matrix_name, err)
+    assert res.precision == precision
 
 
 # ---- every engine vs LAPACK --------------------------------------------
@@ -63,7 +147,26 @@ def test_engines_agree_pairwise(method_a, method_b):
     s_a = hestenes_svd(a, method=method_a, compute_uv=False, max_sweeps=20).s
     s_b = hestenes_svd(a, method=method_b, compute_uv=False, max_sweeps=20).s
     scale = max(float(s_a[0]), np.finfo(float).tiny)
-    assert np.max(np.abs(s_a - s_b)) / scale < 1e-10, (method_a, method_b)
+    # Two engines can disagree by at most the sum of their distances to
+    # the true spectrum, so the pairwise bound comes from the ladder.
+    bound = (tolerance_for(method_a, "fp64", "well_conditioned")
+             + tolerance_for(method_b, "fp64", "well_conditioned"))
+    assert np.max(np.abs(s_a - s_b)) / scale < bound, (method_a, method_b)
+
+
+@pytest.mark.parametrize("precision", ["mixed", "fp32"])
+@pytest.mark.parametrize("method", METHODS)
+def test_reduced_precision_agrees_with_every_engine(method, precision):
+    # The reduced-precision vectorized schedules against every fp64
+    # engine: same triangle-inequality bound, taken from the ladder.
+    a = _well_conditioned(20, 12, seed_offset=1)
+    s_a = hestenes_svd(a, method="vectorized", compute_uv=False,
+                       max_sweeps=30, precision=precision).s
+    s_b = hestenes_svd(a, method=method, compute_uv=False, max_sweeps=20).s
+    scale = max(float(s_b[0]), np.finfo(float).tiny)
+    bound = (tolerance_for("vectorized", precision, "well_conditioned")
+             + tolerance_for(method, "fp64", "well_conditioned"))
+    assert np.max(np.abs(s_a - s_b)) / scale < bound, (method, precision)
 
 
 # ---- vectorized vs reference, round for round --------------------------

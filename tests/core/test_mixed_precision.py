@@ -1,0 +1,203 @@
+"""Mixed-precision schedule properties: switch point, cleanup, evidence.
+
+The differential ladder (``test_differential.TOLERANCE_CLASSES``) pins
+*where* each precision tier lands; this module pins *why* it is safe:
+
+* the fp32 -> fp64 switch threshold is a performance knob, not a
+  correctness knob — sweeping it across four orders of magnitude must
+  always land in the fp64 accuracy class, because the cleanup
+  (Newton-Schulz re-orthonormalization of V, B rebuilt from the
+  original fp64 input, fp64 finishing sweeps) does not depend on how
+  converged the fp32 phase left things;
+* an input already below the switch threshold takes the
+  zero-fp32-round early exit and is bit-identical to the pure fp64
+  path;
+* reduced-precision runs carry per-tier evidence on their
+  ``HealthReport`` (fp32-phase sweep count, post-cleanup orthogonality
+  defects, reconstruction residual) and the fp64 path stays
+  evidence-free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.svd import hestenes_svd
+from repro.core.vectorized import (
+    DEFAULT_SWITCH_TOL,
+    PRECISIONS,
+    vectorized_svd,
+)
+from repro.obs.health import HealthReport
+
+from tests.conftest import SEED
+
+#: The fp64 accuracy class the cleanup must restore (same constant the
+#: differential ladder uses for fp64 and mixed cells).
+FP64_CLASS = 1e-10
+
+
+def _a(m=48, n=32, offset=0):
+    return np.random.default_rng(SEED + offset).standard_normal((m, n))
+
+
+def _lapack_err(a, s):
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    return float(np.max(np.abs(s - s_ref)) / s_ref[0])
+
+
+# ---- switch_tol is a performance knob, not a correctness knob ----------
+
+
+@pytest.mark.parametrize("switch_tol", [1e-2, 1e-3, 1e-4, 1e-5, 1e-6])
+def test_fp64_cleanup_restores_accuracy_for_any_switch_tol(switch_tol):
+    a = _a()
+    res = vectorized_svd(a, precision="mixed", switch_tol=switch_tol,
+                         criterion=ConvergenceCriterion(max_sweeps=30))
+    assert res.precision == "mixed"
+    assert _lapack_err(a, res.s) < FP64_CLASS, switch_tol
+    # Factors are fp64-class too, not just the values.
+    assert np.max(np.abs(res.vt @ res.vt.T - np.eye(res.vt.shape[0]))) < 1e-11
+    assert res.u.dtype == np.float64 and res.vt.dtype == np.float64
+
+
+def test_earlier_switch_means_fewer_fp32_sweeps():
+    # Monotone control: a looser threshold can only shorten (never
+    # lengthen) the fp32 phase on the same input.
+    a = _a(offset=1)
+    crit = ConvergenceCriterion(max_sweeps=30)
+    loose = vectorized_svd(a, precision="mixed", switch_tol=1e-1,
+                           criterion=crit)
+    tight = vectorized_svd(a, precision="mixed", switch_tol=1e-6,
+                           criterion=crit)
+    assert loose.fp32_sweeps <= tight.fp32_sweeps
+    assert tight.fp32_sweeps > 0
+
+
+# ---- zero-fp32-round early exit ----------------------------------------
+
+
+def test_already_converged_input_takes_zero_fp32_round_exit():
+    # Orthogonal-column input: the initial off-diagonal estimate is
+    # already below the switch threshold, so the mixed schedule must
+    # skip the fp32 phase entirely and run the classic fp64 loop on
+    # the untouched fp64 state — bit-identical to precision="fp64".
+    a = np.zeros((12, 8))
+    np.fill_diagonal(a, np.arange(8, 0, -1, dtype=float))
+    crit = ConvergenceCriterion(max_sweeps=10)
+    mixed = vectorized_svd(a, precision="mixed", criterion=crit)
+    fp64 = vectorized_svd(a, precision="fp64", criterion=crit)
+    assert mixed.fp32_sweeps == 0
+    assert mixed.converged
+    assert np.array_equal(mixed.s, fp64.s)
+    assert np.array_equal(mixed.u, fp64.u)
+    assert np.array_equal(mixed.vt, fp64.vt)
+    assert mixed.precision == "mixed"  # the request is still recorded
+
+
+def test_generic_input_does_use_the_fp32_phase():
+    res = vectorized_svd(_a(offset=2), precision="mixed",
+                         criterion=ConvergenceCriterion(max_sweeps=30))
+    assert res.fp32_sweeps > 0
+    assert res.sweeps > res.fp32_sweeps  # fp64 finishing sweeps ran
+
+
+# ---- option validation -------------------------------------------------
+
+
+def test_precision_choices_are_validated():
+    assert PRECISIONS == ("fp64", "mixed", "fp32")
+    with pytest.raises(ValueError, match="precision"):
+        vectorized_svd(_a(8, 6), precision="fp16")
+    with pytest.raises(ValueError):
+        vectorized_svd(_a(8, 6), precision="mixed", switch_tol=-1.0)
+
+
+def test_unsupporting_engine_rejects_reduced_precision():
+    with pytest.raises(ValueError, match="does not support reduced"):
+        hestenes_svd(_a(8, 6), method="blocked", precision="mixed")
+    with pytest.raises(ValueError, match="does not support reduced"):
+        hestenes_svd(_a(8, 6), method="reference",
+                     engine_opts={"precision": "fp32"})
+
+
+def test_switch_tol_default_is_used_when_unset():
+    assert DEFAULT_SWITCH_TOL == 1e-5
+    res = hestenes_svd(_a(offset=3), method="vectorized", precision="mixed",
+                       max_sweeps=30)
+    assert res.precision == "mixed"
+    assert _lapack_err(_a(offset=3), res.s) < FP64_CLASS
+
+
+# ---- per-tier health evidence ------------------------------------------
+
+
+def test_mixed_health_carries_per_tier_evidence():
+    a = _a(offset=4)
+    res = hestenes_svd(a, method="vectorized", precision="mixed",
+                       max_sweeps=30)
+    h = res.health
+    assert h is not None and h.ok
+    assert h.precision == "mixed"
+    assert h.fp32_sweeps == res.fp32_sweeps > 0
+    assert np.isfinite(h.u_orthogonality) and h.u_orthogonality < 1e-11
+    assert np.isfinite(h.vt_orthogonality) and h.vt_orthogonality < 1e-11
+    assert np.isfinite(h.reconstruction_residual)
+    assert h.reconstruction_residual < 1e-11
+
+
+def test_fp32_health_evidence_sits_in_its_own_class():
+    a = _a(offset=5)
+    res = hestenes_svd(a, method="vectorized", precision="fp32",
+                       max_sweeps=30)
+    h = res.health
+    assert h is not None and h.ok  # within the fp32 tier guard (1e-3)
+    assert h.precision == "fp32"
+    assert 1e-11 < h.vt_orthogonality < 1e-3
+    assert 1e-11 < h.reconstruction_residual < 1e-3
+
+
+def test_fp64_health_stays_evidence_free():
+    res = hestenes_svd(_a(offset=6), method="vectorized", max_sweeps=30)
+    h = res.health
+    assert h.precision == "fp64" and h.fp32_sweeps == 0
+    assert np.isnan(h.u_orthogonality)
+    assert np.isnan(h.vt_orthogonality)
+    assert np.isnan(h.reconstruction_residual)
+
+
+def test_unconverged_budget_run_is_not_a_guard_violation():
+    """A sweep budget too small to converge is the criterion's report
+    (``converged=False``), not a cleanup failure: under the same tight
+    default budget the fp64 path lands at the same accuracy, so the
+    tier guard must not flip ``ok`` on the mixed run alone."""
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((96, 64))
+    mixed = hestenes_svd(a, method="vectorized", precision="mixed")
+    fp64 = hestenes_svd(a, method="vectorized")
+    assert not mixed.converged and not fp64.converged  # default max_sweeps=6
+    h = mixed.health
+    assert h.ok and not h.issues
+    assert np.isfinite(h.u_orthogonality)  # evidence still recorded
+    # parity: mixed's defect is the budget's fault, not the schedule's
+    defect = lambda u: float(np.max(np.abs(u.T @ u - np.eye(u.shape[1]))))
+    assert defect(mixed.u) < 10 * max(defect(fp64.u), 1e-15)
+
+
+def test_converged_run_past_the_guard_flips_ok():
+    from repro.obs.health import health_from_result
+
+    res = hestenes_svd(_a(offset=8), method="vectorized", precision="mixed",
+                       max_sweeps=30)
+    assert res.converged and res.health.ok
+    res.u = res.u + 1e-3  # corrupt the factor: a broken cleanup would
+    report = health_from_result(res, engine="vectorized")
+    assert not report.ok
+    assert any("exceeds tier guard" in issue for issue in report.issues)
+
+
+def test_health_report_round_trips_through_dict():
+    res = hestenes_svd(_a(offset=7), method="vectorized", precision="mixed",
+                       max_sweeps=30)
+    rebuilt = HealthReport(**res.health.to_dict())
+    assert rebuilt == res.health

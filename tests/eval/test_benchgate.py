@@ -37,6 +37,8 @@ class TestSuiteDefinitions:
             "core.blocked.64",
             "core.vectorized.64",
             "core.vectorized.128",
+            "core.vectorized.256",
+            "core.vectorized_mixed.256",
             "core.preconditioned.128x64",
             "hw.estimate.512",
             "obs.span_disabled",

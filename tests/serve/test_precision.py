@@ -1,0 +1,149 @@
+"""Precision threading through the serving layer.
+
+Submit-time rejection (a worker-side failure would surface minutes
+later as a degraded or errored response), cache-key distinctness
+between precision tiers, and end-to-end mixed-precision serving with
+the per-tier health evidence on the response — through both the
+in-process micro-batching server and the multi-process shard tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.svd import hestenes_svd
+from repro.serve import SVDServer
+from repro.serve.request import make_request
+from repro.serve.shard import ShardedSVDServer
+from repro.workloads import random_matrix
+
+
+def _a(seed=11, m=24, n=16):
+    return random_matrix(m, n, seed=seed)
+
+
+# ---- submit-time validation --------------------------------------------
+
+
+class TestSubmitValidation:
+    def test_unknown_precision_value_is_a_typed_error(self):
+        with pytest.raises(ValueError, match="precision"):
+            make_request(_a(), request_id="r", engine="vectorized",
+                         precision="fp16")
+
+    def test_reduced_precision_on_unsupporting_engine_rejected(self):
+        for engine in ("blocked", "reference", "hw", "core"):
+            with pytest.raises(ValueError, match="precision"):
+                make_request(_a(), request_id="r", engine=engine,
+                             precision="mixed")
+
+    def test_core_engine_with_vectorized_method_is_accepted(self):
+        req = make_request(_a(), request_id="r", engine="core",
+                           method="vectorized", precision="mixed")
+        assert ("precision", "mixed") in req.options
+
+    def test_explicit_fp64_is_accepted_everywhere(self):
+        for engine in ("core", "blocked", "vectorized", "hw"):
+            req = make_request(_a(), request_id="r", engine=engine,
+                               precision="fp64")
+            assert ("precision", "fp64") in req.options
+
+    def test_engine_opts_precision_is_validated_too(self):
+        with pytest.raises(ValueError, match="precision"):
+            make_request(_a(), request_id="r", engine="blocked",
+                         engine_opts={"precision": "mixed"})
+
+
+# ---- cache-key distinctness --------------------------------------------
+
+
+class TestCacheKeys:
+    def test_distinct_precisions_get_distinct_cache_keys(self):
+        a = _a()
+        keys = {
+            prec: make_request(a, request_id=f"r-{prec}", engine="vectorized",
+                               precision=prec).cache_key
+            for prec in ("fp64", "mixed", "fp32")
+        }
+        assert len(set(keys.values())) == 3
+
+    def test_distinct_precisions_never_share_a_batch(self):
+        a = _a()
+        mixed = make_request(a, request_id="r1", engine="vectorized",
+                            precision="mixed")
+        fp64 = make_request(a, request_id="r2", engine="vectorized",
+                            precision="fp64")
+        assert mixed.batch_key != fp64.batch_key
+
+    def test_same_precision_same_matrix_hits_the_cache_key(self):
+        a = _a()
+        k1 = make_request(a, request_id="r1", engine="vectorized",
+                          precision="mixed").cache_key
+        k2 = make_request(a.copy(), request_id="r2", engine="vectorized",
+                          precision="mixed").cache_key
+        assert k1 == k2
+
+
+# ---- end-to-end serving ------------------------------------------------
+
+
+class TestServedMixedPrecision:
+    def test_served_mixed_matches_direct_solver_with_evidence(self):
+        a = _a(seed=21, m=48, n=32)
+        with SVDServer(default_engine="vectorized", precision="mixed",
+                       max_sweeps=30) as srv:
+            resp = srv.submit(a).result(timeout=120.0)
+        assert resp.ok, resp.error
+        direct = hestenes_svd(a, method="vectorized", precision="mixed",
+                              max_sweeps=30)
+        assert np.array_equal(resp.result.s, direct.s)
+        h = resp.health
+        assert h is not None and h.precision == "mixed"
+        assert h.fp32_sweeps > 0
+        assert np.isfinite(h.vt_orthogonality)
+        assert np.isfinite(h.reconstruction_residual)
+
+    def test_per_request_precision_override(self):
+        a = _a(seed=22)
+        with SVDServer(default_engine="vectorized") as srv:
+            fp64 = srv.submit(a).result(timeout=120.0)
+            mixed = srv.submit(a, precision="mixed").result(timeout=120.0)
+        assert fp64.ok and mixed.ok
+        assert fp64.health.precision == "fp64"
+        assert mixed.health.precision == "mixed"
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(mixed.result.s - s_ref)) / s_ref[0] < 1e-10
+
+    def test_submit_rejects_bad_precision_before_the_queue(self):
+        with SVDServer(default_engine="vectorized") as srv:
+            with pytest.raises(ValueError, match="precision"):
+                srv.submit(_a(), precision="quad")
+
+
+class TestShardedMixedPrecision:
+    def test_sharded_mixed_round_trips_with_health_evidence(self):
+        a = _a(seed=31, m=48, n=32)
+        with ShardedSVDServer(shards=1, cache_bytes=None,
+                              worker_cache_bytes=None,
+                              default_engine="vectorized",
+                              precision="mixed", max_sweeps=30) as srv:
+            resp = srv.submit(a).result(timeout=120.0)
+        assert resp.status == "ok", resp.error
+        # Within the mixed (= fp64) tolerance class of LAPACK.
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.max(np.abs(resp.result.s - s_ref)) / s_ref[0] < 1e-10
+        # The result and its per-tier evidence survived the shm pipe.
+        assert resp.result.precision == "mixed"
+        assert resp.result.fp32_sweeps > 0
+        h = resp.health
+        assert h is not None and h.precision == "mixed"
+        assert h.fp32_sweeps == resp.result.fp32_sweeps
+        assert np.isfinite(h.u_orthogonality)
+        assert np.isfinite(h.vt_orthogonality)
+        assert np.isfinite(h.reconstruction_residual)
+        assert h.ok
+
+    def test_sharded_submit_rejects_bad_precision_combination(self):
+        with ShardedSVDServer(shards=1, cache_bytes=None,
+                              worker_cache_bytes=None) as srv:
+            with pytest.raises(ValueError, match="precision"):
+                srv.submit(_a(), engine="blocked", precision="mixed")
