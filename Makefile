@@ -3,7 +3,7 @@
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
 	shard-bench shard-smoke vectorized-bench mixed-bench obs-bench \
 	bench-baseline \
-	bench-check trace-demo eval examples apidoc all
+	bench-check trace-demo slo-demo eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,10 @@ bench-check:
 trace-demo:
 	PYTHONPATH=src python -m repro trace 32 16 --serve --requests 2 \
 		--output /tmp/repro-demo.trace.json
+
+slo-demo:
+	PYTHONPATH=src python -m repro slo-report --replay --duration 1 \
+		--rate 30
 
 eval:
 	python -m repro eval

@@ -38,12 +38,24 @@ import time
 
 from repro.core.svd import hestenes_svd
 from repro.obs import NullTracer, Tracer, span, use_tracer
+from repro.obs.events import EventLog, emit, use_event_log
 from repro.obs.health import observe_result, sweep_guard
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOEngine, default_objectives
+from repro.obs.slo import observe as slo_observe
+from repro.obs.slo import use_slo_engine
 from repro.workloads import random_matrix
 
 #: Maximum tolerated disabled-path overhead on the engine hot path.
 BUDGET = 0.05
+
+#: Structured events one served request emits on the happy path
+#: (submitted, batch.dispatch, done) plus headroom for one retry/degrade.
+EVENTS_PER_REQUEST = 4
+
+#: SLO observations per served request (admission, latency, dispatch).
+SLO_PER_REQUEST = 3
 
 
 def time_disabled_scope(iterations: int) -> float:
@@ -105,6 +117,48 @@ def time_observe_result(a, iterations: int) -> float:
         return (time.perf_counter() - start) / iterations
 
 
+def time_emit(iterations: int) -> float:
+    """Seconds per structured-event :func:`~repro.obs.events.emit`.
+
+    Uses a private ring so the measurement does not pollute the
+    process-global log; the ring wraps many times, which is the
+    steady-state cost.
+    """
+    with use_event_log(EventLog(capacity=4096)):
+        start = time.perf_counter()
+        for i in range(iterations):
+            emit("bench.event", request_id="req-0", engine="blocked", seq=i)
+        return (time.perf_counter() - start) / iterations
+
+
+def time_slo_observe(iterations: int) -> float:
+    """Seconds per :func:`repro.obs.slo.observe` on the stock objectives."""
+    with use_slo_engine(SLOEngine(default_objectives())):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            slo_observe("serve.request", value=0.001)
+        return (time.perf_counter() - start) / iterations
+
+
+def time_recorder_record(iterations: int) -> float:
+    """Seconds per flight-recorder span-ring append.
+
+    This is the cost :func:`repro.obs.recorder.install_recorder` adds
+    to every *recorded* span — zero when no tracer is installed, since
+    the disabled span path never reaches the sink.
+    """
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("bench.scope"):
+            pass
+    sp = tracer.spans[0]
+    recorder = FlightRecorder(span_capacity=1024)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        recorder.record_span(sp)
+    return (time.perf_counter() - start) / iterations
+
+
 # ---- pytest-benchmark entry points ------------------------------------
 
 
@@ -153,6 +207,30 @@ def test_health_overhead_within_budget():
     assert overhead <= BUDGET, f"health+span overhead {overhead:.3%}"
 
 
+def test_full_stack_overhead_within_budget():
+    """Spans + health + events + SLO + recorder together stay inside 5%.
+
+    The third observability layer (structured events, SLO accounting,
+    always-on flight recorder) is per-*request* cost, not per-sweep, so
+    it rides on top of the per-run health budget: the whole stack must
+    still fit the same 5% envelope on one n=64 decomposition.
+    """
+    a = random_matrix(64, 64, seed=0)
+    engine_s = time_engine(a, reps=3)
+    n_spans = spans_per_run(a)
+    sweeps = hestenes_svd(a, method="blocked", compute_uv=False).sweeps
+    total = (
+        n_spans * time_disabled_scope(200_000)
+        + sweeps * time_sweep_guard(200_000)
+        + time_observe_result(a, 2_000)
+        + EVENTS_PER_REQUEST * time_emit(50_000)
+        + SLO_PER_REQUEST * time_slo_observe(50_000)
+        + n_spans * time_recorder_record(50_000)
+    )
+    overhead = total / engine_s
+    assert overhead <= BUDGET, f"full-stack overhead {overhead:.3%}"
+
+
 # ---- script mode (make obs-bench) -------------------------------------
 
 
@@ -177,10 +255,19 @@ def main(argv=None) -> int:
     null_s = time_null_tracer_scope(iters)
     guard_s = time_sweep_guard(iters)
     observe_s = time_observe_result(a, 500 if args.quick else 2_000)
+    emit_iters = 50_000 if args.quick else 200_000
+    emit_s = time_emit(emit_iters)
+    slo_s = time_slo_observe(emit_iters)
+    record_s = time_recorder_record(emit_iters)
     overhead = n_spans * disabled_s / engine_s
     null_overhead = n_spans * null_s / engine_s
     health_overhead = (
         n_spans * disabled_s + sweeps * guard_s + observe_s
+    ) / engine_s
+    full_overhead = health_overhead + (
+        EVENTS_PER_REQUEST * emit_s
+        + SLO_PER_REQUEST * slo_s
+        + n_spans * record_s
     ) / engine_s
 
     print(f"obs overhead budget check (blocked engine, n={n}):")
@@ -195,12 +282,19 @@ def main(argv=None) -> int:
           f"(finite value)")
     print(f"  observe_result cost   : {observe_s * 1e6:10.2f} us "
           f"(per run, labeled metrics)")
+    print(f"  event emit cost       : {emit_s * 1e9:10.1f} ns "
+          f"(ring append, x{EVENTS_PER_REQUEST}/request)")
+    print(f"  slo observe cost      : {slo_s * 1e9:10.1f} ns "
+          f"(stock objectives, x{SLO_PER_REQUEST}/request)")
+    print(f"  recorder append cost  : {record_s * 1e9:10.1f} ns "
+          f"(span ring, per recorded span)")
     print(f"  disabled overhead     : {overhead:10.4%} "
           f"(budget {BUDGET:.0%})")
     print(f"  null-tracer overhead  : {null_overhead:10.4%}")
     print(f"  spans+health overhead : {health_overhead:10.4%}")
+    print(f"  +events/slo/recorder  : {full_overhead:10.4%}")
     ok = (overhead <= BUDGET and null_overhead <= BUDGET
-          and health_overhead <= BUDGET)
+          and health_overhead <= BUDGET and full_overhead <= BUDGET)
     if not ok:
         print("FAIL: instrumentation overhead exceeds the 5% budget")
         return 1

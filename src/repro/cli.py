@@ -435,9 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment ids (default: all)")
     v.set_defaults(func=_cmd_eval)
 
+    from repro.cli_obs import add_obs_commands
     from repro.cli_ops import add_ops_commands
 
     add_ops_commands(sub, METHODS)
+    add_obs_commands(sub)
     return p
 
 

@@ -1,0 +1,187 @@
+"""Observability CLI commands: ``slo-report`` and ``events``.
+
+Registered into the same ``repro`` argument parser as the modelling
+and operational commands, via :func:`add_obs_commands`:
+
+* ``slo-report`` — evaluate the process-global SLO engine
+  (:func:`repro.obs.slo.get_slo_engine`): per-objective error budgets,
+  burn-rate alert states, and an overall verdict.  ``--replay`` first
+  drives a short sharded replay so the objectives have traffic to
+  judge, and attaches the replay's own deterministic scorecard
+  (:meth:`repro.workloads.driver.ReplayReport.score_slos`).
+* ``events`` — print the process-global structured event log
+  (:func:`repro.obs.events.get_event_log`) as JSONL; ``--follow``
+  streams new events live, ``--input`` reads a previously written
+  JSONL file (e.g. a log mirror or a flight-recorder bundle's event
+  stream) instead, ``--trace`` filters to one request's narrative.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["add_obs_commands"]
+
+
+def _render_slo_report(report: dict) -> None:
+    for o in report["objectives"]:
+        status = "MET " if o["met"] else "MISS"
+        thr = (f" (<= {o['threshold'] * 1e3:g} ms)"
+               if o.get("threshold") is not None else "")
+        print(f"[{status}] {o['name']}: target {o['target']:.3%}{thr} "
+              f"over {o['window_s']:g} s")
+        print(f"       {o['total']} samples, good {o['good_fraction']:.3%}, "
+              f"budget consumed {o['budget_consumed']:.1%} "
+              f"(remaining {o['budget_remaining']:.1%})")
+        if "p99" in o:
+            print(f"       p50 {o['p50'] * 1e3:.2f} ms   "
+                  f"p99 {o['p99'] * 1e3:.2f} ms   "
+                  f"p999 {o['p999'] * 1e3:.2f} ms")
+        for a in o["alerts"]:
+            if a["firing"]:
+                print(f"       ALERT[{a['pair']}] burn rate "
+                      f"{a['short_burn_rate']:.1f}x / "
+                      f"{a['long_burn_rate']:.1f}x >= {a['factor']:g}x")
+    print(f"overall: {'ok' if report['ok'] else 'VIOLATION'} "
+          f"({len(report['firing_alerts'])} alert(s) firing)")
+
+
+def _cmd_slo_report(args) -> int:
+    from repro.obs.slo import get_slo_engine
+
+    replay_report = None
+    if args.replay:
+        from repro.serve.shard import ShardedSVDServer
+        from repro.workloads import (
+            poisson_arrivals,
+            random_matrix,
+            replay_arrivals,
+        )
+
+        info = sys.stderr if args.json else sys.stdout
+        matrices = [random_matrix(args.rows, args.cols, seed=args.seed + i)
+                    for i in range(4)]
+        arrivals = poisson_arrivals(args.rate, args.duration, seed=args.seed)
+        print(f"slo-report: replaying {len(arrivals)} poisson arrivals over "
+              f"{args.duration:g} s across {args.shards} shard worker(s)",
+              file=info)
+        with ShardedSVDServer(shards=args.shards, compute_uv=False) as srv:
+            replay_report = replay_arrivals(srv, matrices, arrivals)
+    report = get_slo_engine().report()
+    if replay_report is not None:
+        report["replay"] = replay_report.summary()
+        report["replay_scorecard"] = replay_report.score_slos()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    _render_slo_report(report)
+    if replay_report is not None:
+        card = report["replay_scorecard"]
+        print("replay scorecard (this replay only):")
+        _render_slo_report(card)
+    return 0
+
+
+def _cmd_events(args) -> int:
+    import queue
+
+    from repro.obs.events import get_event_log, read_jsonl
+
+    def matches(ev) -> bool:
+        return not args.trace or ev.trace_id == args.trace
+
+    def show(ev) -> None:
+        print(json.dumps(ev.to_dict(), sort_keys=True), flush=True)
+
+    if args.input:
+        for ev in read_jsonl(args.input):
+            if matches(ev):
+                show(ev)
+        return 0
+    log = get_event_log()
+    if log is None:
+        print("no process event log installed", file=sys.stderr)
+        return 1
+    stream: queue.Queue | None = None
+    if args.follow:
+        stream = queue.Queue()
+        log.subscribe(stream.put)
+    shown = set()
+    if args.demo:
+        from repro.serve import SVDServer
+        from repro.workloads import random_matrix
+
+        with SVDServer(workers=2) as srv:
+            handles = srv.submit_many(
+                [random_matrix(16, 8, seed=i) for i in range(4)],
+                compute_uv=False)
+            for handle in handles:
+                handle.result(timeout=60.0)
+    for ev in log.events():
+        if matches(ev):
+            show(ev)
+            shown.add(id(ev))
+    if stream is None:
+        return 0
+    import time as _time
+
+    deadline = (_time.monotonic() + args.follow_s
+                if args.follow_s is not None else None)
+    try:
+        while True:
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - _time.monotonic()
+                if timeout <= 0:
+                    break
+            try:
+                ev = stream.get(timeout=timeout)
+            except queue.Empty:
+                break
+            if matches(ev) and id(ev) not in shown:
+                show(ev)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        log.unsubscribe(stream.put)
+    return 0
+
+
+def add_obs_commands(sub) -> None:
+    """Register the observability subcommands on an argparse subparsers."""
+    sr = sub.add_parser("slo-report",
+                        help="evaluate the serving SLOs (error budgets, "
+                             "burn-rate alerts)")
+    sr.add_argument("--replay", action="store_true",
+                    help="drive a short sharded replay first so the "
+                         "objectives have traffic to judge")
+    sr.add_argument("--shards", type=int, default=2)
+    sr.add_argument("--rate", type=float, default=40.0,
+                    help="replay poisson arrival rate [req/s]")
+    sr.add_argument("--duration", type=float, default=1.0,
+                    help="replay load window [s]")
+    sr.add_argument("--rows", type=int, default=24)
+    sr.add_argument("--cols", type=int, default=12)
+    sr.add_argument("--seed", type=int, default=0)
+    sr.add_argument("--json", action="store_true",
+                    help="emit the full report (and replay scorecard) "
+                         "as JSON on stdout")
+    sr.set_defaults(func=_cmd_slo_report)
+
+    ev = sub.add_parser("events",
+                        help="print the structured event log as JSONL")
+    ev.add_argument("--follow", action="store_true",
+                    help="stream new events live (Ctrl-C to stop)")
+    ev.add_argument("--follow-s", type=float, default=None, metavar="S",
+                    help="with --follow: stop after S seconds instead "
+                         "of waiting for Ctrl-C")
+    ev.add_argument("--trace", default=None, metavar="TRACE_ID",
+                    help="only events carrying this trace id")
+    ev.add_argument("--input", default=None, metavar="FILE",
+                    help="read a JSONL event file (e.g. a log mirror) "
+                         "instead of the in-process log")
+    ev.add_argument("--demo", action="store_true",
+                    help="run a small serving workload first so the log "
+                         "has content")
+    ev.set_defaults(func=_cmd_events)

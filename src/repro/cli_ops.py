@@ -20,6 +20,8 @@ commands) and registered into the same ``repro`` argument parser via
   :mod:`repro.eval.benchgate` and gate against the committed
   ``BENCH_CORE.json`` / ``BENCH_SERVE.json`` baselines (``--update``
   rewrites them; ``--inject-slowdown`` is the self-test hook).
+The observability commands (``slo-report``, ``events``) live in
+:mod:`repro.cli_obs`.
 """
 
 from __future__ import annotations

@@ -44,12 +44,33 @@ Example
 True
 """
 
+from repro.obs.events import (
+    Event,
+    EventLog,
+    emit,
+    get_event_log,
+    use_event_log,
+)
+from repro.obs.events import context as event_context
 from repro.obs.exporters import (
     chrome_trace_events,
     metrics_to_prometheus,
     render_span_tree,
     to_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    get_recorder,
+    trigger_dump,
+    use_recorder,
+)
+from repro.obs.slo import (
+    SLO,
+    SLOEngine,
+    default_objectives,
+    get_slo_engine,
+    use_slo_engine,
 )
 from repro.obs.health import (
     HealthError,
@@ -73,6 +94,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     Tracer,
+    current_span,
     current_tracer,
     noop_span,
     round_detail,
@@ -83,6 +105,9 @@ from repro.obs.tracer import (
 __all__ = [
     "Counter",
     "DETAIL_LEVELS",
+    "Event",
+    "EventLog",
+    "FlightRecorder",
     "Gauge",
     "HealthError",
     "HealthReport",
@@ -90,12 +115,21 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "NullTracer",
+    "SLO",
+    "SLOEngine",
     "Span",
     "Tracer",
     "chrome_trace_events",
+    "current_span",
     "current_tracer",
+    "default_objectives",
+    "emit",
+    "event_context",
     "fail_fast",
+    "get_event_log",
+    "get_recorder",
     "get_registry",
+    "get_slo_engine",
     "health_from_result",
     "metrics_to_prometheus",
     "noop_span",
@@ -105,7 +139,11 @@ __all__ = [
     "set_registry",
     "span",
     "to_chrome_trace",
+    "trigger_dump",
+    "use_event_log",
+    "use_recorder",
     "use_registry",
+    "use_slo_engine",
     "use_tracer",
     "write_chrome_trace",
 ]

@@ -1,0 +1,354 @@
+"""Structured event log: correlated, greppable JSONL serving narrative.
+
+Spans answer *how long*; metrics answer *how many*; this module answers
+*what happened*.  Every interesting transition in the serving stack —
+request admitted, batch dispatched, engine degraded, shard saturated,
+worker died, request re-queued, health guard tripped — is recorded as
+one structured event: a name, a wall-clock timestamp, and a flat field
+dict.  Events are automatically stamped with the ambient trace id and
+span id (when a tracer is installed) plus any fields set by the
+enclosing :func:`context` scopes (shard id, request id, engine), so a
+single ``grep trace_id=req-17`` over the JSONL dump reconstructs the
+full life of one request across threads *and* processes.
+
+Design constraints mirror the tracer's:
+
+* **Zero dependency, bounded memory.**  The log is a ring buffer
+  (``collections.deque(maxlen=...)``); sustained traffic cannot grow
+  it.  An optional JSONL mirror file streams events to disk for
+  ``repro events --follow``.
+* **Cheap emit.**  :func:`emit` is one global read, one dict build,
+  and one deque append; its cost is measured by
+  ``benchmarks/bench_obs.py`` and charged against the <= 5%
+  observability overhead budget.
+* **Cross-process survival.**  Shard workers collect their events per
+  trace id and ship them back over the control-plane pipe; the parent
+  re-emits them (see :func:`replay`) with the shard id attached, so
+  the parent's log holds the whole story even after the worker died.
+
+Example
+-------
+>>> from repro.obs.events import EventLog, use_event_log
+>>> log = EventLog(capacity=16)
+>>> with use_event_log(log):
+...     from repro.obs.events import emit
+...     _ = emit("demo.start", answer=42)
+>>> log.events()[0].name
+'demo.start'
+>>> log.events()[0].fields["answer"]
+42
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs.tracer import current_span
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "context",
+    "current_context",
+    "emit",
+    "get_event_log",
+    "read_jsonl",
+    "replay",
+    "set_event_log",
+    "use_event_log",
+]
+
+_context_var: ContextVar[dict | None] = ContextVar(
+    "repro_obs_event_context", default=None
+)
+
+
+class Event:
+    """One structured log record: name, wall-clock time, flat fields."""
+
+    __slots__ = ("name", "time", "fields")
+
+    def __init__(self, name: str, time: float, fields: dict) -> None:
+        self.name = name
+        self.time = time
+        self.fields = fields
+
+    @property
+    def trace_id(self):
+        """The correlation id stamped on this event (None when absent)."""
+        return self.fields.get("trace_id")
+
+    def to_dict(self) -> dict:
+        """Plain-dict wire form (JSONL line, control-plane pipe)."""
+        return {"name": self.name, "time": self.time, **self.fields}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        fields = {k: v for k, v in data.items() if k not in ("name", "time")}
+        return cls(str(data.get("name", "")), float(data.get("time", 0.0)),
+                   fields)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"Event({self.name!r}, t={self.time:.6f}, {pairs})"
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class EventLog:
+    """Bounded, thread-safe ring of :class:`Event` records.
+
+    Parameters
+    ----------
+    capacity : int
+        Ring size; the oldest events fall off under sustained traffic.
+    clock : callable
+        Wall-clock source (``time.time``); wall time is deliberate —
+        events cross process boundaries and outlive post-mortems, so
+        they need an absolute timeline, unlike span perf-counters.
+    path : str, optional
+        Mirror every event to this JSONL file (line-buffered append),
+        the feed for ``repro events --follow``.
+    """
+
+    def __init__(self, capacity: int = 4096, *, clock=time.time,
+                 path=None) -> None:
+        self.capacity = int(capacity)
+        self._ring: deque[Event] = deque(maxlen=self.capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._subscribers: list = []
+        self._fh = open(path, "a", buffering=1, encoding="utf-8") \
+            if path else None
+        self.path = str(path) if path else None
+
+    # ---- recording ------------------------------------------------------
+
+    def emit(self, name: str, **fields) -> Event:
+        """Record one event; returns it (stamped, appended, fanned out)."""
+        event = Event(name, self._clock(), fields)
+        self.record(event)
+        return event
+
+    def record(self, event: Event) -> None:
+        """Append an already-built event and notify subscribers."""
+        with self._lock:
+            self._ring.append(event)
+            subscribers = list(self._subscribers)
+            fh = self._fh
+        if fh is not None:
+            try:
+                fh.write(json.dumps(
+                    {k: _jsonable(v) for k, v in event.to_dict().items()},
+                    sort_keys=True) + "\n")
+            except (OSError, ValueError):
+                pass
+        for fn in subscribers:
+            try:
+                fn(event)
+            except Exception:
+                pass  # a broken subscriber must never break the emitter
+
+    def subscribe(self, fn) -> None:
+        """Call ``fn(event)`` on every future :meth:`record`."""
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        """Remove a subscriber (no-op when absent)."""
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+    # ---- inspection -----------------------------------------------------
+
+    def events(self) -> list[Event]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def find(self, name: str | None = None, *, trace_id=None,
+             **fields) -> list[Event]:
+        """Events matching a name and/or exact field values."""
+        out = []
+        for ev in self.events():
+            if name is not None and ev.name != name:
+                continue
+            if trace_id is not None and ev.trace_id != trace_id:
+                continue
+            if any(ev.fields.get(k) != v for k, v in fields.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def clear(self) -> None:
+        """Drop every buffered event (the mirror file is untouched)."""
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # ---- serialization --------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """Every buffered event in wire form, oldest first."""
+        return [ev.to_dict() for ev in self.events()]
+
+    def write_jsonl(self, path) -> str:
+        """Dump the buffered events as JSONL; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for ev in self.events():
+                fh.write(json.dumps(
+                    {k: _jsonable(v) for k, v in ev.to_dict().items()},
+                    sort_keys=True) + "\n")
+        return str(path)
+
+    def close(self) -> None:
+        """Close the JSONL mirror file, when one is open."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+
+def read_jsonl(path) -> list[Event]:
+    """Parse a JSONL event file back into :class:`Event` records.
+
+    Blank and malformed lines are skipped, so a file truncated by a
+    crash (the exact situation post-mortems care about) still loads.
+    """
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(Event.from_dict(json.loads(line)))
+            except (ValueError, TypeError):
+                continue
+    return out
+
+
+# ---- ambient context -----------------------------------------------------
+
+
+@contextmanager
+def context(**fields):
+    """Stamp *fields* on every event emitted inside the ``with`` block.
+
+    Scopes nest and merge (inner values win); installation is
+    context-local, so concurrent request threads keep separate field
+    sets.  The serving layer uses this for trace id, request id,
+    engine, and shard id, which is how executor-level events deep in
+    the retry/degradation path stay correlated with their request.
+    """
+    merged = {**(_context_var.get() or {}), **fields}
+    token = _context_var.set(merged)
+    try:
+        yield merged
+    finally:
+        _context_var.reset(token)
+
+
+def current_context() -> dict:
+    """The ambient event fields in effect (empty dict when none)."""
+    return dict(_context_var.get() or {})
+
+
+# ---- the process-wide default log ----------------------------------------
+
+_LOG: EventLog | None = EventLog()
+
+
+def get_event_log() -> EventLog | None:
+    """The process-wide default event log (None when disabled)."""
+    return _LOG
+
+
+def set_event_log(log: EventLog | None) -> EventLog | None:
+    """Replace the global log (None disables emit); returns the previous."""
+    global _LOG
+    previous, _LOG = _LOG, log
+    return previous
+
+
+@contextmanager
+def use_event_log(log: EventLog | None):
+    """Install *log* as the global default for a ``with`` block.
+
+    Process-global, like :func:`repro.obs.metrics.use_registry`:
+    intended for tests and scoped capture, not concurrent per-thread
+    logs.
+    """
+    previous = set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)
+
+
+def emit(name: str, **fields) -> Event | None:
+    """Emit one event on the global log (no-op when the log is None).
+
+    Field precedence, lowest to highest: ambient tracer span (trace id
+    and span id), the enclosing :func:`context` scopes, then explicit
+    keyword fields — so instrumented code can always override the
+    ambient stamps.
+    """
+    log = _LOG
+    if log is None:
+        return None
+    ambient = _context_var.get()
+    sp = current_span()
+    if sp is not None and getattr(sp, "trace_id", None) is not None:
+        stamped = {"trace_id": sp.trace_id, "span_id": sp.span_id}
+        if ambient:
+            stamped.update(ambient)
+        stamped.update(fields)
+    elif ambient:
+        stamped = {**ambient, **fields}
+    else:
+        stamped = fields
+    return log.emit(name, **stamped)
+
+
+def replay(events, log: EventLog | None = None, **extra) -> int:
+    """Re-record already-built events (wire dicts or :class:`Event`).
+
+    Used by the shard router to merge a worker's shipped events into
+    the parent log; *extra* fields (e.g. ``shard=3``) are stamped onto
+    each replayed event without overwriting fields it already has.
+    Returns the number of events recorded.
+    """
+    log = log if log is not None else _LOG
+    if log is None:
+        return 0
+    n = 0
+    for ev in events or ():
+        if isinstance(ev, dict):
+            ev = Event.from_dict(ev)
+        if extra:
+            merged = {**extra, **ev.fields}
+            ev = Event(ev.name, ev.time, merged)
+        log.record(ev)
+        n += 1
+    return n

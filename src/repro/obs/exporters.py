@@ -9,9 +9,9 @@ Three output formats, all dependency-free:
   can be filtered.
 * :func:`render_span_tree` — an indented text rendering of the span
   forest for terminals and test output.
-* :func:`metrics_to_prometheus` — a flat Prometheus-style exposition of
-  a :class:`repro.serve.metrics.MetricsRegistry` snapshot (counters,
-  gauges, histogram count/sum/quantiles).
+* :func:`metrics_to_prometheus` — Prometheus text exposition of a
+  :class:`repro.serve.metrics.MetricsRegistry` (counters, gauges, and
+  standard cumulative-bucket histograms with ``_sum``/``_count``).
 """
 
 from __future__ import annotations
@@ -153,19 +153,25 @@ def _label_pairs(labels: dict, extra: dict | None = None) -> str:
     return "{" + inner + "}"
 
 
-_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+def _format_le(bound: float) -> str:
+    """Render a bucket upper bound as Prometheus renders it."""
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"
 
 
 def metrics_to_prometheus(registry) -> str:
     """Prometheus text exposition of a MetricsRegistry.
 
     Counters render as ``repro_<name>[{labels}] <value>``; gauges
-    likewise; histograms expand to ``_count`` / ``_sum`` plus one
-    ``{quantile="..."}`` sample per tracked quantile — the conventional
-    summary-metric shape, computed over the registry's bounded
-    reservoir.  Labeled instrument families emit one sample line per
-    child, sharing a single ``# TYPE`` (and, when declared, ``# HELP``)
-    header; registries attached as collectors are included under their
+    likewise; histograms expand to the standard cumulative shape —
+    one ``_bucket{le="..."}`` line per bound (each count includes every
+    smaller bucket, ending in ``le="+Inf"`` equal to the total count)
+    plus ``_sum`` and ``_count``, under a ``# TYPE ... histogram``
+    header, so ``histogram_quantile()`` works on the scrape.  Labeled
+    instrument families emit one sample line per child, sharing a
+    single ``# TYPE`` (and, when declared, ``# HELP``) header;
+    registries attached as collectors are included under their
     ``<collector>.`` prefix.
     """
     collect = getattr(registry, "collect", None)
@@ -177,21 +183,24 @@ def metrics_to_prometheus(registry) -> str:
         metric = _metric_name(fam["name"])
         if fam.get("help"):
             lines.append(f"# HELP {metric} {fam['help']}")
-        kind = "summary" if fam["kind"] == "histogram" else fam["kind"]
-        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"# TYPE {metric} {fam['kind']}")
         for labels, value in fam["samples"]:
             if fam["kind"] == "histogram":
-                for key, q in _QUANTILES:
+                buckets = value.get("buckets") or [
+                    (float("inf"), value["count"])
+                ]
+                for bound, cum in buckets:
                     lines.append(
-                        f"{metric}{_label_pairs(labels, {'quantile': q})} "
-                        f"{value[key]:g}"
+                        f"{metric}_bucket"
+                        f"{_label_pairs(labels, {'le': _format_le(bound)})} "
+                        f"{cum}"
                     )
+                total = value.get("sum", value["mean"] * value["count"])
                 lines.append(
-                    f"{metric}_count{_label_pairs(labels)} {value['count']}"
+                    f"{metric}_sum{_label_pairs(labels)} {total:g}"
                 )
                 lines.append(
-                    f"{metric}_sum{_label_pairs(labels)} "
-                    f"{value['mean'] * value['count']:g}"
+                    f"{metric}_count{_label_pairs(labels)} {value['count']}"
                 )
             elif fam["kind"] == "counter":
                 lines.append(f"{metric}{_label_pairs(labels)} {value}")

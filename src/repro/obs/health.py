@@ -38,7 +38,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.events import emit
 from repro.obs.metrics import get_registry
+from repro.obs.recorder import trigger_dump
+from repro.obs.slo import observe as slo_observe
 
 __all__ = [
     "HealthError",
@@ -340,13 +343,20 @@ def observe_result(result, *, engine: str = "", matrix=None):
                 reg.histogram(
                     metric_name, help=help_text, labelnames=_TIER_LABEL,
                 ).labels(**tier).observe(value)
+    slo_observe("engine.health", good=report.ok)
     if not report.ok:
         reg.counter(
             "engine_health_violations",
             help="runs with non-finite outputs or metrics",
             labelnames=_ENGINE_LABEL,
         ).labels(**labels).inc()
+        emit("engine.health.violation", engine=report.engine,
+             precision=report.precision, issues="; ".join(report.issues))
         if _fail_fast:
+            trigger_dump(
+                "health.error", engine=report.engine,
+                precision=report.precision, issues=list(report.issues),
+            )
             raise HealthError(
                 f"health check failed for engine "
                 f"{report.engine!r}: {'; '.join(report.issues)}",
@@ -373,7 +383,12 @@ def sweep_guard(engine: str, sweep: int, value: float) -> None:
         help="sweeps whose convergence metric went NaN/Inf",
         labelnames=_ENGINE_LABEL,
     ).labels(engine=engine or "unknown").inc()
+    emit("engine.health.guard_trip", engine=engine or "unknown",
+         sweep=sweep, value=repr(value))
+    slo_observe("engine.health", good=False)
     if _fail_fast:
+        trigger_dump("health.error", engine=engine or "unknown",
+                     sweep=sweep, value=repr(value))
         raise HealthError(
             f"non-finite convergence metric ({value!r}) in engine "
             f"{engine!r} at sweep {sweep}"

@@ -1,0 +1,271 @@
+"""The three metric instrument kinds: counter, gauge, histogram.
+
+Split out of :mod:`repro.obs.metrics` (which re-exports everything
+here, so callers keep importing from there): this module owns the
+instrument/family machinery — labeled children, thread-safe updates,
+the histogram's reservoir quantiles and Prometheus-style cumulative
+buckets — while the registry, collectors, and the process-wide default
+live in :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+__all__ = ["Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram"]
+
+
+def _check_labels(name: str, labelnames: tuple, labels: dict) -> tuple:
+    """Validate a ``labels(...)`` call against the declared label names."""
+    if not labelnames:
+        raise ValueError(
+            f"{name} was declared without labels; call inc/set/observe "
+            f"directly"
+        )
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"{name} expects labels {labelnames}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[ln]) for ln in labelnames)
+
+
+def _label_suffix(labels: dict) -> str:
+    """Render bound labels as ``{k="v",...}`` (empty for unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared family/child machinery for the three instrument kinds."""
+
+    __slots__ = ("name", "help", "labelnames", "labels_bound", "_children",
+                 "_lock", "__weakref__")
+
+    def __init__(self, name: str, *, help: str = "", labelnames=()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.labels_bound: dict = {}
+        self._children: dict[tuple, "_Instrument"] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> "_Instrument":
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The child instrument bound to these label values (cached)."""
+        key = _check_labels(self.name, self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                child.labels_bound = dict(zip(self.labelnames, key))
+                self._children[key] = child
+            return child
+
+    def children(self) -> list:
+        """Snapshot of ``(bound-label-dict, child)`` pairs, sorted."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [(child.labels_bound, child) for _, child in items]
+
+    def _require_unlabeled(self, op: str) -> None:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is a labeled family ({self.labelnames}); "
+                f"call .labels(...).{op}"
+            )
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally labeled."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, *, help: str = "", labelnames=()) -> None:
+        super().__init__(name, help=help, labelnames=labelnames)
+        self._value = 0
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, help=self.help)
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0)."""
+        self._require_unlabeled("inc()")
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count (sum over all children for a labeled family)."""
+        if self.labelnames:
+            return sum(child.value for _, child in self.children())
+        return self._value
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (queue depth, in-flight requests, ...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, *, help: str = "", labelnames=()) -> None:
+        super().__init__(name, help=help, labelnames=labelnames)
+        self._value = 0.0
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, help=self.help)
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self._require_unlabeled("set()")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by *amount* (may be negative)."""
+        self._require_unlabeled("inc()")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current value (sum over all children for a labeled family)."""
+        if self.labelnames:
+            return sum(child.value for _, child in self.children())
+        return self._value
+
+
+#: Default histogram bucket ladder: a 1-2.5-5 log scale from 1 µs to
+#: 5000 (seconds-latency and small-count friendly); values beyond the
+#: last bound land in the implicit ``+Inf`` bucket.
+DEFAULT_BUCKETS = tuple(
+    m * (10.0 ** e) for e in range(-6, 4) for m in (1.0, 2.5, 5.0)
+)
+
+
+class Histogram(_Instrument):
+    """Distribution of observations with reservoir-backed quantiles.
+
+    Exact ``count``/``sum``/``min``/``max`` over the full stream; the
+    quantiles are **linear-interpolated** over the most recent *window*
+    observations (so e.g. the p99 of a small reservoir falls between
+    the two largest samples instead of snapping to the max, as a
+    nearest-rank estimate would).  Alongside the reservoir every
+    observation lands in one of the fixed *buckets* (Prometheus
+    cumulative-``le`` semantics at exposition time), so the exporter
+    can emit standard ``_bucket{le=...}`` lines over the full stream
+    rather than quantiles over the window.
+    """
+
+    __slots__ = ("window", "_recent", "_count", "_sum", "_min", "_max",
+                 "_bounds", "_bucket_counts")
+
+    def __init__(self, name: str, window: int = 2048, *, help: str = "",
+                 labelnames=(), buckets=None) -> None:
+        super().__init__(name, help=help, labelnames=labelnames)
+        self.window = int(window)
+        self._recent: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._bounds = tuple(sorted(
+            float(b) for b in (DEFAULT_BUCKETS if buckets is None else buckets)
+        ))
+        self._bucket_counts = [0] * (len(self._bounds) + 1)
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.window, help=self.help,
+                         buckets=self._bounds)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._require_unlabeled("observe()")
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
+            self._recent.append(value)
+            if len(self._recent) > self.window:
+                del self._recent[: len(self._recent) - self.window]
+
+    @property
+    def count(self) -> int:
+        """Observations recorded (summed over children when labeled)."""
+        if self.labelnames:
+            return sum(child.count for _, child in self.children())
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean over the full stream (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the recent window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            data = sorted(self._recent)
+        if not data:
+            return 0.0
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    @property
+    def stream_sum(self) -> float:
+        """Sum over the full stream (summed over children when labeled)."""
+        if self.labelnames:
+            return sum(child.stream_sum for _, child in self.children())
+        return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs.
+
+        The last pair's bound is ``math.inf`` (the ``+Inf`` bucket), so
+        its count always equals the stream count.  A labeled family
+        returns the element-wise sum over its children (which all share
+        the family's bounds).
+        """
+        if self.labelnames:
+            counts = [0] * (len(self._bounds) + 1)
+            for _, child in self.children():
+                for i, c in enumerate(child._bucket_counts):
+                    counts[i] += c
+        else:
+            with self._lock:
+                counts = list(self._bucket_counts)
+        out = []
+        running = 0
+        for bound, c in zip(self._bounds, counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + counts[-1]))
+        return out
+
+    def summary(self) -> dict:
+        """count/mean/min/max plus p50/p95/p99."""
+        with self._lock:
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }

@@ -1,0 +1,263 @@
+"""Always-on flight recorder: bounded recent history + crash dumps.
+
+Post-mortems of shard worker deaths and ``HealthError`` trips used to
+depend on whatever the user happened to be tracing when it went wrong.
+The flight recorder removes the luck: it is *always on*, keeps a
+bounded ring of recent span summaries (fed by the tracer's span sink)
+alongside the structured event log's ring, and on a trigger —
+``HealthError``, worker death, an unhandled serve exception, a failed
+tier-1 test — assembles one self-contained post-mortem JSON bundle:
+
+* the recent **events** (the narrative: what the router decided, what
+  degraded, who died),
+* the recent **span summaries** (the timings behind the narrative),
+* a **metrics snapshot** of the global registry (the counters at the
+  moment of death), and
+* the **SLO report** (whether the objectives were already burning).
+
+Overhead discipline: with no tracer installed the span feed costs
+nothing (the disabled span path never reaches the sink); the event
+ring is the event log's own (no second copy); metrics/SLO state is
+read only at dump time.  ``benchmarks/bench_obs.py`` charges the
+per-span sink cost against the <= 5% observability budget.
+
+Dumps land as files only when a directory is configured (constructor
+argument or the ``REPRO_POSTMORTEM_DIR`` environment variable — CI
+sets the latter and uploads the bundles as artifacts on failure);
+otherwise the bundle stays in memory as ``recorder.last_bundle``.
+Repeated triggers for the same reason are throttled (default 30 s) so
+a crash loop produces a few bundles, not thousands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+from repro.obs import events as _events
+from repro.obs import slo as _slo
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import set_span_sink
+
+__all__ = [
+    "FlightRecorder",
+    "get_recorder",
+    "install_recorder",
+    "set_recorder",
+    "trigger_dump",
+    "use_recorder",
+]
+
+
+def _span_summary(sp) -> dict:
+    """The compact per-span record the ring keeps (not the full span)."""
+    out = {
+        "name": sp.name,
+        "trace_id": sp.trace_id,
+        "span_id": sp.span_id,
+        "parent_id": sp.parent_id,
+        "start": sp.start,
+        "duration": sp.duration,
+    }
+    err = sp.attrs.get("error")
+    if err is not None:
+        out["error"] = err
+    return out
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class FlightRecorder:
+    """Bounded recent-history keeper and post-mortem bundle writer.
+
+    Parameters
+    ----------
+    span_capacity : int
+        Ring size for span summaries.
+    dump_dir : str, optional
+        Where post-mortem bundles are written; falls back to the
+        ``REPRO_POSTMORTEM_DIR`` environment variable.  With neither
+        set, :meth:`dump` only keeps the bundle in memory.
+    throttle_s : float
+        Minimum seconds between dumps for the *same* reason.
+    clock : callable
+        Wall-clock source (injectable for tests).
+    """
+
+    def __init__(self, *, span_capacity: int = 1024, dump_dir=None,
+                 throttle_s: float = 30.0, clock=time.time) -> None:
+        self.span_capacity = int(span_capacity)
+        self._spans: deque = deque(maxlen=self.span_capacity)
+        self._dump_dir = dump_dir
+        self.throttle_s = float(throttle_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_dump: dict[str, float] = {}
+        self._seq = 0
+        self.last_bundle: dict | None = None
+
+    # ---- feeds ----------------------------------------------------------
+
+    def record_span(self, sp) -> None:
+        """Span-sink callback: keep a compact summary of a finished span."""
+        summary = _span_summary(sp)
+        with self._lock:
+            self._spans.append(summary)
+
+    def spans(self) -> list[dict]:
+        """Snapshot of the span-summary ring, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop the span ring and throttle state (for tests)."""
+        with self._lock:
+            self._spans.clear()
+            self._last_dump.clear()
+            self.last_bundle = None
+
+    # ---- dumping --------------------------------------------------------
+
+    @property
+    def dump_dir(self):
+        """The effective dump directory (ctor arg wins over the env)."""
+        if self._dump_dir:
+            return str(self._dump_dir)
+        env = os.environ.get("REPRO_POSTMORTEM_DIR", "").strip()
+        return env or None
+
+    def bundle(self, reason: str, **info) -> dict:
+        """Assemble the post-mortem bundle dict (no file, no throttle)."""
+        log = _events.get_event_log()
+        engine = _slo.get_slo_engine()
+        try:
+            metrics = get_registry().snapshot()
+        except Exception:
+            metrics = {"error": "metrics snapshot failed"}
+        try:
+            slo_report = engine.report() if engine is not None else None
+        except Exception:
+            slo_report = {"error": "slo report failed"}
+        return {
+            "reason": reason,
+            "time": self._clock(),
+            "info": _jsonable(info),
+            "events": log.to_dicts() if log is not None else [],
+            "spans": self.spans(),
+            "metrics": metrics,
+            "slo": slo_report,
+        }
+
+    def dump(self, reason: str, *, force: bool = False, **info):
+        """Assemble a bundle and (when configured) write it to disk.
+
+        Returns the written path, or None when throttled / no dump dir
+        (the bundle is still kept as :attr:`last_bundle` unless
+        throttled).  Never raises — a post-mortem failure must not
+        mask the original crash.
+        """
+        now = self._clock()
+        with self._lock:
+            last = self._last_dump.get(reason)
+            if not force and last is not None \
+                    and now - last < self.throttle_s:
+                return None
+            self._last_dump[reason] = now
+            self._seq += 1
+            seq = self._seq
+        try:
+            bundle = self.bundle(reason, **info)
+        except Exception:
+            return None
+        self.last_bundle = bundle
+        directory = self.dump_dir
+        if not directory:
+            return None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            safe = "".join(c if c.isalnum() or c in "-_." else "-"
+                           for c in reason)
+            path = os.path.join(
+                directory, f"postmortem-{safe}-{os.getpid()}-{seq}.json"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(_jsonable(bundle), fh, indent=2, sort_keys=True)
+            bundle["path"] = path
+            return path
+        except Exception:
+            return None
+
+
+# ---- the process-wide default recorder -----------------------------------
+
+_RECORDER: FlightRecorder | None = FlightRecorder()
+
+
+def get_recorder() -> FlightRecorder | None:
+    """The process-wide flight recorder (None when disabled)."""
+    return _RECORDER
+
+
+def set_recorder(recorder: FlightRecorder | None) -> FlightRecorder | None:
+    """Replace the global recorder (None disables); returns the previous.
+
+    The tracer span sink is re-pointed at the new recorder (or
+    uninstalled for None).
+    """
+    global _RECORDER
+    previous, _RECORDER = _RECORDER, recorder
+    set_span_sink(recorder.record_span if recorder is not None else None)
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: FlightRecorder | None):
+    """Install *recorder* as the global default for a ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def install_recorder() -> FlightRecorder:
+    """(Re)connect the global recorder's span feed; returns it.
+
+    Idempotent; called at import so the recorder is always on.
+    """
+    global _RECORDER
+    if _RECORDER is None:
+        _RECORDER = FlightRecorder()
+    set_span_sink(_RECORDER.record_span)
+    return _RECORDER
+
+
+def trigger_dump(reason: str, **info):
+    """Dump the global recorder (no-op when disabled); returns the path.
+
+    The crash-path hook: :mod:`repro.obs.health` calls it before
+    raising ``HealthError``, the shard router on worker death, the
+    server on unhandled batch exceptions.  Never raises.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return None
+    try:
+        return recorder.dump(reason, **info)
+    except Exception:
+        return None
+
+
+install_recorder()

@@ -1,0 +1,392 @@
+"""Declarative SLOs: rolling windows, error budgets, burn-rate alerts.
+
+The paper's core claim is *predictable latency* — its cycle model
+answers "how long will this decomposition take" before running it.
+This module is the serving-tier counterpart: declare what "meeting our
+objective" means (``SLO(name, metric, target, window)``), feed the
+engine one observation per request/decision, and ask at any time
+whether the objective holds, how much error budget is left, and
+whether the budget is burning fast enough to page.
+
+Mechanics (standard SRE practice, scaled down to one process):
+
+* Every observation is reduced to **good or bad**.  Ratio objectives
+  (admission, health) are good/bad directly; latency objectives mark
+  an observation good when ``value <= threshold``, so "p99 <= 250ms"
+  becomes "at least 99% of observations are good" — one uniform
+  budget calculation for both kinds.
+* The **error budget** over the objective's window is the allowed bad
+  fraction, ``1 - target``.  Budget consumed is
+  ``bad_fraction / (1 - target)``: 1.0 means exactly spent, above 1.0
+  means the objective is violated.
+* **Burn rate** over a window is that same ratio — how many times
+  faster than "exactly on budget" we are burning.  Alerts use the
+  standard multi-window pairs: a *fast* pair (5 min and 1 h, factor
+  14.4 — budget gone in ~2 days) for pages and a *slow* pair (6 h and
+  3 d, factor 6) for tickets; both windows of a pair must exceed the
+  factor to fire (the short window proves it is still happening, the
+  long one that it is not a blip).  Once firing, an alert clears only
+  when a window drops below ``factor * clear_ratio`` — hysteresis, so
+  a burn rate oscillating around the threshold does not flap.
+
+Observations carry explicit timestamps from an injectable clock
+(``time.time`` by default), so tests drive the windows with a fake
+clock exactly like the scheduler tests do.  The serving layer feeds
+the process-wide engine (:func:`get_slo_engine`) as a side effect of
+the metrics it already records; replay runs score their
+:class:`~repro.workloads.driver.ReplayReport` against the same default
+objectives, and ``repro slo-report`` renders the result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = [
+    "BURN_PAIRS",
+    "SLO",
+    "SLOEngine",
+    "default_objectives",
+    "get_slo_engine",
+    "observe",
+    "set_slo_engine",
+    "use_slo_engine",
+]
+
+#: Multi-window burn-rate alert pairs: (name, short_s, long_s, factor).
+#: Factors follow the SRE workbook: 14.4 ~ "2% of a 30-day budget in
+#: 1 h" (page now), 6 ~ "10% in 6 h" (ticket).
+BURN_PAIRS = (
+    ("fast", 5 * 60.0, 60 * 60.0, 14.4),
+    ("slow", 6 * 3600.0, 3 * 86400.0, 6.0),
+)
+
+#: A firing alert clears when a window's burn rate drops below
+#: ``factor * _CLEAR_RATIO`` (hysteresis against flapping).
+_CLEAR_RATIO = 0.9
+
+#: Per-objective observation cap — 3 days of the longest burn window at
+#: sustained traffic would be unbounded; the ring keeps memory constant
+#: and in practice holds far more than any replay produces.
+_MAX_SAMPLES = 65536
+
+
+class SLO:
+    """One declarative objective.
+
+    Parameters
+    ----------
+    name : str
+        Report key, e.g. ``"serve.request.latency"``.
+    metric : str
+        The observation stream this objective consumes; every
+        :meth:`SLOEngine.record` call naming this metric feeds it.
+    target : float
+        Required good fraction in ``(0, 1)``, e.g. 0.99.
+    window_s : float
+        Rolling window the budget is accounted over.
+    threshold : float, optional
+        Latency objectives only: an observation is *good* when its
+        value is ``<= threshold``.  Omit for ratio objectives, whose
+        observations arrive already judged (``good=True/False``).
+    description : str
+        One line for reports.
+    """
+
+    __slots__ = ("name", "metric", "target", "window_s", "threshold",
+                 "description")
+
+    def __init__(self, name: str, metric: str, *, target: float,
+                 window_s: float, threshold: float | None = None,
+                 description: str = "") -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"SLO {name}: target must be in (0, 1), "
+                             f"got {target}")
+        if window_s <= 0:
+            raise ValueError(f"SLO {name}: window_s must be positive")
+        self.name = name
+        self.metric = metric
+        self.target = float(target)
+        self.window_s = float(window_s)
+        self.threshold = None if threshold is None else float(threshold)
+        self.description = description
+
+    def judge(self, value: float | None, good: bool | None) -> bool:
+        """Reduce one observation to good/bad under this objective."""
+        if good is not None:
+            return bool(good)
+        if self.threshold is None:
+            raise ValueError(
+                f"SLO {self.name}: ratio objective needs an explicit "
+                f"good= judgement"
+            )
+        if value is None:
+            raise ValueError(
+                f"SLO {self.name}: latency objective needs a value"
+            )
+        return float(value) <= self.threshold
+
+    def to_dict(self) -> dict:
+        """Declaration in plain-dict form (reports, bundles)."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "target": self.target,
+            "window_s": self.window_s,
+            "threshold": self.threshold,
+            "description": self.description,
+        }
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class SLOEngine:
+    """Holds objectives, ingests observations, evaluates budgets/alerts.
+
+    Thread-safe; the clock is injectable for deterministic window
+    tests.  One engine instance is process-wide by default
+    (:func:`get_slo_engine`), pre-loaded with
+    :func:`default_objectives`.
+    """
+
+    def __init__(self, objectives=None, *, clock=time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slos: dict[str, SLO] = {}
+        #: metric name -> [SLO names fed by it]
+        self._by_metric: dict[str, list[str]] = {}
+        #: SLO name -> deque[(t, good, value-or-None)]
+        self._samples: dict[str, deque] = {}
+        #: (SLO name, pair name) -> firing bool (alert hysteresis state)
+        self._firing: dict[tuple[str, str], bool] = {}
+        for slo in objectives or ():
+            self.register(slo)
+
+    # ---- declaration ----------------------------------------------------
+
+    def register(self, slo: SLO) -> SLO:
+        """Add an objective (replacing any prior one with the name)."""
+        with self._lock:
+            old = self._slos.get(slo.name)
+            if old is not None and old.metric != slo.metric:
+                self._by_metric[old.metric].remove(slo.name)
+            self._slos[slo.name] = slo
+            fed = self._by_metric.setdefault(slo.metric, [])
+            if slo.name not in fed:
+                fed.append(slo.name)
+            self._samples.setdefault(slo.name, deque(maxlen=_MAX_SAMPLES))
+        return slo
+
+    def objectives(self) -> list[SLO]:
+        """The registered objectives, in registration order."""
+        with self._lock:
+            return list(self._slos.values())
+
+    # ---- ingestion ------------------------------------------------------
+
+    def record(self, metric: str, *, value: float | None = None,
+               good: bool | None = None, t: float | None = None) -> None:
+        """Feed one observation to every objective consuming *metric*.
+
+        No-op when no objective consumes it, so instrumentation can
+        record unconditionally.
+        """
+        with self._lock:
+            names = self._by_metric.get(metric)
+            if not names:
+                return
+            now = self._clock() if t is None else float(t)
+            for name in names:
+                slo = self._slos[name]
+                self._samples[name].append(
+                    (now, slo.judge(value, good), value)
+                )
+
+    def clear(self) -> None:
+        """Drop every observation and alert state (objectives stay)."""
+        with self._lock:
+            for ring in self._samples.values():
+                ring.clear()
+            self._firing.clear()
+
+    # ---- evaluation -----------------------------------------------------
+
+    def _window(self, name: str, window_s: float, now: float):
+        """(total, bad, values) over the trailing *window_s* seconds."""
+        with self._lock:
+            samples = list(self._samples.get(name, ()))
+        cutoff = now - window_s
+        total = bad = 0
+        values = []
+        for t, good, value in samples:
+            if t < cutoff or t > now:
+                continue
+            total += 1
+            if not good:
+                bad += 1
+            if value is not None:
+                values.append(value)
+        return total, bad, values
+
+    def _burn_rate(self, slo: SLO, window_s: float, now: float) -> float:
+        """bad_fraction / allowed_bad_fraction over a window (0 if empty)."""
+        total, bad, _ = self._window(slo.name, window_s, now)
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - slo.target)
+
+    def evaluate(self, name: str, *, now: float | None = None) -> dict:
+        """Full evaluation of one objective at time *now*.
+
+        An empty window reports ``met=True`` with zero budget consumed
+        — no evidence is not a violation — and ``total=0`` so callers
+        can distinguish "healthy" from "idle".
+        """
+        with self._lock:
+            slo = self._slos[name]
+        now = self._clock() if now is None else float(now)
+        total, bad, values = self._window(name, slo.window_s, now)
+        good_fraction = 1.0 if total == 0 else (total - bad) / total
+        allowed = 1.0 - slo.target
+        consumed = 0.0 if total == 0 else (bad / total) / allowed
+        out = {
+            **slo.to_dict(),
+            "total": total,
+            "good": total - bad,
+            "bad": bad,
+            "good_fraction": good_fraction,
+            "budget_consumed": consumed,
+            "budget_remaining": 1.0 - consumed,
+            "met": good_fraction >= slo.target if total else True,
+        }
+        if values:
+            values.sort()
+            out["p50"] = _quantile(values, 0.50)
+            out["p99"] = _quantile(values, 0.99)
+            out["p999"] = _quantile(values, 0.999)
+        out["alerts"] = self._evaluate_alerts(slo, now)
+        return out
+
+    def _evaluate_alerts(self, slo: SLO, now: float) -> list[dict]:
+        """Burn-rate alert states for one objective (updates hysteresis)."""
+        alerts = []
+        for pair, short_s, long_s, factor in BURN_PAIRS:
+            short = self._burn_rate(slo, short_s, now)
+            long = self._burn_rate(slo, long_s, now)
+            key = (slo.name, pair)
+            with self._lock:
+                firing = self._firing.get(key, False)
+                if not firing:
+                    firing = short >= factor and long >= factor
+                else:
+                    clear = factor * _CLEAR_RATIO
+                    firing = not (short < clear or long < clear)
+                self._firing[key] = firing
+            alerts.append({
+                "pair": pair,
+                "short_window_s": short_s,
+                "long_window_s": long_s,
+                "factor": factor,
+                "short_burn_rate": short,
+                "long_burn_rate": long,
+                "firing": firing,
+            })
+        return alerts
+
+    def report(self, *, now: float | None = None) -> dict:
+        """Evaluate every objective; the ``repro slo-report`` payload."""
+        now = self._clock() if now is None else float(now)
+        objectives = [self.evaluate(slo.name, now=now)
+                      for slo in self.objectives()]
+        return {
+            "now": now,
+            "objectives": objectives,
+            "ok": all(o["met"] for o in objectives),
+            "firing_alerts": [
+                {"slo": o["name"], **a}
+                for o in objectives for a in o["alerts"] if a["firing"]
+            ],
+        }
+
+
+def default_objectives() -> list[SLO]:
+    """The serving stack's stock objectives.
+
+    The windows are deliberately short (minutes, not the canonical
+    30 days) because the process lifetime *is* the deployment: a
+    replay run or a demo server lives for seconds to minutes, and the
+    objectives must accumulate enough samples inside that lifetime to
+    say something.
+    """
+    return [
+        SLO("serve.request.latency", "serve.request",
+            target=0.99, window_s=3600.0, threshold=0.25,
+            description="99% of served requests complete in <= 250 ms"),
+        SLO("serve.admission", "serve.admission",
+            target=0.999, window_s=3600.0,
+            description="99.9% of submissions admitted "
+                        "(not saturation-rejected)"),
+        SLO("serve.degradation", "serve.dispatch",
+            target=0.99, window_s=3600.0,
+            description="99% of dispatches succeed on the requested "
+                        "engine (no retry/degradation)"),
+        SLO("engine.health", "engine.health",
+            target=0.999, window_s=3600.0,
+            description="99.9% of decompositions pass the numerical "
+                        "health checks"),
+    ]
+
+
+# ---- the process-wide default engine -------------------------------------
+
+_ENGINE: SLOEngine | None = SLOEngine(default_objectives())
+
+
+def get_slo_engine() -> SLOEngine | None:
+    """The process-wide SLO engine (None when disabled)."""
+    return _ENGINE
+
+
+def set_slo_engine(engine: SLOEngine | None) -> SLOEngine | None:
+    """Replace the global engine (None disables); returns the previous."""
+    global _ENGINE
+    previous, _ENGINE = _ENGINE, engine
+    return previous
+
+
+@contextmanager
+def use_slo_engine(engine: SLOEngine | None):
+    """Install *engine* as the global default for a ``with`` block.
+
+    Process-global, like :func:`repro.obs.metrics.use_registry`:
+    intended for tests and scoped scoring runs.
+    """
+    previous = set_slo_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_slo_engine(previous)
+
+
+def observe(metric: str, *, value: float | None = None,
+            good: bool | None = None, t: float | None = None) -> None:
+    """Feed the global engine (no-op when disabled or metric unused).
+
+    This is the hot-path hook the serving layer calls; the disabled
+    cost is one global read, and the unused-metric cost one dict get.
+    """
+    engine = _ENGINE
+    if engine is not None:
+        engine.record(metric, value=value, good=good, t=t)

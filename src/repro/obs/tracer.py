@@ -37,9 +37,11 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "current_span",
     "current_tracer",
     "noop_span",
     "round_detail",
+    "set_span_sink",
     "span",
     "use_tracer",
 ]
@@ -273,6 +275,12 @@ class Tracer:
     def _record(self, sp: Span) -> None:
         with self._lock:
             self._spans.append(sp)
+        sink = _SPAN_SINK
+        if sink is not None:
+            try:
+                sink(sp)
+            except Exception:
+                pass  # a broken sink must never fail the traced code
 
     @property
     def spans(self) -> tuple:
@@ -316,10 +324,32 @@ class NullTracer(Tracer):
 
 # ---- module-level helpers (the instrumentation surface) -----------------
 
+#: Process-wide hook called with every finished span (the flight
+#: recorder's feed).  Costs nothing unless a tracer is installed *and*
+#: a sink is set — the disabled span path never reaches _record().
+_SPAN_SINK = None
+
+
+def set_span_sink(sink):
+    """Install a process-wide finished-span hook; returns the previous.
+
+    The sink is called as ``sink(span)`` from :meth:`Tracer._record`
+    for every span any tracer finishes.  Exceptions from the sink are
+    swallowed.  Pass ``None`` to uninstall.
+    """
+    global _SPAN_SINK
+    previous, _SPAN_SINK = _SPAN_SINK, sink
+    return previous
+
 
 def current_tracer() -> Tracer | None:
     """The tracer installed in the current context, or None."""
     return _tracer_var.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span in the current context, or None."""
+    return _span_var.get()
 
 
 @contextmanager

@@ -1,0 +1,67 @@
+"""The response handle and closed-server error shared by every façade.
+
+:class:`ResponseHandle` is the future-like object returned by
+``submit`` on the single-process :class:`repro.serve.server.SVDServer`
+and the sharded :class:`repro.serve.shard.ShardedSVDServer` alike; the
+asyncio façade bridges it onto the event loop.  It lives in its own
+module so the shard tier's parent-side plumbing can depend on it
+without importing the whole server.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.request import ServeError
+from repro.serve.result import SVDResponse
+
+__all__ = ["ResponseHandle", "ServerClosed"]
+
+
+class ServerClosed(ServeError):
+    """Submission attempted on a closed server."""
+
+
+class ResponseHandle:
+    """Future-like handle for one submitted request."""
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: SVDResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
+
+    def done(self) -> bool:
+        """Whether the response is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SVDResponse:
+        """Block until the response arrives (raises on *timeout* expiry)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id}: no response within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(response)`` when the handle fulfils.
+
+        Fires immediately (in the calling thread) when already done;
+        otherwise runs in whichever thread fulfils the handle — keep
+        callbacks short and never block in them.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self._response)
+
+    def _fulfil(self, response: SVDResponse) -> None:
+        with self._cb_lock:
+            self._response = response
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(response)

@@ -27,6 +27,9 @@ from dataclasses import dataclass
 from repro.core.batch import batch_svd
 from repro.core.result import SVDResult
 from repro.core.svd import HestenesJacobiSVD
+from repro.obs.events import emit
+from repro.obs.slo import observe as slo_observe
+from repro.obs.tracer import span
 
 __all__ = ["RetryPolicy", "retry_call", "EngineExecutor"]
 
@@ -96,9 +99,13 @@ def retry_call(
     for attempt, delay in enumerate([*delays, None]):
         try:
             return fn(*args, **kwargs)
-        except retry_on:
+        except retry_on as exc:
             if delay is None:
+                emit("serve.retry.exhausted", attempts=attempt + 1,
+                     error=type(exc).__name__)
                 raise
+            emit("serve.retry", attempt=attempt + 1, delay_s=delay,
+                 error=type(exc).__name__)
             sleep(delay)
     raise AssertionError("unreachable")
 
@@ -184,28 +191,61 @@ class EngineExecutor:
         combination it rejects, such as ``block_rounds`` with an
         incompatible method override.
         """
+        try:
+            results, engine_used = self._dispatch_with_fallback(
+                matrices, options, engine, deadline_budget_s
+            )
+        except Exception:
+            slo_observe("serve.dispatch", good=False)
+            raise
+        slo_observe("serve.dispatch", good=engine_used == engine)
+        return results, engine_used
+
+    def _degrade(self, matrices, options: dict, engine: str,
+                 reason: str) -> list[SVDResult]:
+        """Fall back to the core path, recording the transition.
+
+        The event and span inherit the ambient trace id (the dispatch
+        runs inside the server's ``serve.engine`` span / event
+        context), so a degraded request's narrative stays correlated
+        end to end.
+        """
+        self.degradations += 1
+        emit("serve.degrade", from_engine=engine, to_engine="core",
+             reason=reason)
+        with span("serve.degrade", from_engine=engine, to_engine="core",
+                  reason=reason):
+            return self._core_dispatch(matrices, options)
+
+    def _dispatch_with_fallback(self, matrices, options: dict, engine: str,
+                                deadline_budget_s: float | None):
         if engine == "core":
             return self._core_dispatch(matrices, options), "core"
         if engine != "hw":
             # Any engine registered with repro.core.registry, by name.
             try:
                 return self._method_dispatch(matrices, options, engine), engine
-            except Exception:
+            except Exception as exc:
                 if not self.allow_degradation:
                     raise
-                self.degradations += 1
-                return self._core_dispatch(matrices, options), "core"
+                return self._degrade(
+                    matrices, options, engine,
+                    f"engine_error:{type(exc).__name__}",
+                ), "core"
         if (
             self.allow_degradation
             and deadline_budget_s is not None
             and self.hw_latency_estimate(matrices) > deadline_budget_s
         ):
-            self.degradations += 1
-            return self._core_dispatch(matrices, options), "core"
+            return self._degrade(
+                matrices, options, engine, "deadline_budget"
+            ), "core"
         try:
             return self._hw_dispatch(matrices, options), "hw"
-        except Exception:
+        except Exception as exc:
             if not self.allow_degradation:
                 raise
-            self.degradations += 1
-            return self._core_dispatch(matrices, options), "core"
+            return self._degrade(
+                matrices, options, engine,
+                f"engine_error:{type(exc).__name__}",
+            ), "core"

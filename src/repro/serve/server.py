@@ -32,8 +32,13 @@ import threading
 import time
 
 from repro.obs import use_tracer
+from repro.obs.events import context as event_context
+from repro.obs.events import emit
 from repro.obs.metrics import get_registry
+from repro.obs.recorder import trigger_dump
+from repro.obs.slo import observe as slo_observe
 from repro.serve.cache import ResultCache
+from repro.serve.handle import ResponseHandle, ServerClosed
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.queue import POLICIES, RequestQueue
 from repro.serve.request import ServeError, SVDRequest, make_request
@@ -44,53 +49,16 @@ from repro.serve.scheduler import Batch, BatchConfig, MicroBatcher
 __all__ = ["ServerClosed", "ResponseHandle", "SVDServer"]
 
 
-class ServerClosed(ServeError):
-    """Submission attempted on a closed server."""
-
-
-class ResponseHandle:
-    """Future-like handle for one submitted request."""
-
-    def __init__(self, request_id: str) -> None:
-        self.request_id = request_id
-        self._event = threading.Event()
-        self._response: SVDResponse | None = None
-        self._callbacks: list = []
-        self._cb_lock = threading.Lock()
-
-    def done(self) -> bool:
-        """Whether the response is available."""
-        return self._event.is_set()
-
-    def result(self, timeout: float | None = None) -> SVDResponse:
-        """Block until the response arrives (raises on *timeout* expiry)."""
-        if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"request {self.request_id}: no response within {timeout}s"
-            )
-        assert self._response is not None
-        return self._response
-
-    def add_done_callback(self, fn) -> None:
-        """Run ``fn(response)`` when the handle fulfils.
-
-        Fires immediately (in the calling thread) when already done;
-        otherwise runs in whichever thread fulfils the handle — keep
-        callbacks short and never block in them.
-        """
-        with self._cb_lock:
-            if not self._event.is_set():
-                self._callbacks.append(fn)
-                return
-        fn(self._response)
-
-    def _fulfil(self, response: SVDResponse) -> None:
-        with self._cb_lock:
-            self._response = response
-            self._event.set()
-            callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(response)
+def _note_done(req, status: str, **fields) -> None:
+    """One request's terminal event + SLO judgement (latency or bad)."""
+    emit("serve.request.done",
+         trace_id=req.trace_id or req.request_id,
+         request_id=req.request_id, engine=req.engine,
+         status=status, **fields)
+    if status == "ok":
+        slo_observe("serve.request", value=fields.get("latency_s", 0.0))
+    else:
+        slo_observe("serve.request", good=False)
 
 
 class SVDServer:
@@ -196,13 +164,17 @@ class SVDServer:
     # ---- submission -----------------------------------------------------
 
     def submit(self, matrix, *, engine: str | None = None,
-               timeout: float | None = None, **options) -> ResponseHandle:
+               timeout: float | None = None, trace_id: str | None = None,
+               **options) -> ResponseHandle:
         """Submit one decomposition; returns a :class:`ResponseHandle`.
 
         Cache hits complete synchronously (the handle is already done);
         misses are enqueued for micro-batched dispatch.  *timeout* sets
         the request deadline; expired requests resolve with status
-        ``"timeout"``.
+        ``"timeout"``.  *trace_id* lets an upstream tier (the shard
+        worker serving a routed request) thread its own correlation id
+        through this server's spans and events instead of the local
+        request id.
         """
         if self._closed:
             raise ServerClosed("server is closed")
@@ -210,20 +182,28 @@ class SVDServer:
         request_id = f"req-{next(self._ids)}"
         trace_start = self.tracer.now() if self.tracer is not None else None
         merged = {**self.default_options, **options}
+        if trace_id is None and self.tracer is not None:
+            trace_id = request_id
         request = make_request(
             matrix,
             request_id=request_id,
             engine=engine or self.default_engine,
             now=now,
             timeout=timeout,
-            trace_id=request_id if self.tracer is not None else None,
+            trace_id=trace_id,
             **merged,
         )
+        emit("serve.request.submitted",
+             trace_id=request.trace_id or request.request_id,
+             request_id=request.request_id, engine=request.engine)
         handle = ResponseHandle(request.request_id)
         if self.cache is not None:
             cached = self.cache.get(request.cache_key)
             if cached is not None:
                 self.metrics.counter("cache_hits").inc()
+                slo_observe("serve.admission", good=True)
+                _note_done(request, "ok", cache_hit=True,
+                           latency_s=self._clock() - now)
                 if self.tracer is not None:
                     self.tracer.add_span(
                         "serve.request", start=trace_start,
@@ -250,6 +230,11 @@ class SVDServer:
                 self._pending.pop(request.request_id, None)
                 self._trace_starts.pop(request.request_id, None)
             self.metrics.counter("requests_rejected").inc()
+            emit("serve.request.rejected",
+                 trace_id=request.trace_id or request.request_id,
+                 request_id=request.request_id, engine=request.engine,
+                 error=str(exc))
+            slo_observe("serve.admission", good=False)
             if self.tracer is not None:
                 self.tracer.add_span(
                     "serve.request", start=trace_start, end=self.tracer.now(),
@@ -265,6 +250,7 @@ class SVDServer:
             raise
         self.metrics.counter("requests_submitted").inc()
         self.metrics.gauge("queue_depth").set(len(self.queue))
+        slo_observe("serve.admission", good=True)
         return handle
 
     def submit_many(self, matrices, *, on_error: str = "raise",
@@ -375,6 +361,7 @@ class SVDServer:
                         "serve.queue_wait", start=root.start, end=t_end,
                         parent=root, trace_id=req.trace_id, expired=True,
                     )
+                _note_done(req, "timeout")
                 self._respond(req, SVDResponse(
                     request_id=req.request_id, status="timeout",
                     error=f"deadline passed before dispatch "
@@ -421,29 +408,45 @@ class SVDServer:
                 "serve.engine", parent=batch_span,
                 trace_id=live[0].trace_id, engine=live[0].engine,
             )
+        emit("serve.batch.dispatch",
+             trace_id=live[0].trace_id or live[0].request_id,
+             batch_size=len(live), engine=live[0].engine)
+        # The event context correlates everything emitted inside the
+        # dispatch (degradations, retries, engine health) with this
+        # batch's lead request, with or without a tracer installed.
+        dispatch_ctx = event_context(
+            trace_id=live[0].trace_id or live[0].request_id,
+            engine=live[0].engine,
+        )
         try:
             if tracer is not None:
                 # Entering engine_span sets the ambient current-span,
                 # so engine core.sweep spans (propagated into pool
                 # workers by batch_svd) nest beneath it.
-                with use_tracer(tracer), engine_span:
+                with use_tracer(tracer), engine_span, dispatch_ctx:
                     results, engine_used = self._executor.dispatch(
                         [r.matrix for r in live], dict(live[0].options),
                         engine=live[0].engine, deadline_budget_s=budget,
                     )
             else:
-                results, engine_used = self._executor.dispatch(
-                    [r.matrix for r in live], dict(live[0].options),
-                    engine=live[0].engine, deadline_budget_s=budget,
-                )
+                with dispatch_ctx:
+                    results, engine_used = self._executor.dispatch(
+                        [r.matrix for r in live], dict(live[0].options),
+                        engine=live[0].engine, deadline_budget_s=budget,
+                    )
         except Exception as exc:
             finished = self._clock()
             if tracer is not None:
                 batch_span.set_attrs(error=type(exc).__name__).end()
                 for req in live:
                     roots[req.request_id].set_attrs(status="error").end()
+            emit("serve.batch.error",
+                 trace_id=live[0].trace_id or live[0].request_id,
+                 batch_size=len(live), engine=live[0].engine,
+                 error=type(exc).__name__, detail=str(exc))
             for req in live:
                 self.metrics.counter("requests_failed").inc()
+                _note_done(req, "error")
                 self._respond(req, SVDResponse(
                     request_id=req.request_id, status="error", error=str(exc),
                     engine=req.engine, batch_size=len(live),
@@ -452,6 +455,11 @@ class SVDServer:
                     total_s=finished - req.submitted_at,
                     trace_id=req.trace_id,
                 ))
+            trigger_dump(
+                "serve.batch.error", error=type(exc).__name__,
+                detail=str(exc), engine=live[0].engine,
+                request_ids=[req.request_id for req in live],
+            )
             return
         finished = self._clock()
         self.metrics.counter(f"engine_{engine_used}_requests").inc(len(live))
@@ -466,6 +474,9 @@ class SVDServer:
             self.metrics.counter("requests_completed").inc()
             self.metrics.histogram("latency_s").observe(
                 finished - req.submitted_at)
+            _note_done(req, "ok", engine_used=engine_used,
+                       batch_size=len(live),
+                       latency_s=finished - req.submitted_at)
             if tracer is not None:
                 roots[req.request_id].set_attrs(
                     status="ok", batch_size=len(live),

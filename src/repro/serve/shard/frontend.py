@@ -25,6 +25,7 @@ import os
 import threading
 import time
 
+from repro.obs.slo import observe as slo_observe
 from repro.serve.cache import ResultCache
 from repro.serve.request import ServeError, make_request
 from repro.serve.result import SVDResponse
@@ -183,6 +184,8 @@ class ShardedSVDServer:
                     engine=request.engine, cache_hit=True,
                     total_s=self._clock() - now, trace_id=request.trace_id,
                 ))
+                slo_observe("serve.admission", good=True)
+                slo_observe("serve.request", value=self._clock() - now)
                 return handle
         with self._pending_lock:
             self._pending[request.request_id] = handle
@@ -191,6 +194,7 @@ class ShardedSVDServer:
         except ServeError as exc:
             with self._pending_lock:
                 self._pending.pop(request.request_id, None)
+            slo_observe("serve.admission", good=False)
             handle._fulfil(SVDResponse(
                 request_id=request.request_id, status="rejected",
                 error=str(exc), engine=request.engine,
@@ -198,6 +202,7 @@ class ShardedSVDServer:
             ))
             exc.handle = handle
             raise
+        slo_observe("serve.admission", good=True)
         return handle
 
     def submit_many(self, matrices, *, on_error: str = "raise",
@@ -234,10 +239,19 @@ class ShardedSVDServer:
         return handle.result(timeout)
 
     def _complete(self, request, response: SVDResponse) -> None:
-        """Router hook: cache and untrack before the handle fulfils."""
+        """Router hook: cache, untrack, and feed the parent-side SLO.
+
+        The worker's own SLO engine dies with its process, so request
+        latency must be judged here, on the parent's engine, from the
+        parent's clock (``response.total_s``).
+        """
         # `is not None`: an empty ResultCache is falsy (len == 0).
         if response.ok and response.result is not None and self.cache is not None:
             self.cache.put(request.cache_key, response.result)
+        if response.ok:
+            slo_observe("serve.request", value=response.total_s)
+        else:
+            slo_observe("serve.request", good=False)
         with self._pending_lock:
             self._pending.pop(request.request_id, None)
 

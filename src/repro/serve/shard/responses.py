@@ -89,6 +89,12 @@ def build_response(shard: ShardState, record: Inflight, ticket, meta,
         release_request_ticket(shard, record)
     if tracer is not None:
         stitch_spans(tracer, shard, record, meta)
+    # Merge the worker's shipped events into the parent's event log,
+    # stamped with the shard id — the parent-side narrative then covers
+    # the whole request even after the worker process is gone.
+    from repro.obs.events import replay
+
+    replay(meta.get("events") or (), shard=shard.id)
     return SVDResponse(
         request_id=request.request_id, status=status, result=result,
         error=meta.get("error"), engine=meta.get("engine", request.engine),

@@ -42,7 +42,9 @@ import multiprocessing
 import threading
 import time
 
+from repro.obs.events import emit
 from repro.obs.metrics import get_registry
+from repro.obs.recorder import trigger_dump
 from repro.serve.request import ServeError, SVDRequest
 from repro.serve.retry import EngineExecutor, RetryPolicy, retry_call
 from repro.serve.shard import transport
@@ -226,6 +228,10 @@ class ShardRouter:
                 shard.conn.close()
             except OSError:
                 pass
+            orphan_traces = [r.request.trace_id or r.request.request_id
+                             for r in orphans]
+            emit("shard.death", shard=shard.id, generation=generation,
+                 orphans=orphan_traces)
             if self.respawn:
                 try:
                     self._spawn(shard)
@@ -233,11 +239,15 @@ class ShardRouter:
                         "shard_respawns_total", labelnames=("shard",),
                         help="replacement workers started per shard",
                     ).labels(**labels).inc()
+                    emit("shard.respawn", shard=shard.id,
+                         generation=shard.generation, pid=shard.pid)
                 except Exception:
                     shard.alive = False
         for record in orphans:
             record.drop_segment()
             self._requeue(record, from_shard=shard)
+        trigger_dump("shard.death", shard=shard.id, generation=generation,
+                     orphans=orphan_traces)
 
     def _requeue(self, record: Inflight, *, from_shard: ShardState) -> None:
         """Re-queue an orphaned request; degrade in-process when exhausted."""
@@ -245,6 +255,9 @@ class ShardRouter:
             "shard_requeues_total", labelnames=("shard",),
             help="in-flight requests re-queued after a worker death",
         ).labels(**from_shard.labels()).inc()
+        emit("shard.requeue", shard=from_shard.id,
+             trace_id=record.request.trace_id or record.request.request_id,
+             request_id=record.request.request_id, attempts=record.attempts)
         if record.attempts < self.max_attempts:
             try:
                 self.submit_record(record)
@@ -261,6 +274,9 @@ class ShardRouter:
         self._m().counter(
             "shard_inline_fallbacks_total",
             help="requests answered in-process after shard failures").inc()
+        emit("shard.inline_fallback",
+             trace_id=request.trace_id or request.request_id,
+             request_id=request.request_id, engine=request.engine)
         now = self._clock()
         try:
             results, engine_used = retry_call(
@@ -300,6 +316,9 @@ class ShardRouter:
         for shard in candidates:
             if shard.depth < self.max_inflight:
                 return shard
+        emit("shard.reject",
+             trace_id=request.trace_id or request.request_id,
+             request_id=request.request_id, engine=request.engine)
         raise ShardSaturated(
             f"all {len(self.shards)} shard(s) at admission limit "
             f"({self.max_inflight} in flight each); retry later [429]"

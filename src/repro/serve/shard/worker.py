@@ -187,11 +187,16 @@ class _WorkerLoop:
             return
         with self._pending_lock:
             self._pending.add(req_id)
+        # The parent's trace id threads through the inner server so the
+        # worker's spans AND events carry the parent's correlation id
+        # (not the inner server's own request counter).
+        trace_id = meta.get("trace_id") or req_id
         try:
             handle = self.server.submit(
                 matrix,
                 engine=meta.get("engine"),
                 timeout=meta.get("timeout"),
+                trace_id=trace_id,
                 **dict(meta.get("options") or {}),
             )
         except Exception as exc:
@@ -201,7 +206,6 @@ class _WorkerLoop:
             self.send(("res", req_id, None,
                        {"status": "error", "error": str(exc)}))
             return
-        trace_id = meta.get("trace_id")
         handle.add_done_callback(
             lambda resp: self._reply(req_id, ticket, carrier, resp, trace_id))
 
@@ -217,6 +221,7 @@ class _WorkerLoop:
                                              arrays)
             meta = _response_meta(response)
             meta["spans"] = self._collect_spans(trace_id)
+            meta["events"] = self._collect_events(trace_id)
             self.send(("res", req_id, out_ticket, meta))
         except Exception as exc:  # never strand the parent's handle
             try:
@@ -242,6 +247,20 @@ class _WorkerLoop:
             return []
         return [sp.to_dict() for sp in self.tracer.spans
                 if sp.trace_id == trace_id]
+
+    def _collect_events(self, trace_id) -> list[dict]:
+        """This request's events (by trace id), in pipe-safe wire form.
+
+        The worker's own global event log captures the inner server's
+        lifecycle/degradation events; shipping them back is how the
+        narrative survives the process boundary.
+        """
+        from repro.obs.events import get_event_log
+
+        log = get_event_log()
+        if log is None or trace_id is None:
+            return []
+        return [ev.to_dict() for ev in log.find(trace_id=trace_id)]
 
     # ---- health path ----------------------------------------------------
 

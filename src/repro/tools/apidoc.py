@@ -87,6 +87,7 @@ PUBLIC_MODULES = (
     "repro.serve.cache",
     "repro.serve.metrics",
     "repro.serve.retry",
+    "repro.serve.handle",
     "repro.serve.server",
     "repro.serve.shard",
     "repro.serve.shard.transport",
@@ -97,8 +98,12 @@ PUBLIC_MODULES = (
     "repro.serve.shard.frontend",
     "repro.obs",
     "repro.obs.tracer",
+    "repro.obs.instruments",
     "repro.obs.metrics",
     "repro.obs.health",
+    "repro.obs.events",
+    "repro.obs.slo",
+    "repro.obs.recorder",
     "repro.obs.exporters",
     "repro.workloads",
     "repro.workloads.driver",

@@ -70,7 +70,38 @@ class ReplayReport:
             "p50_s": lat[len(lat) // 2] if lat else 0.0,
             "p99_s": lat[min(len(lat) - 1, int(len(lat) * 0.99))] if lat
                      else 0.0,
+            "p999_s": lat[min(len(lat) - 1, int(len(lat) * 0.999))] if lat
+                      else 0.0,
         }
+
+    def score_slos(self, objectives=None, *, now: float | None = None) -> dict:
+        """Score this replay against SLO objectives on a fresh engine.
+
+        Feeds the replay's outcomes — completed latencies (judged
+        against the latency threshold), errors/timeouts as bad
+        requests, admissions vs. 429 rejections — into a private
+        :class:`repro.obs.slo.SLOEngine` seeded with *objectives*
+        (default: :func:`repro.obs.slo.default_objectives`) and returns
+        its :meth:`~repro.obs.slo.SLOEngine.report`.  Using a fresh
+        engine keeps the scorecard deterministic: it reflects only this
+        replay, never ambient traffic on the process-global engine.
+        """
+        import time as _time
+
+        from repro.obs.slo import SLOEngine, default_objectives
+
+        t = _time.time() if now is None else float(now)
+        engine = SLOEngine(objectives if objectives is not None
+                           else default_objectives(), clock=lambda: t)
+        for value in self.latencies_s:
+            engine.record("serve.request", value=value, t=t)
+        for _ in range(self.errors + self.timeouts):
+            engine.record("serve.request", good=False, t=t)
+        for _ in range(self.submitted):
+            engine.record("serve.admission", good=True, t=t)
+        for _ in range(self.rejected):
+            engine.record("serve.admission", good=False, t=t)
+        return engine.report(now=t)
 
 
 def replay_arrivals(

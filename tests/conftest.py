@@ -83,3 +83,25 @@ def assert_valid_svd(a, result, rtol=1e-10):
         assert np.linalg.norm(result.vt @ result.vt.T - np.eye(k)) < 1e-8
         recon = (result.u * s) @ result.vt
         assert np.linalg.norm(a - recon) / max(np.linalg.norm(a), 1e-300) < 1e-8
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """On a failed run, dump the flight recorder as a post-mortem bundle.
+
+    Active only when ``REPRO_POSTMORTEM_DIR`` is set (CI exports it and
+    uploads the directory as an artifact on failure), so local runs are
+    unaffected.  The recorder has been accumulating events, spans, and
+    metric snapshots all run; the bundle is the last-N-seconds story of
+    whatever the failing test was doing.
+    """
+    import os
+
+    if exitstatus == 0 or not os.environ.get("REPRO_POSTMORTEM_DIR"):
+        return
+    try:
+        from repro.obs.recorder import trigger_dump
+
+        trigger_dump("pytest.failure", exitstatus=int(exitstatus),
+                     force=True)
+    except Exception:
+        pass  # a post-mortem failure must not change the test outcome

@@ -1,0 +1,200 @@
+"""Structured event log: ring, stamping precedence, JSONL, replay."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.events import (
+    Event,
+    EventLog,
+    context,
+    current_context,
+    emit,
+    read_jsonl,
+    replay,
+    use_event_log,
+)
+
+
+class TestEvent:
+    def test_to_dict_flattens_fields_top_level(self):
+        ev = Event("serve.request.done", 12.5,
+                   {"trace_id": "req-1", "status": "ok"})
+        assert ev.to_dict() == {
+            "name": "serve.request.done", "time": 12.5,
+            "trace_id": "req-1", "status": "ok",
+        }
+
+    def test_round_trips_through_dict_form(self):
+        ev = Event("shard.death", 99.0, {"shard": 2, "orphans": ["req-3"]})
+        back = Event.from_dict(ev.to_dict())
+        assert back.name == ev.name
+        assert back.time == ev.time
+        assert back.fields == ev.fields
+
+    def test_trace_id_property_reads_fields(self):
+        assert Event("x", 0.0, {"trace_id": "t-1"}).trace_id == "t-1"
+        assert Event("x", 0.0, {}).trace_id is None
+
+
+class TestEventLog:
+    def test_ring_drops_oldest_at_capacity(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert [ev.fields["i"] for ev in log.events()] == [2, 3, 4]
+
+    def test_find_filters_by_name_trace_and_fields(self):
+        log = EventLog(capacity=16)
+        log.emit("a", trace_id="t-1", shard=0)
+        log.emit("a", trace_id="t-2", shard=1)
+        log.emit("b", trace_id="t-1", shard=0)
+        assert len(log.find("a")) == 2
+        assert len(log.find(trace_id="t-1")) == 2
+        assert len(log.find("a", trace_id="t-1")) == 1
+        assert len(log.find(shard=1)) == 1
+        assert log.find("a", shard=99) == []
+
+    def test_injected_clock_stamps_event_time(self):
+        log = EventLog(capacity=4, clock=lambda: 123.0)
+        assert log.emit("x").time == 123.0
+
+    def test_subscribers_see_events_and_can_unsubscribe(self):
+        log = EventLog(capacity=8)
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("one")
+        log.unsubscribe(seen.append)
+        log.emit("two")
+        assert [ev.name for ev in seen] == ["one"]
+
+    def test_broken_subscriber_never_breaks_the_emitter(self):
+        log = EventLog(capacity=8)
+
+        def boom(event):
+            raise RuntimeError("subscriber bug")
+
+        seen = []
+        log.subscribe(boom)
+        log.subscribe(seen.append)
+        log.emit("still.recorded")
+        assert len(log) == 1
+        assert [ev.name for ev in seen] == ["still.recorded"]
+
+    def test_clear_drops_the_ring(self):
+        log = EventLog(capacity=8)
+        log.emit("x")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestJsonl:
+    def test_mirror_file_streams_every_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=8, path=str(path))
+        log.emit("a", trace_id="t-1")
+        log.emit("b", n=2)
+        log.close()
+        lines = [json.loads(line) for line in
+                 path.read_text().strip().splitlines()]
+        assert [ln["name"] for ln in lines] == ["a", "b"]
+        assert lines[0]["trace_id"] == "t-1"
+
+    def test_write_jsonl_then_read_jsonl_round_trips(self, tmp_path):
+        log = EventLog(capacity=8)
+        log.emit("a", i=1)
+        log.emit("b", i=2)
+        path = log.write_jsonl(tmp_path / "dump.jsonl")
+        back = read_jsonl(path)
+        assert [(ev.name, ev.fields["i"]) for ev in back] == [("a", 1),
+                                                              ("b", 2)]
+
+    def test_read_jsonl_skips_blank_and_malformed_lines(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        good = json.dumps({"name": "ok", "time": 1.0, "k": "v"})
+        path.write_text(good + "\n\nnot json at all\n{\"half\": \n" + good
+                        + "\n")
+        events = read_jsonl(path)
+        assert [ev.name for ev in events] == ["ok", "ok"]
+
+    def test_non_jsonable_fields_fall_back_to_repr(self, tmp_path):
+        log = EventLog(capacity=4)
+        log.emit("odd", obj=object(), nested={"k": (1, 2)})
+        path = log.write_jsonl(tmp_path / "odd.jsonl")
+        (line,) = [json.loads(ln) for ln in
+                   (tmp_path / "odd.jsonl").read_text().splitlines()]
+        assert line["obj"].startswith("<object object")
+        assert line["nested"] == {"k": [1, 2]}
+        assert path == str(tmp_path / "odd.jsonl")
+
+
+class TestContext:
+    def test_scopes_nest_and_inner_values_win(self):
+        with context(trace_id="outer", shard=1):
+            with context(trace_id="inner"):
+                assert current_context() == {"trace_id": "inner", "shard": 1}
+            assert current_context() == {"trace_id": "outer", "shard": 1}
+        assert current_context() == {}
+
+    def test_context_fields_stamp_emitted_events(self):
+        log = EventLog(capacity=8)
+        with use_event_log(log), context(trace_id="t-1", engine="hw"):
+            emit("serve.degrade", reason="deadline")
+        (ev,) = log.events()
+        assert ev.fields == {"trace_id": "t-1", "engine": "hw",
+                             "reason": "deadline"}
+
+
+class TestEmitPrecedence:
+    def test_explicit_fields_beat_context_beat_span(self):
+        log = EventLog(capacity=8)
+        tracer = Tracer()
+        with use_event_log(log), use_tracer(tracer):
+            with tracer.span("root", trace_id="span-trace"):
+                emit("from.span")
+                with context(trace_id="ctx-trace"):
+                    emit("from.context")
+                    emit("from.explicit", trace_id="explicit-trace")
+        by_name = {ev.name: ev for ev in log.events()}
+        assert by_name["from.span"].trace_id == "span-trace"
+        assert by_name["from.span"].fields["span_id"] is not None
+        assert by_name["from.context"].trace_id == "ctx-trace"
+        assert by_name["from.explicit"].trace_id == "explicit-trace"
+
+    def test_emit_with_no_log_installed_is_a_noop(self):
+        with use_event_log(None):
+            assert emit("dropped", n=1) is None
+
+    def test_use_event_log_restores_the_previous_log(self):
+        inner = EventLog(capacity=4)
+        with use_event_log(inner):
+            emit("captured")
+        from repro.obs.events import get_event_log
+        assert get_event_log() is not inner
+        assert [ev.name for ev in inner.events()] == ["captured"]
+
+
+class TestReplay:
+    def test_replay_accepts_wire_dicts_and_events(self):
+        log = EventLog(capacity=8)
+        wire = Event("a", 1.0, {"i": 1}).to_dict()
+        n = replay([wire, Event("b", 2.0, {"i": 2})], log=log)
+        assert n == 2
+        assert [(ev.name, ev.fields["i"]) for ev in log.events()] == [
+            ("a", 1), ("b", 2)]
+
+    def test_extra_fields_never_overwrite_existing_ones(self):
+        log = EventLog(capacity=8)
+        replay([Event("worker.event", 1.0, {"shard": 7, "k": "v"})],
+               log=log, shard=3, replayed=True)
+        (ev,) = log.events()
+        # The worker already said shard=7; the router's shard=3 must
+        # not clobber it, but new fields do land.
+        assert ev.fields["shard"] == 7
+        assert ev.fields["replayed"] is True
+
+    def test_replay_with_no_log_returns_zero(self):
+        with use_event_log(None):
+            assert replay([Event("a", 1.0, {})]) == 0

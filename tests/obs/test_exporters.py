@@ -133,11 +133,47 @@ class TestPrometheus:
         assert "repro_requests_submitted 3" in text
         assert "# TYPE repro_queue_depth gauge" in text
         assert "repro_queue_depth 2" in text
-        assert "# TYPE repro_latency_s summary" in text
-        assert 'repro_latency_s{quantile="0.5"}' in text
+        assert "# TYPE repro_latency_s histogram" in text
+        assert 'repro_latency_s_bucket{le="+Inf"} 4' in text
+        assert "quantile=" not in text
         assert "repro_latency_s_count 4" in text
         assert "repro_latency_s_sum 10" in text
         assert text.endswith("\n")
+
+    def test_histogram_bucket_lines_are_cumulative(self):
+        # Line-format regression: standard cumulative le-buckets, so
+        # each bucket's count includes every smaller bucket and +Inf
+        # equals _count.
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_s")
+        h._bounds = (0.1, 1.0, 10.0)
+        h._bucket_counts = [0] * 4
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = metrics_to_prometheus(reg)
+        assert 'repro_latency_s_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_s_bucket{le="1"} 3' in text
+        assert 'repro_latency_s_bucket{le="10"} 4' in text
+        assert 'repro_latency_s_bucket{le="+Inf"} 5' in text
+        assert "repro_latency_s_count 5" in text
+        # An observation exactly on a bound counts in that bucket (le
+        # is inclusive).
+        reg2 = MetricsRegistry()
+        h2 = reg2.histogram("edge")
+        h2._bounds = (1.0,)
+        h2._bucket_counts = [0, 0]
+        h2.observe(1.0)
+        assert 'repro_edge_bucket{le="1"} 1' in metrics_to_prometheus(reg2)
+
+    def test_labeled_histogram_buckets_per_child(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat", labelnames=("engine",))
+        fam.labels(engine="blocked").observe(0.5)
+        fam.labels(engine="fused").observe(2.0)
+        text = metrics_to_prometheus(reg)
+        assert 'repro_lat_bucket{engine="blocked",le="+Inf"} 1' in text
+        assert 'repro_lat_bucket{engine="fused",le="+Inf"} 1' in text
+        assert 'repro_lat_count{engine="blocked"} 1' in text
 
     def test_metric_names_sanitised(self):
         reg = MetricsRegistry()

@@ -335,11 +335,11 @@ class TestPrometheusExposition:
                 continue
             assert _PROM_SAMPLE.match(line), f"bad exposition line: {line!r}"
 
-    def test_labels_and_quantiles_exported(self):
+    def test_labels_and_buckets_exported(self):
         text = self._render()
         assert 'repro_engine_runs{engine="blocked"} 3' in text
-        assert "# TYPE repro_latency_s summary" in text
-        assert '"0.99"' in text
+        assert "# TYPE repro_latency_s histogram" in text
+        assert 'le="+Inf"' in text
         assert 'repro_latency_s_count{engine="blocked"} 3' in text
 
     def test_help_lines_present(self):

@@ -1,0 +1,177 @@
+"""Flight recorder: span ring, bundles, dump throttling, crash hooks."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.events import EventLog, use_event_log
+from repro.obs.recorder import (
+    FlightRecorder,
+    get_recorder,
+    trigger_dump,
+    use_recorder,
+)
+from repro.obs.slo import SLOEngine, default_objectives, use_slo_engine
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestSpanRing:
+    def test_installed_recorder_captures_finished_spans(self):
+        recorder = FlightRecorder(span_capacity=64)
+        tracer = Tracer()
+        with use_recorder(recorder), use_tracer(tracer):
+            with tracer.span("serve.request", trace_id="t-1",
+                             request_id="req-1"):
+                pass
+        (summary,) = recorder.spans()
+        assert summary["name"] == "serve.request"
+        assert summary["trace_id"] == "t-1"
+        assert summary["duration"] >= 0.0
+        assert "error" not in summary
+
+    def test_error_spans_keep_the_error_attribute(self):
+        recorder = FlightRecorder(span_capacity=64)
+        tracer = Tracer()
+        with use_recorder(recorder), use_tracer(tracer):
+            with pytest.raises(RuntimeError):
+                with tracer.span("serve.batch"):
+                    raise RuntimeError("boom")
+        (summary,) = recorder.spans()
+        assert summary["error"] == "RuntimeError"
+
+    def test_ring_is_bounded_oldest_first(self):
+        recorder = FlightRecorder(span_capacity=3)
+        tracer = Tracer()
+        with use_recorder(recorder), use_tracer(tracer):
+            for i in range(5):
+                with tracer.span("sweep", i=i):
+                    pass
+        assert len(recorder.spans()) == 3
+
+    def test_use_recorder_restores_the_previous_sink(self):
+        before = get_recorder()
+        inner = FlightRecorder(span_capacity=4)
+        tracer = Tracer()
+        with use_recorder(inner):
+            with tracer.span("inside"):
+                pass
+        assert get_recorder() is before
+        assert [s["name"] for s in inner.spans()] == ["inside"]
+
+
+class TestBundle:
+    def test_bundle_collects_events_spans_metrics_and_slo(self):
+        recorder = FlightRecorder(span_capacity=16)
+        log = EventLog(capacity=16)
+        engine = SLOEngine(default_objectives())
+        tracer = Tracer()
+        with use_recorder(recorder), use_event_log(log), \
+                use_slo_engine(engine), use_tracer(tracer):
+            log.emit("shard.death", shard=0, trace_id="t-1")
+            engine.record("serve.request", value=0.01)
+            with tracer.span("serve.request", trace_id="t-1"):
+                pass
+            bundle = recorder.bundle("worker.death", shard=0)
+        assert bundle["reason"] == "worker.death"
+        assert bundle["info"] == {"shard": 0}
+        assert [ev["name"] for ev in bundle["events"]] == ["shard.death"]
+        assert [sp["name"] for sp in bundle["spans"]] == ["serve.request"]
+        assert set(bundle["metrics"]) == {"counters", "gauges", "histograms"}
+        names = [o["name"] for o in bundle["slo"]["objectives"]]
+        assert "serve.request.latency" in names
+
+    def test_bundle_with_observability_disabled_still_assembles(self):
+        recorder = FlightRecorder(span_capacity=4)
+        with use_event_log(None), use_slo_engine(None):
+            bundle = recorder.bundle("lonely")
+        assert bundle["events"] == []
+        assert bundle["slo"] is None
+
+
+class TestDump:
+    def test_dump_writes_a_json_bundle_to_the_dump_dir(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        path = recorder.dump("shard.death", shard=1)
+        assert path is not None
+        data = json.loads(open(path).read())
+        assert data["reason"] == "shard.death"
+        assert data["info"] == {"shard": 1}
+        assert recorder.last_bundle["path"] == path
+
+    def test_reason_is_sanitized_in_the_filename(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        path = recorder.dump("serve/batch error!")
+        assert "postmortem-serve-batch-error-" in path
+
+    def test_same_reason_is_throttled_but_force_bypasses(self, tmp_path):
+        clock = FakeClock()
+        recorder = FlightRecorder(dump_dir=str(tmp_path), throttle_s=30.0,
+                                  clock=clock)
+        assert recorder.dump("crash") is not None
+        clock.t = 10.0
+        assert recorder.dump("crash") is None            # throttled
+        assert recorder.dump("crash", force=True) is not None
+        clock.t = 50.0
+        assert recorder.dump("crash") is not None        # throttle expired
+
+    def test_distinct_reasons_are_throttled_independently(self, tmp_path):
+        clock = FakeClock()
+        recorder = FlightRecorder(dump_dir=str(tmp_path), clock=clock)
+        assert recorder.dump("a") is not None
+        assert recorder.dump("b") is not None
+
+    def test_without_a_dump_dir_the_bundle_stays_in_memory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POSTMORTEM_DIR", raising=False)
+        recorder = FlightRecorder()
+        assert recorder.dump("quiet") is None
+        assert recorder.last_bundle["reason"] == "quiet"
+
+    def test_env_var_configures_the_dump_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTMORTEM_DIR", str(tmp_path / "pm"))
+        recorder = FlightRecorder()
+        path = recorder.dump("env.configured")
+        assert path is not None and str(tmp_path / "pm") in path
+
+    def test_ctor_dump_dir_wins_over_the_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POSTMORTEM_DIR", str(tmp_path / "env"))
+        recorder = FlightRecorder(dump_dir=str(tmp_path / "ctor"))
+        assert recorder.dump_dir == str(tmp_path / "ctor")
+
+
+class TestTriggerDump:
+    def test_trigger_dump_reaches_the_installed_recorder(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        with use_recorder(recorder):
+            path = trigger_dump("health.trip", monitor="residual")
+        assert path is not None
+        assert recorder.last_bundle["info"]["monitor"] == "residual"
+
+    def test_trigger_dump_forwards_force_through(self, tmp_path):
+        clock = FakeClock()
+        recorder = FlightRecorder(dump_dir=str(tmp_path), clock=clock)
+        with use_recorder(recorder):
+            assert trigger_dump("crash") is not None
+            assert trigger_dump("crash") is None
+            assert trigger_dump("crash", force=True) is not None
+
+    def test_trigger_dump_with_recorder_disabled_returns_none(self):
+        with use_recorder(None):
+            assert trigger_dump("nothing.listening") is None
+
+    def test_trigger_dump_never_raises(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+
+        def boom(reason, **info):
+            raise RuntimeError("dump machinery broken")
+
+        recorder.dump = boom
+        with use_recorder(recorder):
+            assert trigger_dump("crash") is None

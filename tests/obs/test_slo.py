@@ -1,0 +1,240 @@
+"""SLO engine edge cases: windows, budgets, burn-rate hysteresis."""
+
+import pytest
+
+from repro.obs.slo import (
+    BURN_PAIRS,
+    SLO,
+    SLOEngine,
+    default_objectives,
+    observe,
+    use_slo_engine,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def ratio_slo(**overrides) -> SLO:
+    kwargs = dict(target=0.99, window_s=3600.0)
+    kwargs.update(overrides)
+    return SLO("obj", "metric", **kwargs)
+
+
+class TestDeclaration:
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 1.5])
+    def test_target_outside_open_unit_interval_raises(self, target):
+        with pytest.raises(ValueError, match="target"):
+            ratio_slo(target=target)
+
+    def test_nonpositive_window_raises(self):
+        with pytest.raises(ValueError, match="window_s"):
+            ratio_slo(window_s=0.0)
+
+    def test_judge_latency_against_threshold(self):
+        slo = ratio_slo(threshold=0.25)
+        assert slo.judge(0.2, None) is True
+        assert slo.judge(0.25, None) is True
+        assert slo.judge(0.3, None) is False
+
+    def test_explicit_good_overrides_threshold(self):
+        slo = ratio_slo(threshold=0.25)
+        assert slo.judge(9.9, True) is True
+
+    def test_ratio_objective_without_judgement_raises(self):
+        with pytest.raises(ValueError, match="good="):
+            ratio_slo().judge(0.1, None)
+
+    def test_latency_objective_without_value_raises(self):
+        with pytest.raises(ValueError, match="value"):
+            ratio_slo(threshold=0.25).judge(None, None)
+
+
+class TestWindows:
+    def test_empty_window_is_met_with_zero_budget_consumed(self):
+        engine = SLOEngine([ratio_slo()], clock=FakeClock())
+        out = engine.evaluate("obj")
+        assert out["met"] is True
+        assert out["total"] == 0
+        assert out["budget_consumed"] == 0.0
+        assert out["budget_remaining"] == 1.0
+        assert out["good_fraction"] == 1.0
+
+    def test_samples_older_than_the_window_fall_out(self):
+        clock = FakeClock(0.0)
+        engine = SLOEngine([ratio_slo(window_s=100.0)], clock=clock)
+        engine.record("metric", good=False)  # t=0: bad
+        clock.t = 50.0
+        engine.record("metric", good=True)   # t=50: good
+        clock.t = 99.0
+        assert engine.evaluate("obj")["total"] == 2
+        clock.t = 101.0  # the bad sample at t=0 is now outside the window
+        out = engine.evaluate("obj")
+        assert out["total"] == 1
+        assert out["bad"] == 0
+        assert out["met"] is True
+
+    def test_future_samples_are_excluded_when_evaluating_the_past(self):
+        clock = FakeClock(0.0)
+        engine = SLOEngine([ratio_slo(window_s=100.0)], clock=clock)
+        engine.record("metric", good=True, t=10.0)
+        engine.record("metric", good=False, t=90.0)
+        assert engine.evaluate("obj", now=50.0)["total"] == 1
+
+    def test_unconsumed_metric_is_a_noop(self):
+        engine = SLOEngine([ratio_slo()], clock=FakeClock())
+        engine.record("some.other.metric", good=False)
+        assert engine.evaluate("obj")["total"] == 0
+
+    def test_clear_drops_samples_but_keeps_objectives(self):
+        engine = SLOEngine([ratio_slo()], clock=FakeClock())
+        engine.record("metric", good=False)
+        engine.clear()
+        assert engine.evaluate("obj")["total"] == 0
+        assert [s.name for s in engine.objectives()] == ["obj"]
+
+
+class TestBudget:
+    def test_budget_exactly_spent_at_the_boundary_still_met(self):
+        # 1 bad in 100 at target 0.99: the budget is exactly consumed
+        # (1.0) and the objective is exactly met, not violated.
+        engine = SLOEngine([ratio_slo()], clock=FakeClock())
+        for i in range(100):
+            engine.record("metric", good=i != 0)
+        out = engine.evaluate("obj")
+        assert out["budget_consumed"] == pytest.approx(1.0)
+        assert out["budget_remaining"] == pytest.approx(0.0)
+        assert out["met"] is True
+
+    def test_one_extra_bad_sample_violates(self):
+        engine = SLOEngine([ratio_slo()], clock=FakeClock())
+        for i in range(100):
+            engine.record("metric", good=i >= 2)
+        out = engine.evaluate("obj")
+        assert out["budget_consumed"] == pytest.approx(2.0)
+        assert out["met"] is False
+
+    def test_latency_values_yield_quantiles(self):
+        engine = SLOEngine([ratio_slo(threshold=0.25)], clock=FakeClock())
+        for ms in range(1, 101):
+            engine.record("metric", value=ms / 1000.0)
+        out = engine.evaluate("obj")
+        assert out["p50"] == pytest.approx(0.0505, abs=1e-6)
+        assert out["p99"] <= out["p999"] <= 0.1
+        assert out["met"] is True  # all <= 250 ms
+
+
+class TestBurnRateAlerts:
+    FAST_FACTOR = BURN_PAIRS[0][3]  # 14.4
+
+    def _engine(self):
+        clock = FakeClock(10_000.0)
+        return SLOEngine([ratio_slo()], clock=clock), clock
+
+    def _feed(self, engine, good: int, bad: int) -> None:
+        for _ in range(bad):
+            engine.record("metric", good=False)
+        for _ in range(good):
+            engine.record("metric", good=True)
+
+    def _fast_alert(self, engine):
+        return engine.evaluate("obj")["alerts"][0]
+
+    def test_fires_only_when_both_windows_exceed_the_factor(self):
+        # burn rate = bad_fraction / 0.01; 145/1000 bad = 14.5 > 14.4.
+        engine, _ = self._engine()
+        self._feed(engine, good=855, bad=145)
+        alert = self._fast_alert(engine)
+        assert alert["pair"] == "fast"
+        assert alert["short_burn_rate"] == pytest.approx(14.5)
+        assert alert["firing"] is True
+
+    def test_short_window_alone_does_not_fire(self):
+        # The bad burst sits 10 min in the past: inside the 1 h long
+        # window but outside the 5 min short window, so the fast pair
+        # must not page (the problem is not still happening).
+        engine, clock = self._engine()
+        self._feed(engine, good=0, bad=100)
+        clock.t += 600.0
+        alert = self._fast_alert(engine)
+        assert alert["short_burn_rate"] == 0.0
+        assert alert["long_burn_rate"] > self.FAST_FACTOR
+        assert alert["firing"] is False
+
+    def test_hysteresis_holds_between_clear_and_fire_thresholds(self):
+        engine, _ = self._engine()
+        self._feed(engine, good=855, bad=145)          # burn 14.5: fires
+        assert self._fast_alert(engine)["firing"] is True
+        self._feed(engine, good=100, bad=0)            # burn ~13.18
+        alert = self._fast_alert(engine)
+        assert alert["short_burn_rate"] < self.FAST_FACTOR
+        assert alert["short_burn_rate"] > self.FAST_FACTOR * 0.9
+        assert alert["firing"] is True                 # held by hysteresis
+
+    def test_alert_clears_below_ninety_percent_of_the_factor(self):
+        engine, _ = self._engine()
+        self._feed(engine, good=855, bad=145)
+        assert self._fast_alert(engine)["firing"] is True
+        self._feed(engine, good=500, bad=0)            # burn 9.7 < 12.96
+        assert self._fast_alert(engine)["firing"] is False
+
+    def test_never_fired_alert_stays_quiet_in_the_hysteresis_band(self):
+        # The same 13.09 burn rate that *holds* a firing alert must not
+        # *start* one: hysteresis is direction-dependent.
+        engine, _ = self._engine()
+        self._feed(engine, good=956, bad=144)
+        alert = self._fast_alert(engine)
+        assert alert["short_burn_rate"] > self.FAST_FACTOR * 0.9
+        assert alert["firing"] is False
+
+
+class TestReport:
+    def test_report_shape_and_firing_alerts(self):
+        clock = FakeClock()
+        engine = SLOEngine(default_objectives(), clock=clock)
+        for _ in range(100):
+            engine.record("serve.request", value=0.01)
+        engine.record("serve.admission", good=False)
+        report = engine.report()
+        assert report["now"] == clock.t
+        names = [o["name"] for o in report["objectives"]]
+        assert names == ["serve.request.latency", "serve.admission",
+                         "serve.degradation", "engine.health"]
+        # One rejection with zero admissions burns the whole budget.
+        assert report["ok"] is False
+        firing = {a["slo"] for a in report["firing_alerts"]}
+        assert "serve.admission" in firing
+
+    def test_default_objectives_route_metrics_by_name(self):
+        engine = SLOEngine(default_objectives(), clock=FakeClock())
+        engine.record("serve.request", value=0.3)     # bad: > 250 ms
+        engine.record("engine.health", good=True)
+        by_name = {o["name"]: o for o in engine.report()["objectives"]}
+        assert by_name["serve.request.latency"]["bad"] == 1
+        assert by_name["engine.health"]["good"] == 1
+        assert by_name["serve.degradation"]["total"] == 0
+
+
+class TestGlobalEngine:
+    def test_observe_feeds_the_installed_engine(self):
+        engine = SLOEngine([ratio_slo()], clock=FakeClock())
+        with use_slo_engine(engine):
+            observe("metric", good=True)
+            observe("metric", good=False)
+        assert engine.evaluate("obj")["total"] == 2
+
+    def test_observe_with_engine_disabled_is_a_noop(self):
+        with use_slo_engine(None):
+            observe("metric", good=False)  # must not raise
+
+    def test_use_slo_engine_restores_the_previous_engine(self):
+        from repro.obs.slo import get_slo_engine
+        before = get_slo_engine()
+        with use_slo_engine(SLOEngine([ratio_slo()])):
+            pass
+        assert get_slo_engine() is before

@@ -1,0 +1,110 @@
+"""Killed-worker acceptance: correlated post-mortem bundle + SLO report.
+
+The ISSUE's bar for the observability tier: kill a shard worker under
+load and, from the surviving parent process alone, reconstruct what
+happened — the shard.death / shard.respawn / shard.requeue narrative
+correlated by trace id in the event log, a flight-recorder bundle on
+disk holding that narrative, and an SLO report with error-budget
+accounting over the run.
+"""
+
+import glob
+import json
+import os
+import signal
+
+from repro.obs.events import EventLog, use_event_log
+from repro.obs.recorder import FlightRecorder, use_recorder
+from repro.obs.slo import SLOEngine, default_objectives, use_slo_engine
+from repro.serve.shard import ShardedSVDServer
+from repro.workloads import random_matrix
+
+
+def _serve_through_a_kill(tmp_path, n_requests: int = 12):
+    """Run a sharded burst, SIGKILL the busy shard, collect everything.
+
+    The router places same-shaped requests by affinity, so the whole
+    burst lands on one shard — whichever one this process's hash seed
+    picks.  The victim is therefore chosen *after* submission, as the
+    shard actually holding in-flight work; the matrices are large
+    enough that it cannot drain its queue before the SIGKILL lands, so
+    the death reliably orphans requests.
+    """
+    log = EventLog(capacity=4096)
+    engine = SLOEngine(default_objectives())
+    recorder = FlightRecorder(span_capacity=1024, dump_dir=str(tmp_path),
+                              throttle_s=0.0)
+    mats = [random_matrix(96, 48, seed=40 + i) for i in range(n_requests)]
+    with use_event_log(log), use_slo_engine(engine), use_recorder(recorder):
+        with ShardedSVDServer(shards=2, ping_interval_s=0.05,
+                              cache_bytes=None,
+                              worker_cache_bytes=None) as srv:
+            handles = srv.submit_many(mats)
+            busy = max(srv.stats()["shards"], key=lambda s: s["inflight"])
+            os.kill(busy["pid"], signal.SIGKILL)
+            responses = [h.result(timeout=120.0) for h in handles]
+    return log, engine, recorder, responses, busy["id"]
+
+
+class TestKilledWorkerPostmortem:
+    def test_death_narrative_is_correlated_and_dumped(self, tmp_path):
+        log, engine, recorder, responses, victim = \
+            _serve_through_a_kill(tmp_path)
+
+        # Zero loss, as the fault-tolerance tests already guarantee.
+        assert [r.status for r in responses] == ["ok"] * len(responses)
+
+        # -- the event narrative -------------------------------------
+        deaths = log.find("shard.death", shard=victim)
+        assert deaths, "the kill must be recorded as a shard.death event"
+        death = deaths[0]
+        orphans = set(death.fields["orphans"])
+        assert orphans, "the kill must orphan in-flight requests"
+
+        respawns = log.find("shard.respawn", shard=victim)
+        assert respawns, "the replacement worker must be recorded"
+        assert respawns[0].fields["generation"] >= 2
+
+        # Every orphaned request was re-queued, and every re-queue
+        # event carries a trace id from the death event's orphan list:
+        # one grep joins the kill to the requests it disrupted.
+        requeues = log.find("shard.requeue", shard=victim)
+        requeue_traces = {ev.trace_id for ev in requeues}
+        assert requeue_traces == orphans
+
+        # The disrupted requests still reached a terminal state: every
+        # requeue event names a request id that resolved ok.
+        by_rid = {r.request_id: r for r in responses}
+        for ev in requeues:
+            assert by_rid[ev.fields["request_id"]].status == "ok"
+
+        # -- the flight-recorder bundle ------------------------------
+        paths = glob.glob(str(tmp_path / "postmortem-shard.death-*.json"))
+        assert paths, "worker death must dump a post-mortem bundle"
+        with open(sorted(paths)[-1], encoding="utf-8") as fh:
+            bundle = json.load(fh)
+        assert bundle["reason"] == "shard.death"
+        assert bundle["info"]["shard"] == victim
+        bundled_names = {ev["name"] for ev in bundle["events"]}
+        assert {"shard.death", "shard.requeue"} <= bundled_names
+        bundled_requeue_traces = {
+            ev.get("trace_id") for ev in bundle["events"]
+            if ev["name"] == "shard.requeue"
+        }
+        assert orphans <= bundled_requeue_traces
+        # The bundle carries the SLO state at the moment of death.
+        assert bundle["slo"] is not None
+        assert any(o["name"] == "serve.request.latency"
+                   for o in bundle["slo"]["objectives"])
+
+        # -- the SLO report over the whole run -----------------------
+        report = engine.report()
+        by_name = {o["name"]: o for o in report["objectives"]}
+        latency = by_name["serve.request.latency"]
+        assert latency["total"] == len(responses)
+        assert latency["budget_consumed"] >= 0.0
+        assert latency["budget_consumed"] + latency["budget_remaining"] \
+            == 1.0
+        admissions = by_name["serve.admission"]
+        assert admissions["total"] == len(responses)
+        assert admissions["bad"] == 0

@@ -70,6 +70,7 @@ class TestPackageHygiene:
         exempt = {
             "repro.__main__",
             "repro.cli",
+            "repro.cli_obs",
             "repro.cli_ops",
             "repro.tools",
             "repro.tools.apidoc",
