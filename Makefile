@@ -2,7 +2,7 @@
 
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
 	shard-bench shard-smoke vectorized-bench mixed-bench obs-bench \
-	bench-baseline \
+	stream-bench stream-smoke bench-baseline \
 	bench-check trace-demo slo-demo eval examples apidoc all
 
 install:
@@ -40,6 +40,12 @@ mixed-bench:
 
 obs-bench:
 	PYTHONPATH=src python benchmarks/bench_obs.py --quick
+
+stream-bench:
+	PYTHONPATH=src python benchmarks/bench_stream.py
+
+stream-smoke:
+	PYTHONPATH=src python benchmarks/bench_stream.py --smoke
 
 bench-baseline:
 	PYTHONPATH=src python benchmarks/bench_baseline.py --update

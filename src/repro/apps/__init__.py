@@ -13,8 +13,14 @@
   storage accounting.
 * :mod:`repro.apps.pattern` — nearest-subspace (eigenfaces-style)
   pattern recognition.
+
+All rank-k estimators share the :class:`repro.apps.base.LowRankSVD`
+protocol: uniform ``rank`` / ``engine`` / ``engine_opts`` constructor
+vocabulary (resolved through :mod:`repro.core.registry`) and the
+``fit`` / ``partial_fit`` / ``transform`` / ``query`` verb set.
 """
 
+from repro.apps.base import LowRankSVD, make_solver
 from repro.apps.image import CompressedImage, compress_image, psnr, rank_for_energy
 from repro.apps.incremental import IncrementalSVD
 from repro.apps.lsi import LsiIndex, TermDocumentMatrix, tokenize
@@ -31,6 +37,7 @@ from repro.apps.truncated import randomized_svd, truncated_svd
 __all__ = [
     "CompressedImage",
     "IncrementalSVD",
+    "LowRankSVD",
     "LsiIndex",
     "PCA",
     "RobustPcaResult",
@@ -38,6 +45,7 @@ __all__ = [
     "TermDocumentMatrix",
     "compress_image",
     "make_class_dataset",
+    "make_solver",
     "psnr",
     "randomized_svd",
     "rank_for_energy",

@@ -9,30 +9,39 @@ block of new rows C with one small SVD of size (k + c):
 
 where ``L = C V`` are the new rows' coefficients in the current basis,
 ``H = C - L Vᵀ`` the out-of-basis residual, and ``Hᵀ = W K`` its QR.
-The small middle block is decomposed with the Hestenes-Jacobi engine —
+The small middle block is decomposed with the configured inner engine —
 another "small-to-medium column dimension" inner problem of exactly the
 shape the paper's accelerator targets.
+
+This is the row-arriving special case; the column-block generalization
+that runs out of core over :mod:`repro.stream.sources` lives in
+:class:`repro.stream.merge.StreamingMerger`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.svd import hestenes_svd
-from repro.util.validation import as_float_matrix, check_positive_int
+from repro.apps.base import LowRankSVD, warn_deprecated_kwarg
+from repro.util.validation import as_float_matrix
 
 __all__ = ["IncrementalSVD"]
 
 
-class IncrementalSVD:
+class IncrementalSVD(LowRankSVD):
     """Rank-k streaming SVD over row blocks.
 
     Parameters
     ----------
     rank : int
         Retained rank k.
-    max_sweeps : int
-        Sweep budget of the inner Hestenes-Jacobi solves.
+    engine : str
+        Inner dense engine (registry name or "golub_reinsch").
+    engine_opts : mapping, optional
+        Uniform solver options (``max_sweeps`` — default 12 — ``tol``,
+        ``precision``, ...) plus engine-specific knobs.
+    max_sweeps : int, optional
+        Deprecated alias for ``engine_opts={"max_sweeps": ...}``.
 
     Attributes (after the first :meth:`partial_fit`)
     ------------------------------------------------
@@ -52,20 +61,39 @@ class IncrementalSVD:
     40
     """
 
-    def __init__(self, rank: int, *, max_sweeps: int = 12) -> None:
-        self.rank = check_positive_int(rank, name="rank")
-        self.max_sweeps = check_positive_int(max_sweeps, name="max_sweeps")
+    def __init__(
+        self,
+        rank: int,
+        *,
+        engine: str = "blocked",
+        engine_opts=None,
+        max_sweeps: int | None = None,
+    ) -> None:
+        opts = dict(engine_opts) if engine_opts else {}
+        if max_sweeps is not None:
+            warn_deprecated_kwarg(
+                "IncrementalSVD", "max_sweeps", "engine_opts={'max_sweeps': ...}"
+            )
+            opts.setdefault("max_sweeps", max_sweeps)
+        if engine != "golub_reinsch":
+            opts.setdefault("max_sweeps", 12)
+        super().__init__(rank, engine=engine, engine_opts=opts)
         self.rows_seen_ = 0
 
     @property
     def _fitted(self) -> bool:
         return self.rows_seen_ > 0
 
+    def fit(self, rows) -> "IncrementalSVD":
+        """Reset and fit on one block (then stream more via partial_fit)."""
+        self.rows_seen_ = 0
+        return self.partial_fit(rows)
+
     def partial_fit(self, rows) -> "IncrementalSVD":
         """Fold a block of rows into the factorization."""
         c = as_float_matrix(rows, name="rows")
         if not self._fitted:
-            res = hestenes_svd(c, max_sweeps=self.max_sweeps)
+            res = self._solver(c)
             k = min(self.rank, len(res.s))
             self.u_ = res.u[:, :k].copy()
             self.s_ = res.s[:k].copy()
@@ -90,7 +118,7 @@ class IncrementalSVD:
         top = np.hstack([np.diag(self.s_), np.zeros((k, r))])
         bottom = np.hstack([l, kq.T])
         middle = np.vstack([top, bottom])
-        core = hestenes_svd(middle, max_sweeps=self.max_sweeps)
+        core = self._solver(middle)
 
         k_new = min(self.rank, len(core.s))
         # Rotate/extend the outer factors, then truncate.
@@ -109,12 +137,15 @@ class IncrementalSVD:
             raise RuntimeError("partial_fit was never called")
         return (self.u_ * self.s_) @ self.vt_
 
-    def project(self, rows) -> np.ndarray:
+    def transform(self, rows) -> np.ndarray:
         """Coefficients of new rows in the current right basis."""
         if not self._fitted:
             raise RuntimeError("partial_fit was never called")
         rows = as_float_matrix(rows, name="rows")
         return rows @ self.vt_.T
+
+    # Historical name, kept as a working alias of :meth:`transform`.
+    project = transform
 
     def __repr__(self) -> str:
         return (

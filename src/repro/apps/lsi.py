@@ -5,7 +5,13 @@ principal component analysis for latent semantic indexing as the
 future work."  This module builds that application end to end on the
 Hestenes-Jacobi SVD: tokenization, vocabulary, a tf-idf term-document
 matrix, truncated SVD into a latent space, folding-in of queries, and
-cosine-similarity retrieval.
+cosine-similarity retrieval.  :class:`LsiIndex` implements the
+:class:`repro.apps.base.LowRankSVD` protocol (uniform ``engine`` /
+``engine_opts``; the historical ``max_sweeps=`` keyword is a
+warning-level deprecation shim), and :meth:`LsiIndex.add_documents`
+routes new documents through the streaming merge-and-truncate core
+(:class:`repro.stream.merge.StreamingMerger`) — the latent space
+*rotates* to absorb them, unlike classic folding-in which froze it.
 
 Everything is self-contained (no external NLP dependencies): the
 tokenizer lower-cases, strips punctuation and drops a small stop list.
@@ -14,11 +20,11 @@ tokenizer lower-cases, strips punctuation and drops a small stop list.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.svd import hestenes_svd
+from repro.apps.base import LowRankSVD, warn_deprecated_kwarg
 from repro.util.validation import check_positive_int
 
 __all__ = ["tokenize", "TermDocumentMatrix", "LsiIndex"]
@@ -53,11 +59,15 @@ class TermDocumentMatrix:
         Term -> row index.
     documents : list[str]
         The raw documents, for reporting.
+    idf : (n_terms,) ndarray
+        The inverse-document-frequency weights fixed at build time
+        (reused to weight later documents consistently).
     """
 
     matrix: np.ndarray
     vocabulary: dict
     documents: list
+    idf: np.ndarray = field(default=None, repr=False)
 
     @classmethod
     def from_documents(cls, documents: list[str]) -> "TermDocumentMatrix":
@@ -85,27 +95,47 @@ class TermDocumentMatrix:
         df = np.count_nonzero(counts, axis=1)
         idf = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
         return cls(matrix=counts * idf[:, None], vocabulary=vocabulary,
-                   documents=list(documents))
+                   documents=list(documents), idf=idf)
 
-    def query_vector(self, query: str) -> np.ndarray:
-        """Embed a query string into term space (unknown terms ignored)."""
+    def _idf(self) -> np.ndarray:
+        if self.idf is not None:
+            return self.idf
+        return np.ones(len(self.vocabulary))
+
+    def count_vector(self, text: str) -> np.ndarray:
+        """Raw term counts of *text* in this vocabulary (unknown terms
+        ignored — the vocabulary is fixed at build time)."""
         v = np.zeros(len(self.vocabulary))
-        for t in tokenize(query):
+        for t in tokenize(text):
             idx = self.vocabulary.get(t)
             if idx is not None:
                 v[idx] += 1.0
         return v
 
+    def weighted_columns(self, documents: list[str]) -> np.ndarray:
+        """tf-idf columns for new documents under the frozen idf."""
+        cols = np.stack([self.count_vector(d) for d in documents], axis=1)
+        return cols * self._idf()[:, None]
 
-class LsiIndex:
+    def query_vector(self, query: str) -> np.ndarray:
+        """Embed a query string into term space (unknown terms ignored)."""
+        return self.count_vector(query)
+
+
+class LsiIndex(LowRankSVD):
     """A searchable latent semantic index.
 
     Parameters
     ----------
     rank : int
         Latent dimensions to keep (the truncation rank of the SVD).
-    max_sweeps : int
-        Sweep budget of the Hestenes-Jacobi engine.
+    engine : str
+        Inner dense engine (registry name or "golub_reinsch").
+    engine_opts : mapping, optional
+        Uniform solver options (``max_sweeps`` — default 12 — ``tol``,
+        ``precision``, ...) plus engine-specific knobs.
+    max_sweeps : int, optional
+        Deprecated alias for ``engine_opts={"max_sweeps": ...}``.
 
     Examples
     --------
@@ -121,9 +151,23 @@ class LsiIndex:
     [2, 3]
     """
 
-    def __init__(self, rank: int = 2, *, max_sweeps: int = 12) -> None:
-        self.rank = check_positive_int(rank, name="rank")
-        self.max_sweeps = check_positive_int(max_sweeps, name="max_sweeps")
+    def __init__(
+        self,
+        rank: int = 2,
+        *,
+        engine: str = "blocked",
+        engine_opts=None,
+        max_sweeps: int | None = None,
+    ) -> None:
+        opts = dict(engine_opts) if engine_opts else {}
+        if max_sweeps is not None:
+            warn_deprecated_kwarg(
+                "LsiIndex", "max_sweeps", "engine_opts={'max_sweeps': ...}"
+            )
+            opts.setdefault("max_sweeps", max_sweeps)
+        if engine != "golub_reinsch":
+            opts.setdefault("max_sweeps", 12)
+        super().__init__(rank, engine=engine, engine_opts=opts)
 
     def fit(self, documents: list[str]) -> "LsiIndex":
         """Build the index: tf-idf matrix -> truncated SVD -> doc embeddings."""
@@ -134,7 +178,7 @@ class LsiIndex:
             raise ValueError(
                 f"rank {self.rank} exceeds min(terms, docs) = {k_max}"
             )
-        res = hestenes_svd(a, max_sweeps=self.max_sweeps)
+        res = self._solver(a)
         k = self.rank
         self.term_space = res.u[:, :k]  # (n_terms, k)
         self.singular_values = res.s[:k]
@@ -153,6 +197,12 @@ class LsiIndex:
         q = self.tdm.query_vector(query)
         return q @ self.term_space
 
+    def transform(self, documents: list[str]) -> np.ndarray:
+        """Latent embeddings of new documents, one row each (fold-in)."""
+        self._check_fitted()
+        cols = self.tdm.weighted_columns(list(documents))
+        return cols.T @ self.term_space
+
     def search(self, query: str, top_k: int = 3) -> list[tuple[int, float]]:
         """Return ``[(doc_index, cosine_similarity), ...]``, best first.
 
@@ -161,7 +211,18 @@ class LsiIndex:
         """
         self._check_fitted()
         top_k = check_positive_int(top_k, name="top_k")
-        q = self.embed_query(query)
+        return self.search_vector(self.tdm.query_vector(query), top_k=top_k)
+
+    def search_vector(self, query_vec, top_k: int = 3) -> list[tuple[int, float]]:
+        """:meth:`search` for a pre-built term-space query vector.
+
+        This is the entry point ``task="lsi_query"`` serve requests
+        use — the query crosses the serving layer as a vector, not a
+        string.
+        """
+        self._check_fitted()
+        top_k = check_positive_int(top_k, name="top_k")
+        q = np.asarray(query_vec, dtype=float).reshape(-1) @ self.term_space
         qn = float(np.linalg.norm(q))
         sims = np.zeros(len(self.tdm.documents))
         if qn > 0.0:
@@ -171,28 +232,42 @@ class LsiIndex:
         order = np.argsort(-sims)[:top_k]
         return [(int(i), float(sims[i])) for i in order]
 
-    def add_documents(self, documents: list[str]) -> "LsiIndex":
-        """Fold new documents into the existing latent space.
+    def query(self, q: str, top_k: int = 3) -> list[tuple[int, float]]:
+        """Protocol verb: alias of :meth:`search`."""
+        return self.search(q, top_k=top_k)
 
-        The standard LSI update (Deerwester's folding-in): each new
-        document embeds as ``d_k = dᵀ U_k`` using the *existing* term
-        space — O(terms x rank) per document, no re-decomposition.
-        Terms unseen at fit time are ignored; after substantial drift a
-        full :meth:`fit` is the right tool (folding-in does not rotate
-        the space).
+    def add_documents(self, documents: list[str]) -> "LsiIndex":
+        """Absorb new documents through the streaming merge.
+
+        The new tf-idf columns (frozen vocabulary and idf — terms
+        unseen at fit time are ignored, as in classic folding-in) are
+        compressed and merged with the current factorization by
+        :class:`repro.stream.merge.StreamingMerger`, so the latent
+        space *rotates* to account for them instead of being frozen.
+        Queries afterwards agree with a from-scratch refit over the
+        same vocabulary to the merge-truncation tolerance (pinned by a
+        regression test); after substantial vocabulary drift a full
+        :meth:`fit` is still the right tool.
         """
         self._check_fitted()
         if not documents:
             raise ValueError("documents must be non-empty")
-        new_rows = []
-        for doc in documents:
-            counts = np.zeros(len(self.tdm.vocabulary))
-            for t in tokenize(doc):
-                idx = self.tdm.vocabulary.get(t)
-                if idx is not None:
-                    counts[idx] += 1.0
-            new_rows.append(counts @ self.term_space)
-        self.doc_embeddings = np.vstack([self.doc_embeddings, np.array(new_rows)])
+        from repro.stream.merge import StreamingMerger
+
+        new_cols = self.tdm.weighted_columns(list(documents))
+        s = self.singular_values
+        safe = np.where(s > 0, s, 1.0)
+        # Recover V1ᵀ from the stored embeddings (rows are V·S).
+        v1t = (self.doc_embeddings / safe).T
+        merger = StreamingMerger(self.rank, self._solver, store_vt=True)
+        merger.absorb_factorization(
+            self.term_space, s, v1t, n_cols=len(self.tdm.documents)
+        )
+        merger.absorb_block(new_cols)
+        self.term_space = merger.u_
+        self.singular_values = merger.s_
+        self.doc_embeddings = (merger.vt_ * merger.s_[:, None]).T
+        self.tdm.matrix = np.hstack([self.tdm.matrix, new_cols])
         self.tdm.documents.extend(documents)
         return self
 

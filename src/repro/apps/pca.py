@@ -4,37 +4,40 @@ The paper's framing: "SVD-based PCA has been used in many signal
 processing applications such as image processing, computer vision,
 pattern recognition and remote sensing" (Section I), and the planned
 extension is "principal component analysis for latent semantic
-indexing" (Section VII).  This module supplies the PCA layer, with the
-SVD engine selectable between the Hestenes-Jacobi implementations and
-the Golub-Reinsch baseline.
+indexing" (Section VII).  This module supplies the PCA layer on the
+unified :class:`repro.apps.base.LowRankSVD` protocol: the SVD engine
+is selectable among every registered Hestenes implementation and the
+Golub-Reinsch baseline via the uniform ``engine`` / ``engine_opts``
+vocabulary (the historical ``backend=`` / ``max_sweeps=`` keywords
+remain as warning-level deprecation shims).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.gkr_svd import golub_reinsch_svd
-from repro.core.svd import hestenes_svd
-from repro.util.validation import as_float_matrix, check_in_choices, check_positive_int
+from repro.apps.base import LowRankSVD, warn_deprecated_kwarg
+from repro.util.validation import as_float_matrix
 
 __all__ = ["PCA"]
 
-_BACKENDS = ("blocked", "modified", "reference", "preconditioned", "golub_reinsch")
 
-
-class PCA:
+class PCA(LowRankSVD):
     """Principal component analysis via singular value decomposition.
 
     Parameters
     ----------
     n_components : int, optional
         Components to keep; default all (min(n_samples, n_features)).
-    backend : str
-        SVD engine: "blocked" (default; the paper's algorithm,
-        round-vectorized), "modified", "reference", or "golub_reinsch".
-    max_sweeps : int
-        Sweep budget for the Jacobi backends (ignored by
-        golub_reinsch).
+    engine : str
+        SVD engine: any name registered in :mod:`repro.core.registry`
+        ("blocked" — the default, the paper's algorithm — "modified",
+        "reference", "vectorized", "preconditioned") or the
+        "golub_reinsch" baseline.
+    engine_opts : mapping, optional
+        Uniform solver options (``max_sweeps`` — default 10, ``tol``,
+        ``precision``, ...) plus engine-specific knobs, validated at
+        construction.
     center : bool
         Subtract the feature means before decomposing (standard PCA).
     whiten : bool
@@ -42,6 +45,9 @@ class PCA:
         (divide by ``s / sqrt(n_samples - 1)``); inverse_transform
         undoes the scaling.  Components with zero singular value map
         to zero scores rather than dividing by zero.
+    backend, max_sweeps
+        Deprecated aliases for ``engine`` and
+        ``engine_opts={"max_sweeps": ...}``; emit ``DeprecationWarning``.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -69,27 +75,37 @@ class PCA:
         self,
         n_components: int | None = None,
         *,
-        backend: str = "blocked",
-        max_sweeps: int = 10,
+        engine: str = "blocked",
+        engine_opts=None,
         center: bool = True,
         whiten: bool = False,
+        backend: str | None = None,
+        max_sweeps: int | None = None,
     ) -> None:
-        if n_components is not None:
-            check_positive_int(n_components, name="n_components")
-        check_in_choices(backend, _BACKENDS, name="backend")
-        check_positive_int(max_sweeps, name="max_sweeps")
-        self.n_components = n_components
-        self.backend = backend
-        self.max_sweeps = max_sweeps
+        opts = dict(engine_opts) if engine_opts else {}
+        if backend is not None:
+            warn_deprecated_kwarg("PCA", "backend", "engine=...")
+            engine = backend
+        if max_sweeps is not None:
+            warn_deprecated_kwarg("PCA", "max_sweeps", "engine_opts={'max_sweeps': ...}")
+            opts.setdefault("max_sweeps", max_sweeps)
+        if engine != "golub_reinsch":
+            opts.setdefault("max_sweeps", 10)
+        super().__init__(n_components, engine=engine, engine_opts=opts)
         self.center = center
         self.whiten = whiten
 
-    # -- fitting ------------------------------------------------------------
+    @property
+    def n_components(self) -> int | None:
+        """Alias of :attr:`rank` in PCA vocabulary."""
+        return self.rank
 
-    def _svd(self, x: np.ndarray):
-        if self.backend == "golub_reinsch":
-            return golub_reinsch_svd(x)
-        return hestenes_svd(x, method=self.backend, max_sweeps=self.max_sweeps)
+    @property
+    def backend(self) -> str:
+        """Deprecated alias of :attr:`engine` (read-only)."""
+        return self.engine
+
+    # -- fitting ------------------------------------------------------------
 
     def fit(self, x) -> "PCA":
         """Fit on an (n_samples, n_features) data matrix."""
@@ -98,14 +114,14 @@ class PCA:
         if n_samples < 2:
             raise ValueError("PCA needs at least 2 samples")
         k_max = min(n_samples, n_features)
-        k = k_max if self.n_components is None else self.n_components
+        k = k_max if self.rank is None else self.rank
         if k > k_max:
             raise ValueError(
                 f"n_components={k} exceeds min(n_samples, n_features)={k_max}"
             )
         self.mean_ = x.mean(axis=0) if self.center else np.zeros(n_features)
         centered = x - self.mean_
-        res = self._svd(centered)
+        res = self._solver(centered)
         self.components_ = res.vt[:k, :].copy()
         self.singular_values_ = res.s[:k].copy()
         self.explained_variance_ = res.s[:k] ** 2 / (n_samples - 1)
@@ -167,5 +183,5 @@ class PCA:
         return float(np.linalg.norm(x - recon)) / denom
 
     def __repr__(self) -> str:
-        k = self.n_components if self.n_components is not None else "all"
-        return f"PCA(n_components={k}, backend={self.backend!r})"
+        k = self.rank if self.rank is not None else "all"
+        return f"PCA(n_components={k}, engine={self.engine!r})"

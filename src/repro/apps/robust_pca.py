@@ -122,7 +122,8 @@ def _partial_svt(
             u, s, vt = _svd(a, "blocked", max_sweeps)
             break
         sketch = randomized_svd(
-            a, k, oversample=10, power_iterations=1, seed=seed, max_sweeps=max_sweeps
+            a, k, oversample=10, power_iterations=1, seed=seed,
+            engine_opts={"max_sweeps": max_sweeps},
         )
         u, s, vt = sketch.u, sketch.s, sketch.vt
         if s[-1] <= tau:  # the sketch reached below the threshold

@@ -12,27 +12,63 @@ PCA/LSI keep a handful of components.  Two routes are provided:
   (k+p)-column matrix — exactly the "small-to-medium column dimension"
   shape the paper's accelerator is fastest at, which is why randomized
   sketching is the natural host-side partner for this hardware.
+
+Both take the unified low-rank vocabulary of :mod:`repro.apps.base`:
+``engine`` (any registry name, or ``"golub_reinsch"``) and
+``engine_opts`` (uniform solver options like ``max_sweeps`` plus
+engine-specific knobs, ``precision`` included).  The historical
+``method=`` / ``max_sweeps=`` keywords remain as warning-level
+deprecation shims.  For inputs too large for memory, the same
+algorithms run out of core in :mod:`repro.stream.drivers`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.apps.base import make_solver, warn_deprecated_kwarg
 from repro.core.result import SVDResult
-from repro.core.svd import hestenes_svd
 from repro.util.rng import default_rng
 from repro.util.validation import as_float_matrix, check_nonnegative_int, check_positive_int
 
 __all__ = ["truncated_svd", "randomized_svd"]
 
 
-def truncated_svd(a, k: int, *, max_sweeps: int = 10, method: str = "blocked") -> SVDResult:
-    """Exact rank-k truncation: decompose fully, keep the top k triples."""
+def _resolve(name: str, engine: str, engine_opts, method, max_sweeps,
+             default_sweeps: int):
+    """Fold the deprecated ``method``/``max_sweeps`` keywords into the
+    unified ``(engine, engine_opts)`` pair and build the solver."""
+    opts = dict(engine_opts) if engine_opts else {}
+    if method is not None:
+        warn_deprecated_kwarg(name, "method", "engine=...")
+        engine = method
+    if max_sweeps is not None:
+        warn_deprecated_kwarg(name, "max_sweeps", "engine_opts={'max_sweeps': ...}")
+        opts.setdefault("max_sweeps", max_sweeps)
+    opts.setdefault("max_sweeps", default_sweeps)
+    return make_solver(engine, opts)
+
+
+def truncated_svd(
+    a,
+    k: int,
+    *,
+    engine: str = "blocked",
+    engine_opts=None,
+    method: str | None = None,
+    max_sweeps: int | None = None,
+) -> SVDResult:
+    """Exact rank-k truncation: decompose fully, keep the top k triples.
+
+    ``method=`` and ``max_sweeps=`` are deprecated aliases for
+    ``engine=`` and ``engine_opts={"max_sweeps": ...}``.
+    """
     a = as_float_matrix(a, name="a")
     k = check_positive_int(k, name="k")
     if k > min(a.shape):
         raise ValueError(f"k={k} exceeds min(m, n)={min(a.shape)}")
-    res = hestenes_svd(a, method=method, max_sweeps=max_sweeps)
+    solve = _resolve("truncated_svd", engine, engine_opts, method, max_sweeps, 10)
+    res = solve(a)
     return SVDResult(
         s=res.s[:k].copy(),
         u=res.u[:, :k].copy(),
@@ -41,6 +77,8 @@ def truncated_svd(a, k: int, *, max_sweeps: int = 10, method: str = "blocked") -
         trace=res.trace,
         method=f"truncated-{res.method}",
         converged=res.converged,
+        precision=res.precision,
+        fp32_sweeps=res.fp32_sweeps,
     )
 
 
@@ -51,8 +89,10 @@ def randomized_svd(
     oversample: int = 8,
     power_iterations: int = 2,
     seed=None,
-    max_sweeps: int = 10,
-    method: str = "blocked",
+    engine: str = "blocked",
+    engine_opts=None,
+    method: str | None = None,
+    max_sweeps: int | None = None,
 ) -> SVDResult:
     """Approximate rank-k SVD via the randomized range finder.
 
@@ -70,8 +110,14 @@ def randomized_svd(
         re-orthonormalized for stability.
     seed
         Randomness for the Gaussian test matrix.
-    max_sweeps, method
-        Passed to the inner Hestenes-Jacobi solve of the small core.
+    engine, engine_opts
+        Inner dense kernel for the small core, resolved through
+        :func:`repro.apps.base.make_solver` (registry engines plus
+        ``"golub_reinsch"``; ``engine_opts`` carries ``max_sweeps``,
+        ``precision``, ...).
+    method, max_sweeps
+        Deprecated aliases for ``engine`` and
+        ``engine_opts={"max_sweeps": ...}``; emit ``DeprecationWarning``.
 
     Returns
     -------
@@ -92,6 +138,7 @@ def randomized_svd(
     m, n = a.shape
     if k > min(m, n):
         raise ValueError(f"k={k} exceeds min(m, n)={min(m, n)}")
+    solve = _resolve("randomized_svd", engine, engine_opts, method, max_sweeps, 10)
     sketch = min(k + oversample, min(m, n))
     rng = default_rng(seed)
 
@@ -107,7 +154,7 @@ def randomized_svd(
     # wide matrix with few rows — `sketch` columns after transposition,
     # the accelerator-friendly shape).
     b = q.T @ a
-    core = hestenes_svd(b, method=method, max_sweeps=max_sweeps)
+    core = solve(b)
     u = q @ core.u
     return SVDResult(
         s=core.s[:k].copy(),
@@ -117,4 +164,6 @@ def randomized_svd(
         trace=core.trace,
         method=f"randomized-{core.method}",
         converged=core.converged,
+        precision=core.precision,
+        fp32_sweeps=core.fp32_sweeps,
     )

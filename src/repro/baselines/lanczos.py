@@ -132,12 +132,20 @@ def lanczos_svd(
     *,
     extra_steps: int = 10,
     seed=None,
+    engine: str | None = None,
+    engine_opts=None,
 ) -> SVDResult:
     """Partial SVD: top-k triples via Lanczos bidiagonalization.
 
     Runs ``k + extra_steps`` Krylov steps (the Ritz values at the top
     of the spectrum converge first; the margin buys accuracy), then
-    decomposes the small bidiagonal with the library's own QR iteration.
+    decomposes the small bidiagonal.  With ``engine=None`` (the
+    default) that inner solve is the library's own bidiagonal QR
+    iteration; naming an *engine* routes it through the same
+    ``(engine, engine_opts)`` vocabulary as every other low-rank
+    surface (:func:`repro.apps.base.make_solver` — registry engines
+    plus ``"golub_reinsch"``), which is what lets the streaming
+    drivers swap inner kernels without special-casing this baseline.
     """
     a = as_float_matrix(a, name="a")
     k = check_positive_int(k, name="k")
@@ -145,10 +153,28 @@ def lanczos_svd(
         raise ValueError(f"k={k} exceeds min(m, n)={min(a.shape)}")
     steps = min(k + extra_steps, min(a.shape))
     u_l, alphas, betas, v_l = lanczos_bidiagonalization(a, steps, seed=seed)
+    l = len(alphas)
+
+    if engine is not None:
+        # Dense small upper bidiagonal through a registered engine.
+        from repro.apps.base import make_solver
+
+        bi = np.diag(alphas)
+        if l > 1:
+            bi[np.arange(l - 1), np.arange(1, l)] = betas[: l - 1]
+        core = make_solver(engine, engine_opts)(bi)
+        return SVDResult(
+            s=core.s[:k].copy(),
+            u=(u_l @ core.u)[:, :k].copy(),
+            vt=(core.vt @ v_l.T)[:k, :].copy(),
+            sweeps=core.sweeps,
+            trace=core.trace,
+            method=f"lanczos-{core.method}",
+            converged=core.converged,
+        )
 
     # B is upper bidiagonal: decompose it with the library's own QR
     # iteration, then lift: A ~ (U_l P) diag(d) (Qᵀ V_lᵀ).
-    l = len(alphas)
     d, p, qt = qr_iterate_bidiagonal(alphas, betas, np.eye(l), np.eye(l))
     order = np.argsort(np.abs(d))[::-1]
     signs = np.sign(d[order])

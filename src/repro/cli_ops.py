@@ -20,6 +20,10 @@ commands) and registered into the same ``repro`` argument parser via
   :mod:`repro.eval.benchgate` and gate against the committed
   ``BENCH_CORE.json`` / ``BENCH_SERVE.json`` baselines (``--update``
   rewrites them; ``--inject-slowdown`` is the self-test hook).
+* ``lsi-demo`` — fit a small :class:`repro.apps.lsi.LsiIndex`, host it
+  behind the serving tier, and run ``lsi_query`` / ``topk_svd`` task
+  requests through the server, including an ``add_documents`` update
+  that invalidates cached query results.
 The observability commands (``slo-report``, ``events``) live in
 :mod:`repro.cli_obs`.
 """
@@ -220,6 +224,90 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+#: The lsi-demo corpus: two clearly separated topics so a rank-2
+#: index retrieves cleanly, plus an update batch for add_documents.
+_DEMO_DOCS = [
+    "fpga hardware acceleration of matrix decomposition",
+    "hardware architectures for fast signal processing",
+    "matrix decomposition with jacobi rotations on hardware",
+    "systolic arrays for singular value decomposition",
+    "gardening tips for tomato plants",
+    "growing tomato and basil plants in summer",
+    "watering schedule for summer gardening",
+]
+_DEMO_UPDATE = ["pruning tomato plants in the summer garden"]
+
+
+def _cmd_lsi_demo(args) -> int:
+    from repro.apps.lsi import LsiIndex
+    from repro.serve import SVDServer
+    from repro.stream.serving import (
+        decode_lsi_hits,
+        index_version,
+        register_index,
+        unregister_index,
+    )
+
+    info = sys.stderr if args.json else sys.stdout
+    index = LsiIndex(rank=args.rank, engine=args.engine).fit(_DEMO_DOCS)
+    register_index("demo", index)
+    print(f"lsi-demo: rank-{args.rank} index over {len(_DEMO_DOCS)} "
+          f"documents ({index.term_space.shape[0]} terms), hosted as "
+          f"'demo' v{index_version('demo')}", file=info)
+    try:
+        with SVDServer() as srv:
+            def ask(query):
+                q = index.tdm.query_vector(query).reshape(-1, 1)
+                resp = srv.submit(q, task="lsi_query", index="demo",
+                                  top_k=args.top_k).result(timeout=120.0)
+                if not resp.ok:
+                    raise RuntimeError(f"query failed: {resp.error}")
+                return resp, decode_lsi_hits(resp.result)
+
+            rounds = []
+            for query in (args.query, args.query, "hardware svd"):
+                resp, hits = ask(query)
+                rounds.append({
+                    "query": query, "cache_hit": resp.cache_hit,
+                    "hits": [{"doc": d, "score": round(score, 4),
+                              "text": _DEMO_DOCS[d]} for d, score in hits],
+                })
+            index.add_documents(_DEMO_UPDATE)
+            resp, hits = ask(args.query)
+            rounds.append({
+                "query": args.query, "cache_hit": resp.cache_hit,
+                "after_update": True,
+                "hits": [{"doc": d, "score": round(score, 4),
+                          "text": (_DEMO_DOCS + _DEMO_UPDATE)[d]}
+                         for d, score in hits],
+            })
+            topk = srv.submit(index.tdm.matrix, task="topk_svd",
+                              rank=args.rank).result(timeout=120.0)
+            queries = srv.metrics.counter("task_lsi_query_requests").value
+    finally:
+        unregister_index("demo")
+    ok = (rounds[1]["cache_hit"] and not rounds[3]["cache_hit"]
+          and topk.ok)
+    if args.json:
+        print(json.dumps({
+            "rounds": rounds, "lsi_query_requests": queries,
+            "topk_spectrum": list(topk.result.s), "ok": ok,
+        }, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    for r in rounds:
+        tag = " (after add_documents)" if r.get("after_update") else ""
+        print(f"query '{r['query']}'{tag}: "
+              f"cache_hit={r['cache_hit']}")
+        for h in r["hits"]:
+            print(f"    doc {h['doc']}  score {h['score']:+.4f}  "
+                  f"{h['text']}")
+    print(f"  served {queries} lsi_query requests; repeat query was a "
+          f"cache hit, update invalidated it: {ok}")
+    print(f"  topk_svd on the term-document matrix (rank {args.rank}): "
+          f"spectrum {[round(float(s), 3) for s in topk.result.s]}")
+    return 0 if ok else 1
+
+
 def _cmd_bench_compare(args) -> int:
     from pathlib import Path
 
@@ -322,6 +410,21 @@ def add_ops_commands(sub, methods) -> None:
                     help="run a small workload first so the registry "
                          "has content")
     st.set_defaults(func=_cmd_stats)
+
+    ld = sub.add_parser("lsi-demo",
+                        help="serve LSI queries from a hosted index")
+    ld.add_argument("--rank", type=int, default=2,
+                    help="latent dimensions of the index")
+    ld.add_argument("--engine", default="blocked",
+                    choices=methods,
+                    help="Hestenes engine that factorizes the index")
+    ld.add_argument("--query", default="tomato gardening in summer",
+                    help="query text (issued twice to show caching)")
+    ld.add_argument("--top-k", type=int, default=3)
+    ld.add_argument("--json", action="store_true",
+                    help="emit the query rounds as JSON on stdout "
+                         "(progress lines go to stderr)")
+    ld.set_defaults(func=_cmd_lsi_demo)
 
     bc = sub.add_parser("bench-compare",
                         help="benchmark regression gate vs BENCH_*.json")

@@ -239,6 +239,26 @@ def _serve_cached_case(reps: int) -> float:
     return _best_of(once, reps)
 
 
+def _stream_topk_case(reps: int) -> float:
+    """Seconds per rank-8 streamed truncation (merge-and-truncate driver).
+
+    Exercises the out-of-core pipeline end to end — block chunking,
+    per-block compression, and the merge's small dense SVDs — on a
+    request-sized matrix, so a regression in any stream layer moves it.
+    """
+    from repro.stream.drivers import topk_svd
+    from repro.workloads import random_matrix
+
+    a = random_matrix(96, 48, seed=3)
+
+    def once() -> float:
+        start = time.perf_counter()
+        topk_svd(a, 8, driver="merge", block_size=16)
+        return time.perf_counter() - start
+
+    return _best_of(once, reps)
+
+
 def core_cases() -> dict:
     """The pinned core suite: name -> callable(reps) -> seconds-per-unit."""
     return {
@@ -250,6 +270,7 @@ def core_cases() -> dict:
         "core.vectorized.256": _precision_case("fp64"),
         "core.vectorized_mixed.256": _precision_case("mixed"),
         "core.preconditioned.128x64": _engine_case("preconditioned", n=64, m=128),
+        "stream.topk.96x48": _stream_topk_case,
         "hw.estimate.512": _hw_estimate_case,
         "obs.span_disabled": _span_disabled_case,
         "obs.counter_labeled_inc": _metric_inc_case,

@@ -159,6 +159,34 @@ class EngineExecutor:
         return batch_svd(matrices, workers=self.workers, solver=solver,
                          pool=self.pool)
 
+    def _topk_dispatch(self, matrices, options: dict, rank: int,
+                       driver: str, method: str | None = None) -> list[SVDResult]:
+        """Dispatch a ``task="topk_svd"`` batch through the worker pool.
+
+        The :class:`repro.stream.serving.TopkSolver` adapter exposes
+        ``.decompose``, so the batch rides :func:`batch_svd` exactly
+        like plain SVD traffic (same pool, same span propagation).
+        """
+        from repro.stream.serving import TopkSolver
+
+        opts = options if method is None else {**options, "method": method}
+        solver = TopkSolver(rank, driver=driver, options=opts)
+        return batch_svd(matrices, workers=self.workers, solver=solver,
+                         pool=self.pool)
+
+    def _lsi_dispatch(self, matrices, options: dict) -> list[SVDResult]:
+        """Resolve a ``task="lsi_query"`` batch against hosted indexes.
+
+        Pure in-process retrieval — no decomposition, no degradation
+        chain; a missing index or shape mismatch propagates as an
+        error response.
+        """
+        from repro.stream.serving import resolve_lsi_query
+
+        index = options["index"]
+        top_k = options.get("top_k", 3)
+        return [resolve_lsi_query(index, vec, top_k=top_k) for vec in matrices]
+
     def _hw_dispatch(self, matrices, options: dict) -> list[SVDResult]:
         from repro.hw import HestenesJacobiAccelerator
 
@@ -202,23 +230,50 @@ class EngineExecutor:
         return results, engine_used
 
     def _degrade(self, matrices, options: dict, engine: str,
-                 reason: str) -> list[SVDResult]:
+                 reason: str, runner=None) -> list[SVDResult]:
         """Fall back to the core path, recording the transition.
 
-        The event and span inherit the ambient trace id (the dispatch
-        runs inside the server's ``serve.engine`` span / event
-        context), so a degraded request's narrative stays correlated
-        end to end.
+        *runner* overrides the fallback computation (the topk path
+        degrades to core-engine truncation, not to a full SVD); the
+        default is the plain core dispatch.  The event and span
+        inherit the ambient trace id (the dispatch runs inside the
+        server's ``serve.engine`` span / event context), so a degraded
+        request's narrative stays correlated end to end.
         """
         self.degradations += 1
         emit("serve.degrade", from_engine=engine, to_engine="core",
              reason=reason)
         with span("serve.degrade", from_engine=engine, to_engine="core",
                   reason=reason):
+            if runner is not None:
+                return runner()
             return self._core_dispatch(matrices, options)
 
     def _dispatch_with_fallback(self, matrices, options: dict, engine: str,
                                 deadline_budget_s: float | None):
+        options = dict(options)
+        task = options.pop("task", "svd")
+        if task == "lsi_query":
+            return self._lsi_dispatch(matrices, options), engine
+        if task == "topk_svd":
+            rank = options.pop("rank")
+            driver = options.pop("driver", "exact")
+            options.pop("index_version", None)
+            if engine in ("core", "hw"):  # hw is rejected at submission
+                return self._topk_dispatch(matrices, options, rank,
+                                           driver), "core"
+            try:
+                return self._topk_dispatch(matrices, options, rank, driver,
+                                           method=engine), engine
+            except Exception as exc:
+                if not self.allow_degradation:
+                    raise
+                return self._degrade(
+                    matrices, options, engine,
+                    f"engine_error:{type(exc).__name__}",
+                    runner=lambda: self._topk_dispatch(
+                        matrices, options, rank, driver),
+                ), "core"
         if engine == "core":
             return self._core_dispatch(matrices, options), "core"
         if engine != "hw":

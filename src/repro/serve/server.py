@@ -185,17 +185,15 @@ class SVDServer:
         if trace_id is None and self.tracer is not None:
             trace_id = request_id
         request = make_request(
-            matrix,
-            request_id=request_id,
+            matrix, request_id=request_id,
             engine=engine or self.default_engine,
-            now=now,
-            timeout=timeout,
-            trace_id=trace_id,
-            **merged,
+            now=now, timeout=timeout, trace_id=trace_id, **merged,
         )
         emit("serve.request.submitted",
              trace_id=request.trace_id or request.request_id,
-             request_id=request.request_id, engine=request.engine)
+             request_id=request.request_id, engine=request.engine,
+             task=request.task)
+        self.metrics.counter(f"task_{request.task}_requests").inc()
         handle = ResponseHandle(request.request_id)
         if self.cache is not None:
             cached = self.cache.get(request.cache_key)

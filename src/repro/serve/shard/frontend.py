@@ -162,6 +162,15 @@ class ShardedSVDServer:
         """
         if self._closed:
             raise ServerClosed("sharded server is closed")
+        if options.get("task") == "lsi_query":
+            # LSI indexes are hosted in-process; shard workers are
+            # separate processes and hold none.  topk_svd shards fine.
+            raise ValueError(
+                "task='lsi_query' is not available on the shard tier "
+                "(indexes live in the serving process); use a single-"
+                "process SVDServer, or task='topk_svd' for sharded "
+                "truncation"
+            )
         now = self._clock()
         request_id = f"req-{next(self._ids)}"
         trace_start = self.tracer.now() if self.tracer is not None else None

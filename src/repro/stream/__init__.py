@@ -1,0 +1,64 @@
+"""Out-of-core streaming truncated SVD.
+
+The subsystem the ROADMAP's "LSI-scale corpora" item calls for: matrix
+*sources* stream column blocks without materializing the dense array
+(:mod:`repro.stream.sources`), the *merge core* maintains a
+bounded-memory rank-k factorization by incremental merge-and-truncate
+(:mod:`repro.stream.merge`), two truncated *drivers* — randomized
+range-finder and Lanczos bidiagonalization — run out of core with
+registered Hestenes engines as the dense inner kernel
+(:mod:`repro.stream.drivers`), and the *serving adapters* put
+``topk_svd`` / ``lsi_query`` traffic on the existing serve tiers
+(:mod:`repro.stream.serving`).  See ``docs/STREAMING.md``.
+"""
+
+from repro.stream.drivers import (
+    TOPK_DRIVERS,
+    streamed_lanczos_svd,
+    streamed_randomized_svd,
+    topk_svd,
+)
+from repro.stream.merge import StreamingMerger, StreamSVD
+from repro.stream.serving import (
+    TopkSolver,
+    decode_lsi_hits,
+    get_index,
+    index_version,
+    register_index,
+    registered_indexes,
+    resolve_lsi_query,
+    unregister_index,
+)
+from repro.stream.sources import (
+    ArraySource,
+    GeneratorSource,
+    MatrixSource,
+    NpyFileSource,
+    SparseBlock,
+    SparseBlockSource,
+    SyntheticCorpusSource,
+)
+
+__all__ = [
+    "ArraySource",
+    "GeneratorSource",
+    "MatrixSource",
+    "NpyFileSource",
+    "SparseBlock",
+    "SparseBlockSource",
+    "StreamSVD",
+    "StreamingMerger",
+    "SyntheticCorpusSource",
+    "TOPK_DRIVERS",
+    "TopkSolver",
+    "decode_lsi_hits",
+    "get_index",
+    "index_version",
+    "register_index",
+    "registered_indexes",
+    "resolve_lsi_query",
+    "streamed_lanczos_svd",
+    "streamed_randomized_svd",
+    "topk_svd",
+    "unregister_index",
+]

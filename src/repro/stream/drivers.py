@@ -1,0 +1,279 @@
+"""Truncated SVD drivers over matrix sources.
+
+Two classic truncated algorithms re-hosted on the streaming
+abstraction, both using registered Hestenes engines (via
+:func:`repro.apps.base.make_solver`, so ``precision="mixed"`` and every
+other engine_opt work unchanged) for their small dense inner problems:
+
+* :func:`streamed_randomized_svd` — the Halko-Martinsson-Tropp range
+  finder, out of core: pass 1 accumulates the sketch ``Y = A·Omega``
+  block by block (with a per-block seeded slice of Omega, so every
+  pass regenerates the same test matrix without storing it); pass 2
+  assembles ``B = Qᵀ A``; the small core is decomposed transposed —
+  few columns, the engine-friendly orientation.
+* :func:`streamed_lanczos_svd` — Golub-Kahan-Lanczos
+  bidiagonalization driven entirely by ``source.matvec`` /
+  ``source.rmatvec`` (one pass over the blocks per product), with the
+  small bidiagonal decomposed densely by the inner engine.
+
+Working memory is O((m + n)·l) for sketch width / Krylov size l — the
+factors themselves — never the m x n matrix.  For state bounded in n
+too, use :class:`repro.stream.merge.StreamingMerger` with
+``store_vt=False``.
+
+:func:`topk_svd` is the dense front door the serving layer calls: one
+matrix in, rank-k :class:`SVDResult` out, driver selectable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import make_solver
+from repro.core.result import SVDResult
+from repro.stream.sources import ArraySource, MatrixSource
+from repro.util.validation import (
+    as_float_matrix,
+    check_nonnegative_int,
+    check_positive_int,
+)
+
+__all__ = [
+    "streamed_randomized_svd",
+    "streamed_lanczos_svd",
+    "topk_svd",
+    "TOPK_DRIVERS",
+]
+
+#: Drivers :func:`topk_svd` accepts.
+TOPK_DRIVERS = ("exact", "merge", "randomized", "lanczos")
+
+
+def _seed_base(seed) -> int:
+    """A stable integer to key per-block generators from (``seed`` may
+    be None, an int, or a Generator — only ints replay exactly)."""
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(2**32))
+    return int(np.random.SeedSequence(seed).entropy % (2**63))
+
+
+def _block_omega(base: int, index: int, width: int, sketch: int) -> np.ndarray:
+    """The ``(width, sketch)`` slice of the Gaussian test matrix for
+    block *index* — regenerated, never stored."""
+    rng = np.random.default_rng([5, base, index])
+    return rng.standard_normal((width, sketch))
+
+
+def streamed_randomized_svd(
+    source: MatrixSource,
+    rank: int,
+    *,
+    oversample: int = 8,
+    power_iterations: int = 0,
+    engine: str = "blocked",
+    engine_opts=None,
+    seed=None,
+    solver=None,
+) -> SVDResult:
+    """Rank-k randomized SVD of a streamed source (two+ passes).
+
+    Each power iteration costs two extra passes over the source; with
+    the block-deterministic Omega the passes see identical data, so
+    the result matches the in-memory algorithm up to roundoff.  An
+    explicit *solver* callable overrides ``(engine, engine_opts)`` —
+    the serving adapter injects a pre-validated one.
+    """
+    rank = check_positive_int(rank, name="rank")
+    oversample = check_nonnegative_int(oversample, name="oversample")
+    power_iterations = check_nonnegative_int(power_iterations, name="power_iterations")
+    m, n = source.shape
+    if rank > min(m, n):
+        raise ValueError(f"rank={rank} exceeds min(m, n)={min(m, n)}")
+    sketch = min(rank + oversample, min(m, n))
+    base = _seed_base(seed)
+    solve = solver if solver is not None else make_solver(engine, engine_opts)
+
+    # Pass 1: Y = A Omega, one block at a time.
+    y = np.zeros((m, sketch))
+    for index, block in enumerate(source.blocks()):
+        width = block.shape[1]
+        if width:
+            y += block @ _block_omega(base, index, width, sketch)
+    q, _ = np.linalg.qr(y)
+
+    for _ in range(power_iterations):
+        # z = Aᵀ q (one pass), then y = A z (one pass); re-orthonormalize.
+        z = np.zeros((n, sketch))
+        j = 0
+        for block in source.blocks():
+            width = block.shape[1]
+            if width:
+                z[j:j + width] = block.T @ q
+            j += width
+        z, _ = np.linalg.qr(z)
+        y = np.zeros((m, sketch))
+        j = 0
+        for block in source.blocks():
+            width = block.shape[1]
+            if width:
+                y += block @ z[j:j + width]
+            j += width
+        q, _ = np.linalg.qr(y)
+
+    # Pass 2: B = Qᵀ A, assembled blockwise; decompose transposed
+    # (n x sketch — few columns, the one-sided-Jacobi-friendly shape).
+    b = np.empty((sketch, n))
+    j = 0
+    for block in source.blocks():
+        width = block.shape[1]
+        if width:
+            b[:, j:j + width] = q.T @ block
+        j += width
+    core = solve(b.T)
+    u = q @ core.vt.T  # B = (core.vt)ᵀ diag(s) (core.u)ᵀ
+    vt = core.u.T
+    return SVDResult(
+        s=core.s[:rank].copy(),
+        u=u[:, :rank].copy(),
+        vt=vt[:rank, :].copy(),
+        sweeps=core.sweeps,
+        trace=core.trace,
+        method=f"stream-randomized-{core.method}",
+        converged=core.converged,
+    )
+
+
+def streamed_lanczos_svd(
+    source: MatrixSource,
+    rank: int,
+    *,
+    extra_steps: int = 10,
+    engine: str = "blocked",
+    engine_opts=None,
+    seed=None,
+    reorthogonalize: bool = True,
+    solver=None,
+) -> SVDResult:
+    """Rank-k Lanczos SVD driven by source matvec/rmatvec passes.
+
+    Runs ``rank + extra_steps`` Golub-Kahan steps (each one full pass
+    for ``A v`` and one for ``Aᵀ u``), builds the small upper
+    bidiagonal densely, and decomposes it with the inner engine.
+    Krylov bases are fully reorthogonalized by default — the classic
+    finite-precision failure mode otherwise.
+    """
+    rank = check_positive_int(rank, name="rank")
+    check_nonnegative_int(extra_steps, name="extra_steps")
+    m, n = source.shape
+    if rank > min(m, n):
+        raise ValueError(f"rank={rank} exceeds min(m, n)={min(m, n)}")
+    steps = min(rank + extra_steps, min(m, n))
+    solve = solver if solver is not None else make_solver(engine, engine_opts)
+    rng = np.random.default_rng([7, _seed_base(seed)])
+
+    v = np.zeros((n, steps))
+    u = np.zeros((m, steps))
+    alphas = np.zeros(steps)
+    betas = np.zeros(max(steps - 1, 0))
+    vj = rng.standard_normal(n)
+    vj /= np.linalg.norm(vj)
+    uj_prev = None
+    l = steps
+    for j in range(steps):
+        v[:, j] = vj
+        w = source.matvec(vj)
+        if j > 0:
+            w -= betas[j - 1] * uj_prev
+        if reorthogonalize and j > 0:
+            w -= u[:, :j] @ (u[:, :j].T @ w)
+        alpha = float(np.linalg.norm(w))
+        if alpha == 0.0:  # invariant subspace: stop with what converged
+            l = j
+            break
+        uj = w / alpha
+        alphas[j] = alpha
+        u[:, j] = uj
+        if j == steps - 1:
+            break
+        z = source.rmatvec(uj) - alpha * vj
+        if reorthogonalize:
+            z -= v[:, :j + 1] @ (v[:, :j + 1].T @ z)
+        beta = float(np.linalg.norm(z))
+        if beta == 0.0:
+            l = j + 1
+            break
+        vj = z / beta
+        betas[j] = beta
+        uj_prev = uj
+    if l == 0:
+        raise ValueError("Lanczos broke down on the first step (zero matrix?)")
+    u, v, alphas, betas = u[:, :l], v[:, :l], alphas[:l], betas[:max(l - 1, 0)]
+
+    # Dense small upper bidiagonal, decomposed by the inner engine.
+    bi = np.diag(alphas)
+    if l > 1:
+        bi[np.arange(l - 1), np.arange(1, l)] = betas
+    core = solve(bi)
+    k = min(rank, l)
+    return SVDResult(
+        s=core.s[:k].copy(),
+        u=(u @ core.u)[:, :k].copy(),
+        vt=(core.vt @ v.T)[:k, :].copy(),
+        sweeps=core.sweeps,
+        trace=core.trace,
+        method=f"stream-lanczos-{core.method}",
+        converged=core.converged,
+    )
+
+
+def topk_svd(
+    a,
+    rank: int,
+    *,
+    driver: str = "exact",
+    engine: str = "blocked",
+    engine_opts=None,
+    block_size: int = 256,
+    seed=None,
+) -> SVDResult:
+    """Top-k SVD of a dense matrix — the serving layer's front door.
+
+    ``driver="exact"`` decomposes fully and truncates (the accurate
+    default for request-sized matrices); "merge", "randomized" and
+    "lanczos" run the corresponding streaming path over an
+    :class:`~repro.stream.sources.ArraySource`, exercising the same
+    code the out-of-core pipeline uses.
+    """
+    a = as_float_matrix(a, name="a")
+    rank = check_positive_int(rank, name="rank")
+    if rank > min(a.shape):
+        raise ValueError(f"rank={rank} exceeds min(m, n)={min(a.shape)}")
+    if driver not in TOPK_DRIVERS:
+        raise ValueError(f"driver must be one of {TOPK_DRIVERS}, got {driver!r}")
+    if driver == "exact":
+        res = make_solver(engine, engine_opts)(a)
+        return SVDResult(
+            s=res.s[:rank].copy(),
+            u=res.u[:, :rank].copy(),
+            vt=res.vt[:rank, :].copy(),
+            sweeps=res.sweeps,
+            trace=res.trace,
+            method=f"topk-{res.method}",
+            converged=res.converged,
+            precision=res.precision,
+            fp32_sweeps=res.fp32_sweeps,
+        )
+    source = ArraySource(a, block_size=block_size)
+    if driver == "randomized":
+        return streamed_randomized_svd(
+            source, rank, engine=engine, engine_opts=engine_opts, seed=seed
+        )
+    if driver == "lanczos":
+        return streamed_lanczos_svd(
+            source, rank, engine=engine, engine_opts=engine_opts, seed=seed
+        )
+    from repro.stream.merge import StreamingMerger
+
+    merger = StreamingMerger(rank, make_solver(engine, engine_opts))
+    merger.consume(source)
+    return merger.result()

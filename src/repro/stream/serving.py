@@ -1,0 +1,184 @@
+"""Serving adapters: top-k tasks and the in-process LSI index registry.
+
+The serve tier speaks matrices and :class:`SVDResult` objects; this
+module adapts the streaming subsystem to that vocabulary so top-k
+requests ride the existing batching / cache / retry / metrics / SLO
+machinery unchanged:
+
+* :class:`TopkSolver` — a ``.decompose(a)`` adapter over
+  :func:`repro.stream.drivers.topk_svd`, so the executor can hand a
+  micro-batch of ``task="topk_svd"`` requests to
+  :func:`repro.core.batch.batch_svd` exactly like plain SVD traffic
+  (same worker pool, same span propagation).
+* The **index registry** — named :class:`repro.apps.lsi.LsiIndex`
+  instances a server process hosts.  ``task="lsi_query"`` requests
+  carry the index *name*; the matrix payload is the query vector in
+  term space.  Because the index lives in this process, the shard
+  front-end rejects ``lsi_query`` at submission (workers are separate
+  processes and hold no indexes); ``topk_svd`` shards fine.
+* :func:`resolve_lsi_query` — runs one query and encodes the hit list
+  as an :class:`SVDResult`: ``s`` holds the cosine scores (best
+  first), ``u`` the matching document indices as a ``(k, 1)`` float
+  column.  A documented transport encoding, not a decomposition —
+  ``method="lsi-query"`` marks it.
+
+:func:`index_version` feeds the request cache key so a query cached
+before :meth:`~repro.apps.lsi.LsiIndex.add_documents` never serves a
+stale hit list afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.result import SVDResult
+from repro.core.svd import HestenesJacobiSVD
+from repro.stream.drivers import TOPK_DRIVERS, streamed_lanczos_svd, streamed_randomized_svd
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "TopkSolver",
+    "register_index",
+    "unregister_index",
+    "get_index",
+    "registered_indexes",
+    "index_version",
+    "resolve_lsi_query",
+    "decode_lsi_hits",
+]
+
+_INDEXES: dict[str, object] = {}
+_LOCK = threading.Lock()
+
+
+def register_index(name: str, index) -> None:
+    """Host *index* under *name* for ``lsi_query`` traffic (replaces)."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"index name must be a non-empty string, got {name!r}")
+    index._check_fitted()  # only fitted indexes can serve
+    with _LOCK:
+        _INDEXES[name] = index
+
+
+def unregister_index(name: str) -> None:
+    """Remove a hosted index (no-op when absent)."""
+    with _LOCK:
+        _INDEXES.pop(name, None)
+
+
+def get_index(name: str):
+    """Look up a hosted index; ``KeyError`` names the registered ones."""
+    with _LOCK:
+        index = _INDEXES.get(name)
+    if index is None:
+        raise KeyError(
+            f"no LSI index registered as {name!r}; registered: "
+            f"{registered_indexes()}"
+        )
+    return index
+
+
+def registered_indexes() -> tuple:
+    """Names currently hosted, sorted."""
+    with _LOCK:
+        return tuple(sorted(_INDEXES))
+
+
+def index_version(name: str) -> int:
+    """A monotone version for cache keying: the document count.
+
+    ``add_documents`` grows it, so request cache keys minted against
+    an older index state stop matching — no stale query results.
+    """
+    return len(get_index(name).tdm.documents)
+
+
+class TopkSolver:
+    """``.decompose(a)`` adapter running rank-k truncation per matrix.
+
+    Built by the executor from a ``task="topk_svd"`` batch's options:
+    the remaining solver options configure the inner dense kernel (the
+    same validated vocabulary as plain SVD requests, including
+    ``precision`` and ``engine_opts``), *rank* and *driver* select the
+    truncation path.
+    """
+
+    def __init__(self, rank: int, *, driver: str = "exact", options=None) -> None:
+        self.rank = check_positive_int(rank, name="rank")
+        if driver not in TOPK_DRIVERS:
+            raise ValueError(
+                f"driver must be one of {TOPK_DRIVERS}, got {driver!r}"
+            )
+        self.driver = driver
+        self._inner = HestenesJacobiSVD(**dict(options or {}))
+
+    def _solve(self, a, *, compute_uv: bool = True) -> SVDResult:
+        return self._inner.decompose(a, compute_uv=compute_uv)
+
+    def decompose(self, a) -> SVDResult:
+        rank = self.rank
+        if rank > min(a.shape):
+            raise ValueError(f"rank={rank} exceeds min(m, n)={min(a.shape)}")
+        if self.driver == "exact":
+            res = self._solve(a)
+            return SVDResult(
+                s=res.s[:rank].copy(),
+                u=res.u[:, :rank].copy(),
+                vt=res.vt[:rank, :].copy(),
+                sweeps=res.sweeps,
+                trace=res.trace,
+                method=f"topk-{res.method}",
+                converged=res.converged,
+                precision=res.precision,
+                fp32_sweeps=res.fp32_sweeps,
+            )
+        from repro.stream.merge import StreamingMerger
+        from repro.stream.sources import ArraySource
+
+        source = ArraySource(a)
+        if self.driver == "randomized":
+            return streamed_randomized_svd(source, rank, solver=self._solve)
+        if self.driver == "lanczos":
+            return streamed_lanczos_svd(source, rank, solver=self._solve)
+        merger = StreamingMerger(rank, self._solve)
+        merger.consume(source)
+        return merger.result()
+
+
+def resolve_lsi_query(name: str, query_matrix, *, top_k: int = 3) -> SVDResult:
+    """Run one hosted-index query; encode hits as an ``SVDResult``.
+
+    *query_matrix* is the term-space query vector, shaped ``(n_terms,
+    1)``, ``(1, n_terms)`` or flat.  The encoding (scores in ``s``,
+    document indices in ``u``) is what
+    :meth:`repro.serve.result.SVDResponse.unwrap` hands back; use
+    :func:`decode_lsi_hits` to recover ``[(doc, score), ...]``.
+    """
+    index = get_index(name)
+    vec = np.asarray(query_matrix, dtype=float).reshape(-1)
+    expected = index.term_space.shape[0]
+    if vec.shape[0] != expected:
+        raise ValueError(
+            f"query vector has {vec.shape[0]} terms, index {name!r} "
+            f"has {expected}"
+        )
+    hits = index.search_vector(vec, top_k=top_k)
+    return SVDResult(
+        s=np.array([score for _, score in hits]),
+        u=np.array([[float(doc)] for doc, _ in hits]),
+        vt=None,
+        method="lsi-query",
+        converged=True,
+    )
+
+
+def decode_lsi_hits(result: SVDResult) -> list:
+    """Invert the ``lsi-query`` encoding back to ``[(doc, score), ...]``."""
+    if result.method != "lsi-query":
+        raise ValueError(f"not an lsi-query result: method={result.method!r}")
+    return [
+        (int(doc), float(score))
+        for doc, score in zip(result.u[:, 0], result.s)
+    ]

@@ -1,0 +1,363 @@
+"""Matrix sources: the out-of-core input abstraction of the pipeline.
+
+A :class:`MatrixSource` presents an m x n matrix as a stream of
+column blocks — documents, frames, snapshots — without ever
+materializing the dense array.  The row dimension (terms, features)
+is the in-memory axis; the column dimension streams.  Sources are
+re-iterable: each :meth:`~MatrixSource.blocks` call starts a fresh
+pass, which is what lets the randomized range-finder driver make its
+two passes (sketch, then projection) over corpora larger than RAM.
+
+Implementations:
+
+* :class:`ArraySource` — an in-memory ndarray, chunked;
+* :class:`NpyFileSource` — a memory-mapped ``.npy`` file (the OS pages
+  columns in on demand; a crash-truncated file fails loudly at
+  construction, not mid-stream);
+* :class:`SparseBlockSource` — CSC-style sparse column blocks
+  (:class:`SparseBlock`, hand-rolled — no SciPy dependency) for
+  term-document matrices;
+* :class:`GeneratorSource` — any callable producing a fresh block
+  iterator per pass;
+* :class:`SyntheticCorpusSource` — a deterministic topic-model corpus
+  built on the :mod:`repro.workloads.generators` primitives, used by
+  the million-document acceptance benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import as_float_matrix, check_positive_int
+
+__all__ = [
+    "MatrixSource",
+    "ArraySource",
+    "NpyFileSource",
+    "SparseBlock",
+    "SparseBlockSource",
+    "GeneratorSource",
+    "SyntheticCorpusSource",
+]
+
+
+class MatrixSource(abc.ABC):
+    """An m x n matrix streamed as column blocks.
+
+    Subclasses define :attr:`n_rows`, :attr:`n_cols` and
+    :meth:`blocks`; the base class supplies blockwise matrix-vector
+    products (the only dense contractions the Lanczos driver needs)
+    and a :meth:`dense` escape hatch for small sources in tests.
+    """
+
+    @property
+    @abc.abstractmethod
+    def n_rows(self) -> int:
+        """Row count m (the in-memory axis)."""
+
+    @property
+    @abc.abstractmethod
+    def n_cols(self) -> int:
+        """Column count n (the streamed axis)."""
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @abc.abstractmethod
+    def blocks(self):
+        """Yield ``(m, b)`` float ndarrays; a fresh pass per call.
+
+        Blocks may be ragged (the final block is usually narrower) and
+        zero-width blocks are allowed — consumers must skip them.
+        """
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` accumulated blockwise; ``x`` has length n."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        y = np.zeros(self.n_rows)
+        j = 0
+        for block in self.blocks():
+            b = block.shape[1]
+            if b:
+                y += block @ x[j:j + b]
+            j += b
+        return y
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``Aᵀ @ y`` assembled blockwise; ``y`` has length m."""
+        y = np.asarray(y, dtype=float)
+        if y.shape != (self.n_rows,):
+            raise ValueError(f"y must have shape ({self.n_rows},), got {y.shape}")
+        out = np.empty(self.n_cols)
+        j = 0
+        for block in self.blocks():
+            b = block.shape[1]
+            if b:
+                out[j:j + b] = block.T @ y
+            j += b
+        return out
+
+    def dense(self) -> np.ndarray:
+        """Materialize the full matrix (tests and small sources only)."""
+        out = np.empty((self.n_rows, self.n_cols))
+        j = 0
+        for block in self.blocks():
+            b = block.shape[1]
+            if b:
+                out[:, j:j + b] = block
+            j += b
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shape={self.n_rows}x{self.n_cols})"
+
+
+class ArraySource(MatrixSource):
+    """An in-memory array served in ``block_size``-column chunks."""
+
+    def __init__(self, a, *, block_size: int = 256) -> None:
+        self._a = as_float_matrix(a, name="a", allow_empty=True)
+        self.block_size = check_positive_int(block_size, name="block_size")
+
+    @property
+    def n_rows(self) -> int:
+        return self._a.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self._a.shape[1]
+
+    def blocks(self):
+        for j in range(0, self._a.shape[1], self.block_size):
+            yield self._a[:, j:j + self.block_size]
+
+
+class NpyFileSource(MatrixSource):
+    """A memory-mapped ``.npy`` matrix on disk.
+
+    ``np.load(mmap_mode="r")`` maps the file without reading it; the
+    OS pages in only the columns each block touches, so peak RSS stays
+    at one block.  A file whose header promises more data than it
+    holds (a crash mid-write) raises ``ValueError`` naming the path at
+    construction time rather than segfaulting mid-stream.
+    """
+
+    def __init__(self, path, *, block_size: int = 256) -> None:
+        self.path = str(path)
+        self.block_size = check_positive_int(block_size, name="block_size")
+        try:
+            mm = np.load(self.path, mmap_mode="r")
+        except Exception as exc:
+            raise ValueError(
+                f"cannot memory-map {self.path!r}: {exc} "
+                f"(truncated or corrupt .npy file?)"
+            ) from exc
+        if mm.ndim != 2:
+            raise ValueError(f"{self.path!r} holds a {mm.ndim}-d array, need 2-d")
+        self._mm = mm
+
+    @property
+    def n_rows(self) -> int:
+        return self._mm.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self._mm.shape[1]
+
+    def blocks(self):
+        for j in range(0, self._mm.shape[1], self.block_size):
+            # Copy to float so downstream kernels own a writable block.
+            yield np.asarray(self._mm[:, j:j + self.block_size], dtype=float)
+
+
+@dataclass
+class SparseBlock:
+    """One CSC-style sparse column block (no SciPy dependency).
+
+    ``col_ptr`` has ``n_cols + 1`` entries; column j's nonzeros are
+    ``data[col_ptr[j]:col_ptr[j+1]]`` at rows
+    ``row_indices[col_ptr[j]:col_ptr[j+1]]``.
+    """
+
+    n_rows: int
+    n_cols: int
+    data: np.ndarray
+    row_indices: np.ndarray
+    col_ptr: np.ndarray
+
+    @classmethod
+    def from_dense(cls, block) -> "SparseBlock":
+        """Compress a dense ``(m, b)`` block."""
+        block = as_float_matrix(block, name="block", allow_empty=True)
+        m, b = block.shape
+        data, rows, ptr = [], [], [0]
+        for j in range(b):
+            nz = np.nonzero(block[:, j])[0]
+            data.append(block[nz, j])
+            rows.append(nz)
+            ptr.append(ptr[-1] + len(nz))
+        return cls(
+            n_rows=m,
+            n_cols=b,
+            data=np.concatenate(data) if data else np.empty(0),
+            row_indices=np.concatenate(rows) if rows else np.empty(0, dtype=int),
+            col_ptr=np.asarray(ptr, dtype=int),
+        )
+
+    def toarray(self) -> np.ndarray:
+        out = np.zeros((self.n_rows, self.n_cols))
+        for j in range(self.n_cols):
+            lo, hi = self.col_ptr[j], self.col_ptr[j + 1]
+            out[self.row_indices[lo:hi], j] = self.data[lo:hi]
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return int(self.col_ptr[-1])
+
+
+class SparseBlockSource(MatrixSource):
+    """A sequence of :class:`SparseBlock` chunks sharing one row space.
+
+    Blocks are densified one at a time as the stream is consumed — the
+    working set is a single ``(m, b)`` block, never the whole matrix.
+    """
+
+    def __init__(self, blocks: list) -> None:
+        blocks = list(blocks)
+        if not blocks:
+            raise ValueError("SparseBlockSource needs at least one block")
+        rows = {blk.n_rows for blk in blocks}
+        if len(rows) != 1:
+            raise ValueError(f"blocks disagree on n_rows: {sorted(rows)}")
+        self._blocks = blocks
+        self._n_rows = blocks[0].n_rows
+        self._n_cols = sum(blk.n_cols for blk in blocks)
+
+    @classmethod
+    def from_dense_blocks(cls, dense_blocks) -> "SparseBlockSource":
+        return cls([SparseBlock.from_dense(b) for b in dense_blocks])
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    def blocks(self):
+        for blk in self._blocks:
+            yield blk.toarray()
+
+    @property
+    def nnz(self) -> int:
+        return sum(blk.nnz for blk in self._blocks)
+
+
+class GeneratorSource(MatrixSource):
+    """Blocks produced by a factory callable (a fresh iterator per pass).
+
+    The factory — not a one-shot iterator — is what keeps the source
+    re-iterable for multi-pass drivers.  Shapes are declared up front
+    because the stream cannot be measured without consuming it.
+    """
+
+    def __init__(self, factory, n_rows: int, n_cols: int) -> None:
+        if not callable(factory):
+            raise TypeError("factory must be callable (returns a block iterator)")
+        self._factory = factory
+        self._n_rows = check_positive_int(n_rows, name="n_rows")
+        self._n_cols = check_positive_int(n_cols, name="n_cols")
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    def blocks(self):
+        for block in self._factory():
+            block = np.asarray(block, dtype=float)
+            if block.ndim != 2 or block.shape[0] != self._n_rows:
+                raise ValueError(
+                    f"factory yielded shape {block.shape}, expected "
+                    f"({self._n_rows}, b)"
+                )
+            yield block
+
+
+class SyntheticCorpusSource(MatrixSource):
+    """A deterministic synthetic topic-model corpus of arbitrary size.
+
+    Documents are mixtures of ``n_topics`` latent topics plus noise:
+    block j is ``T @ W_j + noise * G_j`` where the ``(n_terms,
+    n_topics)`` topic matrix ``T`` is drawn once from *seed* and the
+    per-block mixtures/noise from ``(seed, block_index)`` — so any
+    block can be regenerated independently, passes are repeatable, and
+    a million-document corpus costs one block of memory at a time.
+    The spectrum has ``n_topics`` dominant singular values over a
+    noise floor — the truncated-SVD recovery regime.
+    """
+
+    def __init__(
+        self,
+        n_terms: int,
+        n_docs: int,
+        *,
+        n_topics: int = 8,
+        block_size: int = 4096,
+        noise: float = 0.05,
+        seed=0,
+    ) -> None:
+        self._n_terms = check_positive_int(n_terms, name="n_terms")
+        self._n_docs = check_positive_int(n_docs, name="n_docs")
+        self.n_topics = check_positive_int(n_topics, name="n_topics")
+        self.block_size = check_positive_int(block_size, name="block_size")
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        self.noise = float(noise)
+        self.seed = seed
+        topic_rng = np.random.default_rng([2, seed])
+        # Orthonormal topic directions with a decaying topic spectrum,
+        # so the top-k triples are well separated (documented model).
+        t, _ = np.linalg.qr(topic_rng.standard_normal((n_terms, self.n_topics)))
+        self.topic_weights = np.geomspace(1.0, 0.25, self.n_topics)
+        self._topics = t * self.topic_weights
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_terms
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_docs
+
+    def block_array(self, index: int) -> np.ndarray:
+        """Regenerate block *index* deterministically."""
+        start = index * self.block_size
+        width = min(self.block_size, self._n_docs - start)
+        if width <= 0:
+            raise IndexError(f"block {index} is past the corpus end")
+        rng = np.random.default_rng([3, self.seed, index])
+        mixtures = rng.standard_normal((self.n_topics, width))
+        block = self._topics @ mixtures
+        if self.noise:
+            block += self.noise * rng.standard_normal((self._n_terms, width))
+        return block
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self._n_docs // self.block_size)
+
+    def blocks(self):
+        for index in range(self.n_blocks):
+            yield self.block_array(index)

@@ -72,6 +72,7 @@ PUBLIC_MODULES = (
     "repro.baselines.sw_model",
     "repro.baselines.gpu_model",
     "repro.apps",
+    "repro.apps.base",
     "repro.apps.pca",
     "repro.apps.lsi",
     "repro.apps.robust_pca",
@@ -79,6 +80,11 @@ PUBLIC_MODULES = (
     "repro.apps.incremental",
     "repro.apps.image",
     "repro.apps.pattern",
+    "repro.stream",
+    "repro.stream.sources",
+    "repro.stream.merge",
+    "repro.stream.drivers",
+    "repro.stream.serving",
     "repro.serve",
     "repro.serve.request",
     "repro.serve.result",

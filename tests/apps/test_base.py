@@ -1,0 +1,221 @@
+"""The LowRankSVD protocol: engine vocabulary, solver factory, shims."""
+
+import numpy as np
+import pytest
+
+from repro.apps import IncrementalSVD, LsiIndex, PCA, randomized_svd, truncated_svd
+from repro.apps.base import (
+    GOLUB_REINSCH,
+    LowRankSVD,
+    low_rank_engine_names,
+    make_solver,
+    split_engine_opts,
+)
+from repro.core.registry import engine_names
+from repro.core.svd import hestenes_svd
+from tests.conftest import random_matrix
+
+DOCS = [
+    "fpga hardware acceleration of matrix decomposition",
+    "hardware architectures for fast signal processing",
+    "matrix decomposition with jacobi rotations on hardware",
+    "gardening tips for tomato plants",
+    "growing tomato and basil plants in summer",
+]
+
+
+class TestSplitEngineOpts:
+    def test_uniform_and_specific_separated(self):
+        uniform, specific = split_engine_opts(
+            "vectorized", {"max_sweeps": 9, "tol": 1e-12, "block_rounds": 2}
+        )
+        assert uniform == {"max_sweeps": 9, "tol": 1e-12}
+        assert specific == {"block_rounds": 2}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            split_engine_opts("nope", {})
+
+    def test_engine_specific_opt_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            split_engine_opts("blocked", {"block_rounds": 2})  # vectorized-only
+
+    def test_precision_needs_supporting_engine(self):
+        with pytest.raises(ValueError, match="precision"):
+            split_engine_opts("blocked", {"precision": "mixed"})
+        uniform, _ = split_engine_opts("vectorized", {"precision": "mixed"})
+        assert uniform["precision"] == "mixed"
+
+    def test_golub_reinsch_rejects_iterative_options(self):
+        with pytest.raises(ValueError, match="direct"):
+            split_engine_opts(GOLUB_REINSCH, {"tol": 1e-10})
+        with pytest.raises(ValueError, match="engine-specific"):
+            split_engine_opts(GOLUB_REINSCH, {"block_rounds": 2})
+        # seed/max_sweeps are accepted (and unused) for uniform call sites.
+        uniform, specific = split_engine_opts(GOLUB_REINSCH, {"max_sweeps": 5})
+        assert specific == {}
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError):
+            split_engine_opts("blocked", 7)
+
+    def test_engine_name_listing(self):
+        names = low_rank_engine_names()
+        assert GOLUB_REINSCH in names
+        assert set(engine_names()) <= set(names)
+
+
+class TestMakeSolver:
+    def test_registry_solver_matches_hestenes(self, rng):
+        a = random_matrix(rng, 12, 8)
+        solve = make_solver("modified", {"max_sweeps": 8})
+        direct = hestenes_svd(a, method="modified", max_sweeps=8)
+        res = solve(a)
+        assert np.array_equal(res.s, direct.s)
+        assert solve.engine == "modified"
+
+    def test_golub_reinsch_solver(self, rng):
+        from repro.baselines.gkr_svd import golub_reinsch_svd
+
+        a = random_matrix(rng, 10, 6)
+        res = make_solver(GOLUB_REINSCH)(a)
+        assert np.array_equal(res.s, golub_reinsch_svd(a).s)
+
+    def test_compute_uv_false(self, rng):
+        a = random_matrix(rng, 8, 5)
+        res = make_solver("blocked")(a, compute_uv=False)
+        assert res.u is None and res.vt is None
+        assert len(res.s) == 5
+
+
+class TestProtocolCompliance:
+    ESTIMATOR_FACTORIES = [
+        lambda: PCA(n_components=2),
+        lambda: IncrementalSVD(rank=2),
+        lambda: LsiIndex(rank=2),
+    ]
+
+    def test_all_estimators_are_low_rank_svd(self):
+        from repro.stream import StreamSVD
+
+        for factory in self.ESTIMATOR_FACTORIES:
+            assert isinstance(factory(), LowRankSVD)
+        assert isinstance(StreamSVD(rank=2), LowRankSVD)
+
+    def test_uniform_constructor_vocabulary(self):
+        for factory in self.ESTIMATOR_FACTORIES:
+            est = factory()
+            cls = type(est)
+            other = cls(2, engine="modified",
+                        engine_opts={"max_sweeps": 7})
+            assert other.engine == "modified"
+            assert other.engine_opts["max_sweeps"] == 7
+
+    def test_invalid_engine_opts_fail_at_construction(self):
+        for factory in [lambda: PCA(2, engine_opts={"block_rounds": 1}),
+                        lambda: IncrementalSVD(2, engine_opts={"bogus": 1}),
+                        lambda: LsiIndex(2, engine_opts={"precision": "fp16"})]:
+            with pytest.raises(ValueError):
+                factory()
+
+    def test_partial_fit_default_raises(self, rng):
+        with pytest.raises(NotImplementedError):
+            PCA(2).partial_fit(random_matrix(rng, 4, 3))
+
+    def test_query_default_raises(self):
+        with pytest.raises(NotImplementedError):
+            PCA(2).query("anything")
+
+    def test_lsi_query_verb_is_search(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        assert index.query("tomato gardening", top_k=2) == index.search(
+            "tomato gardening", top_k=2)
+
+    def test_repr_shows_engine(self):
+        assert "modified" in repr(PCA(3, engine="modified"))
+        assert "modified" in repr(LsiIndex(rank=3, engine="modified"))
+
+
+class TestDeprecationShims:
+    """Old keyword spellings keep working, warn, and match the new
+    spelling bit-for-bit (the PR 4 ``block_rounds`` shim precedent)."""
+
+    def test_truncated_svd_method_and_max_sweeps(self, rng):
+        a = random_matrix(rng, 14, 9)
+        with pytest.warns(DeprecationWarning, match="method"):
+            old = truncated_svd(a, 3, method="modified", max_sweeps=8)
+        new = truncated_svd(a, 3, engine="modified",
+                            engine_opts={"max_sweeps": 8})
+        assert np.array_equal(old.s, new.s)
+        assert np.array_equal(old.u, new.u)
+        assert np.array_equal(old.vt, new.vt)
+
+    def test_randomized_svd_shims(self, rng):
+        a = random_matrix(rng, 20, 12)
+        with pytest.warns(DeprecationWarning, match="max_sweeps"):
+            old = randomized_svd(a, 3, seed=1, max_sweeps=9)
+        new = randomized_svd(a, 3, seed=1, engine_opts={"max_sweeps": 9})
+        assert np.array_equal(old.s, new.s)
+        assert np.array_equal(old.u, new.u)
+
+    def test_pca_backend_and_max_sweeps(self, rng):
+        x = random_matrix(rng, 30, 5)
+        with pytest.warns(DeprecationWarning, match="backend"):
+            old = PCA(2, backend="modified", max_sweeps=8).fit(x)
+        new = PCA(2, engine="modified",
+                  engine_opts={"max_sweeps": 8}).fit(x)
+        assert np.array_equal(old.components_, new.components_)
+        assert np.array_equal(old.singular_values_, new.singular_values_)
+        assert old.backend == "modified"  # read-only alias survives
+
+    def test_incremental_max_sweeps(self, rng):
+        rows = random_matrix(rng, 24, 6)
+        with pytest.warns(DeprecationWarning, match="IncrementalSVD"):
+            old = IncrementalSVD(3, max_sweeps=9)
+        new = IncrementalSVD(3, engine_opts={"max_sweeps": 9})
+        for block in (rows[:10], rows[10:]):
+            old.partial_fit(block)
+            new.partial_fit(block)
+        assert np.array_equal(old.s_, new.s_)
+        assert np.array_equal(old.vt_, new.vt_)
+
+    def test_lsi_max_sweeps(self):
+        with pytest.warns(DeprecationWarning, match="LsiIndex"):
+            old = LsiIndex(rank=2, max_sweeps=9).fit(DOCS)
+        new = LsiIndex(rank=2, engine_opts={"max_sweeps": 9}).fit(DOCS)
+        assert np.array_equal(old.singular_values, new.singular_values)
+        assert np.array_equal(old.doc_embeddings, new.doc_embeddings)
+
+    def test_new_spelling_warns_nothing(self, rng):
+        import warnings
+
+        a = random_matrix(rng, 10, 6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            truncated_svd(a, 2, engine="modified")
+            PCA(2).fit(a)
+            IncrementalSVD(2).fit(a)
+
+
+class TestDefaultSweepBudgetsPreserved:
+    """The ports must not change numerics: historical defaults
+    (truncated/PCA 10 sweeps, incremental/LSI 12) survive the
+    redesign."""
+
+    def test_truncated_default_matches_ten_sweeps(self, rng):
+        a = random_matrix(rng, 12, 8)
+        res = truncated_svd(a, 3)
+        pinned = hestenes_svd(a, method="blocked", max_sweeps=10)
+        assert np.array_equal(res.s, pinned.s[:3])
+
+    def test_lsi_default_matches_twelve_sweeps(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        a = index.tdm.matrix
+        pinned = hestenes_svd(a, method="blocked", max_sweeps=12)
+        assert np.array_equal(index.singular_values, pinned.s[:2])
+
+    def test_explicit_engine_opts_override_default(self, rng):
+        a = random_matrix(rng, 12, 8)
+        res = truncated_svd(a, 3, engine_opts={"max_sweeps": 2})
+        pinned = hestenes_svd(a, method="blocked", max_sweeps=2)
+        assert np.array_equal(res.s, pinned.s[:3])

@@ -144,3 +144,65 @@ class TestFoldingIn:
         index = LsiIndex(rank=2).fit(DOCS)
         with _pytest.raises(ValueError):
             index.add_documents([])
+
+
+class TestStreamingMergeRegression:
+    """add_documents routes through the streaming merge core: the
+    rotated latent space must agree with a from-scratch refit over the
+    same (frozen) vocabulary to the merge-truncation tolerance."""
+
+    NEW_DOCS = [
+        "pruning tomato plants in the summer garden",
+        "fast matrix decomposition on fpga hardware",
+        "watering basil and tomato in the garden",
+    ]
+
+    def _refit_frozen_vocab(self, base_index, all_docs, rank):
+        """A from-scratch factorization of the merged tf-idf matrix
+        under the original vocabulary and idf (what the merge sees)."""
+        a = np.hstack([
+            base_index.tdm.matrix,
+            base_index.tdm.weighted_columns(all_docs[len(DOCS):]),
+        ])
+        s = np.linalg.svd(a, compute_uv=False)
+        return a, s[:rank]
+
+    def test_spectrum_matches_from_scratch_fit(self):
+        index = LsiIndex(rank=3).fit(DOCS)
+        frozen = LsiIndex(rank=3).fit(DOCS)  # untouched copy of the state
+        index.add_documents(self.NEW_DOCS)
+        a, ref_s = self._refit_frozen_vocab(
+            frozen, DOCS + self.NEW_DOCS, rank=3)
+        # Documented tolerance: one merge of a gapped tf-idf spectrum.
+        assert np.allclose(index.singular_values, ref_s, rtol=0.05)
+
+    def test_queries_agree_with_from_scratch_fit(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        index.add_documents(self.NEW_DOCS)
+        refit = LsiIndex(rank=2).fit(DOCS + self.NEW_DOCS)
+        for query in ("tomato summer garden", "hardware matrix fpga"):
+            merged_hits = {d for d, _ in index.search(query, top_k=3)}
+            refit_hits = {d for d, _ in refit.search(query, top_k=3)}
+            assert merged_hits == refit_hits, query
+
+    def test_subspace_agrees_with_from_scratch_fit(self):
+        """The rotated term space spans (nearly) the same subspace as a
+        refit: principal angles close to zero."""
+        index = LsiIndex(rank=2).fit(DOCS)
+        frozen = LsiIndex(rank=2).fit(DOCS)
+        index.add_documents(self.NEW_DOCS)
+        a, _ = self._refit_frozen_vocab(frozen, DOCS + self.NEW_DOCS, rank=2)
+        u_ref = np.linalg.svd(a, full_matrices=False)[0][:, :2]
+        cosines = np.linalg.svd(u_ref.T @ index.term_space,
+                                compute_uv=False)
+        assert np.all(cosines > 0.98)
+
+    def test_repeated_adds_accumulate(self):
+        index = LsiIndex(rank=2).fit(DOCS)
+        for doc in self.NEW_DOCS:
+            index.add_documents([doc])
+        assert len(index.tdm.documents) == len(DOCS) + 3
+        assert index.tdm.matrix.shape[1] == len(DOCS) + 3
+        hits = index.search("tomato garden", top_k=4)
+        assert len(DOCS) in {h[0] for h in hits} or (len(DOCS) + 2) in {
+            h[0] for h in hits}

@@ -101,3 +101,44 @@ class TestLanczosSvd:
     def test_k_validation(self, rng):
         with pytest.raises(ValueError):
             lanczos_svd(random_matrix(rng, 6, 4), 5)
+
+
+class TestEnginePlumbing:
+    """The unified ``engine`` / ``engine_opts`` pair selects the dense
+    kernel that decomposes the small bidiagonal; ``engine=None`` keeps
+    the legacy QR-iteration path bit-for-bit."""
+
+    def test_engine_none_is_legacy_path(self, rng):
+        a = random_matrix(rng, 20, 10)
+        res = lanczos_svd(a, 4, seed=20)
+        assert res.method == "lanczos"
+
+    def test_registry_engine_matches_legacy_values(self):
+        a = conditioned_matrix(60, 30, cond=1e5, seed=21)
+        legacy = lanczos_svd(a, 5, extra_steps=10, seed=22)
+        jac = lanczos_svd(a, 5, extra_steps=10, seed=22, engine="blocked")
+        assert jac.method == "lanczos-blocked"
+        assert np.allclose(jac.s, legacy.s, rtol=1e-10)
+        ref = np.linalg.svd(a, compute_uv=False)[:5]
+        assert np.allclose(jac.s, ref, rtol=1e-9)
+
+    def test_engine_opts_reach_inner_kernel(self, rng):
+        a = random_matrix(rng, 24, 12)
+        res = lanczos_svd(a, 3, seed=23, engine="vectorized",
+                          engine_opts={"max_sweeps": 10})
+        assert res.method == "lanczos-vectorized"
+        ref = np.linalg.svd(a, compute_uv=False)[:3]
+        assert np.allclose(res.s, ref, rtol=1e-8)
+
+    def test_golub_reinsch_engine(self, rng):
+        a = random_matrix(rng, 18, 9)
+        res = lanczos_svd(a, 4, seed=24, engine="golub_reinsch")
+        assert res.method == "lanczos-golub_reinsch"
+        ref = np.linalg.svd(a, compute_uv=False)[:4]
+        assert np.allclose(res.s, ref, rtol=1e-8)
+
+    def test_bad_engine_opts_rejected(self, rng):
+        a = random_matrix(rng, 10, 6)
+        with pytest.raises(ValueError):
+            lanczos_svd(a, 2, engine="blocked",
+                        engine_opts={"block_rounds": 2})

@@ -40,6 +40,7 @@ class TestSuiteDefinitions:
             "core.vectorized.256",
             "core.vectorized_mixed.256",
             "core.preconditioned.128x64",
+            "stream.topk.96x48",
             "hw.estimate.512",
             "obs.span_disabled",
             "obs.counter_labeled_inc",

@@ -1,0 +1,1 @@
+"""Tests for the out-of-core streaming SVD subsystem."""

@@ -1,0 +1,157 @@
+"""Streaming merge-and-truncate: exactness, edge cases, the StreamSVD API."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import make_solver
+from repro.stream.merge import StreamingMerger, StreamSVD
+from repro.stream.sources import ArraySource, SyntheticCorpusSource
+from repro.workloads import low_rank_matrix
+
+
+def top_k(a, k):
+    return np.linalg.svd(a, compute_uv=False)[:k]
+
+
+class TestStreamingMerger:
+    def test_exact_on_low_rank_data(self):
+        """When true rank <= retained rank no truncation discards
+        energy: the streamed result matches LAPACK to roundoff."""
+        a = low_rank_matrix(12, 60, rank=3, seed=0)
+        merger = StreamingMerger(5, make_solver("blocked"))
+        merger.consume(ArraySource(a, block_size=13))
+        assert np.allclose(merger.s_[:3], top_k(a, 3), rtol=1e-10)
+        recon = (merger.u_ * merger.s_) @ merger.vt_
+        # Reconstruction is bounded by the Jacobi convergence tolerance
+        # (~sqrt(eps)), not machine roundoff.
+        assert np.linalg.norm(recon - a) < 1e-7 * np.linalg.norm(a)
+
+    def test_top_k_close_on_gapped_spectrum(self):
+        src = SyntheticCorpusSource(24, 3000, n_topics=4, block_size=500,
+                                    noise=0.02, seed=2)
+        merger = StreamingMerger(4, make_solver("blocked"), store_vt=False)
+        merger.consume(src)
+        assert np.allclose(merger.s_, top_k(src.dense(), 4), rtol=1e-2)
+
+    def test_empty_chunks_skipped(self, rng):
+        a = rng.standard_normal((6, 9))
+        merger = StreamingMerger(3, make_solver("blocked"))
+        merger.absorb_block(np.empty((6, 0)))
+        assert merger.cols_seen_ == 0
+        merger.absorb_block(a)
+        merger.absorb_block(np.empty((6, 0)))
+        assert merger.cols_seen_ == 9
+        assert np.allclose(merger.s_, top_k(a, 3), rtol=1e-8)
+
+    def test_rank_at_least_min_dim(self, rng):
+        """Requesting k >= min(m, n) keeps every direction — the stream
+        degrades gracefully to a full factorization."""
+        a = rng.standard_normal((5, 20))
+        merger = StreamingMerger(9, make_solver("blocked"))
+        merger.consume(ArraySource(a, block_size=6))
+        assert merger.rank_ == 5
+        assert np.allclose(merger.s_, np.linalg.svd(a, compute_uv=False),
+                           rtol=1e-9)
+
+    def test_exactly_zero_directions_dropped(self, rng):
+        """A block with zero columns produces exact-zero singular
+        values, which must be dropped instead of padding the state."""
+        block = np.hstack([rng.standard_normal((6, 2)), np.zeros((6, 4))])
+        merger = StreamingMerger(6, make_solver("blocked"))
+        merger.absorb_block(block)
+        assert merger.rank_ == 2
+        assert np.all(merger.s_ > 0)
+
+    def test_rank_deficient_corpus_top_k_exact(self):
+        """On a rank-2 corpus the retained directions beyond the true
+        rank carry only convergence-tolerance noise and the leading
+        triples match LAPACK."""
+        a = low_rank_matrix(8, 30, rank=2, seed=3)
+        merger = StreamingMerger(6, make_solver("blocked"))
+        merger.absorb_block(a[:, :10])
+        merger.absorb_block(a[:, 10:])
+        assert np.allclose(merger.s_[:2], top_k(a, 2), rtol=1e-9)
+        assert np.all(merger.s_[2:] < 1e-6 * merger.s_[0])
+
+    def test_row_mismatch_rejected(self, rng):
+        merger = StreamingMerger(2, make_solver("blocked"))
+        merger.absorb_block(rng.standard_normal((4, 5)))
+        with pytest.raises(ValueError, match="rows"):
+            merger.absorb_block(rng.standard_normal((6, 5)))
+
+    def test_store_vt_false_bounds_state(self, rng):
+        a = rng.standard_normal((10, 50))
+        merger = StreamingMerger(4, make_solver("blocked"), store_vt=False)
+        merger.consume(ArraySource(a, block_size=8))
+        assert merger.vt_ is None
+        assert merger.u_.shape == (10, 4)
+
+    def test_wide_block_transposed_compression(self, rng):
+        """A block wider than the row count is decomposed transposed;
+        the swapped factors must still reproduce the block."""
+        a = rng.standard_normal((6, 40))
+        merger = StreamingMerger(6, make_solver("blocked"))
+        merger.absorb_block(a)  # single block, b >> m
+        recon = (merger.u_ * merger.s_) @ merger.vt_
+        assert np.linalg.norm(recon - a) < 1e-9 * np.linalg.norm(a)
+
+    def test_result_snapshot(self, rng):
+        a = rng.standard_normal((7, 12))
+        merger = StreamingMerger(3, make_solver("modified"))
+        merger.consume(ArraySource(a, block_size=4))
+        res = merger.result()
+        assert res.method == "stream-merge-modified"
+        assert res.s.shape == (3,)
+        assert res.sweeps == merger.merges_
+
+    def test_result_before_any_block_raises(self):
+        with pytest.raises(RuntimeError):
+            StreamingMerger(2, make_solver("blocked")).result()
+
+
+class TestStreamSVD:
+    def test_fit_matches_merger(self, rng):
+        a = rng.standard_normal((9, 33))
+        est = StreamSVD(rank=4, block_size=7).fit(a)
+        merger = StreamingMerger(4, make_solver("blocked"))
+        merger.consume(ArraySource(a, block_size=7))
+        assert np.array_equal(est.singular_values_, merger.s_)
+        assert est.cols_seen_ == 33
+
+    def test_partial_fit_accumulates(self, rng):
+        a = rng.standard_normal((8, 20))
+        est = StreamSVD(rank=3, block_size=5)
+        for j in range(0, 20, 5):
+            est.partial_fit(a[:, j:j + 5])
+        whole = StreamSVD(rank=3, block_size=5).fit(a)
+        assert np.array_equal(est.singular_values_, whole.singular_values_)
+
+    def test_refit_resets_state(self, rng):
+        a = rng.standard_normal((6, 10))
+        b = rng.standard_normal((6, 10))
+        est = StreamSVD(rank=2).fit(a)
+        est.fit(b)
+        assert est.cols_seen_ == 10
+        assert np.array_equal(est.singular_values_,
+                              StreamSVD(rank=2).fit(b).singular_values_)
+
+    def test_transform_embeds_columns(self):
+        a = low_rank_matrix(10, 30, rank=3, seed=4)
+        est = StreamSVD(rank=3).fit(a)
+        emb = est.transform(a[:, :5])
+        assert emb.shape == (5, 3)
+        assert np.allclose(emb, a[:, :5].T @ est.components_)
+
+    def test_engine_and_opts_flow_to_inner_kernel(self):
+        a = low_rank_matrix(8, 24, rank=2, seed=5)
+        est = StreamSVD(rank=2, engine="vectorized",
+                        engine_opts={"precision": "mixed"}).fit(a)
+        assert np.allclose(est.singular_values_, top_k(a, 2), rtol=1e-6)
+        assert est.result().method == "stream-merge-vectorized"
+
+    def test_unfitted_raises(self, rng):
+        est = StreamSVD(rank=2)
+        with pytest.raises(RuntimeError):
+            est.transform(rng.standard_normal((3, 2)))
+        with pytest.raises(RuntimeError):
+            _ = est.singular_values_

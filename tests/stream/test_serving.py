@@ -1,0 +1,232 @@
+"""Top-k and LSI-query tasks through both serving tiers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lsi import LsiIndex
+from repro.obs import Tracer
+from repro.obs.events import EventLog, use_event_log
+from repro.obs.slo import SLOEngine, default_objectives, use_slo_engine
+from repro.serve.server import SVDServer
+from repro.stream.drivers import topk_svd
+from repro.stream.serving import (
+    TopkSolver,
+    decode_lsi_hits,
+    get_index,
+    index_version,
+    register_index,
+    registered_indexes,
+    resolve_lsi_query,
+    unregister_index,
+)
+from repro.workloads import low_rank_matrix, random_matrix
+
+DOCS = [
+    "fpga hardware acceleration of matrix decomposition",
+    "hardware architectures for fast signal processing",
+    "matrix decomposition with jacobi rotations on hardware",
+    "gardening tips for tomato plants",
+    "growing tomato and basil plants in summer",
+    "watering schedule for summer gardening",
+]
+
+
+@pytest.fixture
+def hosted_index():
+    index = LsiIndex(rank=2).fit(DOCS)
+    register_index("docs", index)
+    yield index
+    unregister_index("docs")
+
+
+class TestIndexRegistry:
+    def test_register_lookup_unregister(self, hosted_index):
+        assert get_index("docs") is hosted_index
+        assert "docs" in registered_indexes()
+        unregister_index("docs")
+        assert "docs" not in registered_indexes()
+
+    def test_unknown_index_error_names_registered(self, hosted_index):
+        with pytest.raises(KeyError, match="docs"):
+            get_index("missing")
+
+    def test_unfitted_index_rejected(self):
+        with pytest.raises(RuntimeError):
+            register_index("raw", LsiIndex(rank=2))
+
+    def test_version_tracks_document_count(self, hosted_index):
+        v0 = index_version("docs")
+        hosted_index.add_documents(["pruning tomato plants"])
+        assert index_version("docs") == v0 + 1
+
+
+class TestTopkSolver:
+    def test_adapter_matches_front_door(self, rng):
+        a = random_matrix(12, 8, seed=1)
+        solver = TopkSolver(3)
+        assert np.array_equal(solver.decompose(a).s, topk_svd(a, 3).s)
+
+    def test_each_driver_works(self):
+        a = low_rank_matrix(16, 24, rank=3, seed=2)
+        ref = np.linalg.svd(a, compute_uv=False)[:3]
+        for driver in ("exact", "merge", "randomized", "lanczos"):
+            res = TopkSolver(3, driver=driver).decompose(a)
+            assert np.allclose(res.s, ref, rtol=1e-8), driver
+
+    def test_options_configure_inner_kernel(self, rng):
+        a = random_matrix(14, 10, seed=3)
+        res = TopkSolver(3, options={"method": "modified"}).decompose(a)
+        assert res.method == "topk-modified"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopkSolver(0)
+        with pytest.raises(ValueError):
+            TopkSolver(2, driver="bogus")
+
+
+class TestLsiQueryResolution:
+    def test_result_encoding_round_trips(self, hosted_index):
+        q = hosted_index.tdm.query_vector("tomato gardening in summer")
+        res = resolve_lsi_query("docs", q, top_k=3)
+        assert res.method == "lsi-query"
+        hits = decode_lsi_hits(res)
+        assert {h[0] for h in hits} == {3, 4, 5}
+        assert hits == hosted_index.search("tomato gardening in summer",
+                                           top_k=3)
+
+    def test_shape_mismatch_rejected(self, hosted_index):
+        with pytest.raises(ValueError, match="terms"):
+            resolve_lsi_query("docs", np.zeros(3))
+
+    def test_decode_rejects_non_query_results(self, rng):
+        from repro.core.svd import hestenes_svd
+
+        with pytest.raises(ValueError):
+            decode_lsi_hits(hestenes_svd(random_matrix(4, 3, seed=4)))
+
+
+class TestServedTopk:
+    def test_topk_through_server_with_observability(self):
+        """The acceptance wiring: a topk_svd request served with a
+        trace id, a task-labeled metric, and SLO observations."""
+        a = random_matrix(20, 12, seed=5)
+        ref = np.linalg.svd(a, compute_uv=False)[:4]
+        log = EventLog(capacity=128)
+        slo = SLOEngine(default_objectives())
+        with use_event_log(log), use_slo_engine(slo):
+            with SVDServer(cache_bytes=None, tracer=Tracer()) as srv:
+                resp = srv.submit(a, task="topk_svd", rank=4).result(
+                    timeout=60.0)
+                counted = srv.metrics.counter("task_topk_svd_requests").value
+        assert resp.status == "ok"
+        assert np.allclose(resp.result.s, ref, rtol=1e-10)
+        assert resp.result.method == "topk-blocked"
+        assert resp.trace_id is not None
+        assert counted == 1
+        (submitted,) = log.find("serve.request.submitted",
+                                trace_id=resp.trace_id)
+        assert submitted.fields["task"] == "topk_svd"
+        by_name = {o["name"]: o for o in slo.report()["objectives"]}
+        assert by_name["serve.degradation"]["total"] >= 1
+        assert by_name["serve.request.latency"]["total"] == 1
+
+    def test_topk_on_registry_engine_with_driver(self):
+        a = low_rank_matrix(18, 12, rank=3, seed=6)
+        ref = np.linalg.svd(a, compute_uv=False)[:3]
+        with SVDServer(cache_bytes=None) as srv:
+            resp = srv.submit(a, engine="vectorized", task="topk_svd", rank=3,
+                              driver="randomized", seed=0).result(timeout=60.0)
+        assert resp.status == "ok"
+        assert resp.engine == "vectorized"
+        assert np.allclose(resp.result.s, ref, rtol=1e-8)
+
+    def test_topk_caches_but_not_across_ranks(self):
+        a = random_matrix(10, 8, seed=7)
+        with SVDServer() as srv:
+            first = srv.submit(a, task="topk_svd", rank=2).result(timeout=60.0)
+            again = srv.submit(a, task="topk_svd", rank=2).result(timeout=60.0)
+            other = srv.submit(a, task="topk_svd", rank=3).result(timeout=60.0)
+        assert again.cache_hit is True
+        assert other.cache_hit is False
+        assert len(other.result.s) == 3
+        assert np.array_equal(first.result.s, again.result.s)
+
+    def test_submission_validation(self):
+        a = random_matrix(8, 6, seed=8)
+        with SVDServer() as srv:
+            with pytest.raises(ValueError, match="rank"):
+                srv.submit(a, task="topk_svd")
+            with pytest.raises(ValueError, match="exceeds"):
+                srv.submit(a, task="topk_svd", rank=7)
+            with pytest.raises(ValueError, match="hw"):
+                srv.submit(a, engine="hw", task="topk_svd", rank=2)
+            with pytest.raises(ValueError, match="task='svd'"):
+                srv.submit(a, rank=2)
+
+
+class TestServedLsiQuery:
+    def test_query_through_server(self, hosted_index):
+        q = hosted_index.tdm.query_vector("hardware matrix decomposition")
+        with SVDServer(cache_bytes=None) as srv:
+            resp = srv.submit(q.reshape(-1, 1), task="lsi_query",
+                              index="docs", top_k=3).result(timeout=60.0)
+            counted = srv.metrics.counter("task_lsi_query_requests").value
+        assert resp.status == "ok"
+        hits = decode_lsi_hits(resp.result)
+        assert {h[0] for h in hits} == {0, 1, 2}
+        assert counted == 1
+
+    def test_add_documents_invalidates_cached_queries(self, hosted_index):
+        """The index version rides the cache key: after add_documents a
+        repeat query recomputes instead of serving the stale hit list."""
+        q = hosted_index.tdm.query_vector("tomato summer")
+        with SVDServer() as srv:
+            first = srv.submit(q.reshape(-1, 1), task="lsi_query",
+                               index="docs").result(timeout=60.0)
+            hosted_index.add_documents(
+                ["pruning tomato plants in the summer garden"])
+            second = srv.submit(q.reshape(-1, 1), task="lsi_query",
+                                index="docs").result(timeout=60.0)
+        assert first.status == second.status == "ok"
+        assert second.cache_hit is False
+        docs_hit = {h[0] for h in decode_lsi_hits(second.result)}
+        assert 6 in docs_hit  # the new document is retrievable
+
+    def test_submission_validation(self, hosted_index):
+        q = hosted_index.tdm.query_vector("tomato")
+        with SVDServer() as srv:
+            with pytest.raises(KeyError, match="registered"):
+                srv.submit(q.reshape(-1, 1), task="lsi_query", index="nope")
+            with pytest.raises(ValueError, match="engine"):
+                srv.submit(q.reshape(-1, 1), engine="blocked",
+                           task="lsi_query", index="docs")
+            with pytest.raises(ValueError, match="query vector"):
+                srv.submit(random_matrix(4, 4, seed=9), task="lsi_query",
+                           index="docs")
+
+
+class TestShardedTopk:
+    def test_topk_round_trips_through_shard_tier(self):
+        from repro.serve.shard import ShardedSVDServer
+
+        a = random_matrix(20, 10, seed=10)
+        ref = np.linalg.svd(a, compute_uv=False)[:3]
+        with ShardedSVDServer(shards=1, cache_bytes=None,
+                              worker_cache_bytes=None) as srv:
+            resp = srv.submit(a, task="topk_svd", rank=3).result(timeout=120.0)
+            lanc = srv.submit(a, task="topk_svd", rank=3, driver="lanczos",
+                              seed=0).result(timeout=120.0)
+        assert resp.status == "ok"
+        assert np.allclose(resp.result.s, ref, rtol=1e-10)
+        assert resp.result.method == "topk-blocked"
+        assert lanc.status == "ok"
+        assert np.allclose(lanc.result.s, ref, rtol=1e-6)
+
+    def test_lsi_query_rejected_at_shard_frontend(self, hosted_index):
+        from repro.serve.shard import ShardedSVDServer
+
+        q = hosted_index.tdm.query_vector("tomato")
+        with ShardedSVDServer(shards=1) as srv:
+            with pytest.raises(ValueError, match="shard"):
+                srv.submit(q.reshape(-1, 1), task="lsi_query", index="docs")

@@ -1,0 +1,181 @@
+"""Matrix sources: chunking, re-iteration, sparse blocks, mmap edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.stream.sources import (
+    ArraySource,
+    GeneratorSource,
+    NpyFileSource,
+    SparseBlock,
+    SparseBlockSource,
+    SyntheticCorpusSource,
+)
+
+
+class TestArraySource:
+    def test_blocks_reassemble_exactly(self, rng):
+        a = rng.standard_normal((7, 23))
+        src = ArraySource(a, block_size=5)
+        assert src.shape == (7, 23)
+        assert np.array_equal(src.dense(), a)
+
+    def test_ragged_final_block(self, rng):
+        a = rng.standard_normal((4, 10))
+        widths = [b.shape[1] for b in ArraySource(a, block_size=3).blocks()]
+        assert widths == [3, 3, 3, 1]
+
+    def test_reiterable_for_multi_pass_drivers(self, rng):
+        a = rng.standard_normal((3, 8))
+        src = ArraySource(a, block_size=4)
+        first = [b.copy() for b in src.blocks()]
+        second = [b.copy() for b in src.blocks()]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)
+
+    def test_matvec_rmatvec_match_dense(self, rng):
+        a = rng.standard_normal((6, 14))
+        src = ArraySource(a, block_size=5)
+        x = rng.standard_normal(14)
+        y = rng.standard_normal(6)
+        assert np.allclose(src.matvec(x), a @ x)
+        assert np.allclose(src.rmatvec(y), a.T @ y)
+
+    def test_matvec_shape_validation(self, rng):
+        src = ArraySource(rng.standard_normal((4, 6)))
+        with pytest.raises(ValueError):
+            src.matvec(np.zeros(5))
+        with pytest.raises(ValueError):
+            src.rmatvec(np.zeros(5))
+
+    def test_block_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            ArraySource(rng.standard_normal((3, 3)), block_size=0)
+
+
+class TestNpyFileSource:
+    def test_mmap_round_trip(self, rng, tmp_path):
+        a = rng.standard_normal((9, 31))
+        path = tmp_path / "a.npy"
+        np.save(path, a)
+        src = NpyFileSource(path, block_size=7)
+        assert src.shape == a.shape
+        assert np.array_equal(src.dense(), a)
+
+    def test_crash_truncated_file_fails_loudly(self, rng, tmp_path):
+        """A file whose header promises more data than it holds (crash
+        mid-write) must raise a ValueError naming the path at
+        construction — not segfault mid-stream."""
+        a = rng.standard_normal((50, 40))
+        path = tmp_path / "truncated.npy"
+        np.save(path, a)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="truncated.npy"):
+            NpyFileSource(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npy"
+        path.write_bytes(b"not a numpy file at all")
+        with pytest.raises(ValueError, match="garbage.npy"):
+            NpyFileSource(path)
+
+    def test_wrong_ndim_rejected(self, tmp_path):
+        path = tmp_path / "vec.npy"
+        np.save(path, np.arange(5.0))
+        with pytest.raises(ValueError, match="2-d"):
+            NpyFileSource(path)
+
+
+class TestSparseBlocks:
+    def test_from_dense_round_trip(self, rng):
+        block = rng.standard_normal((6, 4))
+        block[rng.random((6, 4)) < 0.6] = 0.0
+        sb = SparseBlock.from_dense(block)
+        assert sb.nnz == np.count_nonzero(block)
+        assert np.array_equal(sb.toarray(), block)
+
+    def test_zero_width_block(self):
+        sb = SparseBlock.from_dense(np.empty((5, 0)))
+        assert sb.nnz == 0
+        assert sb.toarray().shape == (5, 0)
+
+    def test_source_concatenates_blocks(self, rng):
+        dense = rng.standard_normal((5, 11))
+        dense[rng.random((5, 11)) < 0.5] = 0.0
+        chunks = [dense[:, :4], dense[:, 4:4], dense[:, 4:9], dense[:, 9:]]
+        src = SparseBlockSource.from_dense_blocks(chunks)
+        assert src.shape == (5, 11)
+        assert src.nnz == np.count_nonzero(dense)
+        assert np.array_equal(src.dense(), dense)
+
+    def test_inconsistent_rows_rejected(self):
+        blocks = [SparseBlock.from_dense(np.zeros((3, 2))),
+                  SparseBlock.from_dense(np.zeros((4, 2)))]
+        with pytest.raises(ValueError, match="n_rows"):
+            SparseBlockSource(blocks)
+
+    def test_empty_block_list_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBlockSource([])
+
+
+class TestGeneratorSource:
+    def test_factory_gives_fresh_passes(self, rng):
+        a = rng.standard_normal((4, 9))
+        src = GeneratorSource(lambda: iter([a[:, :5], a[:, 5:]]), 4, 9)
+        assert np.array_equal(src.dense(), a)
+        assert np.array_equal(src.dense(), a)  # second pass works
+
+    def test_empty_chunks_are_skipped_by_consumers(self, rng):
+        a = rng.standard_normal((3, 6))
+        src = GeneratorSource(
+            lambda: iter([a[:, :0], a[:, :3], np.empty((3, 0)), a[:, 3:]]),
+            3, 6,
+        )
+        assert np.array_equal(src.dense(), a)
+        x = rng.standard_normal(6)
+        assert np.allclose(src.matvec(x), a @ x)
+
+    def test_bad_shape_from_factory_rejected(self):
+        src = GeneratorSource(lambda: iter([np.zeros((2, 3))]), 4, 3)
+        with pytest.raises(ValueError, match="factory yielded"):
+            list(src.blocks())
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            GeneratorSource(iter([]), 2, 2)
+
+
+class TestSyntheticCorpus:
+    def test_shapes_and_block_count(self):
+        src = SyntheticCorpusSource(16, 1000, n_topics=4, block_size=300)
+        assert src.shape == (16, 1000)
+        assert src.n_blocks == 4
+        widths = [b.shape[1] for b in src.blocks()]
+        assert widths == [300, 300, 300, 100]
+
+    def test_blocks_regenerate_deterministically(self):
+        src = SyntheticCorpusSource(8, 500, block_size=128, seed=3)
+        again = SyntheticCorpusSource(8, 500, block_size=128, seed=3)
+        assert np.array_equal(src.block_array(2), again.block_array(2))
+        assert not np.array_equal(src.block_array(1), src.block_array(2))
+
+    def test_block_index_out_of_range(self):
+        src = SyntheticCorpusSource(8, 100, block_size=64)
+        with pytest.raises(IndexError):
+            src.block_array(2)
+
+    def test_spectrum_has_topic_gap(self):
+        """n_topics dominant singular values over the noise floor — the
+        truncated-recovery regime the docs promise."""
+        src = SyntheticCorpusSource(32, 2000, n_topics=5, block_size=512,
+                                    noise=0.01, seed=1)
+        sv = np.linalg.svd(src.dense(), compute_uv=False)
+        assert sv[4] > 5 * sv[5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusSource(0, 10)
+        with pytest.raises(ValueError):
+            SyntheticCorpusSource(4, 10, noise=-1.0)
