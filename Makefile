@@ -3,7 +3,8 @@
 .PHONY: install test test-all test-engines bench bench-full serve-bench \
 	shard-bench shard-smoke vectorized-bench mixed-bench obs-bench \
 	stream-bench stream-smoke bench-baseline \
-	bench-check trace-demo slo-demo eval examples apidoc all
+	bench-check prof-baseline prof-check profile-demo \
+	trace-demo slo-demo eval examples apidoc all
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,6 +53,17 @@ bench-baseline:
 
 bench-check:
 	PYTHONPATH=src python benchmarks/bench_baseline.py
+
+prof-baseline:
+	PYTHONPATH=src python -m repro prof-compare --update
+
+prof-check:
+	PYTHONPATH=src python -m repro prof-compare
+
+profile-demo:
+	PYTHONPATH=src python -m repro profile --alloc --stream \
+		--folded /tmp/repro-demo.folded \
+		--chrome /tmp/repro-demo.profile.json
 
 trace-demo:
 	PYTHONPATH=src python -m repro trace 32 16 --serve --requests 2 \

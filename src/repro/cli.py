@@ -15,10 +15,16 @@ datasheet   Full accelerator datasheet (markdown).
 netlist     Structural netlist as Graphviz DOT or JSON.
 eval        Run reproduction experiments by id (or all).
 serve-demo  Drive the micro-batching SVD server with a traffic trace.
-stats       Render the process-wide metrics registry (text or --prom).
+stats       Render the process-wide metrics registry (text or --prom);
+            --watch N live-refreshes every N seconds.
 bench-compare  Benchmark regression gate against BENCH_*.json baselines.
+prof-compare   Phase-share profiling gate against PROF_CORE.json.
+profile     Sample an instrumented workload and report where CPU time
+            goes per span phase (folded stacks, Chrome counter track).
 
-The serving/metrics/benchmark commands live in :mod:`repro.cli_ops`.
+The serving/metrics/benchmark commands live in :mod:`repro.cli_ops`;
+the observability commands (slo-report, events, profile) in
+:mod:`repro.cli_obs`.
 """
 
 from __future__ import annotations

@@ -14,6 +14,17 @@ and operational commands, via :func:`add_obs_commands`:
   streams new events live, ``--input`` reads a previously written
   JSONL file (e.g. a log mirror or a flight-recorder bundle's event
   stream) instead, ``--trace`` filters to one request's narrative.
+* ``profile`` — run an instrumented engine (or streaming) workload
+  under the sampling profiler (:mod:`repro.obs.prof`) and report the
+  span-phase breakdown; ``--folded`` writes collapsed-flamegraph
+  stacks, ``--chrome`` writes a Chrome trace with the profile counter
+  track, ``--alloc`` adds tracemalloc peak-heap attribution for the
+  streaming stages.
+* ``prof-compare`` — run the instrumented profiling workload of
+  :mod:`repro.eval.profgate` and gate per-phase CPU cost against the
+  committed ``PROF_CORE.json`` baseline (``--update`` rewrites it;
+  ``--inject-slowdown`` is the gate self-test hook, mirroring
+  ``bench-compare``).
 """
 
 from __future__ import annotations
@@ -148,6 +159,96 @@ def _cmd_events(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.core.svd import hestenes_svd
+    from repro.obs.prof import (
+        AllocationProfiler,
+        SampleProfiler,
+        use_alloc_profiler,
+    )
+    from repro.obs.tracer import Tracer, use_tracer
+    from repro.workloads import random_matrix
+
+    info = sys.stderr if args.json else sys.stdout
+    profiler = SampleProfiler(hz=args.hz)
+    tracer = Tracer(detail="round")
+    alloc = AllocationProfiler() if args.alloc else None
+
+    def workload() -> None:
+        a = random_matrix(args.n, args.n, seed=args.seed)
+        for _ in range(args.runs):
+            if args.stream:
+                from repro.stream.drivers import topk_svd
+
+                topk_svd(a, min(8, args.n), driver="merge",
+                         block_size=max(args.n // 8, 4))
+            else:
+                hestenes_svd(a, method=args.engine, compute_uv=True)
+
+    print(f"profile: {args.runs} x "
+          f"{'topk_svd' if args.stream else args.engine} at n={args.n}, "
+          f"sampling at {args.hz:g} Hz", file=info)
+    workload()  # warm BLAS/caches outside the profiled window
+    with use_tracer(tracer), profiler:
+        if alloc is not None:
+            with use_alloc_profiler(alloc):
+                workload()
+        else:
+            workload()
+    profile = profiler.profile()
+    if args.folded:
+        profile.write_folded(args.folded)
+        print(f"folded stacks written to {args.folded}", file=info)
+    if args.chrome:
+        from repro.obs.exporters import write_chrome_trace
+
+        write_chrome_trace(args.chrome, tracer, profile=profile)
+        print(f"chrome trace (with profile counters) written to "
+              f"{args.chrome}", file=info)
+    if args.json:
+        payload = {"profile": profile.summary()}
+        if alloc is not None:
+            payload["allocation"] = alloc.summary()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(profile.render_text())
+    if alloc is not None:
+        print(alloc.render_text())
+    return 0
+
+
+def _cmd_prof_compare(args) -> int:
+    from pathlib import Path
+
+    from repro.eval import profgate
+
+    path = Path(args.baseline_dir) / profgate.CORE_BASELINE
+    print(f"[prof-core] running instrumented workload "
+          f"({'quick' if args.quick else 'full'} mode):")
+    current = profgate.run_core(quick=args.quick, log=print)
+    if args.inject_slowdown != 1.0:
+        phase = args.inject_phase or profgate.hottest_phase(current)
+        current = profgate.scale_phase(current, phase, args.inject_slowdown)
+        print(f"[prof-core] injected x{args.inject_slowdown:g} slowdown "
+              f"into {phase}")
+    if args.update:
+        print(f"[prof-core] baseline written to "
+              f"{profgate.write_baseline(current, path)}")
+        return 0
+    try:
+        baseline = profgate.load_baseline(path)
+    except FileNotFoundError:
+        print(f"[prof-core] no baseline at {path}; run "
+              f"`repro prof-compare --update` (make prof-baseline) first")
+        return 1
+    rows, ok = profgate.compare(current, baseline, args.tolerance)
+    print(profgate.format_rows(rows, args.tolerance))
+    print(f"[prof-core] {'ok' if ok else 'REGRESSION'} "
+          f"(probe {baseline['probe_s'] * 1e3:.2f} ms -> "
+          f"{current['probe_s'] * 1e3:.2f} ms)")
+    return 0 if ok else 1
+
+
 def add_obs_commands(sub) -> None:
     """Register the observability subcommands on an argparse subparsers."""
     sr = sub.add_parser("slo-report",
@@ -185,3 +286,48 @@ def add_obs_commands(sub) -> None:
                     help="run a small serving workload first so the log "
                          "has content")
     ev.set_defaults(func=_cmd_events)
+
+    pf = sub.add_parser("profile",
+                        help="sample an instrumented workload and report "
+                             "the span-phase breakdown")
+    pf.add_argument("--engine", default="vectorized",
+                    help="engine for the profiled decompositions")
+    pf.add_argument("--n", type=int, default=160,
+                    help="matrix size of the profiled workload")
+    pf.add_argument("--runs", type=int, default=6,
+                    help="decompositions inside the profiled window")
+    pf.add_argument("--hz", type=float, default=200.0,
+                    help="sampling rate of the background profiler")
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--stream", action="store_true",
+                    help="profile the streaming topk_svd driver instead "
+                         "of a dense engine")
+    pf.add_argument("--alloc", action="store_true",
+                    help="also attribute tracemalloc peak heap per phase")
+    pf.add_argument("--folded", default=None, metavar="FILE",
+                    help="write collapsed-flamegraph stacks to FILE")
+    pf.add_argument("--chrome", default=None, metavar="FILE",
+                    help="write a Chrome trace (spans + profile counter "
+                         "track) to FILE")
+    pf.add_argument("--json", action="store_true",
+                    help="emit the profile summary as JSON on stdout")
+    pf.set_defaults(func=_cmd_profile)
+
+    pc = sub.add_parser("prof-compare",
+                        help="phase-share profiling gate vs PROF_CORE.json")
+    pc.add_argument("--tolerance", type=float, default=0.60,
+                    help="allowed probe-normalized per-phase cost growth "
+                         "(0.60 = 60%%)")
+    pc.add_argument("--baseline-dir", default=".",
+                    help="directory holding PROF_CORE.json")
+    pc.add_argument("--quick", action="store_true",
+                    help="fewer instrumented runs (same workload)")
+    pc.add_argument("--update", action="store_true",
+                    help="rewrite the baseline instead of comparing")
+    pc.add_argument("--inject-slowdown", type=float, default=1.0,
+                    metavar="FACTOR",
+                    help="multiply one phase's cost by FACTOR (gate "
+                         "self-test; 2.0 on the hottest phase must fail)")
+    pc.add_argument("--inject-phase", default=None, metavar="PHASE",
+                    help="phase for --inject-slowdown (default: hottest)")
+    pc.set_defaults(func=_cmd_prof_compare)

@@ -15,7 +15,8 @@ commands) and registered into the same ``repro`` argument parser via
 * ``stats`` — render the process-wide metrics registry
   (:func:`repro.obs.metrics.get_registry`) as a text report or, with
   ``--prom``, Prometheus text exposition; ``--demo`` first runs a small
-  workload so there is something to show.
+  workload so there is something to show; ``--watch N`` live-refreshes
+  every N seconds until Ctrl-C.
 * ``bench-compare`` — run the pinned benchmark suites of
   :mod:`repro.eval.benchgate` and gate against the committed
   ``BENCH_CORE.json`` / ``BENCH_SERVE.json`` baselines (``--update``
@@ -24,8 +25,8 @@ commands) and registered into the same ``repro`` argument parser via
   behind the serving tier, and run ``lsi_query`` / ``topk_svd`` task
   requests through the server, including an ``add_documents`` update
   that invalidates cached query results.
-The observability commands (``slo-report``, ``events``) live in
-:mod:`repro.cli_obs`.
+The observability commands (``slo-report``, ``events``, ``profile``,
+``prof-compare``) live in :mod:`repro.cli_obs`.
 """
 
 from __future__ import annotations
@@ -216,12 +217,33 @@ def _cmd_stats(args) -> int:
         print(f"stats --demo: ran {len(METHODS)} engines + the cycle model "
               f"on a 24 x 12 matrix", file=sys.stderr)
     registry = get_registry()
-    if args.prom:
-        text = metrics_to_prometheus(registry)
-        print(text, end="" if text.endswith("\n") else "\n")
-    else:
-        print(registry.render_text())
-    return 0
+
+    def render() -> str:
+        if args.prom:
+            text = metrics_to_prometheus(registry)
+            return text if text.endswith("\n") else text + "\n"
+        return registry.render_text() + "\n"
+
+    if not args.watch:
+        print(render(), end="")
+        return 0
+    # Live-refresh mode, matching `repro events --follow` ergonomics:
+    # clear + redraw every N seconds until Ctrl-C.
+    import time
+
+    try:
+        while True:
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(
+                f"repro stats  (refreshing every {args.watch:g} s, "
+                f"Ctrl-C to exit)\n\n"
+            )
+            sys.stdout.write(render())
+            sys.stdout.flush()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 #: The lsi-demo corpus: two clearly separated topics so a rank-2
@@ -409,6 +431,9 @@ def add_ops_commands(sub, methods) -> None:
     st.add_argument("--demo", action="store_true",
                     help="run a small workload first so the registry "
                          "has content")
+    st.add_argument("--watch", type=float, default=0.0, metavar="N",
+                    help="live-refresh mode: clear + redraw every N "
+                         "seconds until Ctrl-C")
     st.set_defaults(func=_cmd_stats)
 
     ld = sub.add_parser("lsi-demo",

@@ -1,0 +1,245 @@
+"""Phase-share baseline/regression gate (``repro prof-compare``).
+
+``repro bench-compare`` answers *whether* the engines got slower;
+this gate answers *where*.  A pinned instrumented workload — the
+vectorized engine at n=160 under a round-detail tracer with the
+sampling profiler running — produces per-phase CPU cost
+(``core.sweep`` / ``core.round`` / ``core.finalize``), committed as
+``PROF_CORE.json`` at the repo root.  Subsequent runs compare against
+the committed baseline and fail when a phase's cost grew, naming the
+phase — the per-stage discipline of the paper's Table I cycle
+breakdown, applied to our own hot path across PRs.
+
+Metrics are **seconds per decomposition, per phase**::
+
+    phase_s = (phase_samples / total_samples) * (wall_s / runs)
+
+so they compose the sampler's statistical attribution with a measured
+wall clock, and the same probe normalization as benchgate makes them
+comparable across machines.  Shares alone would renormalize away a
+uniform slowdown; seconds-per-run keeps both the *where* and the *how
+much*.
+
+The run also records the attributed fraction; a run where sampling
+stopped seeing span phases (< :data:`MIN_ATTRIBUTION`) fails outright
+rather than producing a vacuously-passing empty profile.
+
+Entry points mirror :mod:`repro.eval.benchgate`: :func:`run_core`
+produces the result dict, :func:`compare` diffs it against a baseline,
+:func:`scale_phase` is the ``--inject-slowdown`` self-test hook, and
+the ``repro prof-compare`` CLI (``make prof-baseline`` /
+``make prof-check``) drives the flow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.eval.benchgate import machine_probe
+
+__all__ = [
+    "CORE_BASELINE",
+    "DEFAULT_TOLERANCE",
+    "MIN_ATTRIBUTION",
+    "PHASES",
+    "compare",
+    "format_rows",
+    "hottest_phase",
+    "load_baseline",
+    "run_core",
+    "scale_phase",
+    "write_baseline",
+]
+
+SCHEMA_VERSION = 1
+CORE_BASELINE = "PROF_CORE.json"
+#: Phase shares jitter more than wall clocks (finite samples, scheduler
+#: noise), so the default tolerance is looser than benchgate's 20%; an
+#: injected 2x hot phase still trips it by a wide margin.
+DEFAULT_TOLERANCE = 0.60
+#: A phase must also be absolutely slower than this per run to fail the
+#: gate — small phases (finalize is ~1 ms of a ~60 ms solve) can double
+#: their share on sampling noise alone without meaning anything.
+ABSOLUTE_SLACK_S = 4e-3
+#: Minimum fraction of samples attributed to a named span phase for the
+#: run to be trustworthy at all.
+MIN_ATTRIBUTION = 0.90
+#: The pinned phase set: every baseline and every run reports exactly
+#: these (0.0 when unobserved), so a phase cannot vanish from the gate
+#: by dropping out of one noisy run.
+PHASES = ("core.sweep", "core.round", "core.finalize", "(unattributed)")
+
+
+def run_core(*, quick: bool = False, hz: float = 400.0, n: int = 160,
+             log=None) -> dict:
+    """Profile the pinned vectorized workload; returns the baseline payload.
+
+    Runs ``hestenes_svd(a, method="vectorized")`` repeatedly in the
+    calling thread under a round-detail tracer while a background
+    :class:`~repro.obs.prof.SampleProfiler` attributes samples to span
+    phases, then converts shares into per-phase seconds per run.
+    """
+    from repro.core.svd import hestenes_svd
+    from repro.obs.prof import SampleProfiler
+    from repro.obs.tracer import Tracer, use_tracer
+    from repro.workloads import random_matrix
+
+    runs = 4 if quick else 8
+    a = random_matrix(n, n, seed=7)
+    hestenes_svd(a, method="vectorized", compute_uv=True)  # warm BLAS/caches
+    profiler = SampleProfiler(hz=hz)
+    tracer = Tracer(detail="round")
+    start = time.perf_counter()
+    with use_tracer(tracer), profiler:
+        for _ in range(runs):
+            hestenes_svd(a, method="vectorized", compute_uv=True)
+    wall_s = time.perf_counter() - start
+    profile = profiler.profile()
+    wall_per_run = wall_s / runs
+    total = profile.total_samples
+    metrics = {}
+    for phase in PHASES:
+        share = (profile.phase_counts.get(phase, 0) / total) if total else 0.0
+        metrics[f"prof.{phase}"] = share * wall_per_run
+    result = {
+        "schema": SCHEMA_VERSION,
+        "suite": "prof-core",
+        "quick": bool(quick),
+        "hz": float(hz),
+        "n": int(n),
+        "runs": runs,
+        "probe_s": machine_probe(),
+        "wall_per_run_s": wall_per_run,
+        "total_samples": total,
+        "attributed_fraction": profile.attributed_fraction(),
+        "metrics": metrics,
+    }
+    if log is not None:
+        log(f"  {'workload':<28s} vectorized n={n}, {runs} runs, "
+            f"{total} samples at {hz:g} Hz")
+        log(f"  {'attributed':<28s} {result['attributed_fraction']:.1%}")
+        for name, seconds in metrics.items():
+            log(f"  {name:<28s} {seconds * 1e3:12.4f} ms/run")
+    return result
+
+
+def write_baseline(result: dict, path) -> str:
+    """Write a profiling result as the committed baseline JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def load_baseline(path) -> dict:
+    """Load a baseline JSON; raises ``FileNotFoundError`` when absent."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline schema {data.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return data
+
+
+def scale_phase(result: dict, phase: str, factor: float) -> dict:
+    """Copy of *result* with one phase's seconds multiplied by *factor*.
+
+    The testing hook behind ``repro prof-compare --inject-slowdown``: a
+    2x injection on the hottest phase must trip the gate against any
+    sane baseline, proving the gate can actually see a hot phase move.
+    """
+    key = phase if phase.startswith("prof.") else f"prof.{phase}"
+    if key not in result.get("metrics", {}):
+        raise KeyError(f"unknown phase metric {key!r}")
+    scaled = dict(result)
+    scaled["metrics"] = dict(result["metrics"])
+    scaled["metrics"][key] *= factor
+    return scaled
+
+
+def hottest_phase(result: dict) -> str:
+    """Name of the named phase with the largest per-run cost."""
+    named = {
+        name: seconds for name, seconds in result.get("metrics", {}).items()
+        if name != "prof.(unattributed)"
+    }
+    if not named:
+        raise ValueError("result has no named phase metrics")
+    return max(named, key=named.get)
+
+
+def compare(current: dict, baseline: dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> tuple[list[dict], bool]:
+    """Diff *current* against *baseline* with probe normalization.
+
+    Returns ``(rows, ok)``.  Phase rows carry ``name``, ``baseline_s``,
+    ``current_s``, ``ratio`` (probe-normalized) and ``status`` —
+    ``"ok"``, ``"hot"`` (grew past tolerance *and*
+    :data:`ABSOLUTE_SLACK_S` per run), ``"missing"`` (also a failure)
+    or ``"new"``.  A leading ``attribution`` row fails the gate when
+    the current run attributed < :data:`MIN_ATTRIBUTION` of samples —
+    an untrustworthy profile must not pass silently.
+    """
+    rows: list[dict] = []
+    ok = True
+    attributed = float(current.get("attributed_fraction", 0.0))
+    att_ok = attributed >= MIN_ATTRIBUTION
+    rows.append({
+        "name": "attribution", "baseline_s": None, "current_s": None,
+        "ratio": attributed, "status": "ok" if att_ok else "low",
+    })
+    if not att_ok:
+        ok = False
+    base_probe = float(baseline.get("probe_s") or 1.0)
+    cur_probe = float(current.get("probe_s") or 1.0)
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        row = {"name": name, "baseline_s": base_metrics.get(name),
+               "current_s": cur_metrics.get(name), "ratio": None}
+        if name not in cur_metrics:
+            row["status"] = "missing"
+            ok = False
+        elif name not in base_metrics:
+            row["status"] = "new"
+        else:
+            normalized_base = base_metrics[name] / base_probe
+            normalized_cur = cur_metrics[name] / cur_probe
+            row["ratio"] = (
+                normalized_cur / normalized_base if normalized_base > 0
+                else float("inf")
+            )
+            hot = (
+                row["ratio"] > 1.0 + tolerance
+                and cur_metrics[name] - base_metrics[name] > ABSOLUTE_SLACK_S
+            )
+            row["status"] = "hot" if hot else "ok"
+            if hot:
+                ok = False
+        rows.append(row)
+    return rows, ok
+
+
+def format_rows(rows: list[dict], tolerance: float) -> str:
+    """Fixed-width report of a :func:`compare` result."""
+    lines = [
+        f"{'phase':<28s} {'baseline':>12s} {'current':>12s} "
+        f"{'ratio':>7s}  status  (tolerance {tolerance:.0%})"
+    ]
+    for row in rows:
+        if row["name"] == "attribution":
+            lines.append(
+                f"{'attribution':<28s} {'-':>12s} "
+                f"{row['ratio']:>11.1%} {'-':>8s}  {row['status']}"
+            )
+            continue
+        base = (f"{row['baseline_s'] * 1e3:10.3f}ms"
+                if row["baseline_s"] is not None else f"{'-':>12s}")
+        cur = (f"{row['current_s'] * 1e3:10.3f}ms"
+               if row["current_s"] is not None else f"{'-':>12s}")
+        ratio = f"{row['ratio']:7.2f}" if row["ratio"] is not None else f"{'-':>7s}"
+        lines.append(f"{row['name']:<28s} {base:>12s} {cur:>12s} "
+                     f"{ratio}  {row['status']}")
+    return "\n".join(lines)

@@ -24,6 +24,13 @@ without any external dependency:
 * :mod:`~repro.obs.exporters` — Chrome ``chrome://tracing`` JSON,
   an indented text tree, and Prometheus text exposition of a
   :class:`repro.obs.metrics.MetricsRegistry` (label-aware).
+* :mod:`~repro.obs.prof` — continuous profiling: a sampling profiler
+  attributing Python stacks to span phases
+  (:class:`~repro.obs.prof.SampleProfiler`), tracemalloc peak-heap
+  attribution for the streaming tier
+  (:func:`~repro.obs.prof.heap_phase`), and per-request CPU cost
+  metrics (:func:`~repro.obs.prof.record_request_cpu`) — the input
+  data for ``repro prof-compare`` phase-share gating.
 
 The disabled path (no tracer installed, or a
 :class:`~repro.obs.tracer.NullTracer`) is a single context-variable
@@ -55,9 +62,24 @@ from repro.obs.events import context as event_context
 from repro.obs.exporters import (
     chrome_trace_events,
     metrics_to_prometheus,
+    profile_counter_events,
     render_span_tree,
     to_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.prof import (
+    AllocationProfiler,
+    Profile,
+    SampleProfiler,
+    get_alloc_profiler,
+    get_profiler,
+    heap_phase,
+    profiling_active,
+    record_request_cpu,
+    request_cpu_total,
+    shape_label,
+    use_alloc_profiler,
+    use_profiler,
 )
 from repro.obs.recorder import (
     FlightRecorder,
@@ -103,6 +125,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AllocationProfiler",
     "Counter",
     "DETAIL_LEVELS",
     "Event",
@@ -115,8 +138,10 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "NullTracer",
+    "Profile",
     "SLO",
     "SLOEngine",
+    "SampleProfiler",
     "Span",
     "Tracer",
     "chrome_trace_events",
@@ -126,21 +151,31 @@ __all__ = [
     "emit",
     "event_context",
     "fail_fast",
+    "get_alloc_profiler",
     "get_event_log",
+    "get_profiler",
     "get_recorder",
     "get_registry",
     "get_slo_engine",
     "health_from_result",
+    "heap_phase",
     "metrics_to_prometheus",
     "noop_span",
+    "profile_counter_events",
+    "profiling_active",
+    "record_request_cpu",
     "render_span_tree",
+    "request_cpu_total",
     "round_detail",
     "set_fail_fast",
     "set_registry",
+    "shape_label",
     "span",
     "to_chrome_trace",
     "trigger_dump",
+    "use_alloc_profiler",
     "use_event_log",
+    "use_profiler",
     "use_recorder",
     "use_registry",
     "use_slo_engine",

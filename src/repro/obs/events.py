@@ -123,15 +123,29 @@ class EventLog:
     path : str, optional
         Mirror every event to this JSONL file (line-buffered append),
         the feed for ``repro events --follow``.
+    max_bytes : int, optional
+        Size-based rotation for the mirror: when an append would push
+        the file past this size, the current file is rolled to
+        ``<path>.1`` (replacing any previous rollover) and a fresh
+        file is started — so the mirror's disk footprint is bounded at
+        ~2x ``max_bytes`` no matter how long the process serves.
+        ``None`` (default) keeps the historical append-forever
+        behavior.
     """
 
     def __init__(self, capacity: int = 4096, *, clock=time.time,
-                 path=None) -> None:
+                 path=None, max_bytes: int | None = None) -> None:
         self.capacity = int(capacity)
         self._ring: deque[Event] = deque(maxlen=self.capacity)
         self._clock = clock
         self._lock = threading.Lock()
         self._subscribers: list = []
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        # The mirror has its own lock so rotation/write IO never blocks
+        # emitters appending to the ring.
+        self._io_lock = threading.Lock()
         self._fh = open(path, "a", buffering=1, encoding="utf-8") \
             if path else None
         self.path = str(path) if path else None
@@ -149,19 +163,43 @@ class EventLog:
         with self._lock:
             self._ring.append(event)
             subscribers = list(self._subscribers)
-            fh = self._fh
-        if fh is not None:
-            try:
-                fh.write(json.dumps(
-                    {k: _jsonable(v) for k, v in event.to_dict().items()},
-                    sort_keys=True) + "\n")
-            except (OSError, ValueError):
-                pass
+            mirror = self._fh is not None
+        if mirror:
+            line = json.dumps(
+                {k: _jsonable(v) for k, v in event.to_dict().items()},
+                sort_keys=True) + "\n"
+            with self._io_lock:
+                fh = self._fh
+                if fh is not None:
+                    try:
+                        if self.max_bytes is not None \
+                                and fh.tell() + len(line) > self.max_bytes:
+                            fh = self._rotate_locked()
+                        fh.write(line)
+                    except (OSError, ValueError):
+                        pass
         for fn in subscribers:
             try:
                 fn(event)
             except Exception:
                 pass  # a broken subscriber must never break the emitter
+
+    def _rotate_locked(self):
+        """Roll the mirror to ``<path>.1`` and reopen; returns the new fh.
+
+        Caller holds ``_io_lock``.  One rollover generation is kept —
+        enough for post-mortems to reach back past the roll while
+        keeping the footprint bounded.
+        """
+        import os
+
+        self._fh.close()
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass  # rotation failure must not lose the live mirror
+        self._fh = open(self.path, "a", buffering=1, encoding="utf-8")
+        return self._fh
 
     def subscribe(self, fn) -> None:
         """Call ``fn(event)`` on every future :meth:`record`."""
@@ -222,29 +260,46 @@ class EventLog:
 
     def close(self) -> None:
         """Close the JSONL mirror file, when one is open."""
-        if self._fh is not None:
-            try:
-                self._fh.close()
-            finally:
-                self._fh = None
+        with self._io_lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                finally:
+                    self._fh = None
 
 
-def read_jsonl(path) -> list[Event]:
+def read_jsonl(path, *, include_rotated: bool = False) -> list[Event]:
     """Parse a JSONL event file back into :class:`Event` records.
 
     Blank and malformed lines are skipped, so a file truncated by a
     crash (the exact situation post-mortems care about) still loads.
+    With *include_rotated*, the ``<path>.1`` rollover written by a
+    size-capped mirror (``EventLog(max_bytes=...)``) is read first, so
+    the combined list stays oldest-first across the rotation boundary.
     """
+    import os
+
+    paths = []
+    if include_rotated and os.path.exists(str(path) + ".1"):
+        paths.append(str(path) + ".1")
+    paths.append(path)
     out = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(Event.from_dict(json.loads(line)))
-            except (ValueError, TypeError):
-                continue
+    for p in paths:
+        try:
+            fh = open(p, "r", encoding="utf-8")
+        except FileNotFoundError:
+            if p is path:  # the main file stays mandatory, as before
+                raise
+            continue
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(Event.from_dict(json.loads(line)))
+                except (ValueError, TypeError):
+                    continue
     return out
 
 

@@ -20,6 +20,7 @@ import json
 
 __all__ = [
     "chrome_trace_events",
+    "profile_counter_events",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_span_tree",
@@ -75,17 +76,59 @@ def chrome_trace_events(tracer_or_spans, *, pid: int = 1) -> list[dict]:
     return events
 
 
-def to_chrome_trace(tracer_or_spans) -> dict:
-    """The full Chrome trace document (``{"traceEvents": [...]}``)."""
+def profile_counter_events(profile, *, pid: int = 1,
+                           origin: float | None = None) -> list[dict]:
+    """A sampling profile's timeline as Chrome counter ("C") events.
+
+    Each profiler tick becomes one counter sample whose series are the
+    span phases observed that tick — rendered by Chrome/Perfetto as a
+    stacked area chart ("samples by phase") aligned under the span
+    track when the profile and the spans share a clock (both default
+    to ``time.perf_counter``; pass the span track's *origin* to line
+    the timelines up).
+    """
+    timeline = getattr(profile, "timeline", profile)
+    if not timeline:
+        return []
+    base = min(t for t, _ in timeline) if origin is None else origin
+    events = []
+    for t, phases in timeline:
+        events.append(
+            {
+                "name": "prof.samples",
+                "cat": "prof",
+                "ph": "C",
+                "ts": (t - base) * 1e6,
+                "pid": pid,
+                "args": {str(k): v for k, v in sorted(phases.items())},
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def to_chrome_trace(tracer_or_spans, *, profile=None) -> dict:
+    """The full Chrome trace document (``{"traceEvents": [...]}``).
+
+    When *profile* (a :class:`repro.obs.prof.Profile`) is given, its
+    tick timeline is appended as a ``prof.samples`` counter track
+    rebased to the same origin as the spans, so the phase breakdown
+    renders directly under the request flow.
+    """
+    events = chrome_trace_events(tracer_or_spans)
+    if profile is not None:
+        spans = _spans_of(tracer_or_spans)
+        origin = min(sp["start"] for sp in spans) if spans else None
+        events.extend(profile_counter_events(profile, origin=origin))
     return {
-        "traceEvents": chrome_trace_events(tracer_or_spans),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
 
 
-def write_chrome_trace(path, tracer_or_spans) -> str:
+def write_chrome_trace(path, tracer_or_spans, *, profile=None) -> str:
     """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
-    doc = to_chrome_trace(tracer_or_spans)
+    doc = to_chrome_trace(tracer_or_spans, profile=profile)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")

@@ -1,0 +1,440 @@
+"""Continuous profiling: span-correlated CPU/allocation profiles.
+
+The FPGA paper argues performance stage by stage — Table I is a
+per-phase cycle breakdown — and the serving stack already knows *that*
+a run got slower (``repro bench-compare``), but not *where*.  This
+module closes the gap with three zero-dependency instruments:
+
+* :class:`SampleProfiler` — a background-thread sampling profiler
+  (configurable Hz) that captures every thread's Python stack via
+  ``sys._current_frames()`` **and** the thread's innermost open span
+  (the tracer's cross-thread active-span table), so each sample is
+  attributed to a named phase: ``core.sweep`` / ``core.round`` /
+  ``core.finalize``, the ``serve.*`` request lifecycle, the
+  ``stream.*`` merge stages.  Results export as folded stacks (the
+  collapsed-flamegraph input format) and as Chrome-trace counter
+  tracks (:func:`repro.obs.exporters.profile_counter_events`).
+* :class:`AllocationProfiler` — tracemalloc-based peak-heap
+  attribution for the streaming tier: every :func:`heap_phase` scope
+  (``stream.absorb`` / ``stream.consume``) records its peak traced
+  heap, answering "which stage allocated the 400 MB".
+* :func:`record_request_cpu` — per-request CPU-second attribution into
+  labeled metric families (``engine x shape-bucket x precision``) on
+  the process-wide registry, the cost data ``repro stats`` and the
+  future capacity model consume.  The serving layer calls it on both
+  tiers; the shard tier ships each request's CPU seconds back to the
+  parent in the response meta and its cumulative total in ping
+  replies.
+
+(The allocation/cost half is implemented in :mod:`repro.obs.profmem`
+to respect the repo's module size budget; this module re-exports it,
+so ``repro.obs.prof`` stays the one import site.)
+
+Overhead discipline mirrors the rest of ``repro.obs``: with no
+profiler installed, :func:`heap_phase` is one module-global read, span
+enter/exit pays one false branch (see
+:func:`repro.obs.tracer.set_active_tracking`), and
+:func:`record_request_cpu` is two clock reads per *batch*.
+``benchmarks/bench_obs.py`` charges the disabled path against the
+<= 5% observability budget and reports the enabled-sampling overhead
+at 100 Hz.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.obs import Tracer, use_tracer
+>>> from repro.obs.prof import SampleProfiler
+>>> from repro.core.svd import hestenes_svd
+>>> prof = SampleProfiler(hz=200)
+>>> with use_tracer(Tracer()), prof:
+...     _ = hestenes_svd(np.eye(48) * 2.0, method="vectorized")
+>>> profile = prof.profile()
+>>> profile.total_samples >= 0
+True
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+from repro.obs.profmem import (
+    AllocationProfiler,
+    get_alloc_profiler,
+    heap_phase,
+    record_request_cpu,
+    request_cpu_total,
+    set_alloc_profiler,
+    shape_label,
+    use_alloc_profiler,
+)
+from repro.obs.tracer import active_span_names, set_active_tracking
+
+__all__ = [
+    "AllocationProfiler",
+    "Profile",
+    "SampleProfiler",
+    "UNATTRIBUTED",
+    "get_alloc_profiler",
+    "get_profiler",
+    "heap_phase",
+    "profiling_active",
+    "record_request_cpu",
+    "request_cpu_total",
+    "set_alloc_profiler",
+    "set_profiler",
+    "shape_label",
+    "use_alloc_profiler",
+    "use_profiler",
+]
+
+#: Phase name assigned to samples taken outside any open span.
+UNATTRIBUTED = "(unattributed)"
+
+#: Deepest Python stack kept per sample; frames beyond it are dropped
+#: from the *root* end (the leaf frames are the interesting ones).
+MAX_STACK_DEPTH = 64
+
+
+class Profile:
+    """Immutable snapshot of a sampling run (the exporters' input).
+
+    Attributes
+    ----------
+    phase_counts : dict
+        ``{phase: samples}`` over every sampled thread.
+    stack_counts : dict
+        ``{(phase, (frame, ...)): samples}`` — frames root-first, each
+        rendered ``module:function:line``.
+    timeline : list
+        ``(t, {phase: samples})`` per tick, bounded, for the
+        Chrome-trace counter track.
+    total_samples, ticks : int
+    duration_s : float
+        Wall clock covered by the sampling window.
+    cpu_s : float
+        Process CPU seconds consumed during the window.
+    hz : float
+        Requested sampling rate of the owning profiler.
+    """
+
+    def __init__(self, *, phase_counts, stack_counts, timeline,
+                 total_samples, ticks, duration_s, cpu_s, hz) -> None:
+        self.phase_counts = dict(phase_counts)
+        self.stack_counts = dict(stack_counts)
+        self.timeline = list(timeline)
+        self.total_samples = int(total_samples)
+        self.ticks = int(ticks)
+        self.duration_s = float(duration_s)
+        self.cpu_s = float(cpu_s)
+        self.hz = float(hz)
+
+    def phase_shares(self, *, named_only: bool = False) -> dict:
+        """``{phase: fraction of samples}``, descending by share.
+
+        With ``named_only`` the denominator excludes
+        :data:`UNATTRIBUTED` samples (idle/foreign threads).
+        """
+        counts = {
+            phase: n for phase, n in self.phase_counts.items()
+            if not (named_only and phase == UNATTRIBUTED)
+        }
+        total = sum(counts.values())
+        if not total:
+            return {}
+        shares = {phase: n / total for phase, n in counts.items()}
+        return dict(sorted(shares.items(), key=lambda kv: -kv[1]))
+
+    def attributed_fraction(self) -> float:
+        """Fraction of samples landing inside a named span phase."""
+        if not self.total_samples:
+            return 0.0
+        named = self.total_samples - self.phase_counts.get(UNATTRIBUTED, 0)
+        return named / self.total_samples
+
+    # ---- exporters ------------------------------------------------------
+
+    def folded(self, *, phase_root: bool = True) -> list[str]:
+        """Collapsed-flamegraph lines: ``frame;frame;... count``.
+
+        This is Brendan Gregg's folded-stack format — pipe the lines
+        into ``flamegraph.pl`` (or load into speedscope) directly.
+        With *phase_root* (default) each stack is rooted at its span
+        phase, so the flamegraph's first level is the phase breakdown.
+        """
+        rows: dict[str, int] = {}
+        for (phase, frames), count in self.stack_counts.items():
+            parts = ((phase,) if phase_root else ()) + frames
+            key = ";".join(parts)
+            rows[key] = rows.get(key, 0) + count
+        return [f"{key} {count}"
+                for key, count in sorted(rows.items(), key=lambda kv: -kv[1])]
+
+    def write_folded(self, path, **kwargs) -> str:
+        """Write :meth:`folded` lines to *path*; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.folded(**kwargs):
+                fh.write(line + "\n")
+        return str(path)
+
+    def top_stacks(self, n: int = 10) -> list[tuple[str, int]]:
+        """The *n* hottest folded stacks as ``(stack, samples)``."""
+        out = [(line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+               for line in self.folded()]
+        return out[:n]
+
+    def summary(self) -> dict:
+        """Compact JSON-able digest (flight-recorder bundles, CLI)."""
+        return {
+            "total_samples": self.total_samples,
+            "ticks": self.ticks,
+            "duration_s": self.duration_s,
+            "cpu_s": self.cpu_s,
+            "hz": self.hz,
+            "attributed_fraction": self.attributed_fraction(),
+            "phase_shares": self.phase_shares(),
+            "top_stacks": [
+                {"stack": stack, "samples": count}
+                for stack, count in self.top_stacks(10)
+            ],
+        }
+
+    def render_text(self) -> str:
+        """Fixed-width phase table for terminals."""
+        lines = [
+            f"profile: {self.total_samples} samples over "
+            f"{self.duration_s:.3f} s "
+            f"({self.attributed_fraction():.1%} span-attributed, "
+            f"cpu {self.cpu_s:.3f} s)"
+        ]
+        for phase, share in self.phase_shares().items():
+            n = self.phase_counts[phase]
+            lines.append(f"  {phase:<24s} {share:>7.2%}  ({n} samples)")
+        return "\n".join(lines)
+
+
+def _frame_stack(frame) -> tuple[str, ...]:
+    """Render one thread's frame chain root-first, bounded depth."""
+    frames: list[str] = []
+    while frame is not None and len(frames) < MAX_STACK_DEPTH:
+        code = frame.f_code
+        module = code.co_filename.rsplit("/", 1)[-1]
+        frames.append(f"{module}:{code.co_name}:{frame.f_lineno}")
+        frame = frame.f_back
+    frames.reverse()
+    return tuple(frames)
+
+
+class SampleProfiler:
+    """Background-thread sampling profiler with span attribution.
+
+    Parameters
+    ----------
+    hz : float
+        Sampling rate of the background thread (:meth:`start`).  A
+        profiler can also be driven manually via :meth:`sample_once`
+        (deterministic tests); the rate only matters for the thread.
+    timeline_capacity : int
+        Ticks kept for the Chrome counter track (ring; memory bound).
+    clock : callable
+        Monotonic time source (injectable for tests).
+    cpu_clock : callable
+        Process-CPU time source (defaults to :func:`time.process_time`).
+
+    Use as a context manager, or :meth:`start` / :meth:`stop`.  While
+    running, the tracer's active-span table is enabled, so every
+    context-managed span (the engines, the streaming merge, the serve
+    engine scope) is visible to the sampler across threads.
+    """
+
+    def __init__(self, hz: float = 100.0, *, timeline_capacity: int = 8192,
+                 clock=time.perf_counter, cpu_clock=time.process_time) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        self.hz = float(hz)
+        self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._tracking_token: bool | None = None
+        self._phase_counts: dict[str, int] = {}
+        self._stack_counts: dict[tuple, int] = {}
+        self._timeline: deque = deque(maxlen=int(timeline_capacity))
+        self._total = 0
+        self._ticks = 0
+        self._started_at: float | None = None
+        self._elapsed = 0.0
+        self._cpu_started: float | None = None
+        self._cpu = 0.0
+
+    # ---- lifecycle ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the background sampler thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SampleProfiler":
+        """Enable span tracking and start the sampler thread (idempotent)."""
+        if self.running:
+            return self
+        self._tracking_token = set_active_tracking(True)
+        self._started_at = self._clock()
+        self._cpu_started = self._cpu_clock()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SampleProfiler":
+        """Stop the sampler thread and restore span tracking."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._close_window()
+        if self._tracking_token is not None:
+            set_active_tracking(self._tracking_token)
+            self._tracking_token = None
+        return self
+
+    def _close_window(self) -> None:
+        if self._started_at is not None:
+            self._elapsed += self._clock() - self._started_at
+            self._started_at = None
+        if self._cpu_started is not None:
+            self._cpu += self._cpu_clock() - self._cpu_started
+            self._cpu_started = None
+
+    def __enter__(self) -> "SampleProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        while not self._stop.wait(interval):
+            try:
+                self.sample_once()
+            except Exception:
+                # Sampling must never take the process down; skip the
+                # tick and keep going.
+                continue
+
+    # ---- sampling -------------------------------------------------------
+
+    def sample_once(self, now: float | None = None) -> int:
+        """Take one sample of every thread except the caller's.
+
+        Public so tests (and ad-hoc tools) can drive the profiler
+        deterministically without the background thread.  Returns the
+        number of thread samples recorded this tick.
+        """
+        own = threading.get_ident()
+        spans = active_span_names()
+        frames = sys._current_frames()
+        t = self._clock() if now is None else now
+        tick: dict[str, int] = {}
+        recorded = 0
+        try:
+            for tid, frame in frames.items():
+                if tid == own:
+                    continue
+                phase = spans.get(tid, UNATTRIBUTED)
+                stack = _frame_stack(frame)
+                with self._lock:
+                    self._phase_counts[phase] = (
+                        self._phase_counts.get(phase, 0) + 1
+                    )
+                    key = (phase, stack)
+                    self._stack_counts[key] = self._stack_counts.get(key, 0) + 1
+                    self._total += 1
+                tick[phase] = tick.get(phase, 0) + 1
+                recorded += 1
+        finally:
+            del frames  # frame objects pin their whole stacks
+        with self._lock:
+            self._ticks += 1
+            self._timeline.append((t, tick))
+        return recorded
+
+    def clear(self) -> None:
+        """Drop every recorded sample (the profiler keeps running)."""
+        with self._lock:
+            self._phase_counts.clear()
+            self._stack_counts.clear()
+            self._timeline.clear()
+            self._total = 0
+            self._ticks = 0
+        if self._started_at is not None:
+            self._started_at = self._clock()
+            self._cpu_started = self._cpu_clock()
+        self._elapsed = 0.0
+        self._cpu = 0.0
+
+    def profile(self) -> Profile:
+        """Snapshot the samples collected so far as a :class:`Profile`."""
+        live_wall = (self._clock() - self._started_at
+                     if self._started_at is not None else 0.0)
+        live_cpu = (self._cpu_clock() - self._cpu_started
+                    if self._cpu_started is not None else 0.0)
+        with self._lock:
+            return Profile(
+                phase_counts=self._phase_counts,
+                stack_counts=self._stack_counts,
+                timeline=self._timeline,
+                total_samples=self._total,
+                ticks=self._ticks,
+                duration_s=self._elapsed + live_wall,
+                cpu_s=self._cpu + live_cpu,
+                hz=self.hz,
+            )
+
+
+# ---- process-wide default --------------------------------------------------
+
+_PROFILER: SampleProfiler | None = None
+
+
+def get_profiler() -> SampleProfiler | None:
+    """The process-wide sampling profiler (None when off)."""
+    return _PROFILER
+
+
+def set_profiler(profiler: SampleProfiler | None) -> SampleProfiler | None:
+    """Install/remove the global sampling profiler; returns the previous.
+
+    Installing does not start it — callers own start/stop so a stopped
+    profiler's samples stay inspectable (flight-recorder bundles read
+    whatever is installed).
+    """
+    global _PROFILER
+    previous, _PROFILER = _PROFILER, profiler
+    return previous
+
+
+@contextmanager
+def use_profiler(profiler: SampleProfiler | None, *, autostart: bool = True):
+    """Install (and by default run) *profiler* for a ``with`` block."""
+    previous = set_profiler(profiler)
+    if profiler is not None and autostart:
+        profiler.start()
+    try:
+        yield profiler
+    finally:
+        if profiler is not None and autostart:
+            profiler.stop()
+        set_profiler(previous)
+
+
+def profiling_active() -> bool:
+    """Whether a global sampling profiler is installed and running."""
+    profiler = _PROFILER
+    return profiler is not None and profiler.running

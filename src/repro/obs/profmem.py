@@ -1,0 +1,248 @@
+"""Allocation profiling and per-request CPU cost attribution.
+
+The memory/cost half of the continuous-profiling layer (the sampling
+half lives in :mod:`repro.obs.prof`, which re-exports everything here —
+import from there).  Two instruments:
+
+* :class:`AllocationProfiler` + :func:`heap_phase` — tracemalloc-based
+  peak-heap attribution per phase, built for the streaming tier's
+  absorb/consume stages ("which stage allocated the 400 MB").
+* :func:`record_request_cpu` — per-request CPU seconds flowing into
+  labeled metric families (``engine x shape-bucket x precision``) on
+  the process-wide registry, plus a process cumulative total the shard
+  workers ship back in ping replies.
+
+Disabled cost: :func:`heap_phase` with no profiler installed is one
+module-global read; :func:`record_request_cpu` is only called when the
+serving layer measured a dispatch, two clock reads per batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "AllocationProfiler",
+    "get_alloc_profiler",
+    "heap_phase",
+    "record_request_cpu",
+    "request_cpu_total",
+    "set_alloc_profiler",
+    "shape_label",
+    "use_alloc_profiler",
+]
+
+
+class AllocationProfiler:
+    """Peak-heap attribution per phase, via :mod:`tracemalloc`.
+
+    Install with :func:`use_alloc_profiler` (or :func:`set_alloc_profiler`)
+    and the streaming tier's :func:`heap_phase` scopes start recording:
+    each scope resets tracemalloc's peak on entry and records the peak
+    traced size on exit, so ``summary()`` answers "which stage owns the
+    peak heap" — the out-of-core subsystem's whole reason to exist.
+
+    Only the scope's *owner* thread should be allocating heavily inside
+    it (true for the streaming merge, which is single-threaded per
+    merger); concurrent scopes share the process peak and the larger
+    one wins, which over-attributes but never hides a spike.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phases: dict[str, dict] = {}
+        self._started_tracemalloc = False
+
+    def start(self) -> "AllocationProfiler":
+        """Ensure tracemalloc is tracing (remembers whether we own it)."""
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        return self
+
+    def stop(self) -> "AllocationProfiler":
+        """Stop tracemalloc if this profiler started it."""
+        import tracemalloc
+
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+        return self
+
+    def __enter__(self) -> "AllocationProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def observe(self, phase: str, peak_bytes: int) -> None:
+        """Record one scope's peak traced heap."""
+        peak = int(peak_bytes)
+        with self._lock:
+            row = self._phases.setdefault(
+                phase, {"count": 0, "peak_bytes": 0, "total_bytes": 0}
+            )
+            row["count"] += 1
+            row["total_bytes"] += peak
+            if peak > row["peak_bytes"]:
+                row["peak_bytes"] = peak
+            phase_peak = row["peak_bytes"]
+        get_registry().gauge(
+            "prof_peak_heap_bytes",
+            help="peak traced heap per profiled phase (max over scopes)",
+            labelnames=("phase",),
+        ).labels(phase=phase).set(phase_peak)
+
+    def summary(self) -> dict:
+        """``{phase: {count, peak_bytes, mean_bytes}}``, hottest first."""
+        with self._lock:
+            rows = {
+                phase: {
+                    "count": row["count"],
+                    "peak_bytes": row["peak_bytes"],
+                    "mean_bytes": row["total_bytes"] / row["count"]
+                    if row["count"] else 0.0,
+                }
+                for phase, row in self._phases.items()
+            }
+        return dict(sorted(rows.items(),
+                           key=lambda kv: -kv[1]["peak_bytes"]))
+
+    def render_text(self) -> str:
+        """Fixed-width peak-heap table."""
+        rows = self.summary()
+        if not rows:
+            return "(no allocation scopes recorded)"
+        lines = ["allocation profile (peak traced heap per phase):"]
+        for phase, row in rows.items():
+            lines.append(
+                f"  {phase:<24s} peak {row['peak_bytes'] / 1e6:9.2f} MB  "
+                f"mean {row['mean_bytes'] / 1e6:9.2f} MB  "
+                f"x{row['count']}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def heap_phase(phase: str):
+    """Attribute this scope's peak traced heap to *phase*.
+
+    The streaming tier wraps its absorb/consume stages in this; with no
+    :class:`AllocationProfiler` installed the cost is one module-global
+    read.  Nested scopes each reset the shared tracemalloc peak, so the
+    innermost scope wins attribution for its own window — matching the
+    "which stage spiked" question.
+    """
+    profiler = _ALLOC_PROFILER
+    if profiler is None:
+        yield
+        return
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        yield
+        return
+    tracemalloc.reset_peak()
+    try:
+        yield
+    finally:
+        try:
+            _, peak = tracemalloc.get_traced_memory()
+            profiler.observe(phase, peak)
+        except Exception:
+            pass  # a profiling failure must never break the traced code
+
+
+# ---- per-request CPU attribution ------------------------------------------
+
+_cpu_total_lock = threading.Lock()
+_CPU_TOTAL = 0.0
+
+
+def shape_label(shape) -> str:
+    """Power-of-two shape bucket as a metric label (``"32x16"``).
+
+    Mirrors the shard router's affinity bucketing
+    (:func:`repro.serve.shard.state.shape_bucket`): each dimension
+    rounds up to a power of two, so label cardinality stays logarithmic
+    in matrix size.
+    """
+    return "x".join(
+        str(1 << max(int(d) - 1, 0).bit_length()) for d in shape
+    )
+
+
+def record_request_cpu(*, engine: str, shape, precision: str = "fp64",
+                       cpu_s: float, wall_s: float | None = None,
+                       registry=None) -> None:
+    """Attribute one served request's CPU seconds to its cost bucket.
+
+    Records into the ``request_cpu_seconds`` histogram family (labels
+    ``engine`` x ``shape`` bucket x ``precision``) on the process-wide
+    registry — the per-request cost data ``repro stats``, the
+    Prometheus dump, and the capacity model consume — plus
+    ``request_wall_seconds`` when *wall_s* is given, and a process
+    cumulative total (:func:`request_cpu_total`, shipped in shard ping
+    replies).
+    """
+    global _CPU_TOTAL
+    reg = registry if registry is not None else get_registry()
+    labels = {"engine": str(engine), "shape": shape_label(shape),
+              "precision": str(precision or "fp64")}
+    reg.histogram(
+        "request_cpu_seconds",
+        help="CPU seconds attributed to one served request",
+        labelnames=("engine", "shape", "precision"),
+    ).labels(**labels).observe(float(cpu_s))
+    if wall_s is not None:
+        reg.histogram(
+            "request_wall_seconds",
+            help="wall seconds inside the solver dispatch, per request",
+            labelnames=("engine", "shape", "precision"),
+        ).labels(**labels).observe(float(wall_s))
+    with _cpu_total_lock:
+        _CPU_TOTAL += float(cpu_s)
+
+
+def request_cpu_total() -> float:
+    """Cumulative request-attributed CPU seconds in this process."""
+    with _cpu_total_lock:
+        return _CPU_TOTAL
+
+
+# ---- process-wide default --------------------------------------------------
+
+_ALLOC_PROFILER: AllocationProfiler | None = None
+
+
+def get_alloc_profiler() -> AllocationProfiler | None:
+    """The process-wide allocation profiler (None when off)."""
+    return _ALLOC_PROFILER
+
+
+def set_alloc_profiler(
+    profiler: AllocationProfiler | None,
+) -> AllocationProfiler | None:
+    """Install/remove the global allocation profiler; returns previous."""
+    global _ALLOC_PROFILER
+    previous, _ALLOC_PROFILER = _ALLOC_PROFILER, profiler
+    return previous
+
+
+@contextmanager
+def use_alloc_profiler(profiler: AllocationProfiler | None):
+    """Install *profiler* (starting tracemalloc) for a ``with`` block."""
+    previous = set_alloc_profiler(profiler)
+    if profiler is not None:
+        profiler.start()
+    try:
+        yield profiler
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        set_alloc_profiler(previous)

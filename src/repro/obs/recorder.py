@@ -158,7 +158,34 @@ class FlightRecorder:
             "spans": self.spans(),
             "metrics": metrics,
             "slo": slo_report,
+            "profile": self._profile_summary(),
         }
+
+    @staticmethod
+    def _profile_summary():
+        """Digest of the installed profilers, or None when off.
+
+        Imported lazily so the recorder (always on at import) never
+        pays for the profiling layer; a stopped-but-installed sampling
+        profiler still contributes — its samples are exactly what a
+        post-mortem wants.
+        """
+        try:
+            from repro.obs import prof as _prof
+
+            sampler = _prof.get_profiler()
+            alloc = _prof.get_alloc_profiler()
+            if sampler is None and alloc is None:
+                return None
+            out = {}
+            if sampler is not None:
+                out["sampling"] = sampler.profile().summary()
+            if alloc is not None:
+                out["allocation"] = alloc.summary()
+            out["request_cpu_total_s"] = _prof.request_cpu_total()
+            return out
+        except Exception:
+            return {"error": "profile summary failed"}
 
     def dump(self, reason: str, *, force: bool = False, **info):
         """Assemble a bundle and (when configured) write it to disk.

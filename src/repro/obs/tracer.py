@@ -37,10 +37,12 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "active_span_names",
     "current_span",
     "current_tracer",
     "noop_span",
     "round_detail",
+    "set_active_tracking",
     "set_span_sink",
     "span",
     "use_tracer",
@@ -54,6 +56,49 @@ _tracer_var: ContextVar["Tracer | None"] = ContextVar(
     "repro_obs_tracer", default=None
 )
 _span_var: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+# ---- cross-thread active-span table (the sampling profiler's feed) -------
+#
+# Context variables are invisible from other threads, but the sampling
+# profiler (repro.obs.prof) needs to know, for every thread it samples,
+# which span is innermost *right now*.  When tracking is enabled each
+# context-managed span pushes itself onto a per-thread stack on enter
+# and pops on exit.  The flag is off by default, so the cost to traced
+# code is one module-global read and a false branch per span; with no
+# tracer installed the NOOP span path never reaches this code at all.
+_TRACK_ACTIVE = False
+_ACTIVE_STACKS: dict[int, list] = {}
+
+
+def set_active_tracking(enabled: bool) -> bool:
+    """Turn the per-thread active-span table on/off; returns previous.
+
+    Installed by :class:`repro.obs.prof.SampleProfiler`; not intended
+    for direct use.  Disabling clears the table.
+    """
+    global _TRACK_ACTIVE
+    previous = _TRACK_ACTIVE
+    _TRACK_ACTIVE = bool(enabled)
+    if not enabled:
+        _ACTIVE_STACKS.clear()
+    return previous
+
+
+def active_span_names() -> dict[int, str]:
+    """Snapshot ``{thread_id: innermost open span name}``.
+
+    Reads are lock-free: each stack is only mutated by its owner thread
+    and the GIL makes list append/pop atomic; a torn read can at worst
+    mis-attribute one sample by one frame.
+    """
+    out = {}
+    for tid, stack in list(_ACTIVE_STACKS.items()):
+        try:
+            sp = stack[-1]
+        except IndexError:
+            continue
+        out[tid] = sp.name
+    return out
 
 
 class _NoopSpan:
@@ -151,12 +196,24 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._token = _span_var.set(self)
+        if _TRACK_ACTIVE:
+            _ACTIVE_STACKS.setdefault(threading.get_ident(), []).append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._token is not None:
             _span_var.reset(self._token)
             self._token = None
+        if _TRACK_ACTIVE:
+            stack = _ACTIVE_STACKS.get(threading.get_ident())
+            if stack:
+                if stack[-1] is self:
+                    stack.pop()
+                else:  # unbalanced exit (tracking flipped mid-scope)
+                    try:
+                        stack.remove(self)
+                    except ValueError:
+                        pass
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.end()

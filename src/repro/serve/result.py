@@ -57,6 +57,12 @@ class SVDResponse:
         Id of the worker shard that served the request, when it came
         through :class:`repro.serve.shard.ShardedSVDServer`; ``None``
         for single-process serving and front-cache hits.
+    cpu_s : float
+        Process CPU seconds attributed to this request (the batch's
+        dispatch CPU split evenly across its requests); 0.0 for cache
+        hits and failed requests.  The same value feeds the
+        ``request_cpu_seconds`` metric family
+        (:func:`repro.obs.prof.record_request_cpu`).
     """
 
     request_id: str
@@ -71,6 +77,7 @@ class SVDResponse:
     total_s: float = 0.0
     trace_id: str | None = None
     shard: int | None = None
+    cpu_s: float = 0.0
 
     @property
     def ok(self) -> bool:

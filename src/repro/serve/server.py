@@ -27,6 +27,7 @@ Example
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 import time
@@ -35,6 +36,7 @@ from repro.obs import use_tracer
 from repro.obs.events import context as event_context
 from repro.obs.events import emit
 from repro.obs.metrics import get_registry
+from repro.obs.prof import record_request_cpu
 from repro.obs.recorder import trigger_dump
 from repro.obs.slo import observe as slo_observe
 from repro.serve.cache import ResultCache
@@ -365,8 +367,7 @@ class SVDServer:
                     error=f"deadline passed before dispatch "
                           f"(waited {now - req.submitted_at:.4f}s)",
                     engine=req.engine, queued_s=now - req.submitted_at,
-                    total_s=now - req.submitted_at, trace_id=req.trace_id,
-                ))
+                    total_s=now - req.submitted_at, trace_id=req.trace_id))
             else:
                 live.append(req)
         if not live:
@@ -409,29 +410,26 @@ class SVDServer:
         emit("serve.batch.dispatch",
              trace_id=live[0].trace_id or live[0].request_id,
              batch_size=len(live), engine=live[0].engine)
-        # The event context correlates everything emitted inside the
-        # dispatch (degradations, retries, engine health) with this
-        # batch's lead request, with or without a tracer installed.
+        # Correlates everything emitted inside the dispatch (degradation,
+        # retries, engine health) with this batch's lead request.
         dispatch_ctx = event_context(
             trace_id=live[0].trace_id or live[0].request_id,
             engine=live[0].engine,
         )
+        cpu_before = time.process_time()
         try:
-            if tracer is not None:
-                # Entering engine_span sets the ambient current-span,
-                # so engine core.sweep spans (propagated into pool
-                # workers by batch_svd) nest beneath it.
-                with use_tracer(tracer), engine_span, dispatch_ctx:
-                    results, engine_used = self._executor.dispatch(
-                        [r.matrix for r in live], dict(live[0].options),
-                        engine=live[0].engine, deadline_budget_s=budget,
-                    )
-            else:
-                with dispatch_ctx:
-                    results, engine_used = self._executor.dispatch(
-                        [r.matrix for r in live], dict(live[0].options),
-                        engine=live[0].engine, deadline_budget_s=budget,
-                    )
+            # Entering engine_span sets the ambient current-span, so
+            # engine core.sweep spans (propagated into pool workers by
+            # batch_svd) nest beneath it.
+            with contextlib.ExitStack() as scopes:
+                if tracer is not None:
+                    scopes.enter_context(use_tracer(tracer))
+                    scopes.enter_context(engine_span)
+                scopes.enter_context(dispatch_ctx)
+                results, engine_used = self._executor.dispatch(
+                    [r.matrix for r in live], dict(live[0].options),
+                    engine=live[0].engine, deadline_budget_s=budget,
+                )
         except Exception as exc:
             finished = self._clock()
             if tracer is not None:
@@ -451,15 +449,17 @@ class SVDServer:
                     queued_s=started - req.submitted_at,
                     service_s=finished - started,
                     total_s=finished - req.submitted_at,
-                    trace_id=req.trace_id,
-                ))
+                    trace_id=req.trace_id))
             trigger_dump(
                 "serve.batch.error", error=type(exc).__name__,
                 detail=str(exc), engine=live[0].engine,
-                request_ids=[req.request_id for req in live],
-            )
+                request_ids=[req.request_id for req in live])
             return
         finished = self._clock()
+        # Batch members share shape/options, so an even CPU split is fair.
+        cpu_per_req = max(time.process_time() - cpu_before, 0.0) / len(live)
+        wall_per_req = (finished - started) / len(live)
+        precision = str(dict(live[0].options).get("precision", "fp64"))
         self.metrics.counter(f"engine_{engine_used}_requests").inc(len(live))
         if tracer is not None:
             engine_span.set_attr("engine_used", engine_used)
@@ -472,6 +472,10 @@ class SVDServer:
             self.metrics.counter("requests_completed").inc()
             self.metrics.histogram("latency_s").observe(
                 finished - req.submitted_at)
+            record_request_cpu(
+                engine=engine_used, shape=req.matrix.shape,
+                precision=precision, cpu_s=cpu_per_req,
+                wall_s=wall_per_req)
             _note_done(req, "ok", engine_used=engine_used,
                        batch_size=len(live),
                        latency_s=finished - req.submitted_at)
@@ -486,8 +490,7 @@ class SVDServer:
                 queued_s=started - req.submitted_at,
                 service_s=finished - started,
                 total_s=finished - req.submitted_at,
-                trace_id=req.trace_id,
-            ))
+                trace_id=req.trace_id, cpu_s=cpu_per_req))
 
     def _respond(self, request: SVDRequest, response: SVDResponse) -> None:
         with self._pending_lock:

@@ -95,6 +95,19 @@ def build_response(shard: ShardState, record: Inflight, ticket, meta,
     from repro.obs.events import replay
 
     replay(meta.get("events") or (), shard=shard.id)
+    cpu_s = float(meta.get("cpu_s", 0.0))
+    if status == "ok" and cpu_s > 0.0 and not meta.get("cache_hit"):
+        # The worker measured the CPU in its own process; re-record it
+        # into the parent registry so `repro stats` / the Prometheus
+        # dump see cost attribution without scraping every worker.
+        from repro.obs.prof import record_request_cpu
+
+        record_request_cpu(
+            engine=meta.get("engine", request.engine),
+            shape=request.matrix.shape,
+            precision=meta.get("precision", "fp64"),
+            cpu_s=cpu_s,
+        )
     return SVDResponse(
         request_id=request.request_id, status=status, result=result,
         error=meta.get("error"), engine=meta.get("engine", request.engine),
@@ -103,7 +116,7 @@ def build_response(shard: ShardState, record: Inflight, ticket, meta,
         queued_s=float(meta.get("queued_s", 0.0)),
         service_s=float(meta.get("service_s", 0.0)),
         total_s=clock() - request.submitted_at,
-        trace_id=request.trace_id, shard=shard.id,
+        trace_id=request.trace_id, shard=shard.id, cpu_s=cpu_s,
     )
 
 

@@ -447,20 +447,22 @@ class ShardRouter:
     # ---- observability / lifecycle --------------------------------------
 
     def stats(self) -> dict:
-        """Topology, depth, and forwarded worker health per shard."""
+        """Topology, depth, and forwarded worker health per shard.
+
+        ``request_cpu_total_s`` sums the workers' cumulative
+        request-attributed CPU seconds (shipped in ping replies), the
+        shard tier's aggregate cost counter.
+        """
         return {
             "shards": [
-                {
-                    "id": s.id,
-                    "alive": s.alive,
-                    "pid": s.pid,
-                    "generation": s.generation,
-                    "inflight": s.depth,
-                    "max_inflight": self.max_inflight,
-                    "worker": s.last_report,
-                }
+                {"id": s.id, "alive": s.alive, "pid": s.pid,
+                 "generation": s.generation, "inflight": s.depth,
+                 "max_inflight": self.max_inflight, "worker": s.last_report}
                 for s in self.shards
             ],
+            "request_cpu_total_s": sum(
+                (s.last_report or {}).get("request_cpu_total_s", 0.0)
+                for s in self.shards),
         }
 
     def close(self, timeout: float = 10.0) -> None:

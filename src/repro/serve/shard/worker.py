@@ -131,6 +131,7 @@ def _response_meta(response) -> dict:
         "batch_size": int(response.batch_size),
         "queued_s": float(response.queued_s),
         "service_s": float(response.service_s),
+        "cpu_s": float(getattr(response, "cpu_s", 0.0)),
         "sweeps": int(result.sweeps) if result is not None else 0,
         "method": result.method if result is not None else "",
         "converged": bool(result.converged) if result is not None else True,
@@ -266,12 +267,14 @@ class _WorkerLoop:
 
     def report(self) -> dict:
         from repro.obs.metrics import get_registry
+        from repro.obs.prof import request_cpu_total
 
         return {
             "pid": os.getpid(),
             "now": time.perf_counter(),
             "server": self.server.stats(),
             "registry": get_registry().snapshot(),
+            "request_cpu_total_s": request_cpu_total(),
         }
 
     # ---- lifecycle ------------------------------------------------------

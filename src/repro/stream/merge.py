@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.apps.base import LowRankSVD, make_solver
 from repro.core.result import SVDResult
+from repro.obs.profmem import heap_phase
+from repro.obs.tracer import span
 from repro.stream.sources import ArraySource, MatrixSource
 from repro.util.validation import as_float_matrix, check_positive_int
 
@@ -85,12 +87,13 @@ class StreamingMerger:
         factors swapped back.
         """
         m, b = block.shape
-        if b > m:
-            res = self.solver(block.T)
-            u, vt = res.vt.T, res.u.T
-        else:
-            res = self.solver(block)
-            u, vt = res.u, res.vt
+        with span("stream.compress", m=m, b=b):
+            if b > m:
+                res = self.solver(block.T)
+                u, vt = res.vt.T, res.u.T
+            else:
+                res = self.solver(block)
+                u, vt = res.u, res.vt
         self.merges_ += 1
         keep = min(self.rank, len(res.s))
         s = res.s[:keep]
@@ -110,13 +113,14 @@ class StreamingMerger:
         b = block.shape[1]
         if b == 0:  # empty chunk: nothing to merge
             return self
-        u2, s2, v2t = self._compress(block)
-        if self.u_ is None:
-            self.u_, self.s_ = u2, s2
-            self.vt_ = v2t if self.store_vt else None
-            self.cols_seen_ = b
-            return self
-        self.absorb_factorization(u2, s2, v2t, n_cols=b)
+        with span("stream.absorb", cols=b), heap_phase("stream.absorb"):
+            u2, s2, v2t = self._compress(block)
+            if self.u_ is None:
+                self.u_, self.s_ = u2, s2
+                self.vt_ = v2t if self.store_vt else None
+                self.cols_seen_ = b
+                return self
+            self.absorb_factorization(u2, s2, v2t, n_cols=b)
         return self
 
     def absorb_factorization(self, u2, s2, v2t, *, n_cols: int | None = None) -> "StreamingMerger":
@@ -137,27 +141,31 @@ class StreamingMerger:
             self.cols_seen_ = n_cols
             return self
         k1, k2 = len(self.s_), len(s2)
-        projector = np.hstack([self.u_ * self.s_, u2 * s2])
-        res = self.solver(projector)
-        self.merges_ += 1
-        keep = min(self.rank, res.rank, len(res.s))
-        wt = res.vt
-        if self.store_vt:
-            if v2t is None:
-                raise ValueError("store_vt=True needs the block's right factor")
-            self.vt_ = np.hstack([
-                wt[:keep, :k1] @ self.vt_,
-                wt[:keep, k1:] @ v2t,
-            ])
-        self.u_ = res.u[:, :keep]
-        self.s_ = res.s[:keep].copy()
-        self.cols_seen_ += n_cols
+        with span("stream.merge", k1=k1, k2=k2):
+            projector = np.hstack([self.u_ * self.s_, u2 * s2])
+            res = self.solver(projector)
+            self.merges_ += 1
+            keep = min(self.rank, res.rank, len(res.s))
+            wt = res.vt
+            if self.store_vt:
+                if v2t is None:
+                    raise ValueError(
+                        "store_vt=True needs the block's right factor"
+                    )
+                self.vt_ = np.hstack([
+                    wt[:keep, :k1] @ self.vt_,
+                    wt[:keep, k1:] @ v2t,
+                ])
+            self.u_ = res.u[:, :keep]
+            self.s_ = res.s[:keep].copy()
+            self.cols_seen_ += n_cols
         return self
 
     def consume(self, source: MatrixSource) -> "StreamingMerger":
         """Absorb every block of *source*, one pass."""
-        for block in source.blocks():
-            self.absorb_block(block)
+        with span("stream.consume"), heap_phase("stream.consume"):
+            for block in source.blocks():
+                self.absorb_block(block)
         return self
 
     # -- results ------------------------------------------------------------

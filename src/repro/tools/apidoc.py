@@ -111,12 +111,15 @@ PUBLIC_MODULES = (
     "repro.obs.slo",
     "repro.obs.recorder",
     "repro.obs.exporters",
+    "repro.obs.prof",
+    "repro.obs.profmem",
     "repro.workloads",
     "repro.workloads.driver",
     "repro.eval",
     "repro.eval.accuracy",
     "repro.eval.calibration",
     "repro.eval.benchgate",
+    "repro.eval.profgate",
     "repro.util",
     "repro.util.io",
     "repro.util.hashing",

@@ -1,0 +1,139 @@
+"""Phase-share profiling gate: compare semantics and the pinned run."""
+
+import pytest
+
+from repro.eval import profgate
+
+
+def result(metrics=None, *, probe=0.001, attributed=0.99, **extra):
+    payload = {
+        "schema": profgate.SCHEMA_VERSION,
+        "suite": "prof-core",
+        "quick": True,
+        "hz": 400.0,
+        "n": 160,
+        "runs": 4,
+        "probe_s": probe,
+        "wall_per_run_s": 0.1,
+        "total_samples": 400,
+        "attributed_fraction": attributed,
+        "metrics": metrics if metrics is not None else {
+            "prof.core.sweep": 0.010,
+            "prof.core.round": 0.080,
+            "prof.core.finalize": 0.002,
+            "prof.(unattributed)": 0.001,
+        },
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        rows, ok = profgate.compare(result(), result())
+        assert ok
+        assert rows[0]["name"] == "attribution"
+        assert rows[0]["status"] == "ok"
+        assert all(r["status"] == "ok" for r in rows[1:])
+
+    def test_injected_slowdown_on_hot_phase_fails(self):
+        current = profgate.scale_phase(result(), "core.round", 2.0)
+        rows, ok = profgate.compare(current, result())
+        assert not ok
+        (hot,) = [r for r in rows if r["status"] == "hot"]
+        assert hot["name"] == "prof.core.round"
+        assert hot["ratio"] == pytest.approx(2.0)
+
+    def test_small_phase_regression_needs_absolute_slack(self):
+        # finalize doubles but moves only ~2 ms/run — under the 4 ms
+        # absolute slack, so sampling noise on tiny phases never trips.
+        current = profgate.scale_phase(result(), "core.finalize", 2.0)
+        rows, ok = profgate.compare(current, result())
+        assert ok
+
+    def test_probe_normalization_forgives_machine_slowdown(self):
+        # Everything 2x slower, probe also 2x slower: same machine-
+        # relative cost, gate stays green.
+        base = result()
+        current = result(
+            {k: v * 2.0 for k, v in base["metrics"].items()},
+            probe=base["probe_s"] * 2.0,
+        )
+        rows, ok = profgate.compare(current, base)
+        assert ok
+
+    def test_missing_phase_fails_and_new_phase_informs(self):
+        base, cur = result(), result()
+        cur["metrics"] = dict(cur["metrics"])
+        del cur["metrics"]["prof.core.sweep"]
+        cur["metrics"]["prof.serve.batch"] = 0.001
+        rows, ok = profgate.compare(cur, base)
+        assert not ok
+        by_name = {r["name"]: r["status"] for r in rows}
+        assert by_name["prof.core.sweep"] == "missing"
+        assert by_name["prof.serve.batch"] == "new"
+
+    def test_low_attribution_fails_outright(self):
+        rows, ok = profgate.compare(result(attributed=0.5), result())
+        assert not ok
+        assert rows[0]["status"] == "low"
+
+    def test_format_rows_renders_every_row(self):
+        rows, _ = profgate.compare(result(), result())
+        text = profgate.format_rows(rows, profgate.DEFAULT_TOLERANCE)
+        assert "attribution" in text
+        assert "prof.core.round" in text
+        assert "status" in text
+
+
+class TestHelpers:
+    def test_scale_phase_accepts_bare_and_prefixed_names(self):
+        scaled = profgate.scale_phase(result(), "prof.core.round", 3.0)
+        assert scaled["metrics"]["prof.core.round"] == pytest.approx(0.24)
+        scaled = profgate.scale_phase(result(), "core.round", 3.0)
+        assert scaled["metrics"]["prof.core.round"] == pytest.approx(0.24)
+
+    def test_scale_phase_does_not_mutate_the_input(self):
+        base = result()
+        profgate.scale_phase(base, "core.round", 2.0)
+        assert base["metrics"]["prof.core.round"] == pytest.approx(0.080)
+
+    def test_scale_phase_rejects_unknown_phase(self):
+        with pytest.raises(KeyError, match="unknown phase"):
+            profgate.scale_phase(result(), "core.nonsense", 2.0)
+
+    def test_hottest_phase_skips_unattributed(self):
+        r = result({"prof.core.round": 0.01,
+                    "prof.(unattributed)": 0.5})
+        assert profgate.hottest_phase(r) == "prof.core.round"
+        with pytest.raises(ValueError, match="no named phase"):
+            profgate.hottest_phase(result({}))
+
+    def test_baseline_round_trip_and_schema_check(self, tmp_path):
+        path = tmp_path / "PROF_CORE.json"
+        profgate.write_baseline(result(), path)
+        back = profgate.load_baseline(path)
+        assert back["metrics"]["prof.core.round"] == pytest.approx(0.080)
+        bad = result(schema=99)
+        profgate.write_baseline(bad, path)
+        with pytest.raises(ValueError, match="schema"):
+            profgate.load_baseline(path)
+
+
+class TestRunCore:
+    def test_pinned_run_self_compares_clean_and_flags_injection(self):
+        logs = []
+        current = profgate.run_core(quick=True, n=96, hz=300.0,
+                                    log=logs.append)
+        assert current["suite"] == "prof-core"
+        assert current["total_samples"] > 0
+        assert current["attributed_fraction"] >= profgate.MIN_ATTRIBUTION
+        assert set(current["metrics"]) == {f"prof.{p}"
+                                           for p in profgate.PHASES}
+        assert any("workload" in line for line in logs)
+        rows, ok = profgate.compare(current, current)
+        assert ok
+        injected = profgate.scale_phase(
+            current, profgate.hottest_phase(current), 2.0)
+        rows, ok = profgate.compare(injected, current)
+        assert not ok

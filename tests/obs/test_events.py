@@ -119,6 +119,58 @@ class TestJsonl:
         events = read_jsonl(path)
         assert [ev.name for ev in events] == ["ok", "ok"]
 
+    def test_mirror_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=64, path=str(path), max_bytes=256)
+        for i in range(20):
+            log.emit("ev", i=i, pad="x" * 40)
+        log.close()
+        rotated = tmp_path / "events.jsonl.1"
+        assert rotated.exists()
+        assert rotated.stat().st_size <= 256
+        # Neither file holds the whole stream; together they do not
+        # exceed ~2x the cap.
+        assert path.stat().st_size <= 256
+
+    def test_read_jsonl_include_rotated_is_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=64, path=str(path), max_bytes=200)
+        for i in range(12):
+            log.emit("ev", i=i, pad="y" * 30)
+        log.close()
+        combined = read_jsonl(path, include_rotated=True)
+        live_only = read_jsonl(path)
+        assert len(combined) > len(live_only)
+        seq = [ev.fields["i"] for ev in combined]
+        assert seq == sorted(seq)
+        assert seq[-1] == 11
+
+    def test_read_jsonl_tolerates_missing_rotated_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=8, path=str(path))
+        log.emit("only")
+        log.close()
+        assert [ev.name for ev in read_jsonl(path, include_rotated=True)] \
+            == ["only"]
+
+    def test_read_jsonl_missing_main_file_still_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_jsonl(tmp_path / "absent.jsonl", include_rotated=True)
+
+    def test_rotation_survives_a_truncated_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=8, path=str(path))
+        log.emit("ok", i=1)
+        log.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"half": ')  # crash mid-write
+        events = read_jsonl(path, include_rotated=True)
+        assert [ev.name for ev in events] == ["ok"]
+
+    def test_non_positive_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            EventLog(capacity=8, path=str(tmp_path / "e.jsonl"), max_bytes=0)
+
     def test_non_jsonable_fields_fall_back_to_repr(self, tmp_path):
         log = EventLog(capacity=4)
         log.emit("odd", obj=object(), nested={"k": (1, 2)})

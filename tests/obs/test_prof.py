@@ -1,0 +1,372 @@
+"""Continuous profiling layer: sampler, attribution, exports, CPU cost."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.exporters import (
+    metrics_to_prometheus,
+    profile_counter_events,
+    to_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.prof import (
+    UNATTRIBUTED,
+    AllocationProfiler,
+    Profile,
+    SampleProfiler,
+    get_profiler,
+    heap_phase,
+    profiling_active,
+    record_request_cpu,
+    request_cpu_total,
+    shape_label,
+    use_alloc_profiler,
+    use_profiler,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracer import span
+
+
+def make_profile(phase_counts=None, stack_counts=None, timeline=(),
+                 **kwargs):
+    phase_counts = phase_counts if phase_counts is not None else {}
+    stack_counts = stack_counts if stack_counts is not None else {}
+    total = sum(phase_counts.values())
+    defaults = dict(total_samples=total, ticks=len(timeline) or total,
+                    duration_s=1.0, cpu_s=0.5, hz=100.0)
+    defaults.update(kwargs)
+    return Profile(phase_counts=phase_counts, stack_counts=stack_counts,
+                   timeline=list(timeline), **defaults)
+
+
+class TestProfile:
+    def test_phase_shares_sorted_and_normalized(self):
+        p = make_profile({"core.round": 30, "core.finalize": 10,
+                          UNATTRIBUTED: 20})
+        shares = p.phase_shares()
+        assert list(shares) == ["core.round", UNATTRIBUTED, "core.finalize"]
+        assert shares["core.round"] == pytest.approx(0.5)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_named_only_excludes_unattributed_from_denominator(self):
+        p = make_profile({"core.round": 30, UNATTRIBUTED: 10})
+        shares = p.phase_shares(named_only=True)
+        assert shares == {"core.round": pytest.approx(1.0)}
+
+    def test_attributed_fraction(self):
+        p = make_profile({"core.round": 9, UNATTRIBUTED: 1})
+        assert p.attributed_fraction() == pytest.approx(0.9)
+        assert make_profile({}).attributed_fraction() == 0.0
+
+    def test_folded_lines_are_phase_rooted_and_counted(self):
+        stacks = {
+            ("core.round", ("a.py:f:1", "b.py:g:2")): 5,
+            ("core.round", ("a.py:f:1",)): 2,
+        }
+        p = make_profile({"core.round": 7}, stacks)
+        lines = p.folded()
+        assert lines[0] == "core.round;a.py:f:1;b.py:g:2 5"
+        assert lines[1] == "core.round;a.py:f:1 2"
+        bare = p.folded(phase_root=False)
+        assert bare[0] == "a.py:f:1;b.py:g:2 5"
+
+    def test_write_folded_and_top_stacks(self, tmp_path):
+        stacks = {("p", ("x.py:f:1",)): 3}
+        p = make_profile({"p": 3}, stacks)
+        path = p.write_folded(tmp_path / "out.folded")
+        assert (tmp_path / "out.folded").read_text() == "p;x.py:f:1 3\n"
+        assert path == str(tmp_path / "out.folded")
+        assert p.top_stacks() == [("p;x.py:f:1", 3)]
+
+    def test_summary_is_json_able(self):
+        p = make_profile({"core.round": 4, UNATTRIBUTED: 1},
+                         {("core.round", ("a.py:f:1",)): 4})
+        payload = json.loads(json.dumps(p.summary()))
+        assert payload["total_samples"] == 5
+        assert payload["attributed_fraction"] == pytest.approx(0.8)
+        assert payload["phase_shares"]["core.round"] == pytest.approx(0.8)
+        assert payload["top_stacks"][0]["samples"] == 4
+
+    def test_render_text_mentions_each_phase(self):
+        text = make_profile({"core.round": 4}).render_text()
+        assert "core.round" in text and "4 samples" in text
+
+
+class TestSampleProfiler:
+    def test_rejects_non_positive_hz(self):
+        with pytest.raises(ValueError, match="hz"):
+            SampleProfiler(hz=0)
+
+    def test_sample_once_attributes_a_thread_parked_in_a_span(self):
+        profiler = SampleProfiler(hz=50)
+        inside = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with use_tracer(Tracer()):
+                with span("core.round"):
+                    inside.set()
+                    release.wait(timeout=10.0)
+
+        t = threading.Thread(target=worker)
+        profiler.start()
+        try:
+            t.start()
+            assert inside.wait(timeout=10.0)
+            profiler.sample_once(now=1.0)
+        finally:
+            release.set()
+            t.join(timeout=10.0)
+            profiler.stop()
+        profile = profiler.profile()
+        assert profile.phase_counts.get("core.round", 0) >= 1
+        stacks = [frames for (phase, frames) in profile.stack_counts
+                  if phase == "core.round"]
+        assert any("test_prof.py:worker" in f for frames in stacks
+                   for f in frames)
+
+    def test_threads_outside_spans_are_unattributed(self):
+        profiler = SampleProfiler(hz=50)
+        release = threading.Event()
+        t = threading.Thread(target=release.wait, args=(10.0,))
+        profiler.start()
+        try:
+            t.start()
+            recorded = profiler.sample_once(now=1.0)
+        finally:
+            release.set()
+            t.join(timeout=10.0)
+            profiler.stop()
+        assert recorded >= 1
+        assert profiler.profile().phase_counts.get(UNATTRIBUTED, 0) >= 1
+
+    def test_sampler_skips_the_calling_thread(self):
+        profiler = SampleProfiler(hz=50)
+        profiler.sample_once(now=0.0)
+        profile = profiler.profile()
+        own = "test_prof.py:test_sampler_skips_the_calling_thread"
+        assert not any(own in f for (_, frames) in profile.stack_counts
+                       for f in frames)
+
+    def test_clear_resets_counts_while_running(self):
+        profiler = SampleProfiler(hz=50)
+        release = threading.Event()
+        t = threading.Thread(target=release.wait, args=(10.0,))
+        t.start()
+        try:
+            profiler.sample_once(now=0.0)
+            assert profiler.profile().total_samples >= 1
+            profiler.clear()
+            assert profiler.profile().total_samples == 0
+        finally:
+            release.set()
+            t.join(timeout=10.0)
+
+    def test_context_manager_starts_and_stops_thread(self):
+        profiler = SampleProfiler(hz=200)
+        with profiler:
+            assert profiler.running
+        assert not profiler.running
+        assert profiler.profile().duration_s > 0.0
+
+    def test_timeline_is_bounded(self):
+        profiler = SampleProfiler(hz=50, timeline_capacity=4)
+        for i in range(10):
+            profiler.sample_once(now=float(i))
+        assert len(profiler.profile().timeline) == 4
+
+    def test_use_profiler_installs_and_restores(self):
+        profiler = SampleProfiler(hz=200)
+        assert get_profiler() is None
+        with use_profiler(profiler):
+            assert get_profiler() is profiler
+            assert profiling_active()
+        assert get_profiler() is None
+        assert not profiling_active()
+
+
+class TestEngineAttribution:
+    def test_vectorized_run_is_span_attributed(self):
+        """Acceptance: >= 90% of samples land in named span phases and
+        core.round outranks core.finalize on a vectorized n=128 run."""
+        from repro.core.svd import hestenes_svd
+        from repro.workloads import random_matrix
+
+        a = random_matrix(128, 128, seed=3)
+        hestenes_svd(a, method="vectorized", compute_uv=True)  # warm
+        profiler = SampleProfiler(hz=400)
+        tracer = Tracer(detail="round")
+        with use_tracer(tracer), profiler:
+            for _ in range(3):
+                hestenes_svd(a, method="vectorized", compute_uv=True)
+        profile = profiler.profile()
+        assert profile.total_samples >= 20
+        assert profile.attributed_fraction() >= 0.90
+        counts = profile.phase_counts
+        assert counts.get("core.round", 0) > counts.get("core.finalize", 0)
+
+
+class TestAllocationProfiler:
+    def test_heap_phase_without_profiler_is_a_noop(self):
+        with heap_phase("stream.absorb"):
+            data = bytearray(1 << 16)
+        assert len(data) == 1 << 16
+
+    def test_observe_records_peak_and_mean(self):
+        with use_registry(MetricsRegistry()) as reg:
+            prof = AllocationProfiler()
+            prof.observe("stream.absorb", 100)
+            prof.observe("stream.absorb", 300)
+            prof.observe("stream.consume", 200)
+            rows = prof.summary()
+            assert list(rows) == ["stream.absorb", "stream.consume"]
+            assert rows["stream.absorb"] == {
+                "count": 2, "peak_bytes": 300, "mean_bytes": 200.0}
+            gauge = reg.gauge("prof_peak_heap_bytes", labelnames=("phase",))
+            assert gauge.labels(phase="stream.absorb").value == 300
+
+    def test_heap_phase_attributes_real_allocations(self):
+        with use_registry(MetricsRegistry()):
+            prof = AllocationProfiler()
+            with use_alloc_profiler(prof):
+                with heap_phase("stream.absorb"):
+                    blob = bytearray(1 << 20)
+            assert len(blob) == 1 << 20
+            rows = prof.summary()
+            assert rows["stream.absorb"]["peak_bytes"] >= 1 << 20
+
+    def test_render_text_handles_empty_and_filled(self):
+        prof = AllocationProfiler()
+        assert "no allocation scopes" in prof.render_text()
+        prof._phases["p"] = {"count": 1, "peak_bytes": 10, "total_bytes": 10}
+        assert "p" in prof.render_text()
+
+    def test_streaming_merge_records_absorb_and_consume(self):
+        import numpy as np
+
+        from repro.apps.base import make_solver
+        from repro.stream.merge import StreamingMerger
+        from repro.stream.sources import ArraySource
+
+        rng = np.random.default_rng(0)
+        with use_registry(MetricsRegistry()):
+            prof = AllocationProfiler()
+            with use_alloc_profiler(prof):
+                merger = StreamingMerger(4, make_solver("blocked"))
+                merger.consume(ArraySource(rng.standard_normal((24, 32)),
+                                           block_size=8))
+            rows = prof.summary()
+        assert "stream.absorb" in rows
+        assert "stream.consume" in rows
+
+
+class TestRequestCpu:
+    def test_shape_label_buckets_to_powers_of_two(self):
+        assert shape_label((24, 12)) == "32x16"
+        assert shape_label((128, 128)) == "128x128"
+        assert shape_label((1, 1)) == "1x1"
+
+    def test_record_flows_into_labeled_histograms_and_total(self):
+        reg = MetricsRegistry()
+        before = request_cpu_total()
+        record_request_cpu(engine="vectorized", shape=(24, 12),
+                           cpu_s=0.25, wall_s=0.5, registry=reg)
+        record_request_cpu(engine="vectorized", shape=(24, 12),
+                           cpu_s=0.25, registry=reg)
+        fam = reg.histogram("request_cpu_seconds",
+                            labelnames=("engine", "shape", "precision"))
+        child = fam.labels(engine="vectorized", shape="32x16",
+                           precision="fp64")
+        assert child.count == 2
+        assert child.stream_sum == pytest.approx(0.5)
+        wall = reg.histogram("request_wall_seconds",
+                             labelnames=("engine", "shape", "precision"))
+        assert wall.labels(engine="vectorized", shape="32x16",
+                           precision="fp64").count == 1
+        assert request_cpu_total() - before == pytest.approx(0.5)
+
+    def test_prometheus_export_of_cpu_family(self):
+        reg = MetricsRegistry()
+        record_request_cpu(engine="vectorized", shape=(100, 100),
+                           precision="mixed", cpu_s=0.01, registry=reg)
+        text = metrics_to_prometheus(reg)
+        labels = 'engine="vectorized",shape="128x128",precision="mixed"'
+        assert f"repro_request_cpu_seconds_count{{{labels}}} 1" in text
+        assert f"repro_request_cpu_seconds_sum{{{labels}}} 0.01" in text
+        assert "repro_request_cpu_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+
+    def test_prometheus_escapes_hostile_label_values(self):
+        reg = MetricsRegistry()
+        record_request_cpu(engine='ve"ct\\or\nized', shape=(2, 2),
+                           cpu_s=0.01, registry=reg)
+        text = metrics_to_prometheus(reg)
+        assert 'engine="ve\\"ct\\\\or\\nized"' in text
+
+
+class TestServerCpuAttribution:
+    def test_served_response_carries_cpu_and_registry_rows(self):
+        from repro.serve import SVDServer
+        from repro.workloads import random_matrix
+
+        with use_registry(MetricsRegistry()) as reg:
+            with SVDServer(workers=1, cache_bytes=None) as srv:
+                resp = srv.submit(random_matrix(24, 12, seed=0),
+                                  compute_uv=False).result(timeout=120.0)
+            assert resp.ok
+            assert resp.cpu_s >= 0.0
+            fam = reg.histogram("request_cpu_seconds",
+                                labelnames=("engine", "shape", "precision"))
+            assert fam.count == 1
+        assert "request_cpu_seconds" in metrics_to_prometheus(reg)
+
+
+class TestProfileExports:
+    def test_counter_events_one_per_tick_per_phase(self):
+        timeline = [(1.0, {"core.round": 2}),
+                    (1.5, {"core.round": 1, UNATTRIBUTED: 1})]
+        p = make_profile({"core.round": 3, UNATTRIBUTED: 1},
+                         timeline=timeline)
+        events = profile_counter_events(p)
+        assert [ev["ph"] for ev in events] == ["C", "C"]
+        assert events[0]["name"] == "prof.samples"
+        assert events[0]["args"] == {"core.round": 2}
+        assert events[1]["args"] == {"core.round": 1, UNATTRIBUTED: 1}
+
+    def test_chrome_trace_merges_spans_and_counters(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("core.sweep"):
+                pass
+        t0 = tracer.spans[0].start
+        p = make_profile({"core.sweep": 1},
+                         timeline=[(t0 + 0.25, {"core.sweep": 1})])
+        trace = to_chrome_trace(tracer, profile=p)
+        kinds = {ev["ph"] for ev in trace["traceEvents"]}
+        assert {"X", "C"} <= kinds
+        counter = [ev for ev in trace["traceEvents"] if ev["ph"] == "C"][0]
+        assert counter["ts"] == pytest.approx(0.25e6, rel=1e-3)
+
+    def test_recorder_bundle_includes_profile_summary(self):
+        recorder = FlightRecorder()
+        assert recorder.bundle("test")["profile"] is None
+        profiler = SampleProfiler(hz=50)
+        release = threading.Event()
+        t = threading.Thread(target=release.wait, args=(10.0,))
+        t.start()
+        try:
+            profiler.sample_once(now=0.0)
+        finally:
+            release.set()
+            t.join(timeout=10.0)
+        with use_profiler(profiler, autostart=False):
+            with use_alloc_profiler(AllocationProfiler()) as alloc:
+                alloc.observe("stream.absorb", 123)
+                bundle = recorder.bundle("test")
+        prof = bundle["profile"]
+        assert prof["sampling"]["total_samples"] >= 1
+        assert prof["allocation"]["stream.absorb"]["peak_bytes"] == 123
+        assert prof["request_cpu_total_s"] >= 0.0

@@ -149,6 +149,20 @@ class TestFrontCacheAndStats:
         assert isinstance(shard["pid"], int)
         assert stats["pending"] == 0
 
+    def test_worker_cpu_rides_the_response_and_the_stats(self):
+        # The worker measures its own process CPU per request, ships it
+        # in the response meta, and cumulative totals ride ping replies
+        # into router.stats(); the pings lag by an interval, so only
+        # presence/shape is asserted for the aggregate.
+        with _no_cache(shards=1) as srv:
+            resp = srv.submit(random_matrix(24, 12, seed=1)).result(timeout=120.0)
+            stats = srv.stats()
+        assert resp.status == "ok"
+        assert resp.cache_hit is False
+        assert resp.cpu_s is not None and resp.cpu_s >= 0.0
+        assert isinstance(stats["request_cpu_total_s"], float)
+        assert stats["request_cpu_total_s"] >= 0.0
+
     def test_result_by_request_id(self):
         with _no_cache(shards=1) as srv:
             handle = srv.submit(random_matrix(8, 4, seed=0))

@@ -258,3 +258,61 @@ class TestStats:
             if not line or line.startswith("# "):
                 continue
             assert sample.match(line), f"bad exposition line: {line!r}"
+
+
+    def test_watch_mode_redraws_until_interrupted(self, capsys, monkeypatch):
+        import time as _time
+
+        calls = {"n": 0}
+
+        def fake_sleep(_s):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise KeyboardInterrupt
+        monkeypatch.setattr(_time, "sleep", fake_sleep)
+        assert main(["stats", "--watch", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "refreshing every 0.01 s" in out
+        assert calls["n"] == 2
+
+
+class TestProfileCli:
+    def test_profile_reports_phase_breakdown(self, capsys, tmp_path):
+        folded = tmp_path / "out.folded"
+        chrome = tmp_path / "trace.json"
+        assert main(["profile", "--n", "48", "--runs", "1", "--hz", "300",
+                     "--folded", str(folded), "--chrome", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert folded.exists()
+        import json as _json
+        trace = _json.loads(chrome.read_text())
+        assert any(ev.get("ph") == "X" for ev in trace["traceEvents"])
+
+    def test_profile_json_mode_with_alloc(self, capsys):
+        assert main(["profile", "--n", "32", "--runs", "1", "--hz", "200",
+                     "--stream", "--alloc", "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        assert "profile" in payload
+        assert "allocation" in payload
+
+
+class TestProfCompare:
+    def test_update_then_clean_pass_then_injected_fail(self, capsys,
+                                                       tmp_path):
+        base = ["prof-compare", "--quick", "--baseline-dir", str(tmp_path)]
+        assert main(base + ["--update"]) == 0
+        assert (tmp_path / "PROF_CORE.json").exists()
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "[prof-core] ok" in out
+        assert main(base + ["--inject-slowdown", "4.0"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "hot" in out
+
+    def test_missing_baseline_is_actionable(self, capsys, tmp_path):
+        assert main(["prof-compare", "--quick", "--baseline-dir",
+                     str(tmp_path / "nowhere")]) == 1
+        assert "prof-compare --update" in capsys.readouterr().out

@@ -27,6 +27,7 @@ MODULES = [
     "repro.apps.pattern",
     "repro.util.timer",
     "repro.obs",
+    "repro.obs.prof",
 ]
 
 
